@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses (one binary per paper table /
+// figure; see DESIGN.md's experiment index).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pipeline/Suite.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt::bench {
+
+/// The evaluation corpus: 211 synthetic Spec95-like loops (the substitution
+/// for the paper's extracted Fortran loops; DESIGN.md).
+[[nodiscard]] inline std::vector<Loop> corpus() {
+  return generateCorpus(GeneratorParams{});
+}
+
+/// The six clustered machines of the paper's meta-model.
+struct MachineCase {
+  int clusters;
+  CopyModel model;
+};
+inline constexpr MachineCase kMachineCases[] = {
+    {2, CopyModel::Embedded}, {2, CopyModel::CopyUnit},
+    {4, CopyModel::Embedded}, {4, CopyModel::CopyUnit},
+    {8, CopyModel::Embedded}, {8, CopyModel::CopyUnit},
+};
+
+/// Suite options used by all table/figure benches. Simulation/validation is
+/// on by default — every measured loop is also checked bit-exact; pass
+/// simulate=false for quick sweeps.
+[[nodiscard]] inline PipelineOptions benchOptions(bool simulate = true) {
+  PipelineOptions opt;
+  opt.simulate = simulate;
+  return opt;
+}
+
+inline void printFailures(const SuiteResult& s, const char* label) {
+  if (s.failures == 0) return;
+  std::printf("!! %s: %d loops failed:\n", label, s.failures);
+  for (const LoopResult& r : s.loops) {
+    if (!r.ok) std::printf("   %s: %s\n", r.loopName.c_str(), r.error.c_str());
+  }
+}
+
+}  // namespace rapt::bench

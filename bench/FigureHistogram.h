@@ -1,0 +1,52 @@
+// Shared implementation of Figures 5-7: the degradation histogram for one
+// cluster count, embedded and copy-unit series side by side.
+#pragma once
+
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+namespace rapt::bench {
+
+inline int runFigureHistogram(int clusters, const char* figure,
+                              const char* paperNote) {
+  const std::vector<Loop> loops = corpus();
+  const PipelineOptions opt = benchOptions();
+
+  DegradationHistogram hist[2];
+  for (int m = 0; m < 2; ++m) {
+    const CopyModel model = m == 0 ? CopyModel::Embedded : CopyModel::CopyUnit;
+    const MachineDesc machine = MachineDesc::paper16(clusters, model);
+    const SuiteResult s = runSuite(loops, machine, opt);
+    printFailures(s, machine.name.c_str());
+    hist[m] = s.histogram;
+  }
+
+  std::printf("%s. Achieved II on %d Clusters with %d Units Each\n", figure,
+              clusters, 16 / clusters);
+  std::printf("(percent of %zu loops per degradation bucket)\n\n", loops.size());
+  TextTable t;
+  t.row().cell("Bucket").cell("Embedded %").cell("Copy Unit %");
+  for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b) {
+    t.row()
+        .cell(DegradationHistogram::bucketLabel(b))
+        .cell(hist[0].percent(b), 1)
+        .cell(hist[1].percent(b), 1);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // A quick text bar chart of the headline series.
+  for (int m = 0; m < 2; ++m) {
+    std::printf("%s:\n", m == 0 ? "Embedded" : "Copy Unit");
+    for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b) {
+      const int bar = static_cast<int>(hist[m].percent(b) / 2.0 + 0.5);
+      std::printf("  %-6s |%s %.1f%%\n",
+                  DegradationHistogram::bucketLabel(b).c_str(),
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  hist[m].percent(b));
+    }
+  }
+  std::printf("\npaper: %s\n", paperNote);
+  return 0;
+}
+
+}  // namespace rapt::bench

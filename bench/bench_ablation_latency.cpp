@@ -1,0 +1,45 @@
+// Ablation A3: inter-cluster copy latency sensitivity. The paper uses 2
+// cycles for integer and 3 for floating copies and notes that Nystrom &
+// Eichenberger and Ozer et al. assume 1 cycle — one of the stated reasons
+// their degradations differ (§6.3). This sweep quantifies that effect.
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+using namespace rapt;
+using namespace rapt::bench;
+
+int main() {
+  const std::vector<Loop> loops = corpus();
+  struct LatCase {
+    int intCopy, fltCopy;
+    const char* note;
+  };
+  constexpr LatCase kCases[] = {
+      {1, 1, "Nystrom/Ozer assumption"},
+      {2, 3, "paper Section 6.1"},
+      {4, 6, "slow interconnect"},
+  };
+
+  TextTable t;
+  t.row().cell("Copy latency (int/flt)").cell("Clusters").cell("Model")
+      .cell("ArithMean").cell("0%-loops");
+  for (const LatCase& lc : kCases) {
+    for (int clusters : {2, 4, 8}) {
+      for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+        MachineDesc m = MachineDesc::paper16(clusters, model);
+        m.lat.intCopy = lc.intCopy;
+        m.lat.fltCopy = lc.fltCopy;
+        const SuiteResult s = runSuite(loops, m, benchOptions(/*simulate=*/false));
+        t.row()
+            .cell(std::to_string(lc.intCopy) + "/" + std::to_string(lc.fltCopy))
+            .cell(clusters)
+            .cell(copyModelName(model))
+            .cell(s.arithMeanNormalized, 1)
+            .cell(s.histogram.percent(0), 1);
+      }
+    }
+  }
+  std::printf("Ablation A3: copy latency sensitivity\n\n%s", t.render().c_str());
+  std::printf("\n(1/1 latency approximates the related work's machine assumptions)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation A2: the greedy RCG partitioner against the baselines (round-robin
+// spreading, uniform random, and a BUG-style bottom-up operation-DAG
+// partitioner after Ellis) on all three cluster counts, embedded model.
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+using namespace rapt;
+using namespace rapt::bench;
+
+int main() {
+  const std::vector<Loop> loops = corpus();
+  constexpr PartitionerKind kKinds[] = {
+      PartitionerKind::GreedyRcg, PartitionerKind::BugLike,
+      PartitionerKind::UasLike, PartitionerKind::RoundRobin,
+      PartitionerKind::Random};
+
+  TextTable t;
+  t.row().cell("Partitioner").cell("Clusters").cell("ArithMean").cell("HarmMean")
+      .cell("0%-loops").cell("copies/loop");
+  for (PartitionerKind kind : kKinds) {
+    for (int clusters : {2, 4, 8}) {
+      PipelineOptions opt = benchOptions(/*simulate=*/false);
+      opt.partitioner = kind;
+      const SuiteResult s =
+          runSuite(loops, MachineDesc::paper16(clusters, CopyModel::Embedded), opt);
+      t.row()
+          .cell(partitionerName(kind))
+          .cell(clusters)
+          .cell(s.arithMeanNormalized, 1)
+          .cell(s.harmMeanNormalized, 1)
+          .cell(s.histogram.percent(0), 1)
+          .cell(static_cast<double>(s.totalBodyCopies) /
+                    static_cast<double>(loops.size()),
+                1);
+    }
+  }
+  std::printf("Ablation A2: partitioner comparison (embedded model)\n\n%s",
+              t.render().c_str());
+  return 0;
+}

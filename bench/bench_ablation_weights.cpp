@@ -1,0 +1,60 @@
+// Ablation A1: sensitivity of the result to the reconstructed RCG weight
+// constants (the paper's exact formulas are garbled in the scan; DESIGN.md
+// documents our reconstruction). Sweeps each constant around its default on
+// the 4-cluster embedded machine and reports the corpus arithmetic mean
+// normalized kernel size. A flat response means the conclusions do not hang
+// on the reconstruction.
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+using namespace rapt;
+using namespace rapt::bench;
+
+namespace {
+
+double meanFor(const std::vector<Loop>& loops, const RcgWeights& w) {
+  PipelineOptions opt = benchOptions(/*simulate=*/false);
+  opt.weights = w;
+  const SuiteResult s =
+      runSuite(loops, MachineDesc::paper16(4, CopyModel::Embedded), opt);
+  return s.arithMeanNormalized;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Loop> loops = corpus();
+  TextTable t;
+  t.row().cell("Constant").cell("Value").cell("ArithMean(4cl,emb)");
+
+  const RcgWeights base;
+  t.row().cell("(defaults)").cell("-").cell(meanFor(loops, base), 1);
+
+  for (double v : {1.0, 2.0, 4.0, 8.0}) {
+    RcgWeights w = base;
+    w.critBonus = v;
+    t.row().cell("critBonus").cell(formatFixed(v, 1)).cell(meanFor(loops, w), 1);
+  }
+  for (double v : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    RcgWeights w = base;
+    w.sep = v;
+    t.row().cell("sep").cell(formatFixed(v, 2)).cell(meanFor(loops, w), 1);
+  }
+  for (double v : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    RcgWeights w = base;
+    w.balance = v;
+    t.row().cell("balance").cell(formatFixed(v, 1)).cell(meanFor(loops, w), 1);
+  }
+  for (double v : {1.0, 2.0, 10.0}) {
+    RcgWeights w = base;
+    w.depthBase = v;
+    t.row().cell("depthBase").cell(formatFixed(v, 0)).cell(meanFor(loops, w), 1);
+  }
+
+  std::printf("Ablation A1: RCG weight constants (lower mean = better)\n\n%s",
+              t.render().c_str());
+  std::printf(
+      "\nNote: balance=0 shows the balance term's contribution; sep=0 disables\n"
+      "the same-instruction separation rule entirely.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension E3: lifetime-sensitive scheduling (the Swing contrast, §6.3).
+//
+// The paper uses "standard" Rau modulo scheduling and notes that Nystrom &
+// Eichenberger's use of Swing scheduling — which minimizes register
+// lifetimes — "could have an effect on the partitioning of registers". This
+// bench measures the register-pressure half of that effect: with the
+// lifetime-compaction post-pass on, values rotate through fewer MVE names
+// and MaxLive falls, so small banks need fewer allocation-driven II
+// relaxations.
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+using namespace rapt;
+using namespace rapt::bench;
+
+int main() {
+  const std::vector<Loop> loops = corpus();
+
+  TextTable t;
+  t.row().cell("Regs/bank").cell("Compaction").cell("ArithMean")
+      .cell("loops w/ retries").cell("mean unroll").cell("failures");
+  for (int regs : {10, 12, 16, 32}) {
+    for (bool compact : {false, true}) {
+      MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+      m.intRegsPerBank = regs;
+      m.fltRegsPerBank = regs;
+      PipelineOptions opt = benchOptions(/*simulate=*/false);
+      opt.compactLifetimes = compact;
+      opt.maxAllocRetries = 16;
+      const SuiteResult s = runSuite(loops, m, opt);
+      int retried = 0;
+      double unroll = 0;
+      int n = 0;
+      for (const LoopResult& r : s.loops) {
+        if (!r.ok) continue;
+        if (r.allocRetries > 0) ++retried;
+        unroll += r.maxUnroll;
+        ++n;
+      }
+      t.row()
+          .cell(regs)
+          .cell(compact ? "on" : "off")
+          .cell(s.arithMeanNormalized, 1)
+          .cell(retried)
+          .cell(n ? unroll / n : 0.0, 2)
+          .cell(s.failures);
+    }
+  }
+  std::printf(
+      "Extension E3: lifetime compaction vs register pressure\n"
+      "(4 clusters x 4 FUs, embedded copies)\n\n%s",
+      t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Extension E1: iterative partition refinement (paper §7 future work).
+//
+// Nystrom & Eichenberger's iterating partitioner left only ~2% of loops
+// degraded vs ~5% for their non-iterative variant (§6.3). This bench measures
+// the same effect for our greedy partitioner: corpus degradation with 0, 1
+// and 3 refinement passes on every machine of the meta-model.
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+using namespace rapt;
+using namespace rapt::bench;
+
+int main() {
+  const std::vector<Loop> loops = corpus();
+
+  TextTable t;
+  t.row().cell("Machine").cell("Passes").cell("ArithMean").cell("0%-loops")
+      .cell("moves/loop");
+  for (int i = 0; i < 6; ++i) {
+    const MachineDesc m =
+        MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
+    for (int passes : {0, 1, 3}) {
+      PipelineOptions opt = benchOptions(/*simulate=*/false);
+      opt.refinePasses = passes;
+      const SuiteResult s = runSuite(loops, m, opt);
+      printFailures(s, m.name.c_str());
+      double moves = 0;
+      for (const LoopResult& r : s.loops) moves += r.refineMoves;
+      t.row()
+          .cell(m.name)
+          .cell(passes)
+          .cell(s.arithMeanNormalized, 1)
+          .cell(s.histogram.percent(0), 1)
+          .cell(moves / static_cast<double>(loops.size()), 2);
+    }
+  }
+  std::printf("Extension E1: iterative partition refinement\n\n%s",
+              t.render().c_str());
+  return 0;
+}

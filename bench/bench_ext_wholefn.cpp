@@ -1,0 +1,73 @@
+// Extension E2: whole-function partitioning (the paper's global framework).
+//
+// The authors previously measured ~11% degradation for whole programs on a
+// 4-wide machine with 4 single-FU clusters [16], and argue (§6.2) that
+// software-pipelined loops degrade MORE than whole programs because they pack
+// more parallelism. This bench runs the function pipeline over a corpus of
+// synthetic CFGs on the paper's machines plus that 4x1 configuration, so the
+// loop/function comparison is visible in one place.
+#include <cstdio>
+
+#include "pipeline/FunctionPipeline.h"
+#include "support/Stats.h"
+#include "support/TextTable.h"
+#include "workload/FunctionGenerator.h"
+
+using namespace rapt;
+
+namespace {
+
+void runCase(TextTable& t, const std::vector<Function>& fns, const MachineDesc& m) {
+  std::vector<double> normalized;
+  int copies = 0;
+  int allocFailures = 0;
+  for (const Function& fn : fns) {
+    const FunctionResult r = compileFunction(fn, m);
+    if (!r.ok) {
+      std::printf("!! %s on %s: %s\n", fn.name.c_str(), m.name.c_str(), r.error.c_str());
+      continue;
+    }
+    normalized.push_back(r.normalizedSize());
+    copies += r.copies;
+    if (!r.allocOk) ++allocFailures;
+  }
+  t.row()
+      .cell(m.name)
+      .cell(arithmeticMean(normalized), 1)
+      .cell(harmonicMean(normalized), 1)
+      .cell(static_cast<double>(copies) / static_cast<double>(fns.size()), 1)
+      .cell(allocFailures);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Function> fns = generateFunctionCorpus(FunctionGenParams{});
+  std::printf("Extension E2: whole-function partitioning over %zu synthetic CFGs\n\n",
+              fns.size());
+
+  TextTable t;
+  t.row().cell("Machine").cell("ArithMean").cell("HarmMean").cell("copies/fn")
+      .cell("alloc-failures");
+
+  // The configuration of the authors' earlier whole-program study [16]:
+  // 4-wide, 4 clusters of one FU each.
+  MachineDesc fourByOne;
+  fourByOne.name = "4-cluster-1fu";
+  fourByOne.numClusters = 4;
+  fourByOne.fusPerCluster = 1;
+  fourByOne.intRegsPerBank = 16;
+  fourByOne.fltRegsPerBank = 16;
+  runCase(t, fns, fourByOne);
+
+  for (int clusters : {2, 4, 8}) {
+    for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+      runCase(t, fns, MachineDesc::paper16(clusters, model));
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "paper reference: ~111 on the 4x1 machine for whole programs [16];\n"
+      "whole functions should degrade LESS than the pipelined-loop Table 2.\n");
+  return 0;
+}

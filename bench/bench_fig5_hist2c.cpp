@@ -1,0 +1,8 @@
+// Reproduces Figure 5: Achieved II on 2 Clusters with 8 Units Each.
+#include "FigureHistogram.h"
+
+int main() {
+  return rapt::bench::runFigureHistogram(
+      2, "Figure 5",
+      "roughly 60% of loops at 0.00% degradation; embedded dominates copy-unit");
+}

@@ -1,0 +1,72 @@
+// Compiler-throughput microbenchmarks (google-benchmark): how fast the
+// library's passes run. Not a paper experiment — a regression guard for the
+// implementation itself.
+#include <benchmark/benchmark.h>
+
+#include "ddg/Ddg.h"
+#include "partition/CopyInserter.h"
+#include "partition/GreedyPartitioner.h"
+#include "partition/Rcg.h"
+#include "pipeline/CompilerPipeline.h"
+#include "sched/ModuloScheduler.h"
+#include "sched/PipelinedCode.h"
+#include "workload/LoopGenerator.h"
+
+using namespace rapt;
+
+namespace {
+
+Loop benchLoop(int index) { return generateLoop(GeneratorParams{}, index); }
+
+void BM_DdgBuild(benchmark::State& state) {
+  const Loop loop = benchLoop(static_cast<int>(state.range(0)));
+  const MachineDesc m = MachineDesc::ideal16();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ddg::build(loop, m.lat));
+  }
+  state.SetLabel(std::to_string(loop.size()) + " ops");
+}
+BENCHMARK(BM_DdgBuild)->Arg(0)->Arg(8)->Arg(100);
+
+void BM_ModuloSchedule(benchmark::State& state) {
+  const Loop loop = benchLoop(static_cast<int>(state.range(0)));
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moduloSchedule(ddg, m, free));
+  }
+  state.SetLabel(std::to_string(loop.size()) + " ops");
+}
+BENCHMARK(BM_ModuloSchedule)->Arg(0)->Arg(8)->Arg(100);
+
+void BM_RcgBuildAndPartition(benchmark::State& state) {
+  const Loop loop = benchLoop(static_cast<int>(state.range(0)));
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto ideal = moduloSchedule(ddg, m, free);
+  for (auto _ : state) {
+    const Rcg rcg = Rcg::build(loop, ddg, ideal.schedule, RcgWeights{});
+    benchmark::DoNotOptimize(greedyPartition(rcg, 4, RcgWeights{}));
+  }
+  state.SetLabel(std::to_string(loop.size()) + " ops");
+}
+BENCHMARK(BM_RcgBuildAndPartition)->Arg(0)->Arg(8)->Arg(100);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const Loop loop = benchLoop(static_cast<int>(state.range(0)));
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compileLoop(loop, m, opt));
+  }
+  state.SetLabel(std::to_string(loop.size()) + " ops" +
+                 (opt.simulate ? " +sim" : ""));
+}
+BENCHMARK(BM_FullPipeline)->Args({8, 0})->Args({8, 1})->Args({100, 0})->Args({100, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Reproduces Table 1: "IPC of Clustered Software Pipelines".
+//
+// One row for the ideal 16-wide monolithic machine (the same value across
+// all columns) and one for the clustered machines. Embedded-model IPC counts
+// the inserted copies as issued operations; copy-unit IPC does not (paper
+// §6.2). Every compiled loop is also simulated and checked bit-exact against
+// the sequential reference.
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+using namespace rapt;
+using namespace rapt::bench;
+
+int main() {
+  const std::vector<Loop> loops = corpus();
+  const PipelineOptions opt = benchOptions();
+
+  // Ideal row: monolithic 16-wide.
+  const SuiteResult ideal = runSuite(loops, MachineDesc::ideal16(), opt);
+  printFailures(ideal, "ideal");
+
+  double clusteredIpc[6];
+  int validated = ideal.validatedCount;
+  for (int i = 0; i < 6; ++i) {
+    const MachineDesc m =
+        MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
+    const SuiteResult s = runSuite(loops, m, opt);
+    printFailures(s, m.name.c_str());
+    clusteredIpc[i] = s.meanClusteredIpc;
+    validated += s.validatedCount;
+  }
+
+  std::printf("Table 1. IPC of Clustered Software Pipelines (%zu loops)\n\n",
+              loops.size());
+  TextTable t;
+  t.row().cell("Model").cell("2cl Embed").cell("2cl CopyUnit").cell("4cl Embed")
+      .cell("4cl CopyUnit").cell("8cl Embed").cell("8cl CopyUnit");
+  t.row().cell("Ideal");
+  for (int i = 0; i < 6; ++i) t.cell(ideal.meanIdealIpc, 1);
+  t.row().cell("Clustered");
+  for (int i = 0; i < 6; ++i) t.cell(clusteredIpc[i], 1);
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper:  Ideal 8.6 everywhere; Clustered 9.3 / 6.2 / 8.4 / 7.5 / 6.9 / 6.8\n");
+  std::printf("(%d loop compilations validated bit-exact in simulation)\n", validated);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 2: "Degradation Over Ideal Schedules — Normalized".
+//
+// Kernel size (== II) of each partitioned loop normalized to 100 for its
+// ideal schedule; arithmetic and harmonic means over the corpus for all six
+// cluster/copy-model combinations.
+#include "BenchCommon.h"
+#include "support/TextTable.h"
+
+using namespace rapt;
+using namespace rapt::bench;
+
+int main() {
+  const std::vector<Loop> loops = corpus();
+  const PipelineOptions opt = benchOptions();
+
+  double arith[6], harm[6];
+  for (int i = 0; i < 6; ++i) {
+    const MachineDesc m =
+        MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
+    const SuiteResult s = runSuite(loops, m, opt);
+    printFailures(s, m.name.c_str());
+    arith[i] = s.arithMeanNormalized;
+    harm[i] = s.harmMeanNormalized;
+  }
+
+  std::printf("Table 2. Degradation Over Ideal Schedules -- Normalized (%zu loops)\n\n",
+              loops.size());
+  TextTable t;
+  t.row().cell("Average").cell("2cl Embed").cell("2cl CopyUnit").cell("4cl Embed")
+      .cell("4cl CopyUnit").cell("8cl Embed").cell("8cl CopyUnit");
+  t.row().cell("Arithmetic Mean");
+  for (int i = 0; i < 6; ++i) t.cell(arith[i], 0);
+  t.row().cell("Harmonic Mean");
+  for (int i = 0; i < 6; ++i) t.cell(harm[i], 0);
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper:  arithmetic 111 / 150 / 126 / 122 / 162 / 133\n");
+  std::printf("        harmonic   109 / 127 / 119 / 115 / 138 / 124\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "ddg/AffineIndex.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+/// Value of an affine expression one iteration earlier: k decreases by one.
+AffineVal shiftBack(const AffineVal& v) {
+  if (!v.known || !v.hasIV) return v;
+  AffineVal r = v;
+  r.offset -= 1;
+  return r;
+}
+
+AffineVal addConst(const AffineVal& v, std::int64_t c) {
+  if (!v.known) return AffineVal::unknown();
+  AffineVal r = v;
+  r.offset += c;
+  return r;
+}
+
+AffineVal addVals(const AffineVal& a, const AffineVal& b) {
+  if (!a.known || !b.known) return AffineVal::unknown();
+  if (a.hasIV && b.hasIV) return AffineVal::unknown();  // coefficient 2
+  if (a.invKey != AffineVal::kNoInv && b.invKey != AffineVal::kNoInv)
+    return AffineVal::unknown();  // sum of two symbols
+  AffineVal r;
+  r.known = true;
+  r.hasIV = a.hasIV || b.hasIV;
+  r.invKey = (a.invKey != AffineVal::kNoInv) ? a.invKey : b.invKey;
+  r.offset = a.offset + b.offset;
+  return r;
+}
+
+AffineVal subVals(const AffineVal& a, const AffineVal& b) {
+  if (!a.known || !b.known) return AffineVal::unknown();
+  // Pure constant subtrahend.
+  if (!b.hasIV && b.invKey == AffineVal::kNoInv) return addConst(a, -b.offset);
+  // Identical invariant bases cancel.
+  if (a.invKey == b.invKey) {
+    if (a.hasIV == b.hasIV) return AffineVal::constant(a.offset - b.offset);
+    if (a.hasIV && !b.hasIV) {
+      AffineVal r;
+      r.known = true;
+      r.hasIV = true;
+      r.offset = a.offset - b.offset;
+      return r;
+    }
+    return AffineVal::unknown();  // -k coefficient
+  }
+  // Subtracting an invariant from an expression without one keeps no affine
+  // form we track (a negative symbolic term).
+  return AffineVal::unknown();
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Loop& loop) : loop_(loop) {
+    // Seed every self-incrementing register (`r = iaddi r, 1`): its value is
+    // the iteration number plus its initial value. The canonical induction
+    // variable is one instance of this pattern.
+    for (const Operation& o : loop.body) {
+      if (o.op == Opcode::IAddImm && o.def == o.src[0] && o.imm == 1) {
+        AffineVal v;
+        v.known = true;
+        v.hasIV = true;
+        v.offset = initialOf(o.def) + 1;  // value after the k-th update
+        memo_[o.def.key()] = v;
+      }
+    }
+  }
+
+  /// Value read by a use of `r` at body position `pos`.
+  AffineVal valueAtUse(VirtReg r, int pos) {
+    if (r.cls() != RegClass::Int) return AffineVal::unknown();
+    const std::optional<int> d = loop_.defPos(r);
+    if (!d) {
+      // Loop invariant: a stable symbolic base.
+      AffineVal v;
+      v.known = true;
+      v.invKey = r.key();
+      return v;
+    }
+    const AffineVal post = postDefValue(r);
+    return (*d < pos) ? post : shiftBack(post);
+  }
+
+ private:
+  std::int64_t initialOf(VirtReg r) const {
+    for (const LiveInValue& lv : loop_.liveInValues)
+      if (lv.reg == r) return lv.i;
+    return 0;
+  }
+
+  AffineVal postDefValue(VirtReg r) {
+    auto it = memo_.find(r.key());
+    if (it != memo_.end()) return it->second;
+    if (inProgress_.count(r.key())) return AffineVal::unknown();  // non-induction cycle
+    inProgress_.insert(r.key());
+    const std::optional<int> d = loop_.defPos(r);
+    RAPT_ASSERT(d.has_value(), "postDefValue of undefined register");
+    const AffineVal v = evalDef(loop_.body[*d], *d);
+    inProgress_.erase(r.key());
+    memo_[r.key()] = v;
+    return v;
+  }
+
+  AffineVal evalDef(const Operation& o, int pos) {
+    switch (o.op) {
+      case Opcode::IConst:
+        return AffineVal::constant(o.imm);
+      case Opcode::IMov:
+      case Opcode::ICopy:
+        return valueAtUse(o.src[0], pos);
+      case Opcode::IAddImm:
+        return addConst(valueAtUse(o.src[0], pos), o.imm);
+      case Opcode::IAdd:
+        return addVals(valueAtUse(o.src[0], pos), valueAtUse(o.src[1], pos));
+      case Opcode::ISub:
+        return subVals(valueAtUse(o.src[0], pos), valueAtUse(o.src[1], pos));
+      default:
+        return AffineVal::unknown();
+    }
+  }
+
+  const Loop& loop_;
+  std::unordered_map<std::uint32_t, AffineVal> memo_;
+  std::set<std::uint32_t> inProgress_;
+};
+
+}  // namespace
+
+std::vector<MemAccess> analyzeMemAccesses(const Loop& loop) {
+  Analyzer an(loop);
+  std::vector<MemAccess> out(loop.body.size());
+  for (int i = 0; i < loop.size(); ++i) {
+    const Operation& o = loop.body[i];
+    if (!isMemory(o.op)) continue;
+    MemAccess& acc = out[i];
+    acc.opIndex = i;
+    acc.addr = an.valueAtUse(o.src[0], i);
+    if (acc.addr.known) acc.addr.offset += o.imm;
+  }
+  return out;
+}
+
+}  // namespace rapt

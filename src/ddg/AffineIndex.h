@@ -1,0 +1,56 @@
+// Affine analysis of integer index values inside a loop body.
+//
+// Memory dependence distances must be exact for modulo scheduling to be
+// honest; this pass classifies the value each integer register holds at each
+// body position as
+//
+//     value(k) = [k] + [Inv] + offset
+//
+// where k is the 0-based iteration number (contributed by the induction
+// variable), Inv an optional loop-invariant symbol, and offset a known
+// constant. Values that do not fit this form are Unknown and dependence
+// analysis falls back to conservative distance-0/1 edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/Loop.h"
+
+namespace rapt {
+
+struct AffineVal {
+  bool known = false;
+  bool hasIV = false;            ///< contributes one `k`
+  std::uint32_t invKey = kNoInv; ///< VirtReg::key() of an invariant base, or kNoInv
+  std::int64_t offset = 0;
+
+  static constexpr std::uint32_t kNoInv = ~0u;
+
+  [[nodiscard]] static AffineVal unknown() { return {}; }
+  [[nodiscard]] static AffineVal constant(std::int64_t c) {
+    AffineVal v;
+    v.known = true;
+    v.offset = c;
+    return v;
+  }
+
+  /// Two values are comparable if they differ only in `offset`; the
+  /// difference of offsets is then an exact iteration distance.
+  [[nodiscard]] bool comparableWith(const AffineVal& o) const {
+    return known && o.known && hasIV == o.hasIV && invKey == o.invKey;
+  }
+};
+
+/// The address expression of one memory operation: affine value of its index
+/// register at its body position, plus the constant offset.
+struct MemAccess {
+  int opIndex = -1;
+  AffineVal addr;  ///< element index as an affine value
+};
+
+/// Computes the address expression for every memory operation in `loop`.
+/// Non-memory operations get a default (opIndex == -1) entry.
+[[nodiscard]] std::vector<MemAccess> analyzeMemAccesses(const Loop& loop);
+
+}  // namespace rapt

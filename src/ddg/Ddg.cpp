@@ -1,0 +1,225 @@
+#include "ddg/Ddg.h"
+
+#include <algorithm>
+
+#include "ddg/AffineIndex.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+const char* depKindName(DepKind k) {
+  switch (k) {
+    case DepKind::RegTrue: return "reg-true";
+    case DepKind::MemTrue: return "mem-true";
+    case DepKind::MemAnti: return "mem-anti";
+    case DepKind::MemOutput: return "mem-output";
+  }
+  RAPT_UNREACHABLE("bad dep kind");
+}
+
+namespace {
+
+DepKind memDepKind(const Operation& from, const Operation& to) {
+  if (isStore(from.op) && isLoad(to.op)) return DepKind::MemTrue;
+  if (isLoad(from.op) && isStore(to.op)) return DepKind::MemAnti;
+  return DepKind::MemOutput;
+}
+
+/// Latency of a memory dependence edge. Stores commit at issue+lat(store);
+/// loads read at issue. True: the load must see the committed value. Anti:
+/// the store must not commit before the load has read. Output: commits must
+/// stay ordered.
+int memDepLatency(const Operation& from, const Operation& to, const LatencyTable& lat) {
+  if (isStore(from.op) && isLoad(to.op)) return lat.store;
+  if (isLoad(from.op) && isStore(to.op)) return 1 - lat.store;
+  return 1;
+}
+
+}  // namespace
+
+void Ddg::addEdge(DdgEdge e) {
+  RAPT_ASSERT(e.distance >= 0, "negative dependence distance");
+  RAPT_ASSERT(e.distance > 0 || e.from < e.to,
+              "distance-0 edge must follow body order");
+  edges_.push_back(e);
+}
+
+void Ddg::buildAdjacency() {
+  succ_.assign(numOps_, {});
+  pred_.assign(numOps_, {});
+  for (int i = 0; i < static_cast<int>(edges_.size()); ++i) {
+    succ_[edges_[i].from].push_back(i);
+    pred_[edges_[i].to].push_back(i);
+  }
+}
+
+Ddg Ddg::build(const Loop& loop, const LatencyTable& lat) {
+  Ddg g;
+  g.numOps_ = loop.size();
+
+  // Register flow dependences.
+  for (int u = 0; u < loop.size(); ++u) {
+    for (VirtReg s : loop.body[u].srcs()) {
+      const std::optional<int> d = loop.defPos(s);
+      if (!d) continue;  // loop invariant
+      DdgEdge e;
+      e.from = *d;
+      e.to = u;
+      e.latency = lat.of(loop.body[*d].op);
+      e.distance = (*d < u) ? 0 : 1;  // use-before-def reads previous iteration
+      e.kind = DepKind::RegTrue;
+      g.addEdge(e);
+    }
+  }
+
+  // Memory dependences.
+  const std::vector<MemAccess> accesses = analyzeMemAccesses(loop);
+  for (int a = 0; a < loop.size(); ++a) {
+    const Operation& opA = loop.body[a];
+    if (!isMemory(opA.op)) continue;
+    for (int b = a; b < loop.size(); ++b) {
+      const Operation& opB = loop.body[b];
+      if (!isMemory(opB.op)) continue;
+      if (opA.array != opB.array) continue;  // distinct arrays never alias
+      if (!isStore(opA.op) && !isStore(opB.op)) continue;  // load-load is free
+
+      const AffineVal& addrA = accesses[a].addr;
+      const AffineVal& addrB = accesses[b].addr;
+      if (addrA.comparableWith(addrB)) {
+        if (addrA.hasIV) {
+          // Accesses sweep the array: B at iteration k+delta touches what A
+          // touched at iteration k.
+          const std::int64_t delta = addrA.offset - addrB.offset;
+          if (a == b) continue;  // one op never self-conflicts across iterations
+          if (delta > 0) {
+            g.addEdge({a, b, memDepLatency(opA, opB, lat),
+                       static_cast<int>(delta), memDepKind(opA, opB)});
+          } else if (delta < 0) {
+            g.addEdge({b, a, memDepLatency(opB, opA, lat),
+                       static_cast<int>(-delta), memDepKind(opB, opA)});
+          } else {
+            g.addEdge({a, b, memDepLatency(opA, opB, lat), 0, memDepKind(opA, opB)});
+          }
+        } else {
+          // Both touch one fixed element every iteration.
+          if (a < b) {
+            g.addEdge({a, b, memDepLatency(opA, opB, lat), 0, memDepKind(opA, opB)});
+            g.addEdge({b, a, memDepLatency(opB, opA, lat), 1, memDepKind(opB, opA)});
+          } else {  // a == b: a store hitting the same element each iteration
+            g.addEdge({a, a, 1, 1, DepKind::MemOutput});
+          }
+        }
+      } else {
+        // Unknown relation: conservative order-preserving edges. A smaller
+        // distance only over-constrains the schedule, so this is safe.
+        if (a < b) {
+          g.addEdge({a, b, memDepLatency(opA, opB, lat), 0, memDepKind(opA, opB)});
+          g.addEdge({b, a, memDepLatency(opB, opA, lat), 1, memDepKind(opB, opA)});
+        } else {
+          g.addEdge({a, a, 1, 1, DepKind::MemOutput});
+        }
+      }
+    }
+  }
+
+  g.buildAdjacency();
+  return g;
+}
+
+Ddg Ddg::fromEdges(int numOps, std::vector<DdgEdge> edges) {
+  Ddg g;
+  g.numOps_ = numOps;
+  for (DdgEdge& e : edges) {
+    RAPT_ASSERT(e.from >= 0 && e.from < numOps && e.to >= 0 && e.to < numOps,
+                "edge endpoint out of range");
+    g.addEdge(e);
+  }
+  g.buildAdjacency();
+  return g;
+}
+
+int Ddg::resII(const MachineDesc& machine) const {
+  if (numOps_ == 0) return 1;
+  return std::max(1, (numOps_ + machine.width() - 1) / machine.width());
+}
+
+bool Ddg::feasibleII(int ii) const {
+  // Positive-cycle detection on weights (lat - ii*dist), Bellman-Ford style.
+  std::vector<long long> d(numOps_, 0);
+  for (int pass = 0; pass < numOps_; ++pass) {
+    bool changed = false;
+    for (const DdgEdge& e : edges_) {
+      const long long w = static_cast<long long>(e.latency) -
+                          static_cast<long long>(ii) * e.distance;
+      if (d[e.from] + w > d[e.to]) {
+        d[e.to] = d[e.from] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  // One more pass: any further relaxation implies a positive cycle.
+  for (const DdgEdge& e : edges_) {
+    const long long w = static_cast<long long>(e.latency) -
+                        static_cast<long long>(ii) * e.distance;
+    if (d[e.from] + w > d[e.to]) return false;
+  }
+  return true;
+}
+
+int Ddg::recII() const {
+  int lo = 1;
+  int hi = 1;
+  for (const DdgEdge& e : edges_) hi += std::max(0, e.latency);
+  if (feasibleII(lo)) return 1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (feasibleII(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+int Ddg::minII(const MachineDesc& machine) const {
+  return std::max(resII(machine), recII());
+}
+
+std::vector<int> Ddg::heights(int ii) const {
+  std::vector<int> h(numOps_, 0);
+  for (int pass = 0; pass < numOps_ + 1; ++pass) {
+    bool changed = false;
+    for (const DdgEdge& e : edges_) {
+      const int w = e.latency - ii * e.distance;
+      if (h[e.to] + w > h[e.from]) {
+        h[e.from] = h[e.to] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return h;
+  }
+  RAPT_UNREACHABLE("heights did not converge: positive cycle (infeasible II)");
+}
+
+std::vector<int> Ddg::flexibility(std::span<const int> cycle, int ii,
+                                  int horizon) const {
+  RAPT_ASSERT(static_cast<int>(cycle.size()) == numOps_, "cycle vector size");
+  std::vector<int> flex(numOps_, 1);
+  for (int o = 0; o < numOps_; ++o) {
+    int earliest = 0;
+    for (int ei : pred_[o]) {
+      const DdgEdge& e = edges_[ei];
+      earliest = std::max(earliest, cycle[e.from] + e.latency - ii * e.distance);
+    }
+    int latest = horizon;
+    for (int ei : succ_[o]) {
+      const DdgEdge& e = edges_[ei];
+      latest = std::min(latest, cycle[e.to] - e.latency + ii * e.distance);
+    }
+    flex[o] = std::max(1, latest - earliest + 1);
+  }
+  return flex;
+}
+
+}  // namespace rapt

@@ -1,0 +1,87 @@
+// Data dependence graph of a loop body (the paper's "DDD").
+//
+// Nodes are body operations; edges carry (latency, iteration distance). A
+// schedule assigning start cycle t(o) at initiation interval II is legal iff
+// for every edge (a -> b, lat, dist):   t(b) >= t(a) + lat - II * dist.
+//
+// Register anti- and output-dependences are intentionally absent: every
+// virtual register has a single definition per body and modulo variable
+// expansion renames per-iteration instances, so only flow (true) register
+// dependences constrain the schedule. Memory is not renamable, so memory
+// true/anti/output edges are all present, with exact distances when the
+// affine index analysis succeeds and conservative distance-0/1 edges when it
+// does not.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ir/Loop.h"
+#include "machine/MachineDesc.h"
+
+namespace rapt {
+
+enum class DepKind : std::uint8_t { RegTrue, MemTrue, MemAnti, MemOutput };
+
+[[nodiscard]] const char* depKindName(DepKind k);
+
+struct DdgEdge {
+  int from = 0;
+  int to = 0;
+  int latency = 0;   ///< may be negative (memory anti-dependences)
+  int distance = 0;  ///< iterations; >= 0, and > 0 when from is not before to
+  DepKind kind = DepKind::RegTrue;
+};
+
+class Ddg {
+ public:
+  /// Builds the dependence graph of `loop` under the latencies of `lat`.
+  [[nodiscard]] static Ddg build(const Loop& loop, const LatencyTable& lat);
+
+  /// Builds directly from an explicit edge list (e.g. a graph derived from
+  /// another Ddg with adjusted latencies, as in partition/RemoteAccess).
+  [[nodiscard]] static Ddg fromEdges(int numOps, std::vector<DdgEdge> edges);
+
+  [[nodiscard]] int numOps() const { return numOps_; }
+  [[nodiscard]] std::span<const DdgEdge> edges() const { return edges_; }
+  /// Edge indices leaving / entering `op`.
+  [[nodiscard]] std::span<const int> succEdges(int op) const { return succ_[op]; }
+  [[nodiscard]] std::span<const int> predEdges(int op) const { return pred_[op]; }
+  [[nodiscard]] const DdgEdge& edge(int idx) const { return edges_[idx]; }
+
+  /// Resource-constrained minimum II on `machine`, assuming every operation
+  /// may issue on any functional unit (the pre-partitioning state).
+  [[nodiscard]] int resII(const MachineDesc& machine) const;
+
+  /// Recurrence-constrained minimum II: the smallest II for which no
+  /// dependence cycle has positive slack-weight (lat - II*dist summed > 0).
+  [[nodiscard]] int recII() const;
+
+  /// max(resII, recII).
+  [[nodiscard]] int minII(const MachineDesc& machine) const;
+
+  /// True if an II admits some schedule as far as recurrences are concerned.
+  [[nodiscard]] bool feasibleII(int ii) const;
+
+  /// Longest-path "height" of each op to any graph sink at the given II
+  /// (Rau's scheduling priority): height(o) = max over succ edges
+  /// (height(succ) + lat - II*dist), 0 at sinks. Requires feasibleII(ii).
+  [[nodiscard]] std::vector<int> heights(int ii) const;
+
+  /// Per-op Flexibility at a given (feasible) schedule: slack + 1, where
+  /// slack is the scheduling freedom of the op between its scheduled
+  /// predecessors and successors (paper §5). `cycle[o]` is the op's start
+  /// cycle; `horizon` is the last cycle of the flat schedule.
+  [[nodiscard]] std::vector<int> flexibility(std::span<const int> cycle,
+                                             int ii, int horizon) const;
+
+ private:
+  void addEdge(DdgEdge e);
+  void buildAdjacency();
+
+  int numOps_ = 0;
+  std::vector<DdgEdge> edges_;
+  std::vector<std::vector<int>> succ_, pred_;
+};
+
+}  // namespace rapt

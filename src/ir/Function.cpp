@@ -1,0 +1,29 @@
+#include "ir/Function.h"
+
+#include <algorithm>
+
+namespace rapt {
+
+std::vector<VirtReg> Function::allRegs() const {
+  std::vector<VirtReg> regs;
+  for (const BasicBlock& bb : blocks) {
+    for (const Operation& o : bb.ops) {
+      if (o.def.isValid()) regs.push_back(o.def);
+      for (VirtReg s : o.srcs()) regs.push_back(s);
+    }
+  }
+  std::sort(regs.begin(), regs.end());
+  regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+  return regs;
+}
+
+bool hasDefinition(const Function& fn, VirtReg r) {
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Operation& o : bb.ops) {
+      if (o.def.isValid() && o.def == r) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rapt

@@ -1,0 +1,53 @@
+// Whole-function representation: a control-flow graph of basic blocks.
+//
+// The paper's framework "is global in nature" (§1) and the greedy method
+// "works on a function basis" (§6.3); the experimental pipeline operates on
+// software-pipelined loops, but the register component graph, the list
+// scheduler, and the Chaitin/Briggs allocator all accept functions too. This
+// CFG is deliberately simple: straight-line blocks of the same Operation
+// vocabulary plus explicit successor edges (loop control is abstract, as in
+// Loop).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/Operation.h"
+
+namespace rapt {
+
+struct BasicBlock {
+  std::vector<Operation> ops;
+  std::vector<int> succs;   ///< indices into Function::blocks
+  int nestingDepth = 0;     ///< loop-nest depth (RCG weighting)
+};
+
+class Function {
+ public:
+  std::string name = "fn";
+  std::vector<ArrayDecl> arrays;
+  std::vector<BasicBlock> blocks;  ///< blocks[0] is the entry
+
+  ArrayId addArray(std::string arrName, std::int64_t size, bool isFloat) {
+    arrays.push_back(ArrayDecl{std::move(arrName), size, isFloat});
+    return static_cast<ArrayId>(arrays.size() - 1);
+  }
+
+  [[nodiscard]] int numBlocks() const { return static_cast<int>(blocks.size()); }
+
+  /// Predecessor lists derived from the successor edges.
+  [[nodiscard]] std::vector<std::vector<int>> predecessors() const {
+    std::vector<std::vector<int>> preds(blocks.size());
+    for (int b = 0; b < numBlocks(); ++b)
+      for (int s : blocks[b].succs) preds[s].push_back(b);
+    return preds;
+  }
+
+  /// All registers mentioned anywhere in the function (sorted, unique).
+  [[nodiscard]] std::vector<VirtReg> allRegs() const;
+};
+
+/// True if any operation in `fn` defines `r`.
+[[nodiscard]] bool hasDefinition(const Function& fn, VirtReg r);
+
+}  // namespace rapt

@@ -1,0 +1,111 @@
+#include "ir/Loop.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+ArrayId Loop::addArray(std::string arrName, std::int64_t size, bool isFloat) {
+  arrays.push_back(ArrayDecl{std::move(arrName), size, isFloat});
+  return static_cast<ArrayId>(arrays.size() - 1);
+}
+
+VirtReg Loop::freshReg(RegClass rc) const {
+  std::uint32_t next = 0;
+  auto note = [&](VirtReg r) {
+    if (r.isValid() && r.cls() == rc) next = std::max(next, r.index() + 1);
+  };
+  for (const Operation& o : body) {
+    note(o.def);
+    for (VirtReg s : o.srcs()) note(s);
+  }
+  note(induction);
+  for (const LiveInValue& lv : liveInValues) note(lv.reg);
+  return VirtReg(rc, next);
+}
+
+std::optional<int> Loop::defPos(VirtReg r) const {
+  for (int i = 0; i < size(); ++i) {
+    if (body[i].def.isValid() && body[i].def == r) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<VirtReg> Loop::allRegs() const {
+  std::vector<VirtReg> regs;
+  for (const Operation& o : body) {
+    if (o.def.isValid()) regs.push_back(o.def);
+    for (VirtReg s : o.srcs()) regs.push_back(s);
+  }
+  std::sort(regs.begin(), regs.end());
+  regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+  return regs;
+}
+
+std::vector<VirtReg> Loop::invariants() const {
+  std::vector<VirtReg> result;
+  for (VirtReg r : allRegs()) {
+    if (!defPos(r)) result.push_back(r);
+  }
+  return result;
+}
+
+bool Loop::isCarriedUse(int opIdx, VirtReg r) const {
+  const std::optional<int> d = defPos(r);
+  return d && *d >= opIdx;
+}
+
+std::optional<std::string> validate(const Loop& loop) {
+  auto err = [&](int idx, const std::string& what) -> std::optional<std::string> {
+    std::ostringstream os;
+    os << "loop '" << loop.name << "' op " << idx << ": " << what;
+    return os.str();
+  };
+
+  std::vector<VirtReg> defined;
+  for (int i = 0; i < loop.size(); ++i) {
+    const Operation& o = loop.body[i];
+    if (o.op >= Opcode::kCount_) return err(i, "invalid opcode");
+    const OpcodeInfo& info = o.info();
+    if (info.hasDef != o.def.isValid())
+      return err(i, "definition operand does not match opcode");
+    if (info.hasDef && o.def.cls() != info.defCls)
+      return err(i, "definition register class mismatch");
+    for (int s = 0; s < info.numSrcs; ++s) {
+      if (!o.src[s].isValid()) return err(i, "missing source operand");
+      if (o.src[s].cls() != info.srcCls[s])
+        return err(i, "source register class mismatch");
+    }
+    if (isMemory(o.op)) {
+      if (o.array == kNoArray || o.array >= loop.arrays.size())
+        return err(i, "memory operation references unknown array");
+      const bool fltOp = (o.op == Opcode::FLoad || o.op == Opcode::FStore);
+      if (loop.arrays[o.array].isFloat != fltOp)
+        return err(i, "memory operation element type does not match array");
+    }
+    if (info.hasDef) {
+      if (std::find(defined.begin(), defined.end(), o.def) != defined.end())
+        return err(i, "register defined more than once in body");
+      defined.push_back(o.def);
+    }
+  }
+
+  if (loop.induction.isValid()) {
+    if (loop.induction.cls() != RegClass::Int)
+      return std::optional<std::string>("loop '" + loop.name +
+                                        "': induction register must be integer");
+    const std::optional<int> d = loop.defPos(loop.induction);
+    if (!d)
+      return std::optional<std::string>("loop '" + loop.name +
+                                        "': induction register is never updated");
+    const Operation& upd = loop.body[*d];
+    if (upd.op != Opcode::IAddImm || upd.src[0] != loop.induction || upd.imm != 1)
+      return std::optional<std::string>(
+          "loop '" + loop.name + "': induction update must be `iaddi iv, iv, 1`");
+  }
+  return std::nullopt;
+}
+
+}  // namespace rapt

@@ -1,0 +1,76 @@
+// Single-block innermost loop representation.
+//
+// This is the unit the paper's evaluation operates on: "211 loops ... that
+// were all single-block innermost loops" (§6.3). A Loop is a straight-line
+// body executed `trip` times.
+//
+// Register semantics (quasi-SSA per iteration):
+//   * each virtual register has at most one definition in the body;
+//   * a use that appears *before* (or at) its definition in body order reads
+//     the value produced in the PREVIOUS iteration (loop-carried, distance 1);
+//     on iteration 0 it reads the register's initial (live-in) value;
+//   * a register used but never defined in the body is a loop invariant.
+//
+// The induction variable, when present, must be defined by
+// `iaddi iv, iv, 1`, so its value at any use placed before that definition is
+// exactly the 0-based iteration number; memory dependence analysis exploits
+// this (see ddg/AffineIndex).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/Operation.h"
+
+namespace rapt {
+
+/// Initial value of a register that is live into the loop (loop invariants
+/// and the iteration-0 inputs of recurrences). Registers without an entry
+/// default to zero.
+struct LiveInValue {
+  VirtReg reg;
+  std::int64_t i = 0;  ///< used when reg is an integer register
+  double f = 0.0;      ///< used when reg is a floating register
+};
+
+class Loop {
+ public:
+  std::string name = "loop";
+  int nestingDepth = 1;          ///< loop-nest depth of the block (RCG weighting)
+  std::int64_t trip = 64;        ///< default trip count for simulation
+  std::vector<ArrayDecl> arrays;
+  std::vector<Operation> body;
+  VirtReg induction;             ///< invalid when the loop has no memory ops
+  std::vector<LiveInValue> liveInValues;
+
+  /// Declare a memory object; returns its id.
+  ArrayId addArray(std::string arrName, std::int64_t size, bool isFloat);
+
+  /// A fresh register of class `rc`, with index above any register mentioned
+  /// so far (body, induction, live-in list).
+  [[nodiscard]] VirtReg freshReg(RegClass rc) const;
+
+  /// Position of the (unique) definition of `r` in the body, if any.
+  [[nodiscard]] std::optional<int> defPos(VirtReg r) const;
+
+  /// All registers mentioned in the body (sorted by key, unique).
+  [[nodiscard]] std::vector<VirtReg> allRegs() const;
+
+  /// Registers read by the body but never defined in it (loop invariants).
+  [[nodiscard]] std::vector<VirtReg> invariants() const;
+
+  /// True if the use of `r` by body[opIdx] reads the previous iteration's
+  /// value (its definition is at or after opIdx, or `r` is never defined but
+  /// that case is an invariant, not a carried use).
+  [[nodiscard]] bool isCarriedUse(int opIdx, VirtReg r) const;
+
+  /// Number of operations in the body.
+  [[nodiscard]] int size() const { return static_cast<int>(body.size()); }
+};
+
+/// Structural validation; returns an error description or nullopt if valid.
+[[nodiscard]] std::optional<std::string> validate(const Loop& loop);
+
+}  // namespace rapt

@@ -1,0 +1,58 @@
+#include "ir/Opcode.h"
+
+#include <array>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+constexpr RegClass I = RegClass::Int;
+constexpr RegClass F = RegClass::Flt;
+
+constexpr OpcodeInfo kTable[kNumOpcodes] = {
+    // name       lat                 kind           def    defC  n  srcC      imm    fimm
+    {"iconst",    LatClass::IntAlu,   OpKind::Const, true,  I,    0, {I, I},   true,  false},
+    {"imov",      LatClass::IntAlu,   OpKind::Arith, true,  I,    1, {I, I},   false, false},
+    {"iadd",      LatClass::IntAlu,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"isub",      LatClass::IntAlu,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"imul",      LatClass::IntMul,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"idiv",      LatClass::IntDiv,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"iand",      LatClass::IntAlu,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"ior",       LatClass::IntAlu,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"ixor",      LatClass::IntAlu,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"ishl",      LatClass::IntAlu,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"ishr",      LatClass::IntAlu,   OpKind::Arith, true,  I,    2, {I, I},   false, false},
+    {"iaddi",     LatClass::IntAlu,   OpKind::Arith, true,  I,    1, {I, I},   true,  false},
+    {"itof",      LatClass::FltOther, OpKind::Arith, true,  F,    1, {I, I},   false, false},
+    {"iload",     LatClass::Load,     OpKind::Load,  true,  I,    1, {I, I},   true,  false},
+    {"istore",    LatClass::Store,    OpKind::Store, false, I,    2, {I, I},   true,  false},
+    {"icpy",      LatClass::IntCopy,  OpKind::Copy,  true,  I,    1, {I, I},   false, false},
+    {"fconst",    LatClass::FltOther, OpKind::Const, true,  F,    0, {I, I},   false, true},
+    {"fmov",      LatClass::FltOther, OpKind::Arith, true,  F,    1, {F, F},   false, false},
+    {"fadd",      LatClass::FltOther, OpKind::Arith, true,  F,    2, {F, F},   false, false},
+    {"fsub",      LatClass::FltOther, OpKind::Arith, true,  F,    2, {F, F},   false, false},
+    {"fmul",      LatClass::FltMul,   OpKind::Arith, true,  F,    2, {F, F},   false, false},
+    {"fdiv",      LatClass::FltDiv,   OpKind::Arith, true,  F,    2, {F, F},   false, false},
+    {"ftoi",      LatClass::FltOther, OpKind::Arith, true,  I,    1, {F, F},   false, false},
+    {"fload",     LatClass::Load,     OpKind::Load,  true,  F,    1, {I, I},   true,  false},
+    {"fstore",    LatClass::Store,    OpKind::Store, false, I,    2, {I, F},   true,  false},
+    {"fcpy",      LatClass::FltCopy,  OpKind::Copy,  true,  F,    1, {F, F},   false, false},
+};
+
+}  // namespace
+
+const OpcodeInfo& opcodeInfo(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  RAPT_ASSERT(idx < static_cast<std::size_t>(kNumOpcodes), "bad opcode");
+  return kTable[idx];
+}
+
+Opcode opcodeFromName(std::string_view name) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    if (kTable[i].name == name) return static_cast<Opcode>(i);
+  }
+  return Opcode::kCount_;
+}
+
+}  // namespace rapt

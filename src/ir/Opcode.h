@@ -1,0 +1,91 @@
+// Opcode vocabulary of the rapt intermediate code.
+//
+// The operation set is the minimum a Fortran-77 innermost loop needs (the
+// paper's corpus is Spec95 Fortran loops): integer and floating arithmetic,
+// array loads/stores, conversions, and the two explicit cross-bank copy
+// opcodes the partitioning framework inserts (ICPY/FCPY).
+//
+// Loop control is deliberately absent from loop bodies: the simulated target
+// has counted-loop hardware (TI C6x / IA-64 `br.ctop` style), so the
+// initiation interval is bounded only by data dependences and functional-unit
+// resources, matching the paper's measurement of kernel size == II.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "ir/Reg.h"
+
+namespace rapt {
+
+enum class Opcode : std::uint8_t {
+  // Integer.
+  IConst,  ///< def = imm
+  IMov,    ///< def = src0
+  IAdd, ISub, IMul, IDiv, IAnd, IOr, IXor, IShl, IShr,
+  IAddImm,  ///< def = src0 + imm (address arithmetic, induction update)
+  IToF,     ///< def(flt) = (double)src0(int)
+  ILoad,    ///< def = array[src0 + imm]
+  IStore,   ///< array[src0 + imm] = src1
+  ICopy,    ///< cross-bank copy: def(bank B) = src0(bank A)
+  // Floating point.
+  FConst,  ///< def = fimm
+  FMov,    ///< def = src0
+  FAdd, FSub, FMul, FDiv,
+  FToI,    ///< def(int) = (int64)src0(flt)
+  FLoad,   ///< def = array[src0 + imm]
+  FStore,  ///< array[src0 + imm] = src1
+  FCopy,   ///< cross-bank copy
+  kCount_,
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount_);
+
+/// Latency/resource class; the machine model maps these to cycle counts
+/// (paper §6.1 lists the latency of each class).
+enum class LatClass : std::uint8_t {
+  IntAlu,   ///< "other integer instructions": 1 cycle
+  IntMul,   ///< 5 cycles
+  IntDiv,   ///< 12 cycles
+  Load,     ///< 2 cycles
+  Store,    ///< 4 cycles (store-to-load visibility)
+  FltOther, ///< "other floating point": 2 cycles
+  FltMul,   ///< 2 cycles
+  FltDiv,   ///< 2 cycles
+  IntCopy,  ///< inter-cluster integer copy: 2 cycles
+  FltCopy,  ///< inter-cluster floating copy: 3 cycles
+};
+
+/// Broad structural kind, used by dependence analysis and the simulator.
+enum class OpKind : std::uint8_t { Const, Arith, Load, Store, Copy };
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  std::string_view name;
+  LatClass lat;
+  OpKind kind;
+  bool hasDef;
+  RegClass defCls;                 // meaningful iff hasDef
+  std::uint8_t numSrcs;            // 0..2
+  RegClass srcCls[2];              // meaningful for i < numSrcs
+  bool hasImm;                     // integer immediate operand
+  bool hasFimm;                    // floating immediate operand
+};
+
+/// Lookup table entry for `op`.
+[[nodiscard]] const OpcodeInfo& opcodeInfo(Opcode op);
+
+[[nodiscard]] inline std::string_view opcodeName(Opcode op) { return opcodeInfo(op).name; }
+[[nodiscard]] inline bool isMemory(Opcode op) {
+  const OpKind k = opcodeInfo(op).kind;
+  return k == OpKind::Load || k == OpKind::Store;
+}
+[[nodiscard]] inline bool isLoad(Opcode op) { return opcodeInfo(op).kind == OpKind::Load; }
+[[nodiscard]] inline bool isStore(Opcode op) { return opcodeInfo(op).kind == OpKind::Store; }
+[[nodiscard]] inline bool isCopy(Opcode op) { return opcodeInfo(op).kind == OpKind::Copy; }
+
+/// Parse an opcode mnemonic; returns kCount_ on failure.
+[[nodiscard]] Opcode opcodeFromName(std::string_view name);
+
+}  // namespace rapt

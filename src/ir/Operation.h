@@ -1,0 +1,124 @@
+// A single three-address operation of the intermediate code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "ir/Opcode.h"
+#include "ir/Reg.h"
+
+namespace rapt {
+
+/// Identifier of a named array (the memory objects of a loop). Arrays never
+/// alias each other; indices are analyzed affinely for dependence distances.
+using ArrayId = std::uint32_t;
+constexpr ArrayId kNoArray = ~0u;
+
+/// A named, non-aliasing memory object.
+struct ArrayDecl {
+  std::string name;
+  std::int64_t size = 0;  ///< element count
+  bool isFloat = false;   ///< element type
+};
+
+/// One operation. Plain value type; the opcode determines which fields are
+/// meaningful (see OpcodeInfo).
+///
+/// Memory addressing is `array[src0 + imm]` where src0 is an integer index
+/// register (typically derived from the loop induction variable) and imm a
+/// constant element offset.
+struct Operation {
+  Opcode op = Opcode::kCount_;
+  VirtReg def;                   ///< invalid when the opcode has no result
+  std::array<VirtReg, 2> src{};  ///< src[0..numSrcs-1]
+  std::int64_t imm = 0;          ///< integer immediate / memory offset
+  double fimm = 0.0;             ///< floating immediate (FConst)
+  ArrayId array = kNoArray;      ///< memory operations only
+
+  [[nodiscard]] const OpcodeInfo& info() const { return opcodeInfo(op); }
+  [[nodiscard]] int numSrcs() const { return info().numSrcs; }
+  [[nodiscard]] bool hasDef() const { return info().hasDef; }
+  [[nodiscard]] std::span<const VirtReg> srcs() const {
+    return {src.data(), static_cast<std::size_t>(numSrcs())};
+  }
+
+  /// True if this operation reads `r`.
+  [[nodiscard]] bool uses(VirtReg r) const {
+    for (VirtReg s : srcs())
+      if (s == r) return true;
+    return false;
+  }
+};
+
+// ---- Convenience constructors -------------------------------------------
+
+[[nodiscard]] inline Operation makeIConst(VirtReg def, std::int64_t value) {
+  Operation o;
+  o.op = Opcode::IConst;
+  o.def = def;
+  o.imm = value;
+  return o;
+}
+
+[[nodiscard]] inline Operation makeFConst(VirtReg def, double value) {
+  Operation o;
+  o.op = Opcode::FConst;
+  o.def = def;
+  o.fimm = value;
+  return o;
+}
+
+[[nodiscard]] inline Operation makeUnary(Opcode op, VirtReg def, VirtReg s0,
+                                         std::int64_t imm = 0) {
+  Operation o;
+  o.op = op;
+  o.def = def;
+  o.src[0] = s0;
+  o.imm = imm;
+  return o;
+}
+
+[[nodiscard]] inline Operation makeBinary(Opcode op, VirtReg def, VirtReg s0, VirtReg s1) {
+  Operation o;
+  o.op = op;
+  o.def = def;
+  o.src[0] = s0;
+  o.src[1] = s1;
+  return o;
+}
+
+[[nodiscard]] inline Operation makeLoad(Opcode op, VirtReg def, ArrayId array, VirtReg idx,
+                                        std::int64_t offset = 0) {
+  Operation o;
+  o.op = op;
+  o.def = def;
+  o.src[0] = idx;
+  o.imm = offset;
+  o.array = array;
+  return o;
+}
+
+[[nodiscard]] inline Operation makeStore(Opcode op, ArrayId array, VirtReg idx,
+                                         VirtReg value, std::int64_t offset = 0) {
+  Operation o;
+  o.op = op;
+  o.src[0] = idx;
+  o.src[1] = value;
+  o.imm = offset;
+  o.array = array;
+  return o;
+}
+
+/// Cross-bank copy of `s0` into `def` (classes must match; ICopy/FCopy chosen
+/// by class).
+[[nodiscard]] inline Operation makeCopy(VirtReg def, VirtReg s0) {
+  Operation o;
+  o.op = (def.cls() == RegClass::Int) ? Opcode::ICopy : Opcode::FCopy;
+  o.def = def;
+  o.src[0] = s0;
+  return o;
+}
+
+}  // namespace rapt

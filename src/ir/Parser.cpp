@@ -1,0 +1,465 @@
+#include "ir/Parser.h"
+
+#include "ir/Function.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <optional>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+enum class TokKind { Ident, IntLit, FltLit, Punct, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;       // Ident / literal spelling
+  std::int64_t ival = 0;  // IntLit
+  double fval = 0.0;      // FltLit
+  char punct = 0;         // Punct
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skipSpaceAndComments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) return t;  // End
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+        ++pos_;
+      t.kind = TokKind::Ident;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      return lexNumber();
+    }
+    switch (c) {
+      case '{': case '}': case '[': case ']': case '=': case ',': case '+': case '-': case '>':
+        ++pos_;
+        t.kind = TokKind::Punct;
+        t.punct = c;
+        return t;
+      default:
+        throw ParseError(line_, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  Token lexNumber() {
+    Token t;
+    t.line = line_;
+    std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool isFloat = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        isFloat = true;
+        ++pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-') &&
+            (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))
+          ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string spelling(text_.substr(start, pos_ - start));
+    t.text = spelling;
+    if (isFloat) {
+      t.kind = TokKind::FltLit;
+      t.fval = std::strtod(spelling.c_str(), nullptr);
+    } else {
+      t.kind = TokKind::IntLit;
+      auto [p, ec] = std::from_chars(spelling.data(), spelling.data() + spelling.size(),
+                                     t.ival);
+      if (ec != std::errc{}) throw ParseError(line_, "bad integer literal " + spelling);
+    }
+    return t;
+  }
+
+  void skipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Parses "iN"/"fN" idents into registers.
+std::optional<VirtReg> regFromIdent(const std::string& ident) {
+  if (ident.size() < 2) return std::nullopt;
+  RegClass rc;
+  if (ident[0] == 'i')
+    rc = RegClass::Int;
+  else if (ident[0] == 'f')
+    rc = RegClass::Flt;
+  else
+    return std::nullopt;
+  std::uint32_t idx = 0;
+  auto [p, ec] = std::from_chars(ident.data() + 1, ident.data() + ident.size(), idx);
+  if (ec != std::errc{} || p != ident.data() + ident.size()) return std::nullopt;
+  return VirtReg(rc, idx);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  std::vector<Loop> parseAll() {
+    std::vector<Loop> loops;
+    while (cur_.kind != TokKind::End) loops.push_back(parseOne());
+    return loops;
+  }
+
+  std::vector<Function> parseAllFunctions() {
+    std::vector<Function> fns;
+    while (cur_.kind != TokKind::End) fns.push_back(parseOneFunction());
+    return fns;
+  }
+
+  Function parseOneFunction() {
+    expectKeyword("function");
+    Function fn;
+    fn.name = expectIdent("function name");
+    expectPunct('{');
+    std::vector<std::string> blockNames;
+    std::vector<std::vector<std::string>> succNames;
+    while (!isPunct('}')) {
+      if (cur_.kind != TokKind::Ident)
+        throw ParseError(cur_.line, "expected 'array' or 'block'");
+      if (cur_.text == "array") {
+        advance();
+        parseArrayDecl(fn.arrays);
+        continue;
+      }
+      expectKeyword("block");
+      BasicBlock bb;
+      const std::string blockName = expectIdent("block name");
+      if (cur_.kind == TokKind::Ident && cur_.text == "depth") {
+        advance();
+        bb.nestingDepth = static_cast<int>(expectInt("nesting depth"));
+      }
+      expectPunct('{');
+      while (!isPunct('}')) {
+        if (cur_.kind != TokKind::Ident)
+          throw ParseError(cur_.line, "expected operation");
+        const Opcode storeOp = opcodeFromName(cur_.text);
+        if (storeOp != Opcode::kCount_ && isStore(storeOp)) {
+          advance();
+          parseStore(fn.arrays, bb.ops, storeOp);
+        } else {
+          parseAssignment(fn.arrays, bb.ops);
+        }
+      }
+      expectPunct('}');
+      std::vector<std::string> succs;
+      if (isPunct('-')) {  // "->" successor list
+        advance();
+        expectPunct('>');
+        succs.push_back(expectIdent("successor block name"));
+        while (isPunct(',')) {
+          advance();
+          succs.push_back(expectIdent("successor block name"));
+        }
+      }
+      blockNames.push_back(blockName);
+      succNames.push_back(std::move(succs));
+      fn.blocks.push_back(std::move(bb));
+    }
+    expectPunct('}');
+    // Resolve successor names.
+    for (std::size_t b = 0; b < succNames.size(); ++b) {
+      for (const std::string& s : succNames[b]) {
+        int target = -1;
+        for (std::size_t i = 0; i < blockNames.size(); ++i) {
+          if (blockNames[i] == s) target = static_cast<int>(i);
+        }
+        if (target < 0)
+          throw ParseError(cur_.line, "unknown successor block '" + s + "'");
+        fn.blocks[b].succs.push_back(target);
+      }
+    }
+    return fn;
+  }
+
+  Loop parseOne() {
+    expectKeyword("loop");
+    Loop loop;
+    loop.name = expectIdent("loop name");
+    while (cur_.kind == TokKind::Ident) {
+      if (cur_.text == "depth") {
+        advance();
+        loop.nestingDepth = static_cast<int>(expectInt("nesting depth"));
+      } else if (cur_.text == "trip") {
+        advance();
+        loop.trip = expectInt("trip count");
+      } else {
+        throw ParseError(cur_.line, "expected 'depth', 'trip' or '{'");
+      }
+    }
+    expectPunct('{');
+    while (!isPunct('}')) parseStatement(loop);
+    expectPunct('}');
+
+    // Append the canonical induction update if the user declared an induction
+    // variable but did not write the update.
+    if (loop.induction.isValid() && !loop.defPos(loop.induction)) {
+      loop.body.push_back(
+          makeUnary(Opcode::IAddImm, loop.induction, loop.induction, 1));
+    }
+    if (auto err = validate(loop)) throw ParseError(cur_.line, *err);
+    return loop;
+  }
+
+ private:
+  void parseStatement(Loop& loop) {
+    if (cur_.kind != TokKind::Ident)
+      throw ParseError(cur_.line, "expected statement");
+    const std::string head = cur_.text;
+    if (head == "array") {
+      advance();
+      parseArrayDecl(loop.arrays);
+      return;
+    }
+    if (head == "induction") {
+      advance();
+      loop.induction = expectReg("induction register");
+      if (loop.induction.cls() != RegClass::Int)
+        throw ParseError(cur_.line, "induction register must be an integer register");
+      return;
+    }
+    if (head == "livein") {
+      advance();
+      LiveInValue lv;
+      lv.reg = expectReg("livein register");
+      if (isPunct('=')) {
+        advance();
+        if (cur_.kind == TokKind::FltLit) {
+          lv.f = cur_.fval;
+          lv.i = static_cast<std::int64_t>(cur_.fval);
+          advance();
+        } else {
+          const std::int64_t v = expectInt("livein value");
+          lv.i = v;
+          lv.f = static_cast<double>(v);
+        }
+      }
+      loop.liveInValues.push_back(lv);
+      return;
+    }
+    // Store statement?
+    const Opcode storeOp = opcodeFromName(head);
+    if (storeOp != Opcode::kCount_ && isStore(storeOp)) {
+      advance();
+      parseStore(loop.arrays, loop.body, storeOp);
+      return;
+    }
+    // Otherwise: `reg = opcode ...`.
+    parseAssignment(loop.arrays, loop.body);
+  }
+
+  void parseArrayDecl(std::vector<ArrayDecl>& arrays) {
+    const int declLine = cur_.line;
+    const std::string name = expectIdent("array name");
+    if (regFromIdent(name))
+      throw ParseError(declLine, "array name '" + name + "' collides with register syntax");
+    expectPunct('[');
+    const std::int64_t size = expectInt("array size");
+    expectPunct(']');
+    const std::string type = expectIdent("array element type ('int' or 'flt')");
+    if (type != "int" && type != "flt")
+      throw ParseError(declLine, "array element type must be 'int' or 'flt'");
+    arrays.push_back(ArrayDecl{name, size, type == "flt"});
+  }
+
+  /// arr '[' idxReg (('+'|'-') INT)? ']'  -> (arrayId, idx, offset)
+  void parseMemRef(const std::vector<ArrayDecl>& arrays, ArrayId& outArray,
+                   VirtReg& outIdx, std::int64_t& outOffset) {
+    const int line = cur_.line;
+    const std::string name = expectIdent("array name");
+    outArray = kNoArray;
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+      if (arrays[i].name == name) outArray = static_cast<ArrayId>(i);
+    }
+    if (outArray == kNoArray) throw ParseError(line, "unknown array '" + name + "'");
+    expectPunct('[');
+    outIdx = expectReg("index register");
+    outOffset = 0;
+    if (isPunct('+') || isPunct('-')) {
+      const bool neg = cur_.punct == '-';
+      advance();
+      outOffset = expectInt("index offset");
+      if (neg) outOffset = -outOffset;
+    }
+    expectPunct(']');
+  }
+
+  void parseStore(const std::vector<ArrayDecl>& arrays, std::vector<Operation>& body,
+                  Opcode op) {
+    ArrayId arr;
+    VirtReg idx;
+    std::int64_t off;
+    parseMemRef(arrays, arr, idx, off);
+    expectPunct(',');
+    const VirtReg value = expectReg("store value register");
+    body.push_back(makeStore(op, arr, idx, value, off));
+  }
+
+  void parseAssignment(const std::vector<ArrayDecl>& arrays,
+                       std::vector<Operation>& body) {
+    const int line = cur_.line;
+    const VirtReg def = expectReg("destination register");
+    expectPunct('=');
+    const std::string mnemonic = expectIdent("opcode");
+    const Opcode op = opcodeFromName(mnemonic);
+    if (op == Opcode::kCount_) throw ParseError(line, "unknown opcode '" + mnemonic + "'");
+    const OpcodeInfo& info = opcodeInfo(op);
+    if (!info.hasDef)
+      throw ParseError(line, "opcode '" + mnemonic + "' produces no result");
+
+    Operation o;
+    o.op = op;
+    o.def = def;
+    switch (info.kind) {
+      case OpKind::Const:
+        if (info.hasFimm) {
+          if (cur_.kind == TokKind::FltLit) {
+            o.fimm = cur_.fval;
+            advance();
+          } else {
+            o.fimm = static_cast<double>(expectInt("constant"));
+          }
+        } else {
+          o.imm = expectInt("constant");
+        }
+        break;
+      case OpKind::Load: {
+        ArrayId arr;
+        VirtReg idx;
+        std::int64_t off;
+        parseMemRef(arrays, arr, idx, off);
+        o.src[0] = idx;
+        o.imm = off;
+        o.array = arr;
+        break;
+      }
+      case OpKind::Arith:
+      case OpKind::Copy:
+        o.src[0] = expectReg("source register");
+        if (info.numSrcs == 2) {
+          expectPunct(',');
+          o.src[1] = expectReg("source register");
+        }
+        if (info.hasImm) {
+          expectPunct(',');
+          o.imm = expectInt("immediate");
+        }
+        break;
+      case OpKind::Store:
+        RAPT_UNREACHABLE("stores handled in parseStore");
+    }
+    body.push_back(o);
+  }
+
+  // -- token helpers --------------------------------------------------------
+  void advance() { cur_ = lexer_.next(); }
+
+  bool isPunct(char c) const { return cur_.kind == TokKind::Punct && cur_.punct == c; }
+
+  void expectPunct(char c) {
+    if (!isPunct(c))
+      throw ParseError(cur_.line, std::string("expected '") + c + "'");
+    advance();
+  }
+
+  void expectKeyword(const char* kw) {
+    if (cur_.kind != TokKind::Ident || cur_.text != kw)
+      throw ParseError(cur_.line, std::string("expected '") + kw + "'");
+    advance();
+  }
+
+  std::string expectIdent(const char* what) {
+    if (cur_.kind != TokKind::Ident)
+      throw ParseError(cur_.line, std::string("expected ") + what);
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+
+  std::int64_t expectInt(const char* what) {
+    if (cur_.kind != TokKind::IntLit)
+      throw ParseError(cur_.line, std::string("expected integer ") + what);
+    const std::int64_t v = cur_.ival;
+    advance();
+    return v;
+  }
+
+  VirtReg expectReg(const char* what) {
+    if (cur_.kind == TokKind::Ident) {
+      if (auto r = regFromIdent(cur_.text)) {
+        advance();
+        return *r;
+      }
+    }
+    throw ParseError(cur_.line, std::string("expected register for ") + what);
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+Function parseFunction(std::string_view text) {
+  Parser p(text);
+  auto fns = p.parseAllFunctions();
+  if (fns.size() != 1)
+    throw ParseError(1, "expected exactly one function, found " +
+                            std::to_string(fns.size()));
+  return std::move(fns.front());
+}
+
+std::vector<Function> parseFunctions(std::string_view text) {
+  return Parser(text).parseAllFunctions();
+}
+
+Loop parseLoop(std::string_view text) {
+  Parser p(text);
+  auto loops = p.parseAll();
+  if (loops.size() != 1)
+    throw ParseError(1, "expected exactly one loop, found " + std::to_string(loops.size()));
+  return std::move(loops.front());
+}
+
+std::vector<Loop> parseLoops(std::string_view text) { return Parser(text).parseAll(); }
+
+}  // namespace rapt

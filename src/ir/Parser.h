@@ -1,0 +1,65 @@
+// Text format for loop kernels.
+//
+// The paper's loops came out of the Rocket compiler's Fortran front end; this
+// parser is the stand-in that lets examples and tests write kernels directly:
+//
+//   loop daxpy depth 1 trip 256 {
+//     array x[256] flt
+//     array y[256] flt
+//     induction i0
+//     livein f0 = 2.5
+//     f1 = fload x[i0]
+//     f2 = fmul f1, f0
+//     f3 = fload y[i0 + 1]
+//     f4 = fadd f2, f3
+//     fstore y[i0], f4
+//   }
+//
+// Registers are written iN / fN. `depth`, `trip`, and the livein initializer
+// are optional. If an `induction` register is declared but never updated, the
+// canonical `iaddi iv, iv, 1` update is appended automatically. `#` starts a
+// comment that runs to end of line. A file may contain several loops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/Function.h"
+#include "ir/Loop.h"
+
+namespace rapt {
+
+/// Error in user-provided loop text. Carries a 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse exactly one loop; throws ParseError on malformed input and on loops
+/// that fail structural validation.
+[[nodiscard]] Loop parseLoop(std::string_view text);
+
+/// Parse a file containing any number of loops.
+[[nodiscard]] std::vector<Loop> parseLoops(std::string_view text);
+
+/// Whole-function form: named blocks with explicit successor lists.
+///
+///   function f {
+///     array g[64] flt
+///     block entry { i0 = iconst 1 } -> left, right
+///     block left depth 1 { ... } -> exit
+///     block right depth 1 { ... } -> exit
+///     block exit { ... }
+///   }
+[[nodiscard]] Function parseFunction(std::string_view text);
+[[nodiscard]] std::vector<Function> parseFunctions(std::string_view text);
+
+}  // namespace rapt

@@ -1,0 +1,103 @@
+#include "ir/Printer.h"
+
+#include <sstream>
+
+#include "ir/Function.h"
+
+namespace rapt {
+
+std::string regName(VirtReg r) {
+  if (!r.isValid()) return "-";
+  return (r.cls() == RegClass::Int ? "i" : "f") + std::to_string(r.index());
+}
+
+namespace {
+
+std::string memRef(const Loop& loop, const Operation& op) {
+  std::ostringstream os;
+  os << loop.arrays[op.array].name << '[' << regName(op.src[0]);
+  if (op.imm > 0) os << " + " << op.imm;
+  if (op.imm < 0) os << " - " << -op.imm;
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string printOperation(const Loop& loop, const Operation& op) {
+  const OpcodeInfo& info = op.info();
+  std::ostringstream os;
+  switch (info.kind) {
+    case OpKind::Const:
+      os << regName(op.def) << " = " << info.name << ' ';
+      if (info.hasFimm)
+        os << op.fimm;
+      else
+        os << op.imm;
+      return os.str();
+    case OpKind::Load:
+      os << regName(op.def) << " = " << info.name << ' ' << memRef(loop, op);
+      return os.str();
+    case OpKind::Store:
+      os << info.name << ' ' << memRef(loop, op) << ", " << regName(op.src[1]);
+      return os.str();
+    case OpKind::Copy:
+    case OpKind::Arith:
+      os << regName(op.def) << " = " << info.name << ' ' << regName(op.src[0]);
+      if (info.numSrcs == 2) os << ", " << regName(op.src[1]);
+      if (info.hasImm) os << ", " << op.imm;
+      return os.str();
+  }
+  return "<bad op>";
+}
+
+std::string printFunction(const Function& fn) {
+  // Reuse the loop-based operation printer by viewing the function's arrays
+  // through a shim loop.
+  Loop shim;
+  shim.arrays = fn.arrays;
+  std::ostringstream os;
+  os << "function " << fn.name << " {\n";
+  for (const ArrayDecl& a : fn.arrays)
+    os << "  array " << a.name << '[' << a.size << "] " << (a.isFloat ? "flt" : "int")
+       << '\n';
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const BasicBlock& bb = fn.blocks[b];
+    os << "  block b" << b;
+    if (bb.nestingDepth != 0) os << " depth " << bb.nestingDepth;
+    os << " {\n";
+    for (const Operation& op : bb.ops) os << "    " << printOperation(shim, op) << '\n';
+    os << "  }";
+    if (!bb.succs.empty()) {
+      os << " ->";
+      for (std::size_t s = 0; s < bb.succs.size(); ++s)
+        os << (s ? ", b" : " b") << bb.succs[s];
+    }
+    os << '\n';
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string printLoop(const Loop& loop) {
+  std::ostringstream os;
+  os << "loop " << loop.name << " depth " << loop.nestingDepth << " trip " << loop.trip
+     << " {\n";
+  for (const ArrayDecl& a : loop.arrays)
+    os << "  array " << a.name << '[' << a.size << "] " << (a.isFloat ? "flt" : "int")
+       << '\n';
+  if (loop.induction.isValid()) os << "  induction " << regName(loop.induction) << '\n';
+  for (const LiveInValue& lv : loop.liveInValues) {
+    os << "  livein " << regName(lv.reg) << " = ";
+    if (lv.reg.cls() == RegClass::Flt)
+      os << lv.f;
+    else
+      os << lv.i;
+    os << '\n';
+  }
+  for (const Operation& op : loop.body) os << "  " << printOperation(loop, op) << '\n';
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rapt

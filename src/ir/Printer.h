@@ -1,0 +1,24 @@
+// Textual rendering of the IR. The output of printLoop round-trips through
+// the parser (see tests/ir/ParserTest).
+#pragma once
+
+#include <string>
+
+#include "ir/Loop.h"
+
+namespace rapt {
+
+/// "i3" / "f7"; "-" for the invalid register.
+[[nodiscard]] std::string regName(VirtReg r);
+
+/// One operation in the parser's syntax, e.g. "f4 = fadd f2, f3" or
+/// "fstore y[i0 + 1], f4". Array names are looked up in `loop`.
+[[nodiscard]] std::string printOperation(const Loop& loop, const Operation& op);
+
+/// Whole loop in the parser's syntax.
+[[nodiscard]] std::string printLoop(const Loop& loop);
+
+/// Whole function in the parser's syntax (blocks named b0, b1, ...).
+[[nodiscard]] std::string printFunction(const class Function& fn);
+
+}  // namespace rapt

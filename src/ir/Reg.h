@@ -1,0 +1,81 @@
+// Virtual (symbolic) registers.
+//
+// The paper's intermediate code is built "with symbolic registers, assuming a
+// single infinite register bank" (step 1 of the framework in §4). A VirtReg
+// is a typed index into that infinite bank; the register class (integer vs
+// floating point) is encoded in the value so an operand is a single word.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+enum class RegClass : std::uint8_t { Int = 0, Flt = 1 };
+
+[[nodiscard]] constexpr const char* regClassName(RegClass rc) {
+  return rc == RegClass::Int ? "int" : "flt";
+}
+
+/// A typed symbolic register. Value-type, hashable, totally ordered.
+/// The default-constructed VirtReg is the invalid sentinel (`isValid() ==
+/// false`), used for "no destination" in stores and branches.
+class VirtReg {
+ public:
+  constexpr VirtReg() = default;
+  constexpr VirtReg(RegClass rc, std::uint32_t index)
+      : raw_(kValidBit | (static_cast<std::uint32_t>(rc) << kClassShift) | index) {
+    RAPT_ASSERT(index < kValidBit, "register index overflow");
+  }
+
+  [[nodiscard]] constexpr bool isValid() const { return (raw_ & kValidBit) != 0; }
+  [[nodiscard]] constexpr RegClass cls() const {
+    RAPT_ASSERT(isValid(), "class of invalid register");
+    return static_cast<RegClass>((raw_ >> kClassShift) & 1u);
+  }
+  [[nodiscard]] constexpr std::uint32_t index() const {
+    RAPT_ASSERT(isValid(), "index of invalid register");
+    return raw_ & kIndexMask;
+  }
+  [[nodiscard]] constexpr bool isInt() const { return cls() == RegClass::Int; }
+  [[nodiscard]] constexpr bool isFlt() const { return cls() == RegClass::Flt; }
+
+  /// Stable key usable as a dense-ish map index: intN -> 2N, fltN -> 2N+1.
+  [[nodiscard]] constexpr std::uint32_t key() const {
+    return index() * 2 + (cls() == RegClass::Flt ? 1u : 0u);
+  }
+  /// Inverse of key().
+  [[nodiscard]] static constexpr VirtReg fromKey(std::uint32_t k) {
+    return VirtReg((k & 1u) ? RegClass::Flt : RegClass::Int, k / 2);
+  }
+
+  friend constexpr bool operator==(VirtReg a, VirtReg b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(VirtReg a, VirtReg b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(VirtReg a, VirtReg b) { return a.raw_ < b.raw_; }
+
+  [[nodiscard]] constexpr std::uint32_t rawBits() const { return raw_; }
+
+ private:
+  static constexpr std::uint32_t kValidBit = 0x8000'0000u;
+  static constexpr std::uint32_t kClassShift = 30;
+  static constexpr std::uint32_t kIndexMask = 0x3fff'ffffu;
+  std::uint32_t raw_ = 0;
+};
+
+[[nodiscard]] constexpr VirtReg intReg(std::uint32_t index) {
+  return VirtReg(RegClass::Int, index);
+}
+[[nodiscard]] constexpr VirtReg fltReg(std::uint32_t index) {
+  return VirtReg(RegClass::Flt, index);
+}
+
+}  // namespace rapt
+
+template <>
+struct std::hash<rapt::VirtReg> {
+  std::size_t operator()(rapt::VirtReg r) const noexcept {
+    return std::hash<std::uint32_t>{}(r.rawBits());
+  }
+};

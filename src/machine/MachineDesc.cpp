@@ -1,0 +1,81 @@
+#include "machine/MachineDesc.h"
+
+namespace rapt {
+
+LatencyTable LatencyTable::unit() {
+  LatencyTable t;
+  t.intAlu = t.intMul = t.intDiv = t.load = t.store = 1;
+  t.fltOther = t.fltMul = t.fltDiv = 1;
+  t.intCopy = t.fltCopy = 1;
+  return t;
+}
+
+MachineDesc MachineDesc::ideal16() {
+  MachineDesc m;
+  m.name = "ideal-16wide";
+  m.numClusters = 1;
+  m.fusPerCluster = 16;
+  m.intRegsPerBank = 128;
+  m.fltRegsPerBank = 128;
+  return m;
+}
+
+namespace {
+int log2OfPowerOfTwo(int x) {
+  int r = 0;
+  while (x > 1) {
+    RAPT_ASSERT(x % 2 == 0, "cluster count must be a power of two");
+    x /= 2;
+    ++r;
+  }
+  return r;
+}
+}  // namespace
+
+MachineDesc MachineDesc::paper16(int clusters, CopyModel model) {
+  RAPT_ASSERT(clusters == 2 || clusters == 4 || clusters == 8,
+              "paper meta-model uses 2, 4 or 8 clusters");
+  MachineDesc m;
+  m.name = std::to_string(clusters) + "-cluster-" +
+           (model == CopyModel::Embedded ? "embedded" : "copyunit");
+  m.numClusters = clusters;
+  m.fusPerCluster = 16 / clusters;
+  m.intRegsPerBank = 32;
+  m.fltRegsPerBank = 32;
+  m.copyModel = model;
+  if (model == CopyModel::CopyUnit) {
+    m.busCount = clusters;                            // N buses for N clusters
+    m.copyPortsPerBank = log2OfPowerOfTwo(clusters);  // 1 @ 2c, 2 @ 4c, 3 @ 8c
+  }
+  return m;
+}
+
+MachineDesc MachineDesc::example2x1() {
+  MachineDesc m;
+  m.name = "example-2x1";
+  m.numClusters = 2;
+  m.fusPerCluster = 1;
+  m.intRegsPerBank = 16;
+  m.fltRegsPerBank = 16;
+  m.copyModel = CopyModel::Embedded;
+  m.lat = LatencyTable::unit();
+  return m;
+}
+
+MachineDesc MachineDesc::tiC6xLike() {
+  MachineDesc m;
+  m.name = "ti-c6x-like";
+  m.numClusters = 2;
+  m.fusPerCluster = 4;
+  m.intRegsPerBank = 16;
+  m.fltRegsPerBank = 16;
+  m.copyModel = CopyModel::Embedded;
+  m.lat.intCopy = 1;  // C6x cross-path style
+  m.lat.fltCopy = 1;
+  m.lat.intMul = 2;
+  m.lat.load = 5;
+  m.lat.store = 1;
+  return m;
+}
+
+}  // namespace rapt

@@ -1,0 +1,117 @@
+// Retargetable description of a clustered VLIW target.
+//
+// The paper's meta-model (§6.1): 16 general-purpose functional units grouped
+// in N clusters, each cluster owning one multi-ported register bank. Two
+// variants differ in how inter-cluster copies are supported:
+//
+//  * Embedded   — a copy is an explicit operation that occupies an issue slot
+//                 on one of the *destination* cluster's functional units.
+//  * CopyUnit   — copies use reserved hardware: N buses shared by the whole
+//                 machine plus a small number of extra copy ports per bank;
+//                 they do not consume functional-unit slots.
+//
+// The number of copy ports per bank in the paper is given only at the
+// endpoints (1 port/bank at 2 clusters, 3 ports/bank at 8 clusters — §6.2);
+// we reconstruct the garbled formula as log2(numClusters), which matches both
+// endpoints and gives 2 ports at 4 clusters. DESIGN.md records this
+// substitution.
+#pragma once
+
+#include <string>
+
+#include "ir/Opcode.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+enum class CopyModel : std::uint8_t { Embedded, CopyUnit };
+
+[[nodiscard]] constexpr const char* copyModelName(CopyModel m) {
+  return m == CopyModel::Embedded ? "Embedded" : "Copy Unit";
+}
+
+/// Operation latencies in cycles (paper §6.1). A result produced by an
+/// operation issued at cycle t is readable at cycle t + latency; a store
+/// issued at t is visible to loads issued at or after t + latency.
+struct LatencyTable {
+  int intAlu = 1;
+  int intMul = 5;
+  int intDiv = 12;
+  int load = 2;
+  int store = 4;
+  int fltOther = 2;
+  int fltMul = 2;
+  int fltDiv = 2;
+  int intCopy = 2;
+  int fltCopy = 3;
+
+  [[nodiscard]] int of(LatClass c) const {
+    switch (c) {
+      case LatClass::IntAlu: return intAlu;
+      case LatClass::IntMul: return intMul;
+      case LatClass::IntDiv: return intDiv;
+      case LatClass::Load: return load;
+      case LatClass::Store: return store;
+      case LatClass::FltOther: return fltOther;
+      case LatClass::FltMul: return fltMul;
+      case LatClass::FltDiv: return fltDiv;
+      case LatClass::IntCopy: return intCopy;
+      case LatClass::FltCopy: return fltCopy;
+    }
+    RAPT_UNREACHABLE("bad latency class");
+  }
+  [[nodiscard]] int of(Opcode op) const { return of(opcodeInfo(op).lat); }
+
+  /// All latencies 1 (the §4.2 worked example assumes unit latency).
+  [[nodiscard]] static LatencyTable unit();
+};
+
+/// A clustered VLIW machine. `numClusters == 1` is the monolithic ideal.
+struct MachineDesc {
+  std::string name = "machine";
+  int numClusters = 1;
+  int fusPerCluster = 16;
+  int intRegsPerBank = 64;
+  int fltRegsPerBank = 64;
+  CopyModel copyModel = CopyModel::Embedded;
+  int busCount = 0;          ///< CopyUnit model: machine-wide copy buses
+  int copyPortsPerBank = 0;  ///< CopyUnit model: extra ports per bank
+  LatencyTable lat;
+
+  [[nodiscard]] int width() const { return numClusters * fusPerCluster; }
+  [[nodiscard]] int clusterOfFu(int fu) const {
+    RAPT_ASSERT(fu >= 0 && fu < width(), "FU index out of range");
+    return fu / fusPerCluster;
+  }
+  [[nodiscard]] int firstFuOfCluster(int cluster) const {
+    RAPT_ASSERT(cluster >= 0 && cluster < numClusters, "cluster out of range");
+    return cluster * fusPerCluster;
+  }
+  [[nodiscard]] bool isMonolithic() const { return numClusters == 1; }
+  /// True if inter-cluster copies consume functional-unit issue slots.
+  [[nodiscard]] bool copiesUseFuSlots() const {
+    return copyModel == CopyModel::Embedded;
+  }
+  [[nodiscard]] int regsPerBank(RegClass rc) const {
+    return rc == RegClass::Int ? intRegsPerBank : fltRegsPerBank;
+  }
+
+  // ---- Presets ----
+
+  /// The 16-wide monolithic ideal machine of Table 1's "Ideal" row.
+  [[nodiscard]] static MachineDesc ideal16();
+
+  /// The paper's clustered meta-model: 16 FUs in `clusters` clusters
+  /// (2, 4, or 8) with the given copy model.
+  [[nodiscard]] static MachineDesc paper16(int clusters, CopyModel model);
+
+  /// The §4.2 worked-example machine: 2 clusters of 1 FU, unit latencies,
+  /// embedded copies.
+  [[nodiscard]] static MachineDesc example2x1();
+
+  /// A TI C6x-flavoured preset (2 clusters x 4 FUs, 1-cycle cross-path
+  /// copies) used by the retargetability example.
+  [[nodiscard]] static MachineDesc tiC6xLike();
+};
+
+}  // namespace rapt

@@ -1,0 +1,235 @@
+#include "partition/Baselines.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+Partition roundRobinPartition(const Loop& loop, int numBanks) {
+  Partition part(numBanks);
+  int next = 0;
+  auto place = [&](VirtReg r) {
+    if (!r.isValid() || part.isAssigned(r)) return;
+    part.assign(r, next);
+    next = (next + 1) % numBanks;
+  };
+  for (const Operation& o : loop.body) {
+    place(o.def);
+    for (VirtReg s : o.srcs()) place(s);
+  }
+  return part;
+}
+
+Partition randomPartition(const Loop& loop, int numBanks, SplitMix64& rng) {
+  Partition part(numBanks);
+  for (VirtReg r : loop.allRegs())
+    part.assign(r, static_cast<int>(rng.range(0, numBanks - 1)));
+  return part;
+}
+
+Partition bugPartition(const Loop& loop, const Ddg& ddg, const ModuloSchedule& ideal,
+                       int numBanks) {
+  RAPT_ASSERT(ideal.numOps() == loop.size(), "schedule does not match loop");
+  const int n = loop.size();
+  // Bottom-up: process ops in decreasing scheduled cycle (sinks first).
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (ideal.cycle[a] != ideal.cycle[b]) return ideal.cycle[a] > ideal.cycle[b];
+    return a < b;
+  });
+
+  std::vector<int> clusterOf(n, -1);
+  std::vector<int> load(numBanks, 0);
+  Partition part(numBanks);
+
+  for (int op : order) {
+    // Score each cluster: +1 for every operand register already resident
+    // there, +1 for every consumer op already assigned there (bottom-up
+    // locality), tie-broken by load.
+    std::vector<int> score(numBanks, 0);
+    for (VirtReg s : loop.body[op].srcs()) {
+      if (part.isAssigned(s)) ++score[part.bankOf(s)];
+    }
+    for (int ei : ddg.succEdges(op)) {
+      const DdgEdge& e = ddg.edge(ei);
+      if (e.kind == DepKind::RegTrue && clusterOf[e.to] >= 0) ++score[clusterOf[e.to]];
+    }
+    int best = 0;
+    for (int c = 1; c < numBanks; ++c) {
+      if (score[c] > score[best] || (score[c] == score[best] && load[c] < load[best]))
+        best = c;
+    }
+    clusterOf[op] = best;
+    ++load[best];
+    if (loop.body[op].def.isValid() && !part.isAssigned(loop.body[op].def))
+      part.assign(loop.body[op].def, best);
+  }
+
+  // Invariants (and anything else unassigned) live where first consumed.
+  for (int i = 0; i < n; ++i) {
+    for (VirtReg s : loop.body[i].srcs()) {
+      if (!part.isAssigned(s)) part.assign(s, clusterOf[i]);
+    }
+  }
+  return part;
+}
+
+namespace {
+
+/// One UAS scheduling attempt at a fixed II; fills `part` and returns true
+/// when every op found a slot.
+bool uasAttempt(const Loop& loop, const Ddg& ddg, const MachineDesc& machine,
+                int numBanks, int ii, Partition& part) {
+  const int n = loop.size();
+  const int fusPerCluster = machine.width() / numBanks;
+  const std::vector<int> height = ddg.heights(ii);
+
+  std::vector<int> time(n, -1);
+  std::vector<int> clusterOf(n, -1);
+  std::vector<int> load(numBanks, 0);
+  // occupancy[slot * numBanks + cluster]
+  std::vector<int> occupancy(static_cast<std::size_t>(ii) * numBanks, 0);
+  auto occ = [&](int t, int c) -> int& {
+    return occupancy[static_cast<std::size_t>(((t % ii) + ii) % ii) * numBanks + c];
+  };
+  // Completion time of the copy of a value into a cluster, when one exists.
+  std::map<std::pair<std::uint32_t, int>, int> copyDone;
+
+  auto copyLat = [&](VirtReg v) {
+    return v.cls() == RegClass::Flt ? machine.lat.fltCopy : machine.lat.intCopy;
+  };
+
+  std::vector<bool> placed(n, false);
+  for (int step = 0; step < n; ++step) {
+    // Ready: all same-iteration (distance-0) predecessors placed.
+    int op = -1;
+    for (int cand = 0; cand < n; ++cand) {
+      if (placed[cand]) continue;
+      bool ready = true;
+      for (int ei : ddg.predEdges(cand)) {
+        const DdgEdge& e = ddg.edge(ei);
+        if (e.distance == 0 && !placed[e.from]) ready = false;
+      }
+      if (!ready) continue;
+      if (op < 0 || height[cand] > height[op] || (height[cand] == height[op] && cand < op))
+        op = cand;
+    }
+    RAPT_ASSERT(op >= 0, "distance-0 cycle in DDG");
+
+    // Cost every cluster.
+    int bestCluster = -1, bestTime = 0, bestNewCopies = 0;
+    struct PendingCopy {
+      std::uint32_t key;
+      int startCycle;
+      int done;
+    };
+    std::vector<PendingCopy> bestCopies;
+    for (int c = 0; c < numBanks; ++c) {
+      int earliest = 0;
+      int newCopies = 0;
+      std::vector<PendingCopy> copies;
+      bool feasible = true;
+      for (int ei : ddg.predEdges(op)) {
+        const DdgEdge& e = ddg.edge(ei);
+        if (e.kind != DepKind::RegTrue || !placed[e.from] || e.from == op) {
+          if (e.distance == 0 && placed[e.from])
+            earliest = std::max(earliest, time[e.from] + e.latency);
+          continue;
+        }
+        const VirtReg v = loop.body[e.from].def;
+        const int producerDone = time[e.from] + e.latency - ii * e.distance;
+        if (clusterOf[e.from] == c) {
+          earliest = std::max(earliest, producerDone);
+          continue;
+        }
+        // Foreign operand: route through a copy into cluster c.
+        auto it = copyDone.find({v.key(), c});
+        if (it != copyDone.end()) {
+          earliest = std::max(earliest, it->second);
+          continue;
+        }
+        // Reserve a tentative copy slot (embedded copies use an FU of c).
+        int tc = std::max(0, producerDone);
+        if (machine.copiesUseFuSlots()) {
+          int scan = 0;
+          while (scan < ii && occ(tc, c) >= fusPerCluster) {
+            ++tc;
+            ++scan;
+          }
+          if (scan == ii) {
+            feasible = false;
+            break;
+          }
+        }
+        copies.push_back({v.key(), tc, tc + copyLat(v)});
+        ++newCopies;
+        earliest = std::max(earliest, tc + copyLat(v));
+      }
+      if (!feasible) continue;
+      // The op itself needs an FU slot.
+      int t = earliest;
+      int scan = 0;
+      while (scan < ii && occ(t, c) >= fusPerCluster) {
+        ++t;
+        ++scan;
+      }
+      if (scan == ii) continue;
+      const bool better =
+          bestCluster < 0 || t < bestTime ||
+          (t == bestTime && (newCopies < bestNewCopies ||
+                             (newCopies == bestNewCopies && load[c] < load[bestCluster])));
+      if (better) {
+        bestCluster = c;
+        bestTime = t;
+        bestNewCopies = newCopies;
+        bestCopies = std::move(copies);
+      }
+    }
+    if (bestCluster < 0) return false;
+
+    // Commit.
+    for (const PendingCopy& pc : bestCopies) {
+      if (machine.copiesUseFuSlots()) ++occ(pc.startCycle, bestCluster);
+      copyDone[{pc.key, bestCluster}] = pc.done;
+    }
+    ++occ(bestTime, bestCluster);
+    time[op] = bestTime;
+    clusterOf[op] = bestCluster;
+    ++load[bestCluster];
+    placed[op] = true;
+    if (loop.body[op].def.isValid() && !part.isAssigned(loop.body[op].def))
+      part.assign(loop.body[op].def, bestCluster);
+  }
+
+  // Invariants live where first consumed.
+  for (int i = 0; i < n; ++i) {
+    for (VirtReg s : loop.body[i].srcs()) {
+      if (!part.isAssigned(s)) part.assign(s, clusterOf[i]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Partition uasPartition(const Loop& loop, const Ddg& ddg, const MachineDesc& machine,
+                       int numBanks) {
+  const int minII =
+      std::max(ddg.recII(), std::max(1, (loop.size() + machine.width() - 1) /
+                                            machine.width()));
+  for (int ii = minII; ii <= minII + 64; ++ii) {
+    if (!ddg.feasibleII(ii)) continue;
+    Partition part(numBanks);
+    if (uasAttempt(loop, ddg, machine, numBanks, ii, part)) return part;
+  }
+  // Pathological fallback: everything in bank 0 (never observed in practice;
+  // keeps the API total).
+  Partition part(numBanks);
+  for (VirtReg r : loop.allRegs()) part.assign(r, 0);
+  return part;
+}
+
+}  // namespace rapt

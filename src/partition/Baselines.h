@@ -1,0 +1,48 @@
+// Baseline partitioners for the comparison/ablation experiments.
+//
+// The paper's own evaluation compares the greedy RCG method only against the
+// ideal monolithic machine, but its related-work discussion (§3) is framed
+// around Ellis's BUG and round-robin-style spreading; these baselines let the
+// bench suite quantify how much the RCG heuristic actually buys.
+#pragma once
+
+#include "ddg/Ddg.h"
+#include "ir/Loop.h"
+#include "partition/Partition.h"
+#include "sched/Schedule.h"
+#include "support/Rng.h"
+
+namespace rapt {
+
+/// Registers take banks 0,1,2,... in order of first appearance in the body.
+[[nodiscard]] Partition roundRobinPartition(const Loop& loop, int numBanks);
+
+/// Uniformly random bank per register (seeded).
+[[nodiscard]] Partition randomPartition(const Loop& loop, int numBanks,
+                                        SplitMix64& rng);
+
+/// BUG-style operation partitioning (after Ellis, bottom-up greedy): walk the
+/// DDG from sinks upward, assigning each *operation* to the cluster that
+/// minimizes the number of non-local operands, breaking ties toward the
+/// least-loaded cluster; each register then lives in the bank of its defining
+/// operation (invariants: bank of their first consumer).
+[[nodiscard]] Partition bugPartition(const Loop& loop, const Ddg& ddg,
+                                     const ModuloSchedule& ideal, int numBanks);
+
+/// UAS-style partitioning (after Ozer, Banerjia & Conte, MICRO-31): clusters
+/// are chosen WHILE greedily modulo-scheduling at MinII, so the choice sees
+/// schedule-time resource occupancy — the improvement UAS claims over BUG
+/// (§3). Ops are taken in ready (height) order; for each op every cluster is
+/// costed by the earliest completion time given (a) the cluster's free
+/// functional-unit slots in the modulo reservation window and (b) the copy
+/// latency for operands homed in other banks, with a tentative copy slot
+/// reserved in the consumer's cluster (embedded model) when one is needed.
+/// Registers inherit their defining op's cluster. The resulting partition is
+/// then evaluated through the standard copy-insertion + rescheduling
+/// pipeline, which keeps the comparison against the RCG method apples to
+/// apples (a full UAS would also keep the schedule it built — DESIGN.md
+/// notes the simplification).
+[[nodiscard]] Partition uasPartition(const Loop& loop, const Ddg& ddg,
+                                     const MachineDesc& machine, int numBanks);
+
+}  // namespace rapt

@@ -1,0 +1,111 @@
+#include "partition/BlockCopyInserter.h"
+
+#include <map>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+ClusteredBlock insertBlockCopies(std::span<const Operation> ops, Partition& partition,
+                                 const MachineDesc& machine,
+                                 std::uint32_t nextFresh[2]) {
+  ClusteredBlock out;
+  auto fresh = [&](RegClass rc) {
+    return VirtReg(rc, nextFresh[static_cast<int>(rc)]++);
+  };
+
+  // (value, cluster) -> local alias. Within a block a register holds a single
+  // value from each program point on, so one copy per cluster suffices for
+  // all later consumers (consumers before the value's redefinition see the
+  // live-in copy, keyed separately via the definition tracking below).
+  std::map<std::pair<std::uint32_t, int>, VirtReg> copyOf;
+  // A redefinition invalidates earlier aliases of the same register.
+  auto invalidate = [&](VirtReg r) {
+    for (auto it = copyOf.begin(); it != copyOf.end();) {
+      if (it->first.first == r.key())
+        it = copyOf.erase(it);
+      else
+        ++it;
+    }
+  };
+
+  auto anchorOf = [&](const Operation& o) -> int {
+    if (o.def.isValid()) return partition.bankOf(o.def);
+    RAPT_ASSERT(isStore(o.op), "only stores lack a destination");
+    return partition.bankOf(o.src[1]);
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    Operation op = ops[i];
+    const int anchor = anchorOf(op);
+    if (isCopy(op.op)) {
+      // Pre-existing cross-bank copies (e.g. global constant replication)
+      // are taken as-is: their source is foreign by definition.
+      out.ops.push_back(op);
+      out.origIndexOf.push_back(static_cast<int>(i));
+      OpConstraint cc;
+      if (machine.copiesUseFuSlots()) {
+        cc.cluster = anchor;
+      } else {
+        cc.usesCopyUnit = true;
+        cc.srcBank = partition.bankOf(op.src[0]);
+        cc.dstBank = anchor;
+      }
+      out.constraints.push_back(cc);
+      continue;
+    }
+    for (int s = 0; s < op.numSrcs(); ++s) {
+      const VirtReg src = op.src[s];
+      if (partition.bankOf(src) == anchor) continue;
+      auto [it, inserted] = copyOf.try_emplace({src.key(), anchor}, VirtReg{});
+      if (inserted) {
+        const VirtReg tmp = fresh(src.cls());
+        it->second = tmp;
+        partition.assign(tmp, anchor);
+        out.ops.push_back(makeCopy(tmp, src));
+        out.origIndexOf.push_back(-1);
+        OpConstraint cc;
+        if (machine.copiesUseFuSlots()) {
+          cc.cluster = anchor;
+        } else {
+          cc.usesCopyUnit = true;
+          cc.srcBank = partition.bankOf(src);
+          cc.dstBank = anchor;
+        }
+        out.constraints.push_back(cc);
+        ++out.copies;
+      }
+      op.src[s] = it->second;
+    }
+    if (op.def.isValid()) invalidate(op.def);
+    out.ops.push_back(op);
+    out.origIndexOf.push_back(static_cast<int>(i));
+    OpConstraint c;
+    c.cluster = anchor;
+    out.constraints.push_back(c);
+  }
+  return out;
+}
+
+std::vector<OpConstraint> deriveBlockConstraints(std::span<const Operation> ops,
+                                                 const Partition& partition,
+                                                 const MachineDesc& machine) {
+  std::vector<OpConstraint> out;
+  out.reserve(ops.size());
+  for (const Operation& op : ops) {
+    OpConstraint c;
+    const int anchor = op.def.isValid() ? partition.bankOf(op.def)
+                                        : partition.bankOf(op.src[1]);
+    if (isCopy(op.op) && !machine.copiesUseFuSlots()) {
+      c.usesCopyUnit = true;
+      c.srcBank = partition.bankOf(op.src[0]);
+      c.dstBank = anchor;
+    } else {
+      c.cluster = anchor;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace rapt

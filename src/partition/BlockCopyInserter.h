@@ -1,0 +1,40 @@
+// Cross-bank copy insertion for straight-line basic blocks (whole-function
+// mode). Same anchoring policy as the loop CopyInserter, but without loop
+// semantics: a use with no earlier in-block definition reads a block live-in,
+// and copies of a value into a cluster are reused for the rest of the block
+// (the value cannot change within the block once defined).
+#pragma once
+
+#include <span>
+
+#include "ir/Operation.h"
+#include "machine/MachineDesc.h"
+#include "partition/Partition.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+struct ClusteredBlock {
+  std::vector<Operation> ops;            ///< with copies inserted
+  std::vector<OpConstraint> constraints; ///< per op
+  std::vector<int> origIndexOf;          ///< new idx -> original, -1 = copy
+  int copies = 0;
+};
+
+/// Rewrites `ops` for `partition`. `partition` is extended with the copy
+/// temporaries; `nextFresh` (one counter per register class, indexed by
+/// RegClass) supplies function-unique temporary names and is advanced.
+[[nodiscard]] ClusteredBlock insertBlockCopies(std::span<const Operation> ops,
+                                               Partition& partition,
+                                               const MachineDesc& machine,
+                                               std::uint32_t nextFresh[2]);
+
+/// Derives scheduler constraints for a block whose operands are already
+/// bank-local (i.e. after copy insertion, possibly after spill-code
+/// insertion): each op is anchored at its destination's bank (stores: the
+/// stored value's bank), copies take the copy-model's resources.
+[[nodiscard]] std::vector<OpConstraint> deriveBlockConstraints(
+    std::span<const Operation> ops, const Partition& partition,
+    const MachineDesc& machine);
+
+}  // namespace rapt

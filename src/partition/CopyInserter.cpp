@@ -1,0 +1,122 @@
+#include "partition/CopyInserter.h"
+
+#include <map>
+#include <tuple>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+/// Finds the live-in value recorded for `r`, or a zero default.
+LiveInValue liveInOf(const Loop& loop, VirtReg r) {
+  for (const LiveInValue& lv : loop.liveInValues)
+    if (lv.reg == r) return lv;
+  LiveInValue lv;
+  lv.reg = r;
+  return lv;
+}
+
+}  // namespace
+
+ClusteredLoop insertCopies(const Loop& loop, const Partition& partition,
+                           const MachineDesc& machine) {
+  RAPT_ASSERT(partition.numBanks() == machine.numClusters,
+              "partition does not match machine");
+  ClusteredLoop out;
+  out.loop = loop;
+  out.loop.body.clear();
+  out.partition = partition;
+
+  // Fresh-register counters (shared by copies and aliases).
+  std::uint32_t nextIdx[2] = {loop.freshReg(RegClass::Int).index(),
+                              loop.freshReg(RegClass::Flt).index()};
+  auto fresh = [&](RegClass rc) { return VirtReg(rc, nextIdx[static_cast<int>(rc)]++); };
+
+  // Reuse tables. Body copies are keyed on (value, cluster, reads-previous-
+  // iteration); invariant aliases on (value, cluster).
+  std::map<std::tuple<std::uint32_t, int, bool>, VirtReg> copyOf;
+  std::map<std::pair<std::uint32_t, int>, VirtReg> aliasOf;
+
+  auto isInvariant = [&](VirtReg r) { return !loop.defPos(r).has_value(); };
+
+  // Cluster anchoring: ops with a destination write into its bank; stores go
+  // where the fewest non-invariant operands need copying (ties prefer the
+  // stored value's bank — integer index copies are cheaper than value copies).
+  auto anchorOf = [&](const Operation& o) -> int {
+    if (o.def.isValid()) return partition.bankOf(o.def);
+    RAPT_ASSERT(isStore(o.op), "only stores lack a destination");
+    const VirtReg idx = o.src[0];
+    const VirtReg val = o.src[1];
+    auto bodyCost = [&](int bank) {
+      int cost = 0;
+      if (!isInvariant(idx) && partition.bankOf(idx) != bank) ++cost;
+      if (!isInvariant(val) && partition.bankOf(val) != bank) ++cost;
+      return cost;
+    };
+    const int valBank = partition.bankOf(val);
+    const int idxBank = partition.bankOf(idx);
+    if (bodyCost(valBank) <= bodyCost(idxBank)) return valBank;
+    return idxBank;
+  };
+
+  for (int i = 0; i < loop.size(); ++i) {
+    Operation op = loop.body[i];
+    const int anchor = anchorOf(op);
+
+    for (int s = 0; s < op.numSrcs(); ++s) {
+      const VirtReg src = op.src[s];
+      if (partition.bankOf(src) == anchor) continue;
+
+      if (isInvariant(src)) {
+        // Replicate in the preheader: a per-cluster alias register.
+        auto [it, inserted] = aliasOf.try_emplace({src.key(), anchor}, VirtReg{});
+        if (inserted) {
+          const VirtReg alias = fresh(src.cls());
+          it->second = alias;
+          out.partition.assign(alias, anchor);
+          LiveInValue lv = liveInOf(loop, src);
+          lv.reg = alias;
+          out.loop.liveInValues.push_back(lv);
+          ++out.preheaderCopies;
+        }
+        op.src[s] = it->second;
+        continue;
+      }
+
+      // Defined in the body: route through an explicit copy operation.
+      const bool readsPrev = loop.isCarriedUse(i, src);
+      auto [it, inserted] =
+          copyOf.try_emplace({src.key(), anchor, readsPrev}, VirtReg{});
+      if (inserted) {
+        const VirtReg tmp = fresh(src.cls());
+        it->second = tmp;
+        out.partition.assign(tmp, anchor);
+        out.loop.body.push_back(makeCopy(tmp, src));
+        out.origIndexOf.push_back(-1);
+        OpConstraint cc;
+        if (machine.copiesUseFuSlots()) {
+          cc.cluster = anchor;
+        } else {
+          cc.usesCopyUnit = true;
+          cc.srcBank = partition.bankOf(src);
+          cc.dstBank = anchor;
+        }
+        out.constraints.push_back(cc);
+        ++out.bodyCopies;
+      }
+      op.src[s] = it->second;
+    }
+
+    out.loop.body.push_back(op);
+    out.origIndexOf.push_back(i);
+    OpConstraint c;
+    c.cluster = anchor;
+    out.constraints.push_back(c);
+  }
+
+  RAPT_ASSERT(!validate(out.loop).has_value(), "copy insertion broke the loop");
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,45 @@
+// Cross-bank copy insertion (step 4 of the paper's framework, §4).
+//
+// After partitioning, each operation is anchored to the cluster that owns its
+// destination register (an operation writes into its own cluster's bank);
+// stores, which have no destination, are anchored where the fewest of their
+// operands would need copying. Every source register living in a different
+// bank is routed through an explicit ICopy/FCopy into a fresh register of the
+// consuming cluster:
+//
+//  * copies of the same value into the same cluster are REUSED (one copy
+//    serves all consumers there, keyed on whether they read the current or
+//    the previous iteration's value);
+//  * loop-INVARIANT operands are not copied every iteration — they are
+//    replicated into per-cluster aliases conceptually initialized in the loop
+//    preheader (counted separately as preheaderCopies; this mirrors what an
+//    optimizing compiler such as Rocket would do with invariant moves).
+//
+// In the Embedded machine model a copy is a normal operation constrained to a
+// destination-cluster functional unit; in the CopyUnit model it is
+// constrained to the bus/port resources instead.
+#pragma once
+
+#include "ir/Loop.h"
+#include "machine/MachineDesc.h"
+#include "partition/Partition.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+struct ClusteredLoop {
+  Loop loop;                           ///< body with copies inserted
+  std::vector<OpConstraint> constraints;  ///< per new-body op
+  Partition partition;                 ///< extended with copy/alias registers
+  int bodyCopies = 0;                  ///< copies executed every iteration
+  int preheaderCopies = 0;             ///< hoisted invariant replications
+  std::vector<int> origIndexOf;        ///< new idx -> original idx, -1 = copy
+};
+
+/// Anchors every op of `loop` to a cluster under `partition` and inserts the
+/// cross-bank copies the anchoring requires. `partition` must cover every
+/// register of `loop`.
+[[nodiscard]] ClusteredLoop insertCopies(const Loop& loop, const Partition& partition,
+                                         const MachineDesc& machine);
+
+}  // namespace rapt

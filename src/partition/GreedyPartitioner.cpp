@@ -1,0 +1,45 @@
+#include "partition/GreedyPartitioner.h"
+
+namespace rapt {
+
+Partition greedyPartition(const Rcg& rcg, int numBanks, const RcgWeights& w,
+                          const BankPins& pins) {
+  Partition part(numBanks);
+  const std::size_t totalNodes = rcg.nodes().size();
+  if (totalNodes == 0) return part;
+  const double balanceUnit =
+      w.balance * rcg.meanAbsEdgeWeight() * numBanks / static_cast<double>(totalNodes);
+
+  for (const auto& [key, bank] : pins) {
+    part.assign(VirtReg::fromKey(key), bank);
+  }
+
+  std::vector<int> assignedCount(numBanks, 0);
+  for (const auto& [key, bank] : pins) ++assignedCount[bank];
+
+  for (VirtReg node : rcg.nodesByDecreasingWeight()) {
+    if (part.isAssigned(node)) continue;  // pinned
+    // Figure 4 as printed initializes BestBenefit to 0, which parks every
+    // node whose benefits are all non-positive in bank 0 and defeats the
+    // balance term; we take the evident intent — argmax over all banks,
+    // lowest bank index winning ties (see DESIGN.md).
+    double bestBenefit = 0.0;
+    int bestBank = -1;
+    for (int rb = 0; rb < numBanks; ++rb) {
+      double benefit = 0.0;
+      for (const auto& [nbr, weight] : rcg.neighbors(node)) {
+        if (part.isAssigned(nbr) && part.bankOf(nbr) == rb) benefit += weight;
+      }
+      benefit -= assignedCount[rb] * balanceUnit;
+      if (bestBank < 0 || benefit > bestBenefit) {
+        bestBenefit = benefit;
+        bestBank = rb;
+      }
+    }
+    part.assign(node, bestBank);
+    ++assignedCount[bestBank];
+  }
+  return part;
+}
+
+}  // namespace rapt

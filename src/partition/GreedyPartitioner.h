@@ -1,0 +1,33 @@
+// The paper's greedy RCG partitioning heuristic (§5, Figure 4).
+//
+// Registers are placed one at a time in decreasing node-weight order. For
+// each register, every bank's "benefit" is the sum of edge weights to
+// neighbors already in that bank, minus a balance penalty proportional to how
+// full the bank already is; the register goes to the best-benefit bank.
+// Faithful to Figure 4, bank 0 is the default when no bank achieves positive
+// benefit (BestBenefit starts at 0 and the comparison is strict).
+#pragma once
+
+#include <unordered_map>
+
+#include "partition/Partition.h"
+#include "partition/Rcg.h"
+
+namespace rapt {
+
+/// Pre-assignments ("pre-coloring" of the bank choice, §4.1): registers the
+/// caller pins to specific banks before the greedy pass runs.
+using BankPins = std::unordered_map<std::uint32_t, int>;
+
+/// Runs Figure 4 over `rcg` for a machine with `numBanks` banks.
+/// `totalNodes` in the balance term is the RCG's node count; the penalty for
+/// placing into bank RB is
+///     assigned(RB) / totalNodes * numBanks * Kbal * meanAbsEdgeWeight
+/// which is zero for an empty bank and grows as the bank takes more than its
+/// proportional share (the paper's "spread the symbolic registers somewhat
+/// evenly across the available partitions").
+[[nodiscard]] Partition greedyPartition(const Rcg& rcg, int numBanks,
+                                        const RcgWeights& w,
+                                        const BankPins& pins = {});
+
+}  // namespace rapt

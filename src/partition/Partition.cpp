@@ -1,0 +1,19 @@
+#include "partition/Partition.h"
+
+#include <algorithm>
+
+namespace rapt {
+
+std::vector<VirtReg> Partition::regsInBank(int bank) const {
+  std::vector<std::uint32_t> keys;
+  for (const auto& [key, b] : bankOf_) {
+    if (b == bank) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<VirtReg> regs;
+  regs.reserve(keys.size());
+  for (std::uint32_t k : keys) regs.push_back(VirtReg::fromKey(k));
+  return regs;
+}
+
+}  // namespace rapt

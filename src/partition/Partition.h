@@ -1,0 +1,54 @@
+// Assignment of symbolic registers to register banks.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Reg.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+/// Maps every symbolic register of a loop (or function) to one of the
+/// machine's register banks. Bank b belongs to cluster b: the paper's
+/// machines have exactly one bank per cluster.
+class Partition {
+ public:
+  Partition() = default;
+  explicit Partition(int numBanks) : numBanks_(numBanks) {}
+
+  [[nodiscard]] int numBanks() const { return numBanks_; }
+
+  void assign(VirtReg r, int bank) {
+    RAPT_ASSERT(bank >= 0 && bank < numBanks_, "bank out of range");
+    bankOf_[r.key()] = bank;
+  }
+
+  [[nodiscard]] bool isAssigned(VirtReg r) const { return bankOf_.count(r.key()) != 0; }
+
+  [[nodiscard]] int bankOf(VirtReg r) const {
+    auto it = bankOf_.find(r.key());
+    RAPT_ASSERT(it != bankOf_.end(), "register has no bank assignment");
+    return it->second;
+  }
+
+  /// Number of registers currently assigned to `bank`.
+  [[nodiscard]] int countInBank(int bank) const {
+    int n = 0;
+    for (const auto& [key, b] : bankOf_) {
+      if (b == bank) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return bankOf_.size(); }
+
+  /// Registers assigned to `bank`, sorted by key (deterministic).
+  [[nodiscard]] std::vector<VirtReg> regsInBank(int bank) const;
+
+ private:
+  int numBanks_ = 1;
+  std::unordered_map<std::uint32_t, int> bankOf_;
+};
+
+}  // namespace rapt

@@ -1,0 +1,230 @@
+#include "partition/Rcg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ir/Printer.h"
+#include "partition/Partition.h"
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+double opWeight(int flex, double density, int depth, const RcgWeights& w) {
+  RAPT_ASSERT(flex >= 1, "flexibility below 1");
+  const double scale = (flex == 1) ? w.critBonus : w.base;
+  return scale * density * std::pow(w.depthBase, depth) / static_cast<double>(flex);
+}
+
+std::string formatWeight(double w) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", w);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t Rcg::pairKey(VirtReg a, VirtReg b) {
+  std::uint32_t x = a.key();
+  std::uint32_t y = b.key();
+  if (x > y) std::swap(x, y);
+  return (static_cast<std::uint64_t>(x) << 32) | y;
+}
+
+void Rcg::ensureNode(VirtReg r) {
+  if (nodeWeight_.count(r.key()) == 0) {
+    nodeWeight_[r.key()] = 0.0;
+    nodes_.push_back(r);
+  }
+}
+
+void Rcg::bumpNode(VirtReg r, double w) {
+  ensureNode(r);
+  nodeWeight_[r.key()] += w;
+}
+
+void Rcg::accumulate(VirtReg a, VirtReg b, double w) {
+  if (a == b) return;
+  ensureNode(a);
+  ensureNode(b);
+  edges_[pairKey(a, b)] += w;
+}
+
+void Rcg::addExtraEdge(VirtReg a, VirtReg b, double weight) {
+  accumulate(a, b, weight);
+  bumpNode(a, std::abs(weight));
+  bumpNode(b, std::abs(weight));
+  rebuildAdjacency();
+}
+
+void Rcg::rebuildAdjacency() {
+  adj_.clear();
+  for (const auto& [key, w] : edges_) {
+    const VirtReg a = VirtReg::fromKey(static_cast<std::uint32_t>(key >> 32));
+    const VirtReg b = VirtReg::fromKey(static_cast<std::uint32_t>(key & 0xffffffffu));
+    adj_[a.key()].emplace_back(b, w);
+    adj_[b.key()].emplace_back(a, w);
+  }
+  // Deterministic neighbor order.
+  for (auto& [key, nbrs] : adj_) {
+    std::sort(nbrs.begin(), nbrs.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+  }
+}
+
+double Rcg::nodeWeight(VirtReg r) const {
+  auto it = nodeWeight_.find(r.key());
+  return it == nodeWeight_.end() ? 0.0 : it->second;
+}
+
+double Rcg::edgeWeight(VirtReg a, VirtReg b) const {
+  auto it = edges_.find(pairKey(a, b));
+  return it == edges_.end() ? 0.0 : it->second;
+}
+
+const std::vector<std::pair<VirtReg, double>>& Rcg::neighbors(VirtReg r) const {
+  static const std::vector<std::pair<VirtReg, double>> kEmpty;
+  auto it = adj_.find(r.key());
+  return it == adj_.end() ? kEmpty : it->second;
+}
+
+double Rcg::meanAbsEdgeWeight() const {
+  if (edges_.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& [key, w] : edges_) sum += std::abs(w);
+  return sum / static_cast<double>(edges_.size());
+}
+
+std::vector<VirtReg> Rcg::nodesByDecreasingWeight() const {
+  std::vector<VirtReg> order = nodes_;
+  std::sort(order.begin(), order.end(), [this](VirtReg a, VirtReg b) {
+    const double wa = nodeWeight(a);
+    const double wb = nodeWeight(b);
+    if (wa != wb) return wa > wb;
+    return a.key() < b.key();
+  });
+  return order;
+}
+
+std::string Rcg::toDot(const Partition* partition) const {
+  std::ostringstream os;
+  os << "graph rcg {\n  node [shape=circle];\n";
+  auto emitNode = [&](std::ostringstream& out, VirtReg r) {
+    out << "    \"" << regName(r) << "\" [label=\"" << regName(r) << "\\n"
+        << formatWeight(nodeWeight(r)) << "\"];\n";
+  };
+  if (partition != nullptr) {
+    for (int bank = 0; bank < partition->numBanks(); ++bank) {
+      os << "  subgraph cluster_bank" << bank << " {\n    label=\"bank " << bank
+         << "\";\n";
+      for (VirtReg r : nodes_) {
+        if (partition->isAssigned(r) && partition->bankOf(r) == bank) emitNode(os, r);
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (VirtReg r : nodes_) emitNode(os, r);
+  }
+  for (const auto& [key, w] : edges_) {
+    const VirtReg a = VirtReg::fromKey(static_cast<std::uint32_t>(key >> 32));
+    const VirtReg b = VirtReg::fromKey(static_cast<std::uint32_t>(key & 0xffffffffu));
+    os << "  \"" << regName(a) << "\" -- \"" << regName(b) << "\" [label=\""
+       << formatWeight(w) << "\"" << (w < 0 ? ", style=dashed" : "") << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Rcg Rcg::build(const Loop& loop, const Ddg& ddg, const ModuloSchedule& ideal,
+               const RcgWeights& w) {
+  RAPT_ASSERT(ideal.numOps() == loop.size(), "schedule does not match loop");
+  const double density =
+      loop.size() == 0 ? 0.0 : static_cast<double>(loop.size()) / ideal.ii;
+  const std::vector<int> flex =
+      ddg.flexibility(ideal.cycle, ideal.ii, ideal.horizon());
+
+  Rcg g;
+  // Every register is a node even if it accumulates no weight.
+  for (VirtReg r : loop.allRegs()) g.ensureNode(r);
+
+  std::vector<double> wOp(loop.size());
+  for (int i = 0; i < loop.size(); ++i)
+    wOp[i] = opWeight(flex[i], density, loop.nestingDepth, w);
+
+  // Rule 1: same-operation (defined, used) pairs attract.
+  for (int i = 0; i < loop.size(); ++i) {
+    const Operation& o = loop.body[i];
+    if (!o.def.isValid()) continue;
+    for (VirtReg s : o.srcs()) {
+      if (s == o.def) continue;
+      g.accumulate(o.def, s, wOp[i]);
+      g.bumpNode(o.def, wOp[i]);
+      g.bumpNode(s, wOp[i]);
+    }
+  }
+
+  // Rule 2: registers defined by different ops in the same ideal instruction
+  // (same modulo slot) repel, so both can issue in parallel again.
+  for (int i = 0; i < loop.size(); ++i) {
+    if (!loop.body[i].def.isValid()) continue;
+    for (int j = i + 1; j < loop.size(); ++j) {
+      if (!loop.body[j].def.isValid()) continue;
+      if (ideal.cycle[i] % ideal.ii != ideal.cycle[j] % ideal.ii) continue;
+      const double ws = w.sep * 0.5 * (wOp[i] + wOp[j]);
+      g.accumulate(loop.body[i].def, loop.body[j].def, -ws);
+      g.bumpNode(loop.body[i].def, ws);
+      g.bumpNode(loop.body[j].def, ws);
+    }
+  }
+
+  g.rebuildAdjacency();
+  return g;
+}
+
+void Rcg::addBlockContribution(std::span<const Operation> ops,
+                               std::span<const int> cycle,
+                               std::span<const int> flexibility, int nestingDepth,
+                               double density, const RcgWeights& w) {
+  RAPT_ASSERT(ops.size() == cycle.size() && ops.size() == flexibility.size(),
+              "block RCG input size mismatch");
+  const int n = static_cast<int>(ops.size());
+  std::vector<double> wOp(n);
+  for (int i = 0; i < n; ++i)
+    wOp[i] = opWeight(flexibility[i], density, nestingDepth, w);
+
+  for (int i = 0; i < n; ++i) {
+    const Operation& o = ops[i];
+    if (o.def.isValid()) ensureNode(o.def);
+    for (VirtReg s : o.srcs()) ensureNode(s);
+    if (!o.def.isValid()) continue;
+    for (VirtReg s : o.srcs()) {
+      if (s == o.def) continue;
+      accumulate(o.def, s, wOp[i]);
+      bumpNode(o.def, wOp[i]);
+      bumpNode(s, wOp[i]);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!ops[i].def.isValid()) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (!ops[j].def.isValid()) continue;
+      if (cycle[i] != cycle[j]) continue;
+      const double ws = w.sep * 0.5 * (wOp[i] + wOp[j]);
+      accumulate(ops[i].def, ops[j].def, -ws);
+      bumpNode(ops[i].def, ws);
+      bumpNode(ops[j].def, ws);
+    }
+  }
+}
+
+Rcg Rcg::buildFromBlock(std::span<const Operation> ops, std::span<const int> cycle,
+                        std::span<const int> flexibility, int nestingDepth,
+                        double density, const RcgWeights& w) {
+  Rcg g;
+  g.addBlockContribution(ops, cycle, flexibility, nestingDepth, density, w);
+  g.rebuildAdjacency();
+  return g;
+}
+
+}  // namespace rapt

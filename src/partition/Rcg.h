@@ -1,0 +1,107 @@
+// The register component graph (RCG) — the paper's central data structure.
+//
+// Nodes are symbolic registers; an undirected weighted edge between two
+// registers records how strongly they want to share a bank (positive) or be
+// separated (negative). All machine-dependent detail is abstracted into the
+// weights (§4.1), which is what makes the framework retargetable.
+//
+// Weights are accumulated from the *ideal schedule* (§5):
+//
+//  * for every (defined, used) register pair of one operation O, an affinity
+//    of  w(O) = (flex==1 ? Kcrit : Kbase) * density * depthBase^depth / flex
+//    is added to the edge and to both node weights;
+//  * for every pair of registers defined by two different operations issued
+//    in the same ideal instruction (same modulo slot), a separation weight
+//    -Ksep * (w(O1)+w(O2))/2 is added to the edge (keeping them apart lets
+//    both define in parallel again), and its magnitude to both node weights.
+//
+// The IPPS scan garbles the exact formulas; the shape above follows the
+// prose (critical-path bonus, density and nesting scale up, flexibility
+// scales down) and every constant is exposed in RcgWeights for the ablation
+// bench. Hard placement constraints (the paper's "negative value of infinite
+// magnitude") are expressible through addExtraEdge / pre-assignment pins in
+// the partitioner.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ddg/Ddg.h"
+#include "ir/Loop.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+/// Tunable constants of the weighting heuristic (DESIGN.md "Substitutions").
+struct RcgWeights {
+  double critBonus = 2.0;   ///< Kcrit: multiplier when Flexibility == 1
+  double base = 1.0;        ///< Kbase: multiplier otherwise
+  double depthBase = 10.0;  ///< nesting-depth exponent base
+  double sep = 0.5;         ///< Ksep: same-instruction separation factor
+  double balance = 1.0;     ///< Kbal: partitioner bank-balance factor
+};
+
+class Rcg {
+ public:
+  /// Builds the RCG of `loop` from its ideal modulo schedule. `ddg` must be
+  /// the graph `ideal` was scheduled from.
+  [[nodiscard]] static Rcg build(const Loop& loop, const Ddg& ddg,
+                                 const ModuloSchedule& ideal, const RcgWeights& w);
+
+  /// Builds an RCG from a straight-line block and its list-schedule cycles
+  /// (whole-function mode). `density` = ops / schedule length.
+  [[nodiscard]] static Rcg buildFromBlock(std::span<const Operation> ops,
+                                          std::span<const int> cycle,
+                                          std::span<const int> flexibility,
+                                          int nestingDepth, double density,
+                                          const RcgWeights& w);
+
+  /// Incremental variant of buildFromBlock: accumulates one block's weight
+  /// contributions into this graph. The whole-function pipeline calls this
+  /// for every basic block ("we could easily use both non-loop and loop code
+  /// to build our register component graph", §6.3) and then
+  /// finalizeAdjacency() once.
+  void addBlockContribution(std::span<const Operation> ops, std::span<const int> cycle,
+                            std::span<const int> flexibility, int nestingDepth,
+                            double density, const RcgWeights& w);
+  void finalizeAdjacency() { rebuildAdjacency(); }
+
+  [[nodiscard]] const std::vector<VirtReg>& nodes() const { return nodes_; }
+  [[nodiscard]] double nodeWeight(VirtReg r) const;
+  /// 0 when no edge exists.
+  [[nodiscard]] double edgeWeight(VirtReg a, VirtReg b) const;
+  /// Neighbors of `r` with their (signed) edge weights.
+  [[nodiscard]] const std::vector<std::pair<VirtReg, double>>& neighbors(VirtReg r) const;
+
+  /// Mean |edge weight|, used to scale the partitioner's balance term.
+  [[nodiscard]] double meanAbsEdgeWeight() const;
+
+  /// Nodes in decreasing node-weight order (ties by register key).
+  [[nodiscard]] std::vector<VirtReg> nodesByDecreasingWeight() const;
+
+  /// Add machine-idiosyncrasy weight between two registers (e.g. a large
+  /// negative value to force separate banks, §4.1).
+  void addExtraEdge(VirtReg a, VirtReg b, double weight);
+
+  /// Graphviz rendering (the paper's Figure 2 as an artifact): solid edges
+  /// attract (affinity), dashed edges repel (separation); when `partition`
+  /// is non-null nodes are grouped into per-bank clusters.
+  [[nodiscard]] std::string toDot(const class Partition* partition = nullptr) const;
+
+  [[nodiscard]] std::size_t numEdges() const { return edges_.size(); }
+
+ private:
+  void ensureNode(VirtReg r);
+  void accumulate(VirtReg a, VirtReg b, double w);
+  void bumpNode(VirtReg r, double w);
+  void rebuildAdjacency();
+
+  static std::uint64_t pairKey(VirtReg a, VirtReg b);
+
+  std::vector<VirtReg> nodes_;
+  std::unordered_map<std::uint32_t, double> nodeWeight_;
+  std::unordered_map<std::uint64_t, double> edges_;
+  std::unordered_map<std::uint32_t, std::vector<std::pair<VirtReg, double>>> adj_;
+};
+
+}  // namespace rapt

@@ -1,0 +1,104 @@
+#include "partition/Refinement.h"
+
+#include <set>
+
+#include "partition/CopyInserter.h"
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+struct Score {
+  int ii = 1 << 28;  // unschedulable sorts last
+  int copies = 1 << 28;
+
+  friend bool operator<(const Score& a, const Score& b) {
+    if (a.ii != b.ii) return a.ii < b.ii;
+    return a.copies < b.copies;
+  }
+};
+
+/// Exact objective: copies + cluster-constrained modulo schedule.
+Score evaluate(const Loop& loop, const MachineDesc& machine, const Partition& part,
+               const ModuloSchedulerOptions& schedOpts) {
+  const ClusteredLoop cl = insertCopies(loop, part, machine);
+  const Ddg cddg = Ddg::build(cl.loop, machine.lat);
+  const ModuloSchedulerResult res =
+      moduloSchedule(cddg, machine, cl.constraints, schedOpts);
+  Score s;
+  if (res.success) {
+    s.ii = res.schedule.ii;
+    s.copies = cl.bodyCopies;
+  }
+  return s;
+}
+
+/// Registers that participate in any cross-bank traffic under `part`:
+/// sources read from a foreign bank and the anchors reading them.
+std::set<std::uint32_t> copyInvolvedRegs(const Loop& loop, const MachineDesc& machine,
+                                         const Partition& part) {
+  const ClusteredLoop cl = insertCopies(loop, part, machine);
+  std::set<std::uint32_t> regs;
+  for (int i = 0; i < cl.loop.size(); ++i) {
+    if (!isCopy(cl.loop.body[i].op) || cl.origIndexOf[i] >= 0) continue;
+    // The copied value and the consumer's destination are both move candidates.
+    regs.insert(cl.loop.body[i].src[0].key());
+  }
+  // Consumers whose operands were rewritten to copy temps.
+  for (int i = 0; i < cl.loop.size(); ++i) {
+    const int orig = cl.origIndexOf[i];
+    if (orig < 0) continue;
+    const Operation& now = cl.loop.body[i];
+    const Operation& before = loop.body[orig];
+    for (int s = 0; s < now.numSrcs(); ++s) {
+      if (now.src[s] != before.src[s] && before.def.isValid())
+        regs.insert(before.def.key());
+    }
+  }
+  return regs;
+}
+
+}  // namespace
+
+RefinementResult refinePartition(const Loop& loop, const MachineDesc& machine,
+                                 const Partition& initial, int idealII,
+                                 const RefinementOptions& options) {
+  RefinementResult out;
+  out.partition = initial;
+
+  Score best = evaluate(loop, machine, initial, options.sched);
+  out.initialII = best.ii;
+  out.initialCopies = best.copies;
+
+  for (int pass = 0; pass < options.maxPasses; ++pass) {
+    if (best.ii <= idealII) break;  // already optimal
+    bool improved = false;
+    ++out.passes;
+    for (std::uint32_t key : copyInvolvedRegs(loop, machine, out.partition)) {
+      const VirtReg reg = VirtReg::fromKey(key);
+      if (!out.partition.isAssigned(reg)) continue;
+      const int home = out.partition.bankOf(reg);
+      for (int bank = 0; bank < machine.numClusters; ++bank) {
+        if (bank == home) continue;
+        Partition candidate = out.partition;
+        candidate.assign(reg, bank);
+        const Score s = evaluate(loop, machine, candidate, options.sched);
+        if (s < best) {
+          best = s;
+          out.partition = std::move(candidate);
+          ++out.movesAccepted;
+          improved = true;
+          break;  // re-anchor: the copy set changed
+        }
+      }
+      if (best.ii <= idealII) break;
+    }
+    if (!improved) break;
+  }
+
+  out.finalII = best.ii;
+  out.finalCopies = best.copies;
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,53 @@
+#include "partition/RemoteAccess.h"
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+RemoteAccessResult scheduleWithRemoteAccess(const Loop& loop,
+                                            const Partition& partition,
+                                            const MachineDesc& machine,
+                                            int penalty) {
+  RemoteAccessResult out;
+
+  // Anchor every operation (same policy as the copy inserter).
+  auto isInvariant = [&](VirtReg r) { return !loop.defPos(r).has_value(); };
+  std::vector<int> anchor(loop.size(), 0);
+  std::vector<OpConstraint> constraints(loop.size());
+  for (int i = 0; i < loop.size(); ++i) {
+    const Operation& o = loop.body[i];
+    int a;
+    if (o.def.isValid()) {
+      a = partition.bankOf(o.def);
+    } else {
+      RAPT_ASSERT(isStore(o.op), "only stores lack a destination");
+      const int idxBank = partition.bankOf(o.src[0]);
+      const int valBank = partition.bankOf(o.src[1]);
+      a = valBank;
+      if (!isInvariant(o.src[0]) && isInvariant(o.src[1])) a = idxBank;
+    }
+    anchor[i] = a;
+    constraints[i].cluster = a;
+  }
+
+  // Build the DDG, then stretch cross-bank flow edges by the network latency.
+  Ddg ddg = Ddg::build(loop, machine.lat);
+  std::vector<DdgEdge> edges(ddg.edges().begin(), ddg.edges().end());
+  for (DdgEdge& e : edges) {
+    if (e.kind != DepKind::RegTrue) continue;
+    const Operation& producer = loop.body[e.from];
+    if (!producer.def.isValid()) continue;
+    if (partition.bankOf(producer.def) != anchor[e.to]) {
+      e.latency += penalty;
+      ++out.remoteEdges;
+    }
+  }
+  const Ddg stretched = Ddg::fromEdges(loop.size(), std::move(edges));
+
+  const ModuloSchedulerResult res = moduloSchedule(stretched, machine, constraints);
+  out.ok = res.success;
+  if (res.success) out.clusteredII = res.schedule.ii;
+  return out;
+}
+
+}  // namespace rapt

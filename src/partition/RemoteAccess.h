@@ -1,0 +1,42 @@
+// TTA-style remote operand access (related work, §3).
+//
+// Janssen & Corporaal's Transport Triggered Architecture gives every
+// functional unit a path to every register bank through an interconnection
+// network: no explicit copy operations at all, at the price of network
+// latency on non-local reads (and, the paper argues via [15], of processor
+// cycle time — which is why the paper rejects the approach for high-ILP
+// machines). This module models that alternative so the bench suite can
+// compare all three interconnect strategies on equal footing:
+//
+//   embedded copies   — copy ops occupy FU slots (paper's first model)
+//   copy units        — dedicated buses + ports   (paper's second model)
+//   network access    — no copies; every cross-bank flow edge gains a
+//                       fixed network latency
+//
+// Operations are anchored to clusters exactly as the copy inserter would
+// anchor them; cross-bank register flow edges get `penalty` extra cycles.
+#pragma once
+
+#include "ddg/Ddg.h"
+#include "ir/Loop.h"
+#include "machine/MachineDesc.h"
+#include "partition/Partition.h"
+#include "sched/ModuloScheduler.h"
+
+namespace rapt {
+
+struct RemoteAccessResult {
+  bool ok = false;
+  int clusteredII = 0;
+  int remoteEdges = 0;  ///< flow edges crossing banks (paying the penalty)
+};
+
+/// Schedules `loop` under `partition` with network-latency semantics:
+/// `penalty` cycles are added to every register flow edge whose producer
+/// lives in a different bank than the consumer's anchor cluster.
+[[nodiscard]] RemoteAccessResult scheduleWithRemoteAccess(const Loop& loop,
+                                                          const Partition& partition,
+                                                          const MachineDesc& machine,
+                                                          int penalty);
+
+}  // namespace rapt

@@ -1,0 +1,203 @@
+#include "pipeline/CompilerPipeline.h"
+
+#include <algorithm>
+
+#include "partition/Baselines.h"
+#include "partition/Refinement.h"
+#include "partition/CopyInserter.h"
+#include "regalloc/PhysicalRewrite.h"
+#include "sched/LifetimeCompaction.h"
+#include "sched/PipelinedCode.h"
+#include "support/Assert.h"
+#include "vliwsim/Equivalence.h"
+#include "vliwsim/VliwSimulator.h"
+
+namespace rapt {
+
+const char* partitionerName(PartitionerKind k) {
+  switch (k) {
+    case PartitionerKind::GreedyRcg: return "greedy-rcg";
+    case PartitionerKind::RoundRobin: return "round-robin";
+    case PartitionerKind::Random: return "random";
+    case PartitionerKind::BugLike: return "bug-like";
+    case PartitionerKind::UasLike: return "uas-like";
+  }
+  RAPT_UNREACHABLE("bad partitioner kind");
+}
+
+MachineDesc idealCounterpart(const MachineDesc& machine) {
+  MachineDesc ideal = machine;
+  ideal.name = machine.name + "-ideal";
+  ideal.fusPerCluster = machine.width();
+  ideal.intRegsPerBank = machine.intRegsPerBank * machine.numClusters;
+  ideal.fltRegsPerBank = machine.fltRegsPerBank * machine.numClusters;
+  ideal.numClusters = 1;
+  ideal.copyModel = CopyModel::Embedded;
+  ideal.busCount = 0;
+  ideal.copyPortsPerBank = 0;
+  return ideal;
+}
+
+namespace {
+
+Partition choosePartition(const Loop& loop, const Ddg& ddg,
+                          const ModuloSchedule& ideal, const MachineDesc& machine,
+                          const PipelineOptions& options) {
+  const int numBanks = machine.numClusters;
+  switch (options.partitioner) {
+    case PartitionerKind::GreedyRcg: {
+      const Rcg rcg = Rcg::build(loop, ddg, ideal, options.weights);
+      return greedyPartition(rcg, numBanks, options.weights);
+    }
+    case PartitionerKind::RoundRobin:
+      return roundRobinPartition(loop, numBanks);
+    case PartitionerKind::Random: {
+      SplitMix64 rng(options.randomSeed);
+      return randomPartition(loop, numBanks, rng);
+    }
+    case PartitionerKind::BugLike:
+      return bugPartition(loop, ddg, ideal, numBanks);
+    case PartitionerKind::UasLike:
+      return uasPartition(loop, ddg, machine, numBanks);
+  }
+  RAPT_UNREACHABLE("bad partitioner kind");
+}
+
+/// Emits, allocates and (optionally) simulates one scheduled clustered loop.
+/// Returns false if the bank allocation spilled (caller bumps II).
+bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
+                    const Ddg& cddg, const ModuloSchedule& sched,
+                    const MachineDesc& machine, const PipelineOptions& options,
+                    LoopResult& r) {
+  // The emitted window must cover the prologue, at least two full renaming
+  // periods, and the drain, so allocation sees every live-range phase.
+  std::int64_t trip = std::max<std::int64_t>(options.simTrip, 4);
+
+  PipelinedCode code = emitPipelinedCode(clustered.loop, cddg, sched, trip, machine.lat);
+  trip = std::max<std::int64_t>(trip, sched.stageCount() - 1 + 2LL * code.maxUnroll);
+  if (trip != code.trip)
+    code = emitPipelinedCode(clustered.loop, cddg, sched, trip, machine.lat);
+
+  r.stageCount = code.stageCount;
+  r.maxUnroll = code.maxUnroll;
+
+  BankAssignment alloc;
+  if (options.allocateRegisters) {
+    alloc = assignBanks(code, clustered.partition, machine);
+    if (r.allocRetries == 0) r.spillsAtFirstTry = alloc.totalSpills;
+    if (!alloc.success) return false;
+    r.allocOk = true;
+  }
+
+  if (options.simulate) {
+    const SimResult sim =
+        simulate(code, clustered.loop, machine, &clustered.partition);
+    const EquivalenceReport eq = checkEquivalence(original, code, sim);
+    if (!eq.equal) {
+      r.ok = false;
+      r.error = "validation failed: " + eq.detail;
+      return true;  // not an allocation problem; do not retry
+    }
+    r.validated = true;
+    r.simulatedCycles = sim.totalCycles;
+
+    // Execute the PHYSICAL stream too: allocator bugs (overlapping values
+    // sharing a register) only surface here.
+    if (r.allocOk) {
+      const PipelinedCode phys = applyPhysicalAssignment(code, alloc);
+      const SimResult physSim =
+          simulate(phys, clustered.loop, machine, &clustered.partition);
+      const EquivalenceReport physEq =
+          checkEquivalence(original, phys, physSim, /*checkRegisters=*/false);
+      if (!physEq.equal) {
+        r.ok = false;
+        r.error = "physical validation failed: " + physEq.detail;
+        return true;
+      }
+      r.validatedPhysical = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
+                       const PipelineOptions& options) {
+  LoopResult r;
+  r.loopName = loop.name;
+  r.numOps = loop.size();
+
+  if (auto err = validate(loop)) {
+    r.error = *err;
+    return r;
+  }
+
+  // ---- Step 2: ideal schedule on the monolithic counterpart. ----
+  const MachineDesc ideal = idealCounterpart(machine);
+  const Ddg ddg = Ddg::build(loop, machine.lat);
+  const std::vector<OpConstraint> freeConstraints(loop.size());
+  const ModuloSchedulerResult idealRes =
+      moduloSchedule(ddg, ideal, freeConstraints, options.sched);
+  r.idealResII = idealRes.resII;
+  r.idealRecII = idealRes.recII;
+  if (!idealRes.success) {
+    r.error = "ideal schedule not found within II limit";
+    return r;
+  }
+  r.idealII = idealRes.schedule.ii;
+
+  // ---- Step 3: partition registers to banks. ----
+  // (On a monolithic machine every register lands in bank 0, no copies are
+  // inserted, and the clustered schedule reproduces the ideal one.)
+  Partition partition =
+      choosePartition(loop, ddg, idealRes.schedule, machine, options);
+  if (options.refinePasses > 0 && !machine.isMonolithic()) {
+    RefinementOptions ropts;
+    ropts.maxPasses = options.refinePasses;
+    ropts.sched = options.sched;
+    RefinementResult refined =
+        refinePartition(loop, machine, partition, r.idealII, ropts);
+    partition = std::move(refined.partition);
+    r.refineMoves = refined.movesAccepted;
+  }
+
+  // ---- Step 4: copies + cluster-constrained rescheduling. ----
+  const ClusteredLoop clustered = insertCopies(loop, partition, machine);
+  r.bodyCopies = clustered.bodyCopies;
+  r.preheaderCopies = clustered.preheaderCopies;
+
+  const Ddg cddg = Ddg::build(clustered.loop, machine.lat);
+  ModuloSchedulerOptions schedOpts = options.sched;
+  for (int attempt = 0;; ++attempt) {
+    const ModuloSchedulerResult clusteredRes =
+        moduloSchedule(cddg, machine, clustered.constraints, schedOpts);
+    if (!clusteredRes.success) {
+      r.error = "clustered schedule not found within II limit";
+      return r;
+    }
+    ModuloSchedule clusteredSched = clusteredRes.schedule;
+    if (options.compactLifetimes) {
+      const CompactionStats cs =
+          compactLifetimes(cddg, machine, clustered.constraints, clusteredSched);
+      r.compactionMoves = cs.movedOps;
+    }
+    r.clusteredII = clusteredSched.ii;
+
+    // ---- Step 5 (+ emission, simulation, validation). ----
+    r.allocRetries = attempt;
+    if (finishSchedule(loop, clustered, cddg, clusteredSched, machine, options, r)) {
+      break;
+    }
+    if (attempt >= options.maxAllocRetries) {
+      r.error = "register allocation failed after II relaxation";
+      return r;
+    }
+    schedOpts.startII = clusteredRes.schedule.ii + 1;  // relax pressure
+  }
+
+  r.ok = r.error.empty();
+  return r;
+}
+
+}  // namespace rapt

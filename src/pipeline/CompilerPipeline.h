@@ -1,0 +1,107 @@
+// The end-to-end code-generation pipeline of the paper (§4, steps 1-5):
+//
+//   1. intermediate code with symbolic registers (the input Loop);
+//   2. ideal schedule: modulo scheduling for the same machine with one
+//      monolithic multi-ported bank;
+//   3. register partitioning by the component method (or a baseline);
+//   4. copy insertion, DDG rebuild, cluster-constrained rescheduling;
+//   5. per-bank Chaitin/Briggs register assignment (with II relaxation and
+//      rescheduling when a bank runs out of registers);
+//
+// plus what the paper's static measurement never needed: emission of the
+// complete pipelined stream, cycle-accurate simulation, and semantic
+// equivalence checking against the sequential reference.
+#pragma once
+
+#include <string>
+
+#include "machine/MachineDesc.h"
+#include "partition/GreedyPartitioner.h"
+#include "partition/Rcg.h"
+#include "regalloc/BankAssigner.h"
+#include "sched/ModuloScheduler.h"
+
+namespace rapt {
+
+enum class PartitionerKind : std::uint8_t {
+  GreedyRcg,   ///< the paper's contribution
+  RoundRobin,  ///< naive spreading
+  Random,      ///< seeded uniform
+  BugLike,     ///< Ellis's bottom-up greedy over the operation DAG
+  UasLike,     ///< Ozer's unified assign-and-schedule (schedule-time choice)
+};
+
+[[nodiscard]] const char* partitionerName(PartitionerKind k);
+
+struct PipelineOptions {
+  RcgWeights weights;
+  PartitionerKind partitioner = PartitionerKind::GreedyRcg;
+  std::uint64_t randomSeed = 1;   ///< for PartitionerKind::Random
+  std::int64_t simTrip = 64;      ///< iterations simulated/validated
+  bool simulate = true;           ///< run simulator + equivalence check
+  bool allocateRegisters = true;  ///< run per-bank Chaitin/Briggs
+  int maxAllocRetries = 8;        ///< II bumps after failed allocation
+  int refinePasses = 0;           ///< iterative partition refinement (§7
+                                  ///< future work; see partition/Refinement.h)
+  bool compactLifetimes = false;  ///< lifetime-sensitive post-pass on the
+                                  ///< clustered schedule (the Swing-scheduling
+                                  ///< contrast of §6.3; sched/LifetimeCompaction.h)
+  ModuloSchedulerOptions sched;
+};
+
+/// Everything measured for one loop on one machine.
+struct LoopResult {
+  std::string loopName;
+  bool ok = false;
+  std::string error;
+
+  int numOps = 0;          ///< original body size
+  int idealII = 0;
+  int idealRecII = 0;
+  int idealResII = 0;
+
+  int clusteredII = 0;     ///< == idealII on a monolithic machine
+  int bodyCopies = 0;
+  int preheaderCopies = 0;
+  int stageCount = 0;
+  int maxUnroll = 0;       ///< MVE kernel-unroll factor
+
+  bool allocOk = false;
+  int allocRetries = 0;
+  int spillsAtFirstTry = 0;
+  int refineMoves = 0;     ///< partition moves accepted by refinement
+  int compactionMoves = 0; ///< ops moved by lifetime compaction
+
+  bool validated = false;  ///< simulated and bit-equal to the reference
+  bool validatedPhysical = false;  ///< register-allocated stream also simulated
+  std::int64_t simulatedCycles = 0;
+
+  /// Kernel-size degradation normalized to 100 (Table 2's metric).
+  [[nodiscard]] double normalizedSize() const {
+    return idealII == 0 ? 0.0 : 100.0 * clusteredII / idealII;
+  }
+  [[nodiscard]] double degradationPercent() const { return normalizedSize() - 100.0; }
+
+  /// Table 1's IPC: ideal counts original ops only; on a clustered machine
+  /// embedded copies count as issued instructions, copy-unit copies do not.
+  [[nodiscard]] double idealIpc() const {
+    return idealII == 0 ? 0.0 : static_cast<double>(numOps) / idealII;
+  }
+  [[nodiscard]] double clusteredIpc(const MachineDesc& machine) const {
+    if (clusteredII == 0) return 0.0;
+    const int issued =
+        numOps + (machine.copiesUseFuSlots() ? bodyCopies : 0);
+    return static_cast<double>(issued) / clusteredII;
+  }
+};
+
+/// Compiles `loop` for `machine` (monolithic machines take the ideal path:
+/// no partitioning, no copies).
+[[nodiscard]] LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
+                                     const PipelineOptions& options = {});
+
+/// The monolithic counterpart of `machine` used for its ideal schedules:
+/// same width, latencies and total register count, one cluster.
+[[nodiscard]] MachineDesc idealCounterpart(const MachineDesc& machine);
+
+}  // namespace rapt

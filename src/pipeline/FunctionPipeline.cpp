@@ -1,0 +1,206 @@
+#include "pipeline/FunctionPipeline.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "ddg/Ddg.h"
+#include "partition/BlockCopyInserter.h"
+#include "partition/GreedyPartitioner.h"
+#include "pipeline/CompilerPipeline.h"
+#include "regalloc/Spiller.h"
+#include "sched/ListScheduler.h"
+#include "vliwsim/FunctionInterpreter.h"
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+/// Wraps a basic block as a loop-shaped value so the DDG builder applies;
+/// only distance-0 edges are meaningful for straight-line code and the list
+/// scheduler ignores the rest.
+Loop pseudoLoop(const Function& fn, const BasicBlock& bb) {
+  Loop pl;
+  pl.name = fn.name + ".block";
+  pl.arrays = fn.arrays;
+  pl.body = bb.ops;
+  pl.nestingDepth = bb.nestingDepth;
+  return pl;
+}
+
+double frequencyOf(const BasicBlock& bb) { return std::pow(10.0, bb.nestingDepth); }
+
+/// Global constant replication: a register defined by a Const operation and
+/// consumed from other banks gets one per-bank alias, materialized by a copy
+/// right after its definition; all foreign consumers are rewritten to the
+/// alias. This is the whole-function analogue of the loop pipeline's
+/// preheader aliases — without it every consuming block would re-copy the
+/// same coefficient on every execution. Returns the number of replication
+/// copies (they execute once per definition, not once per consuming block).
+int replicateConstants(Function& fn, Partition& partition, std::uint32_t nextFresh[2]) {
+  // Locate constant definitions.
+  struct ConstDef {
+    int block;
+    int pos;
+  };
+  std::unordered_map<std::uint32_t, ConstDef> constDefs;
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const auto& ops = fn.blocks[b].ops;
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      if (ops[i].info().kind == OpKind::Const)
+        constDefs[ops[i].def.key()] = {b, i};
+    }
+  }
+  if (constDefs.empty()) return 0;
+
+  auto anchorOf = [&](const Operation& o) -> int {
+    if (o.def.isValid()) return partition.bankOf(o.def);
+    return partition.bankOf(o.src[1]);
+  };
+
+  // (const key, bank) -> alias register; created lazily while rewriting.
+  std::map<std::pair<std::uint32_t, int>, VirtReg> aliasOf;
+  int copies = 0;
+  for (BasicBlock& bb : fn.blocks) {
+    for (Operation& op : bb.ops) {
+      if (op.info().kind == OpKind::Const || isCopy(op.op)) continue;
+      const int anchor = anchorOf(op);
+      for (int s = 0; s < op.numSrcs(); ++s) {
+        const VirtReg src = op.src[s];
+        auto def = constDefs.find(src.key());
+        if (def == constDefs.end()) continue;
+        if (partition.bankOf(src) == anchor) continue;
+        auto [it, inserted] = aliasOf.try_emplace({src.key(), anchor}, VirtReg{});
+        if (inserted) {
+          const VirtReg alias =
+              VirtReg(src.cls(), nextFresh[static_cast<int>(src.cls())]++);
+          it->second = alias;
+          partition.assign(alias, anchor);
+          ++copies;
+        }
+        op.src[s] = it->second;
+      }
+    }
+  }
+  // Materialize the aliases right after their definitions (later insertions
+  // in the same block shift positions; insert in descending position order).
+  std::vector<std::tuple<int, int, Operation>> inserts;  // (block, pos, copy)
+  for (const auto& [key, alias] : aliasOf) {
+    const ConstDef& def = constDefs.at(key.first);
+    inserts.emplace_back(def.block, def.pos,
+                         makeCopy(alias, VirtReg::fromKey(key.first)));
+  }
+  std::sort(inserts.begin(), inserts.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  });
+  for (const auto& [block, pos, copy] : inserts) {
+    auto& ops = fn.blocks[block].ops;
+    ops.insert(ops.begin() + pos + 1, copy);
+  }
+  return copies;
+}
+
+}  // namespace
+
+FunctionResult compileFunction(const Function& fn, const MachineDesc& machine,
+                               const FunctionPipelineOptions& options) {
+  FunctionResult r;
+  r.name = fn.name;
+  r.numBlocks = fn.numBlocks();
+
+  // Each block must be single-assignment within itself (the same property the
+  // loop pipeline relies on).
+  for (const BasicBlock& bb : fn.blocks) {
+    if (auto err = validate(pseudoLoop(fn, bb))) {
+      r.error = *err;
+      return r;
+    }
+    r.numOps += static_cast<int>(bb.ops.size());
+  }
+
+  const MachineDesc ideal = idealCounterpart(machine);
+
+  // ---- 1+2: ideal block schedules and the function-wide RCG. ----
+  Rcg rcg;
+  for (const BasicBlock& bb : fn.blocks) {
+    const Loop pl = pseudoLoop(fn, bb);
+    const Ddg ddg = Ddg::build(pl, machine.lat);
+    const std::vector<OpConstraint> free(bb.ops.size());
+    const ListSchedule sched = listSchedule(ddg, ideal, free);
+    r.idealCycles += frequencyOf(bb) * sched.length;
+    if (bb.ops.empty()) continue;
+    const double density =
+        static_cast<double>(bb.ops.size()) / std::max(1, sched.length);
+    const std::vector<int> flex =
+        ddg.flexibility(sched.cycle, /*ii=*/sched.length + 1, sched.length - 1);
+    rcg.addBlockContribution(bb.ops, sched.cycle, flex, bb.nestingDepth, density,
+                             options.weights);
+  }
+  rcg.finalizeAdjacency();
+
+  // ---- 3: one partition for the whole function. ----
+  Partition partition = greedyPartition(rcg, machine.numClusters, options.weights);
+
+  // ---- 4: per-block copies + cluster-constrained rescheduling. ----
+  std::uint32_t nextFresh[2] = {0, 0};
+  for (VirtReg reg : fn.allRegs()) {
+    std::uint32_t& n = nextFresh[static_cast<int>(reg.cls())];
+    n = std::max(n, reg.index() + 1);
+  }
+  Function replicated = fn;
+  r.replicatedConsts = replicateConstants(replicated, partition, nextFresh);
+  Function clusteredFn;
+  clusteredFn.name = fn.name + ".clustered";
+  clusteredFn.arrays = fn.arrays;
+  clusteredFn.blocks.resize(replicated.blocks.size());
+  for (int b = 0; b < replicated.numBlocks(); ++b) {
+    const BasicBlock& bb = replicated.blocks[b];
+    const ClusteredBlock cl =
+        insertBlockCopies(bb.ops, partition, machine, nextFresh);
+    r.copies += cl.copies;
+    clusteredFn.blocks[b].ops = cl.ops;
+    clusteredFn.blocks[b].succs = bb.succs;
+    clusteredFn.blocks[b].nestingDepth = bb.nestingDepth;
+  }
+
+  // ---- 5: whole-function Chaitin/Briggs per bank, with spill code. ----
+  if (options.allocateRegisters) {
+    const FunctionAllocResult alloc =
+        allocateFunction(clusteredFn, machine, partition);
+    r.allocOk = alloc.success;
+    r.spills = alloc.spilledRegs;
+    r.spillOps = alloc.spillOpsAdded;
+    r.allocRounds = alloc.rounds;
+  }
+
+  // ---- Path-equivalence validation of every rewrite. ----
+  if (options.validate) {
+    for (int selector : {0, 1}) {
+      const FunctionEquivalenceReport eq =
+          checkFunctionEquivalence(fn, clusteredFn, selector);
+      if (!eq.equal) {
+        r.error = "validation failed (path " + std::to_string(selector) +
+                  "): " + eq.detail;
+        return r;
+      }
+    }
+    r.validated = true;
+  }
+
+  // ---- Final cluster-constrained schedules (including any spill code). ----
+  for (int b = 0; b < clusteredFn.numBlocks(); ++b) {
+    const BasicBlock& bb = clusteredFn.blocks[b];
+    const Loop pl = pseudoLoop(clusteredFn, bb);
+    const Ddg cddg = Ddg::build(pl, machine.lat);
+    const std::vector<OpConstraint> cons =
+        deriveBlockConstraints(bb.ops, partition, machine);
+    const ListSchedule sched = listSchedule(cddg, machine, cons);
+    r.clusteredCycles += frequencyOf(bb) * sched.length;
+  }
+
+  r.ok = true;
+  return r;
+}
+
+}  // namespace rapt

@@ -1,0 +1,32 @@
+#include "pipeline/Suite.h"
+
+namespace rapt {
+
+SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
+                     const PipelineOptions& options) {
+  SuiteResult out;
+  std::vector<double> idealIpc, clusteredIpc, normalized;
+  for (const Loop& loop : corpus) {
+    LoopResult r = compileLoop(loop, machine, options);
+    if (r.ok) {
+      idealIpc.push_back(r.idealIpc());
+      clusteredIpc.push_back(r.clusteredIpc(machine));
+      normalized.push_back(r.normalizedSize());
+      out.histogram.add(r.degradationPercent());
+      out.totalBodyCopies += r.bodyCopies;
+      if (r.validated) ++out.validatedCount;
+    } else {
+      ++out.failures;
+    }
+    out.loops.push_back(std::move(r));
+  }
+  if (!normalized.empty()) {
+    out.meanIdealIpc = arithmeticMean(idealIpc);
+    out.meanClusteredIpc = arithmeticMean(clusteredIpc);
+    out.arithMeanNormalized = arithmeticMean(normalized);
+    out.harmMeanNormalized = harmonicMean(normalized);
+  }
+  return out;
+}
+
+}  // namespace rapt

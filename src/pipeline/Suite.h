@@ -1,0 +1,32 @@
+// Batch compilation over a loop corpus with the aggregations the paper
+// reports: mean IPC (Table 1), arithmetic/harmonic mean normalized kernel
+// size (Table 2), and the degradation histogram (Figures 5-7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pipeline/CompilerPipeline.h"
+#include "support/Stats.h"
+
+namespace rapt {
+
+struct SuiteResult {
+  std::vector<LoopResult> loops;     ///< one per corpus loop, in order
+  int failures = 0;                  ///< loops with ok == false
+
+  // Aggregates over successful loops:
+  double meanIdealIpc = 0.0;
+  double meanClusteredIpc = 0.0;
+  double arithMeanNormalized = 0.0;  ///< Table 2 row 1 (ideal == 100)
+  double harmMeanNormalized = 0.0;   ///< Table 2 row 2
+  DegradationHistogram histogram;    ///< Figures 5-7 buckets
+  int totalBodyCopies = 0;
+  int validatedCount = 0;
+};
+
+[[nodiscard]] SuiteResult runSuite(std::span<const Loop> corpus,
+                                   const MachineDesc& machine,
+                                   const PipelineOptions& options = {});
+
+}  // namespace rapt

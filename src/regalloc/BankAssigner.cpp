@@ -1,0 +1,52 @@
+#include "regalloc/BankAssigner.h"
+
+#include "regalloc/LiveIntervals.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+BankAssignment assignBanks(const PipelinedCode& code, const Partition& partition,
+                           const MachineDesc& machine) {
+  BankAssignment out;
+  out.regsUsed.assign(machine.numClusters, {0, 0});
+  out.maxLive.assign(machine.numClusters, {0, 0});
+
+  const std::vector<LiveRange> ranges = computeLiveRanges(code, machine.lat);
+
+  bool anySpill = false;
+  for (int bank = 0; bank < machine.numClusters; ++bank) {
+    for (RegClass cls : {RegClass::Int, RegClass::Flt}) {
+      // Gather this register file's ranges.
+      std::vector<LiveRange> fileRanges;
+      for (const LiveRange& lr : ranges) {
+        if (lr.name.cls() != cls) continue;
+        if (partition.bankOf(code.originalOf(lr.name)) != bank) continue;
+        fileRanges.push_back(lr);
+      }
+      if (fileRanges.empty()) continue;
+
+      out.maxLive[bank][static_cast<int>(cls)] =
+          maxLivePressure(ranges, {bank, cls}, code, partition);
+
+      const InterferenceGraph graph = InterferenceGraph::build(fileRanges);
+      const int k = machine.regsPerBank(cls);
+      const ColoringResult coloring = colorGraph(graph, k);
+      out.totalSpills += static_cast<int>(coloring.spilled.size());
+      if (!coloring.success()) {
+        anySpill = true;
+        continue;
+      }
+      int maxColor = -1;
+      for (int i = 0; i < static_cast<int>(fileRanges.size()); ++i) {
+        out.physOf[fileRanges[i].name.key()] =
+            PhysReg{bank, cls, coloring.color[i]};
+        maxColor = std::max(maxColor, coloring.color[i]);
+      }
+      out.regsUsed[bank][static_cast<int>(cls)] = maxColor + 1;
+    }
+  }
+  out.success = !anySpill;
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,42 @@
+// Per-bank register assignment of a pipelined instruction stream (the
+// framework's step 5): each (bank, class) register file is coloured
+// independently with Chaitin/Briggs.
+#pragma once
+
+#include <unordered_map>
+
+#include "machine/MachineDesc.h"
+#include "partition/Partition.h"
+#include "regalloc/GraphColoring.h"
+#include "sched/PipelinedCode.h"
+
+namespace rapt {
+
+/// A physical register: index within one (bank, class) register file.
+struct PhysReg {
+  int bank = 0;
+  RegClass cls = RegClass::Int;
+  int index = 0;
+};
+
+struct BankAssignment {
+  bool success = false;
+  int totalSpills = 0;
+  /// name key -> physical register (complete iff success).
+  std::unordered_map<std::uint32_t, PhysReg> physOf;
+  /// Registers used per (bank, class): [bank] -> {int count, flt count}.
+  std::vector<std::array<int, 2>> regsUsed;
+  /// MaxLive pressure per (bank, class), informational.
+  std::vector<std::array<int, 2>> maxLive;
+};
+
+/// Colours every name of `code`. A name's bank is the bank its original
+/// symbolic register was partitioned to. Fails (success == false) when some
+/// bank needs more registers than the machine provides; the caller may
+/// reschedule at a larger II (less overlap, fewer simultaneously live names)
+/// and retry.
+[[nodiscard]] BankAssignment assignBanks(const PipelinedCode& code,
+                                         const Partition& partition,
+                                         const MachineDesc& machine);
+
+}  // namespace rapt

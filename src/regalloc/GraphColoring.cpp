@@ -1,0 +1,74 @@
+#include "regalloc/GraphColoring.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+ColoringResult colorGraph(const InterferenceGraph& graph, int k) {
+  RAPT_ASSERT(k > 0, "need at least one colour");
+  const int n = graph.numNodes();
+  ColoringResult result;
+  result.color.assign(n, -1);
+
+  std::vector<int> degree(n);
+  std::vector<bool> removed(n, false);
+  for (int i = 0; i < n; ++i) degree[i] = graph.degree(i);
+
+  // ---- Simplify ----
+  std::vector<int> stack;
+  stack.reserve(n);
+  int remaining = n;
+  while (remaining > 0) {
+    int pick = -1;
+    // Prefer a trivially colourable node (degree < k), lowest index for
+    // determinism.
+    for (int i = 0; i < n; ++i) {
+      if (!removed[i] && degree[i] < k) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick < 0) {
+      // Spill candidate: minimize cost/degree (Chaitin's heuristic).
+      double best = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (removed[i]) continue;
+        const double ratio = graph.spillCost(i) / std::max(1, degree[i]);
+        if (pick < 0 || ratio < best) {
+          pick = i;
+          best = ratio;
+        }
+      }
+    }
+    removed[pick] = true;
+    --remaining;
+    stack.push_back(pick);
+    for (int nb : graph.neighbors(pick)) {
+      if (!removed[nb]) --degree[nb];
+    }
+  }
+
+  // ---- Select ----
+  std::vector<bool> used(k);
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    std::fill(used.begin(), used.end(), false);
+    for (int nb : graph.neighbors(node)) {
+      if (result.color[nb] >= 0) used[result.color[nb]] = true;
+    }
+    int c = 0;
+    while (c < k && used[c]) ++c;
+    if (c < k) {
+      result.color[node] = c;
+    } else {
+      result.spilled.push_back(node);
+    }
+  }
+  std::sort(result.spilled.begin(), result.spilled.end());
+  return result;
+}
+
+}  // namespace rapt

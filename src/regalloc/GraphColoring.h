@@ -1,0 +1,29 @@
+// Chaitin/Briggs graph-coloring register assignment (the paper's step 5 uses
+// "standard Chaitin/Briggs graph coloring register assignment for each
+// register bank"; Chaitin '82, Briggs et al. '89).
+//
+// Simplify: repeatedly remove a node of degree < K; when none exists, remove
+// the node with the lowest (spillCost / degree) ratio as a spill *candidate*
+// but still push it on the stack (Briggs's optimistic colouring — the
+// candidate often receives a colour anyway at select time). Select: pop the
+// stack, giving each node the lowest colour unused by its coloured
+// neighbours; candidates with no free colour become actual spills.
+#pragma once
+
+#include <vector>
+
+#include "regalloc/InterferenceGraph.h"
+
+namespace rapt {
+
+struct ColoringResult {
+  /// Colour per node (0..K-1), or -1 for spilled nodes.
+  std::vector<int> color;
+  std::vector<int> spilled;  ///< node indices that received no colour
+  [[nodiscard]] bool success() const { return spilled.empty(); }
+};
+
+/// Colours `graph` with at most `k` colours, Briggs-optimistically.
+[[nodiscard]] ColoringResult colorGraph(const InterferenceGraph& graph, int k);
+
+}  // namespace rapt

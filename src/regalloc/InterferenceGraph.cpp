@@ -1,0 +1,87 @@
+#include "regalloc/InterferenceGraph.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+InterferenceGraph InterferenceGraph::build(std::span<const LiveRange> ranges,
+                                           std::vector<double> spillCost) {
+  InterferenceGraph g;
+  const int n = static_cast<int>(ranges.size());
+  g.adj_.assign(n, {});
+  if (spillCost.empty()) {
+    spillCost.resize(n);
+    for (int i = 0; i < n; ++i) {
+      // Chaitin-flavoured default: short, busy ranges are expensive to spill.
+      const int span = std::max(1, ranges[i].span());
+      spillCost[i] = 1.0 / static_cast<double>(span);
+    }
+  }
+  RAPT_ASSERT(static_cast<int>(spillCost.size()) == n, "spill cost size mismatch");
+  g.spillCost_ = std::move(spillCost);
+
+  // Sweep by segment start; O(S log S + edges).
+  struct Seg {
+    int begin, end, node;
+  };
+  std::vector<Seg> segs;
+  for (int i = 0; i < n; ++i)
+    for (const LiveSegment& s : ranges[i].segments) segs.push_back({s.begin, s.end, i});
+  std::sort(segs.begin(), segs.end(),
+            [](const Seg& a, const Seg& b) { return a.begin < b.begin; });
+
+  std::vector<Seg> active;
+  std::vector<std::vector<bool>> seen(n);  // avoid duplicate edges cheaply
+  for (int i = 0; i < n; ++i) seen[i].assign(n, false);
+  for (const Seg& s : segs) {
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](const Seg& a) { return a.end <= s.begin; }),
+                 active.end());
+    for (const Seg& a : active) {
+      if (a.node == s.node) continue;
+      const int x = std::min(a.node, s.node);
+      const int y = std::max(a.node, s.node);
+      if (seen[x][y]) continue;
+      seen[x][y] = true;
+      g.adj_[x].push_back(y);
+      g.adj_[y].push_back(x);
+      ++g.numEdges_;
+    }
+    active.push_back(s);
+  }
+  for (auto& nbrs : g.adj_) std::sort(nbrs.begin(), nbrs.end());
+  return g;
+}
+
+InterferenceGraph InterferenceGraph::fromEdges(
+    int numNodes, std::span<const std::pair<int, int>> edges,
+    std::vector<double> spillCost) {
+  InterferenceGraph g;
+  g.adj_.assign(numNodes, {});
+  if (spillCost.empty()) spillCost.assign(numNodes, 1.0);
+  RAPT_ASSERT(static_cast<int>(spillCost.size()) == numNodes,
+              "spill cost size mismatch");
+  g.spillCost_ = std::move(spillCost);
+  for (const auto& [a, b] : edges) {
+    RAPT_ASSERT(a >= 0 && a < numNodes && b >= 0 && b < numNodes, "edge out of range");
+    if (a == b) continue;
+    g.adj_[a].push_back(b);
+    g.adj_[b].push_back(a);
+  }
+  for (auto& nbrs : g.adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  for (const auto& nbrs : g.adj_) g.numEdges_ += nbrs.size();
+  g.numEdges_ /= 2;
+  return g;
+}
+
+bool InterferenceGraph::interferes(int a, int b) const {
+  const auto& nbrs = adj_[a];
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+}  // namespace rapt

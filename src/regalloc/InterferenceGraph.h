@@ -1,0 +1,43 @@
+// Interference graph over register live ranges.
+#pragma once
+
+#include <vector>
+
+#include "regalloc/LiveIntervals.h"
+
+namespace rapt {
+
+/// Undirected interference graph; node i corresponds to the i-th live range
+/// handed to build(). Supports the queries the Chaitin/Briggs allocator
+/// needs: degree, adjacency, and spill costs.
+class InterferenceGraph {
+ public:
+  /// Builds interference edges between every pair of overlapping ranges.
+  /// `spillCost[i]` follows Chaitin: uses+defs weight divided by live span
+  /// (cheap long-lived ranges spill first); pass empty to use span-based
+  /// defaults computed from the ranges.
+  [[nodiscard]] static InterferenceGraph build(std::span<const LiveRange> ranges,
+                                               std::vector<double> spillCost = {});
+
+  /// Builds from an explicit edge list (whole-function Chaitin construction).
+  /// Duplicate edges are tolerated.
+  [[nodiscard]] static InterferenceGraph fromEdges(
+      int numNodes, std::span<const std::pair<int, int>> edges,
+      std::vector<double> spillCost = {});
+
+  [[nodiscard]] int numNodes() const { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] std::span<const int> neighbors(int n) const { return adj_[n]; }
+  [[nodiscard]] int degree(int n) const { return static_cast<int>(adj_[n].size()); }
+  [[nodiscard]] double spillCost(int n) const { return spillCost_[n]; }
+  [[nodiscard]] bool interferes(int a, int b) const;
+
+  /// Number of edges (each counted once).
+  [[nodiscard]] std::size_t numEdges() const { return numEdges_; }
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  std::vector<double> spillCost_;
+  std::size_t numEdges_ = 0;
+};
+
+}  // namespace rapt

@@ -1,0 +1,112 @@
+#include "regalloc/LiveIntervals.h"
+
+#include <algorithm>
+#include <map>
+
+#include "partition/Partition.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+bool LiveRange::overlaps(const LiveRange& o) const {
+  // Both segment lists are sorted; merge-walk.
+  std::size_t i = 0, j = 0;
+  while (i < segments.size() && j < o.segments.size()) {
+    if (segments[i].overlaps(o.segments[j])) return true;
+    if (segments[i].end <= o.segments[j].end)
+      ++i;
+    else
+      ++j;
+  }
+  return false;
+}
+
+int LiveRange::span() const {
+  int total = 0;
+  for (const LiveSegment& s : segments) total += s.end - s.begin;
+  return total;
+}
+
+std::vector<LiveRange> computeLiveRanges(const PipelinedCode& code,
+                                         const LatencyTable& lat) {
+  struct Events {
+    std::vector<std::pair<int, int>> defs;  // (issue, land), issue-sorted
+    std::vector<int> reads;                 // issue cycles, sorted
+  };
+  std::map<std::uint32_t, Events> events;  // ordered by name key
+
+  for (int c = 0; c < static_cast<int>(code.instrs.size()); ++c) {
+    for (const EmittedOp& eo : code.instrs[c].ops) {
+      for (VirtReg s : eo.op.srcs()) events[s.key()].reads.push_back(c);
+      if (eo.op.def.isValid())
+        events[eo.op.def.key()].defs.emplace_back(c, c + lat.of(eo.op.op));
+    }
+  }
+
+  std::vector<LiveRange> ranges;
+  for (auto& [key, evs] : events) {
+    std::sort(evs.defs.begin(), evs.defs.end());
+    std::sort(evs.reads.begin(), evs.reads.end());
+    LiveRange lr;
+    lr.name = VirtReg::fromKey(key);
+
+    // Attribute every read to the latest def whose write has LANDED by the
+    // read cycle; reads with no landed def consume the initial contents.
+    // Segment per value instance: [def issue, max(land, last read + 1));
+    // initial contents occupy [0, last initial read + 1).
+    const int nDefs = static_cast<int>(evs.defs.size());
+    std::vector<int> lastReadOf(nDefs + 1, -1);  // index 0 == initial value
+    for (int r : evs.reads) {
+      int owner = 0;
+      for (int d = 0; d < nDefs; ++d) {
+        if (evs.defs[d].second <= r) owner = d + 1;
+      }
+      lastReadOf[owner] = std::max(lastReadOf[owner], r);
+    }
+    if (lastReadOf[0] >= 0) lr.segments.push_back({0, lastReadOf[0] + 1});
+    for (int d = 0; d < nDefs; ++d) {
+      const auto [issue, land] = evs.defs[d];
+      lr.segments.push_back({issue, std::max(land, lastReadOf[d + 1] + 1)});
+    }
+    std::sort(lr.segments.begin(), lr.segments.end(),
+              [](const LiveSegment& a, const LiveSegment& b) {
+                return a.begin < b.begin;
+              });
+    // Merge overlapping and touching segments (e.g. a tight recurrence
+    // redefines the register exactly where the previous segment ends); the
+    // union of cycles covered is unchanged.
+    std::vector<LiveSegment> merged;
+    for (const LiveSegment& s : lr.segments) {
+      if (!merged.empty() && s.begin <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, s.end);
+      } else {
+        merged.push_back(s);
+      }
+    }
+    lr.segments = std::move(merged);
+    ranges.push_back(std::move(lr));
+  }
+  return ranges;
+}
+
+int maxLivePressure(const std::vector<LiveRange>& ranges, const PressureQuery& query,
+                    const PipelinedCode& code, const Partition& partition) {
+  std::vector<std::pair<int, int>> deltas;  // (cycle, +1/-1)
+  for (const LiveRange& lr : ranges) {
+    if (lr.name.cls() != query.cls) continue;
+    if (partition.bankOf(code.originalOf(lr.name)) != query.bank) continue;
+    for (const LiveSegment& s : lr.segments) {
+      deltas.emplace_back(s.begin, +1);
+      deltas.emplace_back(s.end, -1);
+    }
+  }
+  std::sort(deltas.begin(), deltas.end());
+  int cur = 0, peak = 0;
+  for (const auto& [cycle, d] : deltas) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+}  // namespace rapt

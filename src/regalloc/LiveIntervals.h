@@ -1,0 +1,56 @@
+// Live intervals of register names over a flat VLIW instruction stream.
+//
+// The pipelined stream is straight-line code, so liveness is exact interval
+// arithmetic. A name's occupancy of a physical register must cover not only
+// [definition, last read] but also the whole in-flight window of the write
+// (results land at issue + latency; a physical register may not host another
+// value while a write to it is still in flight), hence each segment is
+//
+//     [defIssue, max(lastReadIssue, defIssue + defLatency))
+//
+// Names read before any definition (loop live-ins and the carried-phase MVE
+// names) get a leading segment starting at cycle 0.
+#pragma once
+
+#include <vector>
+
+#include "machine/MachineDesc.h"
+#include "sched/PipelinedCode.h"
+
+namespace rapt {
+
+struct LiveSegment {
+  int begin = 0;  ///< inclusive
+  int end = 0;    ///< exclusive
+
+  [[nodiscard]] bool overlaps(const LiveSegment& o) const {
+    return begin < o.end && o.begin < end;
+  }
+};
+
+struct LiveRange {
+  VirtReg name;
+  std::vector<LiveSegment> segments;  ///< sorted, disjoint
+
+  [[nodiscard]] bool overlaps(const LiveRange& o) const;
+  /// Total cycles covered (spill-cost denominator).
+  [[nodiscard]] int span() const;
+};
+
+/// Computes the live range of every name in `code`.
+[[nodiscard]] std::vector<LiveRange> computeLiveRanges(const PipelinedCode& code,
+                                                       const LatencyTable& lat);
+
+/// The largest number of simultaneously live names at any cycle, per
+/// (bank of original register, class) — the classic MaxLive pressure metric.
+/// `bankOfName(name)` maps a name to its bank.
+struct PressureQuery {
+  int bank;
+  RegClass cls;
+};
+[[nodiscard]] int maxLivePressure(const std::vector<LiveRange>& ranges,
+                                  const PressureQuery& query,
+                                  const PipelinedCode& code,
+                                  const class Partition& partition);
+
+}  // namespace rapt

@@ -1,0 +1,101 @@
+#include "regalloc/Liveness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+using RegSet = std::set<VirtReg>;
+
+void collectUseDef(const BasicBlock& bb, RegSet& use, RegSet& def) {
+  // `use` = registers read before any definition within the block.
+  for (const Operation& o : bb.ops) {
+    for (VirtReg s : o.srcs()) {
+      if (def.count(s) == 0) use.insert(s);
+    }
+    if (o.def.isValid()) def.insert(o.def);
+  }
+}
+
+std::vector<VirtReg> toSorted(const RegSet& s) {
+  return std::vector<VirtReg>(s.begin(), s.end());
+}
+
+}  // namespace
+
+std::vector<BlockLiveness> computeLiveness(const Function& fn) {
+  const int n = fn.numBlocks();
+  std::vector<RegSet> use(n), def(n), liveIn(n), liveOut(n);
+  for (int b = 0; b < n; ++b) collectUseDef(fn.blocks[b], use[b], def[b]);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = n - 1; b >= 0; --b) {
+      RegSet newOut;
+      for (int s : fn.blocks[b].succs)
+        newOut.insert(liveIn[s].begin(), liveIn[s].end());
+      RegSet newIn = use[b];
+      for (VirtReg r : newOut) {
+        if (def[b].count(r) == 0) newIn.insert(r);
+      }
+      if (newOut != liveOut[b] || newIn != liveIn[b]) {
+        liveOut[b] = std::move(newOut);
+        liveIn[b] = std::move(newIn);
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<BlockLiveness> result(n);
+  for (int b = 0; b < n; ++b) {
+    result[b].liveIn = toSorted(liveIn[b]);
+    result[b].liveOut = toSorted(liveOut[b]);
+  }
+  return result;
+}
+
+FunctionInterference buildFunctionInterference(const Function& fn) {
+  FunctionInterference out;
+  out.nodes = fn.allRegs();
+  std::unordered_map<std::uint32_t, int> nodeOf;
+  for (int i = 0; i < static_cast<int>(out.nodes.size()); ++i)
+    nodeOf[out.nodes[i].key()] = i;
+
+  const std::vector<BlockLiveness> live = computeLiveness(fn);
+  std::vector<std::pair<int, int>> edges;
+  std::vector<double> defUseCount(out.nodes.size(), 0.0);
+
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    RegSet liveNow(live[b].liveOut.begin(), live[b].liveOut.end());
+    const auto& ops = fn.blocks[b].ops;
+    const double blockWeight = std::pow(10.0, fn.blocks[b].nestingDepth);
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      const Operation& o = *it;
+      if (o.def.isValid()) {
+        const int d = nodeOf.at(o.def.key());
+        defUseCount[d] += blockWeight;
+        for (VirtReg r : liveNow) {
+          if (r != o.def) edges.emplace_back(d, nodeOf.at(r.key()));
+        }
+        liveNow.erase(o.def);
+      }
+      for (VirtReg s : o.srcs()) {
+        defUseCount[nodeOf.at(s.key())] += blockWeight;
+        liveNow.insert(s);
+      }
+    }
+  }
+
+  // Chaitin spill cost: (depth-weighted def/use count); the allocator divides
+  // by degree itself.
+  out.graph = InterferenceGraph::fromEdges(static_cast<int>(out.nodes.size()), edges,
+                                           std::move(defUseCount));
+  return out;
+}
+
+}  // namespace rapt

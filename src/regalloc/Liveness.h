@@ -1,0 +1,33 @@
+// Global liveness analysis over a function CFG (backward dataflow).
+//
+// Supports the whole-function path of the framework: the Chaitin/Briggs
+// allocator needs interference information for registers whose live ranges
+// span basic blocks.
+#pragma once
+
+#include <vector>
+
+#include "ir/Function.h"
+#include "regalloc/InterferenceGraph.h"
+
+namespace rapt {
+
+struct BlockLiveness {
+  std::vector<VirtReg> liveIn;   ///< sorted
+  std::vector<VirtReg> liveOut;  ///< sorted
+};
+
+/// Iterative backward dataflow: liveOut(B) = union of liveIn(succs),
+/// liveIn(B) = use(B) | (liveOut(B) - def(B)).
+[[nodiscard]] std::vector<BlockLiveness> computeLiveness(const Function& fn);
+
+/// Builds a whole-function interference graph: registers interfere when one
+/// is defined while the other is live (the classic Chaitin construction,
+/// walking each block backwards from liveOut). Returns the node order used.
+struct FunctionInterference {
+  std::vector<VirtReg> nodes;
+  InterferenceGraph graph;
+};
+[[nodiscard]] FunctionInterference buildFunctionInterference(const Function& fn);
+
+}  // namespace rapt

@@ -1,0 +1,42 @@
+#include "regalloc/PhysicalRewrite.h"
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+PipelinedCode applyPhysicalAssignment(const PipelinedCode& code,
+                                      const BankAssignment& alloc) {
+  auto physOf = [&](VirtReg name) {
+    auto it = alloc.physOf.find(name.key());
+    RAPT_ASSERT(it != alloc.physOf.end(), "name without a physical register");
+    RAPT_ASSERT(it->second.cls == name.cls(), "class-mismatched assignment");
+    return encodePhysReg(it->second);
+  };
+
+  PipelinedCode out = code;
+  for (VliwInstr& in : out.instrs) {
+    for (EmittedOp& eo : in.ops) {
+      if (eo.op.def.isValid()) eo.op.def = physOf(eo.op.def);
+      for (int s = 0; s < eo.op.numSrcs(); ++s) eo.op.src[s] = physOf(eo.op.src[s]);
+    }
+  }
+  out.namesOf.clear();
+  out.originOf.clear();
+  for (const auto& [origKey, names] : code.namesOf) {
+    std::vector<VirtReg> phys;
+    phys.reserve(names.size());
+    for (VirtReg n : names) {
+      const VirtReg p = physOf(n);
+      phys.push_back(p);
+      // Several names may share a physical register (disjoint lifetimes);
+      // any of their origins resolves to the same bank, which is all the
+      // resource checker needs.
+      out.originOf[p.key()] = code.originOf.at(n.key());
+    }
+    out.namesOf[origKey] = std::move(phys);
+  }
+  for (LiveInValue& lv : out.nameInits) lv.reg = physOf(lv.reg);
+  return out;
+}
+
+}  // namespace rapt

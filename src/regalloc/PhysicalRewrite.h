@@ -1,0 +1,34 @@
+// Physical register substitution.
+//
+// Rewrites a pipelined stream's virtual MVE names into the physical
+// registers chosen by the bank assignment, producing the stream the hardware
+// would actually execute. Simulating THIS stream closes the last validation
+// gap: an allocator bug (two overlapping values sharing a register) is
+// invisible when simulating virtual names, but corrupts results here.
+//
+// Physical registers are encoded back into the VirtReg space in a reserved
+// high index range so the existing simulator runs unchanged:
+//     index = kPhysBase + bank * kBankStride + registerIndex.
+#pragma once
+
+#include "regalloc/BankAssigner.h"
+#include "sched/PipelinedCode.h"
+
+namespace rapt {
+
+constexpr std::uint32_t kPhysBase = 1u << 20;
+constexpr std::uint32_t kBankStride = 1u << 10;
+
+/// The VirtReg encoding of a physical register.
+[[nodiscard]] inline VirtReg encodePhysReg(const PhysReg& pr) {
+  return VirtReg(pr.cls, kPhysBase + static_cast<std::uint32_t>(pr.bank) * kBankStride +
+                             static_cast<std::uint32_t>(pr.index));
+}
+
+/// Rewrites every operand, rename-table entry and initial value of `code`
+/// through `alloc` (which must cover every name). The result simulates and
+/// equivalence-checks exactly like the virtual stream.
+[[nodiscard]] PipelinedCode applyPhysicalAssignment(const PipelinedCode& code,
+                                                    const BankAssignment& alloc);
+
+}  // namespace rapt

@@ -1,0 +1,164 @@
+#include "regalloc/Spiller.h"
+
+#include <algorithm>
+
+#include "regalloc/GraphColoring.h"
+#include "regalloc/Liveness.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+SpillPlan makeSpillPlan(Function& fn, int numBanks, Partition* partition) {
+  SpillPlan plan;
+  plan.intSlots = fn.addArray("__spill_int", 256, false);
+  plan.fltSlots = fn.addArray("__spill_flt", 256, true);
+  // Pinned zero index registers, materialized at the top of the entry block.
+  std::uint32_t maxInt = 0;
+  for (VirtReg r : fn.allRegs()) {
+    if (r.cls() == RegClass::Int) maxInt = std::max(maxInt, r.index() + 1);
+  }
+  RAPT_ASSERT(!fn.blocks.empty(), "spilling needs an entry block");
+  for (int b = 0; b < numBanks; ++b) {
+    const VirtReg zero(RegClass::Int, maxInt + static_cast<std::uint32_t>(b));
+    plan.zeroRegs.push_back(zero);
+    fn.blocks[0].ops.insert(fn.blocks[0].ops.begin(), makeIConst(zero, 0));
+    if (partition != nullptr) partition->assign(zero, b);
+  }
+  return plan;
+}
+
+int spillRegister(Function& fn, VirtReg reg, SpillPlan& plan,
+                  std::uint32_t nextFresh[2], Partition* partition) {
+  RAPT_ASSERT(!plan.isZeroReg(reg), "the spill index register cannot be spilled");
+  const VirtReg zero =
+      plan.zeroRegs[partition != nullptr && partition->isAssigned(reg)
+                        ? partition->bankOf(reg)
+                        : 0];
+  const ArrayId arr = reg.cls() == RegClass::Flt ? plan.fltSlots : plan.intSlots;
+  const Opcode loadOp = reg.cls() == RegClass::Flt ? Opcode::FLoad : Opcode::ILoad;
+  const Opcode storeOp = reg.cls() == RegClass::Flt ? Opcode::FStore : Opcode::IStore;
+
+  auto [slotIt, inserted] =
+      plan.slotOf.try_emplace(reg.key(), plan.nextSlot[static_cast<int>(reg.cls())]);
+  if (inserted) ++plan.nextSlot[static_cast<int>(reg.cls())];
+  const std::int64_t slot = slotIt->second;
+
+  auto fresh = [&](RegClass rc) {
+    const VirtReg t(rc, nextFresh[static_cast<int>(rc)]++);
+    if (partition != nullptr) partition->assign(t, partition->bankOf(reg));
+    return t;
+  };
+
+  int added = 0;
+  for (BasicBlock& bb : fn.blocks) {
+    std::vector<Operation> rewritten;
+    rewritten.reserve(bb.ops.size());
+    for (Operation op : bb.ops) {
+      // Reload before a use.
+      VirtReg reload;
+      for (int s = 0; s < op.numSrcs(); ++s) {
+        if (op.src[s] != reg) continue;
+        if (!reload.isValid()) {
+          reload = fresh(reg.cls());
+          rewritten.push_back(makeLoad(loadOp, reload, arr, zero, slot));
+          ++added;
+        }
+        op.src[s] = reload;
+      }
+      // Define into a temporary, then store to the slot.
+      if (op.def.isValid() && op.def == reg) {
+        const VirtReg tmp = fresh(reg.cls());
+        op.def = tmp;
+        rewritten.push_back(op);
+        rewritten.push_back(makeStore(storeOp, arr, zero, tmp, slot));
+        ++added;
+        continue;
+      }
+      rewritten.push_back(op);
+    }
+    bb.ops = std::move(rewritten);
+  }
+  return added;
+}
+
+FunctionAllocResult allocateFunction(Function& fn, const MachineDesc& machine,
+                                     Partition& partition, int maxRounds) {
+  FunctionAllocResult out;
+  SpillPlan plan;  // created lazily on first spill
+  bool havePlan = false;
+  std::uint32_t nextFresh[2] = {0, 0};
+  auto refreshCounters = [&] {
+    for (VirtReg r : fn.allRegs()) {
+      std::uint32_t& n = nextFresh[static_cast<int>(r.cls())];
+      n = std::max(n, r.index() + 1);
+    }
+  };
+  refreshCounters();
+  // Registers the caller did not place default to bank 0.
+  for (VirtReg r : fn.allRegs()) {
+    if (!partition.isAssigned(r)) partition.assign(r, 0);
+  }
+
+  for (int round = 1; round <= maxRounds; ++round) {
+    out.rounds = round;
+    const FunctionInterference fi = buildFunctionInterference(fn);
+    out.physOf.clear();
+    std::vector<VirtReg> victims;
+
+    for (int bank = 0; bank < machine.numClusters; ++bank) {
+      for (RegClass cls : {RegClass::Int, RegClass::Flt}) {
+        std::vector<int> members;
+        for (int i = 0; i < static_cast<int>(fi.nodes.size()); ++i) {
+          if (fi.nodes[i].cls() != cls) continue;
+          if (partition.bankOf(fi.nodes[i]) != bank) continue;
+          members.push_back(i);
+        }
+        if (members.empty()) continue;
+        std::vector<std::pair<int, int>> edges;
+        std::vector<double> costs;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          const VirtReg node = fi.nodes[members[i]];
+          // The zero register and registers without an in-function definition
+          // cannot be spilled: infinite cost.
+          const bool unspillable =
+              (havePlan && plan.isZeroReg(node)) || !hasDefinition(fn, node);
+          costs.push_back(unspillable ? 1e18 : fi.graph.spillCost(members[i]));
+          for (std::size_t j = i + 1; j < members.size(); ++j) {
+            if (fi.graph.interferes(members[i], members[j]))
+              edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+          }
+        }
+        const InterferenceGraph sub = InterferenceGraph::fromEdges(
+            static_cast<int>(members.size()), edges, std::move(costs));
+        const ColoringResult coloring = colorGraph(sub, machine.regsPerBank(cls));
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          if (coloring.color[static_cast<int>(i)] >= 0) {
+            out.physOf[fi.nodes[members[i]].key()] =
+                PhysReg{bank, cls, coloring.color[static_cast<int>(i)]};
+          }
+        }
+        for (int s : coloring.spilled) victims.push_back(fi.nodes[members[s]]);
+      }
+    }
+
+    if (victims.empty()) {
+      out.success = true;
+      return out;
+    }
+    if (round == maxRounds) break;
+
+    if (!havePlan) {
+      plan = makeSpillPlan(fn, machine.numClusters, &partition);
+      havePlan = true;
+      refreshCounters();
+    }
+    for (VirtReg v : victims) {
+      if (plan.isZeroReg(v) || !hasDefinition(fn, v)) continue;  // cannot spill
+      out.spillOpsAdded += spillRegister(fn, v, plan, nextFresh, &partition);
+      ++out.spilledRegs;
+    }
+  }
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,74 @@
+// Spill code insertion (the "spilling via graph coloring" half of Chaitin).
+//
+// When a register file cannot be coloured, Chaitin's allocator picks victims
+// by cost/degree, rewrites every definition of a victim to a store into a
+// stack slot and every use to a reload into a short-lived temporary, and
+// recolours — the temporaries' tiny live ranges make the graph sparser each
+// round. The loop pipeline avoids this by relaxing II (less overlap, lower
+// pressure); the whole-function path has no II to relax, so real spill code
+// is the only recourse.
+//
+// Stack slots are modelled as two dedicated spill arrays (one per register
+// class) indexed through a pinned zero register materialized in the entry
+// block.
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/Function.h"
+#include "machine/MachineDesc.h"
+#include "partition/Partition.h"
+#include "regalloc/BankAssigner.h"
+
+namespace rapt {
+
+/// Handles to the spill machinery inside a function.
+struct SpillPlan {
+  ArrayId intSlots = kNoArray;
+  ArrayId fltSlots = kNoArray;
+  /// One pinned `iconst 0` index register per bank, so spill loads/stores
+  /// never need cross-bank operands themselves.
+  std::vector<VirtReg> zeroRegs;
+  std::unordered_map<std::uint32_t, std::int64_t> slotOf;  ///< per spilled reg
+  std::int64_t nextSlot[2] = {0, 0};               ///< per class
+
+  [[nodiscard]] bool isZeroReg(VirtReg r) const {
+    for (VirtReg z : zeroRegs) {
+      if (z == r) return true;
+    }
+    return false;
+  }
+};
+
+/// Adds the spill arrays and one zero register per bank to `fn` (call once
+/// per function instance and reuse the plan). When `partition` is non-null
+/// each zero register is assigned to its bank.
+[[nodiscard]] SpillPlan makeSpillPlan(Function& fn, int numBanks,
+                                      Partition* partition);
+
+/// Rewrites every definition and use of `reg` through its spill slot. Fresh
+/// temporaries are drawn from `nextFresh` and, when `partition` is non-null,
+/// inherit `reg`'s bank. Returns the number of operations inserted.
+/// `reg` must have at least one definition in `fn`.
+int spillRegister(Function& fn, VirtReg reg, SpillPlan& plan,
+                  std::uint32_t nextFresh[2], Partition* partition);
+
+/// Iterative whole-function allocation: colour each (bank, class) file,
+/// spill the uncoloured victims, repeat. `partition` maps registers to banks
+/// (pass a single-bank partition for a monolithic machine). `fn` is modified
+/// in place when spilling occurs.
+struct FunctionAllocResult {
+  bool success = false;
+  int rounds = 0;          ///< colouring rounds (1 == no spilling needed)
+  int spilledRegs = 0;
+  int spillOpsAdded = 0;
+  /// reg key -> physical register, for every register live at the end.
+  std::unordered_map<std::uint32_t, PhysReg> physOf;
+};
+
+[[nodiscard]] FunctionAllocResult allocateFunction(Function& fn,
+                                                   const MachineDesc& machine,
+                                                   Partition& partition,
+                                                   int maxRounds = 8);
+
+}  // namespace rapt

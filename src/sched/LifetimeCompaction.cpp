@@ -1,0 +1,102 @@
+#include "sched/LifetimeCompaction.h"
+
+#include <algorithm>
+
+#include "sched/ModuloScheduler.h"
+#include "sched/Mrt.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+long long totalLifetime(const Ddg& ddg, const ModuloSchedule& sched) {
+  long long total = 0;
+  for (int d = 0; d < ddg.numOps(); ++d) {
+    long long maxRead = -1;
+    for (int ei : ddg.succEdges(d)) {
+      const DdgEdge& e = ddg.edge(ei);
+      if (e.kind != DepKind::RegTrue) continue;
+      maxRead = std::max<long long>(
+          maxRead, sched.cycle[e.to] + static_cast<long long>(sched.ii) * e.distance);
+    }
+    if (maxRead >= 0) total += maxRead - sched.cycle[d];
+  }
+  return total;
+}
+
+namespace {
+
+/// Legal issue window of `op` given everyone else's current times.
+void windowOf(const Ddg& ddg, const ModuloSchedule& sched, int op, int& lo, int& hi) {
+  lo = 0;
+  hi = sched.cycle[op] + 4 * sched.ii;  // generous finite cap
+  for (int ei : ddg.predEdges(op)) {
+    const DdgEdge& e = ddg.edge(ei);
+    if (e.from == op) continue;
+    lo = std::max(lo, sched.cycle[e.from] + e.latency - sched.ii * e.distance);
+  }
+  for (int ei : ddg.succEdges(op)) {
+    const DdgEdge& e = ddg.edge(ei);
+    if (e.to == op) continue;
+    hi = std::min(hi, sched.cycle[e.to] - e.latency + sched.ii * e.distance);
+  }
+}
+
+}  // namespace
+
+CompactionStats compactLifetimes(const Ddg& ddg, const MachineDesc& machine,
+                                 std::span<const OpConstraint> constraints,
+                                 ModuloSchedule& sched) {
+  CompactionStats stats;
+  stats.lifetimeBefore = totalLifetime(ddg, sched);
+  if (ddg.numOps() == 0) {
+    stats.lifetimeAfter = stats.lifetimeBefore;
+    return stats;
+  }
+
+  // Mirror the schedule into an MRT so slot feasibility is exact.
+  Mrt mrt(machine, sched.ii, ddg.numOps());
+  for (int op = 0; op < ddg.numOps(); ++op)
+    mrt.place(op, constraints[op], sched.cycle[op]);
+
+  long long current = stats.lifetimeBefore;
+  for (int pass = 0; pass < 4; ++pass) {
+    bool improved = false;
+    for (int op = 0; op < ddg.numOps(); ++op) {
+      int lo, hi;
+      windowOf(ddg, sched, op, lo, hi);
+      if (lo >= hi) continue;
+      const int curCycle = sched.cycle[op];
+      int bestCycle = curCycle;
+      long long bestTotal = current;
+      mrt.remove(op, constraints[op]);
+      for (int t = lo; t <= hi; ++t) {
+        if (t == curCycle) continue;
+        if (!mrt.canPlace(constraints[op], t)) continue;
+        sched.cycle[op] = t;
+        const long long lt = totalLifetime(ddg, sched);
+        if (lt < bestTotal) {
+          bestTotal = lt;
+          bestCycle = t;
+        }
+      }
+      sched.cycle[op] = bestCycle;
+      mrt.place(op, constraints[op], bestCycle);
+      if (bestCycle != curCycle) {
+        ++stats.movedOps;
+        current = bestTotal;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  // Times may have drifted; renormalize and restore the invariants.
+  const int minCycle = *std::min_element(sched.cycle.begin(), sched.cycle.end());
+  for (int& t : sched.cycle) t -= minCycle;
+  assignFunctionalUnits(ddg, machine, constraints, sched);
+  RAPT_ASSERT(findViolatedEdge(ddg, sched) < 0, "compaction broke the schedule");
+  stats.lifetimeAfter = totalLifetime(ddg, sched);
+  return stats;
+}
+
+}  // namespace rapt

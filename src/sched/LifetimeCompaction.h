@@ -1,0 +1,44 @@
+// Lifetime-sensitive schedule compaction.
+//
+// The paper contrasts its "standard" Rau scheduling with Llosa's Swing modulo
+// scheduling, which "attempts to reduce register requirements", and notes
+// this "could have an effect on the partitioning of registers" (§6.3). This
+// post-pass captures the register-pressure half of that idea without
+// replacing the scheduler: keeping II and all resource assignments fixed, it
+// repeatedly moves single operations within their dependence slack to shrink
+// value lifetimes —
+//
+//   * an operation is pushed LATER toward its consumers when that shortens
+//     the ranges of the values it reads more than it stretches its own;
+//   * symmetric pulls EARLIER are applied when the op's own result waits too
+//     long for its first consumer.
+//
+// Shorter lifetimes mean smaller MVE unroll factors and lower MaxLive, which
+// in turn means fewer allocation-driven II relaxations on small banks (see
+// bench_ext_pressure).
+#pragma once
+
+#include "ddg/Ddg.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+struct CompactionStats {
+  int movedOps = 0;
+  long long lifetimeBefore = 0;  ///< sum over values of (last read - def)
+  long long lifetimeAfter = 0;
+};
+
+/// Compacts `sched` in place (II unchanged, legality preserved, modulo-slot
+/// resource usage preserved by only ever moving ops in whole-II steps or
+/// into verified-free slots). Returns what changed.
+CompactionStats compactLifetimes(const Ddg& ddg, const MachineDesc& machine,
+                                 std::span<const OpConstraint> constraints,
+                                 ModuloSchedule& sched);
+
+/// Sum of register lifetimes implied by a schedule: for every op with a
+/// definition, max over its flow consumers of (t_use + II*distance) minus
+/// t_def; ops with no consumer contribute 0.
+[[nodiscard]] long long totalLifetime(const Ddg& ddg, const ModuloSchedule& sched);
+
+}  // namespace rapt

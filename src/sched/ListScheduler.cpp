@@ -1,0 +1,106 @@
+#include "sched/ListScheduler.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+ListSchedule listSchedule(const Ddg& ddg, const MachineDesc& machine,
+                          std::span<const OpConstraint> constraints) {
+  RAPT_ASSERT(static_cast<int>(constraints.size()) == ddg.numOps(),
+              "one constraint per op required");
+  const int n = ddg.numOps();
+  ListSchedule out;
+  out.cycle.assign(n, -1);
+  out.fu.assign(n, -1);
+  if (n == 0) {
+    out.length = 0;
+    return out;
+  }
+
+  // Heights over the acyclic (distance-0) subgraph.
+  std::vector<int> height(n, 0);
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const DdgEdge& e : ddg.edges()) {
+      if (e.distance != 0) continue;
+      if (height[e.to] + e.latency > height[e.from]) {
+        height[e.from] = height[e.to] + e.latency;
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (height[a] != height[b]) return height[a] > height[b];
+    return a < b;
+  });
+
+  // Per-cycle resource occupancy, grown on demand.
+  std::vector<std::vector<int>> fuUsed;    // [cycle][cluster]
+  std::vector<int> busUsed;                // [cycle]
+  std::vector<std::vector<int>> portUsed;  // [cycle][bank]
+  auto ensure = [&](int cycle) {
+    while (static_cast<int>(fuUsed.size()) <= cycle) {
+      fuUsed.emplace_back(machine.numClusters, 0);
+      busUsed.push_back(0);
+      portUsed.emplace_back(machine.numClusters, 0);
+    }
+  };
+  auto fits = [&](const OpConstraint& c, int cycle) {
+    ensure(cycle);
+    if (c.usesCopyUnit) {
+      return busUsed[cycle] < machine.busCount &&
+             portUsed[cycle][c.srcBank] < machine.copyPortsPerBank &&
+             portUsed[cycle][c.dstBank] < machine.copyPortsPerBank;
+    }
+    const int cluster = c.cluster >= 0 ? c.cluster : 0;
+    return fuUsed[cycle][cluster] < machine.fusPerCluster;
+  };
+
+  // Repeatedly place the highest-priority op whose predecessors are done.
+  std::vector<int> remaining = order;
+  while (!remaining.empty()) {
+    bool placedAny = false;
+    for (auto it = remaining.begin(); it != remaining.end(); ++it) {
+      const int op = *it;
+      int estart = 0;
+      bool ready = true;
+      for (int ei : ddg.predEdges(op)) {
+        const DdgEdge& e = ddg.edge(ei);
+        if (e.distance != 0) continue;
+        if (out.cycle[e.from] < 0) {
+          ready = false;
+          break;
+        }
+        estart = std::max(estart, out.cycle[e.from] + e.latency);
+      }
+      if (!ready) continue;
+      int t = estart;
+      while (!fits(constraints[op], t)) ++t;
+      out.cycle[op] = t;
+      const OpConstraint& c = constraints[op];
+      if (c.usesCopyUnit) {
+        ++busUsed[t];
+        ++portUsed[t][c.srcBank];
+        ++portUsed[t][c.dstBank];
+      } else {
+        const int cluster = c.cluster >= 0 ? c.cluster : 0;
+        out.fu[op] = machine.firstFuOfCluster(cluster) + fuUsed[t][cluster];
+        ++fuUsed[t][cluster];
+      }
+      remaining.erase(it);
+      placedAny = true;
+      break;
+    }
+    RAPT_ASSERT(placedAny, "list scheduler deadlock: distance-0 cycle in DDG");
+  }
+
+  for (int t : out.cycle) out.length = std::max(out.length, t + 1);
+  return out;
+}
+
+}  // namespace rapt

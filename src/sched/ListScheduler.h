@@ -1,0 +1,29 @@
+// Local list scheduling for straight-line (acyclic) code.
+//
+// Used for non-loop blocks when the framework is applied to whole functions
+// (the paper's global claim, §1/§6.3) and as a reference point in tests. Only
+// intra-iteration (distance-0) dependence edges apply; ops are placed
+// greedily in decreasing height order at the earliest cycle with a free
+// functional unit in their (optional) cluster.
+#pragma once
+
+#include <span>
+
+#include "ddg/Ddg.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+struct ListSchedule {
+  std::vector<int> cycle;  ///< issue cycle per op
+  std::vector<int> fu;     ///< functional unit per op
+  int length = 0;          ///< total schedule length in cycles (last issue + 1)
+};
+
+/// Schedules the distance-0 subgraph of `ddg` on `machine` under
+/// `constraints` (cluster anchoring; copy-unit copies use bus/port
+/// resources). All resource limits are per concrete cycle.
+[[nodiscard]] ListSchedule listSchedule(const Ddg& ddg, const MachineDesc& machine,
+                                        std::span<const OpConstraint> constraints);
+
+}  // namespace rapt

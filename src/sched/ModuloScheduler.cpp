@@ -1,0 +1,212 @@
+#include "sched/ModuloScheduler.h"
+
+#include <algorithm>
+
+#include "sched/Mrt.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+int constrainedResII(const MachineDesc& machine,
+                     std::span<const OpConstraint> constraints) {
+  std::vector<int> fuCount(machine.numClusters, 0);
+  int busCount = 0;
+  std::vector<int> portCount(machine.numClusters, 0);
+  for (const OpConstraint& c : constraints) {
+    if (c.usesCopyUnit) {
+      ++busCount;
+      ++portCount[c.srcBank];
+      ++portCount[c.dstBank];
+    } else {
+      ++fuCount[c.cluster >= 0 ? c.cluster : 0];
+    }
+  }
+  int ii = 1;
+  for (int cl = 0; cl < machine.numClusters; ++cl) {
+    ii = std::max(ii, (fuCount[cl] + machine.fusPerCluster - 1) / machine.fusPerCluster);
+    if (machine.copyPortsPerBank > 0) {
+      ii = std::max(ii, (portCount[cl] + machine.copyPortsPerBank - 1) /
+                            machine.copyPortsPerBank);
+    } else {
+      RAPT_ASSERT(portCount[cl] == 0, "copy-unit copy on machine without ports");
+    }
+  }
+  if (busCount > 0) {
+    RAPT_ASSERT(machine.busCount > 0, "copy-unit copy on machine without buses");
+    ii = std::max(ii, (busCount + machine.busCount - 1) / machine.busCount);
+  }
+  return ii;
+}
+
+namespace {
+
+class AttemptState {
+ public:
+  AttemptState(const Ddg& ddg, const MachineDesc& machine,
+               std::span<const OpConstraint> constraints, int ii)
+      : ddg_(ddg),
+        constraints_(constraints),
+        mrt_(machine, ii, ddg.numOps()),
+        ii_(ii),
+        time_(ddg.numOps(), -1),
+        lastTried_(ddg.numOps(), -1),
+        heights_(ddg.heights(ii)) {}
+
+  /// Returns true if every op got scheduled within the budget.
+  bool run(int budget) {
+    std::vector<int> worklist(ddg_.numOps());
+    for (int i = 0; i < ddg_.numOps(); ++i) worklist[i] = i;
+    while (!worklist.empty()) {
+      if (budget-- <= 0) return false;
+      // Highest height first; op index breaks ties deterministically.
+      auto best = std::min_element(worklist.begin(), worklist.end(),
+                                   [&](int a, int b) {
+                                     if (heights_[a] != heights_[b])
+                                       return heights_[a] > heights_[b];
+                                     return a < b;
+                                   });
+      const int op = *best;
+      worklist.erase(best);
+      scheduleOp(op, worklist);
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<int>& times() const { return time_; }
+
+ private:
+  void scheduleOp(int op, std::vector<int>& worklist) {
+    const int estart = earliestStart(op);
+    // Try the II-wide window of candidate issue cycles.
+    for (int t = estart; t < estart + ii_; ++t) {
+      if (mrt_.canPlace(constraints_[op], t)) {
+        placeAt(op, t, worklist);
+        return;
+      }
+    }
+    // Forced placement (Rau): pick a cycle that guarantees forward progress,
+    // eject whatever blocks it.
+    int t = estart;
+    if (lastTried_[op] >= 0 && t <= lastTried_[op]) t = lastTried_[op] + 1;
+    for (int victim : mrt_.conflictingOps(op, constraints_[op], t)) unschedule(victim, worklist);
+    RAPT_ASSERT(mrt_.canPlace(constraints_[op], t), "eviction did not free resources");
+    placeAt(op, t, worklist);
+  }
+
+  void placeAt(int op, int t, std::vector<int>& worklist) {
+    mrt_.place(op, constraints_[op], t);
+    time_[op] = t;
+    lastTried_[op] = t;
+    // Eject scheduled ops whose dependence constraints the new placement
+    // violates.
+    for (int ei : ddg_.succEdges(op)) {
+      const DdgEdge& e = ddg_.edge(ei);
+      if (e.to == op) continue;
+      if (time_[e.to] >= 0 && time_[e.to] < t + e.latency - ii_ * e.distance)
+        unschedule(e.to, worklist);
+    }
+    for (int ei : ddg_.predEdges(op)) {
+      const DdgEdge& e = ddg_.edge(ei);
+      if (e.from == op) continue;
+      if (time_[e.from] >= 0 && t < time_[e.from] + e.latency - ii_ * e.distance)
+        unschedule(e.from, worklist);
+    }
+  }
+
+  void unschedule(int op, std::vector<int>& worklist) {
+    if (time_[op] < 0) return;
+    mrt_.remove(op, constraints_[op]);
+    time_[op] = -1;
+    worklist.push_back(op);
+  }
+
+  [[nodiscard]] int earliestStart(int op) const {
+    int estart = 0;
+    for (int ei : ddg_.predEdges(op)) {
+      const DdgEdge& e = ddg_.edge(ei);
+      if (e.from == op) continue;  // self-dependence bounds II, not the slot
+      if (time_[e.from] < 0) continue;
+      estart = std::max(estart, time_[e.from] + e.latency - ii_ * e.distance);
+    }
+    return estart;
+  }
+
+  const Ddg& ddg_;
+  std::span<const OpConstraint> constraints_;
+  Mrt mrt_;
+  int ii_;
+  std::vector<int> time_;
+  std::vector<int> lastTried_;
+  std::vector<int> heights_;
+};
+
+}  // namespace
+
+void assignFunctionalUnits(const Ddg& ddg, const MachineDesc& machine,
+                           std::span<const OpConstraint> constraints,
+                           ModuloSchedule& sched) {
+  sched.fu.assign(ddg.numOps(), -1);
+  // occupancy[slot][cluster] -> next free unit within the cluster
+  std::vector<int> nextUnit(static_cast<std::size_t>(sched.ii) * machine.numClusters, 0);
+  // Deterministic order: by cycle then op index.
+  std::vector<int> order(ddg.numOps());
+  for (int i = 0; i < ddg.numOps(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (sched.cycle[a] != sched.cycle[b]) return sched.cycle[a] < sched.cycle[b];
+    return a < b;
+  });
+  for (int op : order) {
+    const OpConstraint& c = constraints[op];
+    if (c.usesCopyUnit) continue;
+    const int cluster = c.cluster >= 0 ? c.cluster : 0;
+    const int slot = sched.cycle[op] % sched.ii;
+    int& next = nextUnit[static_cast<std::size_t>(slot) * machine.numClusters + cluster];
+    RAPT_ASSERT(next < machine.fusPerCluster, "FU oversubscription");
+    sched.fu[op] = machine.firstFuOfCluster(cluster) + next;
+    ++next;
+  }
+}
+
+ModuloSchedulerResult moduloSchedule(const Ddg& ddg, const MachineDesc& machine,
+                                     std::span<const OpConstraint> constraints,
+                                     const ModuloSchedulerOptions& options) {
+  RAPT_ASSERT(static_cast<int>(constraints.size()) == ddg.numOps(),
+              "one constraint per op required");
+  ModuloSchedulerResult result;
+  result.resII = constrainedResII(machine, constraints);
+  result.recII = ddg.recII();
+  if (ddg.numOps() == 0) {
+    result.success = true;
+    result.schedule.ii = 1;
+    return result;
+  }
+  const int firstII = std::max(result.minII(), options.startII);
+  for (int ii = firstII; ii <= options.maxII; ++ii) {
+    if (!ddg.feasibleII(ii)) continue;
+    AttemptState attempt(ddg, machine, constraints, ii);
+    if (!attempt.run(options.budgetRatio * ddg.numOps())) continue;
+    ModuloSchedule sched;
+    sched.ii = ii;
+    sched.cycle = attempt.times();
+    // Normalize: the earliest op issues at cycle 0.
+    const int minCycle = *std::min_element(sched.cycle.begin(), sched.cycle.end());
+    for (int& t : sched.cycle) t -= minCycle;
+    assignFunctionalUnits(ddg, machine, constraints, sched);
+    RAPT_ASSERT(findViolatedEdge(ddg, sched) < 0, "scheduler produced illegal schedule");
+    result.success = true;
+    result.schedule = std::move(sched);
+    return result;
+  }
+  return result;
+}
+
+int findViolatedEdge(const Ddg& ddg, const ModuloSchedule& sched) {
+  for (int i = 0; i < static_cast<int>(ddg.edges().size()); ++i) {
+    const DdgEdge& e = ddg.edge(i);
+    if (sched.cycle[e.to] < sched.cycle[e.from] + e.latency - sched.ii * e.distance)
+      return i;
+  }
+  return -1;
+}
+
+}  // namespace rapt

@@ -1,0 +1,67 @@
+// Iterative modulo scheduling, after Rau (MICRO-27, 1994) — the software
+// pipelining method the paper's experiments use ("our implementation is based
+// upon Rau's", §2).
+//
+// Given a loop body, its dependence graph, a machine, and per-op issue
+// constraints (cluster anchoring and copy-unit resource usage produced by the
+// partitioning pass), the scheduler finds the smallest initiation interval II
+// at which all operations can be placed:
+//
+//   * candidate IIs start at max(ResII, RecII) and increase on failure;
+//   * within one II, ops are scheduled in decreasing height order (longest
+//     dependence path to a sink, with II-scaled distances);
+//   * each op is tried in the II-wide window from its earliest start; if no
+//     slot has resources, it is force-placed and the conflicting ops (resource
+//     or dependence) are ejected and rescheduled;
+//   * a budget of `budgetRatio * numOps` placements bounds the iteration.
+#pragma once
+
+#include <span>
+
+#include "ddg/Ddg.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+struct ModuloSchedulerOptions {
+  int maxII = 1024;     ///< give up above this II
+  int budgetRatio = 8;  ///< placement budget per II attempt, x numOps
+  int startII = 0;      ///< first II to try when above minII (0 = use minII);
+                        ///< used to relax register pressure after a failed
+                        ///< bank allocation
+};
+
+struct ModuloSchedulerResult {
+  bool success = false;
+  ModuloSchedule schedule;  ///< valid iff success
+  int resII = 0;            ///< resource-constrained lower bound (with constraints)
+  int recII = 0;            ///< recurrence-constrained lower bound
+  [[nodiscard]] int minII() const { return resII > recII ? resII : recII; }
+};
+
+/// Resource-constrained minimum II under issue constraints: functional-unit
+/// pressure per cluster, bus pressure, and copy-port pressure per bank.
+[[nodiscard]] int constrainedResII(const MachineDesc& machine,
+                                   std::span<const OpConstraint> constraints);
+
+/// Schedules `loop` (whose dependence graph is `ddg`) on `machine`.
+/// `constraints` must have one entry per body op; pass all-default entries
+/// for the unpartitioned (monolithic) ideal schedule.
+[[nodiscard]] ModuloSchedulerResult moduloSchedule(
+    const Ddg& ddg, const MachineDesc& machine,
+    std::span<const OpConstraint> constraints,
+    const ModuloSchedulerOptions& options = {});
+
+/// Checks that `sched` satisfies every dependence edge of `ddg`; returns the
+/// index of a violated edge, or -1 if the schedule is legal. Used by tests
+/// and by the pipeline's internal self-check.
+[[nodiscard]] int findViolatedEdge(const Ddg& ddg, const ModuloSchedule& sched);
+
+/// (Re)assigns concrete functional units from scratch: ops sharing a modulo
+/// slot and cluster get distinct units in deterministic order; copy-unit
+/// copies keep fu == -1. Requires per-slot occupancy within capacity.
+void assignFunctionalUnits(const Ddg& ddg, const MachineDesc& machine,
+                           std::span<const OpConstraint> constraints,
+                           ModuloSchedule& sched);
+
+}  // namespace rapt

@@ -1,0 +1,95 @@
+#include "sched/Mrt.h"
+
+#include <algorithm>
+
+namespace rapt {
+
+Mrt::Mrt(const MachineDesc& machine, int ii, int numOps)
+    : machine_(machine), ii_(ii), numClusters_(machine.numClusters) {
+  RAPT_ASSERT(ii > 0, "MRT needs positive II");
+  fuUse_.resize(static_cast<std::size_t>(ii) * numClusters_);
+  busUse_.resize(ii);
+  portUse_.resize(static_cast<std::size_t>(ii) * numClusters_);
+  placements_.resize(numOps);
+}
+
+int Mrt::effectiveCluster(const OpConstraint& c) const {
+  if (c.cluster >= 0) {
+    RAPT_ASSERT(c.cluster < numClusters_, "cluster out of range");
+    return c.cluster;
+  }
+  RAPT_ASSERT(numClusters_ == 1,
+              "unconstrained operation on a clustered machine; partitioning "
+              "must assign every op a cluster");
+  return 0;
+}
+
+bool Mrt::canPlace(const OpConstraint& c, int cycle) const {
+  const int slot = slotOf(cycle);
+  if (c.usesCopyUnit) {
+    RAPT_ASSERT(machine_.copyModel == CopyModel::CopyUnit,
+                "copy-unit placement on a machine without copy units");
+    if (static_cast<int>(busUse_[slot].size()) >= machine_.busCount) return false;
+    if (static_cast<int>(portCell(slot, c.srcBank).size()) >= machine_.copyPortsPerBank)
+      return false;
+    if (static_cast<int>(portCell(slot, c.dstBank).size()) >= machine_.copyPortsPerBank)
+      return false;
+    return true;
+  }
+  const int cluster = effectiveCluster(c);
+  return static_cast<int>(fuCell(slot, cluster).size()) < machine_.fusPerCluster;
+}
+
+void Mrt::place(int op, const OpConstraint& c, int cycle) {
+  RAPT_ASSERT(canPlace(c, cycle), "placing op without resources");
+  RAPT_ASSERT(!placements_[op].placed, "op already placed");
+  const int slot = slotOf(cycle);
+  if (c.usesCopyUnit) {
+    busUse_[slot].push_back(op);
+    portCell(slot, c.srcBank).push_back(op);
+    portCell(slot, c.dstBank).push_back(op);
+  } else {
+    fuCell(slot, effectiveCluster(c)).push_back(op);
+  }
+  placements_[op] = {true, slot};
+}
+
+void Mrt::remove(int op, const OpConstraint& c) {
+  if (!placements_[op].placed) return;
+  const int slot = placements_[op].slot;
+  auto erase = [op](Cell& cell) {
+    cell.erase(std::remove(cell.begin(), cell.end(), op), cell.end());
+  };
+  if (c.usesCopyUnit) {
+    erase(busUse_[slot]);
+    erase(portCell(slot, c.srcBank));
+    erase(portCell(slot, c.dstBank));
+  } else {
+    erase(fuCell(slot, effectiveCluster(c)));
+  }
+  placements_[op].placed = false;
+}
+
+std::vector<int> Mrt::conflictingOps(int self, const OpConstraint& c, int cycle) const {
+  const int slot = slotOf(cycle);
+  std::vector<int> out;
+  auto collect = [&](const Cell& cell) {
+    for (int op : cell)
+      if (op != self && std::find(out.begin(), out.end(), op) == out.end())
+        out.push_back(op);
+  };
+  if (c.usesCopyUnit) {
+    if (static_cast<int>(busUse_[slot].size()) >= machine_.busCount)
+      collect(busUse_[slot]);
+    if (static_cast<int>(portCell(slot, c.srcBank).size()) >= machine_.copyPortsPerBank)
+      collect(portCell(slot, c.srcBank));
+    if (static_cast<int>(portCell(slot, c.dstBank).size()) >= machine_.copyPortsPerBank)
+      collect(portCell(slot, c.dstBank));
+  } else {
+    const Cell& cell = fuCell(slot, effectiveCluster(c));
+    if (static_cast<int>(cell.size()) >= machine_.fusPerCluster) collect(cell);
+  }
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,73 @@
+// Modulo reservation table (MRT).
+//
+// Tracks, for each of the II modulo slots, how much of each machine resource
+// is committed: functional-unit slots per cluster, copy buses, and copy ports
+// per register bank (the copy-unit model's reserved hardware). Operations can
+// be placed and later removed (the iterative scheduler ejects conflicting
+// operations when it force-places a high-priority one).
+#pragma once
+
+#include <vector>
+
+#include "machine/MachineDesc.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+class Mrt {
+ public:
+  Mrt(const MachineDesc& machine, int ii, int numOps);
+
+  /// Can `op` (with its constraint) issue at `cycle`?
+  [[nodiscard]] bool canPlace(const OpConstraint& c, int cycle) const;
+
+  /// Commit `op` at `cycle`. Requires canPlace.
+  void place(int op, const OpConstraint& c, int cycle);
+
+  /// Release the resources `op` held. No-op if not placed.
+  void remove(int op, const OpConstraint& c);
+
+  /// Ops (other than `self`) that hold any resource `c` needs at `cycle`.
+  /// Used to choose eviction victims on forced placement.
+  [[nodiscard]] std::vector<int> conflictingOps(int self, const OpConstraint& c,
+                                                int cycle) const;
+
+  [[nodiscard]] int ii() const { return ii_; }
+
+ private:
+  struct Placement {
+    bool placed = false;
+    int slot = 0;
+  };
+
+  /// Occupants of one (slot, resource) cell, as op indices.
+  using Cell = std::vector<int>;
+
+  [[nodiscard]] int slotOf(int cycle) const { return ((cycle % ii_) + ii_) % ii_; }
+  [[nodiscard]] const Cell& fuCell(int slot, int cluster) const {
+    return fuUse_[slot * numClusters_ + cluster];
+  }
+  [[nodiscard]] Cell& fuCell(int slot, int cluster) {
+    return fuUse_[slot * numClusters_ + cluster];
+  }
+  [[nodiscard]] const Cell& portCell(int slot, int bank) const {
+    return portUse_[slot * numClusters_ + bank];
+  }
+  [[nodiscard]] Cell& portCell(int slot, int bank) {
+    return portUse_[slot * numClusters_ + bank];
+  }
+
+  /// The cluster an unconstrained op issues in: only legal on a monolithic
+  /// machine, where there is a single cluster.
+  [[nodiscard]] int effectiveCluster(const OpConstraint& c) const;
+
+  const MachineDesc& machine_;
+  int ii_;
+  int numClusters_;
+  std::vector<Cell> fuUse_;    ///< [slot][cluster]
+  std::vector<Cell> busUse_;   ///< [slot]
+  std::vector<Cell> portUse_;  ///< [slot][bank]
+  std::vector<Placement> placements_;
+};
+
+}  // namespace rapt

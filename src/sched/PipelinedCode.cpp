@@ -1,0 +1,170 @@
+#include "sched/PipelinedCode.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+/// floor division for possibly-negative numerators.
+int floorDiv(int a, int b) {
+  RAPT_ASSERT(b > 0, "floorDiv by non-positive");
+  return (a >= 0) ? a / b : -((-a + b - 1) / b);
+}
+
+}  // namespace
+
+std::vector<VirtReg> PipelinedCode::allNames() const {
+  std::vector<VirtReg> names;
+  for (const VliwInstr& in : instrs) {
+    for (const EmittedOp& eo : in.ops) {
+      if (eo.op.def.isValid()) names.push_back(eo.op.def);
+      for (VirtReg s : eo.op.srcs()) names.push_back(s);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+VirtReg PipelinedCode::originalOf(VirtReg name) const {
+  auto it = originOf.find(name.key());
+  return it == originOf.end() ? name : it->second.orig;
+}
+
+PipelinedCode emitPipelinedCode(const Loop& loop, const Ddg& ddg,
+                                const ModuloSchedule& sched, std::int64_t trip,
+                                const LatencyTable& lat) {
+  RAPT_ASSERT(sched.numOps() == loop.size(), "schedule does not match loop");
+  RAPT_ASSERT(trip >= 1, "trip count must be positive");
+  const int ii = sched.ii;
+
+  PipelinedCode code;
+  code.ii = ii;
+  code.trip = trip;
+  code.stageCount = sched.stageCount();
+
+  // --- Determine q (number of rotating names) per body-defined value. ---
+  std::vector<int> q(loop.size(), 1);
+  for (int d = 0; d < loop.size(); ++d) {
+    if (!loop.body[d].def.isValid()) continue;
+    int maxRead = -1;
+    int defLat = 0;
+    for (int ei : ddg.succEdges(d)) {
+      const DdgEdge& e = ddg.edge(ei);
+      if (e.kind != DepKind::RegTrue) continue;
+      maxRead = std::max(maxRead, e.distance * ii + sched.cycle[e.to]);
+      defLat = e.latency;
+    }
+    if (maxRead < 0) continue;  // dead definition
+    q[d] = std::max(1, floorDiv(maxRead - sched.cycle[d] - defLat, ii) + 1);
+    code.maxUnroll = std::max(code.maxUnroll, q[d]);
+  }
+
+  // --- Allocate MVE names. ---
+  std::uint32_t nextIdx[2] = {loop.freshReg(RegClass::Int).index(),
+                              loop.freshReg(RegClass::Flt).index()};
+  for (int d = 0; d < loop.size(); ++d) {
+    const VirtReg v = loop.body[d].def;
+    if (!v.isValid()) continue;
+    std::vector<VirtReg> names;
+    if (q[d] == 1) {
+      names.push_back(v);
+      code.originOf[v.key()] = {v, 0};
+    } else {
+      for (int phase = 0; phase < q[d]; ++phase) {
+        const VirtReg name(v.cls(), nextIdx[static_cast<int>(v.cls())]++);
+        names.push_back(name);
+        code.originOf[name.key()] = {v, phase};
+      }
+    }
+    code.namesOf[v.key()] = std::move(names);
+  }
+  // Invariants map to themselves.
+  for (VirtReg inv : loop.invariants()) {
+    code.namesOf[inv.key()] = {inv};
+    code.originOf[inv.key()] = {inv, 0};
+  }
+
+  auto nameFor = [&](VirtReg v, std::int64_t phase) -> VirtReg {
+    const auto& names = code.namesOf.at(v.key());
+    const std::int64_t m = static_cast<std::int64_t>(names.size());
+    return names[static_cast<std::size_t>(((phase % m) + m) % m)];
+  };
+
+  // --- Emit the full issue stream. ---
+  const int horizon = sched.horizon();
+  const std::int64_t totalCycles = (trip - 1) * ii + horizon + 1;
+  code.instrs.resize(static_cast<std::size_t>(totalCycles));
+
+  for (std::int64_t iter = 0; iter < trip; ++iter) {
+    for (int o = 0; o < loop.size(); ++o) {
+      const Operation& body = loop.body[o];
+      EmittedOp eo;
+      eo.op = body;
+      eo.fu = sched.fu[o];
+      eo.iteration = static_cast<int>(iter);
+      eo.bodyIndex = o;
+      if (body.def.isValid()) eo.op.def = nameFor(body.def, iter);
+      for (int s = 0; s < body.numSrcs(); ++s) {
+        const VirtReg src = body.src[s];
+        const std::optional<int> dp = loop.defPos(src);
+        if (dp) {
+          const int carry = (*dp < o) ? 0 : 1;
+          eo.op.src[s] = nameFor(src, iter - carry);
+        }
+      }
+      code.instrs[static_cast<std::size_t>(iter * ii + sched.cycle[o])].ops.push_back(
+          std::move(eo));
+    }
+  }
+
+  // --- Steady-state window. ---
+  if (trip >= code.stageCount - 1 + code.maxUnroll) {
+    code.kernelStart = (code.stageCount - 1) * ii;
+    code.kernelLength = code.maxUnroll * ii;
+  }
+
+  // --- Required initial register contents. ---
+  // A name needs its value's live-in exactly when some read happens before
+  // the first write to the name has LANDED (writes land at issue + latency;
+  // a read in the in-flight window still sees the initial contents).
+  {
+    std::unordered_map<std::uint32_t, std::int64_t> firstLand;
+    std::unordered_map<std::uint32_t, std::int64_t> firstRead;
+    for (std::int64_t c = 0; c < static_cast<std::int64_t>(code.instrs.size()); ++c) {
+      for (const EmittedOp& eo : code.instrs[static_cast<std::size_t>(c)].ops) {
+        for (VirtReg s : eo.op.srcs()) firstRead.try_emplace(s.key(), c);
+        if (eo.op.def.isValid()) {
+          const std::int64_t land = c + lat.of(eo.op.op);
+          auto [it, fresh] = firstLand.try_emplace(eo.op.def.key(), land);
+          if (!fresh) it->second = std::min(it->second, land);
+        }
+      }
+    }
+    auto initOf = [&](VirtReg orig) {
+      for (const LiveInValue& lv : loop.liveInValues) {
+        if (lv.reg == orig) return lv;
+      }
+      LiveInValue zero;
+      zero.reg = orig;
+      return zero;
+    };
+    for (const auto& [origKey, names] : code.namesOf) {
+      const LiveInValue base = initOf(VirtReg::fromKey(origKey));
+      for (VirtReg name : names) {
+        const auto read = firstRead.find(name.key());
+        if (read == firstRead.end()) continue;  // never read
+        const auto land = firstLand.find(name.key());
+        if (land != firstLand.end() && land->second <= read->second) continue;
+        LiveInValue lv = base;
+        lv.reg = name;
+        code.nameInits.push_back(lv);
+      }
+    }
+  }
+  return code;
+}
+
+}  // namespace rapt

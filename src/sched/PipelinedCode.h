@@ -1,0 +1,93 @@
+// Pipelined code emission: turns a modulo schedule into an executable VLIW
+// instruction stream with modulo variable expansion (MVE).
+//
+// A value whose lifetime exceeds II would be clobbered by the next
+// iteration's definition before its last read; MVE gives such a value q
+// rotating names (q = number of concurrently live instances) and renames
+// per-iteration uses/defs accordingly (Lam, PLDI'88). Because we emit the
+// complete issue stream for a concrete trip count — prologue, steady state,
+// and drain are all just slices of the same stream — each value can use
+// exactly its own q names with no kernel-unroll alignment (no lcm problem);
+// the steady-state window is still exposed via kernelStart/kernelLength for
+// inspection and register allocation.
+//
+// Iteration i issues body op o at cycle i*II + t(o). Name selection:
+//   * def of v at iteration i        -> v[i mod q_v]
+//   * use of v with carry distance d -> v[(i-d) mod q_v]
+// Iteration-0 carried uses read v[q_v - 1], which the simulator initializes
+// to v's live-in value; the first write of that name lands strictly after
+// that read (guaranteed by the choice of q_v).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ddg/Ddg.h"
+#include "ir/Loop.h"
+#include "sched/Schedule.h"
+
+namespace rapt {
+
+struct EmittedOp {
+  Operation op;        ///< operands renamed to MVE names
+  int fu = -1;         ///< functional unit; -1 for copy-unit copies
+  int iteration = 0;   ///< source loop iteration
+  int bodyIndex = 0;   ///< source body op index
+};
+
+struct VliwInstr {
+  std::vector<EmittedOp> ops;
+};
+
+struct PipelinedCode {
+  int ii = 0;
+  int stageCount = 0;
+  int maxUnroll = 1;        ///< max q over all values (the paper-world kernel unroll)
+  std::int64_t trip = 0;
+  std::vector<VliwInstr> instrs;  ///< the complete issue stream
+
+  /// Steady-state kernel window [kernelStart, kernelStart + kernelLength);
+  /// kernelLength == 0 when the trip count is too small for a steady state.
+  int kernelStart = 0;
+  int kernelLength = 0;
+
+  /// MVE names per original register (VirtReg::key() -> rotating names).
+  /// Registers with a single name map to themselves.
+  std::unordered_map<std::uint32_t, std::vector<VirtReg>> namesOf;
+
+  /// Reverse map: name key -> (original register, phase).
+  struct NameOrigin {
+    VirtReg orig;
+    int phase = 0;
+  };
+  std::unordered_map<std::uint32_t, NameOrigin> originOf;
+
+  /// Initial register-file contents the stream relies on: one entry per name
+  /// that is READ before its first write (loop invariants and the carried
+  /// phase of rotating values), carrying the original value's live-in. The
+  /// simulator applies exactly these — names first written before any read
+  /// need no initialization, which is what makes the list safe to carry
+  /// through physical register assignment (two read-first names always
+  /// interfere, hence never share a physical register).
+  std::vector<LiveInValue> nameInits;
+
+  /// All distinct names appearing in the stream (deterministic order).
+  [[nodiscard]] std::vector<VirtReg> allNames() const;
+
+  /// The original register behind a (possibly renamed) operand.
+  [[nodiscard]] VirtReg originalOf(VirtReg name) const;
+};
+
+/// Emits the full issue stream of `sched` for `trip` iterations of `loop`.
+/// `ddg` must be the graph the schedule was produced from (its register
+/// flow edges determine value lifetimes and hence q); `lat` supplies write
+/// landing times for the initial-contents analysis (a read needs the initial
+/// value exactly when no write to the name has LANDED yet — a write may well
+/// have issued).
+[[nodiscard]] PipelinedCode emitPipelinedCode(const Loop& loop, const Ddg& ddg,
+                                              const ModuloSchedule& sched,
+                                              std::int64_t trip,
+                                              const LatencyTable& lat = {});
+
+}  // namespace rapt

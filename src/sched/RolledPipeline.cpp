@@ -1,0 +1,80 @@
+#include "sched/RolledPipeline.h"
+
+#include <numeric>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+/// Executable equality: same operation, operands and functional unit. The
+/// provenance fields (iteration, bodyIndex) intentionally differ between
+/// kernel repetitions.
+bool sameIssue(const EmittedOp& a, const EmittedOp& b) {
+  return a.fu == b.fu && a.op.op == b.op.op && a.op.def == b.op.def &&
+         a.op.src == b.op.src && a.op.imm == b.op.imm && a.op.fimm == b.op.fimm &&
+         a.op.array == b.op.array;
+}
+
+bool sameInstr(const VliwInstr& a, const VliwInstr& b) {
+  if (a.ops.size() != b.ops.size()) return false;
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    if (!sameIssue(a.ops[i], b.ops[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RolledPipeline rollPipeline(const PipelinedCode& code) {
+  RolledPipeline out;
+  out.ii = code.ii;
+  out.stageCount = code.stageCount;
+
+  // The kernel period: lcm of every value's rotating-name count.
+  long long unroll = 1;
+  for (const auto& [key, names] : code.namesOf) {
+    unroll = std::lcm(unroll, static_cast<long long>(names.size()));
+    if (unroll > 64) break;  // degenerate; fall back to prologue-only
+  }
+  out.unrollFactor = static_cast<int>(unroll);
+
+  const std::int64_t flatLen = static_cast<std::int64_t>(code.instrs.size());
+  const std::int64_t kStart = static_cast<std::int64_t>(code.stageCount - 1) * code.ii;
+  const std::int64_t period = unroll * code.ii;
+
+  if (unroll > 64 || kStart + period > flatLen) {
+    out.prologue = code.instrs;  // no steady state worth rolling
+    return out;
+  }
+
+  out.kernel.assign(code.instrs.begin() + kStart,
+                    code.instrs.begin() + kStart + period);
+  out.kernelRepeats = 1;
+  std::int64_t cursor = kStart + period;
+  while (cursor + period <= flatLen) {
+    bool equal = true;
+    for (std::int64_t i = 0; i < period && equal; ++i) {
+      equal = sameInstr(code.instrs[static_cast<std::size_t>(cursor + i)],
+                        out.kernel[static_cast<std::size_t>(i)]);
+    }
+    if (!equal) break;
+    ++out.kernelRepeats;
+    cursor += period;
+  }
+
+  out.prologue.assign(code.instrs.begin(), code.instrs.begin() + kStart);
+  out.epilogue.assign(code.instrs.begin() + cursor, code.instrs.end());
+  RAPT_ASSERT(out.flatLength() == flatLen, "rolled decomposition lost cycles");
+  return out;
+}
+
+std::vector<VliwInstr> reconstructFlat(const RolledPipeline& rolled) {
+  std::vector<VliwInstr> flat = rolled.prologue;
+  for (std::int64_t k = 0; k < rolled.kernelRepeats; ++k)
+    flat.insert(flat.end(), rolled.kernel.begin(), rolled.kernel.end());
+  flat.insert(flat.end(), rolled.epilogue.begin(), rolled.epilogue.end());
+  return flat;
+}
+
+}  // namespace rapt

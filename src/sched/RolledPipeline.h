@@ -1,0 +1,53 @@
+// Rolled software-pipeline form: explicit prelude / kernel / postlude.
+//
+// "After a schedule has been found, code to set up the software pipeline
+// (prelude) and drain the pipeline (postlude) are added" (§2). The flat
+// stream emitted by PipelinedCode is ideal for simulation and allocation; a
+// real code generator emits the ROLLED form — a prologue block, one kernel
+// block executed in a counted loop, and an epilogue block. This module
+// extracts that form from the flat stream.
+//
+// The kernel must repeat *exactly* (same opcodes, same MVE names, same
+// functional units), so its period is lcm(q_v) * II cycles — the classic
+// kernel-unroll requirement of modulo variable expansion: a value with q
+// rotating names returns to the same name only after a multiple of q
+// iterations. (The flat emitter avoids the lcm by never rolling; this module
+// pays it to produce loopable code.)
+//
+// For a given trip count the decomposition satisfies
+//     flat == prologue ++ kernel x kernelRepeats ++ epilogue
+// which reconstructFlat() rebuilds and tests verify by simulating the
+// reconstruction against the sequential reference.
+#pragma once
+
+#include "sched/PipelinedCode.h"
+
+namespace rapt {
+
+struct RolledPipeline {
+  int ii = 0;
+  int stageCount = 0;
+  int unrollFactor = 0;  ///< kernel covers this many iterations (lcm of q)
+  std::int64_t kernelRepeats = 0;
+  std::vector<VliwInstr> prologue;
+  std::vector<VliwInstr> kernel;  ///< unrollFactor * ii instructions
+  std::vector<VliwInstr> epilogue;
+
+  /// Total instruction count when unrolled back to a flat stream.
+  [[nodiscard]] std::int64_t flatLength() const {
+    return static_cast<std::int64_t>(prologue.size()) +
+           kernelRepeats * static_cast<std::int64_t>(kernel.size()) +
+           static_cast<std::int64_t>(epilogue.size());
+  }
+};
+
+/// Rolls `code` up. Always succeeds: when the trip count is too small for a
+/// steady state (or no full kernel period fits), everything lands in the
+/// prologue and kernelRepeats == 0.
+[[nodiscard]] RolledPipeline rollPipeline(const PipelinedCode& code);
+
+/// Concatenates prologue + kernelRepeats x kernel + epilogue back into a
+/// flat stream (the exact execution the rolled form denotes).
+[[nodiscard]] std::vector<VliwInstr> reconstructFlat(const RolledPipeline& rolled);
+
+}  // namespace rapt

@@ -1,0 +1,42 @@
+// Schedule data types shared by the schedulers and downstream passes.
+#pragma once
+
+#include <vector>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+/// Per-operation issue constraints handed to the scheduler by the
+/// partitioning pass. Defaults describe the pre-partitioning (monolithic)
+/// state: any functional unit, no copy-unit resources.
+struct OpConstraint {
+  int cluster = -1;          ///< required cluster, or -1 for any
+  bool usesCopyUnit = false; ///< copy scheduled on buses/ports, not an FU
+  int srcBank = -1;          ///< copy-unit copies: bank read from
+  int dstBank = -1;          ///< copy-unit copies: bank written to
+};
+
+/// A modulo schedule for one loop body.
+struct ModuloSchedule {
+  int ii = 0;
+  std::vector<int> cycle;  ///< start cycle per body op (flat, iteration 0)
+  std::vector<int> fu;     ///< global FU index per op; -1 for copy-unit copies
+
+  [[nodiscard]] int numOps() const { return static_cast<int>(cycle.size()); }
+
+  /// Last issue cycle of iteration 0 (the flat schedule length minus one).
+  [[nodiscard]] int horizon() const {
+    int h = 0;
+    for (int c : cycle) h = std::max(h, c);
+    return h;
+  }
+
+  /// Number of pipeline stages: the kernel overlaps this many iterations.
+  [[nodiscard]] int stageCount() const {
+    RAPT_ASSERT(ii > 0, "stageCount of empty schedule");
+    return horizon() / ii + 1;
+  }
+};
+
+}  // namespace rapt

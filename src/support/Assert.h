@@ -1,0 +1,27 @@
+// Internal invariant checking for the rapt libraries.
+//
+// RAPT_ASSERT is active in all build types: the library implements compiler
+// algorithms whose bugs silently produce wrong code, so invariant checks are
+// cheap insurance relative to debugging a miscompiled pipelined kernel.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rapt {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "rapt: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rapt
+
+#define RAPT_ASSERT(cond, msg)                                  \
+  do {                                                          \
+    if (!(cond)) ::rapt::assertFail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define RAPT_UNREACHABLE(msg) ::rapt::assertFail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in rapt (the synthetic loop corpus, randomized
+// baseline partitioners, property-test inputs) draws from SplitMix64 with an
+// explicit seed, so every experiment in EXPERIMENTS.md is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+/// SplitMix64: tiny, fast, statistically solid for corpus generation.
+/// (Steele, Lea & Flood, OOPSLA'14.)  Not for cryptography.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    RAPT_ASSERT(lo <= hi, "invalid range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// True with probability `percent`/100.
+  bool chancePercent(int percent) { return range(0, 99) < percent; }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    RAPT_ASSERT(!items.empty(), "pick from empty span");
+    return items[static_cast<std::size_t>(range(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Derive an independent stream (e.g. one per generated loop).
+  [[nodiscard]] SplitMix64 fork() { return SplitMix64(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rapt

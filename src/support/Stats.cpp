@@ -1,0 +1,82 @@
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+double arithmeticMean(std::span<const double> xs) {
+  RAPT_ASSERT(!xs.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double harmonicMean(std::span<const double> xs) {
+  RAPT_ASSERT(!xs.empty(), "mean of empty sample");
+  double inv = 0.0;
+  for (double x : xs) {
+    RAPT_ASSERT(x > 0.0, "harmonic mean requires positive values");
+    inv += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv;
+}
+
+double geometricMean(std::span<const double> xs) {
+  RAPT_ASSERT(!xs.empty(), "mean of empty sample");
+  double logSum = 0.0;
+  for (double x : xs) {
+    RAPT_ASSERT(x > 0.0, "geometric mean requires positive values");
+    logSum += std::log(x);
+  }
+  return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double stdDev(std::span<const double> xs) {
+  const double mu = arithmeticMean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  RAPT_ASSERT(!xs.empty(), "median of empty sample");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+void DegradationHistogram::add(double degradationPercent) {
+  int bucket;
+  if (degradationPercent <= 0.0) {
+    bucket = 0;
+  } else if (degradationPercent >= 90.0) {
+    bucket = kNumBuckets - 1;
+  } else {
+    bucket = 1 + static_cast<int>(degradationPercent / 10.0);
+  }
+  ++counts_[bucket];
+  ++total_;
+}
+
+int DegradationHistogram::count(int bucket) const {
+  RAPT_ASSERT(bucket >= 0 && bucket < kNumBuckets, "bucket out of range");
+  return counts_[bucket];
+}
+
+double DegradationHistogram::percent(int bucket) const {
+  if (total_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(count(bucket)) / static_cast<double>(total_);
+}
+
+std::string DegradationHistogram::bucketLabel(int bucket) {
+  RAPT_ASSERT(bucket >= 0 && bucket < kNumBuckets, "bucket out of range");
+  if (bucket == 0) return "0.00%";
+  if (bucket == kNumBuckets - 1) return ">90%";
+  return "<" + std::to_string(bucket * 10) + "%";
+}
+
+}  // namespace rapt

@@ -1,0 +1,54 @@
+// Summary statistics used by the experiment harnesses.
+//
+// The paper reports arithmetic and harmonic means of normalized kernel-size
+// degradation (Table 2) and bucketed degradation histograms (Figures 5-7);
+// this header provides exactly those aggregations.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rapt {
+
+/// Arithmetic mean of a non-empty sample.
+[[nodiscard]] double arithmeticMean(std::span<const double> xs);
+
+/// Harmonic mean of a non-empty, strictly positive sample.
+[[nodiscard]] double harmonicMean(std::span<const double> xs);
+
+/// Geometric mean of a non-empty, strictly positive sample.
+[[nodiscard]] double geometricMean(std::span<const double> xs);
+
+/// Population standard deviation.
+[[nodiscard]] double stdDev(std::span<const double> xs);
+
+/// Median (sample is copied and sorted).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// The degradation histogram used in the paper's Figures 5-7.
+///
+/// Buckets, in order: exactly 0%, then (0,10)%, [10,20)%, ... [80,90)%, and
+/// >=90%. `add` takes a degradation percentage (0 == no degradation; 25.0
+/// == kernel 25% longer than ideal).
+class DegradationHistogram {
+ public:
+  static constexpr int kNumBuckets = 11;
+
+  void add(double degradationPercent);
+
+  /// Count in bucket `i` (0 == the "0.00%" bucket).
+  [[nodiscard]] int count(int bucket) const;
+  /// Percentage of all samples falling in bucket `i`.
+  [[nodiscard]] double percent(int bucket) const;
+  [[nodiscard]] int total() const { return total_; }
+
+  /// Paper-style bucket label: "0.00%", "<10%", ..., ">90%".
+  [[nodiscard]] static std::string bucketLabel(int bucket);
+
+ private:
+  int counts_[kNumBuckets] = {};
+  int total_ = 0;
+};
+
+}  // namespace rapt

@@ -1,0 +1,58 @@
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+std::string formatFixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string text) {
+  RAPT_ASSERT(!rows_.empty(), "cell before row");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(formatFixed(value, precision));
+}
+
+TextTable& TextTable::cell(int value) { return cell(std::to_string(value)); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (r.size() > widths.size()) widths.resize(r.size(), 0);
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::string out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += r[c];
+      if (c + 1 < r.size()) out.append(widths[c] - r[c].size() + 2, ' ');
+    }
+    out += '\n';
+    if (i == 0) {
+      std::size_t lineLen = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c)
+        lineLen += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+      out.append(lineLen, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,33 @@
+// Aligned plain-text tables for the benchmark harnesses.
+//
+// The bench binaries regenerate the paper's tables as text; this keeps the
+// formatting logic out of the experiment code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rapt {
+
+/// Builds a column-aligned text table. Rows may be added cell-by-cell; the
+/// first row is rendered as a header with a separator line.
+class TextTable {
+ public:
+  /// Start a new row.
+  TextTable& row();
+  /// Append a cell to the current row.
+  TextTable& cell(std::string text);
+  TextTable& cell(double value, int precision = 1);
+  TextTable& cell(int value);
+
+  /// Render with 2-space column gutters.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no <format> on GCC 12).
+[[nodiscard]] std::string formatFixed(double value, int precision);
+
+}  // namespace rapt

@@ -1,0 +1,61 @@
+#include "vliwsim/Equivalence.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "ir/Printer.h"
+
+namespace rapt {
+
+EquivalenceReport checkEquivalence(const Loop& original, const PipelinedCode& code,
+                                   const SimResult& sim, bool checkRegisters) {
+  EquivalenceReport rep;
+  if (!sim.ok) {
+    rep.detail = "simulation failed: " + sim.error;
+    return rep;
+  }
+  const ReferenceResult ref = runReference(original, code.trip);
+
+  if (!ref.memory.equals(sim.memory)) {
+    rep.detail = "array memory differs from sequential reference";
+    return rep;
+  }
+
+  for (const Operation& o : original.body) {
+    if (!checkRegisters) break;
+    if (!o.def.isValid()) continue;
+    auto it = code.namesOf.find(o.def.key());
+    if (it == code.namesOf.end()) continue;
+    const auto& names = it->second;
+    const std::int64_t q = static_cast<std::int64_t>(names.size());
+    const VirtReg finalName = names[static_cast<std::size_t>(((code.trip - 1) % q + q) % q)];
+    std::ostringstream os;
+    if (o.def.cls() == RegClass::Int) {
+      const std::int64_t want = ref.regs.readInt(o.def);
+      const std::int64_t got = sim.regs.readInt(finalName);
+      if (want != got) {
+        os << "register " << regName(o.def) << ": reference " << want
+           << ", pipelined " << got << " (name " << regName(finalName) << ")";
+        rep.detail = os.str();
+        return rep;
+      }
+    } else {
+      const double want = ref.regs.readFlt(o.def);
+      const double got = sim.regs.readFlt(finalName);
+      std::uint64_t wantBits, gotBits;  // bitwise: NaN payloads compare equal
+      std::memcpy(&wantBits, &want, sizeof want);
+      std::memcpy(&gotBits, &got, sizeof got);
+      if (wantBits != gotBits) {
+        os << "register " << regName(o.def) << ": reference " << want
+           << ", pipelined " << got << " (name " << regName(finalName) << ")";
+        rep.detail = os.str();
+        return rep;
+      }
+    }
+  }
+
+  rep.equal = true;
+  return rep;
+}
+
+}  // namespace rapt

@@ -1,0 +1,35 @@
+// Semantic equivalence checking between the sequential reference execution of
+// the ORIGINAL loop and the simulated pipelined/partitioned stream.
+//
+// Both executions apply identical operation semantics in an identical
+// per-element dataflow order, so results — including floating point — must
+// match bit-for-bit. Checked state: every array, and the final value of every
+// register the original loop body defines (the value produced by the last
+// iteration).
+#pragma once
+
+#include <string>
+
+#include "ir/Loop.h"
+#include "sched/PipelinedCode.h"
+#include "vliwsim/Interpreter.h"
+#include "vliwsim/VliwSimulator.h"
+
+namespace rapt {
+
+struct EquivalenceReport {
+  bool equal = false;
+  std::string detail;  ///< first mismatch, when not equal
+};
+
+/// `original` is the pre-partitioning loop; `code`/`sim` the compiled and
+/// simulated stream (possibly with copies and MVE renaming). Pass
+/// `checkRegisters = false` for PHYSICAL streams: a physical register may be
+/// legitimately reused by a later value after the compared value's last
+/// read, so only memory is meaningful there.
+[[nodiscard]] EquivalenceReport checkEquivalence(const Loop& original,
+                                                 const PipelinedCode& code,
+                                                 const SimResult& sim,
+                                                 bool checkRegisters = true);
+
+}  // namespace rapt

@@ -1,0 +1,113 @@
+#include "vliwsim/FunctionInterpreter.h"
+
+#include <set>
+#include <sstream>
+
+#include "ir/Printer.h"
+#include "vliwsim/Interpreter.h"
+
+namespace rapt {
+namespace {
+
+void executeOp(const Operation& op, RegFile& regs, ArrayMemory& memory) {
+  if (isMemory(op.op)) {
+    const std::int64_t idx = regs.readInt(op.src[0]) + op.imm;
+    switch (op.op) {
+      case Opcode::ILoad: regs.writeInt(op.def, memory.loadInt(op.array, idx)); break;
+      case Opcode::FLoad: regs.writeFlt(op.def, memory.loadFlt(op.array, idx)); break;
+      case Opcode::IStore: memory.storeInt(op.array, idx, regs.readInt(op.src[1])); break;
+      case Opcode::FStore: memory.storeFlt(op.array, idx, regs.readFlt(op.src[1])); break;
+      default: RAPT_UNREACHABLE("bad memory opcode");
+    }
+    return;
+  }
+  OperandValues in;
+  for (int s = 0; s < op.numSrcs(); ++s) {
+    if (op.src[s].cls() == RegClass::Int)
+      in.i[s] = regs.readInt(op.src[s]);
+    else
+      in.f[s] = regs.readFlt(op.src[s]);
+  }
+  const ResultValue out = evalArith(op, in);
+  if (op.def.isValid()) {
+    if (op.def.cls() == RegClass::Int)
+      regs.writeInt(op.def, out.i);
+    else
+      regs.writeFlt(op.def, out.f);
+  }
+}
+
+}  // namespace
+
+FunctionRunResult runFunctionPath(const Function& fn, int selector) {
+  FunctionRunResult st{false, {}, RegFile{}, ArrayMemory{fn.arrays}, {}};
+  if (fn.blocks.empty()) {
+    st.ok = true;
+    return st;
+  }
+  int cur = 0;
+  int steps = 0;
+  while (true) {
+    if (++steps > fn.numBlocks()) {
+      st.error = "path did not terminate (cyclic CFG?)";
+      return st;
+    }
+    st.blocksVisited.push_back(cur);
+    for (const Operation& op : fn.blocks[cur].ops) executeOp(op, st.regs, st.memory);
+    const auto& succs = fn.blocks[cur].succs;
+    if (succs.empty()) break;
+    cur = succs[static_cast<std::size_t>(selector) % succs.size()];
+  }
+  st.ok = true;
+  return st;
+}
+
+FunctionEquivalenceReport checkFunctionEquivalence(const Function& original,
+                                                   const Function& rewritten,
+                                                   int selector) {
+  FunctionEquivalenceReport rep;
+  const FunctionRunResult a = runFunctionPath(original, selector);
+  const FunctionRunResult b = runFunctionPath(rewritten, selector);
+  if (!a.ok || !b.ok) {
+    rep.detail = !a.ok ? a.error : b.error;
+    return rep;
+  }
+  if (a.blocksVisited != b.blocksVisited) {
+    rep.detail = "rewritten function visits different blocks";
+    return rep;
+  }
+  if (!a.memory.equalsFirstArrays(b.memory, original.arrays.size())) {
+    rep.detail = "array memory differs along the path";
+    return rep;
+  }
+  // Original registers that still exist must hold identical final values.
+  const std::vector<VirtReg> survivors = rewritten.allRegs();
+  const std::set<VirtReg> surviving(survivors.begin(), survivors.end());
+  for (VirtReg r : original.allRegs()) {
+    if (surviving.count(r) == 0) continue;  // spilled away
+    std::ostringstream os;
+    if (r.cls() == RegClass::Int) {
+      if (a.regs.readInt(r) != b.regs.readInt(r)) {
+        os << "register " << regName(r) << ": " << a.regs.readInt(r) << " vs "
+           << b.regs.readInt(r);
+        rep.detail = os.str();
+        return rep;
+      }
+    } else {
+      const double x = a.regs.readFlt(r);
+      const double y = b.regs.readFlt(r);
+      std::uint64_t xb, yb;
+      std::memcpy(&xb, &x, sizeof x);
+      std::memcpy(&yb, &y, sizeof y);
+      if (xb != yb) {
+        os << "register " << regName(r) << ": " << x << " vs " << y;
+        rep.detail = os.str();
+        return rep;
+      }
+    }
+  }
+  rep.equal = true;
+  return rep;
+}
+
+}  // namespace rapt

@@ -1,0 +1,48 @@
+// Path-based execution of whole functions, for validating the function
+// pipeline's rewrites (cross-bank copies, constant replication, spill code).
+//
+// The IR carries no branch predicates — control flow is abstract successor
+// edges — so a "path selector" stands in for the branch outcomes: at every
+// block with multiple successors the selector picks which one to follow.
+// Executing the ORIGINAL function and the REWRITTEN function along the same
+// selector must produce identical memory contents and identical values for
+// every surviving original register: all the rewrites the function pipeline
+// performs are control-flow-insensitive, so checking a few distinct paths
+// through each diamond exercises every rewritten block.
+//
+// Functions must be acyclic along any selected path (series-parallel CFGs
+// are; the executor aborts a path after numBlocks steps as a safety net).
+#pragma once
+
+#include <string>
+
+#include "ir/Function.h"
+#include "vliwsim/State.h"
+
+namespace rapt {
+
+struct FunctionRunResult {
+  bool ok = false;
+  std::string error;
+  RegFile regs;
+  ArrayMemory memory;
+  std::vector<int> blocksVisited;
+};
+
+/// Runs `fn` from its entry block, following `succs[selector % succs.size()]`
+/// at every multi-successor block. Register state starts at zero; arrays get
+/// the deterministic fill.
+[[nodiscard]] FunctionRunResult runFunctionPath(const Function& fn, int selector);
+
+/// Compares original vs rewritten function along `selector`. Checks every
+/// array that exists in the ORIGINAL function (spill arrays are internal to
+/// the rewritten one) and the final value of every original register that
+/// still exists in the rewritten function.
+struct FunctionEquivalenceReport {
+  bool equal = false;
+  std::string detail;
+};
+[[nodiscard]] FunctionEquivalenceReport checkFunctionEquivalence(
+    const Function& original, const Function& rewritten, int selector);
+
+}  // namespace rapt

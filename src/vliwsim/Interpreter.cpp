@@ -1,0 +1,81 @@
+#include "vliwsim/Interpreter.h"
+
+#include <cmath>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+ResultValue evalArith(const Operation& op, const OperandValues& in) {
+  ResultValue out;
+  switch (op.op) {
+    case Opcode::IConst: out.i = op.imm; break;
+    case Opcode::IMov:
+    case Opcode::ICopy: out.i = in.i[0]; break;
+    case Opcode::IAdd: out.i = in.i[0] + in.i[1]; break;
+    case Opcode::ISub: out.i = in.i[0] - in.i[1]; break;
+    case Opcode::IMul: out.i = in.i[0] * in.i[1]; break;
+    case Opcode::IDiv: out.i = (in.i[1] == 0) ? 0 : in.i[0] / in.i[1]; break;
+    case Opcode::IAnd: out.i = in.i[0] & in.i[1]; break;
+    case Opcode::IOr: out.i = in.i[0] | in.i[1]; break;
+    case Opcode::IXor: out.i = in.i[0] ^ in.i[1]; break;
+    case Opcode::IShl:
+      out.i = static_cast<std::int64_t>(static_cast<std::uint64_t>(in.i[0])
+                                        << (in.i[1] & 63));
+      break;
+    case Opcode::IShr: out.i = in.i[0] >> (in.i[1] & 63); break;
+    case Opcode::IAddImm: out.i = in.i[0] + op.imm; break;
+    case Opcode::IToF: out.f = static_cast<double>(in.i[0]); break;
+    case Opcode::FToI:
+      out.i = std::isnan(in.f[0]) ? 0 : static_cast<std::int64_t>(in.f[0]);
+      break;
+    case Opcode::FConst: out.f = op.fimm; break;
+    case Opcode::FMov:
+    case Opcode::FCopy: out.f = in.f[0]; break;
+    case Opcode::FAdd: out.f = in.f[0] + in.f[1]; break;
+    case Opcode::FSub: out.f = in.f[0] - in.f[1]; break;
+    case Opcode::FMul: out.f = in.f[0] * in.f[1]; break;
+    case Opcode::FDiv: out.f = in.f[0] / in.f[1]; break;
+    default:
+      RAPT_UNREACHABLE("evalArith on memory opcode");
+  }
+  return out;
+}
+
+ReferenceResult runReference(const Loop& loop, std::int64_t trip) {
+  ReferenceResult st{RegFile{}, ArrayMemory{loop}};
+  st.regs.initFromLiveIns(loop);
+
+  for (std::int64_t iter = 0; iter < trip; ++iter) {
+    for (const Operation& op : loop.body) {
+      if (isMemory(op.op)) {
+        const std::int64_t idx = st.regs.readInt(op.src[0]) + op.imm;
+        switch (op.op) {
+          case Opcode::ILoad: st.regs.writeInt(op.def, st.memory.loadInt(op.array, idx)); break;
+          case Opcode::FLoad: st.regs.writeFlt(op.def, st.memory.loadFlt(op.array, idx)); break;
+          case Opcode::IStore: st.memory.storeInt(op.array, idx, st.regs.readInt(op.src[1])); break;
+          case Opcode::FStore: st.memory.storeFlt(op.array, idx, st.regs.readFlt(op.src[1])); break;
+          default: RAPT_UNREACHABLE("bad memory opcode");
+        }
+        continue;
+      }
+      OperandValues in;
+      for (int s = 0; s < op.numSrcs(); ++s) {
+        if (op.src[s].cls() == RegClass::Int)
+          in.i[s] = st.regs.readInt(op.src[s]);
+        else
+          in.f[s] = st.regs.readFlt(op.src[s]);
+      }
+      const ResultValue out = evalArith(op, in);
+      if (op.def.isValid()) {
+        if (op.def.cls() == RegClass::Int)
+          st.regs.writeInt(op.def, out.i);
+        else
+          st.regs.writeFlt(op.def, out.f);
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace rapt

@@ -1,0 +1,36 @@
+// Sequential reference interpreter.
+//
+// Executes a loop body in program order, iteration by iteration — the
+// semantics every schedule must preserve. Used as the oracle in equivalence
+// checking: the pipelined, partitioned, register-allocated stream must leave
+// memory and the loop's registers in exactly this state.
+#pragma once
+
+#include "ir/Loop.h"
+#include "vliwsim/State.h"
+
+namespace rapt {
+
+struct ReferenceResult {
+  RegFile regs;
+  ArrayMemory memory;
+};
+
+/// Runs `trip` iterations of `loop` sequentially.
+[[nodiscard]] ReferenceResult runReference(const Loop& loop, std::int64_t trip);
+
+/// Evaluates one non-memory operation on explicit operand values. Shared by
+/// the reference interpreter and the VLIW simulator so both apply identical
+/// semantics (integer division by zero yields zero; shifts use the low six
+/// bits of the count; float->int truncates, with NaN mapping to zero).
+struct OperandValues {
+  std::int64_t i[2] = {0, 0};
+  double f[2] = {0.0, 0.0};
+};
+struct ResultValue {
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+[[nodiscard]] ResultValue evalArith(const Operation& op, const OperandValues& in);
+
+}  // namespace rapt

@@ -1,0 +1,153 @@
+// Machine state for simulation: register file contents and array memory.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Loop.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+/// Register contents, split by class. Unwritten registers read as zero.
+class RegFile {
+ public:
+  [[nodiscard]] std::int64_t readInt(VirtReg r) const {
+    RAPT_ASSERT(r.cls() == RegClass::Int, "class mismatch");
+    auto it = ints_.find(r.key());
+    return it == ints_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double readFlt(VirtReg r) const {
+    RAPT_ASSERT(r.cls() == RegClass::Flt, "class mismatch");
+    auto it = flts_.find(r.key());
+    return it == flts_.end() ? 0.0 : it->second;
+  }
+  void writeInt(VirtReg r, std::int64_t v) {
+    RAPT_ASSERT(r.cls() == RegClass::Int, "class mismatch");
+    ints_[r.key()] = v;
+  }
+  void writeFlt(VirtReg r, double v) {
+    RAPT_ASSERT(r.cls() == RegClass::Flt, "class mismatch");
+    flts_[r.key()] = v;
+  }
+
+  /// Seed from a loop's live-in list (all other registers stay zero).
+  void initFromLiveIns(const Loop& loop) {
+    for (const LiveInValue& lv : loop.liveInValues) {
+      if (lv.reg.cls() == RegClass::Int)
+        writeInt(lv.reg, lv.i);
+      else
+        writeFlt(lv.reg, lv.f);
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::int64_t> ints_;
+  std::unordered_map<std::uint32_t, double> flts_;
+};
+
+/// Array memory with a guard band: loops legitimately access a few elements
+/// past either end (e.g. `y[i0 - 1]` on iteration 0), as their Fortran
+/// originals would into surrounding storage.
+class ArrayMemory {
+ public:
+  static constexpr std::int64_t kGuard = 64;
+
+  explicit ArrayMemory(const Loop& loop) : ArrayMemory(loop.arrays) {}
+
+  explicit ArrayMemory(const std::vector<ArrayDecl>& arrays) {
+    for (const ArrayDecl& a : arrays) {
+      if (a.isFloat)
+        flt_.emplace_back(static_cast<std::size_t>(a.size + 2 * kGuard), 0.0);
+      else
+        int_.emplace_back(static_cast<std::size_t>(a.size + 2 * kGuard), 0);
+      isFloat_.push_back(a.isFloat);
+      sizes_.push_back(a.size);
+      fltIndex_.push_back(a.isFloat ? static_cast<int>(flt_.size()) - 1
+                                    : static_cast<int>(int_.size()) - 1);
+    }
+    initDeterministic();
+  }
+
+  [[nodiscard]] std::int64_t loadInt(ArrayId id, std::int64_t idx) const {
+    return int_[slot(id, idx, false)].at(offset(id, idx));
+  }
+  [[nodiscard]] double loadFlt(ArrayId id, std::int64_t idx) const {
+    return flt_[slot(id, idx, true)].at(offset(id, idx));
+  }
+  void storeInt(ArrayId id, std::int64_t idx, std::int64_t v) {
+    int_[slot(id, idx, false)].at(offset(id, idx)) = v;
+  }
+  void storeFlt(ArrayId id, std::int64_t idx, double v) {
+    flt_[slot(id, idx, true)].at(offset(id, idx)) = v;
+  }
+
+  /// Bitwise equality: identical dataflow must produce identical bits, and
+  /// NaN payloads compare equal to themselves (operator== on double would
+  /// flag two equal NaNs as a mismatch).
+  [[nodiscard]] bool equals(const ArrayMemory& o) const {
+    if (int_ != o.int_ || flt_.size() != o.flt_.size()) return false;
+    for (std::size_t a = 0; a < flt_.size(); ++a) {
+      if (!fltArrayEquals(o, a)) return false;
+    }
+    return true;
+  }
+
+  /// Bitwise equality restricted to the first `count` declared arrays (used
+  /// when the other memory has extra internal arrays, e.g. spill slots).
+  [[nodiscard]] bool equalsFirstArrays(const ArrayMemory& o, std::size_t count) const {
+    for (std::size_t id = 0; id < count; ++id) {
+      if (id >= isFloat_.size() || id >= o.isFloat_.size()) return false;
+      if (isFloat_[id] != o.isFloat_[id] || sizes_[id] != o.sizes_[id]) return false;
+      const std::size_t mine = static_cast<std::size_t>(fltIndex_[id]);
+      const std::size_t theirs = static_cast<std::size_t>(o.fltIndex_[id]);
+      if (isFloat_[id]) {
+        if (flt_[mine].size() != o.flt_[theirs].size() ||
+            std::memcmp(flt_[mine].data(), o.flt_[theirs].data(),
+                        flt_[mine].size() * sizeof(double)) != 0)
+          return false;
+      } else {
+        if (int_[mine] != o.int_[theirs]) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] bool fltArrayEquals(const ArrayMemory& o, std::size_t a) const {
+    return flt_[a].size() == o.flt_[a].size() &&
+           std::memcmp(flt_[a].data(), o.flt_[a].data(),
+                       flt_[a].size() * sizeof(double)) == 0;
+  }
+
+  void initDeterministic() {
+    // Reproducible nonzero contents so dataflow mistakes show up.
+    for (std::size_t a = 0; a < int_.size(); ++a)
+      for (std::size_t i = 0; i < int_[a].size(); ++i)
+        int_[a][i] = static_cast<std::int64_t>((i * 7 + a * 13) % 101) - 50;
+    for (std::size_t a = 0; a < flt_.size(); ++a)
+      for (std::size_t i = 0; i < flt_[a].size(); ++i)
+        flt_[a][i] = static_cast<double>((i * 31 + a * 17) % 97) / 7.0 - 6.0;
+  }
+
+  [[nodiscard]] std::size_t slot(ArrayId id, std::int64_t idx, bool wantFloat) const {
+    RAPT_ASSERT(id < isFloat_.size(), "bad array id");
+    RAPT_ASSERT(isFloat_[id] == wantFloat, "array element type mismatch");
+    RAPT_ASSERT(idx >= -kGuard && idx < sizes_[id] + kGuard,
+                "array index outside guard band");
+    return static_cast<std::size_t>(fltIndex_[id]);
+  }
+  [[nodiscard]] std::size_t offset(ArrayId /*id*/, std::int64_t idx) const {
+    return static_cast<std::size_t>(idx + kGuard);
+  }
+
+  std::vector<std::vector<std::int64_t>> int_;
+  std::vector<std::vector<double>> flt_;
+  std::vector<bool> isFloat_;
+  std::vector<std::int64_t> sizes_;
+  std::vector<int> fltIndex_;  ///< index into int_ or flt_ per array
+};
+
+}  // namespace rapt

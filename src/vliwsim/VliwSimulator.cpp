@@ -1,0 +1,184 @@
+#include "vliwsim/VliwSimulator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/Assert.h"
+#include "vliwsim/Interpreter.h"
+
+namespace rapt {
+namespace {
+
+struct RegWrite {
+  VirtReg reg;
+  std::int64_t i;
+  double f;
+};
+struct MemWrite {
+  ArrayId array;
+  std::int64_t idx;
+  std::int64_t i;
+  double f;
+  bool isFloat;
+};
+
+/// Checks one instruction's resource usage; returns an error string or "".
+std::string checkResources(const VliwInstr& instr, const MachineDesc& machine,
+                           const Partition* partition, const PipelinedCode& code,
+                           std::int64_t cycle) {
+  std::vector<int> fuPerCluster(machine.numClusters, 0);
+  std::vector<bool> fuTaken(machine.width(), false);
+  int copyUnitOps = 0;
+  std::vector<int> portPerBank(machine.numClusters, 0);
+  std::ostringstream err;
+
+  for (const EmittedOp& eo : instr.ops) {
+    if (eo.fu >= 0) {
+      if (eo.fu >= machine.width()) {
+        err << "cycle " << cycle << ": FU index " << eo.fu << " out of range";
+        return err.str();
+      }
+      if (fuTaken[eo.fu]) {
+        err << "cycle " << cycle << ": FU " << eo.fu << " double-booked";
+        return err.str();
+      }
+      fuTaken[eo.fu] = true;
+      ++fuPerCluster[machine.clusterOfFu(eo.fu)];
+    } else {
+      if (machine.copyModel != CopyModel::CopyUnit || !isCopy(eo.op.op)) {
+        err << "cycle " << cycle << ": non-copy op without a functional unit";
+        return err.str();
+      }
+      ++copyUnitOps;
+      if (partition != nullptr) {
+        ++portPerBank[partition->bankOf(code.originalOf(eo.op.src[0]))];
+        ++portPerBank[partition->bankOf(code.originalOf(eo.op.def))];
+      }
+    }
+  }
+  for (int c = 0; c < machine.numClusters; ++c) {
+    if (fuPerCluster[c] > machine.fusPerCluster) {
+      err << "cycle " << cycle << ": cluster " << c << " issues " << fuPerCluster[c]
+          << " ops (width " << machine.fusPerCluster << ")";
+      return err.str();
+    }
+    if (partition != nullptr && portPerBank[c] > machine.copyPortsPerBank) {
+      err << "cycle " << cycle << ": bank " << c << " uses " << portPerBank[c]
+          << " copy ports (limit " << machine.copyPortsPerBank << ")";
+      return err.str();
+    }
+  }
+  if (copyUnitOps > machine.busCount) {
+    err << "cycle " << cycle << ": " << copyUnitOps << " copies on "
+        << machine.busCount << " buses";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace
+
+SimResult simulate(const PipelinedCode& code, const Loop& loop,
+                   const MachineDesc& machine, const Partition* partition) {
+  SimResult st{false, {}, RegFile{}, ArrayMemory{loop}, 0, 0};
+  st.regs.initFromLiveIns(loop);
+  // Rotating names whose initial contents the stream actually reads (the
+  // emitter computed exactly which) start at their value's live-in.
+  for (const LiveInValue& lv : code.nameInits) {
+    if (lv.reg.cls() == RegClass::Int)
+      st.regs.writeInt(lv.reg, lv.i);
+    else
+      st.regs.writeFlt(lv.reg, lv.f);
+  }
+
+  const std::int64_t n = static_cast<std::int64_t>(code.instrs.size());
+  std::int64_t horizonEnd = n;
+  // Event buckets: pending register/memory writes landing at a given cycle.
+  std::vector<std::vector<RegWrite>> regEvents;
+  std::vector<std::vector<MemWrite>> memEvents;
+  auto ensure = [&](std::int64_t cycle) {
+    if (static_cast<std::int64_t>(regEvents.size()) <= cycle) {
+      regEvents.resize(static_cast<std::size_t>(cycle) + 1);
+      memEvents.resize(static_cast<std::size_t>(cycle) + 1);
+    }
+    horizonEnd = std::max(horizonEnd, cycle + 1);
+  };
+  ensure(n);
+
+  for (std::int64_t c = 0; c < horizonEnd; ++c) {
+    ensure(c);
+    // Commit everything landing this cycle before any reads.
+    for (const RegWrite& w : regEvents[static_cast<std::size_t>(c)]) {
+      if (w.reg.cls() == RegClass::Int)
+        st.regs.writeInt(w.reg, w.i);
+      else
+        st.regs.writeFlt(w.reg, w.f);
+    }
+    for (const MemWrite& w : memEvents[static_cast<std::size_t>(c)]) {
+      if (w.isFloat)
+        st.memory.storeFlt(w.array, w.idx, w.f);
+      else
+        st.memory.storeInt(w.array, w.idx, w.i);
+    }
+
+    if (c >= n) continue;  // drain phase
+    const VliwInstr& instr = code.instrs[static_cast<std::size_t>(c)];
+    if (std::string err = checkResources(instr, machine, partition, code, c);
+        !err.empty()) {
+      st.error = std::move(err);
+      return st;
+    }
+
+    for (const EmittedOp& eo : instr.ops) {
+      const Operation& op = eo.op;
+      const int lat = machine.lat.of(op.op);
+      if (isMemory(op.op)) {
+        const std::int64_t idx = st.regs.readInt(op.src[0]) + op.imm;
+        switch (op.op) {
+          case Opcode::ILoad:
+            ensure(c + lat);
+            regEvents[static_cast<std::size_t>(c + lat)].push_back(
+                {op.def, st.memory.loadInt(op.array, idx), 0.0});
+            break;
+          case Opcode::FLoad:
+            ensure(c + lat);
+            regEvents[static_cast<std::size_t>(c + lat)].push_back(
+                {op.def, 0, st.memory.loadFlt(op.array, idx)});
+            break;
+          case Opcode::IStore:
+            ensure(c + lat);
+            memEvents[static_cast<std::size_t>(c + lat)].push_back(
+                {op.array, idx, st.regs.readInt(op.src[1]), 0.0, false});
+            break;
+          case Opcode::FStore:
+            ensure(c + lat);
+            memEvents[static_cast<std::size_t>(c + lat)].push_back(
+                {op.array, idx, 0, st.regs.readFlt(op.src[1]), true});
+            break;
+          default:
+            RAPT_UNREACHABLE("bad memory opcode");
+        }
+        continue;
+      }
+      OperandValues in;
+      for (int s = 0; s < op.numSrcs(); ++s) {
+        if (op.src[s].cls() == RegClass::Int)
+          in.i[s] = st.regs.readInt(op.src[s]);
+        else
+          in.f[s] = st.regs.readFlt(op.src[s]);
+      }
+      const ResultValue out = evalArith(op, in);
+      if (op.def.isValid()) {
+        ensure(c + lat);
+        regEvents[static_cast<std::size_t>(c + lat)].push_back({op.def, out.i, out.f});
+      }
+    }
+  }
+
+  st.ok = true;
+  st.issueCycles = n;
+  st.totalCycles = horizonEnd;
+  return st;
+}
+
+}  // namespace rapt

@@ -1,0 +1,40 @@
+// Cycle-accurate simulation of a pipelined VLIW instruction stream.
+//
+// Models the latency semantics the schedulers assume: an operation issued at
+// cycle t reads its register operands and (for loads) memory as of the start
+// of cycle t, and its result — register write or store — lands at cycle
+// t + latency, visible to operations issued at or after that cycle. Any
+// scheduling, renaming, copy-insertion, or allocation bug therefore surfaces
+// as a wrong final state when checked against the sequential reference.
+//
+// The simulator also validates per-cycle resource legality against the
+// machine description (functional units per cluster, copy buses, copy ports
+// per bank) — the static counterpart of what the MRT promised.
+#pragma once
+
+#include <string>
+
+#include "machine/MachineDesc.h"
+#include "partition/Partition.h"
+#include "sched/PipelinedCode.h"
+#include "vliwsim/State.h"
+
+namespace rapt {
+
+struct SimResult {
+  bool ok = false;
+  std::string error;            ///< first detected violation, if any
+  RegFile regs;
+  ArrayMemory memory;
+  std::int64_t issueCycles = 0; ///< instruction-stream length
+  std::int64_t totalCycles = 0; ///< through the last in-flight result
+};
+
+/// Executes `code`. `loop` is the (possibly copy-augmented) loop the code
+/// was emitted from — it supplies array shapes and live-in values. If
+/// `partition` is non-null, copy-port usage per bank is validated too.
+[[nodiscard]] SimResult simulate(const PipelinedCode& code, const Loop& loop,
+                                 const MachineDesc& machine,
+                                 const Partition* partition = nullptr);
+
+}  // namespace rapt

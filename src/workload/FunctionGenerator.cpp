@@ -1,0 +1,182 @@
+#include "workload/FunctionGenerator.h"
+
+#include <algorithm>
+#include <span>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(const FunctionGenParams& p, SplitMix64 rng, int index)
+      : p_(p), rng_(rng), index_(index) {}
+
+  Function build() {
+    fn_.name = "fn" + std::to_string(index_);
+    const ArrayId a0 = fn_.addArray("g0", 256, true);
+    const ArrayId a1 = fn_.addArray("g1", 256, false);
+    arrays_ = {a0, a1};
+
+    // Seed coefficient/index values in the entry block; these play the role
+    // of loop invariants and ABI-provided arguments.
+    const int entry = newBlock(0);
+    for (int i = 0; i < 3; ++i) {
+      const VirtReg r = newInt();
+      emitInto(entry, makeIConst(r, rng_.range(0, 30)));
+      coeffInt_.push_back(r);
+    }
+    for (int i = 0; i < 3; ++i) {
+      const VirtReg r = newFlt();
+      emitInto(entry, makeFConst(r, 0.5 + rng_.uniform01()));
+      coeffFlt_.push_back(r);
+    }
+
+    // Series-parallel middle: chains and diamonds.
+    int tail = entry;
+    const int segments =
+        static_cast<int>(rng_.range(p_.minBlocks, p_.maxBlocks)) - 2;
+    for (int s = 0; s < std::max(1, segments); ++s) {
+      if (rng_.chancePercent(p_.pctDiamond)) {
+        const int depth = static_cast<int>(rng_.range(0, p_.maxDepth));
+        const int left = newBlock(depth);
+        const int right = newBlock(depth);
+        const int join = newBlock(std::max(0, depth - 1));
+        fn_.blocks[tail].succs = {left, right};
+        fillBlock(left);
+        fillBlock(right);
+        fn_.blocks[left].succs = {join};
+        fn_.blocks[right].succs = {join};
+        tail = join;
+      } else {
+        const int next = newBlock(static_cast<int>(rng_.range(0, p_.maxDepth)));
+        fn_.blocks[tail].succs = {next};
+        fillBlock(next);
+        tail = next;
+      }
+    }
+    // Exit block consumes a couple of values. The store index must be an
+    // index-like (bounded) value — arbitrary chain results would address far
+    // outside the arrays.
+    const int exit = newBlock(0);
+    fn_.blocks[tail].succs.push_back(exit);
+    fillBlock(exit);
+    emitInto(exit, makeStore(Opcode::FStore, arrays_[0],
+                             rng_.pick(std::span<const VirtReg>(coeffInt_)),
+                             pickFlt(exit)));
+    return fn_;
+  }
+
+ private:
+  int newBlock(int depth) {
+    fn_.blocks.emplace_back();
+    fn_.blocks.back().nestingDepth = depth;
+    return fn_.numBlocks() - 1;
+  }
+
+  VirtReg newInt() {
+    const VirtReg r(RegClass::Int, nextIdx_[0]++);
+    intVals_.push_back(r);
+    return r;
+  }
+  VirtReg newFlt() {
+    const VirtReg r(RegClass::Flt, nextIdx_[1]++);
+    fltVals_.push_back(r);
+    return r;
+  }
+
+  void emitInto(int block, Operation op) { fn_.blocks[block].ops.push_back(op); }
+
+  /// Pick an operand; prefers recent values (cross-block flow by design).
+  VirtReg pickFrom(std::vector<VirtReg>& pool, RegClass rc, int block) {
+    if (pool.empty()) {
+      // Materialize a constant (newInt/newFlt also registers it in the pool).
+      const VirtReg r = rc == RegClass::Int ? newInt() : newFlt();
+      emitInto(block, rc == RegClass::Int ? makeIConst(r, rng_.range(1, 9))
+                                          : makeFConst(r, 1.0 + rng_.uniform01()));
+      return r;
+    }
+    const std::int64_t hi = static_cast<std::int64_t>(pool.size()) - 1;
+    return pool[static_cast<std::size_t>(rng_.range(std::max<std::int64_t>(0, hi - 15), hi))];
+  }
+  VirtReg pickInt(int block) { return pickFrom(intVals_, RegClass::Int, block); }
+  VirtReg pickFlt(int block) { return pickFrom(fltVals_, RegClass::Flt, block); }
+
+  /// Whole-program code is dominated by a few mostly-serial dependence
+  /// chains (that is why its achievable ILP is low and why it partitions
+  /// with little copying — a chain lives happily in one bank). Each block
+  /// grows 2-4 such chains; an op extends one chain and only occasionally
+  /// (pctCross) reads across chains, which is what forces copies.
+  void fillBlock(int block) {
+    const int n = static_cast<int>(rng_.range(p_.minOpsPerBlock, p_.maxOpsPerBlock));
+    const int numChains = static_cast<int>(rng_.range(2, 4));
+    std::vector<VirtReg> chainTail(numChains);
+    for (int c = 0; c < numChains; ++c) {
+      // Seed each chain from memory (the common "load; compute; store" shape).
+      const ArrayId a = rng_.chancePercent(60) ? arrays_[0] : arrays_[1];
+      const bool isFloat = fn_.arrays[a].isFloat;
+      const VirtReg def = isFloat ? newFlt() : newInt();
+      emitInto(block, makeLoad(isFloat ? Opcode::FLoad : Opcode::ILoad, def, a,
+                               rng_.pick(std::span<const VirtReg>(coeffInt_)),
+                               rng_.range(0, 3)));
+      chainTail[c] = def;
+    }
+    constexpr int pctCross = 8;
+    for (int i = 0; i < n; ++i) {
+      const int c = static_cast<int>(rng_.range(0, numChains - 1));
+      const VirtReg cur = chainTail[c];
+      VirtReg other;
+      if (rng_.chancePercent(pctCross)) {
+        other = chainTail[static_cast<int>(rng_.range(0, numChains - 1))];
+        if (other.cls() != cur.cls()) other = VirtReg{};
+      }
+      if (!other.isValid())
+        other = cur.cls() == RegClass::Int ? rng_.pick(std::span<const VirtReg>(coeffInt_))
+                                           : rng_.pick(std::span<const VirtReg>(coeffFlt_));
+      if (other.cls() != cur.cls())
+        other = cur;  // degenerate but well-typed
+      const Opcode op = cur.cls() == RegClass::Flt
+                            ? (rng_.chancePercent(60) ? Opcode::FAdd : Opcode::FMul)
+                            : (rng_.chancePercent(60) ? Opcode::IAdd : Opcode::IXor);
+      const VirtReg def = cur.cls() == RegClass::Flt ? newFlt() : newInt();
+      emitInto(block, makeBinary(op, def, cur, other));
+      chainTail[c] = def;
+    }
+    // Store each chain's result.
+    for (int c = 0; c < numChains; ++c) {
+      const bool isFloat = chainTail[c].cls() == RegClass::Flt;
+      const ArrayId a = isFloat ? arrays_[0] : arrays_[1];
+      emitInto(block, makeStore(isFloat ? Opcode::FStore : Opcode::IStore, a,
+                                rng_.pick(std::span<const VirtReg>(coeffInt_)),
+                                chainTail[c], rng_.range(0, 3)));
+    }
+  }
+
+  const FunctionGenParams& p_;
+  SplitMix64 rng_;
+  int index_;
+  Function fn_;
+  std::vector<ArrayId> arrays_;
+  std::uint32_t nextIdx_[2] = {0, 0};
+  std::vector<VirtReg> intVals_, fltVals_;
+  std::vector<VirtReg> coeffInt_, coeffFlt_;
+};
+
+}  // namespace
+
+Function generateFunction(const FunctionGenParams& params, int index) {
+  SplitMix64 seeder(params.seed);
+  SplitMix64 rng(seeder.next() ^
+                 (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)));
+  return FunctionBuilder(params, rng, index).build();
+}
+
+std::vector<Function> generateFunctionCorpus(const FunctionGenParams& params) {
+  std::vector<Function> out;
+  out.reserve(static_cast<std::size_t>(params.count));
+  for (int i = 0; i < params.count; ++i) out.push_back(generateFunction(params, i));
+  return out;
+}
+
+}  // namespace rapt

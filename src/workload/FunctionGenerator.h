@@ -1,0 +1,34 @@
+// Synthetic whole-function workload for the global (non-loop) pipeline.
+//
+// Functions are series-parallel CFGs whose basic blocks are drawn from the
+// same operation distribution as the loop corpus: straight-line chains of
+// arithmetic, loads and stores with occasional diamond (if/else) splits, and
+// nesting depths marking the blocks that would sit inside loops. Registers
+// are function-global, so values defined in early blocks are consumed in
+// later ones — exactly the cross-block live ranges whole-function
+// partitioning and Chaitin/Briggs must handle.
+#pragma once
+
+#include <vector>
+
+#include "ir/Function.h"
+#include "support/Rng.h"
+
+namespace rapt {
+
+struct FunctionGenParams {
+  std::uint64_t seed = 0x464e4743;  // "FNGC"
+  int count = 40;
+  int minBlocks = 3;
+  int maxBlocks = 9;
+  int minOpsPerBlock = 10;
+  int maxOpsPerBlock = 40;
+  int pctDiamond = 40;   ///< chance a segment is an if/else diamond
+  int maxDepth = 2;      ///< nesting depth assigned to "hot" blocks
+};
+
+[[nodiscard]] Function generateFunction(const FunctionGenParams& params, int index);
+[[nodiscard]] std::vector<Function> generateFunctionCorpus(
+    const FunctionGenParams& params = {});
+
+}  // namespace rapt

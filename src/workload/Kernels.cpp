@@ -1,0 +1,190 @@
+#include "workload/Kernels.h"
+
+#include "ir/Parser.h"
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+// Each kernel is written in the loop text format (ir/Parser.h). Indices use
+// the canonical induction register i0; coefficients are loop-invariant
+// live-ins.
+constexpr const char* kKernelText = R"(
+# y[i] += alpha * x[i]        (Level-1 BLAS daxpy)
+loop daxpy depth 1 trip 64 {
+  array x[72] flt
+  array y[72] flt
+  induction i0
+  livein f0 = 2.5
+  f1 = fload x[i0]
+  f2 = fmul f1, f0
+  f3 = fload y[i0]
+  f4 = fadd f2, f3
+  fstore y[i0], f4
+}
+
+# s += x[i] * y[i]            (dot product: a true fp recurrence)
+loop dot depth 1 trip 64 {
+  array x[72] flt
+  array y[72] flt
+  induction i0
+  livein f0 = 0.0
+  f1 = fload x[i0]
+  f2 = fload y[i0]
+  f3 = fmul f1, f2
+  f0 = fadd f0, f3
+}
+
+# y[i] = alpha * x[i]
+loop scale depth 1 trip 64 {
+  array x[72] flt
+  array y[72] flt
+  induction i0
+  livein f0 = 0.75
+  f1 = fload x[i0]
+  f2 = fmul f1, f0
+  fstore y[i0], f2
+}
+
+# y[i] = (x[i-1] + x[i] + x[i+1]) / 3
+loop stencil3 depth 2 trip 64 {
+  array x[72] flt
+  array y[72] flt
+  induction i0
+  livein f0 = 3.0
+  f1 = fload x[i0 - 1]
+  f2 = fload x[i0]
+  f3 = fload x[i0 + 1]
+  f4 = fadd f1, f2
+  f5 = fadd f4, f3
+  f6 = fdiv f5, f0
+  fstore y[i0], f6
+}
+
+# y[i] = c0*x[i] + c1*x[i+1] + c2*x[i+2] + c3*x[i+3]   (4-tap FIR)
+loop fir4 depth 1 trip 64 {
+  array x[72] flt
+  array y[72] flt
+  induction i0
+  livein f0 = 0.25
+  livein f1 = 0.5
+  livein f2 = 0.125
+  livein f3 = 0.0625
+  f4 = fload x[i0]
+  f5 = fload x[i0 + 1]
+  f6 = fload x[i0 + 2]
+  f7 = fload x[i0 + 3]
+  f8 = fmul f4, f0
+  f9 = fmul f5, f1
+  f10 = fmul f6, f2
+  f11 = fmul f7, f3
+  f12 = fadd f8, f9
+  f13 = fadd f10, f11
+  f14 = fadd f12, f13
+  fstore y[i0], f14
+}
+
+# x[i] = q + y[i] * (r*z[i+10] + t*z[i+11])    (Livermore kernel 1, hydro)
+loop hydro depth 1 trip 48 {
+  array x[64] flt
+  array y[64] flt
+  array z[64] flt
+  induction i0
+  livein f0 = 0.5
+  livein f1 = 1.5
+  livein f2 = 2.0
+  f3 = fload z[i0 + 10]
+  f4 = fload z[i0 + 11]
+  f5 = fmul f3, f1
+  f6 = fmul f4, f2
+  f7 = fadd f5, f6
+  f8 = fload y[i0]
+  f9 = fmul f8, f7
+  f10 = fadd f9, f0
+  fstore x[i0], f10
+}
+
+# x[i] = z[i] * (y[i] - x[i-1])   (first-order linear recurrence through memory)
+loop tridiag depth 1 trip 48 {
+  array x[64] flt
+  array y[64] flt
+  array z[64] flt
+  induction i0
+  f1 = fload y[i0]
+  f2 = fload x[i0 - 1]
+  f3 = fsub f1, f2
+  f4 = fload z[i0]
+  f5 = fmul f4, f3
+  fstore x[i0], f5
+}
+
+# integer saturation-ish pipeline: b[i] = ((a[i]*3) >> 1) & mask, s ^= b[i]
+loop saturate depth 1 trip 64 {
+  array a[72] int
+  array b[72] int
+  induction i0
+  livein i1 = 3
+  livein i2 = 1
+  livein i3 = 255
+  livein i4 = 0
+  i5 = iload a[i0]
+  i6 = imul i5, i1
+  i7 = ishr i6, i2
+  i8 = iand i7, i3
+  istore b[i0], i8
+  i4 = ixor i4, i8
+}
+
+# complex multiply: (cr + i*ci) = (ar + i*ai) * (br + i*bi)
+loop cmul depth 1 trip 64 {
+  array ar[72] flt
+  array ai[72] flt
+  array br[72] flt
+  array bi[72] flt
+  array cr[72] flt
+  array ci[72] flt
+  induction i0
+  f1 = fload ar[i0]
+  f2 = fload ai[i0]
+  f3 = fload br[i0]
+  f4 = fload bi[i0]
+  f5 = fmul f1, f3
+  f6 = fmul f2, f4
+  f7 = fsub f5, f6
+  f8 = fmul f1, f4
+  f9 = fmul f2, f3
+  f10 = fadd f8, f9
+  fstore cr[i0], f7
+  fstore ci[i0], f10
+}
+
+# mixed int/float with conversion and an integer accumulator
+loop intmix depth 2 trip 64 {
+  array a[72] int
+  array w[72] flt
+  induction i0
+  livein i1 = 7
+  livein i2 = 0
+  livein f0 = 1.25
+  i3 = iload a[i0]
+  i4 = imul i3, i1
+  i2 = iadd i2, i4
+  f1 = itof i4
+  f2 = fmul f1, f0
+  fstore w[i0], f2
+}
+)";
+
+}  // namespace
+
+std::vector<Loop> classicKernels() { return parseLoops(kKernelText); }
+
+Loop classicKernel(const std::string& name) {
+  for (Loop& loop : classicKernels()) {
+    if (loop.name == name) return std::move(loop);
+  }
+  RAPT_ASSERT(false, "unknown classic kernel");
+  return {};
+}
+
+}  // namespace rapt

@@ -1,0 +1,19 @@
+// Hand-written classic loop kernels (daxpy, dot product, stencils, ...):
+// the recognizable workloads the paper's Fortran corpus would contain. Used
+// by examples and tests alongside the synthetic corpus.
+#pragma once
+
+#include <vector>
+
+#include "ir/Loop.h"
+
+namespace rapt {
+
+/// All kernels, parsed from their textual definitions.
+[[nodiscard]] std::vector<Loop> classicKernels();
+
+/// One kernel by name (asserts existence): "daxpy", "dot", "scale",
+/// "stencil3", "fir4", "hydro", "tridiag", "saturate", "cmul", "intmix".
+[[nodiscard]] Loop classicKernel(const std::string& name);
+
+}  // namespace rapt

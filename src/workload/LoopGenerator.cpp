@@ -1,0 +1,227 @@
+#include "workload/LoopGenerator.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+class LoopBuilder {
+ public:
+  LoopBuilder(const GeneratorParams& params, SplitMix64 rng, int index)
+      : p_(params), rng_(rng), index_(index) {}
+
+  Loop build() {
+    loop_.name = "synth" + std::to_string(index_);
+    loop_.trip = p_.trip;
+    loop_.nestingDepth = 1 + static_cast<int>(rng_.range(0, p_.maxNestingDepth - 1));
+    fltLoop_ = rng_.chancePercent(p_.pctFloatLoop);
+
+    // Induction variable and a few loop-invariant coefficients.
+    induction_ = newInt();
+    loop_.induction = induction_;
+    intPool_.push_back(induction_);
+    addInvariant(RegClass::Int, 3);
+    addInvariant(RegClass::Flt, 0);  // fimm set inside
+    addInvariant(RegClass::Flt, 0);
+
+    // Arrays.
+    const int nArrays = 1 + static_cast<int>(rng_.range(0, 3));
+    for (int a = 0; a < nArrays; ++a) {
+      const bool isFloat = rng_.chancePercent(fltLoop_ ? 80 : 30);
+      loop_.addArray("a" + std::to_string(a), p_.trip + 8, isFloat);
+    }
+
+    // Reserve room for recurrence chains.
+    int recOps = 0;
+    std::vector<int> chainLens;
+    if (rng_.chancePercent(p_.pctRecurrenceLoop)) {
+      const int k = 1 + static_cast<int>(rng_.range(0, p_.maxRecurrences - 1));
+      for (int c = 0; c < k; ++c) {
+        chainLens.push_back(1 + static_cast<int>(rng_.range(0, p_.maxRecurrenceLen - 1)));
+        recOps += chainLens.back();
+      }
+    }
+
+    const int targetOps =
+        static_cast<int>(rng_.range(p_.minOps, p_.maxOps)) - recOps - 1;  // -1: iv update
+
+    // At least one load so the loop touches memory.
+    emitLoad();
+    while (loop_.size() < std::max(targetOps, 2)) {
+      const std::int64_t roll = rng_.range(0, 99);
+      if (roll < p_.pctLoadOp) {
+        emitLoad();
+      } else if (roll < p_.pctLoadOp + p_.pctStoreOp) {
+        emitStore();
+      } else {
+        emitArith();
+      }
+    }
+    for (int len : chainLens) emitRecurrence(len);
+
+    // Store a couple of results so most computed values matter.
+    emitStore();
+
+    loop_.body.push_back(makeUnary(Opcode::IAddImm, induction_, induction_, 1));
+    RAPT_ASSERT(!validate(loop_).has_value(), "generator produced invalid loop");
+    return loop_;
+  }
+
+ private:
+  VirtReg newInt() { return VirtReg(RegClass::Int, nextIdx_[0]++); }
+  VirtReg newFlt() { return VirtReg(RegClass::Flt, nextIdx_[1]++); }
+  VirtReg newReg(RegClass rc) { return rc == RegClass::Int ? newInt() : newFlt(); }
+
+  std::vector<VirtReg>& pool(RegClass rc) {
+    return rc == RegClass::Int ? intPool_ : fltPool_;
+  }
+
+  void addInvariant(RegClass rc, std::int64_t iv) {
+    const VirtReg r = newReg(rc);
+    LiveInValue lv;
+    lv.reg = r;
+    lv.i = iv;
+    lv.f = 0.25 + static_cast<double>(rng_.range(1, 12)) / 4.0;
+    loop_.liveInValues.push_back(lv);
+    pool(rc).push_back(r);
+  }
+
+  /// Recent values make better operands: biases toward connected dataflow.
+  VirtReg pickOperand(RegClass rc) {
+    auto& vals = pool(rc);
+    if (vals.empty()) {
+      // Materialize a constant.
+      const VirtReg r = newReg(rc);
+      loop_.body.push_back(rc == RegClass::Int
+                               ? makeIConst(r, rng_.range(1, 9))
+                               : makeFConst(r, 1.0 + rng_.uniform01()));
+      vals.push_back(r);
+      return r;
+    }
+    const std::int64_t hi = static_cast<std::int64_t>(vals.size()) - 1;
+    const std::int64_t lo = std::max<std::int64_t>(0, hi - 5);
+    return vals[static_cast<std::size_t>(rng_.range(lo, hi))];
+  }
+
+  void emitLoad() {
+    const ArrayId a = static_cast<ArrayId>(
+        rng_.range(0, static_cast<std::int64_t>(loop_.arrays.size()) - 1));
+    const bool isFloat = loop_.arrays[a].isFloat;
+    const VirtReg def = newReg(isFloat ? RegClass::Flt : RegClass::Int);
+    // Mostly forward/streaming offsets; backward offsets (which can close
+    // store->load recurrences through memory, as in first-order linear
+    // recurrences) appear occasionally — they populate the RecII-bound tail
+    // of the corpus.
+    const std::int64_t offset =
+        rng_.chancePercent(10) ? rng_.range(-2, -1) : rng_.range(0, 3);
+    loop_.body.push_back(
+        makeLoad(isFloat ? Opcode::FLoad : Opcode::ILoad, def, a, induction_, offset));
+    pool(def.cls()).push_back(def);
+  }
+
+  void emitStore() {
+    const ArrayId a = static_cast<ArrayId>(
+        rng_.range(0, static_cast<std::int64_t>(loop_.arrays.size()) - 1));
+    const bool isFloat = loop_.arrays[a].isFloat;
+    const VirtReg val = pickOperand(isFloat ? RegClass::Flt : RegClass::Int);
+    loop_.body.push_back(makeStore(isFloat ? Opcode::FStore : Opcode::IStore, a,
+                                   induction_, val, rng_.range(0, 1)));
+  }
+
+  Opcode rollArithOpcode(RegClass rc) {
+    const std::int64_t roll = rng_.range(0, 99);
+    if (rc == RegClass::Flt) {
+      if (roll < 40) return Opcode::FAdd;
+      if (roll < 60) return Opcode::FSub;
+      if (roll < 92) return Opcode::FMul;
+      return Opcode::FDiv;
+    }
+    if (roll < 40) return Opcode::IAdd;
+    if (roll < 55) return Opcode::ISub;
+    if (roll < 75) return Opcode::IMul;
+    if (roll < 83) return Opcode::IAnd;
+    if (roll < 91) return Opcode::IXor;
+    if (roll < 98) return Opcode::IShl;
+    return Opcode::IDiv;
+  }
+
+  void emitArith() {
+    RegClass rc = (rng_.chancePercent(fltLoop_ ? 75 : 25)) ? RegClass::Flt
+                                                           : RegClass::Int;
+    // Occasional cross-class conversion keeps int and float graphs connected.
+    if (rng_.chancePercent(6)) {
+      if (rc == RegClass::Flt) {
+        const VirtReg def = newFlt();
+        loop_.body.push_back(makeUnary(Opcode::IToF, def, pickOperand(RegClass::Int)));
+        fltPool_.push_back(def);
+      } else {
+        const VirtReg def = newInt();
+        loop_.body.push_back(makeUnary(Opcode::FToI, def, pickOperand(RegClass::Flt)));
+        intPool_.push_back(def);
+      }
+      return;
+    }
+    const VirtReg def = newReg(rc);
+    loop_.body.push_back(
+        makeBinary(rollArithOpcode(rc), def, pickOperand(rc), pickOperand(rc)));
+    pool(rc).push_back(def);
+  }
+
+  /// A scalar recurrence of `len` operations: acc -> t1 -> ... -> acc, the
+  /// first use of acc preceding its (unique) definition, so the dependence
+  /// carries across iterations.
+  void emitRecurrence(int len) {
+    const RegClass rc =
+        rng_.chancePercent(fltLoop_ ? 85 : 25) ? RegClass::Flt : RegClass::Int;
+    const VirtReg acc = newReg(rc);
+    LiveInValue lv;
+    lv.reg = acc;
+    lv.i = 1;
+    lv.f = 0.5;
+    loop_.liveInValues.push_back(lv);
+
+    VirtReg cur = acc;
+    for (int k = 0; k < len; ++k) {
+      const bool last = (k == len - 1);
+      const VirtReg def = last ? acc : newReg(rc);
+      Opcode op;
+      if (rc == RegClass::Flt) {
+        op = rng_.chancePercent(70) ? Opcode::FAdd : Opcode::FMul;
+      } else {
+        op = rng_.chancePercent(70) ? Opcode::IAdd : Opcode::IXor;
+      }
+      loop_.body.push_back(makeBinary(op, def, cur, pickOperand(rc)));
+      if (!last) pool(rc).push_back(def);
+      cur = def;
+    }
+    pool(rc).push_back(acc);
+  }
+
+  const GeneratorParams& p_;
+  SplitMix64 rng_;
+  int index_;
+  Loop loop_;
+  bool fltLoop_ = true;
+  VirtReg induction_;
+  std::uint32_t nextIdx_[2] = {0, 0};
+  std::vector<VirtReg> intPool_, fltPool_;
+};
+
+}  // namespace
+
+Loop generateLoop(const GeneratorParams& params, int index) {
+  SplitMix64 seeder(params.seed);
+  SplitMix64 rng(seeder.next() ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1)));
+  return LoopBuilder(params, rng, index).build();
+}
+
+std::vector<Loop> generateCorpus(const GeneratorParams& params) {
+  std::vector<Loop> corpus;
+  corpus.reserve(static_cast<std::size_t>(params.count));
+  for (int i = 0; i < params.count; ++i) corpus.push_back(generateLoop(params, i));
+  return corpus;
+}
+
+}  // namespace rapt

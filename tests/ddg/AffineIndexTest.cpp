@@ -1,0 +1,198 @@
+#include "ddg/AffineIndex.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Parser.h"
+
+namespace rapt {
+namespace {
+
+/// The affine value of the index expression of the memory op at `pos`.
+AffineVal addrOf(const Loop& loop, int pos) {
+  const auto accesses = analyzeMemAccesses(loop);
+  EXPECT_EQ(accesses[pos].opIndex, pos);
+  return accesses[pos].addr;
+}
+
+TEST(AffineIndex, InductionIsIterationNumber) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      f1 = fload x[i0]
+    })");
+  const AffineVal v = addrOf(loop, 0);
+  ASSERT_TRUE(v.known);
+  EXPECT_TRUE(v.hasIV);
+  EXPECT_EQ(v.invKey, AffineVal::kNoInv);
+  EXPECT_EQ(v.offset, 0);
+}
+
+TEST(AffineIndex, ConstantOffsetFolded) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      f1 = fload x[i0 + 3]
+      f2 = fload x[i0 - 2]
+    })");
+  EXPECT_EQ(addrOf(loop, 0).offset, 3);
+  EXPECT_EQ(addrOf(loop, 1).offset, -2);
+}
+
+TEST(AffineIndex, DerivedIndexThroughIAddi) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      i1 = iaddi i0, 5
+      f1 = fload x[i1]
+    })");
+  const AffineVal v = addrOf(loop, 1);
+  ASSERT_TRUE(v.known);
+  EXPECT_TRUE(v.hasIV);
+  EXPECT_EQ(v.offset, 5);
+}
+
+TEST(AffineIndex, MovAndCopyPreserveValue) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      i1 = imov i0
+      i2 = icpy i1
+      f1 = fload x[i2 + 1]
+    })");
+  const AffineVal v = addrOf(loop, 2);
+  ASSERT_TRUE(v.known);
+  EXPECT_TRUE(v.hasIV);
+  EXPECT_EQ(v.offset, 1);
+}
+
+TEST(AffineIndex, InvariantBase) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      livein i5 = 3
+      f1 = fload x[i5]
+      f2 = fload x[i5 + 2]
+    })");
+  const AffineVal a = addrOf(loop, 0);
+  const AffineVal b = addrOf(loop, 1);
+  ASSERT_TRUE(a.known);
+  EXPECT_FALSE(a.hasIV);
+  EXPECT_EQ(a.invKey, intReg(5).key());
+  EXPECT_TRUE(a.comparableWith(b));
+  EXPECT_EQ(b.offset - a.offset, 2);
+}
+
+TEST(AffineIndex, InductionPlusInvariant) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[32] flt
+      induction i0
+      livein i1 = 4
+      i2 = iadd i0, i1
+      f1 = fload x[i2]
+    })");
+  const AffineVal v = addrOf(loop, 1);
+  ASSERT_TRUE(v.known);
+  EXPECT_TRUE(v.hasIV);
+  EXPECT_EQ(v.invKey, intReg(1).key());
+}
+
+TEST(AffineIndex, SubtractingSameInvariantCancels) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[32] flt
+      induction i0
+      livein i1 = 4
+      i2 = iadd i0, i1
+      i3 = isub i2, i1
+      f1 = fload x[i3]
+    })");
+  const AffineVal v = addrOf(loop, 2);
+  ASSERT_TRUE(v.known);
+  EXPECT_TRUE(v.hasIV);
+  EXPECT_EQ(v.invKey, AffineVal::kNoInv);
+  EXPECT_EQ(v.offset, 0);
+}
+
+TEST(AffineIndex, IvPlusIvIsUnknown) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[64] flt
+      induction i0
+      i1 = iadd i0, i0
+      f1 = fload x[i1]
+    })");
+  EXPECT_FALSE(addrOf(loop, 1).known);
+}
+
+TEST(AffineIndex, LoadedIndexIsUnknown) {
+  const Loop loop = parseLoop(R"(
+    loop l { array idx[8] int
+      array x[8] flt
+      induction i0
+      i1 = iload idx[i0]
+      f1 = fload x[i1]
+    })");
+  EXPECT_TRUE(addrOf(loop, 0).known);
+  EXPECT_FALSE(addrOf(loop, 1).known);
+}
+
+TEST(AffineIndex, CarriedUseReadsPreviousIteration) {
+  // i1 = i0's value; a use of i1 placed before its def reads last iteration's
+  // i1, i.e. (k-1)+0 -> offset -1 relative to this iteration's load of i0.
+  const Loop loop = parseLoop(R"(
+    loop l { array x[32] flt
+      induction i0
+      f1 = fload x[i1]
+      i1 = imov i0
+    })");
+  const AffineVal v = addrOf(loop, 0);
+  ASSERT_TRUE(v.known);
+  EXPECT_TRUE(v.hasIV);
+  EXPECT_EQ(v.offset, -1);
+}
+
+TEST(AffineIndex, SecondaryInductionRecognized) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[64] flt
+      induction i0
+      livein i1 = 10
+      f1 = fload x[i1]
+      i1 = iaddi i1, 1
+    })");
+  const AffineVal v = addrOf(loop, 0);
+  ASSERT_TRUE(v.known);
+  EXPECT_TRUE(v.hasIV);
+  EXPECT_EQ(v.offset, 10);  // initial value folds into the offset
+}
+
+TEST(AffineIndex, NonUnitSelfIncrementIsUnknown) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[64] flt
+      induction i0
+      f1 = fload x[i1]
+      i1 = iaddi i1, 2
+    })");
+  EXPECT_FALSE(addrOf(loop, 0).known);
+}
+
+TEST(AffineIndex, MultiplicationIsUnknown) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[64] flt
+      induction i0
+      livein i1 = 2
+      i2 = imul i0, i1
+      f1 = fload x[i2]
+    })");
+  EXPECT_FALSE(addrOf(loop, 1).known);
+}
+
+TEST(AffineIndex, ComparabilityRules) {
+  AffineVal iv = AffineVal::constant(3);
+  iv.hasIV = true;
+  AffineVal iv2 = AffineVal::constant(8);
+  iv2.hasIV = true;
+  EXPECT_TRUE(iv.comparableWith(iv2));
+  AffineVal c = AffineVal::constant(3);
+  EXPECT_FALSE(iv.comparableWith(c));
+  EXPECT_FALSE(AffineVal::unknown().comparableWith(c));
+}
+
+}  // namespace
+}  // namespace rapt

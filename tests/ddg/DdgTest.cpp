@@ -1,0 +1,270 @@
+#include "ddg/Ddg.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Parser.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+const DdgEdge* findEdge(const Ddg& g, int from, int to, DepKind kind) {
+  for (const DdgEdge& e : g.edges()) {
+    if (e.from == from && e.to == to && e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+LatencyTable paperLat() { return MachineDesc::paper16(4, CopyModel::Embedded).lat; }
+
+TEST(Ddg, RegisterFlowSameIteration) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fmul f1, f1
+    })");
+  const Ddg g = Ddg::build(loop, paperLat());
+  const DdgEdge* e = findEdge(g, 0, 1, DepKind::RegTrue);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->latency, 2);  // load latency
+  EXPECT_EQ(e->distance, 0);
+}
+
+TEST(Ddg, RegisterFlowCarried) {
+  const Loop loop = parseLoop(R"(
+    loop l {
+      livein f0 = 0.0
+      livein f1 = 1.0
+      f0 = fadd f0, f1
+    })");
+  const Ddg g = Ddg::build(loop, paperLat());
+  const DdgEdge* e = findEdge(g, 0, 0, DepKind::RegTrue);
+  ASSERT_NE(e, nullptr);  // self-recurrence
+  EXPECT_EQ(e->distance, 1);
+  EXPECT_EQ(e->latency, 2);  // fadd
+  EXPECT_EQ(g.recII(), 2);
+}
+
+TEST(Ddg, InductionSelfEdge) {
+  const Loop loop = parseLoop("loop l { array x[8] flt\n induction i0\n f1 = fload x[i0] }");
+  const Ddg g = Ddg::build(loop, paperLat());
+  const DdgEdge* e = findEdge(g, 1, 1, DepKind::RegTrue);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->distance, 1);
+  EXPECT_EQ(e->latency, 1);  // iaddi
+  EXPECT_EQ(g.recII(), 1);
+}
+
+TEST(Ddg, InvariantHasNoEdge) {
+  const Loop loop = parseLoop("loop l { livein f0\n f1 = fmov f0 }");
+  const Ddg g = Ddg::build(loop, paperLat());
+  EXPECT_TRUE(g.edges().empty());
+}
+
+// ---- Memory dependences with exact distances. ----
+
+struct MemCase {
+  int storeOffset;
+  int loadOffset;
+  bool loadFirstInBody;
+  // Expectation: direction ('T' store->load, 'A' load->store, 'N' none) and
+  // distance.
+  char kind;
+  int distance;
+};
+
+class MemDistance : public ::testing::TestWithParam<MemCase> {};
+
+TEST_P(MemDistance, ExactEdges) {
+  const MemCase c = GetParam();
+  Loop loop;
+  const ArrayId x = loop.addArray("x", 64, true);
+  loop.induction = intReg(0);
+  loop.liveInValues.push_back({fltReg(0), 0, 1.0});
+  int loadIdx, storeIdx;
+  if (c.loadFirstInBody) {
+    loadIdx = 0;
+    storeIdx = 1;
+    loop.body.push_back(makeLoad(Opcode::FLoad, fltReg(1), x, intReg(0), c.loadOffset));
+    loop.body.push_back(makeStore(Opcode::FStore, x, intReg(0), fltReg(0), c.storeOffset));
+  } else {
+    storeIdx = 0;
+    loadIdx = 1;
+    loop.body.push_back(makeStore(Opcode::FStore, x, intReg(0), fltReg(0), c.storeOffset));
+    loop.body.push_back(makeLoad(Opcode::FLoad, fltReg(1), x, intReg(0), c.loadOffset));
+  }
+  loop.body.push_back(makeUnary(Opcode::IAddImm, intReg(0), intReg(0), 1));
+  ASSERT_FALSE(validate(loop).has_value());
+
+  const Ddg g = Ddg::build(loop, paperLat());
+  const DdgEdge* trueDep = findEdge(g, storeIdx, loadIdx, DepKind::MemTrue);
+  const DdgEdge* antiDep = findEdge(g, loadIdx, storeIdx, DepKind::MemAnti);
+  switch (c.kind) {
+    case 'T':
+      ASSERT_NE(trueDep, nullptr);
+      EXPECT_EQ(trueDep->distance, c.distance);
+      EXPECT_EQ(trueDep->latency, 4);  // store visibility latency
+      EXPECT_EQ(antiDep, nullptr);
+      break;
+    case 'A':
+      ASSERT_NE(antiDep, nullptr);
+      EXPECT_EQ(antiDep->distance, c.distance);
+      EXPECT_EQ(antiDep->latency, 1 - 4);
+      EXPECT_EQ(trueDep, nullptr);
+      break;
+    case 'N':
+      EXPECT_EQ(trueDep, nullptr);
+      EXPECT_EQ(antiDep, nullptr);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MemDistance,
+    ::testing::Values(
+        // store x[i], later load x[i-1]: value read one iteration later.
+        MemCase{0, -1, false, 'T', 1},
+        // store x[i], later load x[i-3]
+        MemCase{0, -3, false, 'T', 3},
+        // load placed before the store, reading what the store wrote 2 back.
+        MemCase{0, -2, true, 'T', 2},
+        // store x[i], load x[i+2]: load ran 2 iterations earlier -> anti.
+        MemCase{0, 2, false, 'A', 2},
+        MemCase{0, 2, true, 'A', 2},
+        // same element, same iteration: program order decides.
+        MemCase{0, 0, false, 'T', 0},
+        MemCase{0, 0, true, 'A', 0}));
+
+TEST(Ddg, StoreStoreOutputDependence) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[64] flt
+      induction i0
+      livein f0
+      fstore x[i0 + 1], f0
+      fstore x[i0], f0
+    })");
+  const Ddg g = Ddg::build(loop, paperLat());
+  // store x[i+1] at iter k and store x[i] at iter k+1 hit the same element.
+  const DdgEdge* e = findEdge(g, 0, 1, DepKind::MemOutput);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->distance, 1);
+}
+
+TEST(Ddg, UnknownIndexIsConservative) {
+  const Loop loop = parseLoop(R"(
+    loop l { array idx[64] int
+      array x[64] flt
+      induction i0
+      livein f0
+      i1 = iload idx[i0]
+      f1 = fload x[i1]
+      fstore x[i0], f0
+    })");
+  const Ddg g = Ddg::build(loop, paperLat());
+  // Unknown gather vs store: both a forward distance-0 edge and a backward
+  // distance-1 edge must exist.
+  EXPECT_NE(findEdge(g, 1, 2, DepKind::MemAnti), nullptr);
+  EXPECT_NE(findEdge(g, 2, 1, DepKind::MemTrue), nullptr);
+}
+
+TEST(Ddg, ConstantAddressStoreSelfOutput) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[4] flt
+      livein i1 = 0
+      livein f0
+      fstore x[i1], f0
+    })");
+  const Ddg g = Ddg::build(loop, paperLat());
+  const DdgEdge* e = findEdge(g, 0, 0, DepKind::MemOutput);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->distance, 1);
+}
+
+TEST(Ddg, DistinctArraysNeverAlias) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      array y[8] flt
+      induction i0
+      livein f0
+      f1 = fload x[i0]
+      fstore y[i0], f0
+    })");
+  const Ddg g = Ddg::build(loop, paperLat());
+  EXPECT_EQ(findEdge(g, 0, 1, DepKind::MemAnti), nullptr);
+  EXPECT_EQ(findEdge(g, 1, 0, DepKind::MemTrue), nullptr);
+}
+
+TEST(Ddg, LoadLoadNeverDepends) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fload x[i0]
+    })");
+  const Ddg g = Ddg::build(loop, paperLat());
+  for (const DdgEdge& e : g.edges())
+    EXPECT_EQ(e.kind, DepKind::RegTrue);
+}
+
+// ---- MinII on known kernels. ----
+
+TEST(Ddg, RecIIOfDotProduct) {
+  const Ddg g = Ddg::build(classicKernel("dot"), paperLat());
+  EXPECT_EQ(g.recII(), 2);  // fadd accumulator: 2 cycles / distance 1
+}
+
+TEST(Ddg, RecIIOfTridiag) {
+  // load(2) -> fsub(2) -> fmul(2) -> store(4) -> load, distance 1.
+  const Ddg g = Ddg::build(classicKernel("tridiag"), paperLat());
+  EXPECT_EQ(g.recII(), 10);
+}
+
+TEST(Ddg, RecIIOfDaxpyIsOne) {
+  const Ddg g = Ddg::build(classicKernel("daxpy"), paperLat());
+  EXPECT_EQ(g.recII(), 1);
+}
+
+TEST(Ddg, ResIIScalesWithWidth) {
+  const Loop daxpy = classicKernel("daxpy");  // 6 ops
+  const Ddg g = Ddg::build(daxpy, paperLat());
+  EXPECT_EQ(g.resII(MachineDesc::ideal16()), 1);
+  MachineDesc narrow = MachineDesc::ideal16();
+  narrow.fusPerCluster = 2;
+  EXPECT_EQ(g.resII(narrow), 3);
+}
+
+TEST(Ddg, FeasibilityIsMonotone) {
+  const Ddg g = Ddg::build(classicKernel("tridiag"), paperLat());
+  const int rec = g.recII();
+  EXPECT_FALSE(g.feasibleII(rec - 1));
+  EXPECT_TRUE(g.feasibleII(rec));
+  EXPECT_TRUE(g.feasibleII(rec + 5));
+}
+
+TEST(Ddg, HeightsDecreaseAlongCriticalPath) {
+  const Loop loop = classicKernel("daxpy");
+  const Ddg g = Ddg::build(loop, paperLat());
+  const std::vector<int> h = g.heights(g.minII(MachineDesc::ideal16()));
+  // fload x (op 0) -> fmul (1) -> fadd (3) -> fstore (4).
+  EXPECT_GT(h[0], h[1]);
+  EXPECT_GT(h[1], h[3]);
+  EXPECT_GT(h[3], h[4]);
+}
+
+TEST(Ddg, FlexibilityOneOnCriticalPath) {
+  const Loop loop = classicKernel("tridiag");
+  const Ddg g = Ddg::build(loop, paperLat());
+  // A legal schedule at II=10 exists with zero slack along the recurrence.
+  // Build the trivially tight schedule: ASAP times.
+  const std::vector<int> h = g.heights(10);
+  int maxH = 0;
+  for (int x : h) maxH = std::max(maxH, x);
+  std::vector<int> cycle(g.numOps());
+  for (int i = 0; i < g.numOps(); ++i) cycle[i] = maxH - h[i];
+  const std::vector<int> flex = g.flexibility(cycle, 10, maxH);
+  for (int f : flex) EXPECT_GE(f, 1);
+}
+
+}  // namespace
+}  // namespace rapt

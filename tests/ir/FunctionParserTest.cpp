@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pipeline/FunctionPipeline.h"
+#include "workload/FunctionGenerator.h"
+
+namespace rapt {
+namespace {
+
+constexpr const char* kDiamond = R"(
+  function absdiff {
+    array g[32] int
+    block entry {
+      i0 = iconst 10
+      i1 = iconst 3
+      i9 = iconst 0
+    } -> big, small
+    block big depth 1 {
+      i2 = isub i0, i1
+    } -> exit
+    block small depth 1 {
+      i3 = isub i1, i0
+    } -> exit
+    block exit {
+      i4 = ior i2, i3
+      istore g[i9], i4
+    }
+  })";
+
+TEST(FunctionParser, ParsesDiamond) {
+  const Function fn = parseFunction(kDiamond);
+  EXPECT_EQ(fn.name, "absdiff");
+  ASSERT_EQ(fn.numBlocks(), 4);
+  EXPECT_EQ(fn.blocks[0].succs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(fn.blocks[1].succs, (std::vector<int>{3}));
+  EXPECT_EQ(fn.blocks[2].succs, (std::vector<int>{3}));
+  EXPECT_TRUE(fn.blocks[3].succs.empty());
+  EXPECT_EQ(fn.blocks[1].nestingDepth, 1);
+  EXPECT_EQ(fn.blocks[3].nestingDepth, 0);
+  EXPECT_EQ(fn.arrays.size(), 1u);
+  EXPECT_EQ(fn.blocks[0].ops.size(), 3u);
+}
+
+TEST(FunctionParser, ForwardReferencesResolve) {
+  const Function fn = parseFunction(R"(
+    function f {
+      block a { i0 = iconst 1 } -> z
+      block z { i1 = imov i0 }
+    })");
+  EXPECT_EQ(fn.blocks[0].succs, (std::vector<int>{1}));
+}
+
+TEST(FunctionParser, UnknownSuccessorThrows) {
+  EXPECT_THROW((void)parseFunction(R"(
+    function f {
+      block a { i0 = iconst 1 } -> nowhere
+    })"),
+               ParseError);
+}
+
+TEST(FunctionParser, MultipleFunctions) {
+  const auto fns = parseFunctions(R"(
+    function f { block a { i0 = iconst 1 } }
+    function g { block a { f0 = fconst 1.5 } }
+  )");
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].name, "f");
+  EXPECT_EQ(fns[1].name, "g");
+}
+
+TEST(FunctionParser, RoundTripsThroughPrinter) {
+  const Function fn = parseFunction(kDiamond);
+  const std::string text = printFunction(fn);
+  const Function reparsed = parseFunction(text);
+  EXPECT_EQ(printFunction(reparsed), text);
+  EXPECT_EQ(reparsed.numBlocks(), fn.numBlocks());
+}
+
+TEST(FunctionParser, GeneratedFunctionsRoundTrip) {
+  for (int idx : {0, 5}) {
+    const Function fn = generateFunction(FunctionGenParams{}, idx);
+    const std::string text = printFunction(fn);
+    const Function reparsed = parseFunction(text);
+    EXPECT_EQ(printFunction(reparsed), text) << fn.name;
+  }
+}
+
+TEST(FunctionParser, ParsedFunctionCompiles) {
+  const Function fn = parseFunction(kDiamond);
+  const FunctionResult r =
+      compileFunction(fn, MachineDesc::paper16(2, CopyModel::Embedded));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.validated);
+}
+
+}  // namespace
+}  // namespace rapt

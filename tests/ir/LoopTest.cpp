@@ -1,0 +1,138 @@
+#include "ir/Loop.h"
+
+#include <gtest/gtest.h>
+
+namespace rapt {
+namespace {
+
+Loop simpleLoop() {
+  Loop loop;
+  loop.name = "t";
+  const ArrayId x = loop.addArray("x", 64, true);
+  loop.induction = intReg(0);
+  loop.body.push_back(makeLoad(Opcode::FLoad, fltReg(1), x, intReg(0)));
+  loop.body.push_back(makeBinary(Opcode::FMul, fltReg(2), fltReg(1), fltReg(0)));
+  loop.body.push_back(makeStore(Opcode::FStore, x, intReg(0), fltReg(2)));
+  loop.body.push_back(makeUnary(Opcode::IAddImm, intReg(0), intReg(0), 1));
+  return loop;
+}
+
+TEST(Loop, ValidatesCleanLoop) {
+  EXPECT_FALSE(validate(simpleLoop()).has_value());
+}
+
+TEST(Loop, DefPos) {
+  const Loop loop = simpleLoop();
+  EXPECT_EQ(loop.defPos(fltReg(1)), 0);
+  EXPECT_EQ(loop.defPos(fltReg(2)), 1);
+  EXPECT_EQ(loop.defPos(intReg(0)), 3);
+  EXPECT_FALSE(loop.defPos(fltReg(0)).has_value());  // invariant
+}
+
+TEST(Loop, Invariants) {
+  const Loop loop = simpleLoop();
+  const auto inv = loop.invariants();
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0], fltReg(0));
+}
+
+TEST(Loop, CarriedUse) {
+  const Loop loop = simpleLoop();
+  // Loads at position 0 use i0, defined at position 3 -> carried.
+  EXPECT_TRUE(loop.isCarriedUse(0, intReg(0)));
+  // fmul at position 1 uses f1 defined at position 0 -> same iteration.
+  EXPECT_FALSE(loop.isCarriedUse(1, fltReg(1)));
+  // The induction update uses itself -> carried.
+  EXPECT_TRUE(loop.isCarriedUse(3, intReg(0)));
+}
+
+TEST(Loop, FreshRegSkipsEverything) {
+  Loop loop = simpleLoop();
+  EXPECT_EQ(loop.freshReg(RegClass::Flt), fltReg(3));
+  EXPECT_EQ(loop.freshReg(RegClass::Int), intReg(1));
+  loop.liveInValues.push_back({fltReg(9), 0, 1.0});
+  EXPECT_EQ(loop.freshReg(RegClass::Flt), fltReg(10));
+}
+
+TEST(Loop, AllRegsSortedUnique) {
+  const Loop loop = simpleLoop();
+  const auto regs = loop.allRegs();
+  EXPECT_EQ(regs.size(), 4u);  // i0, f0, f1, f2
+  for (std::size_t i = 1; i < regs.size(); ++i) EXPECT_LT(regs[i - 1], regs[i]);
+}
+
+// ---- validation failures ----
+
+TEST(LoopValidate, DoubleDefinitionRejected) {
+  Loop loop = simpleLoop();
+  loop.body.push_back(makeBinary(Opcode::FAdd, fltReg(2), fltReg(1), fltReg(1)));
+  const auto err = validate(loop);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("more than once"), std::string::npos);
+}
+
+TEST(LoopValidate, ClassMismatchRejected) {
+  Loop loop = simpleLoop();
+  Operation bad = makeBinary(Opcode::FAdd, fltReg(5), fltReg(1), fltReg(2));
+  bad.src[0] = intReg(0);  // wrong class
+  loop.body.insert(loop.body.begin() + 2, bad);
+  const auto err = validate(loop);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("class mismatch"), std::string::npos);
+}
+
+TEST(LoopValidate, MissingSourceRejected) {
+  Loop loop = simpleLoop();
+  Operation bad = makeBinary(Opcode::FAdd, fltReg(5), fltReg(1), fltReg(2));
+  bad.src[1] = VirtReg{};
+  loop.body.insert(loop.body.begin() + 2, bad);
+  ASSERT_TRUE(validate(loop).has_value());
+}
+
+TEST(LoopValidate, UnknownArrayRejected) {
+  Loop loop = simpleLoop();
+  loop.body[0].array = 5;
+  const auto err = validate(loop);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("unknown array"), std::string::npos);
+}
+
+TEST(LoopValidate, ArrayElementTypeMismatchRejected) {
+  Loop loop = simpleLoop();
+  loop.addArray("ints", 8, false);
+  loop.body.push_back(makeLoad(Opcode::FLoad, fltReg(7), 1, intReg(0)));
+  const auto err = validate(loop);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("element type"), std::string::npos);
+}
+
+TEST(LoopValidate, InductionMustBeUpdatedCanonically) {
+  Loop loop = simpleLoop();
+  loop.body[3].imm = 2;  // stride 2 breaks the canonical update
+  const auto err = validate(loop);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("induction update"), std::string::npos);
+}
+
+TEST(LoopValidate, InductionNeverUpdatedRejected) {
+  Loop loop = simpleLoop();
+  loop.body.pop_back();
+  const auto err = validate(loop);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("never updated"), std::string::npos);
+}
+
+TEST(LoopValidate, MissingDefRejected) {
+  Loop loop = simpleLoop();
+  loop.body[1].def = VirtReg{};
+  ASSERT_TRUE(validate(loop).has_value());
+}
+
+TEST(LoopValidate, LoopWithoutInductionIsFine) {
+  Loop loop;
+  loop.body.push_back(makeBinary(Opcode::FAdd, fltReg(0), fltReg(1), fltReg(1)));
+  EXPECT_FALSE(validate(loop).has_value());
+}
+
+}  // namespace
+}  // namespace rapt

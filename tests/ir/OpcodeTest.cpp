@@ -1,0 +1,100 @@
+#include "ir/Opcode.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace rapt {
+namespace {
+
+std::vector<Opcode> allOpcodes() {
+  std::vector<Opcode> ops;
+  for (int i = 0; i < kNumOpcodes; ++i) ops.push_back(static_cast<Opcode>(i));
+  return ops;
+}
+
+class EveryOpcode : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(EveryOpcode, NameRoundTripsThroughLookup) {
+  const Opcode op = GetParam();
+  EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+}
+
+TEST_P(EveryOpcode, StructurallyConsistent) {
+  const OpcodeInfo& info = opcodeInfo(GetParam());
+  EXPECT_FALSE(info.name.empty());
+  EXPECT_LE(info.numSrcs, 2);
+  // Immediate flags are mutually exclusive.
+  EXPECT_FALSE(info.hasImm && info.hasFimm);
+  // Copies are single-source register moves with matching classes.
+  if (info.kind == OpKind::Copy) {
+    EXPECT_TRUE(info.hasDef);
+    EXPECT_EQ(info.numSrcs, 1);
+    EXPECT_EQ(info.defCls, info.srcCls[0]);
+  }
+  // Loads define a value from an integer index; stores define nothing.
+  if (info.kind == OpKind::Load) {
+    EXPECT_TRUE(info.hasDef);
+    EXPECT_EQ(info.numSrcs, 1);
+    EXPECT_EQ(info.srcCls[0], RegClass::Int);
+  }
+  if (info.kind == OpKind::Store) {
+    EXPECT_FALSE(info.hasDef);
+    EXPECT_EQ(info.numSrcs, 2);
+    EXPECT_EQ(info.srcCls[0], RegClass::Int);
+  }
+  if (info.kind == OpKind::Const) {
+    EXPECT_TRUE(info.hasDef);
+    EXPECT_EQ(info.numSrcs, 0);
+    EXPECT_TRUE(info.hasImm || info.hasFimm);
+  }
+}
+
+TEST_P(EveryOpcode, LatencyClassMatchesKind) {
+  const Opcode op = GetParam();
+  const OpcodeInfo& info = opcodeInfo(op);
+  if (info.kind == OpKind::Load) EXPECT_EQ(info.lat, LatClass::Load);
+  if (info.kind == OpKind::Store) EXPECT_EQ(info.lat, LatClass::Store);
+  if (info.kind == OpKind::Copy) {
+    EXPECT_TRUE(info.lat == LatClass::IntCopy || info.lat == LatClass::FltCopy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryOpcode, ::testing::ValuesIn(allOpcodes()));
+
+TEST(Opcode, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Opcode op : allOpcodes()) names.insert(std::string(opcodeName(op)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumOpcodes));
+}
+
+TEST(Opcode, UnknownNameFails) {
+  EXPECT_EQ(opcodeFromName("bogus"), Opcode::kCount_);
+  EXPECT_EQ(opcodeFromName(""), Opcode::kCount_);
+}
+
+TEST(Opcode, Predicates) {
+  EXPECT_TRUE(isLoad(Opcode::FLoad));
+  EXPECT_TRUE(isStore(Opcode::IStore));
+  EXPECT_TRUE(isMemory(Opcode::ILoad));
+  EXPECT_TRUE(isMemory(Opcode::FStore));
+  EXPECT_FALSE(isMemory(Opcode::FAdd));
+  EXPECT_TRUE(isCopy(Opcode::ICopy));
+  EXPECT_TRUE(isCopy(Opcode::FCopy));
+  EXPECT_FALSE(isCopy(Opcode::IMov));  // IMov is a plain ALU move, not a bank copy
+}
+
+TEST(Opcode, SpecificSignatures) {
+  const OpcodeInfo& fstore = opcodeInfo(Opcode::FStore);
+  EXPECT_EQ(fstore.srcCls[1], RegClass::Flt);
+  const OpcodeInfo& itof = opcodeInfo(Opcode::IToF);
+  EXPECT_EQ(itof.defCls, RegClass::Flt);
+  EXPECT_EQ(itof.srcCls[0], RegClass::Int);
+  const OpcodeInfo& ftoi = opcodeInfo(Opcode::FToI);
+  EXPECT_EQ(ftoi.defCls, RegClass::Int);
+  EXPECT_EQ(ftoi.srcCls[0], RegClass::Flt);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,172 @@
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Printer.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+TEST(Parser, ParsesDaxpy) {
+  const Loop loop = parseLoop(R"(
+    loop daxpy depth 2 trip 100 {
+      array x[128] flt
+      array y[128] flt
+      induction i0
+      livein f0 = 2.5
+      f1 = fload x[i0]
+      f2 = fmul f1, f0
+      f3 = fload y[i0]
+      f4 = fadd f2, f3
+      fstore y[i0], f4
+    }
+  )");
+  EXPECT_EQ(loop.name, "daxpy");
+  EXPECT_EQ(loop.nestingDepth, 2);
+  EXPECT_EQ(loop.trip, 100);
+  EXPECT_EQ(loop.arrays.size(), 2u);
+  EXPECT_EQ(loop.induction, intReg(0));
+  ASSERT_EQ(loop.liveInValues.size(), 1u);
+  EXPECT_DOUBLE_EQ(loop.liveInValues[0].f, 2.5);
+  // 5 written ops + the auto-appended induction update.
+  EXPECT_EQ(loop.size(), 6);
+  EXPECT_EQ(loop.body.back().op, Opcode::IAddImm);
+}
+
+TEST(Parser, ExplicitInductionUpdateNotDuplicated) {
+  const Loop loop = parseLoop(R"(
+    loop l trip 8 {
+      induction i0
+      i1 = imov i0
+      i0 = iaddi i0, 1
+    }
+  )");
+  EXPECT_EQ(loop.size(), 2);
+}
+
+TEST(Parser, MemoryOffsets) {
+  const Loop loop = parseLoop(R"(
+    loop l {
+      array x[16] flt
+      induction i0
+      f1 = fload x[i0 + 3]
+      f2 = fload x[i0 - 2]
+      fstore x[i0], f1
+    }
+  )");
+  EXPECT_EQ(loop.body[0].imm, 3);
+  EXPECT_EQ(loop.body[1].imm, -2);
+  EXPECT_EQ(loop.body[2].imm, 0);
+}
+
+TEST(Parser, CommentsAndDefaults) {
+  const Loop loop = parseLoop(R"(
+    # leading comment
+    loop l {   # trailing comment
+      f1 = fconst 1.5   # another
+    }
+  )");
+  EXPECT_EQ(loop.nestingDepth, 1);
+  EXPECT_EQ(loop.body[0].op, Opcode::FConst);
+  EXPECT_DOUBLE_EQ(loop.body[0].fimm, 1.5);
+}
+
+TEST(Parser, IntImmediateForms) {
+  const Loop loop = parseLoop(R"(
+    loop l {
+      i1 = iconst -7
+      i2 = iaddi i1, 5
+      i3 = ishl i1, i2
+    }
+  )");
+  EXPECT_EQ(loop.body[0].imm, -7);
+  EXPECT_EQ(loop.body[1].imm, 5);
+  EXPECT_EQ(loop.body[2].op, Opcode::IShl);
+}
+
+TEST(Parser, MultipleLoops) {
+  const auto loops = parseLoops(R"(
+    loop a { i1 = iconst 1 }
+    loop b { f1 = fconst 2.0 }
+  )");
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].name, "a");
+  EXPECT_EQ(loops[1].name, "b");
+}
+
+TEST(Parser, LiveinWithoutInitializer) {
+  const Loop loop = parseLoop("loop l { livein f3\n f4 = fmov f3 }");
+  ASSERT_EQ(loop.liveInValues.size(), 1u);
+  EXPECT_DOUBLE_EQ(loop.liveInValues[0].f, 0.0);
+}
+
+// ---- Round-trip: print -> parse -> print is a fixpoint. ----
+
+class KernelRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelRoundTrip, PrintParsePrintIsStable) {
+  const std::vector<Loop> kernels = classicKernels();
+  ASSERT_LT(GetParam(), static_cast<int>(kernels.size()));
+  const Loop& original = kernels[GetParam()];
+  const std::string text = printLoop(original);
+  const Loop reparsed = parseLoop(text);
+  EXPECT_EQ(printLoop(reparsed), text) << "kernel " << original.name;
+  EXPECT_EQ(reparsed.size(), original.size());
+  EXPECT_EQ(reparsed.nestingDepth, original.nestingDepth);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelRoundTrip, ::testing::Range(0, 10));
+
+// ---- Error cases carry line numbers and useful messages. ----
+
+struct BadInput {
+  const char* text;
+  const char* expectInMessage;
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrors, Throws) {
+  try {
+    (void)parseLoop(GetParam().text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().expectInMessage),
+              std::string::npos)
+        << "actual: " << e.what();
+    EXPECT_GE(e.line(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrors,
+    ::testing::Values(
+        BadInput{"bogus", "expected 'loop'"},
+        BadInput{"loop l { q1 = iconst 1 }", "destination register"},
+        BadInput{"loop l { i1 = nosuchop i2 }", "unknown opcode"},
+        BadInput{"loop l { i1 = iconst }", "expected integer"},
+        BadInput{"loop l { fstore x[i0], f1 }", "unknown array"},
+        BadInput{"loop l { array x[4] bad }", "element type"},
+        BadInput{"loop l { array i0[4] flt }", "collides with register"},
+        BadInput{"loop l { induction f1 }", "must be an integer"},
+        BadInput{"loop l { i1 = iadd i2 }", "expected ','"},
+        BadInput{"loop l { istore }", "expected array name"},
+        BadInput{"loop l { i1 = iconst 1 ", "expected"},
+        BadInput{"loop l { i1 = fload }", "expected array name"},
+        BadInput{"loop l depth x { }", "expected integer"},
+        BadInput{"loop l { f1 = fadd f1, f1 }\nloop l2 { f1 = fadd f1, f1 }\njunk",
+                 "expected 'loop'"}));
+
+TEST(Parser, DefinitionClassMismatchFailsValidation) {
+  // `i1 = fadd ...` parses the opcode but validation rejects the class.
+  EXPECT_THROW((void)parseLoop("loop l { i1 = fadd f1, f2 }"), ParseError);
+}
+
+TEST(Parser, ParseLoopRejectsMultiple) {
+  EXPECT_THROW((void)parseLoop("loop a { i1 = iconst 1 }\nloop b { i1 = iconst 1 }"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,82 @@
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Parser.h"
+
+namespace rapt {
+namespace {
+
+TEST(Printer, RegNames) {
+  EXPECT_EQ(regName(intReg(0)), "i0");
+  EXPECT_EQ(regName(fltReg(17)), "f17");
+  EXPECT_EQ(regName(VirtReg{}), "-");
+}
+
+struct OpPrintCase {
+  const char* line;  // as written in loop text (and as printed back)
+};
+
+class OperationPrinting : public ::testing::TestWithParam<OpPrintCase> {};
+
+TEST_P(OperationPrinting, RoundTripsThroughText) {
+  const std::string text = std::string("loop l {\n  array x[8] flt\n  array n[8] int\n  ") +
+                           GetParam().line + "\n}";
+  const Loop loop = parseLoop(text);
+  ASSERT_EQ(loop.size(), 1);
+  EXPECT_EQ(printOperation(loop, loop.body[0]), GetParam().line);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, OperationPrinting,
+    ::testing::Values(OpPrintCase{"i1 = iconst -42"},
+                      OpPrintCase{"f1 = fconst 2.5"},
+                      OpPrintCase{"i2 = imov i1"},
+                      OpPrintCase{"f2 = fmov f1"},
+                      OpPrintCase{"i3 = iadd i1, i2"},
+                      OpPrintCase{"i3 = isub i1, i2"},
+                      OpPrintCase{"i3 = imul i1, i2"},
+                      OpPrintCase{"i3 = idiv i1, i2"},
+                      OpPrintCase{"i3 = iand i1, i2"},
+                      OpPrintCase{"i3 = ior i1, i2"},
+                      OpPrintCase{"i3 = ixor i1, i2"},
+                      OpPrintCase{"i3 = ishl i1, i2"},
+                      OpPrintCase{"i3 = ishr i1, i2"},
+                      OpPrintCase{"i3 = iaddi i1, -5"},
+                      OpPrintCase{"f3 = itof i1"},
+                      OpPrintCase{"i4 = ftoi f1"},
+                      OpPrintCase{"f4 = fadd f1, f2"},
+                      OpPrintCase{"f4 = fsub f1, f2"},
+                      OpPrintCase{"f4 = fmul f1, f2"},
+                      OpPrintCase{"f4 = fdiv f1, f2"},
+                      OpPrintCase{"i5 = icpy i1"},
+                      OpPrintCase{"f5 = fcpy f1"},
+                      OpPrintCase{"f6 = fload x[i1]"},
+                      OpPrintCase{"f6 = fload x[i1 + 3]"},
+                      OpPrintCase{"f6 = fload x[i1 - 2]"},
+                      OpPrintCase{"i6 = iload n[i1]"},
+                      OpPrintCase{"fstore x[i1 + 1], f2"},
+                      OpPrintCase{"istore n[i1], i2"}));
+
+TEST(Printer, LoopHeaderFields) {
+  Loop loop = parseLoop("loop alpha depth 3 trip 99 { f1 = fconst 1.0 }");
+  const std::string out = printLoop(loop);
+  EXPECT_NE(out.find("loop alpha depth 3 trip 99 {"), std::string::npos);
+}
+
+TEST(Printer, LiveInsAndInduction) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      livein f0 = 2.5
+      livein i1 = -3
+      f1 = fload x[i0]
+    })");
+  const std::string out = printLoop(loop);
+  EXPECT_NE(out.find("induction i0"), std::string::npos);
+  EXPECT_NE(out.find("livein f0 = 2.5"), std::string::npos);
+  EXPECT_NE(out.find("livein i1 = -3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,79 @@
+#include "ir/Reg.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rapt {
+namespace {
+
+TEST(Reg, DefaultIsInvalid) {
+  VirtReg r;
+  EXPECT_FALSE(r.isValid());
+}
+
+TEST(Reg, ConstructedIsValid) {
+  EXPECT_TRUE(intReg(0).isValid());
+  EXPECT_TRUE(fltReg(12345).isValid());
+}
+
+TEST(Reg, ClassAndIndexRoundTrip) {
+  const VirtReg a = intReg(7);
+  EXPECT_EQ(a.cls(), RegClass::Int);
+  EXPECT_EQ(a.index(), 7u);
+  const VirtReg b = fltReg(0);
+  EXPECT_EQ(b.cls(), RegClass::Flt);
+  EXPECT_EQ(b.index(), 0u);
+}
+
+TEST(Reg, SameIndexDifferentClassDiffer) {
+  EXPECT_NE(intReg(3), fltReg(3));
+}
+
+class RegKeyRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RegKeyRoundTrip, KeyIsBijective) {
+  const std::uint32_t idx = GetParam();
+  for (RegClass rc : {RegClass::Int, RegClass::Flt}) {
+    const VirtReg r(rc, idx);
+    EXPECT_EQ(VirtReg::fromKey(r.key()), r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, RegKeyRoundTrip,
+                         ::testing::Values(0u, 1u, 2u, 63u, 1000u, 99999u));
+
+TEST(Reg, KeysAreDense) {
+  EXPECT_EQ(intReg(0).key(), 0u);
+  EXPECT_EQ(fltReg(0).key(), 1u);
+  EXPECT_EQ(intReg(1).key(), 2u);
+  EXPECT_EQ(fltReg(1).key(), 3u);
+}
+
+TEST(Reg, Hashable) {
+  std::unordered_set<VirtReg> set;
+  set.insert(intReg(1));
+  set.insert(fltReg(1));
+  set.insert(intReg(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Reg, OrderingIsTotal) {
+  EXPECT_LT(intReg(1), intReg(2));
+  // Ordering is stable even across classes (exact order unspecified but total).
+  EXPECT_TRUE(intReg(5) < fltReg(5) || fltReg(5) < intReg(5));
+}
+
+TEST(Reg, HelpersMatch) {
+  EXPECT_TRUE(intReg(0).isInt());
+  EXPECT_FALSE(intReg(0).isFlt());
+  EXPECT_TRUE(fltReg(0).isFlt());
+}
+
+TEST(RegClassName, Names) {
+  EXPECT_STREQ(regClassName(RegClass::Int), "int");
+  EXPECT_STREQ(regClassName(RegClass::Flt), "flt");
+}
+
+}  // namespace
+}  // namespace rapt

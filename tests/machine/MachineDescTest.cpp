@@ -1,0 +1,121 @@
+#include "machine/MachineDesc.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/CompilerPipeline.h"
+
+namespace rapt {
+namespace {
+
+TEST(LatencyTable, PaperSection61Values) {
+  const LatencyTable lat;  // defaults are the paper's table
+  EXPECT_EQ(lat.of(LatClass::IntCopy), 2);
+  EXPECT_EQ(lat.of(LatClass::FltCopy), 3);
+  EXPECT_EQ(lat.of(LatClass::Load), 2);
+  EXPECT_EQ(lat.of(LatClass::IntMul), 5);
+  EXPECT_EQ(lat.of(LatClass::IntDiv), 12);
+  EXPECT_EQ(lat.of(LatClass::IntAlu), 1);
+  EXPECT_EQ(lat.of(LatClass::FltMul), 2);
+  EXPECT_EQ(lat.of(LatClass::FltDiv), 2);
+  EXPECT_EQ(lat.of(LatClass::FltOther), 2);
+  EXPECT_EQ(lat.of(LatClass::Store), 4);
+}
+
+TEST(LatencyTable, OpcodeDispatch) {
+  const LatencyTable lat;
+  EXPECT_EQ(lat.of(Opcode::IMul), 5);
+  EXPECT_EQ(lat.of(Opcode::FLoad), 2);
+  EXPECT_EQ(lat.of(Opcode::ICopy), 2);
+  EXPECT_EQ(lat.of(Opcode::FCopy), 3);
+  EXPECT_EQ(lat.of(Opcode::IConst), 1);
+}
+
+TEST(LatencyTable, UnitIsAllOnes) {
+  const LatencyTable u = LatencyTable::unit();
+  for (LatClass c : {LatClass::IntAlu, LatClass::IntMul, LatClass::IntDiv,
+                     LatClass::Load, LatClass::Store, LatClass::FltOther,
+                     LatClass::FltMul, LatClass::FltDiv, LatClass::IntCopy,
+                     LatClass::FltCopy}) {
+    EXPECT_EQ(u.of(c), 1);
+  }
+}
+
+class PaperPreset : public ::testing::TestWithParam<std::tuple<int, CopyModel>> {};
+
+TEST_P(PaperPreset, SixteenWideInvariants) {
+  const auto [clusters, model] = GetParam();
+  const MachineDesc m = MachineDesc::paper16(clusters, model);
+  EXPECT_EQ(m.width(), 16);
+  EXPECT_EQ(m.numClusters, clusters);
+  EXPECT_EQ(m.fusPerCluster, 16 / clusters);
+  EXPECT_EQ(m.intRegsPerBank, 32);
+  if (model == CopyModel::CopyUnit) {
+    EXPECT_EQ(m.busCount, clusters);  // N buses for N clusters
+    EXPECT_FALSE(m.copiesUseFuSlots());
+  } else {
+    EXPECT_EQ(m.busCount, 0);
+    EXPECT_TRUE(m.copiesUseFuSlots());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PaperPreset,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(CopyModel::Embedded, CopyModel::CopyUnit)));
+
+TEST(MachineDesc, CopyPortReconstruction) {
+  // 1 port at 2 clusters and 3 at 8 are stated in the paper's prose; 2 at 4
+  // is our log2 interpolation (DESIGN.md).
+  EXPECT_EQ(MachineDesc::paper16(2, CopyModel::CopyUnit).copyPortsPerBank, 1);
+  EXPECT_EQ(MachineDesc::paper16(4, CopyModel::CopyUnit).copyPortsPerBank, 2);
+  EXPECT_EQ(MachineDesc::paper16(8, CopyModel::CopyUnit).copyPortsPerBank, 3);
+}
+
+TEST(MachineDesc, ClusterOfFu) {
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  EXPECT_EQ(m.clusterOfFu(0), 0);
+  EXPECT_EQ(m.clusterOfFu(3), 0);
+  EXPECT_EQ(m.clusterOfFu(4), 1);
+  EXPECT_EQ(m.clusterOfFu(15), 3);
+  EXPECT_EQ(m.firstFuOfCluster(2), 8);
+}
+
+TEST(MachineDesc, Ideal16IsMonolithic) {
+  const MachineDesc m = MachineDesc::ideal16();
+  EXPECT_TRUE(m.isMonolithic());
+  EXPECT_EQ(m.width(), 16);
+}
+
+TEST(MachineDesc, Example2x1MatchesSection42) {
+  const MachineDesc m = MachineDesc::example2x1();
+  EXPECT_EQ(m.numClusters, 2);
+  EXPECT_EQ(m.fusPerCluster, 1);
+  EXPECT_EQ(m.lat.fltMul, 1);  // unit latency
+  EXPECT_EQ(m.lat.intCopy, 1);
+  EXPECT_TRUE(m.copiesUseFuSlots());
+}
+
+TEST(MachineDesc, RegsPerBankByClass) {
+  MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  m.intRegsPerBank = 10;
+  m.fltRegsPerBank = 20;
+  EXPECT_EQ(m.regsPerBank(RegClass::Int), 10);
+  EXPECT_EQ(m.regsPerBank(RegClass::Flt), 20);
+}
+
+TEST(CopyModelName, Names) {
+  EXPECT_STREQ(copyModelName(CopyModel::Embedded), "Embedded");
+  EXPECT_STREQ(copyModelName(CopyModel::CopyUnit), "Copy Unit");
+}
+
+TEST(PartitionerName, AllNamed) {
+  for (PartitionerKind k :
+       {PartitionerKind::GreedyRcg, PartitionerKind::RoundRobin,
+        PartitionerKind::Random, PartitionerKind::BugLike, PartitionerKind::UasLike}) {
+    EXPECT_NE(partitionerName(k), nullptr);
+    EXPECT_GT(std::string(partitionerName(k)).size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,121 @@
+#include "partition/Baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/CompilerPipeline.h"
+#include "sched/ModuloScheduler.h"
+#include "workload/Kernels.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+TEST(RoundRobin, SpreadsEvenly) {
+  const Loop loop = classicKernel("cmul");
+  const Partition p = roundRobinPartition(loop, 4);
+  const int total = static_cast<int>(loop.allRegs().size());
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_GE(p.countInBank(b), total / 4 - 1);
+    EXPECT_LE(p.countInBank(b), total / 4 + 1);
+  }
+}
+
+TEST(RoundRobin, CoversAllRegs) {
+  const Loop loop = generateLoop(GeneratorParams{}, 1);
+  const Partition p = roundRobinPartition(loop, 8);
+  for (VirtReg r : loop.allRegs()) EXPECT_TRUE(p.isAssigned(r));
+}
+
+TEST(Random, DeterministicPerSeed) {
+  const Loop loop = classicKernel("fir4");
+  SplitMix64 rng1(99), rng2(99);
+  const Partition a = randomPartition(loop, 4, rng1);
+  const Partition b = randomPartition(loop, 4, rng2);
+  for (VirtReg r : loop.allRegs()) EXPECT_EQ(a.bankOf(r), b.bankOf(r));
+}
+
+TEST(Random, BanksWithinRange) {
+  const Loop loop = generateLoop(GeneratorParams{}, 2);
+  SplitMix64 rng(7);
+  const Partition p = randomPartition(loop, 2, rng);
+  for (VirtReg r : loop.allRegs()) {
+    EXPECT_GE(p.bankOf(r), 0);
+    EXPECT_LT(p.bankOf(r), 2);
+  }
+}
+
+TEST(BugLike, CoversAllRegsIncludingInvariants) {
+  const Loop loop = classicKernel("daxpy");  // f0 is an invariant
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto ideal = moduloSchedule(ddg, m, free);
+  ASSERT_TRUE(ideal.success);
+  const Partition p = bugPartition(loop, ddg, ideal.schedule, 4);
+  for (VirtReg r : loop.allRegs()) EXPECT_TRUE(p.isAssigned(r));
+}
+
+TEST(BugLike, KeepsTightChainsTogether) {
+  // A single serial chain should not be scattered: BUG's bottom-up operand
+  // affinity keeps at least some adjacency.
+  const Loop loop = classicKernel("tridiag");
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto ideal = moduloSchedule(ddg, m, free);
+  ASSERT_TRUE(ideal.success);
+  const Partition p = bugPartition(loop, ddg, ideal.schedule, 4);
+  // f3 = fsub f1,f2 and f5 = fmul f4,f3 form a chain: operand affinity puts
+  // f5 where f3 lives.
+  EXPECT_EQ(p.bankOf(fltReg(5)), p.bankOf(fltReg(3)));
+}
+
+TEST(UasLike, CoversAllRegs) {
+  const Loop loop = generateLoop(GeneratorParams{}, 4);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const Partition p = uasPartition(loop, ddg, m, 4);
+  for (VirtReg r : loop.allRegs()) {
+    EXPECT_TRUE(p.isAssigned(r));
+    EXPECT_GE(p.bankOf(r), 0);
+    EXPECT_LT(p.bankOf(r), 4);
+  }
+}
+
+TEST(UasLike, SingleBankIsTrivial) {
+  const Loop loop = classicKernel("daxpy");
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const Partition p = uasPartition(loop, ddg, m, 1);
+  for (VirtReg r : loop.allRegs()) EXPECT_EQ(p.bankOf(r), 0);
+}
+
+TEST(UasLike, KeepsChainsLocalUnderLowPressure) {
+  // daxpy easily fits one 8-wide cluster at II 1: schedule-time costing
+  // should avoid gratuitous copies, so the float chain stays in few banks.
+  const Loop loop = classicKernel("daxpy");
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const Partition p = uasPartition(loop, ddg, m, 2);
+  // f1 (load) and f2 (fmul of f1) share a bank: the consumer was placed
+  // where its operand lives.
+  EXPECT_EQ(p.bankOf(fltReg(2)), p.bankOf(fltReg(1)));
+}
+
+TEST(UasLike, DeterministicAndValidThroughPipeline) {
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  for (int idx : {2, 9, 23}) {
+    const Loop loop = generateLoop(GeneratorParams{}, idx);
+    PipelineOptions opt;
+    opt.partitioner = PartitionerKind::UasLike;
+    const LoopResult a = compileLoop(loop, m, opt);
+    const LoopResult b = compileLoop(loop, m, opt);
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_TRUE(a.validated);
+    EXPECT_EQ(a.clusteredII, b.clusteredII);
+    EXPECT_EQ(a.bodyCopies, b.bodyCopies);
+  }
+}
+
+}  // namespace
+}  // namespace rapt

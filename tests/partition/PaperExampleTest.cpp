@@ -1,0 +1,111 @@
+// The worked example of paper §4.2: the statement
+//     xpos = xpos + (xvel*t) + (xaccel*t*t/2.0)
+// compiled for a machine with 2 single-FU clusters and unit latencies.
+// Figure 1 shows a 7-cycle ideal schedule; Figure 3 shows a 9-cycle schedule
+// after partitioning with two copies (r2 and r66 in the paper's numbering).
+//
+// Our assertions keep the robust parts of the claim: the ideal schedule takes
+// 7 cycles on the 2-wide monolithic machine; partitioning splits the graph
+// across both banks; the partitioned schedule needs copies and lands within
+// a small constant of the paper's 9 cycles; and the compiled result stays
+// semantically exact.
+#include <gtest/gtest.h>
+
+#include "ddg/Ddg.h"
+#include "ir/Parser.h"
+#include "partition/CopyInserter.h"
+#include "partition/GreedyPartitioner.h"
+#include "partition/Rcg.h"
+#include "pipeline/CompilerPipeline.h"
+#include "sched/ModuloScheduler.h"
+
+namespace rapt {
+namespace {
+
+// Figure 2's intermediate code, transcribed. Scalars live in 1-element
+// arrays; the final store targets xpos (the paper's figure says `store xvel`,
+// an evident typo for the statement being compiled). Offsets are constant, so
+// the loads use a pinned zero index register. Running it as a trip-1 loop
+// reproduces the straight-line fragment.
+Loop paperLoop() {
+  return parseLoop(R"(
+    loop xpos_update trip 1 {
+      array xvel[1] flt
+      array t[1] flt
+      array xaccel[1] flt
+      array xpos[1] flt
+      livein i0 = 0
+      f1 = fload xvel[i0]
+      f2 = fload t[i0]
+      f3 = fload xaccel[i0]
+      f4 = fload xpos[i0]
+      f5 = fmul f1, f2
+      f6 = fadd f4, f5
+      f7 = fmul f3, f2
+      f8 = fconst 2.0
+      f9 = fdiv f2, f8
+      f10 = fmul f7, f9
+      f11 = fadd f6, f10
+      fstore xpos[i0], f11
+    })");
+}
+
+TEST(PaperExample, IdealScheduleTakesSevenCycles) {
+  const Loop loop = paperLoop();
+  MachineDesc mono = MachineDesc::example2x1();
+  mono.numClusters = 1;
+  mono.fusPerCluster = 2;  // same width, one bank
+  const Ddg ddg = Ddg::build(loop, mono.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto res = moduloSchedule(ddg, mono, free);
+  ASSERT_TRUE(res.success);
+  // 12 ops on 2 units: ResII 6; the flat schedule length is the paper's
+  // "cycles to complete" for one pass. Figure 1 achieves 7.
+  // (The paper's code has 11 ops; ours adds fconst for the literal 2.0.)
+  EXPECT_LE(res.schedule.horizon() + 1, 8);
+  EXPECT_GE(res.schedule.horizon() + 1, 7);
+}
+
+TEST(PaperExample, PartitioningSplitsAcrossBothBanks) {
+  const Loop loop = paperLoop();
+  const MachineDesc m = MachineDesc::example2x1();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto ideal = moduloSchedule(ddg, idealCounterpart(m), free);
+  ASSERT_TRUE(ideal.success);
+  const Rcg rcg = Rcg::build(loop, ddg, ideal.schedule, RcgWeights{});
+  const Partition part = greedyPartition(rcg, 2, RcgWeights{});
+  EXPECT_GT(part.countInBank(0), 0);
+  EXPECT_GT(part.countInBank(1), 0);
+}
+
+TEST(PaperExample, PartitionedScheduleNeedsCopiesAndStaysClose) {
+  const Loop loop = paperLoop();
+  const MachineDesc m = MachineDesc::example2x1();
+  PipelineOptions opt;
+  opt.simTrip = 1;
+  const LoopResult r = compileLoop(loop, m, opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.validated);
+  EXPECT_GE(r.bodyCopies, 1);  // the paper needed two moves
+  // Paper: ideal 7 cycles -> partitioned 9 (a 2-cycle stretch on the flat
+  // schedule). Our metric is the repeating kernel's II, which additionally
+  // carries the xpos load/store recurrence through the inserted copies, so
+  // the bound is correspondingly looser: within 2x of ideal.
+  EXPECT_GE(r.clusteredII, r.idealII);
+  EXPECT_LE(r.clusteredII, 2 * r.idealII);
+}
+
+TEST(PaperExample, SemanticsMatchTheFormula) {
+  // xpos' = xpos + xvel*t + xaccel*t*t/2 with the deterministic array fill.
+  const Loop loop = paperLoop();
+  const MachineDesc m = MachineDesc::example2x1();
+  PipelineOptions opt;
+  opt.simTrip = 1;
+  const LoopResult r = compileLoop(loop, m, opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.validated);
+}
+
+}  // namespace
+}  // namespace rapt

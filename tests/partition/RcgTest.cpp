@@ -1,0 +1,157 @@
+#include "partition/Rcg.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Parser.h"
+#include "partition/Partition.h"
+#include "sched/ModuloScheduler.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+struct Built {
+  Loop loop;
+  Ddg ddg;
+  ModuloSchedule sched;
+  Rcg rcg;
+};
+
+Built buildFor(Loop loop, const RcgWeights& w = {}) {
+  const MachineDesc m = MachineDesc::ideal16();
+  Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  auto res = moduloSchedule(ddg, m, free);
+  EXPECT_TRUE(res.success);
+  Rcg rcg = Rcg::build(loop, ddg, res.schedule, w);
+  return Built{std::move(loop), std::move(ddg), std::move(res.schedule), std::move(rcg)};
+}
+
+TEST(Rcg, EveryRegisterIsANode) {
+  const Built b = buildFor(classicKernel("daxpy"));
+  EXPECT_EQ(b.rcg.nodes().size(), b.loop.allRegs().size());
+}
+
+TEST(Rcg, DefUsePairsAttract) {
+  const Built b = buildFor(classicKernel("daxpy"));
+  // f2 = fmul f1, f0: def-use edges (f2,f1) and (f2,f0) must be positive.
+  EXPECT_GT(b.rcg.edgeWeight(fltReg(2), fltReg(1)), 0.0);
+  EXPECT_GT(b.rcg.edgeWeight(fltReg(2), fltReg(0)), 0.0);
+}
+
+TEST(Rcg, UnrelatedRegistersHaveNoEdge) {
+  const Built b = buildFor(classicKernel("cmul"));
+  // f5 = fmul f1,f3 and f6 = fmul f2,f4 share no operation... unless they
+  // were defined in the same ideal instruction (then the edge is negative).
+  const double w = b.rcg.edgeWeight(fltReg(1), fltReg(2));
+  EXPECT_LE(w, 0.0);
+}
+
+TEST(Rcg, SameSlotDefinitionsRepel) {
+  // Two independent chains on a wide machine at II=1: their defs share every
+  // modulo slot, producing negative (separation) edges.
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      array y[8] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fload y[i0]
+    })");
+  const Built b = buildFor(loop);
+  ASSERT_EQ(b.sched.ii, 1);
+  EXPECT_LT(b.rcg.edgeWeight(fltReg(1), fltReg(2)), 0.0);
+}
+
+TEST(Rcg, NodeWeightsAccumulate) {
+  const Built b = buildFor(classicKernel("daxpy"));
+  // f4 participates in fadd (def) and fstore (use): positive weight.
+  EXPECT_GT(b.rcg.nodeWeight(fltReg(4)), 0.0);
+  // Node weights are symmetric contributions of |edge| weights.
+  for (VirtReg r : b.rcg.nodes()) EXPECT_GE(b.rcg.nodeWeight(r), 0.0);
+}
+
+TEST(Rcg, OrderingIsByDecreasingWeight) {
+  const Built b = buildFor(classicKernel("hydro"));
+  const auto order = b.rcg.nodesByDecreasingWeight();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(b.rcg.nodeWeight(order[i - 1]), b.rcg.nodeWeight(order[i]));
+  }
+}
+
+TEST(Rcg, CriticalOpsWeighMore) {
+  RcgWeights w;
+  w.critBonus = 10.0;
+  w.base = 1.0;
+  // tridiag is recurrence-bound: its cycle ops have Flexibility 1 and get the
+  // crit bonus; an identical build with critBonus == base weighs them less.
+  const Built heavy = buildFor(classicKernel("tridiag"), w);
+  RcgWeights flat;
+  flat.critBonus = 1.0;
+  const Built plain = buildFor(classicKernel("tridiag"), flat);
+  // f5 = fmul f4,f3 is on the recurrence; its incident weights scale up.
+  EXPECT_GT(heavy.rcg.nodeWeight(fltReg(5)), plain.rcg.nodeWeight(fltReg(5)));
+}
+
+TEST(Rcg, DeeperLoopsWeighMore) {
+  Loop shallow = classicKernel("daxpy");
+  shallow.nestingDepth = 1;
+  Loop deep = classicKernel("daxpy");
+  deep.nestingDepth = 3;
+  const Built a = buildFor(shallow);
+  const Built b = buildFor(deep);
+  EXPECT_GT(b.rcg.nodeWeight(fltReg(2)), a.rcg.nodeWeight(fltReg(2)));
+}
+
+TEST(Rcg, ExtraEdgeForcesWeight) {
+  Built b = buildFor(classicKernel("daxpy"));
+  const double before = b.rcg.edgeWeight(fltReg(1), fltReg(3));
+  b.rcg.addExtraEdge(fltReg(1), fltReg(3), -1e9);
+  EXPECT_LT(b.rcg.edgeWeight(fltReg(1), fltReg(3)), before - 1e8);
+  // Neighbor lists were rebuilt.
+  bool found = false;
+  for (const auto& [nbr, wgt] : b.rcg.neighbors(fltReg(1))) {
+    if (nbr == fltReg(3)) found = (wgt < -1e8);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Rcg, MeanAbsEdgeWeightPositive) {
+  const Built b = buildFor(classicKernel("fir4"));
+  EXPECT_GT(b.rcg.meanAbsEdgeWeight(), 0.0);
+  const Rcg empty;
+  EXPECT_DOUBLE_EQ(empty.meanAbsEdgeWeight(), 1.0);  // neutral scale
+}
+
+TEST(Rcg, BuildFromBlockMatchesLoopRules) {
+  // A two-op block: def-use edge positive; same-cycle defs repel.
+  std::vector<Operation> ops;
+  ops.push_back(makeBinary(Opcode::FAdd, fltReg(1), fltReg(0), fltReg(0)));
+  ops.push_back(makeBinary(Opcode::FAdd, fltReg(2), fltReg(0), fltReg(0)));
+  const int cycle[] = {0, 0};
+  const int flex[] = {1, 1};
+  const Rcg g = Rcg::buildFromBlock(ops, cycle, flex, 1, 2.0, RcgWeights{});
+  EXPECT_GT(g.edgeWeight(fltReg(1), fltReg(0)), 0.0);
+  EXPECT_LT(g.edgeWeight(fltReg(1), fltReg(2)), 0.0);
+}
+
+TEST(Rcg, DotExportContainsNodesAndEdgeStyles) {
+  const Built b = buildFor(classicKernel("daxpy"));
+  const std::string dot = b.rcg.toDot();
+  EXPECT_NE(dot.find("graph rcg {"), std::string::npos);
+  EXPECT_NE(dot.find("\"f2\" -- "), std::string::npos);
+  // daxpy's ideal schedule puts independent defs in shared slots: some edge
+  // is negative and rendered dashed.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Rcg, DotExportGroupsByBank) {
+  const Built b = buildFor(classicKernel("daxpy"));
+  Partition p(2);
+  for (VirtReg r : b.loop.allRegs()) p.assign(r, r.cls() == RegClass::Int ? 0 : 1);
+  const std::string dot = b.rcg.toDot(&p);
+  EXPECT_NE(dot.find("subgraph cluster_bank0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_bank1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,79 @@
+#include "partition/Refinement.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/Baselines.h"
+#include "pipeline/CompilerPipeline.h"
+#include "workload/Kernels.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+TEST(Refinement, NeverWorsens) {
+  const Loop loop = classicKernel("cmul");
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  const Partition start = roundRobinPartition(loop, 4);  // a poor partition
+  const RefinementResult r = refinePartition(loop, m, start, /*idealII=*/1);
+  EXPECT_LE(r.finalII, r.initialII);
+  if (r.finalII == r.initialII) EXPECT_LE(r.finalCopies, r.initialCopies);
+}
+
+TEST(Refinement, RepairsAdversarialPartition) {
+  // Random scatter produces many copies; refinement must claw back most of
+  // the II loss on a simple streaming kernel.
+  const Loop loop = classicKernel("daxpy");
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  SplitMix64 rng(12345);
+  const Partition scattered = randomPartition(loop, 2, rng);
+  const RefinementResult r =
+      refinePartition(loop, m, scattered, /*idealII=*/1, {});
+  EXPECT_LE(r.finalII, r.initialII);
+  EXPECT_LE(r.finalII, 2);  // daxpy fits easily after repair
+}
+
+TEST(Refinement, StopsAtIdeal) {
+  const Loop loop = classicKernel("scale");
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  const Partition start = roundRobinPartition(loop, 2);
+  const RefinementResult r = refinePartition(loop, m, start, /*idealII=*/1);
+  if (r.finalII == 1) {
+    // Converged to the ideal: no further passes were spent.
+    EXPECT_LE(r.passes, 3);
+  }
+}
+
+TEST(Refinement, ZeroPassesIsIdentity) {
+  const Loop loop = classicKernel("fir4");
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  const Partition start = roundRobinPartition(loop, 4);
+  RefinementOptions opt;
+  opt.maxPasses = 0;
+  const RefinementResult r = refinePartition(loop, m, start, 1, opt);
+  EXPECT_EQ(r.movesAccepted, 0);
+  EXPECT_EQ(r.finalII, r.initialII);
+  for (VirtReg reg : loop.allRegs())
+    EXPECT_EQ(r.partition.bankOf(reg), start.bankOf(reg));
+}
+
+// Refinement through the pipeline: results stay valid and never regress.
+class RefinedPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinedPipeline, ValidatedAndNoWorse) {
+  const Loop loop = generateLoop(GeneratorParams{}, GetParam() * 13);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions plain;
+  const LoopResult base = compileLoop(loop, m, plain);
+  PipelineOptions refined = plain;
+  refined.refinePasses = 2;
+  const LoopResult better = compileLoop(loop, m, refined);
+  ASSERT_TRUE(base.ok) << base.error;
+  ASSERT_TRUE(better.ok) << better.error;
+  EXPECT_TRUE(better.validated);
+  EXPECT_LE(better.clusteredII, base.clusteredII);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RefinedPipeline, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rapt

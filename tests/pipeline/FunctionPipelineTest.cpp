@@ -1,0 +1,129 @@
+#include "pipeline/FunctionPipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/BlockCopyInserter.h"
+#include "workload/FunctionGenerator.h"
+
+namespace rapt {
+namespace {
+
+Function tinyFunction() {
+  Function fn;
+  fn.blocks.resize(2);
+  fn.addArray("g", 64, true);
+  fn.blocks[0].ops = {makeFConst(fltReg(0), 1.5), makeFConst(fltReg(1), 2.0),
+                      makeBinary(Opcode::FMul, fltReg(2), fltReg(0), fltReg(1))};
+  fn.blocks[0].succs = {1};
+  fn.blocks[1].ops = {makeBinary(Opcode::FAdd, fltReg(3), fltReg(2), fltReg(0)),
+                      makeIConst(intReg(0), 3),
+                      makeStore(Opcode::FStore, 0, intReg(0), fltReg(3))};
+  return fn;
+}
+
+TEST(FunctionPipeline, MonolithicIsBaseline) {
+  const FunctionResult r = compileFunction(tinyFunction(), MachineDesc::ideal16());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.copies, 0);
+  EXPECT_DOUBLE_EQ(r.normalizedSize(), 100.0);
+  EXPECT_TRUE(r.allocOk);
+}
+
+TEST(FunctionPipeline, ClusteredNeverBeatsIdeal) {
+  for (int clusters : {2, 4, 8}) {
+    const FunctionResult r = compileFunction(
+        tinyFunction(), MachineDesc::paper16(clusters, CopyModel::Embedded));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GE(r.normalizedSize(), 100.0 - 1e-9) << clusters;
+  }
+}
+
+TEST(FunctionPipeline, CountsBlocksAndOps) {
+  const Function fn = tinyFunction();
+  const FunctionResult r =
+      compileFunction(fn, MachineDesc::paper16(2, CopyModel::Embedded));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.numBlocks, 2);
+  EXPECT_EQ(r.numOps, 6);
+}
+
+TEST(FunctionPipeline, RejectsDoubleDefinitionInBlock) {
+  Function fn = tinyFunction();
+  fn.blocks[0].ops.push_back(makeFConst(fltReg(0), 9.0));  // redefines f0
+  const FunctionResult r = compileFunction(fn, MachineDesc::ideal16());
+  EXPECT_FALSE(r.ok);
+}
+
+class FunctionCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(FunctionCorpus, CompilesOnAllMachines) {
+  const Function fn = generateFunction(FunctionGenParams{}, GetParam());
+  for (int clusters : {2, 4, 8}) {
+    for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+      const FunctionResult r =
+          compileFunction(fn, MachineDesc::paper16(clusters, model));
+      ASSERT_TRUE(r.ok) << fn.name << ": " << r.error;
+      EXPECT_GE(r.normalizedSize(), 100.0 - 1e-9);
+      EXPECT_TRUE(r.allocOk) << fn.name;  // 32-reg banks fit these functions
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FunctionCorpus, ::testing::Range(0, 10));
+
+TEST(FunctionGenerator, DeterministicAndStructured) {
+  const Function a = generateFunction(FunctionGenParams{}, 5);
+  const Function b = generateFunction(FunctionGenParams{}, 5);
+  ASSERT_EQ(a.numBlocks(), b.numBlocks());
+  EXPECT_GE(a.numBlocks(), 2);
+  // Entry reaches every block (weak structural check: all non-entry blocks
+  // have at least one predecessor).
+  const auto preds = a.predecessors();
+  for (int blk = 1; blk < a.numBlocks(); ++blk)
+    EXPECT_FALSE(preds[blk].empty()) << "block " << blk;
+}
+
+// ---- Block copy insertion unit tests. ----
+
+TEST(BlockCopyInserter, ReusesWithinBlockAndInvalidatesOnRedefine) {
+  // v defined in bank 0, used twice by bank-1 ops: one copy. After v is
+  // redefined (new register name here, so no invalidation path), a new value
+  // in bank 0 needs its own copy.
+  std::vector<Operation> ops = {
+      makeFConst(fltReg(0), 1.0),
+      makeBinary(Opcode::FAdd, fltReg(1), fltReg(0), fltReg(0)),
+      makeBinary(Opcode::FMul, fltReg(2), fltReg(0), fltReg(0)),
+  };
+  Partition part(2);
+  part.assign(fltReg(0), 0);
+  part.assign(fltReg(1), 1);
+  part.assign(fltReg(2), 1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  std::uint32_t fresh[2] = {100, 100};
+  const ClusteredBlock out = insertBlockCopies(ops, part, m, fresh);
+  EXPECT_EQ(out.copies, 1);
+  EXPECT_EQ(out.ops.size(), 4u);
+  EXPECT_EQ(fresh[1], 101u);  // one float temp allocated
+}
+
+TEST(BlockCopyInserter, StoreAnchorsAtValueBank) {
+  std::vector<Operation> ops = {
+      makeIConst(intReg(0), 0),
+      makeFConst(fltReg(0), 2.0),
+      makeStore(Opcode::FStore, 0, intReg(0), fltReg(0)),
+  };
+  Partition part(2);
+  part.assign(intReg(0), 0);
+  part.assign(fltReg(0), 1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  std::uint32_t fresh[2] = {10, 10};
+  const ClusteredBlock out = insertBlockCopies(ops, part, m, fresh);
+  // The store anchors at the value's bank and copies the integer index.
+  EXPECT_EQ(out.copies, 1);
+  bool sawIntCopy = false;
+  for (const Operation& o : out.ops) sawIntCopy |= (o.op == Opcode::ICopy);
+  EXPECT_TRUE(sawIntCopy);
+}
+
+}  // namespace
+}  // namespace rapt

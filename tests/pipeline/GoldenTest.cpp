@@ -1,0 +1,90 @@
+// Golden shape guards: the headline experiment results are deterministic
+// (seeded corpus, no timing dependence), so aggregate drift means an
+// algorithm changed behaviour. Bounds are deliberately loose — they encode
+// the paper's qualitative SHAPE, not today's exact values, so legitimate
+// heuristic tuning stays possible while regressions (e.g. a partitioner
+// accidentally degenerating to one bank) trip immediately.
+#include <gtest/gtest.h>
+
+#include "pipeline/Suite.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+GeneratorParams slice() {
+  GeneratorParams p;
+  p.count = 64;  // a quarter of the corpus: fast but representative
+  return p;
+}
+
+struct Shape {
+  double embedded[3];  // arith means at 2/4/8 clusters
+  double copyUnit[3];
+  double zeroPct[3];   // embedded zero-degradation %
+};
+
+Shape measure() {
+  const std::vector<Loop> loops = generateCorpus(slice());
+  PipelineOptions opt;
+  opt.simulate = false;
+  Shape s{};
+  const int clusters[3] = {2, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    const SuiteResult emb =
+        runSuite(loops, MachineDesc::paper16(clusters[i], CopyModel::Embedded), opt);
+    const SuiteResult cu =
+        runSuite(loops, MachineDesc::paper16(clusters[i], CopyModel::CopyUnit), opt);
+    EXPECT_EQ(emb.failures, 0);
+    EXPECT_EQ(cu.failures, 0);
+    s.embedded[i] = emb.arithMeanNormalized;
+    s.copyUnit[i] = cu.arithMeanNormalized;
+    s.zeroPct[i] = emb.histogram.percent(0);
+  }
+  return s;
+}
+
+TEST(Golden, DeterministicAcrossRuns) {
+  const Shape a = measure();
+  const Shape b = measure();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(a.embedded[i], b.embedded[i]);
+    EXPECT_DOUBLE_EQ(a.copyUnit[i], b.copyUnit[i]);
+  }
+}
+
+TEST(Golden, PaperShapeHolds) {
+  const Shape s = measure();
+  // (i) Everything degrades but stays in a sane band.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(s.embedded[i], 100.0);
+    EXPECT_LE(s.embedded[i], 200.0);
+    EXPECT_GE(s.copyUnit[i], 100.0);
+    EXPECT_LE(s.copyUnit[i], 250.0);
+  }
+  // (ii) Embedded degradation grows with cluster count (Table 2 trend).
+  EXPECT_LT(s.embedded[0], s.embedded[2]);
+  // (iii) Copy-unit improves with more clusters (buses and ports scale).
+  EXPECT_GT(s.copyUnit[0], s.copyUnit[2]);
+  // (iv) The crossover: embedded wins at 2 clusters, copy-unit at 8.
+  EXPECT_LT(s.embedded[0], s.copyUnit[0]);
+  EXPECT_GT(s.embedded[2], s.copyUnit[2]);
+  // (v) Zero-degradation fraction falls as clusters narrow (Figures 5-7).
+  EXPECT_GT(s.zeroPct[0], s.zeroPct[2]);
+  EXPECT_GT(s.zeroPct[0], 30.0);  // a healthy share of loops partitions free
+}
+
+TEST(Golden, IdealIpcCalibration) {
+  // The corpus statistic the generator is calibrated to (Table 1's 8.6).
+  const std::vector<Loop> loops = generateCorpus(GeneratorParams{});
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.allocateRegisters = false;
+  const SuiteResult s = runSuite(loops, MachineDesc::ideal16(), opt);
+  EXPECT_EQ(s.failures, 0);
+  EXPECT_GT(s.meanIdealIpc, 7.8);
+  EXPECT_LT(s.meanIdealIpc, 9.6);
+}
+
+}  // namespace
+}  // namespace rapt

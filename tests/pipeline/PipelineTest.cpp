@@ -1,0 +1,151 @@
+#include "pipeline/CompilerPipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/Suite.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+// ---- Kernel x machine product: the full pipeline always validates. ----
+
+struct CaseId {
+  int kernel;
+  int machineCase;  // 0..5 -> {2,4,8} x {Embedded, CopyUnit}, 6 = monolithic
+};
+
+MachineDesc machineFor(int machineCase) {
+  if (machineCase == 6) return MachineDesc::ideal16();
+  const int clusters[] = {2, 2, 4, 4, 8, 8};
+  const CopyModel model =
+      machineCase % 2 == 0 ? CopyModel::Embedded : CopyModel::CopyUnit;
+  return MachineDesc::paper16(clusters[machineCase], model);
+}
+
+class KernelMachineMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KernelMachineMatrix, CompilesAndValidates) {
+  const auto [kernelIdx, machineCase] = GetParam();
+  const std::vector<Loop> kernels = classicKernels();
+  const Loop& loop = kernels[kernelIdx];
+  const MachineDesc m = machineFor(machineCase);
+  const LoopResult r = compileLoop(loop, m);
+  ASSERT_TRUE(r.ok) << loop.name << " on " << m.name << ": " << r.error;
+  EXPECT_TRUE(r.validated);
+  EXPECT_TRUE(r.allocOk);
+  EXPECT_GE(r.clusteredII, r.idealII);            // clustering never helps II
+  EXPECT_GE(r.normalizedSize(), 100.0);
+  EXPECT_GT(r.idealIpc(), 0.0);
+  if (m.isMonolithic()) {
+    EXPECT_EQ(r.clusteredII, r.idealII);
+    EXPECT_EQ(r.bodyCopies, 0);
+    EXPECT_DOUBLE_EQ(r.normalizedSize(), 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, KernelMachineMatrix,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Range(0, 7)));
+
+TEST(Pipeline, IpcCountsCopiesOnlyWhenEmbedded) {
+  const Loop loop = classicKernel("cmul");
+  const MachineDesc emb = MachineDesc::paper16(4, CopyModel::Embedded);
+  const LoopResult r = compileLoop(loop, emb);
+  ASSERT_TRUE(r.ok) << r.error;
+  if (r.bodyCopies > 0) {
+    const double withCopies = r.clusteredIpc(emb);
+    const MachineDesc cu = MachineDesc::paper16(4, CopyModel::CopyUnit);
+    // Same II would give smaller IPC without copies counted.
+    EXPECT_GT(withCopies,
+              static_cast<double>(r.numOps) / r.clusteredII - 1e-9);
+  }
+}
+
+TEST(Pipeline, InvalidLoopReportsError) {
+  Loop bad;
+  bad.body.push_back(makeBinary(Opcode::FAdd, fltReg(0), fltReg(1), fltReg(1)));
+  bad.body.push_back(makeBinary(Opcode::FAdd, fltReg(0), fltReg(1), fltReg(1)));
+  const LoopResult r = compileLoop(bad, MachineDesc::ideal16());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("more than once"), std::string::npos);
+}
+
+TEST(Pipeline, IdealCounterpartPreservesWidthAndLatencies) {
+  const MachineDesc m = MachineDesc::paper16(8, CopyModel::CopyUnit);
+  const MachineDesc ideal = idealCounterpart(m);
+  EXPECT_EQ(ideal.width(), m.width());
+  EXPECT_EQ(ideal.numClusters, 1);
+  EXPECT_EQ(ideal.lat.intMul, m.lat.intMul);
+  EXPECT_EQ(ideal.intRegsPerBank, m.intRegsPerBank * m.numClusters);
+  EXPECT_EQ(ideal.busCount, 0);
+}
+
+TEST(Pipeline, DisablingSimulationSkipsValidation) {
+  PipelineOptions opt;
+  opt.simulate = false;
+  const LoopResult r =
+      compileLoop(classicKernel("daxpy"), MachineDesc::paper16(2, CopyModel::Embedded), opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.validated);
+  EXPECT_EQ(r.simulatedCycles, 0);
+}
+
+TEST(Pipeline, AllPartitionersProduceValidCode) {
+  const Loop loop = classicKernel("hydro");
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  for (PartitionerKind k :
+       {PartitionerKind::GreedyRcg, PartitionerKind::RoundRobin,
+        PartitionerKind::Random, PartitionerKind::BugLike,
+        PartitionerKind::UasLike}) {
+    PipelineOptions opt;
+    opt.partitioner = k;
+    const LoopResult r = compileLoop(loop, m, opt);
+    ASSERT_TRUE(r.ok) << partitionerName(k) << ": " << r.error;
+    EXPECT_TRUE(r.validated) << partitionerName(k);
+  }
+}
+
+TEST(Pipeline, TinyBanksForceAllocationRetries) {
+  MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  m.intRegsPerBank = 4;
+  m.fltRegsPerBank = 4;
+  PipelineOptions opt;
+  opt.maxAllocRetries = 32;
+  const LoopResult r = compileLoop(classicKernel("fir4"), m, opt);
+  // Either it found a larger II that fits 4 registers, or it reports a clean
+  // failure; both are acceptable, a crash or a mis-validation is not.
+  if (r.ok) {
+    EXPECT_TRUE(r.validated);
+    EXPECT_TRUE(r.allocOk);
+  } else {
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(Suite, AggregatesMatchLoopResults) {
+  const std::vector<Loop> kernels = classicKernels();
+  PipelineOptions opt;
+  const SuiteResult s =
+      runSuite(kernels, MachineDesc::paper16(4, CopyModel::Embedded), opt);
+  EXPECT_EQ(s.loops.size(), kernels.size());
+  EXPECT_EQ(s.failures, 0);
+  EXPECT_EQ(s.validatedCount, static_cast<int>(kernels.size()));
+  EXPECT_GE(s.arithMeanNormalized, 100.0);
+  EXPECT_LE(s.harmMeanNormalized, s.arithMeanNormalized + 1e-9);
+  EXPECT_EQ(s.histogram.total(), static_cast<int>(kernels.size()));
+  int copies = 0;
+  for (const LoopResult& r : s.loops) copies += r.bodyCopies;
+  EXPECT_EQ(copies, s.totalBodyCopies);
+}
+
+TEST(Suite, MonolithicSuiteHasNoDegradation) {
+  const std::vector<Loop> kernels = classicKernels();
+  const SuiteResult s = runSuite(kernels, MachineDesc::ideal16(), {});
+  EXPECT_EQ(s.failures, 0);
+  EXPECT_DOUBLE_EQ(s.arithMeanNormalized, 100.0);
+  EXPECT_EQ(s.histogram.count(0), static_cast<int>(kernels.size()));
+}
+
+}  // namespace
+}  // namespace rapt

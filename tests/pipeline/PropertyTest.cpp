@@ -1,0 +1,61 @@
+// The heavyweight end-to-end property: for a slice of the synthetic corpus,
+// on every machine of the paper's meta-model, the full pipeline — ideal
+// schedule, RCG partition, copy insertion, cluster-constrained rescheduling,
+// MVE emission, per-bank Chaitin/Briggs, cycle-accurate simulation — produces
+// code that is bit-exact against sequential execution.
+#include <gtest/gtest.h>
+
+#include "pipeline/CompilerPipeline.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+class EndToEnd : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EndToEnd, BitExactOnEveryMachine) {
+  const auto [loopIdx, machineCase] = GetParam();
+  const Loop loop = generateLoop(GeneratorParams{}, loopIdx * 7);  // spread out
+  const int clusters[] = {2, 4, 8};
+  const MachineDesc m = MachineDesc::paper16(
+      clusters[machineCase / 2],
+      machineCase % 2 == 0 ? CopyModel::Embedded : CopyModel::CopyUnit);
+  const LoopResult r = compileLoop(loop, m);
+  ASSERT_TRUE(r.ok) << loop.name << " on " << m.name << ": " << r.error;
+  EXPECT_TRUE(r.validated) << loop.name << " on " << m.name;
+  EXPECT_GE(r.clusteredII, r.idealII);
+}
+
+INSTANTIATE_TEST_SUITE_P(CorpusSlice, EndToEnd,
+                         ::testing::Combine(::testing::Range(0, 20),
+                                            ::testing::Range(0, 6)));
+
+// Degradation monotonicity in aggregate: more clusters never reduce the
+// corpus-mean embedded degradation (checked on a small slice for test speed).
+TEST(EndToEndAggregate, EmbeddedDegradationGrowsWithClusters) {
+  GeneratorParams params;
+  params.count = 24;
+  const std::vector<Loop> loops = generateCorpus(params);
+  PipelineOptions opt;
+  opt.simulate = false;
+  double prev = 0.0;
+  for (int clusters : {2, 4, 8}) {
+    double sum = 0.0;
+    int n = 0;
+    for (const Loop& loop : loops) {
+      const LoopResult r =
+          compileLoop(loop, MachineDesc::paper16(clusters, CopyModel::Embedded), opt);
+      if (!r.ok) continue;
+      sum += r.normalizedSize();
+      ++n;
+    }
+    ASSERT_GT(n, 0);
+    const double mean = sum / n;
+    EXPECT_GE(mean, prev - 8.0)  // allow small non-monotonic noise
+        << clusters << " clusters";
+    prev = mean;
+  }
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,126 @@
+#include "regalloc/BankAssigner.h"
+
+#include <gtest/gtest.h>
+
+#include "ddg/Ddg.h"
+#include "ir/Printer.h"
+#include "partition/CopyInserter.h"
+#include "partition/GreedyPartitioner.h"
+#include "partition/Rcg.h"
+#include "regalloc/LiveIntervals.h"
+#include "sched/ModuloScheduler.h"
+#include "workload/Kernels.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+struct Compiled {
+  ClusteredLoop clustered;
+  PipelinedCode code;
+  MachineDesc machine;
+};
+
+Compiled compileClustered(const Loop& loop, int clusters) {
+  const MachineDesc m = MachineDesc::paper16(clusters, CopyModel::Embedded);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  MachineDesc mono = m;
+  mono.fusPerCluster = m.width();
+  mono.numClusters = 1;
+  const auto ideal = moduloSchedule(ddg, mono, free);
+  EXPECT_TRUE(ideal.success);
+  const Rcg rcg = Rcg::build(loop, ddg, ideal.schedule, RcgWeights{});
+  const Partition part = greedyPartition(rcg, clusters, RcgWeights{});
+  ClusteredLoop cl = insertCopies(loop, part, m);
+  const Ddg cddg = Ddg::build(cl.loop, m.lat);
+  const auto sched = moduloSchedule(cddg, m, cl.constraints);
+  EXPECT_TRUE(sched.success);
+  PipelinedCode code = emitPipelinedCode(cl.loop, cddg, sched.schedule, 24);
+  return Compiled{std::move(cl), std::move(code), m};
+}
+
+TEST(BankAssigner, AssignsEveryName) {
+  const Compiled c = compileClustered(classicKernel("cmul"), 4);
+  const BankAssignment a = assignBanks(c.code, c.clustered.partition, c.machine);
+  ASSERT_TRUE(a.success);
+  for (VirtReg name : c.code.allNames()) {
+    ASSERT_TRUE(a.physOf.count(name.key())) << regName(name);
+  }
+}
+
+TEST(BankAssigner, PhysRegsStayInTheRightFile) {
+  const Compiled c = compileClustered(classicKernel("hydro"), 2);
+  const BankAssignment a = assignBanks(c.code, c.clustered.partition, c.machine);
+  ASSERT_TRUE(a.success);
+  for (VirtReg name : c.code.allNames()) {
+    const PhysReg pr = a.physOf.at(name.key());
+    EXPECT_EQ(pr.bank, c.clustered.partition.bankOf(c.code.originalOf(name)));
+    EXPECT_EQ(pr.cls, name.cls());
+    EXPECT_GE(pr.index, 0);
+    EXPECT_LT(pr.index, c.machine.regsPerBank(pr.cls));
+  }
+}
+
+TEST(BankAssigner, NoTwoLiveNamesShareARegister) {
+  const Compiled c = compileClustered(classicKernel("fir4"), 4);
+  const BankAssignment a = assignBanks(c.code, c.clustered.partition, c.machine);
+  ASSERT_TRUE(a.success);
+  const auto ranges = computeLiveRanges(c.code, c.machine.lat);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      const PhysReg pa = a.physOf.at(ranges[i].name.key());
+      const PhysReg pb = a.physOf.at(ranges[j].name.key());
+      if (pa.bank == pb.bank && pa.cls == pb.cls && pa.index == pb.index) {
+        EXPECT_FALSE(ranges[i].overlaps(ranges[j]))
+            << regName(ranges[i].name) << " and " << regName(ranges[j].name)
+            << " share a physical register while overlapping";
+      }
+    }
+  }
+}
+
+TEST(BankAssigner, TinyBankSpills) {
+  Compiled c = compileClustered(classicKernel("fir4"), 2);
+  c.machine.intRegsPerBank = 1;
+  c.machine.fltRegsPerBank = 1;
+  const BankAssignment a = assignBanks(c.code, c.clustered.partition, c.machine);
+  EXPECT_FALSE(a.success);
+  EXPECT_GT(a.totalSpills, 0);
+}
+
+TEST(BankAssigner, ReportsUsageAndPressure) {
+  const Compiled c = compileClustered(classicKernel("daxpy"), 2);
+  const BankAssignment a = assignBanks(c.code, c.clustered.partition, c.machine);
+  ASSERT_TRUE(a.success);
+  int totalUsed = 0;
+  for (int b = 0; b < 2; ++b) {
+    totalUsed += a.regsUsed[b][0] + a.regsUsed[b][1];
+    // Colours used never exceed MaxLive (interval graphs colour optimally,
+    // but Briggs is not guaranteed optimal; usage is still bounded by file
+    // size) and never exceed the file size.
+    EXPECT_LE(a.regsUsed[b][0], c.machine.intRegsPerBank);
+    EXPECT_LE(a.regsUsed[b][1], c.machine.fltRegsPerBank);
+  }
+  EXPECT_GT(totalUsed, 0);
+}
+
+// Property: allocation succeeds and stays consistent across the corpus.
+class BankAssignProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BankAssignProperty, ConsistentOnCorpus) {
+  const Loop loop = generateLoop(GeneratorParams{}, GetParam());
+  const Compiled c = compileClustered(loop, 4);
+  const BankAssignment a = assignBanks(c.code, c.clustered.partition, c.machine);
+  if (!a.success) GTEST_SKIP() << "bank pressure too high at minimal II";
+  const auto ranges = computeLiveRanges(c.code, c.machine.lat);
+  for (const LiveRange& lr : ranges) {
+    const PhysReg pr = a.physOf.at(lr.name.key());
+    EXPECT_EQ(pr.bank, c.clustered.partition.bankOf(c.code.originalOf(lr.name)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BankAssignProperty, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace rapt

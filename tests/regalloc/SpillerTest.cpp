@@ -1,0 +1,151 @@
+#include "regalloc/Spiller.h"
+
+#include <gtest/gtest.h>
+
+#include "regalloc/Liveness.h"
+#include "workload/FunctionGenerator.h"
+
+namespace rapt {
+namespace {
+
+/// A function with `n` simultaneously live integer values: defines v0..vn-1
+/// in the entry block and consumes them all pairwise in the second block.
+Function pressureFunction(int n) {
+  Function fn;
+  fn.blocks.resize(2);
+  for (int i = 0; i < n; ++i)
+    fn.blocks[0].ops.push_back(makeIConst(intReg(i), i + 1));
+  fn.blocks[0].succs = {1};
+  for (int i = 0; i + 1 < n; ++i) {
+    fn.blocks[1].ops.push_back(
+        makeBinary(Opcode::IAdd, intReg(100 + i), intReg(i), intReg(i + 1)));
+  }
+  return fn;
+}
+
+MachineDesc tinyMachine(int intRegs) {
+  MachineDesc m = MachineDesc::ideal16();
+  m.intRegsPerBank = intRegs;
+  m.fltRegsPerBank = intRegs;
+  return m;
+}
+
+TEST(Spiller, NoSpillWhenItFits) {
+  Function fn = pressureFunction(4);
+  Partition part(1);
+  const FunctionAllocResult r = allocateFunction(fn, tinyMachine(8), part);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.spilledRegs, 0);
+}
+
+TEST(Spiller, SpillsUntilColourable) {
+  Function fn = pressureFunction(12);  // 12 values live, 6 registers
+  Partition part(1);
+  const FunctionAllocResult r = allocateFunction(fn, tinyMachine(6), part);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.rounds, 1);
+  EXPECT_GT(r.spilledRegs, 0);
+  EXPECT_GT(r.spillOpsAdded, 0);
+  // The rewritten function gained the spill arrays.
+  bool hasSpillArray = false;
+  for (const ArrayDecl& a : fn.arrays) hasSpillArray |= (a.name == "__spill_int");
+  EXPECT_TRUE(hasSpillArray);
+  // Final colouring is complete: every register has a physical assignment.
+  for (VirtReg reg : fn.allRegs())
+    EXPECT_TRUE(r.physOf.count(reg.key())) << reg.index();
+}
+
+TEST(Spiller, SpilledRegisterDisappears) {
+  Function fn = pressureFunction(3);
+  SpillPlan plan = makeSpillPlan(fn, 1, nullptr);
+  std::uint32_t fresh[2] = {500, 500};
+  const int added = spillRegister(fn, intReg(1), plan, fresh, nullptr);
+  EXPECT_GT(added, 0);
+  // intReg(1) no longer appears anywhere.
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Operation& o : bb.ops) {
+      EXPECT_NE(o.def, intReg(1));
+      for (VirtReg s : o.srcs()) EXPECT_NE(s, intReg(1));
+    }
+  }
+  // One store after the def, one reload per using op (two uses here, in
+  // different ops of block 1... v1 is used by two adds).
+  int loads = 0, stores = 0;
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Operation& o : bb.ops) {
+      if (o.op == Opcode::ILoad && o.array == plan.intSlots) ++loads;
+      if (o.op == Opcode::IStore && o.array == plan.intSlots) ++stores;
+    }
+  }
+  EXPECT_EQ(stores, 1);
+  EXPECT_EQ(loads, 2);
+}
+
+TEST(Spiller, SlotsAreStablePerRegister) {
+  Function fn = pressureFunction(4);
+  SpillPlan plan = makeSpillPlan(fn, 1, nullptr);
+  std::uint32_t fresh[2] = {500, 500};
+  (void)spillRegister(fn, intReg(0), plan, fresh, nullptr);
+  (void)spillRegister(fn, intReg(2), plan, fresh, nullptr);
+  EXPECT_EQ(plan.slotOf.at(intReg(0).key()), 0);
+  EXPECT_EQ(plan.slotOf.at(intReg(2).key()), 1);
+}
+
+TEST(Spiller, BankedSpillKeepsOperandsLocal) {
+  // Two-bank machine, victims in bank 1: spill temps and the index register
+  // used by their loads/stores must also be bank-1 residents.
+  Function fn = pressureFunction(10);
+  MachineDesc m = tinyMachine(4);
+  m.numClusters = 2;
+  m.fusPerCluster = 8;
+  Partition part(2);
+  for (VirtReg r : fn.allRegs()) part.assign(r, r.index() % 2);
+  const FunctionAllocResult res = allocateFunction(fn, m, part);
+  EXPECT_TRUE(res.success);
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Operation& o : bb.ops) {
+      if (!isMemory(o.op)) continue;
+      // idx and value/def of every spill access share a bank.
+      const VirtReg other = isLoad(o.op) ? o.def : o.src[1];
+      EXPECT_EQ(part.bankOf(o.src[0]), part.bankOf(other));
+    }
+  }
+}
+
+TEST(Spiller, SpilledValuesLeaveTheInterferenceGraph) {
+  Function fn = pressureFunction(12);
+  Partition part(1);
+  const FunctionAllocResult res = allocateFunction(fn, tinyMachine(6), part);
+  ASSERT_TRUE(res.success);
+  ASSERT_GT(res.spilledRegs, 0);
+  // The victims' cross-block live ranges are gone: fewer of the original 12
+  // long-lived constants remain as registers, and what remains (plus the
+  // short-lived temporaries) colours with 6 registers — which the successful
+  // allocation already proved.
+  const FunctionInterference after = buildFunctionInterference(fn);
+  int originalsLeft = 0;
+  for (VirtReg n : after.nodes) {
+    if (n.cls() == RegClass::Int && n.index() < 12) ++originalsLeft;
+  }
+  // Victims may also include derived values, so spilledRegs can exceed the
+  // originals removed; but a good number of the 12 hot constants must be gone.
+  EXPECT_LT(originalsLeft, 12);
+  EXPECT_GE(res.spilledRegs, 12 - originalsLeft);
+}
+
+TEST(Spiller, GeneratedFunctionsSurviveTinyBanks) {
+  for (int idx : {0, 3, 7}) {
+    Function fn = generateFunction(FunctionGenParams{}, idx);
+    MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+    m.intRegsPerBank = 6;
+    m.fltRegsPerBank = 6;
+    Partition part(4);
+    for (VirtReg r : fn.allRegs()) part.assign(r, r.index() % 4);
+    const FunctionAllocResult res = allocateFunction(fn, m, part, 16);
+    EXPECT_TRUE(res.success) << fn.name;
+  }
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,130 @@
+#include "sched/LifetimeCompaction.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Parser.h"
+#include "pipeline/CompilerPipeline.h"
+#include "sched/ModuloScheduler.h"
+#include "sched/PipelinedCode.h"
+#include "workload/Kernels.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+struct Scheduled {
+  Loop loop;
+  Ddg ddg;
+  ModuloSchedule sched;
+  MachineDesc machine;
+  std::vector<OpConstraint> constraints;
+};
+
+Scheduled scheduleIdeal(Loop loop) {
+  const MachineDesc m = MachineDesc::ideal16();
+  Ddg ddg = Ddg::build(loop, m.lat);
+  std::vector<OpConstraint> free(loop.body.size());
+  auto res = moduloSchedule(ddg, m, free);
+  EXPECT_TRUE(res.success);
+  return Scheduled{std::move(loop), std::move(ddg), std::move(res.schedule), m,
+                   std::move(free)};
+}
+
+TEST(LifetimeCompaction, NeverIncreasesTotalLifetime) {
+  for (int idx : {0, 3, 11, 42}) {
+    Scheduled s = scheduleIdeal(generateLoop(GeneratorParams{}, idx));
+    const CompactionStats cs =
+        compactLifetimes(s.ddg, s.machine, s.constraints, s.sched);
+    EXPECT_LE(cs.lifetimeAfter, cs.lifetimeBefore) << idx;
+  }
+}
+
+TEST(LifetimeCompaction, PreservesIIAndLegality) {
+  Scheduled s = scheduleIdeal(classicKernel("fir4"));
+  const int ii = s.sched.ii;
+  (void)compactLifetimes(s.ddg, s.machine, s.constraints, s.sched);
+  EXPECT_EQ(s.sched.ii, ii);
+  EXPECT_EQ(findViolatedEdge(s.ddg, s.sched), -1);
+}
+
+TEST(LifetimeCompaction, ShrinksEagerLoad) {
+  // The scheduler places the lone load ASAP, far before its only consumer at
+  // the end of a long serial chain; compaction should drag it later.
+  const Loop loop = parseLoop(R"(
+    loop l { array x[40] flt
+      array y[40] flt
+      array z[40] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fload y[i0]
+      f3 = fmul f2, f2
+      f4 = fmul f3, f3
+      f5 = fmul f4, f4
+      f6 = fadd f1, f5
+      fstore z[i0], f6
+    })");
+  Scheduled s = scheduleIdeal(loop);
+  const CompactionStats cs =
+      compactLifetimes(s.ddg, s.machine, s.constraints, s.sched);
+  EXPECT_GT(cs.movedOps, 0);
+  EXPECT_LT(cs.lifetimeAfter, cs.lifetimeBefore);
+  // f1's q (names needed) shrinks accordingly.
+  const PipelinedCode code = emitPipelinedCode(s.loop, s.ddg, s.sched, 16);
+  EXPECT_LE(code.namesOf.at(fltReg(1).key()).size(), 2u);
+}
+
+TEST(LifetimeCompaction, PipelineResultStillValidates) {
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  for (int idx : {1, 7, 19}) {
+    PipelineOptions opt;
+    opt.compactLifetimes = true;
+    const LoopResult r = compileLoop(generateLoop(GeneratorParams{}, idx), m, opt);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.validated);
+  }
+}
+
+TEST(LifetimeCompaction, ReducesUnrollOnPipelinedLoops) {
+  // Aggregate over a slice: with compaction on, the mean MVE unroll factor
+  // must not grow (and typically shrinks).
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  double unrollOff = 0, unrollOn = 0;
+  int n = 0;
+  for (int idx = 0; idx < 12; ++idx) {
+    const Loop loop = generateLoop(GeneratorParams{}, idx);
+    PipelineOptions off;
+    off.simulate = false;
+    PipelineOptions on = off;
+    on.compactLifetimes = true;
+    const LoopResult a = compileLoop(loop, m, off);
+    const LoopResult b = compileLoop(loop, m, on);
+    if (!a.ok || !b.ok) continue;
+    unrollOff += a.maxUnroll;
+    unrollOn += b.maxUnroll;
+    ++n;
+  }
+  ASSERT_GT(n, 6);
+  EXPECT_LE(unrollOn, unrollOff);
+}
+
+TEST(TotalLifetime, HandComputed) {
+  // load (lat 2) consumed by one op 5 cycles later: lifetime 5.
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fmul f1, f1
+    })");
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  ModuloSchedule sched;
+  sched.ii = 1;
+  sched.cycle = {0, 5, 6};  // load, fmul, iaddi
+  sched.fu = {0, 1, 2};
+  // f1: def at 0, read at 5 -> 5. i0: def at 6, reads at 0 and 6 next
+  // iteration (distance 1, II 1): max(0+1, 6+1) - 6 = 1. Total 6.
+  EXPECT_EQ(totalLifetime(ddg, sched), 6);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,99 @@
+#include "sched/ListScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Parser.h"
+
+namespace rapt {
+namespace {
+
+TEST(ListScheduler, RespectsDependencesAndWidth) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fmul f1, f1
+      f3 = fadd f2, f2
+      fstore x[i0], f3
+    })");
+  MachineDesc m = MachineDesc::ideal16();
+  m.fusPerCluster = 2;
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const ListSchedule s = listSchedule(ddg, m, free);
+  // Chain: load(2) -> mul(2) -> add(2) -> store.
+  EXPECT_GE(s.cycle[1], s.cycle[0] + 2);
+  EXPECT_GE(s.cycle[2], s.cycle[1] + 2);
+  EXPECT_GE(s.cycle[3], s.cycle[2] + 2);
+  EXPECT_EQ(s.length, s.cycle[3] + 1);
+  // Width 2 respected per cycle.
+  std::vector<int> perCycle(s.length, 0);
+  for (int c : s.cycle) ++perCycle[c];
+  for (int n : perCycle) EXPECT_LE(n, 2);
+}
+
+TEST(ListScheduler, ParallelOpsShareCycleOnWideMachine) {
+  const Loop loop = parseLoop(R"(
+    loop l { array x[8] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fload x[i0 + 1]
+      f3 = fload x[i0 + 2]
+    })");
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const ListSchedule s = listSchedule(ddg, m, free);
+  EXPECT_EQ(s.cycle[0], 0);
+  EXPECT_EQ(s.cycle[1], 0);
+  EXPECT_EQ(s.cycle[2], 0);
+}
+
+TEST(ListScheduler, IgnoresLoopCarriedEdges) {
+  // A self-recurrence has only a distance-1 edge; as straight-line code it
+  // imposes nothing.
+  const Loop loop = parseLoop(R"(
+    loop l {
+      livein f1 = 1.0
+      f0 = fadd f0, f1
+    })");
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const ListSchedule s = listSchedule(ddg, m, free);
+  EXPECT_EQ(s.cycle[0], 0);
+  EXPECT_EQ(s.length, 1);
+}
+
+TEST(ListScheduler, ClusterConstrainedUnitsAssigned) {
+  const Loop loop = parseLoop(R"(
+    loop l {
+      livein f9 = 1.0
+      f1 = fmul f9, f9
+      f2 = fmul f9, f9
+      f3 = fmul f9, f9
+    })");
+  const MachineDesc m = MachineDesc::paper16(8, CopyModel::Embedded);  // 2 FUs/cluster
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  std::vector<OpConstraint> cons(3);
+  for (auto& c : cons) c.cluster = 5;
+  const ListSchedule s = listSchedule(ddg, m, cons);
+  // Three independent ops on a 2-wide cluster: two at cycle 0, one at 1.
+  std::vector<int> perCycle(s.length, 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.clusterOfFu(s.fu[i]), 5);
+    ++perCycle[s.cycle[i]];
+  }
+  EXPECT_EQ(s.length, 2);
+}
+
+TEST(ListScheduler, EmptyGraph) {
+  const MachineDesc m = MachineDesc::ideal16();
+  Loop empty;
+  const Ddg ddg = Ddg::build(empty, m.lat);
+  const ListSchedule s = listSchedule(ddg, m, {});
+  EXPECT_EQ(s.length, 0);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,173 @@
+#include "sched/ModuloScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/Parser.h"
+#include "workload/Kernels.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+ModuloSchedulerResult scheduleIdeal(const Loop& loop) {
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  return moduloSchedule(ddg, m, free);
+}
+
+// Every classic kernel schedules at exactly its MinII on the wide machine.
+class KernelAtMinII : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelAtMinII, AchievesMinII) {
+  const std::vector<Loop> kernels = classicKernels();
+  const Loop& loop = kernels[GetParam()];
+  const auto res = scheduleIdeal(loop);
+  ASSERT_TRUE(res.success) << loop.name;
+  EXPECT_EQ(res.schedule.ii, res.minII()) << loop.name;
+  EXPECT_EQ(res.schedule.numOps(), loop.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelAtMinII, ::testing::Range(0, 10));
+
+TEST(ModuloScheduler, ScheduleIsNormalized) {
+  const auto res = scheduleIdeal(classicKernel("fir4"));
+  ASSERT_TRUE(res.success);
+  int minCycle = res.schedule.cycle[0];
+  for (int c : res.schedule.cycle) minCycle = std::min(minCycle, c);
+  EXPECT_EQ(minCycle, 0);
+}
+
+TEST(ModuloScheduler, RespectsDependences) {
+  const Loop loop = classicKernel("tridiag");
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto res = moduloSchedule(ddg, m, free);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(findViolatedEdge(ddg, res.schedule), -1);
+  EXPECT_EQ(res.schedule.ii, 10);  // RecII-bound
+}
+
+TEST(ModuloScheduler, NarrowMachineForcesLargerII) {
+  const Loop loop = classicKernel("fir4");  // 13 ops
+  MachineDesc narrow = MachineDesc::ideal16();
+  narrow.fusPerCluster = 2;
+  const Ddg ddg = Ddg::build(loop, narrow.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto res = moduloSchedule(ddg, narrow, free);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.resII, 7);  // ceil(13/2)
+  EXPECT_GE(res.schedule.ii, 7);
+  // At most 2 ops share any modulo slot.
+  std::vector<int> perSlot(res.schedule.ii, 0);
+  for (int c : res.schedule.cycle) ++perSlot[c % res.schedule.ii];
+  for (int n : perSlot) EXPECT_LE(n, 2);
+}
+
+TEST(ModuloScheduler, ClusterConstraintsRespected) {
+  const Loop loop = classicKernel("cmul");
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  std::vector<OpConstraint> cons(loop.body.size());
+  for (int i = 0; i < loop.size(); ++i) cons[i].cluster = i % 4;
+  const auto res = moduloSchedule(ddg, m, cons);
+  ASSERT_TRUE(res.success);
+  for (int i = 0; i < loop.size(); ++i) {
+    ASSERT_GE(res.schedule.fu[i], 0);
+    EXPECT_EQ(m.clusterOfFu(res.schedule.fu[i]), i % 4);
+  }
+}
+
+TEST(ModuloScheduler, FuAssignmentsNeverCollide) {
+  const Loop loop = classicKernel("fir4");
+  const auto res = scheduleIdeal(loop);
+  ASSERT_TRUE(res.success);
+  // No two ops share (fu, modulo slot).
+  std::set<std::pair<int, int>> used;
+  for (int i = 0; i < loop.size(); ++i) {
+    const auto key = std::make_pair(res.schedule.fu[i],
+                                    res.schedule.cycle[i] % res.schedule.ii);
+    EXPECT_TRUE(used.insert(key).second) << "op " << i;
+  }
+}
+
+TEST(ModuloScheduler, StartIIOverrideRelaxes) {
+  const Loop loop = classicKernel("daxpy");
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  ModuloSchedulerOptions opt;
+  opt.startII = 5;
+  const auto res = moduloSchedule(ddg, m, free, opt);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.schedule.ii, 5);
+}
+
+TEST(ModuloScheduler, MaxIIGivesUp) {
+  const Loop loop = classicKernel("tridiag");  // needs II 10
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  ModuloSchedulerOptions opt;
+  opt.maxII = 5;
+  const auto res = moduloSchedule(ddg, m, free, opt);
+  EXPECT_FALSE(res.success);
+}
+
+TEST(ModuloScheduler, StageCountMatchesHorizon) {
+  const auto res = scheduleIdeal(classicKernel("hydro"));
+  ASSERT_TRUE(res.success);
+  const ModuloSchedule& s = res.schedule;
+  EXPECT_EQ(s.stageCount(), s.horizon() / s.ii + 1);
+  EXPECT_GE(s.stageCount(), 1);
+}
+
+TEST(ModuloScheduler, CopyUnitConstraintLeavesFuFree) {
+  // Two ops + a copy-unit copy: the copy must not consume an FU.
+  const Loop loop = parseLoop(R"(
+    loop l {
+      livein f0 = 1.0
+      f1 = fadd f0, f0
+      f2 = fcpy f1
+      f3 = fadd f2, f2
+    })");
+  MachineDesc m = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  std::vector<OpConstraint> cons(loop.body.size());
+  cons[0].cluster = 0;
+  cons[1].usesCopyUnit = true;
+  cons[1].srcBank = 0;
+  cons[1].dstBank = 1;
+  cons[2].cluster = 1;
+  const auto res = moduloSchedule(ddg, m, cons);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.schedule.fu[1], -1);
+  EXPECT_GE(res.schedule.fu[0], 0);
+}
+
+// ---- Property sweep: random corpus loops always schedule legally. ----
+
+class ScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleProperty, LegalAtOrAboveMinII) {
+  const Loop loop = generateLoop(GeneratorParams{}, GetParam());
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto res = moduloSchedule(ddg, m, free);
+  ASSERT_TRUE(res.success) << loop.name;
+  EXPECT_GE(res.schedule.ii, res.minII());
+  EXPECT_EQ(findViolatedEdge(ddg, res.schedule), -1) << loop.name;
+  // Width never exceeded in any modulo slot.
+  std::vector<int> perSlot(res.schedule.ii, 0);
+  for (int c : res.schedule.cycle) ++perSlot[c % res.schedule.ii];
+  for (int n : perSlot) EXPECT_LE(n, m.width());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ScheduleProperty, ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace rapt

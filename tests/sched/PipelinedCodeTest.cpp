@@ -1,0 +1,176 @@
+#include "sched/PipelinedCode.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/Parser.h"
+#include "sched/ModuloScheduler.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+struct Compiled {
+  Loop loop;
+  Ddg ddg;
+  ModuloSchedule sched;
+};
+
+Compiled scheduleIdeal(Loop loop) {
+  const MachineDesc m = MachineDesc::ideal16();
+  Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  auto res = moduloSchedule(ddg, m, free);
+  EXPECT_TRUE(res.success);
+  return Compiled{std::move(loop), std::move(ddg), std::move(res.schedule)};
+}
+
+TEST(PipelinedCode, StreamLengthAndPlacement) {
+  const Compiled c = scheduleIdeal(classicKernel("daxpy"));
+  const std::int64_t trip = 10;
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, trip);
+  EXPECT_EQ(static_cast<std::int64_t>(code.instrs.size()),
+            (trip - 1) * c.sched.ii + c.sched.horizon() + 1);
+  // Iteration i's op o sits at cycle i*II + t(o).
+  int found = 0;
+  for (int cyc = 0; cyc < static_cast<int>(code.instrs.size()); ++cyc) {
+    for (const EmittedOp& eo : code.instrs[cyc].ops) {
+      EXPECT_EQ(cyc, eo.iteration * c.sched.ii + c.sched.cycle[eo.bodyIndex]);
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, static_cast<int>(trip) * c.loop.size());
+}
+
+TEST(PipelinedCode, TripOneIsJustTheFlatBody) {
+  const Compiled c = scheduleIdeal(classicKernel("hydro"));
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 1);
+  EXPECT_EQ(static_cast<int>(code.instrs.size()), c.sched.horizon() + 1);
+  EXPECT_EQ(code.kernelLength, 0);  // no steady state at trip 1
+}
+
+TEST(PipelinedCode, MveRenamesOverlappingValues) {
+  // f1 is consumed at the end of a long serial chain, so at II=1 several
+  // iterations' instances of f1 are in flight at once: MVE must rename.
+  const Loop loop = parseLoop(R"(
+    loop l { array x[40] flt
+      array y[40] flt
+      array z[40] flt
+      induction i0
+      f1 = fload x[i0]
+      f2 = fload y[i0]
+      f3 = fmul f2, f2
+      f4 = fmul f3, f3
+      f5 = fmul f4, f4
+      f6 = fadd f1, f5
+      fstore z[i0], f6
+    })");
+  const Compiled c = scheduleIdeal(loop);
+  ASSERT_EQ(c.sched.ii, 1);
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 16);
+  EXPECT_GT(code.maxUnroll, 1);
+  const VirtReg f1 = fltReg(1);  // fload x result, read 6+ cycles after landing
+  const auto& names = code.namesOf.at(f1.key());
+  EXPECT_GT(names.size(), 1u);
+  // Names rotate: consecutive iterations define different names.
+  VirtReg def0, def1;
+  for (const VliwInstr& in : code.instrs) {
+    for (const EmittedOp& eo : in.ops) {
+      if (eo.bodyIndex == 0 && eo.iteration == 0) def0 = eo.op.def;
+      if (eo.bodyIndex == 0 && eo.iteration == 1) def1 = eo.op.def;
+    }
+  }
+  ASSERT_TRUE(def0.isValid());
+  ASSERT_TRUE(def1.isValid());
+  EXPECT_NE(def0, def1);
+}
+
+TEST(PipelinedCode, AccumulatorWithLifetimeEqualToIIKeepsOneName) {
+  // dot at II=2: the fadd accumulator's value is read exactly II cycles
+  // after its definition by the next iteration -> a single name suffices.
+  const Compiled c = scheduleIdeal(classicKernel("dot"));
+  ASSERT_EQ(c.sched.ii, 2);
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 8);
+  const auto& names = code.namesOf.at(fltReg(0).key());
+  EXPECT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], fltReg(0));
+}
+
+TEST(PipelinedCode, InvariantsKeepTheirName) {
+  const Compiled c = scheduleIdeal(classicKernel("daxpy"));
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 8);
+  const auto& names = code.namesOf.at(fltReg(0).key());  // alpha
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], fltReg(0));
+  EXPECT_EQ(code.originalOf(fltReg(0)), fltReg(0));
+}
+
+TEST(PipelinedCode, NamesAreDisjointAcrossValues) {
+  const Compiled c = scheduleIdeal(classicKernel("cmul"));
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 12);
+  std::set<std::uint32_t> seen;
+  for (const auto& [orig, names] : code.namesOf) {
+    for (VirtReg n : names) {
+      EXPECT_TRUE(seen.insert(n.key()).second) << "name reused across values";
+      EXPECT_EQ(code.originalOf(n).key(), orig);
+    }
+  }
+}
+
+TEST(PipelinedCode, CarriedUseReadsPreviousIterationsName) {
+  // Explicit recurrence: f0 used before its def.
+  const Loop loop = parseLoop(R"(
+    loop l {
+      livein f0 = 0.0
+      livein f1 = 1.0
+      f2 = fmul f0, f1
+      f0 = fadd f0, f1
+    })");
+  const Compiled c = scheduleIdeal(loop);
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 6);
+  const auto& names = code.namesOf.at(fltReg(0).key());
+  for (const VliwInstr& in : code.instrs) {
+    for (const EmittedOp& eo : in.ops) {
+      if (eo.bodyIndex != 1) continue;  // the fadd f0 redefinition
+      const std::int64_t q = static_cast<std::int64_t>(names.size());
+      // def name is phase iter%q; its carried src must be phase (iter-1)%q.
+      EXPECT_EQ(eo.op.def, names[eo.iteration % q]);
+      EXPECT_EQ(eo.op.src[0], names[((eo.iteration - 1) % q + q) % q]);
+    }
+  }
+}
+
+TEST(PipelinedCode, KernelWindowIsSteadyState) {
+  const Compiled c = scheduleIdeal(classicKernel("fir4"));
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 32);
+  ASSERT_GT(code.kernelLength, 0);
+  // Every instruction in the kernel window issues the same op multiset as the
+  // instruction one renaming period later (if still in steady state).
+  const int period = code.maxUnroll * code.ii;
+  for (int cyc = code.kernelStart;
+       cyc + period < code.kernelStart + code.kernelLength; ++cyc) {
+    const auto opsAt = [&](int cc) {
+      std::multiset<int> s;
+      for (const EmittedOp& eo : code.instrs[cc].ops) s.insert(eo.bodyIndex);
+      return s;
+    };
+    EXPECT_EQ(opsAt(cyc), opsAt(cyc + period));
+  }
+}
+
+TEST(PipelinedCode, AllNamesCoversStream) {
+  const Compiled c = scheduleIdeal(classicKernel("stencil3"));
+  const PipelinedCode code = emitPipelinedCode(c.loop, c.ddg, c.sched, 8);
+  const auto names = code.allNames();
+  std::set<VirtReg> set(names.begin(), names.end());
+  for (const VliwInstr& in : code.instrs) {
+    for (const EmittedOp& eo : in.ops) {
+      if (eo.op.def.isValid()) EXPECT_TRUE(set.count(eo.op.def));
+      for (VirtReg s : eo.op.srcs()) EXPECT_TRUE(set.count(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapt

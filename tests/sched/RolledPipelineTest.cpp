@@ -1,0 +1,94 @@
+#include "sched/RolledPipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/ModuloScheduler.h"
+#include "vliwsim/Equivalence.h"
+#include "vliwsim/VliwSimulator.h"
+#include "workload/Kernels.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+struct Emitted {
+  Loop loop;
+  PipelinedCode code;
+  MachineDesc machine;
+};
+
+Emitted emitIdeal(Loop loop, std::int64_t trip) {
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto res = moduloSchedule(ddg, m, free);
+  EXPECT_TRUE(res.success);
+  PipelinedCode code = emitPipelinedCode(loop, ddg, res.schedule, trip);
+  return Emitted{std::move(loop), std::move(code), m};
+}
+
+TEST(RolledPipeline, DecompositionAccountsForEveryCycle) {
+  const Emitted e = emitIdeal(classicKernel("daxpy"), 100);
+  const RolledPipeline rolled = rollPipeline(e.code);
+  EXPECT_EQ(rolled.flatLength(), static_cast<std::int64_t>(e.code.instrs.size()));
+  EXPECT_GT(rolled.kernelRepeats, 1);
+  EXPECT_EQ(static_cast<int>(rolled.kernel.size()),
+            rolled.unrollFactor * rolled.ii);
+}
+
+TEST(RolledPipeline, KernelIsLoopInvariantCode) {
+  const Emitted e = emitIdeal(classicKernel("fir4"), 96);
+  const RolledPipeline rolled = rollPipeline(e.code);
+  ASSERT_GT(rolled.kernelRepeats, 1);
+  // The flat stream really contains kernelRepeats identical windows.
+  const auto flat = reconstructFlat(rolled);
+  ASSERT_EQ(flat.size(), e.code.instrs.size());
+  for (std::size_t c = 0; c < flat.size(); ++c) {
+    ASSERT_EQ(flat[c].ops.size(), e.code.instrs[c].ops.size()) << "cycle " << c;
+    for (std::size_t i = 0; i < flat[c].ops.size(); ++i) {
+      EXPECT_EQ(flat[c].ops[i].op.op, e.code.instrs[c].ops[i].op.op);
+      EXPECT_EQ(flat[c].ops[i].op.def, e.code.instrs[c].ops[i].op.def);
+      EXPECT_EQ(flat[c].ops[i].fu, e.code.instrs[c].ops[i].fu);
+    }
+  }
+}
+
+TEST(RolledPipeline, TinyTripIsAllPrologue) {
+  const Emitted e = emitIdeal(classicKernel("hydro"), 2);
+  const RolledPipeline rolled = rollPipeline(e.code);
+  EXPECT_EQ(rolled.kernelRepeats, 0);
+  EXPECT_TRUE(rolled.kernel.empty());
+  EXPECT_EQ(rolled.prologue.size(), e.code.instrs.size());
+}
+
+// The decisive check: executing the ROLLED form (prologue, kernel repeated,
+// epilogue) is bit-exact against the sequential reference.
+class RolledExecution : public ::testing::TestWithParam<int> {};
+
+TEST_P(RolledExecution, SimulatesBitExact) {
+  const Loop loop = generateLoop(GeneratorParams{}, GetParam() * 5 + 1);
+  Emitted e = emitIdeal(Loop(loop), 48);
+  const RolledPipeline rolled = rollPipeline(e.code);
+  PipelinedCode reconstructed = e.code;  // keep metadata and rename maps
+  reconstructed.instrs = reconstructFlat(rolled);
+  const SimResult sim = simulate(reconstructed, e.loop, e.machine);
+  const EquivalenceReport eq = checkEquivalence(e.loop, reconstructed, sim);
+  EXPECT_TRUE(eq.equal) << loop.name << ": " << eq.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RolledExecution, ::testing::Range(0, 10));
+
+TEST(RolledPipeline, UnrollFactorIsLcmOfNames) {
+  // A schedule where one value needs 2 names and another 3 forces a kernel
+  // of 6 iterations. Construct indirectly: verify lcm property on a real
+  // emission instead of a synthetic one.
+  const Emitted e = emitIdeal(classicKernel("cmul"), 64);
+  const RolledPipeline rolled = rollPipeline(e.code);
+  for (const auto& [key, names] : e.code.namesOf) {
+    EXPECT_EQ(rolled.unrollFactor % static_cast<int>(names.size()), 0)
+        << "kernel does not cover a whole rotation";
+  }
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,99 @@
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rapt {
+namespace {
+
+TEST(Stats, ArithmeticMean) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(arithmeticMean(xs), 2.5);
+}
+
+TEST(Stats, ArithmeticMeanSingle) {
+  const double xs[] = {7.0};
+  EXPECT_DOUBLE_EQ(arithmeticMean(xs), 7.0);
+}
+
+TEST(Stats, HarmonicMean) {
+  const double xs[] = {1.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(harmonicMean(xs), 3.0 / (1.0 + 0.25 + 0.25));
+}
+
+TEST(Stats, HarmonicLeqArithmetic) {
+  const double xs[] = {100.0, 120.0, 150.0, 200.0};
+  EXPECT_LE(harmonicMean(xs), arithmeticMean(xs));
+}
+
+TEST(Stats, HarmonicEqualsArithmeticWhenConstant) {
+  const double xs[] = {110.0, 110.0, 110.0};
+  EXPECT_DOUBLE_EQ(harmonicMean(xs), arithmeticMean(xs));
+}
+
+TEST(Stats, GeometricMean) {
+  const double xs[] = {2.0, 8.0};
+  EXPECT_DOUBLE_EQ(geometricMean(xs), 4.0);
+}
+
+TEST(Stats, GeometricBetweenHarmonicAndArithmetic) {
+  const double xs[] = {1.0, 2.0, 9.0, 30.0};
+  EXPECT_LE(harmonicMean(xs), geometricMean(xs));
+  EXPECT_LE(geometricMean(xs), arithmeticMean(xs));
+}
+
+TEST(Stats, MedianOddEven) {
+  const double odd[] = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, StdDevZeroForConstant) {
+  const double xs[] = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stdDev(xs), 0.0);
+}
+
+// ---- Degradation histogram: the bucket semantics of Figures 5-7. ----
+
+struct BucketCase {
+  double degradation;
+  int expectedBucket;
+};
+
+class HistogramBucket : public ::testing::TestWithParam<BucketCase> {};
+
+TEST_P(HistogramBucket, LandsInExpectedBucket) {
+  DegradationHistogram h;
+  h.add(GetParam().degradation);
+  EXPECT_EQ(h.count(GetParam().expectedBucket), 1);
+  EXPECT_EQ(h.total(), 1);
+  for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b) {
+    if (b != GetParam().expectedBucket) EXPECT_EQ(h.count(b), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Buckets, HistogramBucket,
+    ::testing::Values(BucketCase{0.0, 0}, BucketCase{-0.0, 0}, BucketCase{0.01, 1},
+                      BucketCase{9.99, 1}, BucketCase{10.0, 2}, BucketCase{19.9, 2},
+                      BucketCase{25.0, 3}, BucketCase{42.0, 5}, BucketCase{89.9, 9},
+                      BucketCase{90.0, 10}, BucketCase{250.0, 10}));
+
+TEST(Histogram, PercentSumsToHundred) {
+  DegradationHistogram h;
+  for (double d : {0.0, 0.0, 12.0, 35.0, 95.0}) h.add(d);
+  double sum = 0.0;
+  for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b) sum += h.percent(b);
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.percent(0), 40.0);
+}
+
+TEST(Histogram, Labels) {
+  EXPECT_EQ(DegradationHistogram::bucketLabel(0), "0.00%");
+  EXPECT_EQ(DegradationHistogram::bucketLabel(1), "<10%");
+  EXPECT_EQ(DegradationHistogram::bucketLabel(9), "<90%");
+  EXPECT_EQ(DegradationHistogram::bucketLabel(10), ">90%");
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,45 @@
+#include "support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+namespace rapt {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.row().cell("Name").cell("Value");
+  t.row().cell("x").cell(12345);
+  t.row().cell("longer-name").cell(1);
+  const std::string out = t.render();
+  // Every data row's second column starts at the same offset.
+  const std::size_t header = out.find("Value");
+  const std::size_t v1 = out.find("12345");
+  ASSERT_NE(header, std::string::npos);
+  ASSERT_NE(v1, std::string::npos);
+  const std::size_t headerCol = header - out.rfind('\n', header) - 1;
+  const std::size_t v1Col = v1 - out.rfind('\n', v1) - 1;
+  EXPECT_EQ(headerCol, v1Col);
+}
+
+TEST(TextTable, HeaderSeparatorPresent) {
+  TextTable t;
+  t.row().cell("A");
+  t.row().cell("b");
+  const std::string out = t.render();
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(TextTable, DoubleCellPrecision) {
+  TextTable t;
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.render().find("3.14"), std::string::npos);
+}
+
+TEST(FormatFixed, Basic) {
+  EXPECT_EQ(formatFixed(1.5, 1), "1.5");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+  EXPECT_EQ(formatFixed(-0.125, 3), "-0.125");
+}
+
+}  // namespace
+}  // namespace rapt

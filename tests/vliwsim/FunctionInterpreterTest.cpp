@@ -1,0 +1,94 @@
+#include "vliwsim/FunctionInterpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/FunctionPipeline.h"
+#include "workload/FunctionGenerator.h"
+
+namespace rapt {
+namespace {
+
+Function diamondFn() {
+  Function fn;
+  fn.blocks.resize(4);
+  fn.addArray("g", 16, false);
+  fn.blocks[0].ops = {makeIConst(intReg(0), 10), makeIConst(intReg(9), 0)};
+  fn.blocks[0].succs = {1, 2};
+  fn.blocks[1].ops = {makeUnary(Opcode::IAddImm, intReg(1), intReg(0), 1)};
+  fn.blocks[1].succs = {3};
+  fn.blocks[2].ops = {makeUnary(Opcode::IAddImm, intReg(2), intReg(0), 2)};
+  fn.blocks[2].succs = {3};
+  fn.blocks[3].ops = {makeBinary(Opcode::IAdd, intReg(3), intReg(1), intReg(2)),
+                      makeStore(Opcode::IStore, 0, intReg(9), intReg(3))};
+  return fn;
+}
+
+TEST(FunctionInterpreter, FollowsSelectedPath) {
+  const Function fn = diamondFn();
+  const FunctionRunResult left = runFunctionPath(fn, 0);
+  const FunctionRunResult right = runFunctionPath(fn, 1);
+  ASSERT_TRUE(left.ok);
+  ASSERT_TRUE(right.ok);
+  EXPECT_EQ(left.blocksVisited, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(right.blocksVisited, (std::vector<int>{0, 2, 3}));
+  // Left path: i1 = 11, i2 undefined (0) -> store 11. Right: i2 = 12 -> 12.
+  EXPECT_EQ(left.memory.loadInt(0, 0), 11);
+  EXPECT_EQ(right.memory.loadInt(0, 0), 12);
+}
+
+TEST(FunctionInterpreter, DetectsCyclicCfg) {
+  Function fn;
+  fn.blocks.resize(2);
+  fn.blocks[0].succs = {1};
+  fn.blocks[1].succs = {0};
+  const FunctionRunResult r = runFunctionPath(fn, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("terminate"), std::string::npos);
+}
+
+TEST(FunctionEquivalence, IdenticalFunctionsAreEqual) {
+  const Function fn = diamondFn();
+  const FunctionEquivalenceReport rep = checkFunctionEquivalence(fn, fn, 0);
+  EXPECT_TRUE(rep.equal) << rep.detail;
+}
+
+TEST(FunctionEquivalence, DetectsBrokenRewrite) {
+  const Function fn = diamondFn();
+  Function broken = fn;
+  broken.blocks[3].ops[0].op = Opcode::IMul;  // wrong arithmetic (11*0 != 11+0)
+  const FunctionEquivalenceReport rep = checkFunctionEquivalence(fn, broken, 0);
+  EXPECT_FALSE(rep.equal);
+  EXPECT_FALSE(rep.detail.empty());
+}
+
+TEST(FunctionEquivalence, IgnoresExtraSpillArrays) {
+  const Function fn = diamondFn();
+  Function rewritten = fn;
+  const ArrayId spill = rewritten.addArray("__spill_int", 8, false);
+  rewritten.blocks[0].ops.push_back(
+      makeStore(Opcode::IStore, spill, intReg(9), intReg(0)));
+  const FunctionEquivalenceReport rep = checkFunctionEquivalence(fn, rewritten, 0);
+  EXPECT_TRUE(rep.equal) << rep.detail;
+}
+
+// The function pipeline's rewrites (replication, copies, spills) validate on
+// generated CFGs across machines — this is the whole-function analogue of the
+// loop pipeline's bit-exact check.
+class FunctionValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FunctionValidation, RewritesPreservePathSemantics) {
+  const Function fn = generateFunction(FunctionGenParams{}, GetParam());
+  for (int clusters : {2, 8}) {
+    MachineDesc m = MachineDesc::paper16(clusters, CopyModel::Embedded);
+    m.intRegsPerBank = 12;  // small enough to exercise spilling sometimes
+    m.fltRegsPerBank = 12;
+    const FunctionResult r = compileFunction(fn, m);
+    ASSERT_TRUE(r.ok) << fn.name << ": " << r.error;
+    EXPECT_TRUE(r.validated) << fn.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FunctionValidation, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,162 @@
+#include "vliwsim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/Parser.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+// ---- evalArith semantics, one case per opcode behaviour. ----
+
+struct ArithCase {
+  Opcode op;
+  std::int64_t i0, i1;
+  double f0, f1;
+  std::int64_t imm;
+  double fimm;
+  std::int64_t wantI;
+  double wantF;
+  bool isFloatResult;
+};
+
+class EvalArith : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(EvalArith, Computes) {
+  const ArithCase& c = GetParam();
+  Operation op;
+  op.op = c.op;
+  op.imm = c.imm;
+  op.fimm = c.fimm;
+  // def/src registers are irrelevant for evalArith itself.
+  OperandValues in;
+  in.i[0] = c.i0;
+  in.i[1] = c.i1;
+  in.f[0] = c.f0;
+  in.f[1] = c.f1;
+  const ResultValue out = evalArith(op, in);
+  if (c.isFloatResult)
+    EXPECT_DOUBLE_EQ(out.f, c.wantF);
+  else
+    EXPECT_EQ(out.i, c.wantI);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EvalArith,
+    ::testing::Values(
+        ArithCase{Opcode::IConst, 0, 0, 0, 0, 42, 0, 42, 0, false},
+        ArithCase{Opcode::IMov, 9, 0, 0, 0, 0, 0, 9, 0, false},
+        ArithCase{Opcode::ICopy, -3, 0, 0, 0, 0, 0, -3, 0, false},
+        ArithCase{Opcode::IAdd, 3, 4, 0, 0, 0, 0, 7, 0, false},
+        ArithCase{Opcode::ISub, 3, 4, 0, 0, 0, 0, -1, 0, false},
+        ArithCase{Opcode::IMul, -3, 4, 0, 0, 0, 0, -12, 0, false},
+        ArithCase{Opcode::IDiv, 7, 2, 0, 0, 0, 0, 3, 0, false},
+        ArithCase{Opcode::IDiv, 7, 0, 0, 0, 0, 0, 0, 0, false},  // div-by-zero -> 0
+        ArithCase{Opcode::IAnd, 0b1100, 0b1010, 0, 0, 0, 0, 0b1000, 0, false},
+        ArithCase{Opcode::IOr, 0b1100, 0b1010, 0, 0, 0, 0, 0b1110, 0, false},
+        ArithCase{Opcode::IXor, 0b1100, 0b1010, 0, 0, 0, 0, 0b0110, 0, false},
+        ArithCase{Opcode::IShl, 1, 4, 0, 0, 0, 0, 16, 0, false},
+        ArithCase{Opcode::IShl, 1, 64, 0, 0, 0, 0, 1, 0, false},  // count masked
+        ArithCase{Opcode::IShr, -8, 1, 0, 0, 0, 0, -4, 0, false},  // arithmetic
+        ArithCase{Opcode::IAddImm, 10, 0, 0, 0, -4, 0, 6, 0, false},
+        ArithCase{Opcode::IToF, 5, 0, 0, 0, 0, 0, 0, 5.0, true},
+        ArithCase{Opcode::FToI, 0, 0, 2.9, 0, 0, 0, 2, 0, false},
+        ArithCase{Opcode::FToI, 0, 0, std::nan(""), 0, 0, 0, 0, 0, false},
+        ArithCase{Opcode::FConst, 0, 0, 0, 0, 0, 1.25, 0, 1.25, true},
+        ArithCase{Opcode::FMov, 0, 0, 3.5, 0, 0, 0, 0, 3.5, true},
+        ArithCase{Opcode::FCopy, 0, 0, -2.5, 0, 0, 0, 0, -2.5, true},
+        ArithCase{Opcode::FAdd, 0, 0, 1.5, 2.25, 0, 0, 0, 3.75, true},
+        ArithCase{Opcode::FSub, 0, 0, 1.5, 2.25, 0, 0, 0, -0.75, true},
+        ArithCase{Opcode::FMul, 0, 0, 1.5, 2.0, 0, 0, 0, 3.0, true},
+        ArithCase{Opcode::FDiv, 0, 0, 3.0, 2.0, 0, 0, 0, 1.5, true}));
+
+TEST(Interpreter, DaxpyReference) {
+  Loop loop = classicKernel("daxpy");
+  loop.trip = 4;
+  const ReferenceResult r = runReference(loop, 4);
+  // y[i] = alpha*x[i] + y[i] with the deterministic fill.
+  ArrayMemory fresh(loop);
+  for (int i = 0; i < 4; ++i) {
+    const double x = fresh.loadFlt(0, i);
+    const double y = fresh.loadFlt(1, i);
+    EXPECT_DOUBLE_EQ(r.memory.loadFlt(1, i), 2.5 * x + y) << "i=" << i;
+  }
+  // Elements beyond the trip count untouched.
+  EXPECT_DOUBLE_EQ(r.memory.loadFlt(1, 5), fresh.loadFlt(1, 5));
+  // Induction register advanced to trip.
+  EXPECT_EQ(r.regs.readInt(intReg(0)), 4);
+}
+
+TEST(Interpreter, DotAccumulates) {
+  Loop loop = classicKernel("dot");
+  const ReferenceResult r = runReference(loop, 3);
+  ArrayMemory fresh(loop);
+  double want = 0.0;
+  for (int i = 0; i < 3; ++i) want += fresh.loadFlt(0, i) * fresh.loadFlt(1, i);
+  EXPECT_DOUBLE_EQ(r.regs.readFlt(fltReg(0)), want);
+}
+
+TEST(Interpreter, CarriedUseReadsPreviousIteration) {
+  // f2 reads f1 from the previous iteration (use before def).
+  const Loop loop = parseLoop(R"(
+    loop l {
+      livein f1 = 10.0
+      livein f9 = 1.0
+      f2 = fmov f1
+      f1 = fadd f1, f9
+    })");
+  const ReferenceResult r = runReference(loop, 3);
+  // Iterations: f2 = 10, 11, 12; f1 = 11, 12, 13.
+  EXPECT_DOUBLE_EQ(r.regs.readFlt(fltReg(2)), 12.0);
+  EXPECT_DOUBLE_EQ(r.regs.readFlt(fltReg(1)), 13.0);
+}
+
+TEST(Interpreter, ZeroTripLeavesStateUntouched) {
+  Loop loop = classicKernel("daxpy");
+  const ReferenceResult r = runReference(loop, 0);
+  ArrayMemory fresh(loop);
+  EXPECT_TRUE(r.memory.equals(fresh));
+}
+
+TEST(State, RegFileDefaultsToZero) {
+  RegFile rf;
+  EXPECT_EQ(rf.readInt(intReg(7)), 0);
+  EXPECT_DOUBLE_EQ(rf.readFlt(fltReg(7)), 0.0);
+  rf.writeInt(intReg(7), 5);
+  EXPECT_EQ(rf.readInt(intReg(7)), 5);
+}
+
+TEST(State, GuardBandAllowsSmallOverrun) {
+  Loop loop;
+  loop.addArray("x", 4, true);
+  ArrayMemory mem(loop);
+  mem.storeFlt(0, -1, 3.0);  // within the guard band
+  mem.storeFlt(0, 4, 4.0);
+  EXPECT_DOUBLE_EQ(mem.loadFlt(0, -1), 3.0);
+  EXPECT_DOUBLE_EQ(mem.loadFlt(0, 4), 4.0);
+}
+
+TEST(State, DeterministicInitIsStable) {
+  Loop loop;
+  loop.addArray("x", 8, true);
+  loop.addArray("n", 8, false);
+  ArrayMemory a(loop), b(loop);
+  EXPECT_TRUE(a.equals(b));
+  b.storeInt(1, 0, 999);
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(State, BitwiseEqualityTreatsNaNAsEqual) {
+  Loop loop;
+  loop.addArray("x", 2, true);
+  ArrayMemory a(loop), b(loop);
+  a.storeFlt(0, 0, std::nan(""));
+  b.storeFlt(0, 0, std::nan(""));
+  EXPECT_TRUE(a.equals(b));  // same NaN payload compares equal bitwise
+}
+
+}  // namespace
+}  // namespace rapt

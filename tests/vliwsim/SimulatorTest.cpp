@@ -1,0 +1,197 @@
+#include "vliwsim/VliwSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include "ddg/Ddg.h"
+#include "ir/Parser.h"
+#include "sched/ModuloScheduler.h"
+#include "vliwsim/Equivalence.h"
+
+namespace rapt {
+namespace {
+
+/// Hand-built streams let us probe the simulator's timing model directly.
+PipelinedCode handStream(std::vector<std::vector<Operation>> cycles) {
+  PipelinedCode code;
+  code.ii = 1;
+  code.trip = 1;
+  code.stageCount = 1;
+  for (auto& ops : cycles) {
+    VliwInstr in;
+    int fu = 0;
+    for (Operation& op : ops) {
+      EmittedOp eo;
+      eo.op = op;
+      eo.fu = fu++;
+      in.ops.push_back(eo);
+    }
+    code.instrs.push_back(std::move(in));
+  }
+  return code;
+}
+
+TEST(Simulator, WriteLandsAfterLatency) {
+  // iconst (lat 1) at cycle 0; a reader at cycle 1 sees it; a reader at
+  // cycle 0 would see the initial zero.
+  Loop env;  // no arrays needed
+  PipelinedCode code = handStream({
+      {makeIConst(intReg(0), 7), makeUnary(Opcode::IMov, intReg(1), intReg(0))},
+      {makeUnary(Opcode::IMov, intReg(2), intReg(0))},
+  });
+  const MachineDesc m = MachineDesc::ideal16();
+  const SimResult r = simulate(code, env, m);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.regs.readInt(intReg(1)), 0);  // same-cycle read: old value
+  EXPECT_EQ(r.regs.readInt(intReg(2)), 7);  // next cycle: landed
+}
+
+TEST(Simulator, MultiCycleLatencyObserved) {
+  // imul (lat 5) issued at cycle 1 lands at cycle 6, past the stream's end:
+  // a read at cycle 4 still sees the initial value; the drain commits it.
+  Loop env;
+  env.liveInValues.push_back({intReg(9), 3, 0.0});
+  std::vector<std::vector<Operation>> cycles(5);
+  cycles[1] = {makeBinary(Opcode::IMul, intReg(0), intReg(9), intReg(9))};
+  cycles[4] = {makeUnary(Opcode::IMov, intReg(1), intReg(0))};
+  const PipelinedCode code = handStream(std::move(cycles));
+  const MachineDesc m = MachineDesc::ideal16();
+  const SimResult r = simulate(code, env, m);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.regs.readInt(intReg(1)), 0);  // in-flight at cycle 4
+  EXPECT_EQ(r.regs.readInt(intReg(0)), 9);  // committed during drain
+  EXPECT_EQ(r.totalCycles, 1 + 5 + 1);      // through the landing cycle
+}
+
+TEST(Simulator, StoreVisibilityLatency) {
+  Loop env;
+  const ArrayId a = env.addArray("x", 4, false);
+  env.liveInValues.push_back({intReg(9), 0, 0.0});  // index 0
+  env.liveInValues.push_back({intReg(8), 55, 0.0});
+  std::vector<std::vector<Operation>> cycles(5);
+  cycles[0] = {makeStore(Opcode::IStore, a, intReg(9), intReg(8))};
+  cycles[3] = {makeLoad(Opcode::ILoad, intReg(1), a, intReg(9))};  // too early
+  cycles[4] = {makeLoad(Opcode::ILoad, intReg(2), a, intReg(9))};  // lat 4: sees it
+  PipelinedCode code = handStream(std::move(cycles));
+  const MachineDesc m = MachineDesc::ideal16();
+  const SimResult r = simulate(code, env, m);
+  ASSERT_TRUE(r.ok) << r.error;
+  ArrayMemory fresh(env);
+  EXPECT_EQ(r.regs.readInt(intReg(1)), fresh.loadInt(a, 0));  // pre-store value
+  EXPECT_EQ(r.regs.readInt(intReg(2)), 55);
+}
+
+TEST(Simulator, DetectsClusterOversubscription) {
+  // 3 ops forced onto cluster 0 of an 8-cluster machine (2 FUs each).
+  Loop env;
+  PipelinedCode code;
+  code.ii = 1;
+  code.trip = 1;
+  VliwInstr in;
+  for (int i = 0; i < 3; ++i) {
+    EmittedOp eo;
+    eo.op = makeIConst(intReg(i), i);
+    eo.fu = i % 2;  // FUs 0,1,0 -> FU 0 double-booked
+    in.ops.push_back(eo);
+  }
+  code.instrs.push_back(in);
+  const MachineDesc m = MachineDesc::paper16(8, CopyModel::Embedded);
+  const SimResult r = simulate(code, env, m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("double-booked"), std::string::npos);
+}
+
+TEST(Simulator, DetectsMissingFunctionalUnit) {
+  Loop env;
+  PipelinedCode code;
+  code.ii = 1;
+  code.trip = 1;
+  VliwInstr in;
+  EmittedOp eo;
+  eo.op = makeIConst(intReg(0), 1);
+  eo.fu = -1;  // not a copy: illegal
+  in.ops.push_back(eo);
+  code.instrs.push_back(in);
+  const SimResult r = simulate(code, env, MachineDesc::ideal16());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("without a functional unit"), std::string::npos);
+}
+
+TEST(Simulator, DetectsBusOversubscription) {
+  Loop env;
+  env.liveInValues.push_back({fltReg(0), 0, 1.0});
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::CopyUnit);  // 2 buses
+  PipelinedCode code;
+  code.ii = 1;
+  code.trip = 1;
+  VliwInstr in;
+  for (int i = 0; i < 3; ++i) {
+    EmittedOp eo;
+    eo.op = makeCopy(fltReg(10 + i), fltReg(0));
+    eo.fu = -1;
+    in.ops.push_back(eo);
+  }
+  code.instrs.push_back(in);
+  const SimResult r = simulate(code, env, m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("buses"), std::string::npos);
+}
+
+TEST(Simulator, CopyPortLimitCheckedWithPartition) {
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::CopyUnit);  // 1 port/bank
+  Loop env;
+  env.liveInValues.push_back({fltReg(0), 0, 1.0});
+  env.liveInValues.push_back({fltReg(1), 0, 2.0});
+  Partition part(2);
+  part.assign(fltReg(0), 0);
+  part.assign(fltReg(1), 0);
+  part.assign(fltReg(10), 1);
+  part.assign(fltReg(11), 1);
+  PipelinedCode code;
+  code.ii = 1;
+  code.trip = 1;
+  VliwInstr in;
+  for (int i = 0; i < 2; ++i) {
+    EmittedOp eo;
+    eo.op = makeCopy(fltReg(10 + i), fltReg(i));
+    eo.fu = -1;
+    in.ops.push_back(eo);
+  }
+  code.instrs.push_back(in);  // two copies 0->1: bank 0 needs 2 read ports
+  const SimResult r = simulate(code, env, m, &part);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("copy ports"), std::string::npos);
+}
+
+TEST(Equivalence, DetectsCorruptedStream) {
+  // Schedule daxpy, then corrupt one operand: the checker must object.
+  const Loop loop = parseLoop(R"(
+    loop l { array x[16] flt
+      array y[16] flt
+      induction i0
+      livein f0 = 2.0
+      f1 = fload x[i0]
+      f2 = fmul f1, f0
+      fstore y[i0], f2
+    })");
+  const MachineDesc m = MachineDesc::ideal16();
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  const std::vector<OpConstraint> free(loop.body.size());
+  const auto res = moduloSchedule(ddg, m, free);
+  ASSERT_TRUE(res.success);
+  PipelinedCode code = emitPipelinedCode(loop, ddg, res.schedule, 8);
+  const SimResult good = simulate(code, loop, m);
+  EXPECT_TRUE(checkEquivalence(loop, code, good).equal);
+  // Corrupt: make one fmul read the wrong source.
+  for (auto& instr : code.instrs) {
+    for (auto& eo : instr.ops) {
+      if (eo.op.op == Opcode::FMul && eo.iteration == 3) eo.op.src[1] = eo.op.src[0];
+    }
+  }
+  const SimResult bad = simulate(code, loop, m);
+  const EquivalenceReport rep = checkEquivalence(loop, code, bad);
+  EXPECT_FALSE(rep.equal);
+  EXPECT_FALSE(rep.detail.empty());
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,93 @@
+// Parameter-swept generator properties: extreme corners of the generator's
+// parameter space still produce valid loops that survive the full pipeline
+// (compile + simulate + bit-exact check).
+#include <gtest/gtest.h>
+
+#include "pipeline/CompilerPipeline.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+struct SweepCase {
+  const char* label;
+  GeneratorParams params;
+};
+
+GeneratorParams base() {
+  GeneratorParams p;
+  p.count = 6;
+  return p;
+}
+
+std::vector<SweepCase> sweepCases() {
+  std::vector<SweepCase> cases;
+  {
+    SweepCase c{"all-int", base()};
+    c.params.pctFloatLoop = 0;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"all-float", base()};
+    c.params.pctFloatLoop = 100;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"recurrence-heavy", base()};
+    c.params.pctRecurrenceLoop = 100;
+    c.params.maxRecurrences = 2;
+    c.params.maxRecurrenceLen = 2;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"memory-heavy", base()};
+    c.params.pctLoadOp = 50;
+    c.params.pctStoreOp = 25;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"tiny-loops", base()};
+    c.params.minOps = 3;
+    c.params.maxOps = 6;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"huge-loops", base()};
+    c.params.minOps = 70;
+    c.params.maxOps = 90;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"deep-nest", base()};
+    c.params.maxNestingDepth = 5;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"short-trip", base()};
+    c.params.trip = 8;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSweep, ValidAndBitExactThroughPipeline) {
+  const SweepCase c = sweepCases()[GetParam()];
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  for (int i = 0; i < c.params.count; ++i) {
+    const Loop loop = generateLoop(c.params, i);
+    ASSERT_FALSE(validate(loop).has_value()) << c.label << " #" << i;
+    PipelineOptions opt;
+    opt.simTrip = c.params.trip;
+    const LoopResult r = compileLoop(loop, m, opt);
+    ASSERT_TRUE(r.ok) << c.label << " #" << i << ": " << r.error;
+    EXPECT_TRUE(r.validated) << c.label << " #" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corners, GeneratorSweep,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,81 @@
+#include "workload/LoopGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/Printer.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+TEST(Generator, DeterministicAcrossCalls) {
+  const Loop a = generateLoop(GeneratorParams{}, 17);
+  const Loop b = generateLoop(GeneratorParams{}, 17);
+  EXPECT_EQ(printLoop(a), printLoop(b));
+}
+
+TEST(Generator, DifferentIndicesDiffer) {
+  const Loop a = generateLoop(GeneratorParams{}, 0);
+  const Loop b = generateLoop(GeneratorParams{}, 1);
+  EXPECT_NE(printLoop(a), printLoop(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorParams p1, p2;
+  p2.seed = p1.seed + 1;
+  EXPECT_NE(printLoop(generateLoop(p1, 5)), printLoop(generateLoop(p2, 5)));
+}
+
+TEST(Generator, CorpusHasRequestedSize) {
+  GeneratorParams p;
+  p.count = 17;
+  EXPECT_EQ(generateCorpus(p).size(), 17u);
+}
+
+// Every corpus loop is structurally valid and within parameter bounds.
+class CorpusLoop : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusLoop, ValidAndWithinBounds) {
+  const GeneratorParams p;
+  const Loop loop = generateLoop(p, GetParam());
+  EXPECT_FALSE(validate(loop).has_value());
+  EXPECT_GE(loop.size(), 3);
+  // Generation may add constant-materialization ops beyond the target.
+  EXPECT_LE(loop.size(), p.maxOps + 12);
+  EXPECT_GE(loop.nestingDepth, 1);
+  EXPECT_LE(loop.nestingDepth, p.maxNestingDepth);
+  EXPECT_TRUE(loop.induction.isValid());
+  EXPECT_GE(loop.arrays.size(), 1u);
+  // Contains at least one memory access.
+  bool mem = false;
+  for (const Operation& o : loop.body) mem |= isMemory(o.op);
+  EXPECT_TRUE(mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, CorpusLoop,
+                         ::testing::Values(0, 1, 2, 10, 50, 100, 150, 210));
+
+TEST(Generator, FullDefaultCorpusIsValid) {
+  for (const Loop& loop : generateCorpus(GeneratorParams{})) {
+    const auto err = validate(loop);
+    EXPECT_FALSE(err.has_value()) << loop.name << ": " << err.value_or("");
+  }
+}
+
+TEST(Kernels, AllNamedKernelsExist) {
+  const std::vector<Loop> ks = classicKernels();
+  EXPECT_EQ(ks.size(), 10u);
+  for (const char* name : {"daxpy", "dot", "scale", "stencil3", "fir4", "hydro",
+                           "tridiag", "saturate", "cmul", "intmix"}) {
+    EXPECT_EQ(classicKernel(name).name, name);
+  }
+}
+
+TEST(Kernels, AllValid) {
+  for (const Loop& k : classicKernels()) {
+    EXPECT_FALSE(validate(k).has_value()) << k.name;
+  }
+}
+
+}  // namespace
+}  // namespace rapt
