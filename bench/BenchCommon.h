@@ -1,12 +1,21 @@
 // Shared helpers for the experiment harnesses (one binary per paper table /
 // figure; see DESIGN.md's experiment index).
+//
+// Besides the corpus and machine cases, this header carries the bench
+// observability output: every harness builds a BenchReport and writes a
+// BENCH_<name>.json next to its text table (schema "rapt-bench-v1",
+// documented field by field in docs/metrics.md). EXPERIMENTS.md cites those
+// files, and the per-stage timings give the repo its perf trajectory.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pipeline/Suite.h"
+#include "support/Json.h"
 #include "workload/LoopGenerator.h"
 
 namespace rapt::bench {
@@ -30,10 +39,12 @@ inline constexpr MachineCase kMachineCases[] = {
 
 /// Suite options used by all table/figure benches. Simulation/validation is
 /// on by default — every measured loop is also checked bit-exact; pass
-/// simulate=false for quick sweeps.
+/// simulate=false for quick sweeps. Benches run the suite on all hardware
+/// threads (`threads = 0`); results are bit-identical to serial (Suite.h).
 [[nodiscard]] inline PipelineOptions benchOptions(bool simulate = true) {
   PipelineOptions opt;
   opt.simulate = simulate;
+  opt.threads = 0;
   return opt;
 }
 
@@ -44,5 +55,120 @@ inline void printFailures(const SuiteResult& s, const char* label) {
     if (!r.ok) std::printf("   %s: %s\n", r.loopName.c_str(), r.error.c_str());
   }
 }
+
+// ---- BENCH_<name>.json emission (schema: docs/metrics.md) ----
+
+/// Lowercase machine-readable copy-model token ("embedded" / "copy-unit").
+[[nodiscard]] inline const char* copyModelToken(CopyModel m) {
+  return m == CopyModel::Embedded ? "embedded" : "copy-unit";
+}
+
+[[nodiscard]] inline Json machineJson(const MachineDesc& m) {
+  Json j = Json::object();
+  j["name"] = m.name;
+  j["clusters"] = m.numClusters;
+  j["fusPerCluster"] = m.fusPerCluster;
+  j["copyModel"] = copyModelToken(m.copyModel);
+  j["intRegsPerBank"] = m.intRegsPerBank;
+  j["fltRegsPerBank"] = m.fltRegsPerBank;
+  j["intCopyLatency"] = m.lat.intCopy;
+  j["fltCopyLatency"] = m.lat.fltCopy;
+  return j;
+}
+
+[[nodiscard]] inline Json stagesJson(const PipelineTrace& t) {
+  Json j = Json::object();
+  j["idealScheduleNs"] = t.idealScheduleNs;
+  j["rcgBuildNs"] = t.rcgBuildNs;
+  j["partitionNs"] = t.partitionNs;
+  j["copyInsertNs"] = t.copyInsertNs;
+  j["rescheduleNs"] = t.rescheduleNs;
+  j["regallocNs"] = t.regallocNs;
+  j["emitNs"] = t.emitNs;
+  j["simulateNs"] = t.simulateNs;
+  j["totalNs"] = t.totalNs;
+  return j;
+}
+
+[[nodiscard]] inline Json countersJson(const PipelineTrace& t) {
+  Json j = Json::object();
+  j["idealCycles"] = t.idealCycles;
+  j["rescheduleAttempts"] = t.rescheduleAttempts;
+  j["iiEscalations"] = t.iiEscalations;
+  j["spillRetries"] = t.spillRetries;
+  j["simulatedCycles"] = t.simulatedCycles;
+  return j;
+}
+
+[[nodiscard]] inline Json aggregatesJson(const SuiteResult& s) {
+  Json j = Json::object();
+  j["loops"] = static_cast<std::int64_t>(s.loops.size());
+  j["failures"] = s.failures;
+  j["validated"] = s.validatedCount;
+  j["meanIdealIpc"] = s.meanIdealIpc;
+  j["meanClusteredIpc"] = s.meanClusteredIpc;
+  j["arithMeanNormalized"] = s.arithMeanNormalized;
+  j["harmMeanNormalized"] = s.harmMeanNormalized;
+  j["totalBodyCopies"] = s.totalBodyCopies;
+  Json percent = Json::array();
+  Json count = Json::array();
+  for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b) {
+    percent.push(s.histogram.percent(b));
+    count.push(s.histogram.count(b));
+  }
+  j["histogramPercent"] = std::move(percent);
+  j["histogramCount"] = std::move(count);
+  return j;
+}
+
+/// Accumulates one JSON case per measured configuration and writes
+/// BENCH_<name>.json on `write()` (into $RAPT_BENCH_DIR or the working
+/// directory).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)), doc_(Json::object()) {
+    doc_["schema"] = "rapt-bench-v1";
+    doc_["bench"] = name_;
+    doc_["generator"] = "bench_" + name_;
+    doc_["cases"] = Json::array();
+  }
+
+  /// Top-level free-form metadata (e.g. corpusLoops, notes).
+  Json& operator[](const std::string& key) { return doc_[key]; }
+
+  /// The standard case: one runSuite call on one machine. Returns the case
+  /// object so callers can attach extra "params" fields.
+  Json& addSuiteCase(const std::string& label, const MachineDesc& machine,
+                     const SuiteResult& s) {
+    Json c = Json::object();
+    c["label"] = label;
+    c["machine"] = machineJson(machine);
+    c["aggregates"] = aggregatesJson(s);
+    c["stages"] = stagesJson(s.trace);
+    c["counters"] = countersJson(s.trace);
+    Json suite = Json::object();
+    suite["wallNs"] = s.suiteWallNs;
+    suite["threads"] = s.threadsUsed;
+    c["suite"] = std::move(suite);
+    return doc_["cases"].push(std::move(c));
+  }
+
+  /// A fully custom case (benches that do not run the loop suite).
+  Json& addCase(Json c) { return doc_["cases"].push(std::move(c)); }
+
+  /// Writes BENCH_<name>.json; prints the path so runs are self-describing.
+  bool write() const {
+    std::string dir;
+    if (const char* env = std::getenv("RAPT_BENCH_DIR")) dir = std::string(env) + "/";
+    const std::string path = dir + "BENCH_" + name_ + ".json";
+    const bool ok = doc_.writeFile(path);
+    if (ok) std::printf("\nwrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  Json doc_;
+};
 
 }  // namespace rapt::bench

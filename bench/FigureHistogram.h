@@ -1,5 +1,7 @@
 // Shared implementation of Figures 5-7: the degradation histogram for one
-// cluster count, embedded and copy-unit series side by side.
+// cluster count, embedded and copy-unit series side by side. Each figure
+// binary also emits BENCH_<benchName>.json (docs/metrics.md) carrying the
+// full bucket distributions plus per-stage timings.
 #pragma once
 
 #include "BenchCommon.h"
@@ -8,9 +10,12 @@
 namespace rapt::bench {
 
 inline int runFigureHistogram(int clusters, const char* figure,
-                              const char* paperNote) {
+                              const char* benchName, const char* paperNote) {
   const std::vector<Loop> loops = corpus();
   const PipelineOptions opt = benchOptions();
+  BenchReport report(benchName);
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
+  report["figure"] = figure;
 
   DegradationHistogram hist[2];
   for (int m = 0; m < 2; ++m) {
@@ -18,6 +23,7 @@ inline int runFigureHistogram(int clusters, const char* figure,
     const MachineDesc machine = MachineDesc::paper16(clusters, model);
     const SuiteResult s = runSuite(loops, machine, opt);
     printFailures(s, machine.name.c_str());
+    report.addSuiteCase(machine.name, machine, s);
     hist[m] = s.histogram;
   }
 
@@ -46,7 +52,7 @@ inline int runFigureHistogram(int clusters, const char* figure,
     }
   }
   std::printf("\npaper: %s\n", paperNote);
-  return 0;
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace rapt::bench

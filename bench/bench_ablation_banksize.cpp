@@ -3,7 +3,7 @@
 // resources" (§2); when a bank cannot be coloured, the pipeline relaxes II
 // and reschedules (fewer overlapped iterations => fewer simultaneously live
 // values). This sweep shows where the paper's 32-register banks sit on that
-// curve.
+// curve. Emits BENCH_ablation_banksize.json (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -12,6 +12,8 @@ using namespace rapt::bench;
 
 int main() {
   const std::vector<Loop> loops = corpus();
+  BenchReport report("ablation_banksize");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
   TextTable t;
   t.row().cell("Regs/bank").cell("ArithMean").cell("loops w/ alloc retries")
@@ -29,6 +31,11 @@ int main() {
       if (r.allocRetries > 0) ++retried;
       retries += r.allocRetries;
     }
+    Json& c = report.addSuiteCase(std::to_string(regs) + "-regs", m, s);
+    Json params = Json::object();
+    params["regsPerBank"] = regs;
+    params["loopsWithAllocRetries"] = retried;
+    c["params"] = std::move(params);
     t.row()
         .cell(regs)
         .cell(s.arithMeanNormalized, 1)
@@ -40,5 +47,5 @@ int main() {
       "Ablation A4: bank size vs allocation-driven II relaxation\n"
       "(4 clusters x 4 FUs, embedded copies)\n\n%s",
       t.render().c_str());
-  return 0;
+  return report.write() ? 0 : 1;
 }

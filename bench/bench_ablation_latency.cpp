@@ -2,6 +2,7 @@
 // cycles for integer and 3 for floating copies and notes that Nystrom &
 // Eichenberger and Ozer et al. assume 1 cycle — one of the stated reasons
 // their degradations differ (§6.3). This sweep quantifies that effect.
+// Emits BENCH_ablation_latency.json (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -10,6 +11,8 @@ using namespace rapt::bench;
 
 int main() {
   const std::vector<Loop> loops = corpus();
+  BenchReport report("ablation_latency");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
   struct LatCase {
     int intCopy, fltCopy;
     const char* note;
@@ -30,6 +33,12 @@ int main() {
         m.lat.intCopy = lc.intCopy;
         m.lat.fltCopy = lc.fltCopy;
         const SuiteResult s = runSuite(loops, m, benchOptions(/*simulate=*/false));
+        const std::string label = std::to_string(lc.intCopy) + "/" +
+                                  std::to_string(lc.fltCopy) + " " + m.name;
+        Json& c = report.addSuiteCase(label, m, s);
+        Json params = Json::object();
+        params["note"] = lc.note;
+        c["params"] = std::move(params);
         t.row()
             .cell(std::to_string(lc.intCopy) + "/" + std::to_string(lc.fltCopy))
             .cell(clusters)
@@ -41,5 +50,5 @@ int main() {
   }
   std::printf("Ablation A3: copy latency sensitivity\n\n%s", t.render().c_str());
   std::printf("\n(1/1 latency approximates the related work's machine assumptions)\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

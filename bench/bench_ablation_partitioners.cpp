@@ -1,6 +1,7 @@
 // Ablation A2: the greedy RCG partitioner against the baselines (round-robin
 // spreading, uniform random, and a BUG-style bottom-up operation-DAG
 // partitioner after Ellis) on all three cluster counts, embedded model.
+// Emits BENCH_ablation_partitioners.json (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -9,6 +10,8 @@ using namespace rapt::bench;
 
 int main() {
   const std::vector<Loop> loops = corpus();
+  BenchReport report("ablation_partitioners");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
   constexpr PartitionerKind kKinds[] = {
       PartitionerKind::GreedyRcg, PartitionerKind::BugLike,
       PartitionerKind::UasLike, PartitionerKind::RoundRobin,
@@ -21,8 +24,13 @@ int main() {
     for (int clusters : {2, 4, 8}) {
       PipelineOptions opt = benchOptions(/*simulate=*/false);
       opt.partitioner = kind;
-      const SuiteResult s =
-          runSuite(loops, MachineDesc::paper16(clusters, CopyModel::Embedded), opt);
+      const MachineDesc m = MachineDesc::paper16(clusters, CopyModel::Embedded);
+      const SuiteResult s = runSuite(loops, m, opt);
+      Json& c = report.addSuiteCase(
+          std::string(partitionerName(kind)) + "/" + m.name, m, s);
+      Json params = Json::object();
+      params["partitioner"] = partitionerName(kind);
+      c["params"] = std::move(params);
       t.row()
           .cell(partitionerName(kind))
           .cell(clusters)
@@ -36,5 +44,5 @@ int main() {
   }
   std::printf("Ablation A2: partitioner comparison (embedded model)\n\n%s",
               t.render().c_str());
-  return 0;
+  return report.write() ? 0 : 1;
 }

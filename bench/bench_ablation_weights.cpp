@@ -3,7 +3,7 @@
 // documents our reconstruction). Sweeps each constant around its default on
 // the 4-cluster embedded machine and reports the corpus arithmetic mean
 // normalized kernel size. A flat response means the conclusions do not hang
-// on the reconstruction.
+// on the reconstruction. Emits BENCH_ablation_weights.json (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -12,11 +12,17 @@ using namespace rapt::bench;
 
 namespace {
 
-double meanFor(const std::vector<Loop>& loops, const RcgWeights& w) {
+double meanFor(const std::vector<Loop>& loops, const RcgWeights& w,
+               BenchReport& report, const std::string& constant, double value) {
   PipelineOptions opt = benchOptions(/*simulate=*/false);
   opt.weights = w;
-  const SuiteResult s =
-      runSuite(loops, MachineDesc::paper16(4, CopyModel::Embedded), opt);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  const SuiteResult s = runSuite(loops, m, opt);
+  Json& c = report.addSuiteCase(constant + "=" + formatFixed(value, 2), m, s);
+  Json params = Json::object();
+  params["constant"] = constant;
+  params["value"] = value;
+  c["params"] = std::move(params);
   return s.arithMeanNormalized;
 }
 
@@ -24,31 +30,38 @@ double meanFor(const std::vector<Loop>& loops, const RcgWeights& w) {
 
 int main() {
   const std::vector<Loop> loops = corpus();
+  BenchReport report("ablation_weights");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
   TextTable t;
   t.row().cell("Constant").cell("Value").cell("ArithMean(4cl,emb)");
 
   const RcgWeights base;
-  t.row().cell("(defaults)").cell("-").cell(meanFor(loops, base), 1);
+  t.row().cell("(defaults)").cell("-").cell(
+      meanFor(loops, base, report, "defaults", 0.0), 1);
 
   for (double v : {1.0, 2.0, 4.0, 8.0}) {
     RcgWeights w = base;
     w.critBonus = v;
-    t.row().cell("critBonus").cell(formatFixed(v, 1)).cell(meanFor(loops, w), 1);
+    t.row().cell("critBonus").cell(formatFixed(v, 1)).cell(
+        meanFor(loops, w, report, "critBonus", v), 1);
   }
   for (double v : {0.0, 0.25, 0.5, 1.0, 2.0}) {
     RcgWeights w = base;
     w.sep = v;
-    t.row().cell("sep").cell(formatFixed(v, 2)).cell(meanFor(loops, w), 1);
+    t.row().cell("sep").cell(formatFixed(v, 2)).cell(
+        meanFor(loops, w, report, "sep", v), 1);
   }
   for (double v : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     RcgWeights w = base;
     w.balance = v;
-    t.row().cell("balance").cell(formatFixed(v, 1)).cell(meanFor(loops, w), 1);
+    t.row().cell("balance").cell(formatFixed(v, 1)).cell(
+        meanFor(loops, w, report, "balance", v), 1);
   }
   for (double v : {1.0, 2.0, 10.0}) {
     RcgWeights w = base;
     w.depthBase = v;
-    t.row().cell("depthBase").cell(formatFixed(v, 0)).cell(meanFor(loops, w), 1);
+    t.row().cell("depthBase").cell(formatFixed(v, 0)).cell(
+        meanFor(loops, w, report, "depthBase", v), 1);
   }
 
   std::printf("Ablation A1: RCG weight constants (lower mean = better)\n\n%s",
@@ -56,5 +69,5 @@ int main() {
   std::printf(
       "\nNote: balance=0 shows the balance term's contribution; sep=0 disables\n"
       "the same-instruction separation rule entirely.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

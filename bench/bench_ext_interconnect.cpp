@@ -5,6 +5,7 @@
 // no copy ops) wins on schedule quality but loses on processor cycle time
 // [15]. This bench quantifies the schedule-quality side: the same greedy RCG
 // partition scheduled under all three models, network latency 1 and 2.
+// Emits BENCH_ext_interconnect.json (docs/metrics.md).
 #include "BenchCommon.h"
 
 #include "ddg/Ddg.h"
@@ -18,6 +19,8 @@ using namespace rapt::bench;
 
 int main() {
   const std::vector<Loop> loops = corpus();
+  BenchReport report("ext_interconnect");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
   TextTable t;
   t.row().cell("Clusters").cell("Embedded").cell("Copy Unit").cell("Network lat 1")
@@ -30,6 +33,7 @@ int main() {
       const MachineDesc machine = MachineDesc::paper16(
           clusters, m == 0 ? CopyModel::Embedded : CopyModel::CopyUnit);
       const SuiteResult s = runSuite(loops, machine, benchOptions(false));
+      report.addSuiteCase(machine.name, machine, s);
       means[m] = s.arithMeanNormalized;
       counts[m] = static_cast<int>(loops.size()) - s.failures;
     }
@@ -52,6 +56,19 @@ int main() {
       }
     }
     for (int p = 2; p < 4; ++p) means[p] /= std::max(1, counts[p]);
+    for (int p = 1; p <= 2; ++p) {
+      Json c = Json::object();
+      c["label"] = std::to_string(clusters) + "cl-network-lat" + std::to_string(p);
+      Json params = Json::object();
+      params["clusters"] = clusters;
+      params["networkLatency"] = p;
+      c["params"] = std::move(params);
+      Json agg = Json::object();
+      agg["loops"] = counts[1 + p];
+      agg["arithMeanNormalized"] = means[1 + p];
+      c["aggregates"] = std::move(agg);
+      report.addCase(std::move(c));
+    }
     t.row().cell(clusters).cell(means[0], 1).cell(means[1], 1).cell(means[2], 1)
         .cell(means[3], 1);
   }
@@ -61,5 +78,5 @@ int main() {
       "\nThe network model needs no copy operations, only latency on remote\n"
       "reads -- the schedule-quality advantage the paper concedes to TTAs\n"
       "before rejecting them on cycle-time grounds (Section 3).\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

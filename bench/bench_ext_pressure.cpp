@@ -6,7 +6,7 @@
 // bench measures the register-pressure half of that effect: with the
 // lifetime-compaction post-pass on, values rotate through fewer MVE names
 // and MaxLive falls, so small banks need fewer allocation-driven II
-// relaxations.
+// relaxations. Emits BENCH_ext_pressure.json (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -15,6 +15,8 @@ using namespace rapt::bench;
 
 int main() {
   const std::vector<Loop> loops = corpus();
+  BenchReport report("ext_pressure");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
   TextTable t;
   t.row().cell("Regs/bank").cell("Compaction").cell("ArithMean")
@@ -37,6 +39,15 @@ int main() {
         unroll += r.maxUnroll;
         ++n;
       }
+      Json& c = report.addSuiteCase(std::to_string(regs) + "-regs/compact=" +
+                                        (compact ? "on" : "off"),
+                                    m, s);
+      Json params = Json::object();
+      params["regsPerBank"] = regs;
+      params["compactLifetimes"] = compact;
+      params["loopsWithAllocRetries"] = retried;
+      params["meanUnroll"] = n ? unroll / n : 0.0;
+      c["params"] = std::move(params);
       t.row()
           .cell(regs)
           .cell(compact ? "on" : "off")
@@ -50,5 +61,5 @@ int main() {
       "Extension E3: lifetime compaction vs register pressure\n"
       "(4 clusters x 4 FUs, embedded copies)\n\n%s",
       t.render().c_str());
-  return 0;
+  return report.write() ? 0 : 1;
 }

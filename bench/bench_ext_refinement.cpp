@@ -4,6 +4,7 @@
 // degraded vs ~5% for their non-iterative variant (§6.3). This bench measures
 // the same effect for our greedy partitioner: corpus degradation with 0, 1
 // and 3 refinement passes on every machine of the meta-model.
+// Emits BENCH_ext_refinement.json (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -12,6 +13,8 @@ using namespace rapt::bench;
 
 int main() {
   const std::vector<Loop> loops = corpus();
+  BenchReport report("ext_refinement");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
   TextTable t;
   t.row().cell("Machine").cell("Passes").cell("ArithMean").cell("0%-loops")
@@ -26,6 +29,12 @@ int main() {
       printFailures(s, m.name.c_str());
       double moves = 0;
       for (const LoopResult& r : s.loops) moves += r.refineMoves;
+      Json& c = report.addSuiteCase(
+          m.name + "/passes=" + std::to_string(passes), m, s);
+      Json params = Json::object();
+      params["refinePasses"] = passes;
+      params["movesAccepted"] = static_cast<std::int64_t>(moves);
+      c["params"] = std::move(params);
       t.row()
           .cell(m.name)
           .cell(passes)
@@ -36,5 +45,5 @@ int main() {
   }
   std::printf("Extension E1: iterative partition refinement\n\n%s",
               t.render().c_str());
-  return 0;
+  return report.write() ? 0 : 1;
 }

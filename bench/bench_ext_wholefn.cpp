@@ -6,31 +6,50 @@
 // more parallelism. This bench runs the function pipeline over a corpus of
 // synthetic CFGs on the paper's machines plus that 4x1 configuration, so the
 // loop/function comparison is visible in one place.
+// Emits BENCH_ext_wholefn.json (docs/metrics.md).
 #include <cstdio>
 
+#include "BenchCommon.h"
 #include "pipeline/FunctionPipeline.h"
 #include "support/Stats.h"
 #include "support/TextTable.h"
 #include "workload/FunctionGenerator.h"
 
 using namespace rapt;
+using namespace rapt::bench;
 
 namespace {
 
-void runCase(TextTable& t, const std::vector<Function>& fns, const MachineDesc& m) {
+void runCase(TextTable& t, BenchReport& report, const std::vector<Function>& fns,
+             const MachineDesc& m) {
   std::vector<double> normalized;
   int copies = 0;
   int allocFailures = 0;
+  int failures = 0;
   for (const Function& fn : fns) {
     const FunctionResult r = compileFunction(fn, m);
     if (!r.ok) {
       std::printf("!! %s on %s: %s\n", fn.name.c_str(), m.name.c_str(), r.error.c_str());
+      ++failures;
       continue;
     }
     normalized.push_back(r.normalizedSize());
     copies += r.copies;
     if (!r.allocOk) ++allocFailures;
   }
+  Json c = Json::object();
+  c["label"] = m.name;
+  c["machine"] = machineJson(m);
+  Json agg = Json::object();
+  agg["functions"] = static_cast<std::int64_t>(fns.size());
+  agg["failures"] = failures;
+  agg["arithMeanNormalized"] = arithmeticMean(normalized);
+  agg["harmMeanNormalized"] = harmonicMean(normalized);
+  agg["copiesPerFunction"] =
+      static_cast<double>(copies) / static_cast<double>(fns.size());
+  agg["allocFailures"] = allocFailures;
+  c["aggregates"] = std::move(agg);
+  report.addCase(std::move(c));
   t.row()
       .cell(m.name)
       .cell(arithmeticMean(normalized), 1)
@@ -45,6 +64,8 @@ int main() {
   const std::vector<Function> fns = generateFunctionCorpus(FunctionGenParams{});
   std::printf("Extension E2: whole-function partitioning over %zu synthetic CFGs\n\n",
               fns.size());
+  BenchReport report("ext_wholefn");
+  report["functionCorpus"] = static_cast<std::int64_t>(fns.size());
 
   TextTable t;
   t.row().cell("Machine").cell("ArithMean").cell("HarmMean").cell("copies/fn")
@@ -58,16 +79,16 @@ int main() {
   fourByOne.fusPerCluster = 1;
   fourByOne.intRegsPerBank = 16;
   fourByOne.fltRegsPerBank = 16;
-  runCase(t, fns, fourByOne);
+  runCase(t, report, fns, fourByOne);
 
   for (int clusters : {2, 4, 8}) {
     for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
-      runCase(t, fns, MachineDesc::paper16(clusters, model));
+      runCase(t, report, fns, MachineDesc::paper16(clusters, model));
     }
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(
       "paper reference: ~111 on the 4x1 machine for whole programs [16];\n"
       "whole functions should degrade LESS than the pipelined-loop Table 2.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

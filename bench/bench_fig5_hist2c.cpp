@@ -3,6 +3,6 @@
 
 int main() {
   return rapt::bench::runFigureHistogram(
-      2, "Figure 5",
+      2, "Figure 5", "fig5_hist2c",
       "roughly 60% of loops at 0.00% degradation; embedded dominates copy-unit");
 }

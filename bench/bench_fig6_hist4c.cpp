@@ -3,5 +3,5 @@
 
 int main() {
   return rapt::bench::runFigureHistogram(
-      4, "Figure 6", "roughly 50% of loops at 0.00% degradation");
+      4, "Figure 6", "fig6_hist4c", "roughly 50% of loops at 0.00% degradation");
 }

@@ -3,5 +3,5 @@
 
 int main() {
   return rapt::bench::runFigureHistogram(
-      8, "Figure 7", "roughly 40% of loops at 0.00% degradation");
+      8, "Figure 7", "fig7_hist8c", "roughly 40% of loops at 0.00% degradation");
 }

@@ -1,15 +1,23 @@
 // Compiler-throughput microbenchmarks (google-benchmark): how fast the
 // library's passes run. Not a paper experiment — a regression guard for the
-// implementation itself.
+// implementation itself. Unless the caller passes --benchmark_out, results
+// are also written to BENCH_perf_micro.json (google-benchmark's own JSON
+// schema, not rapt-bench-v1 — see docs/metrics.md).
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "ddg/Ddg.h"
 #include "partition/CopyInserter.h"
 #include "partition/GreedyPartitioner.h"
 #include "partition/Rcg.h"
 #include "pipeline/CompilerPipeline.h"
+#include "pipeline/Suite.h"
 #include "sched/ModuloScheduler.h"
 #include "sched/PipelinedCode.h"
+#include "support/ThreadPool.h"
 #include "workload/LoopGenerator.h"
 
 using namespace rapt;
@@ -67,6 +75,47 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline)->Args({8, 0})->Args({8, 1})->Args({100, 0})->Args({100, 1});
 
+// The suite hot path itself: the 211-loop corpus on the 4-cluster embedded
+// machine, serial vs all hardware threads. The parallel/serial ratio here is
+// the speedup every table/figure bench sees.
+void BM_SuiteCorpus(benchmark::State& state) {
+  const std::vector<Loop> loops = generateCorpus(GeneratorParams{});
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runSuite(loops, m, opt));
+  }
+  state.SetLabel(std::to_string(loops.size()) + " loops, threads=" +
+                 (opt.threads == 0 ? std::to_string(ThreadPool::hardwareThreads()) + " (hw)"
+                                   : std::to_string(opt.threads)));
+}
+BENCHMARK(BM_SuiteCorpus)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default --benchmark_out so every bench binary leaves
+// a BENCH_*.json behind (ISSUE: machine-readable perf trajectory).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool hasOut = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) hasOut = true;
+  }
+  std::string outFlag = "--benchmark_out=BENCH_perf_micro.json";
+  std::string fmtFlag = "--benchmark_out_format=json";
+  if (const char* dir = std::getenv("RAPT_BENCH_DIR")) {
+    outFlag = "--benchmark_out=" + std::string(dir) + "/BENCH_perf_micro.json";
+  }
+  if (!hasOut) {
+    args.push_back(outFlag.data());
+    args.push_back(fmtFlag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,7 @@
 // all columns) and one for the clustered machines. Embedded-model IPC counts
 // the inserted copies as issued operations; copy-unit IPC does not (paper
 // §6.2). Every compiled loop is also simulated and checked bit-exact against
-// the sequential reference.
+// the sequential reference. Emits BENCH_table1_ipc.json (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -14,10 +14,13 @@ using namespace rapt::bench;
 int main() {
   const std::vector<Loop> loops = corpus();
   const PipelineOptions opt = benchOptions();
+  BenchReport report("table1_ipc");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
   // Ideal row: monolithic 16-wide.
   const SuiteResult ideal = runSuite(loops, MachineDesc::ideal16(), opt);
   printFailures(ideal, "ideal");
+  report.addSuiteCase("ideal", MachineDesc::ideal16(), ideal);
 
   double clusteredIpc[6];
   int validated = ideal.validatedCount;
@@ -26,6 +29,7 @@ int main() {
         MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
     const SuiteResult s = runSuite(loops, m, opt);
     printFailures(s, m.name.c_str());
+    report.addSuiteCase(m.name, m, s);
     clusteredIpc[i] = s.meanClusteredIpc;
     validated += s.validatedCount;
   }
@@ -42,5 +46,5 @@ int main() {
   std::printf("%s\n", t.render().c_str());
   std::printf("paper:  Ideal 8.6 everywhere; Clustered 9.3 / 6.2 / 8.4 / 7.5 / 6.9 / 6.8\n");
   std::printf("(%d loop compilations validated bit-exact in simulation)\n", validated);
-  return 0;
+  return report.write() ? 0 : 1;
 }

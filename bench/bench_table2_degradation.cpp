@@ -2,7 +2,8 @@
 //
 // Kernel size (== II) of each partitioned loop normalized to 100 for its
 // ideal schedule; arithmetic and harmonic means over the corpus for all six
-// cluster/copy-model combinations.
+// cluster/copy-model combinations. Emits BENCH_table2_degradation.json
+// (docs/metrics.md).
 #include "BenchCommon.h"
 #include "support/TextTable.h"
 
@@ -12,6 +13,8 @@ using namespace rapt::bench;
 int main() {
   const std::vector<Loop> loops = corpus();
   const PipelineOptions opt = benchOptions();
+  BenchReport report("table2_degradation");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
   double arith[6], harm[6];
   for (int i = 0; i < 6; ++i) {
@@ -19,6 +22,7 @@ int main() {
         MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
     const SuiteResult s = runSuite(loops, m, opt);
     printFailures(s, m.name.c_str());
+    report.addSuiteCase(m.name, m, s);
     arith[i] = s.arithMeanNormalized;
     harm[i] = s.harmMeanNormalized;
   }
@@ -35,5 +39,5 @@ int main() {
   std::printf("%s\n", t.render().c_str());
   std::printf("paper:  arithmetic 111 / 150 / 126 / 122 / 162 / 133\n");
   std::printf("        harmonic   109 / 127 / 119 / 115 / 138 / 124\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

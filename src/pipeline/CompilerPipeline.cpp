@@ -9,6 +9,7 @@
 #include "sched/LifetimeCompaction.h"
 #include "sched/PipelinedCode.h"
 #include "support/Assert.h"
+#include "support/StageTimer.h"
 #include "vliwsim/Equivalence.h"
 #include "vliwsim/VliwSimulator.h"
 
@@ -42,11 +43,13 @@ namespace {
 
 Partition choosePartition(const Loop& loop, const Ddg& ddg,
                           const ModuloSchedule& ideal, const MachineDesc& machine,
-                          const PipelineOptions& options) {
+                          const PipelineOptions& options, PipelineTrace& trace) {
   const int numBanks = machine.numClusters;
   switch (options.partitioner) {
     case PartitionerKind::GreedyRcg: {
+      StageTimer rcgTimer;
       const Rcg rcg = Rcg::build(loop, ddg, ideal, options.weights);
+      trace.rcgBuildNs += rcgTimer.elapsedNs();
       return greedyPartition(rcg, numBanks, options.weights);
     }
     case PartitionerKind::RoundRobin:
@@ -73,23 +76,30 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
   // periods, and the drain, so allocation sees every live-range phase.
   std::int64_t trip = std::max<std::int64_t>(options.simTrip, 4);
 
+  StageTimer emitTimer;
   PipelinedCode code = emitPipelinedCode(clustered.loop, cddg, sched, trip, machine.lat);
   trip = std::max<std::int64_t>(trip, sched.stageCount() - 1 + 2LL * code.maxUnroll);
   if (trip != code.trip)
     code = emitPipelinedCode(clustered.loop, cddg, sched, trip, machine.lat);
+  r.trace.emitNs += emitTimer.elapsedNs();
 
   r.stageCount = code.stageCount;
   r.maxUnroll = code.maxUnroll;
 
   BankAssignment alloc;
   if (options.allocateRegisters) {
+    ScopedStageTimer allocTimer(r.trace.regallocNs);
     alloc = assignBanks(code, clustered.partition, machine);
-    if (r.allocRetries == 0) r.spillsAtFirstTry = alloc.totalSpills;
+    if (r.allocRetries == 0) {
+      r.spillsAtFirstTry = alloc.totalSpills;
+      r.trace.spillRetries = alloc.totalSpills;
+    }
     if (!alloc.success) return false;
     r.allocOk = true;
   }
 
   if (options.simulate) {
+    ScopedStageTimer simTimer(r.trace.simulateNs);
     const SimResult sim =
         simulate(code, clustered.loop, machine, &clustered.partition);
     const EquivalenceReport eq = checkEquivalence(original, code, sim);
@@ -100,6 +110,7 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
     }
     r.validated = true;
     r.simulatedCycles = sim.totalCycles;
+    r.trace.simulatedCycles = sim.totalCycles;
 
     // Execute the PHYSICAL stream too: allocator bugs (overlapping values
     // sharing a register) only surface here.
@@ -120,10 +131,8 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
   return true;
 }
 
-}  // namespace
-
-LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
-                       const PipelineOptions& options) {
+LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
+                           const PipelineOptions& options) {
   LoopResult r;
   r.loopName = loop.name;
   r.numOps = loop.size();
@@ -134,11 +143,13 @@ LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
   }
 
   // ---- Step 2: ideal schedule on the monolithic counterpart. ----
+  StageTimer idealTimer;
   const MachineDesc ideal = idealCounterpart(machine);
   const Ddg ddg = Ddg::build(loop, machine.lat);
   const std::vector<OpConstraint> freeConstraints(loop.size());
   const ModuloSchedulerResult idealRes =
       moduloSchedule(ddg, ideal, freeConstraints, options.sched);
+  r.trace.idealScheduleNs += idealTimer.elapsedNs();
   r.idealResII = idealRes.resII;
   r.idealRecII = idealRes.recII;
   if (!idealRes.success) {
@@ -146,12 +157,14 @@ LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
     return r;
   }
   r.idealII = idealRes.schedule.ii;
+  r.trace.idealCycles = r.idealII;
 
   // ---- Step 3: partition registers to banks. ----
   // (On a monolithic machine every register lands in bank 0, no copies are
   // inserted, and the clustered schedule reproduces the ideal one.)
+  StageTimer partitionTimer;
   Partition partition =
-      choosePartition(loop, ddg, idealRes.schedule, machine, options);
+      choosePartition(loop, ddg, idealRes.schedule, machine, options, r.trace);
   if (options.refinePasses > 0 && !machine.isMonolithic()) {
     RefinementOptions ropts;
     ropts.maxPasses = options.refinePasses;
@@ -161,18 +174,26 @@ LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
     partition = std::move(refined.partition);
     r.refineMoves = refined.movesAccepted;
   }
+  r.trace.partitionNs += partitionTimer.elapsedNs() - r.trace.rcgBuildNs;
 
   // ---- Step 4: copies + cluster-constrained rescheduling. ----
+  StageTimer copyTimer;
   const ClusteredLoop clustered = insertCopies(loop, partition, machine);
+  r.trace.copyInsertNs += copyTimer.elapsedNs();
   r.bodyCopies = clustered.bodyCopies;
   r.preheaderCopies = clustered.preheaderCopies;
 
+  StageTimer rescheduleTimer;
   const Ddg cddg = Ddg::build(clustered.loop, machine.lat);
+  r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
   ModuloSchedulerOptions schedOpts = options.sched;
   for (int attempt = 0;; ++attempt) {
+    rescheduleTimer.restart();
+    ++r.trace.rescheduleAttempts;
     const ModuloSchedulerResult clusteredRes =
         moduloSchedule(cddg, machine, clustered.constraints, schedOpts);
     if (!clusteredRes.success) {
+      r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
       r.error = "clustered schedule not found within II limit";
       return r;
     }
@@ -182,10 +203,12 @@ LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
           compactLifetimes(cddg, machine, clustered.constraints, clusteredSched);
       r.compactionMoves = cs.movedOps;
     }
+    r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
     r.clusteredII = clusteredSched.ii;
 
     // ---- Step 5 (+ emission, simulation, validation). ----
     r.allocRetries = attempt;
+    r.trace.iiEscalations = attempt;
     if (finishSchedule(loop, clustered, cddg, clusteredSched, machine, options, r)) {
       break;
     }
@@ -197,6 +220,16 @@ LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
   }
 
   r.ok = r.error.empty();
+  return r;
+}
+
+}  // namespace
+
+LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
+                       const PipelineOptions& options) {
+  StageTimer total;
+  LoopResult r = compileLoopImpl(loop, machine, options);
+  r.trace.totalNs = total.elapsedNs();
   return r;
 }
 

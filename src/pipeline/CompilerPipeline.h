@@ -18,6 +18,7 @@
 #include "machine/MachineDesc.h"
 #include "partition/GreedyPartitioner.h"
 #include "partition/Rcg.h"
+#include "pipeline/PipelineTrace.h"
 #include "regalloc/BankAssigner.h"
 #include "sched/ModuloScheduler.h"
 
@@ -46,6 +47,10 @@ struct PipelineOptions {
   bool compactLifetimes = false;  ///< lifetime-sensitive post-pass on the
                                   ///< clustered schedule (the Swing-scheduling
                                   ///< contrast of §6.3; sched/LifetimeCompaction.h)
+  int threads = 1;                ///< runSuite worker threads: 0 = hardware
+                                  ///< concurrency, 1 = legacy serial path.
+                                  ///< Results are bit-identical either way;
+                                  ///< compileLoop itself is single-threaded.
   ModuloSchedulerOptions sched;
 };
 
@@ -75,6 +80,11 @@ struct LoopResult {
   bool validated = false;  ///< simulated and bit-equal to the reference
   bool validatedPhysical = false;  ///< register-allocated stream also simulated
   std::int64_t simulatedCycles = 0;
+
+  /// Per-stage wall times and counters (observability only: every field
+  /// except the *Ns times is deterministic; the times vary run to run and
+  /// never influence results).
+  PipelineTrace trace;
 
   /// Kernel-size degradation normalized to 100 (Table 2's metric).
   [[nodiscard]] double normalizedSize() const {

@@ -1,0 +1,55 @@
+// Per-stage observability for one compileLoop run (and, summed, for a whole
+// suite). Wall times come from support/StageTimer.h (steady_clock ns);
+// counters mirror the control flow of CompilerPipeline.cpp. Traces are pure
+// observation — two runs of the same loop produce identical *results* and
+// counters whatever the times say, which is what lets the parallel suite
+// runner stay bit-identical to the serial one.
+//
+// The JSON rendering of this struct (docs/metrics.md) is the unit every
+// BENCH_*.json aggregates, so field names here and keys there match 1:1.
+#pragma once
+
+#include <cstdint>
+
+namespace rapt {
+
+struct PipelineTrace {
+  // ---- wall time per stage, nanoseconds (accumulated across retries) ----
+  std::int64_t idealScheduleNs = 0;  ///< step 2: monolithic modulo schedule
+  std::int64_t rcgBuildNs = 0;       ///< step 3a: RCG construction (greedy only)
+  std::int64_t partitionNs = 0;      ///< step 3b: partitioner + refinement
+  std::int64_t copyInsertNs = 0;     ///< step 4a: cross-bank copy insertion
+  std::int64_t rescheduleNs = 0;     ///< step 4b: cluster-constrained scheduling
+  std::int64_t regallocNs = 0;       ///< step 5: per-bank Chaitin/Briggs
+  std::int64_t emitNs = 0;           ///< pipelined-code emission (MVE)
+  std::int64_t simulateNs = 0;       ///< simulation + equivalence checking
+  std::int64_t totalNs = 0;          ///< whole compileLoop call
+
+  // ---- counters ----
+  std::int64_t idealCycles = 0;         ///< ideal-schedule kernel cycles (II)
+  int rescheduleAttempts = 0;           ///< clustered schedule attempts
+  int iiEscalations = 0;                ///< II bumps after failed allocation
+  int spillRetries = 0;                 ///< spills seen at first allocation try
+  std::int64_t simulatedCycles = 0;     ///< cycles executed by the validator
+
+  /// Element-wise accumulation (suite aggregation).
+  PipelineTrace& operator+=(const PipelineTrace& o) {
+    idealScheduleNs += o.idealScheduleNs;
+    rcgBuildNs += o.rcgBuildNs;
+    partitionNs += o.partitionNs;
+    copyInsertNs += o.copyInsertNs;
+    rescheduleNs += o.rescheduleNs;
+    regallocNs += o.regallocNs;
+    emitNs += o.emitNs;
+    simulateNs += o.simulateNs;
+    totalNs += o.totalNs;
+    idealCycles += o.idealCycles;
+    rescheduleAttempts += o.rescheduleAttempts;
+    iiEscalations += o.iiEscalations;
+    spillRetries += o.spillRetries;
+    simulatedCycles += o.simulatedCycles;
+    return *this;
+  }
+};
+
+}  // namespace rapt

@@ -1,13 +1,33 @@
 #include "pipeline/Suite.h"
 
+#include <algorithm>
+
+#include "support/StageTimer.h"
+#include "support/ThreadPool.h"
+
 namespace rapt {
 
 SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
                      const PipelineOptions& options) {
+  StageTimer wall;
   SuiteResult out;
+  const int n = static_cast<int>(corpus.size());
+  out.loops.resize(corpus.size());
+
+  // Compile phase: loops land in their own slots, in any completion order.
+  int threads = options.threads == 0 ? ThreadPool::hardwareThreads() : options.threads;
+  threads = std::clamp(threads, 1, std::max(1, n));
+  out.threadsUsed = threads;
+  parallelFor(n, threads, [&](int i) {
+    out.loops[static_cast<std::size_t>(i)] =
+        compileLoop(corpus[static_cast<std::size_t>(i)], machine, options);
+  });
+
+  // Reduction phase: serial, in corpus order, over the completed vector.
+  // This is the only place failures/validatedCount/aggregates are touched, so
+  // they cannot race and cannot depend on thread scheduling.
   std::vector<double> idealIpc, clusteredIpc, normalized;
-  for (const Loop& loop : corpus) {
-    LoopResult r = compileLoop(loop, machine, options);
+  for (const LoopResult& r : out.loops) {
     if (r.ok) {
       idealIpc.push_back(r.idealIpc());
       clusteredIpc.push_back(r.clusteredIpc(machine));
@@ -18,7 +38,7 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
     } else {
       ++out.failures;
     }
-    out.loops.push_back(std::move(r));
+    out.trace += r.trace;
   }
   if (!normalized.empty()) {
     out.meanIdealIpc = arithmeticMean(idealIpc);
@@ -26,6 +46,7 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
     out.arithMeanNormalized = arithmeticMean(normalized);
     out.harmMeanNormalized = harmonicMean(normalized);
   }
+  out.suiteWallNs = wall.elapsedNs();
   return out;
 }
 

@@ -1,8 +1,19 @@
 // Batch compilation over a loop corpus with the aggregations the paper
 // reports: mean IPC (Table 1), arithmetic/harmonic mean normalized kernel
 // size (Table 2), and the degradation histogram (Figures 5-7).
+//
+// The runner is parallel: corpus loops are independent (each compileLoop call
+// owns all its state, including any seeded RNG), so they are farmed out to a
+// support/ThreadPool with results landing in a pre-sized vector by loop
+// index. Every aggregate — including `failures` and `validatedCount` — is
+// then computed in a serial post-pass over that vector in corpus order, so
+// the SuiteResult is bit-identical for any thread count (no atomics, no
+// reduction-order dependence; tests/pipeline/SuiteDeterminismTest.cpp holds
+// this invariant). Only the trace wall times and `suiteWallNs` vary between
+// runs; they are observability, never inputs.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,8 +34,17 @@ struct SuiteResult {
   DegradationHistogram histogram;    ///< Figures 5-7 buckets
   int totalBodyCopies = 0;
   int validatedCount = 0;
+
+  // Observability (docs/metrics.md): per-stage times/counters summed over
+  // all loops, suite wall time, and the worker count actually used.
+  PipelineTrace trace;
+  std::int64_t suiteWallNs = 0;
+  int threadsUsed = 1;
 };
 
+/// Compiles every loop of `corpus` for `machine`. `options.threads` picks the
+/// worker count (0 = hardware concurrency, 1 = serial on the calling thread);
+/// the result is bit-identical for every value.
 [[nodiscard]] SuiteResult runSuite(std::span<const Loop> corpus,
                                    const MachineDesc& machine,
                                    const PipelineOptions& options = {});

@@ -1,0 +1,157 @@
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  RAPT_ASSERT(kind_ == Kind::Object, "operator[] on non-object Json");
+  for (auto& [k, v] : objectItems_) {
+    if (k == key) return v;
+  }
+  objectItems_.emplace_back(key, Json());
+  return objectItems_.back().second;
+}
+
+Json& Json::push(Json v) {
+  RAPT_ASSERT(kind_ == Kind::Array, "push on non-array Json");
+  arrayItems_.push_back(std::move(v));
+  return arrayItems_.back();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void appendIndent(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::dumpTo(std::string& out, int indent) const {
+  char buf[64];
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Int:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    case Kind::Double:
+      if (std::isfinite(double_)) {
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        out += buf;
+        // %.17g of an integral double has no '.', 'e' or nan/inf marker;
+        // force a decimal point so the value stays a JSON double.
+        if (out.find_first_of(".eE", out.size() - std::strlen(buf)) == std::string::npos)
+          out += ".0";
+      } else {
+        out += "null";  // JSON has no NaN/Inf
+      }
+      break;
+    case Kind::String:
+      out += '"';
+      out += jsonEscape(string_);
+      out += '"';
+      break;
+    case Kind::Array: {
+      if (arrayItems_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arrayItems_.size(); ++i) {
+        appendIndent(out, indent + 1);
+        arrayItems_[i].dumpTo(out, indent + 1);
+        if (i + 1 < arrayItems_.size()) out += ',';
+        out += '\n';
+      }
+      appendIndent(out, indent);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      if (objectItems_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < objectItems_.size(); ++i) {
+        appendIndent(out, indent + 1);
+        out += '"';
+        out += jsonEscape(objectItems_[i].first);
+        out += "\": ";
+        objectItems_[i].second.dumpTo(out, indent + 1);
+        if (i + 1 < objectItems_.size()) out += ',';
+        out += '\n';
+      }
+      appendIndent(out, indent);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out, 0);
+  out += '\n';
+  return out;
+}
+
+bool Json::writeFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "Json::writeFile: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "Json::writeFile: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace rapt

@@ -1,0 +1,65 @@
+// A minimal JSON document builder for the bench observability output
+// (BENCH_<name>.json; schema in docs/metrics.md).
+//
+// Writing only — the repo never parses JSON. Numbers are emitted with enough
+// precision to round-trip doubles bit-exactly (printf %.17g), so a JSON file
+// regenerated from an identical run diffs clean.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rapt {
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+/// Object keys keep insertion order (the emitted file reads like the schema).
+class Json {
+ public:
+  Json() : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}                   // NOLINT(google-explicit-constructor)
+  Json(int i) : kind_(Kind::Int), int_(i) {}                      // NOLINT(google-explicit-constructor)
+  Json(std::int64_t i) : kind_(Kind::Int), int_(i) {}             // NOLINT(google-explicit-constructor)
+  Json(double d) : kind_(Kind::Double), double_(d) {}             // NOLINT(google-explicit-constructor)
+  Json(const char* s) : kind_(Kind::String), string_(s) {}        // NOLINT(google-explicit-constructor)
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  /// Object access; creates the key on first use (insertion order preserved).
+  Json& operator[](const std::string& key);
+
+  /// Array append.
+  Json& push(Json v);
+
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+
+  /// Serializes with 2-space indentation and a trailing newline at top level.
+  [[nodiscard]] std::string dump() const;
+
+  /// Writes `dump()` to `path`. Returns false (and prints to stderr) on I/O
+  /// failure.
+  bool writeFile(const std::string& path) const;
+
+ private:
+  enum class Kind : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  void dumpTo(std::string& out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> arrayItems_;
+  std::vector<std::pair<std::string, Json>> objectItems_;
+};
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+}  // namespace rapt

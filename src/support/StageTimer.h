@@ -1,0 +1,47 @@
+// Monotonic wall-clock timing for the pipeline observability layer.
+//
+// All durations in rapt are integer nanoseconds from std::chrono::steady_clock
+// so traces are additive and safe to sum across threads and loops. Timing is
+// observability only — it must never feed back into compilation decisions,
+// or suite results would stop being deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rapt {
+
+/// Started at construction; `elapsedNs` reads without stopping.
+class StageTimer {
+ public:
+  StageTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] std::int64_t elapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Adds the scope's duration to `slot` on destruction. Accumulates (+=), so
+/// one slot can cover a stage that runs several times (e.g. reschedule
+/// attempts during II escalation).
+class ScopedStageTimer {
+ public:
+  explicit ScopedStageTimer(std::int64_t& slot) : slot_(slot) {}
+  ~ScopedStageTimer() { slot_ += timer_.elapsedNs(); }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  std::int64_t& slot_;
+  StageTimer timer_;
+};
+
+}  // namespace rapt

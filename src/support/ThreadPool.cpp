@@ -1,0 +1,97 @@
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+ThreadPool::ThreadPool(int threads) {
+  RAPT_ASSERT(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(Task{std::move(task), nextSerial_++});
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+  if (firstError_) {
+    std::exception_ptr err = std::exchange(firstError_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+int ThreadPool::hardwareThreads() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      taskReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      task.fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (err && (!firstError_ || task.serial < firstErrorSerial_)) {
+        firstError_ = err;
+        firstErrorSerial_ = task.serial;
+      }
+      if (--inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+void parallelFor(int n, int threads, const std::function<void(int)>& fn) {
+  if (threads == 0) threads = ThreadPool::hardwareThreads();
+  if (threads <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, n));
+  // One task per worker, each claiming indices dynamically: cheaper than one
+  // task per index when n is large, and loop compile times vary enough that
+  // static slicing would leave workers idle.
+  auto next = std::make_shared<std::atomic<int>>(0);
+  for (int w = 0; w < pool.threadCount(); ++w) {
+    pool.submit([n, next, &fn] {
+      for (int i = (*next)++; i < n; i = (*next)++) fn(i);
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace rapt

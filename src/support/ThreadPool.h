@@ -1,0 +1,75 @@
+// A small fixed-size thread pool for embarrassingly parallel suite work.
+//
+// Deliberately minimal — no work stealing, no futures, no task graph. The
+// suite runner's unit of work is "compile corpus loop i into slot i of a
+// pre-sized vector", so all the pool needs is FIFO task dispatch, a barrier
+// (`wait`), and faithful exception propagation. Determinism is the caller's
+// job: tasks must write only to their own slots, and any aggregation happens
+// in a serial post-pass (see pipeline/Suite.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rapt {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (must be >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers. Pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks start in FIFO order (completion order is up to
+  /// the scheduler). Must not be called concurrently with `wait`.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first exception captured (in task *submission* order) is rethrown here
+  /// and the rest are dropped; the pool remains usable afterwards.
+  void wait();
+
+  [[nodiscard]] int threadCount() const { return static_cast<int>(workers_.size()); }
+
+  /// `std::thread::hardware_concurrency()` with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  [[nodiscard]] static int hardwareThreads();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::size_t serial;  ///< submission index, for first-exception selection
+  };
+
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t nextSerial_ = 0;
+  std::size_t inFlight_ = 0;  ///< queued + currently running
+  bool stopping_ = false;
+  std::exception_ptr firstError_;
+  std::size_t firstErrorSerial_ = 0;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on `threads` threads (0 = hardware
+/// concurrency, 1 = plain serial loop on the calling thread — no pool is
+/// created). Work is claimed dynamically, so `fn` must be safe to run
+/// concurrently for distinct i and must not care about execution order.
+/// Exceptions propagate as in ThreadPool::wait.
+void parallelFor(int n, int threads, const std::function<void(int)>& fn);
+
+}  // namespace rapt

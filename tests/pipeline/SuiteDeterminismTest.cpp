@@ -1,0 +1,167 @@
+// The parallel suite runner's core invariant (Suite.h): runSuite produces a
+// bit-identical SuiteResult for every thread count. Aggregates are compared
+// with exact floating-point equality — the reduction is a serial post-pass in
+// corpus order, so there is no summation-order wiggle room to tolerate. Only
+// the trace wall times and suiteWallNs are exempt (documented observability;
+// they never feed back into results).
+#include "pipeline/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+void expectLoopResultsIdentical(const LoopResult& a, const LoopResult& b) {
+  EXPECT_EQ(a.loopName, b.loopName);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.numOps, b.numOps);
+  EXPECT_EQ(a.idealII, b.idealII);
+  EXPECT_EQ(a.idealRecII, b.idealRecII);
+  EXPECT_EQ(a.idealResII, b.idealResII);
+  EXPECT_EQ(a.clusteredII, b.clusteredII);
+  EXPECT_EQ(a.bodyCopies, b.bodyCopies);
+  EXPECT_EQ(a.preheaderCopies, b.preheaderCopies);
+  EXPECT_EQ(a.stageCount, b.stageCount);
+  EXPECT_EQ(a.maxUnroll, b.maxUnroll);
+  EXPECT_EQ(a.allocOk, b.allocOk);
+  EXPECT_EQ(a.allocRetries, b.allocRetries);
+  EXPECT_EQ(a.spillsAtFirstTry, b.spillsAtFirstTry);
+  EXPECT_EQ(a.refineMoves, b.refineMoves);
+  EXPECT_EQ(a.compactionMoves, b.compactionMoves);
+  EXPECT_EQ(a.validated, b.validated);
+  EXPECT_EQ(a.validatedPhysical, b.validatedPhysical);
+  EXPECT_EQ(a.simulatedCycles, b.simulatedCycles);
+  // Trace counters are results too; only the *Ns wall times may differ.
+  EXPECT_EQ(a.trace.idealCycles, b.trace.idealCycles);
+  EXPECT_EQ(a.trace.rescheduleAttempts, b.trace.rescheduleAttempts);
+  EXPECT_EQ(a.trace.iiEscalations, b.trace.iiEscalations);
+  EXPECT_EQ(a.trace.spillRetries, b.trace.spillRetries);
+  EXPECT_EQ(a.trace.simulatedCycles, b.trace.simulatedCycles);
+}
+
+void expectSuiteResultsIdentical(const SuiteResult& a, const SuiteResult& b) {
+  ASSERT_EQ(a.loops.size(), b.loops.size());
+  for (std::size_t i = 0; i < a.loops.size(); ++i) {
+    SCOPED_TRACE("loop " + a.loops[i].loopName);
+    expectLoopResultsIdentical(a.loops[i], b.loops[i]);
+  }
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.validatedCount, b.validatedCount);
+  EXPECT_EQ(a.totalBodyCopies, b.totalBodyCopies);
+  // Bit-identical doubles, not near-equal: the deterministic post-pass adds
+  // the same numbers in the same order whatever the thread count.
+  EXPECT_EQ(a.meanIdealIpc, b.meanIdealIpc);
+  EXPECT_EQ(a.meanClusteredIpc, b.meanClusteredIpc);
+  EXPECT_EQ(a.arithMeanNormalized, b.arithMeanNormalized);
+  EXPECT_EQ(a.harmMeanNormalized, b.harmMeanNormalized);
+  for (int bkt = 0; bkt < DegradationHistogram::kNumBuckets; ++bkt) {
+    EXPECT_EQ(a.histogram.count(bkt), b.histogram.count(bkt)) << "bucket " << bkt;
+  }
+}
+
+SuiteResult runWithThreads(const std::vector<Loop>& loops, const MachineDesc& m,
+                           PipelineOptions opt, int threads) {
+  opt.threads = threads;
+  return runSuite(loops, m, opt);
+}
+
+TEST(SuiteDeterminism, FullCorpusIdenticalForOneTwoAndEightThreads) {
+  // The acceptance case: the full 211-loop corpus, threads in {1, 2, 8}.
+  const std::vector<Loop> loops = generateCorpus(GeneratorParams{});
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;  // simulation determinism is covered below on a slice
+
+  const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+  EXPECT_EQ(serial.threadsUsed, 1);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SuiteResult parallel = runWithThreads(loops, m, opt, threads);
+    EXPECT_EQ(parallel.threadsUsed, std::min(threads, static_cast<int>(loops.size())));
+    expectSuiteResultsIdentical(serial, parallel);
+  }
+}
+
+TEST(SuiteDeterminism, SimulatedAndValidatedSliceIdentical) {
+  // With simulation + bit-exact validation on, on both copy models.
+  GeneratorParams params;
+  params.count = 24;
+  const std::vector<Loop> loops = generateCorpus(params);
+  PipelineOptions opt;  // simulate defaults to true
+  for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+    const MachineDesc m = MachineDesc::paper16(2, model);
+    SCOPED_TRACE(m.name);
+    const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+    const SuiteResult parallel = runWithThreads(loops, m, opt, 8);
+    EXPECT_GT(serial.validatedCount, 0);
+    expectSuiteResultsIdentical(serial, parallel);
+  }
+}
+
+TEST(SuiteDeterminism, SeededRandomPartitionerIdentical) {
+  // Each compileLoop call owns its RNG (seeded from options.randomSeed), so
+  // even the stochastic baseline partitioner is thread-count independent.
+  GeneratorParams params;
+  params.count = 32;
+  const std::vector<Loop> loops = generateCorpus(params);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.partitioner = PartitionerKind::Random;
+  opt.randomSeed = 0xfeedface;
+  const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+  const SuiteResult parallel = runWithThreads(loops, m, opt, 8);
+  expectSuiteResultsIdentical(serial, parallel);
+}
+
+TEST(SuiteDeterminism, ThreadsZeroUsesHardwareConcurrencyAndMatchesSerial) {
+  GeneratorParams params;
+  params.count = 16;
+  const std::vector<Loop> loops = generateCorpus(params);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+  const SuiteResult hw = runWithThreads(loops, m, opt, 0);
+  EXPECT_GE(hw.threadsUsed, 1);
+  expectSuiteResultsIdentical(serial, hw);
+}
+
+TEST(SuiteDeterminism, EmptyCorpus) {
+  const std::vector<Loop> loops;
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.threads = 8;
+  const SuiteResult s = runSuite(loops, m, opt);
+  EXPECT_TRUE(s.loops.empty());
+  EXPECT_EQ(s.failures, 0);
+  EXPECT_EQ(s.arithMeanNormalized, 0.0);
+}
+
+TEST(SuiteDeterminism, FailureReportingIsOrderStable) {
+  // Failures must surface at their corpus index with their own error text,
+  // not in completion order (the ISSUE's race-free accumulation bugfix).
+  GeneratorParams params;
+  params.count = 12;
+  std::vector<Loop> loops = generateCorpus(params);
+  // Sabotage two loops so they fail validation deterministically (invalid
+  // opcode is the first check in validate()).
+  loops[3].body[0].op = Opcode::kCount_;
+  loops[9].body[0].op = Opcode::kCount_;
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+  const SuiteResult parallel = runWithThreads(loops, m, opt, 8);
+  EXPECT_EQ(serial.failures, 2);
+  EXPECT_EQ(parallel.failures, 2);
+  EXPECT_FALSE(parallel.loops[3].ok);
+  EXPECT_FALSE(parallel.loops[9].ok);
+  expectSuiteResultsIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,76 @@
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace rapt {
+namespace {
+
+TEST(Json, ScalarsRender) {
+  EXPECT_EQ(Json(true).dump(), "true\n");
+  EXPECT_EQ(Json(42).dump(), "42\n");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7\n");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"\n");
+  EXPECT_EQ(Json().dump(), "null\n");
+}
+
+TEST(Json, DoublesKeepADecimalPointAndRoundTrip) {
+  // Integral doubles must stay doubles in the file (schema stability).
+  EXPECT_EQ(Json(100.0).dump(), "100.0\n");
+  // %.17g is enough digits to reproduce the exact bit pattern.
+  const double v = 121.39868077059668;
+  const std::string text = Json(v).dump();
+  EXPECT_EQ(std::stod(text), v);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null\n");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null\n");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json j = Json::object();
+  j["zulu"] = 1;
+  j["alpha"] = 2;
+  j["mike"] = Json::array();
+  j["mike"].push(3);
+  j["mike"].push(4);
+  const std::string text = j.dump();
+  EXPECT_LT(text.find("zulu"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mike"));
+}
+
+TEST(Json, NestedDocumentRenders) {
+  Json doc = Json::object();
+  doc["schema"] = "rapt-bench-v1";
+  doc["cases"] = Json::array();
+  Json c = Json::object();
+  c["label"] = "2-cluster-embedded";
+  c["mean"] = 121.5;
+  doc["cases"].push(std::move(c));
+  EXPECT_EQ(doc.dump(),
+            "{\n"
+            "  \"schema\": \"rapt-bench-v1\",\n"
+            "  \"cases\": [\n"
+            "    {\n"
+            "      \"label\": \"2-cluster-embedded\",\n"
+            "      \"mean\": 121.5\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Json, EmptyContainersRenderCompact) {
+  EXPECT_EQ(Json::object().dump(), "{}\n");
+  EXPECT_EQ(Json::array().dump(), "[]\n");
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,120 @@
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rapt {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, TasksLandInTheirOwnSlots) {
+  // The suite runner's contract: task i writes only slot i, so completion
+  // order never matters.
+  ThreadPool pool(8);
+  std::vector<int> slots(500, -1);
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&slots, i] { slots[static_cast<std::size_t>(i)] = i * 3; });
+  }
+  pool.wait();
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(slots[static_cast<std::size_t>(i)], i * 3);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+  pool.submit([&ran] { ++ran; });
+  pool.submit([&ran] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, PropagatesExceptionFromTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran, i] {
+      ++ran;
+      if (i == 5) throw std::runtime_error("task 5 failed");
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed; the pool stays usable.
+  pool.submit([&ran] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPool, FirstExceptionInSubmissionOrderWins) {
+  // With one worker, execution order == submission order, so the selection
+  // rule is observable deterministically.
+  ThreadPool pool(1);
+  pool.submit([] { throw std::logic_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() should have rethrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(137);
+    parallelFor(137, threads, [&hits](int i) { ++hits[static_cast<std::size_t>(i)]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, SerialPathPreservesOrder) {
+  // threads=1 is the legacy serial path: strict index order on the caller's
+  // thread, no pool.
+  std::vector<int> order;
+  parallelFor(10, 1, [&order](int i) { order.push_back(i); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  parallelFor(0, 4, [](int) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallelFor(50, 4,
+                  [](int i) {
+                    if (i == 17) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rapt
