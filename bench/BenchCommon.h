@@ -85,6 +85,7 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   j["rescheduleNs"] = t.rescheduleNs;
   j["regallocNs"] = t.regallocNs;
   j["emitNs"] = t.emitNs;
+  j["verifyNs"] = t.verifyNs;
   j["simulateNs"] = t.simulateNs;
   j["totalNs"] = t.totalNs;
   return j;
@@ -97,6 +98,8 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   j["iiEscalations"] = t.iiEscalations;
   j["spillRetries"] = t.spillRetries;
   j["simulatedCycles"] = t.simulatedCycles;
+  j["verifiedOps"] = t.verifiedOps;
+  j["verifyViolations"] = t.verifyViolations;
   return j;
 }
 

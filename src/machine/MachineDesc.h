@@ -79,6 +79,11 @@ struct MachineDesc {
   LatencyTable lat;
 
   [[nodiscard]] int width() const { return numClusters * fusPerCluster; }
+  /// Register banks. Bank b is owned by cluster b: the paper's machines have
+  /// exactly one bank per cluster, but resource accounting indexed by BANK
+  /// (copy ports) must use this, not numClusters, so the distinction stays
+  /// explicit if the two ever diverge.
+  [[nodiscard]] int numBanks() const { return numClusters; }
   [[nodiscard]] int clusterOfFu(int fu) const {
     RAPT_ASSERT(fu >= 0 && fu < width(), "FU index out of range");
     return fu / fusPerCluster;

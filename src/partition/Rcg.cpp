@@ -49,16 +49,17 @@ void Rcg::accumulate(VirtReg a, VirtReg b, double w) {
   ensureNode(a);
   ensureNode(b);
   edges_[pairKey(a, b)] += w;
+  adjDirty_ = true;
 }
 
 void Rcg::addExtraEdge(VirtReg a, VirtReg b, double weight) {
   accumulate(a, b, weight);
   bumpNode(a, std::abs(weight));
   bumpNode(b, std::abs(weight));
-  rebuildAdjacency();
 }
 
-void Rcg::rebuildAdjacency() {
+void Rcg::rebuildAdjacency() const {
+  adjDirty_ = false;
   adj_.clear();
   for (const auto& [key, w] : edges_) {
     const VirtReg a = VirtReg::fromKey(static_cast<std::uint32_t>(key >> 32));
@@ -85,6 +86,7 @@ double Rcg::edgeWeight(VirtReg a, VirtReg b) const {
 
 const std::vector<std::pair<VirtReg, double>>& Rcg::neighbors(VirtReg r) const {
   static const std::vector<std::pair<VirtReg, double>> kEmpty;
+  if (adjDirty_) rebuildAdjacency();
   auto it = adj_.find(r.key());
   return it == adj_.end() ? kEmpty : it->second;
 }

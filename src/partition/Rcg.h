@@ -64,6 +64,8 @@ class Rcg {
   void addBlockContribution(std::span<const Operation> ops, std::span<const int> cycle,
                             std::span<const int> flexibility, int nestingDepth,
                             double density, const RcgWeights& w);
+  /// Kept for API symmetry: adjacency is rebuilt lazily on the first
+  /// neighbors() query after any mutation, so calling this is optional.
   void finalizeAdjacency() { rebuildAdjacency(); }
 
   [[nodiscard]] const std::vector<VirtReg>& nodes() const { return nodes_; }
@@ -94,14 +96,19 @@ class Rcg {
   void ensureNode(VirtReg r);
   void accumulate(VirtReg a, VirtReg b, double w);
   void bumpNode(VirtReg r, double w);
-  void rebuildAdjacency();
+  void rebuildAdjacency() const;
 
   static std::uint64_t pairKey(VirtReg a, VirtReg b);
 
   std::vector<VirtReg> nodes_;
   std::unordered_map<std::uint32_t, double> nodeWeight_;
   std::unordered_map<std::uint64_t, double> edges_;
-  std::unordered_map<std::uint32_t, std::vector<std::pair<VirtReg, double>>> adj_;
+  // Derived adjacency cache: invalidated (not rebuilt) on every edge
+  // mutation, rebuilt lazily on the first neighbors() query. addExtraEdge
+  // callers inserting many extension edges therefore pay O(E) once, not per
+  // insertion.
+  mutable std::unordered_map<std::uint32_t, std::vector<std::pair<VirtReg, double>>> adj_;
+  mutable bool adjDirty_ = false;
 };
 
 }  // namespace rapt

@@ -10,6 +10,8 @@
 #include "sched/PipelinedCode.h"
 #include "support/Assert.h"
 #include "support/StageTimer.h"
+#include "verify/PartitionVerifier.h"
+#include "verify/ScheduleVerifier.h"
 #include "vliwsim/Equivalence.h"
 #include "vliwsim/VliwSimulator.h"
 
@@ -86,6 +88,24 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
   r.stageCount = code.stageCount;
   r.maxUnroll = code.maxUnroll;
 
+  // Independent oracles (docs/verification.md): re-check the clustered
+  // schedule, the emitted stream, and operand bank residence from first
+  // principles. They share no state with the scheduler/emitter they audit.
+  if (options.verify) {
+    ScopedStageTimer verifyTimer(r.trace.verifyNs);
+    VerifyReport rep = verifySchedule(cddg, machine, clustered.constraints, sched);
+    rep.merge(verifyStream(code, cddg, machine, clustered.constraints));
+    rep.merge(verifyPartition(code, clustered.partition, machine));
+    for (const VliwInstr& in : code.instrs)
+      r.trace.verifiedOps += static_cast<std::int64_t>(in.ops.size());
+    if (!rep.ok()) {
+      r.trace.verifyViolations += static_cast<int>(rep.violations.size());
+      r.ok = false;
+      r.error = "verification failed: " + rep.first();
+      return true;  // a legality bug, not an allocation problem; do not retry
+    }
+  }
+
   BankAssignment alloc;
   if (options.allocateRegisters) {
     ScopedStageTimer allocTimer(r.trace.regallocNs);
@@ -158,6 +178,16 @@ LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
   }
   r.idealII = idealRes.schedule.ii;
   r.trace.idealCycles = r.idealII;
+  if (options.verify) {
+    ScopedStageTimer verifyTimer(r.trace.verifyNs);
+    const VerifyReport rep =
+        verifySchedule(ddg, ideal, freeConstraints, idealRes.schedule);
+    if (!rep.ok()) {
+      r.trace.verifyViolations += static_cast<int>(rep.violations.size());
+      r.error = "ideal schedule verification failed: " + rep.first();
+      return r;
+    }
+  }
 
   // ---- Step 3: partition registers to banks. ----
   // (On a monolithic machine every register lands in bank 0, no copies are

@@ -40,6 +40,9 @@ struct PipelineOptions {
   std::uint64_t randomSeed = 1;   ///< for PartitionerKind::Random
   std::int64_t simTrip = 64;      ///< iterations simulated/validated
   bool simulate = true;           ///< run simulator + equivalence check
+  bool verify = true;             ///< run the independent schedule/partition
+                                  ///< oracles on every schedule and emitted
+                                  ///< stream (src/verify, docs/verification.md)
   bool allocateRegisters = true;  ///< run per-bank Chaitin/Briggs
   int maxAllocRetries = 8;        ///< II bumps after failed allocation
   int refinePasses = 0;           ///< iterative partition refinement (§7

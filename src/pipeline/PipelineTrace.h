@@ -22,6 +22,7 @@ struct PipelineTrace {
   std::int64_t rescheduleNs = 0;     ///< step 4b: cluster-constrained scheduling
   std::int64_t regallocNs = 0;       ///< step 5: per-bank Chaitin/Briggs
   std::int64_t emitNs = 0;           ///< pipelined-code emission (MVE)
+  std::int64_t verifyNs = 0;         ///< independent schedule/partition oracles
   std::int64_t simulateNs = 0;       ///< simulation + equivalence checking
   std::int64_t totalNs = 0;          ///< whole compileLoop call
 
@@ -31,6 +32,8 @@ struct PipelineTrace {
   int iiEscalations = 0;                ///< II bumps after failed allocation
   int spillRetries = 0;                 ///< spills seen at first allocation try
   std::int64_t simulatedCycles = 0;     ///< cycles executed by the validator
+  std::int64_t verifiedOps = 0;         ///< emitted ops checked by the oracles
+  int verifyViolations = 0;             ///< violations found (0 on a healthy run)
 
   /// Element-wise accumulation (suite aggregation).
   PipelineTrace& operator+=(const PipelineTrace& o) {
@@ -41,6 +44,7 @@ struct PipelineTrace {
     rescheduleNs += o.rescheduleNs;
     regallocNs += o.regallocNs;
     emitNs += o.emitNs;
+    verifyNs += o.verifyNs;
     simulateNs += o.simulateNs;
     totalNs += o.totalNs;
     idealCycles += o.idealCycles;
@@ -48,6 +52,8 @@ struct PipelineTrace {
     iiEscalations += o.iiEscalations;
     spillRetries += o.spillRetries;
     simulatedCycles += o.simulatedCycles;
+    verifiedOps += o.verifiedOps;
+    verifyViolations += o.verifyViolations;
     return *this;
   }
 };

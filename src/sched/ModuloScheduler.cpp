@@ -9,11 +9,17 @@ namespace rapt {
 
 int constrainedResII(const MachineDesc& machine,
                      std::span<const OpConstraint> constraints) {
+  // FU pressure is per CLUSTER; copy-port pressure is per BANK. The paper's
+  // machines pair them 1:1 but the two index spaces are distinct (see
+  // MachineDesc::numBanks), so they are counted and bounded separately.
   std::vector<int> fuCount(machine.numClusters, 0);
   int busCount = 0;
-  std::vector<int> portCount(machine.numClusters, 0);
+  std::vector<int> portCount(machine.numBanks(), 0);
   for (const OpConstraint& c : constraints) {
     if (c.usesCopyUnit) {
+      RAPT_ASSERT(c.srcBank >= 0 && c.srcBank < machine.numBanks() &&
+                      c.dstBank >= 0 && c.dstBank < machine.numBanks(),
+                  "copy-unit copy references bank out of range");
       ++busCount;
       ++portCount[c.srcBank];
       ++portCount[c.dstBank];
@@ -24,11 +30,13 @@ int constrainedResII(const MachineDesc& machine,
   int ii = 1;
   for (int cl = 0; cl < machine.numClusters; ++cl) {
     ii = std::max(ii, (fuCount[cl] + machine.fusPerCluster - 1) / machine.fusPerCluster);
+  }
+  for (int bank = 0; bank < machine.numBanks(); ++bank) {
     if (machine.copyPortsPerBank > 0) {
-      ii = std::max(ii, (portCount[cl] + machine.copyPortsPerBank - 1) /
+      ii = std::max(ii, (portCount[bank] + machine.copyPortsPerBank - 1) /
                             machine.copyPortsPerBank);
     } else {
-      RAPT_ASSERT(portCount[cl] == 0, "copy-unit copy on machine without ports");
+      RAPT_ASSERT(portCount[bank] == 0, "copy-unit copy on machine without ports");
     }
   }
   if (busCount > 0) {
@@ -67,7 +75,7 @@ class AttemptState {
                                    });
       const int op = *best;
       worklist.erase(best);
-      scheduleOp(op, worklist);
+      if (!scheduleOp(op, worklist)) return false;
     }
     return true;
   }
@@ -75,13 +83,18 @@ class AttemptState {
   [[nodiscard]] const std::vector<int>& times() const { return time_; }
 
  private:
-  void scheduleOp(int op, std::vector<int>& worklist) {
+  /// Returns false when `op` cannot be placed even after eviction — e.g. a
+  /// constraint no cycle can satisfy (a rejected same-bank copy-unit copy) or
+  /// an eviction that cannot free shared bus/port resources. The caller turns
+  /// that into a clean attempt failure (the scheduler bumps II) instead of
+  /// aborting the process.
+  [[nodiscard]] bool scheduleOp(int op, std::vector<int>& worklist) {
     const int estart = earliestStart(op);
     // Try the II-wide window of candidate issue cycles.
     for (int t = estart; t < estart + ii_; ++t) {
       if (mrt_.canPlace(constraints_[op], t)) {
         placeAt(op, t, worklist);
-        return;
+        return true;
       }
     }
     // Forced placement (Rau): pick a cycle that guarantees forward progress,
@@ -89,8 +102,9 @@ class AttemptState {
     int t = estart;
     if (lastTried_[op] >= 0 && t <= lastTried_[op]) t = lastTried_[op] + 1;
     for (int victim : mrt_.conflictingOps(op, constraints_[op], t)) unschedule(victim, worklist);
-    RAPT_ASSERT(mrt_.canPlace(constraints_[op], t), "eviction did not free resources");
+    if (!mrt_.canPlace(constraints_[op], t)) return false;
     placeAt(op, t, worklist);
+    return true;
   }
 
   void placeAt(int op, int t, std::vector<int>& worklist) {

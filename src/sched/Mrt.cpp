@@ -5,11 +5,14 @@
 namespace rapt {
 
 Mrt::Mrt(const MachineDesc& machine, int ii, int numOps)
-    : machine_(machine), ii_(ii), numClusters_(machine.numClusters) {
+    : machine_(machine),
+      ii_(ii),
+      numClusters_(machine.numClusters),
+      numBanks_(machine.numBanks()) {
   RAPT_ASSERT(ii > 0, "MRT needs positive II");
   fuUse_.resize(static_cast<std::size_t>(ii) * numClusters_);
   busUse_.resize(ii);
-  portUse_.resize(static_cast<std::size_t>(ii) * numClusters_);
+  portUse_.resize(static_cast<std::size_t>(ii) * numBanks_);
   placements_.resize(numOps);
 }
 
@@ -29,6 +32,12 @@ bool Mrt::canPlace(const OpConstraint& c, int cycle) const {
   if (c.usesCopyUnit) {
     RAPT_ASSERT(machine_.copyModel == CopyModel::CopyUnit,
                 "copy-unit placement on a machine without copy units");
+    // Same-bank copy-unit copies are REJECTED, never placed: they would have
+    // to charge two ports of one bank against a single canPlace test, letting
+    // place() overshoot the port limit. CopyInserter only creates cross-bank
+    // copies, so a same-bank constraint is unplaceable and the scheduler
+    // fails cleanly (docs/verification.md "Same-bank copies").
+    if (c.srcBank == c.dstBank) return false;
     if (static_cast<int>(busUse_[slot].size()) >= machine_.busCount) return false;
     if (static_cast<int>(portCell(slot, c.srcBank).size()) >= machine_.copyPortsPerBank)
       return false;

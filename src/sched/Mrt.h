@@ -51,10 +51,12 @@ class Mrt {
     return fuUse_[slot * numClusters_ + cluster];
   }
   [[nodiscard]] const Cell& portCell(int slot, int bank) const {
-    return portUse_[slot * numClusters_ + bank];
+    RAPT_ASSERT(bank >= 0 && bank < numBanks_, "bank out of range");
+    return portUse_[slot * numBanks_ + bank];
   }
   [[nodiscard]] Cell& portCell(int slot, int bank) {
-    return portUse_[slot * numClusters_ + bank];
+    RAPT_ASSERT(bank >= 0 && bank < numBanks_, "bank out of range");
+    return portUse_[slot * numBanks_ + bank];
   }
 
   /// The cluster an unconstrained op issues in: only legal on a monolithic
@@ -64,6 +66,7 @@ class Mrt {
   const MachineDesc& machine_;
   int ii_;
   int numClusters_;
+  int numBanks_;
   std::vector<Cell> fuUse_;    ///< [slot][cluster]
   std::vector<Cell> busUse_;   ///< [slot]
   std::vector<Cell> portUse_;  ///< [slot][bank]

@@ -1,5 +1,7 @@
 #include "support/Json.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -142,16 +144,31 @@ std::string Json::dump() const {
 }
 
 bool Json::writeFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Atomic publish: write the full document to a temp file in the same
+  // directory, then rename over the target. A parallel or interrupted run can
+  // never leave a truncated JSON behind for CI or docs tooling to read — the
+  // target either keeps its old contents or gets the complete new ones.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) {
-    std::fprintf(stderr, "Json::writeFile: cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "Json::writeFile: cannot open %s\n", tmp.c_str());
     return false;
   }
   const std::string text = dump();
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  if (!ok) std::fprintf(stderr, "Json::writeFile: short write to %s\n", path.c_str());
-  return ok;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "Json::writeFile: short write to %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "Json::writeFile: cannot rename %s to %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace rapt

@@ -1,0 +1,85 @@
+#include "verify/PartitionVerifier.h"
+
+#include "ir/Printer.h"
+
+namespace rapt {
+namespace {
+
+/// Bank of the original register behind `name`, or -1 with a violation when
+/// the partition does not cover it.
+int bankOf(const PipelinedCode& code, const Partition& partition, VirtReg name,
+           const std::string& where, VerifyReport& rep) {
+  const VirtReg orig = code.originalOf(name);
+  if (!partition.isAssigned(orig)) {
+    rep.add(where + ": register " + regName(name) + " (value " + regName(orig) +
+            ") has no bank assignment");
+    return -1;
+  }
+  return partition.bankOf(orig);
+}
+
+}  // namespace
+
+VerifyReport verifyPartition(const PipelinedCode& code, const Partition& partition,
+                             const MachineDesc& machine) {
+  VerifyReport rep;
+  if (partition.numBanks() != machine.numBanks()) {
+    rep.add("partition has " + std::to_string(partition.numBanks()) +
+            " banks, machine has " + std::to_string(machine.numBanks()));
+    return rep;
+  }
+
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(code.instrs.size()); ++c) {
+    for (const EmittedOp& eo : code.instrs[static_cast<std::size_t>(c)].ops) {
+      const std::string where = "cycle " + std::to_string(c) + ", op " +
+                                std::to_string(eo.bodyIndex) + "/it" +
+                                std::to_string(eo.iteration);
+      if (eo.fu < 0) {
+        // Copy-unit copy: bank-to-bank over a bus, no residence requirement,
+        // but it must BE a copy, the model must support it, and the two banks
+        // must differ (same-bank copy-unit copies are rejected).
+        if (!isCopy(eo.op.op)) {
+          rep.add(where + ": non-copy op without a functional unit");
+          continue;
+        }
+        if (machine.copyModel != CopyModel::CopyUnit) {
+          rep.add(where + ": copy without a functional unit on an embedded-copy machine");
+          continue;
+        }
+        const int src = bankOf(code, partition, eo.op.src[0], where, rep);
+        const int dst = bankOf(code, partition, eo.op.def, where, rep);
+        if (src >= 0 && dst >= 0 && src == dst) {
+          rep.add(where + ": same-bank copy-unit copy within bank " +
+                  std::to_string(src));
+        }
+        continue;
+      }
+      if (eo.fu >= machine.width()) {
+        rep.add(where + ": FU index " + std::to_string(eo.fu) + " out of range");
+        continue;
+      }
+      const int cluster = machine.clusterOfFu(eo.fu);
+      if (eo.op.def.isValid()) {
+        const int bank = bankOf(code, partition, eo.op.def, where, rep);
+        if (bank >= 0 && bank != cluster) {
+          rep.add(where + ": defines " + regName(eo.op.def) + " of bank " +
+                  std::to_string(bank) + " from cluster " + std::to_string(cluster));
+        }
+      }
+      // Embedded copies read cross-bank by design; every other op must find
+      // all its source operands in its own cluster's bank.
+      if (isCopy(eo.op.op)) continue;
+      for (VirtReg s : eo.op.srcs()) {
+        const int bank = bankOf(code, partition, s, where, rep);
+        if (bank >= 0 && bank != cluster) {
+          rep.add(where + ": reads " + regName(s) + " from bank " +
+                  std::to_string(bank) + " on cluster " + std::to_string(cluster));
+        }
+      }
+    }
+    if (rep.truncated) return rep;
+  }
+  return rep;
+}
+
+}  // namespace rapt

@@ -1,0 +1,37 @@
+// Independent partition/copy legality oracle (docs/verification.md).
+//
+// After partitioning and copy insertion, every operation of the emitted
+// stream must read and write registers that are RESIDENT in the register
+// bank of the cluster it executes on:
+//
+//  * a non-copy op issued on functional unit f may only touch registers whose
+//    bank is clusterOfFu(f) — copy insertion must have routed every
+//    cross-bank operand through an explicit copy;
+//  * an embedded copy (issued on an FU of the destination cluster) writes
+//    into its own cluster's bank but is the one op class allowed to READ a
+//    different bank — that cross-bank read is its purpose;
+//  * a copy-unit copy (fu == -1) moves a value between two DIFFERENT banks
+//    over a bus; same-bank copy-unit copies are rejected by the machine
+//    model (see docs/verification.md "Same-bank copies").
+//
+// Residence is checked on the emitted stream, i.e. per concrete use: MVE
+// rotating names are mapped back to their original register via
+// PipelinedCode::originalOf, so a renaming bug that pulls in a name of the
+// wrong value's bank is caught too.
+#pragma once
+
+#include "machine/MachineDesc.h"
+#include "partition/Partition.h"
+#include "sched/PipelinedCode.h"
+#include "verify/VerifyReport.h"
+
+namespace rapt {
+
+/// Checks every operand of every emitted op of `code` for bank residence
+/// under `partition` (which must cover every register the stream mentions,
+/// copies included).
+[[nodiscard]] VerifyReport verifyPartition(const PipelinedCode& code,
+                                           const Partition& partition,
+                                           const MachineDesc& machine);
+
+}  // namespace rapt

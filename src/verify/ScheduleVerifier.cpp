@@ -1,0 +1,251 @@
+#include "verify/ScheduleVerifier.h"
+
+#include <sstream>
+#include <vector>
+
+namespace rapt {
+namespace {
+
+[[nodiscard]] int moduloSlot(int cycle, int ii) { return ((cycle % ii) + ii) % ii; }
+
+/// Per-slot (or per-cycle) resource recount shared by both verifiers. Keys
+/// are formatted into `where` ("slot 3" / "cycle 17") for messages.
+class ResourceCounter {
+ public:
+  ResourceCounter(const MachineDesc& machine, VerifyReport& rep)
+      : machine_(machine),
+        rep_(rep),
+        fuTaken_(machine.width(), false),
+        fuPerCluster_(machine.numClusters, 0),
+        portPerBank_(machine.numBanks(), 0) {}
+
+  void reset() {
+    std::fill(fuTaken_.begin(), fuTaken_.end(), false);
+    std::fill(fuPerCluster_.begin(), fuPerCluster_.end(), 0);
+    std::fill(portPerBank_.begin(), portPerBank_.end(), 0);
+    copyUnitOps_ = 0;
+  }
+
+  /// Accounts one op; `label` identifies it in messages.
+  void addOp(const OpConstraint& c, int fu, const std::string& where,
+             const std::string& label) {
+    if (c.usesCopyUnit) {
+      if (machine_.copyModel != CopyModel::CopyUnit) {
+        rep_.add(where + ": " + label + " uses the copy unit on a machine without one");
+        return;
+      }
+      if (fu >= 0) {
+        rep_.add(where + ": copy-unit " + label + " also occupies FU " +
+                 std::to_string(fu));
+      }
+      ++copyUnitOps_;
+      if (!bankInRange(c.srcBank, where, label) || !bankInRange(c.dstBank, where, label))
+        return;
+      if (c.srcBank == c.dstBank) {
+        rep_.add(where + ": " + label + " is a same-bank copy-unit copy (bank " +
+                 std::to_string(c.srcBank) + "), which the machine model rejects");
+        return;
+      }
+      ++portPerBank_[c.srcBank];
+      ++portPerBank_[c.dstBank];
+      return;
+    }
+    if (fu < 0 || fu >= machine_.width()) {
+      rep_.add(where + ": " + label + " has functional unit " + std::to_string(fu) +
+               " outside [0, " + std::to_string(machine_.width()) + ")");
+      return;
+    }
+    const int cluster = machine_.clusterOfFu(fu);
+    if (c.cluster >= 0 && cluster != c.cluster) {
+      rep_.add(where + ": " + label + " is anchored to cluster " +
+               std::to_string(c.cluster) + " but issues on FU " + std::to_string(fu) +
+               " of cluster " + std::to_string(cluster));
+    }
+    if (fuTaken_[fu]) {
+      rep_.add(where + ": FU " + std::to_string(fu) + " double-booked by " + label);
+      return;
+    }
+    fuTaken_[fu] = true;
+    ++fuPerCluster_[cluster];
+  }
+
+  /// Emits capacity violations for the counts accumulated since reset().
+  void check(const std::string& where) {
+    for (int cl = 0; cl < machine_.numClusters; ++cl) {
+      if (fuPerCluster_[cl] > machine_.fusPerCluster) {
+        rep_.add(where + ": cluster " + std::to_string(cl) + " issues " +
+                 std::to_string(fuPerCluster_[cl]) + " ops (width " +
+                 std::to_string(machine_.fusPerCluster) + ")");
+      }
+    }
+    if (copyUnitOps_ > machine_.busCount) {
+      rep_.add(where + ": " + std::to_string(copyUnitOps_) + " copy-unit copies on " +
+               std::to_string(machine_.busCount) + " buses");
+    }
+    for (int b = 0; b < machine_.numBanks(); ++b) {
+      if (portPerBank_[b] > machine_.copyPortsPerBank) {
+        rep_.add(where + ": bank " + std::to_string(b) + " uses " +
+                 std::to_string(portPerBank_[b]) + " copy ports (limit " +
+                 std::to_string(machine_.copyPortsPerBank) + ")");
+      }
+    }
+  }
+
+ private:
+  bool bankInRange(int bank, const std::string& where, const std::string& label) {
+    if (bank >= 0 && bank < machine_.numBanks()) return true;
+    rep_.add(where + ": " + label + " references bank " + std::to_string(bank) +
+             " outside [0, " + std::to_string(machine_.numBanks()) + ")");
+    return false;
+  }
+
+  const MachineDesc& machine_;
+  VerifyReport& rep_;
+  std::vector<bool> fuTaken_;
+  std::vector<int> fuPerCluster_;
+  std::vector<int> portPerBank_;
+  int copyUnitOps_ = 0;
+};
+
+std::string opLabel(int op) { return "op " + std::to_string(op); }
+
+}  // namespace
+
+VerifyReport verifySchedule(const Ddg& ddg, const MachineDesc& machine,
+                            std::span<const OpConstraint> constraints,
+                            const ModuloSchedule& sched) {
+  VerifyReport rep;
+  if (sched.numOps() != ddg.numOps() ||
+      static_cast<int>(constraints.size()) != ddg.numOps()) {
+    rep.add("schedule/constraints cover " + std::to_string(sched.numOps()) + "/" +
+            std::to_string(constraints.size()) + " ops, DDG has " +
+            std::to_string(ddg.numOps()));
+    return rep;
+  }
+  if (ddg.numOps() == 0) return rep;
+  if (sched.ii <= 0) {
+    rep.add("non-positive II " + std::to_string(sched.ii));
+    return rep;
+  }
+  if (static_cast<int>(sched.fu.size()) != ddg.numOps()) {
+    rep.add("schedule has " + std::to_string(sched.fu.size()) + " FU entries for " +
+            std::to_string(ddg.numOps()) + " ops");
+    return rep;
+  }
+
+  // ---- Dependences: time[to] >= time[from] + latency - II*distance. ----
+  for (int ei = 0; ei < static_cast<int>(ddg.edges().size()); ++ei) {
+    const DdgEdge& e = ddg.edge(ei);
+    const int earliest = sched.cycle[e.from] + e.latency - sched.ii * e.distance;
+    if (sched.cycle[e.to] < earliest) {
+      std::ostringstream os;
+      os << depKindName(e.kind) << " dependence " << e.from << "->" << e.to
+         << " (lat " << e.latency << ", dist " << e.distance << ") violated: op "
+         << e.to << " at cycle " << sched.cycle[e.to] << ", earliest legal "
+         << earliest;
+      rep.add(os.str());
+    }
+  }
+
+  // ---- Resources, re-counted per modulo slot. ----
+  ResourceCounter counter(machine, rep);
+  for (int slot = 0; slot < sched.ii; ++slot) {
+    counter.reset();
+    const std::string where = "slot " + std::to_string(slot);
+    for (int op = 0; op < ddg.numOps(); ++op) {
+      if (moduloSlot(sched.cycle[op], sched.ii) != slot) continue;
+      counter.addOp(constraints[op], sched.fu[op], where, opLabel(op));
+    }
+    counter.check(where);
+    if (rep.truncated) break;
+  }
+  return rep;
+}
+
+VerifyReport verifyStream(const PipelinedCode& code, const Ddg& ddg,
+                          const MachineDesc& machine,
+                          std::span<const OpConstraint> constraints) {
+  VerifyReport rep;
+  const int numOps = ddg.numOps();
+  if (static_cast<int>(constraints.size()) != numOps) {
+    rep.add("constraints cover " + std::to_string(constraints.size()) +
+            " ops, DDG has " + std::to_string(numOps));
+    return rep;
+  }
+  if (code.trip <= 0) {
+    rep.add("non-positive trip count " + std::to_string(code.trip));
+    return rep;
+  }
+
+  // ---- Instance coverage + per-cycle resource recount. ----
+  // issueCycle[iter * numOps + bodyIndex] = cycle, -1 while unseen.
+  std::vector<std::int64_t> issueCycle(
+      static_cast<std::size_t>(code.trip) * numOps, -1);
+  ResourceCounter counter(machine, rep);
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(code.instrs.size()); ++c) {
+    const VliwInstr& instr = code.instrs[static_cast<std::size_t>(c)];
+    if (instr.ops.empty()) continue;
+    counter.reset();
+    const std::string where = "cycle " + std::to_string(c);
+    for (const EmittedOp& eo : instr.ops) {
+      if (eo.bodyIndex < 0 || eo.bodyIndex >= numOps) {
+        rep.add(where + ": body index " + std::to_string(eo.bodyIndex) +
+                " outside [0, " + std::to_string(numOps) + ")");
+        continue;
+      }
+      if (eo.iteration < 0 || eo.iteration >= code.trip) {
+        rep.add(where + ": op " + std::to_string(eo.bodyIndex) + " of iteration " +
+                std::to_string(eo.iteration) + " outside [0, " +
+                std::to_string(code.trip) + ")");
+        continue;
+      }
+      std::int64_t& cell =
+          issueCycle[static_cast<std::size_t>(eo.iteration) * numOps + eo.bodyIndex];
+      if (cell >= 0) {
+        rep.add(where + ": op " + std::to_string(eo.bodyIndex) + " of iteration " +
+                std::to_string(eo.iteration) + " issued twice (also at cycle " +
+                std::to_string(cell) + ")");
+      } else {
+        cell = c;
+      }
+      counter.addOp(constraints[eo.bodyIndex], eo.fu, where,
+                    "op " + std::to_string(eo.bodyIndex) + "/it" +
+                        std::to_string(eo.iteration));
+    }
+    counter.check(where);
+    if (rep.truncated) return rep;
+  }
+
+  for (std::int64_t iter = 0; iter < code.trip; ++iter) {
+    for (int op = 0; op < numOps; ++op) {
+      if (issueCycle[static_cast<std::size_t>(iter) * numOps + op] < 0) {
+        rep.add("op " + std::to_string(op) + " of iteration " + std::to_string(iter) +
+                " never issued");
+        if (rep.truncated) return rep;
+      }
+    }
+  }
+
+  // ---- Dependences between concrete instances across the whole stream. ----
+  for (int ei = 0; ei < static_cast<int>(ddg.edges().size()); ++ei) {
+    const DdgEdge& e = ddg.edge(ei);
+    for (std::int64_t iter = 0; iter + e.distance < code.trip; ++iter) {
+      const std::int64_t tFrom =
+          issueCycle[static_cast<std::size_t>(iter) * numOps + e.from];
+      const std::int64_t tTo =
+          issueCycle[static_cast<std::size_t>(iter + e.distance) * numOps + e.to];
+      if (tFrom < 0 || tTo < 0) continue;  // coverage violation already reported
+      if (tTo < tFrom + e.latency) {
+        std::ostringstream os;
+        os << depKindName(e.kind) << " dependence " << e.from << "(it" << iter
+           << ")->" << e.to << "(it" << iter + e.distance << ") violated: issued at "
+           << tFrom << " and " << tTo << ", latency " << e.latency;
+        rep.add(os.str());
+        if (rep.truncated) return rep;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace rapt

@@ -1,0 +1,45 @@
+// Independent modulo-schedule legality oracle (docs/verification.md).
+//
+// The scheduler already self-checks with findViolatedEdge, but that check
+// shares the scheduler's own model of time and resources. This verifier
+// re-derives legality from first principles and from different inputs:
+//
+//  * verifySchedule re-checks every DDG dependence on the flat schedule
+//    (time[to] >= time[from] + latency - II*distance) and re-counts resource
+//    usage per modulo slot — functional units per cluster, machine-wide copy
+//    buses, copy ports per register bank — directly against MachineDesc,
+//    without consulting the MRT.
+//  * verifyStream re-checks the same properties on the EMITTED instruction
+//    stream (prologue, kernel, and epilogue of a PipelinedCode): every
+//    (iteration, body-op) instance must be issued exactly once, every
+//    dependence must hold between concrete instances, and every cycle's
+//    resource usage must fit the machine.
+//
+// Neither function aborts on malformed input; every problem becomes a
+// violation string in the report.
+#pragma once
+
+#include <span>
+
+#include "ddg/Ddg.h"
+#include "machine/MachineDesc.h"
+#include "sched/PipelinedCode.h"
+#include "sched/Schedule.h"
+#include "verify/VerifyReport.h"
+
+namespace rapt {
+
+/// Re-checks `sched` (flat, one iteration) against dependences and per-slot
+/// resource capacities. `constraints` must have one entry per body op.
+[[nodiscard]] VerifyReport verifySchedule(const Ddg& ddg, const MachineDesc& machine,
+                                          std::span<const OpConstraint> constraints,
+                                          const ModuloSchedule& sched);
+
+/// Re-checks the emitted stream `code` end to end: instance coverage,
+/// inter-iteration dependences, and per-cycle resource usage. `ddg` and
+/// `constraints` describe the body the stream was emitted from.
+[[nodiscard]] VerifyReport verifyStream(const PipelinedCode& code, const Ddg& ddg,
+                                        const MachineDesc& machine,
+                                        std::span<const OpConstraint> constraints);
+
+}  // namespace rapt

@@ -1,0 +1,57 @@
+// Shared result type of the independent verification oracles (ScheduleVerifier
+// and PartitionVerifier, docs/verification.md).
+//
+// A verifier never aborts and never stops at the first problem: it accumulates
+// human-readable violation strings (capped, so a systematically broken input
+// does not produce megabytes of text) and leaves acting on them to the caller.
+// The pipeline turns a non-empty report into a LoopResult error; the fuzzer
+// feeds it to the minimizer; tests assert on substrings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rapt {
+
+struct VerifyReport {
+  /// Hard cap on recorded violations; `truncated` is set when it is hit.
+  static constexpr int kMaxViolations = 32;
+
+  std::vector<std::string> violations;
+  bool truncated = false;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+
+  /// Records a violation unless the cap was reached.
+  void add(std::string what) {
+    if (static_cast<int>(violations.size()) >= kMaxViolations) {
+      truncated = true;
+      return;
+    }
+    violations.push_back(std::move(what));
+  }
+
+  /// First violation (or "" when ok) — the one-line form the pipeline reports.
+  [[nodiscard]] std::string first() const {
+    return violations.empty() ? std::string{} : violations.front();
+  }
+
+  /// All violations joined by "; " (for logs and test failure messages).
+  [[nodiscard]] std::string joined() const {
+    std::string out;
+    for (const std::string& v : violations) {
+      if (!out.empty()) out += "; ";
+      out += v;
+    }
+    if (truncated) out += "; ...(truncated)";
+    return out;
+  }
+
+  /// Merge another report into this one (respecting the cap).
+  void merge(const VerifyReport& other) {
+    for (const std::string& v : other.violations) add(v);
+    truncated = truncated || other.truncated;
+  }
+};
+
+}  // namespace rapt

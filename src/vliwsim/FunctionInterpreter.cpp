@@ -11,7 +11,7 @@ namespace {
 
 void executeOp(const Operation& op, RegFile& regs, ArrayMemory& memory) {
   if (isMemory(op.op)) {
-    const std::int64_t idx = regs.readInt(op.src[0]) + op.imm;
+    const std::int64_t idx = wrapAdd(regs.readInt(op.src[0]), op.imm);
     switch (op.op) {
       case Opcode::ILoad: regs.writeInt(op.def, memory.loadInt(op.array, idx)); break;
       case Opcode::FLoad: regs.writeFlt(op.def, memory.loadFlt(op.array, idx)); break;

@@ -12,9 +12,9 @@ ResultValue evalArith(const Operation& op, const OperandValues& in) {
     case Opcode::IConst: out.i = op.imm; break;
     case Opcode::IMov:
     case Opcode::ICopy: out.i = in.i[0]; break;
-    case Opcode::IAdd: out.i = in.i[0] + in.i[1]; break;
-    case Opcode::ISub: out.i = in.i[0] - in.i[1]; break;
-    case Opcode::IMul: out.i = in.i[0] * in.i[1]; break;
+    case Opcode::IAdd: out.i = wrapAdd(in.i[0], in.i[1]); break;
+    case Opcode::ISub: out.i = wrapSub(in.i[0], in.i[1]); break;
+    case Opcode::IMul: out.i = wrapMul(in.i[0], in.i[1]); break;
     case Opcode::IDiv: out.i = (in.i[1] == 0) ? 0 : in.i[0] / in.i[1]; break;
     case Opcode::IAnd: out.i = in.i[0] & in.i[1]; break;
     case Opcode::IOr: out.i = in.i[0] | in.i[1]; break;
@@ -24,7 +24,7 @@ ResultValue evalArith(const Operation& op, const OperandValues& in) {
                                         << (in.i[1] & 63));
       break;
     case Opcode::IShr: out.i = in.i[0] >> (in.i[1] & 63); break;
-    case Opcode::IAddImm: out.i = in.i[0] + op.imm; break;
+    case Opcode::IAddImm: out.i = wrapAdd(in.i[0], op.imm); break;
     case Opcode::IToF: out.f = static_cast<double>(in.i[0]); break;
     case Opcode::FToI:
       out.i = std::isnan(in.f[0]) ? 0 : static_cast<std::int64_t>(in.f[0]);
@@ -49,7 +49,7 @@ ReferenceResult runReference(const Loop& loop, std::int64_t trip) {
   for (std::int64_t iter = 0; iter < trip; ++iter) {
     for (const Operation& op : loop.body) {
       if (isMemory(op.op)) {
-        const std::int64_t idx = st.regs.readInt(op.src[0]) + op.imm;
+        const std::int64_t idx = wrapAdd(st.regs.readInt(op.src[0]), op.imm);
         switch (op.op) {
           case Opcode::ILoad: st.regs.writeInt(op.def, st.memory.loadInt(op.array, idx)); break;
           case Opcode::FLoad: st.regs.writeFlt(op.def, st.memory.loadFlt(op.array, idx)); break;

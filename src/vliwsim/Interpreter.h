@@ -19,10 +19,28 @@ struct ReferenceResult {
 /// Runs `trip` iterations of `loop` sequentially.
 [[nodiscard]] ReferenceResult runReference(const Loop& loop, std::int64_t trip);
 
+/// Two's-complement wraparound arithmetic. Generated loops routinely build
+/// imul/iadd chains whose values exceed int64 range; signed overflow is UB in
+/// C++, so every interpreter and the simulator must go through these helpers
+/// to get the same well-defined wrapped result.
+[[nodiscard]] inline std::int64_t wrapAdd(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+[[nodiscard]] inline std::int64_t wrapSub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+[[nodiscard]] inline std::int64_t wrapMul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
 /// Evaluates one non-memory operation on explicit operand values. Shared by
 /// the reference interpreter and the VLIW simulator so both apply identical
-/// semantics (integer division by zero yields zero; shifts use the low six
-/// bits of the count; float->int truncates, with NaN mapping to zero).
+/// semantics (integer arithmetic wraps; integer division by zero yields zero;
+/// shifts use the low six bits of the count; float->int truncates, with NaN
+/// mapping to zero).
 struct OperandValues {
   std::int64_t i[2] = {0, 0};
   double f[2] = {0.0, 0.0};

@@ -29,7 +29,9 @@ std::string checkResources(const VliwInstr& instr, const MachineDesc& machine,
   std::vector<int> fuPerCluster(machine.numClusters, 0);
   std::vector<bool> fuTaken(machine.width(), false);
   int copyUnitOps = 0;
-  std::vector<int> portPerBank(machine.numClusters, 0);
+  // Copy ports are a per-BANK resource, distinct from the per-CLUSTER FU
+  // width even though the paper pairs banks and clusters 1:1.
+  std::vector<int> portPerBank(machine.numBanks(), 0);
   std::ostringstream err;
 
   for (const EmittedOp& eo : instr.ops) {
@@ -51,8 +53,23 @@ std::string checkResources(const VliwInstr& instr, const MachineDesc& machine,
       }
       ++copyUnitOps;
       if (partition != nullptr) {
-        ++portPerBank[partition->bankOf(code.originalOf(eo.op.src[0]))];
-        ++portPerBank[partition->bankOf(code.originalOf(eo.op.def))];
+        const int srcBank = partition->bankOf(code.originalOf(eo.op.src[0]));
+        const int dstBank = partition->bankOf(code.originalOf(eo.op.def));
+        if (srcBank < 0 || srcBank >= machine.numBanks() || dstBank < 0 ||
+            dstBank >= machine.numBanks()) {
+          err << "cycle " << cycle << ": copy references bank outside [0, "
+              << machine.numBanks() << ")";
+          return err.str();
+        }
+        // Rejected by the machine model, exactly as the scheduler's MRT
+        // refuses to place one (docs/verification.md "Same-bank copies").
+        if (srcBank == dstBank) {
+          err << "cycle " << cycle << ": same-bank copy-unit copy (bank " << srcBank
+              << ")";
+          return err.str();
+        }
+        ++portPerBank[srcBank];
+        ++portPerBank[dstBank];
       }
     }
   }
@@ -62,10 +79,14 @@ std::string checkResources(const VliwInstr& instr, const MachineDesc& machine,
           << " ops (width " << machine.fusPerCluster << ")";
       return err.str();
     }
-    if (partition != nullptr && portPerBank[c] > machine.copyPortsPerBank) {
-      err << "cycle " << cycle << ": bank " << c << " uses " << portPerBank[c]
-          << " copy ports (limit " << machine.copyPortsPerBank << ")";
-      return err.str();
+  }
+  if (partition != nullptr) {
+    for (int b = 0; b < machine.numBanks(); ++b) {
+      if (portPerBank[b] > machine.copyPortsPerBank) {
+        err << "cycle " << cycle << ": bank " << b << " uses " << portPerBank[b]
+            << " copy ports (limit " << machine.copyPortsPerBank << ")";
+        return err.str();
+      }
     }
   }
   if (copyUnitOps > machine.busCount) {
@@ -133,7 +154,7 @@ SimResult simulate(const PipelinedCode& code, const Loop& loop,
       const Operation& op = eo.op;
       const int lat = machine.lat.of(op.op);
       if (isMemory(op.op)) {
-        const std::int64_t idx = st.regs.readInt(op.src[0]) + op.imm;
+        const std::int64_t idx = wrapAdd(st.regs.readInt(op.src[0]), op.imm);
         switch (op.op) {
           case Opcode::ILoad:
             ensure(c + lat);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ir/Parser.h"
+#include "ir/Printer.h"
 #include "partition/Partition.h"
 #include "sched/ModuloScheduler.h"
 #include "workload/Kernels.h"
@@ -113,6 +114,35 @@ TEST(Rcg, ExtraEdgeForcesWeight) {
     if (nbr == fltReg(3)) found = (wgt < -1e8);
   }
   EXPECT_TRUE(found);
+}
+
+TEST(Rcg, LazyAdjacencyMatchesEagerRebuild) {
+  // addExtraEdge only marks the adjacency cache dirty; the first neighbors()
+  // query rebuilds it. The result must be indistinguishable from rebuilding
+  // eagerly after every insertion.
+  Built lazy = buildFor(classicKernel("fir4"));
+  Built eager = buildFor(classicKernel("fir4"));
+  const std::vector<VirtReg> nodes = lazy.rcg.nodes();
+  ASSERT_GT(nodes.size(), 2u);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const double w = (i % 2 == 0) ? 7.5 : -3.25;
+    lazy.rcg.addExtraEdge(nodes[i], nodes[i + 1], w);
+    eager.rcg.addExtraEdge(nodes[i], nodes[i + 1], w);
+    eager.rcg.finalizeAdjacency();
+  }
+  for (VirtReg r : nodes) {
+    EXPECT_EQ(lazy.rcg.neighbors(r), eager.rcg.neighbors(r)) << regName(r);
+  }
+}
+
+TEST(Rcg, ExtraEdgeOnFreshNodesVisibleWithoutFinalize) {
+  Built b = buildFor(classicKernel("daxpy"));
+  const VirtReg a = intReg(100);
+  const VirtReg c = intReg(101);
+  b.rcg.addExtraEdge(a, c, -42.0);
+  ASSERT_EQ(b.rcg.neighbors(a).size(), 1u);
+  EXPECT_EQ(b.rcg.neighbors(a)[0].first, c);
+  EXPECT_DOUBLE_EQ(b.rcg.neighbors(a)[0].second, -42.0);
 }
 
 TEST(Rcg, MeanAbsEdgeWeightPositive) {

@@ -1,0 +1,84 @@
+// Replays every minimized fuzzer find committed under tests/regression/
+// through the full pipeline (verifiers + differential simulation on). See
+// tests/regression/README.md for the contract and how to add entries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/Parser.h"
+#include "pipeline/CompilerPipeline.h"
+
+namespace rapt {
+namespace {
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(RAPT_REGRESSION_DIR)) {
+    if (entry.path().extension() == ".loop") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Loop> loadLoops(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parseLoops(buf.str());
+}
+
+/// A compiler give-up is acceptable on stressed machines; an oracle trip
+/// (verification / validation / equivalence failure) or an abort never is.
+bool isCapacityFailure(const std::string& error) {
+  return error.find("register allocation failed") != std::string::npos ||
+         error.find("schedule not found") != std::string::npos;
+}
+
+TEST(RegressionCorpus, DirectoryIsNotEmpty) {
+  EXPECT_FALSE(corpusFiles().empty());
+}
+
+TEST(RegressionCorpus, CleanOnAllPaperMachines) {
+  const PipelineOptions opt;  // verify + simulate + allocate, the full gauntlet
+  for (const auto& path : corpusFiles()) {
+    for (const Loop& loop : loadLoops(path)) {
+      for (const int clusters : {2, 4, 8}) {
+        for (const CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+          const MachineDesc m = MachineDesc::paper16(clusters, model);
+          const LoopResult r = compileLoop(loop, m, opt);
+          EXPECT_TRUE(r.ok) << path.filename() << " (" << loop.name << ") on "
+                            << m.name << ": " << r.error;
+        }
+      }
+    }
+  }
+}
+
+TEST(RegressionCorpus, GracefulOnSmallBankMachines) {
+  // The stressed configuration these loops were minimized on: 16 registers
+  // per bank. Running out of registers is fine; tripping an oracle is not.
+  const PipelineOptions opt;
+  for (const auto& path : corpusFiles()) {
+    for (const Loop& loop : loadLoops(path)) {
+      for (const int clusters : {2, 4}) {
+        for (const CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+          MachineDesc m = MachineDesc::paper16(clusters, model);
+          m.intRegsPerBank = m.fltRegsPerBank = 16;
+          m.name += "-smallbank";
+          const LoopResult r = compileLoop(loop, m, opt);
+          EXPECT_TRUE(r.ok || isCapacityFailure(r.error))
+              << path.filename() << " (" << loop.name << ") on " << m.name << ": "
+              << r.error;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapt

@@ -169,5 +169,46 @@ TEST_P(ScheduleProperty, LegalAtOrAboveMinII) {
 
 INSTANTIATE_TEST_SUITE_P(Corpus, ScheduleProperty, ::testing::Range(0, 32));
 
+// ---- Unsatisfiable constraints fail cleanly, never abort. ----
+
+// A same-bank copy-unit copy is rejected by the machine model at every cycle
+// of every II. This used to walk into the forced-placement path, evict
+// nothing (nothing holds the resources), and die on an internal assertion;
+// now it must surface as an ordinary scheduling failure.
+TEST(ModuloScheduler, SameBankCopyUnitConstraintFailsCleanly) {
+  Loop loop;
+  loop.body.push_back(makeCopy(intReg(1), intReg(0)));
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  std::vector<OpConstraint> constraints(1);
+  constraints[0].usesCopyUnit = true;
+  constraints[0].srcBank = 0;
+  constraints[0].dstBank = 0;
+  const auto res = moduloSchedule(ddg, m, constraints);
+  EXPECT_FALSE(res.success);
+
+  constraints[0].dstBank = 1;  // the legal cross-bank form schedules fine
+  EXPECT_TRUE(moduloSchedule(ddg, m, constraints).success);
+}
+
+// Mixed case: legal ops around one impossible op — the scheduler must still
+// give up cleanly rather than loop or abort while evicting neighbors.
+TEST(ModuloScheduler, ImpossibleOpAmongLegalOpsFailsCleanly) {
+  Loop loop;
+  loop.body.push_back(makeCopy(intReg(1), intReg(0)));
+  loop.body.push_back(makeBinary(Opcode::IAdd, intReg(3), intReg(2), intReg(2)));
+  loop.body.push_back(makeBinary(Opcode::IAdd, intReg(5), intReg(4), intReg(4)));
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  const Ddg ddg = Ddg::build(loop, m.lat);
+  std::vector<OpConstraint> constraints(3);
+  constraints[0].usesCopyUnit = true;
+  constraints[0].srcBank = 1;
+  constraints[0].dstBank = 1;
+  constraints[1].cluster = 0;
+  constraints[2].cluster = 1;
+  const auto res = moduloSchedule(ddg, m, constraints);
+  EXPECT_FALSE(res.success);
+}
+
 }  // namespace
 }  // namespace rapt

@@ -101,6 +101,50 @@ TEST(Mrt, ConflictingOpsIdentifiesVictims) {
   EXPECT_NE(std::find(victims.begin(), victims.end(), 5), victims.end());
 }
 
+TEST(Mrt, SameBankCopyUnitCopyRejected) {
+  // The machine model rejects same-bank copy-unit copies outright
+  // (docs/verification.md "Same-bank copies"): canPlace is false at every
+  // cycle, so the scheduler fails cleanly instead of over-committing the
+  // bank's ports.
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::CopyUnit);
+  Mrt mrt(m, 2, 4);
+  OpConstraint c;
+  c.usesCopyUnit = true;
+  c.srcBank = 1;
+  c.dstBank = 1;
+  EXPECT_FALSE(mrt.canPlace(c, 0));
+  EXPECT_FALSE(mrt.canPlace(c, 1));
+  c.dstBank = 2;
+  EXPECT_TRUE(mrt.canPlace(c, 0));
+}
+
+TEST(Mrt, CopyPortsAccountedPerBank) {
+  // Copy ports are a PER-BANK resource: a copy consumes one port at its
+  // source bank and one at its destination bank, and leaves other banks
+  // untouched.
+  MachineDesc m = MachineDesc::paper16(4, CopyModel::CopyUnit);
+  m.copyPortsPerBank = 1;
+  ASSERT_GE(m.busCount, 2);
+  Mrt mrt(m, 1, 8);
+  OpConstraint first;
+  first.usesCopyUnit = true;
+  first.srcBank = 0;
+  first.dstBank = 1;
+  ASSERT_TRUE(mrt.canPlace(first, 0));
+  mrt.place(0, first, 0);
+
+  OpConstraint probe = first;
+  probe.srcBank = 2;
+  probe.dstBank = 3;
+  EXPECT_TRUE(mrt.canPlace(probe, 0));  // banks 2,3 still have their port
+  probe.srcBank = 0;
+  probe.dstBank = 2;
+  EXPECT_FALSE(mrt.canPlace(probe, 0));  // bank 0's port is taken
+  probe.srcBank = 3;
+  probe.dstBank = 1;
+  EXPECT_FALSE(mrt.canPlace(probe, 0));  // bank 1's port is taken
+}
+
 TEST(Mrt, NoConflictWhenRoomRemains) {
   const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);  // 8 FUs/cluster
   Mrt mrt(m, 1, 8);

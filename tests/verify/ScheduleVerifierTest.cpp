@@ -1,0 +1,217 @@
+#include "verify/ScheduleVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include "verify/PartitionVerifier.h"
+#include "VerifyTestUtil.h"
+
+namespace rapt {
+namespace {
+
+bool anyViolationContains(const VerifyReport& rep, const std::string& needle) {
+  for (const std::string& v : rep.violations)
+    if (v.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+// ---- Legal schedules are clean. ----
+
+TEST(ScheduleVerifier, LegalCompiledLoopsAreClean) {
+  for (const CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+    for (const int index : {0, 3, 17}) {
+      const CompiledLoop c = compileForVerify(4, model, index);
+      const VerifyReport flat =
+          verifySchedule(c.cddg, c.machine, c.clustered.constraints, c.sched);
+      EXPECT_TRUE(flat.ok()) << flat.first();
+      const VerifyReport stream =
+          verifyStream(c.code, c.cddg, c.machine, c.clustered.constraints);
+      EXPECT_TRUE(stream.ok()) << stream.first();
+    }
+  }
+}
+
+// ---- Violation class: dependence. ----
+
+TEST(ScheduleVerifier, DependenceViolationCaught) {
+  CompiledLoop c = compileForVerify(4, CopyModel::Embedded);
+  // Pull the sink of some latency-carrying edge one cycle below its legal
+  // earliest issue time.
+  int edgeIdx = -1;
+  for (int ei = 0; ei < static_cast<int>(c.cddg.edges().size()); ++ei) {
+    const DdgEdge& e = c.cddg.edge(ei);
+    if (e.from != e.to && e.latency > 0) {
+      edgeIdx = ei;
+      break;
+    }
+  }
+  ASSERT_GE(edgeIdx, 0);
+  const DdgEdge& e = c.cddg.edge(edgeIdx);
+  c.sched.cycle[e.to] =
+      c.sched.cycle[e.from] + e.latency - c.sched.ii * e.distance - 1;
+
+  const VerifyReport rep =
+      verifySchedule(c.cddg, c.machine, c.clustered.constraints, c.sched);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(anyViolationContains(rep, "dependence")) << rep.joined();
+
+  // Oracle separation: the partition oracle inspects the (untouched) emitted
+  // stream and must stay silent.
+  const VerifyReport part = verifyPartition(c.code, c.clustered.partition, c.machine);
+  EXPECT_TRUE(part.ok()) << part.first();
+}
+
+// ---- Violation class: FU double-booking. ----
+
+TEST(ScheduleVerifier, FuDoubleBookCaught) {
+  Loop loop;
+  loop.body.push_back(makeIConst(intReg(0), 1));
+  loop.body.push_back(makeIConst(intReg(1), 2));
+  const MachineDesc machine = MachineDesc::paper16(2, CopyModel::Embedded);
+  const Ddg ddg = Ddg::build(loop, machine.lat);
+  const std::vector<OpConstraint> free(2);
+
+  ModuloSchedule sched;
+  sched.ii = 1;
+  sched.cycle = {0, 0};
+  sched.fu = {0, 0};  // both ops on FU 0 in the same modulo slot
+  const VerifyReport bad = verifySchedule(ddg, machine, free, sched);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(anyViolationContains(bad, "double-booked")) << bad.joined();
+
+  sched.fu = {0, 1};
+  EXPECT_TRUE(verifySchedule(ddg, machine, free, sched).ok());
+}
+
+// ---- Violation classes of the copy-unit model. ----
+
+/// Three independent copies, schedulable in one slot.
+Loop threeCopyLoop() {
+  Loop loop;
+  loop.body.push_back(makeCopy(intReg(1), intReg(0)));
+  loop.body.push_back(makeCopy(intReg(3), intReg(2)));
+  loop.body.push_back(makeCopy(intReg(5), intReg(4)));
+  return loop;
+}
+
+OpConstraint copyUnitConstraint(int srcBank, int dstBank) {
+  OpConstraint c;
+  c.usesCopyUnit = true;
+  c.srcBank = srcBank;
+  c.dstBank = dstBank;
+  return c;
+}
+
+TEST(ScheduleVerifier, BusOverSubscriptionCaught) {
+  const Loop loop = threeCopyLoop();
+  MachineDesc machine = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  ASSERT_EQ(machine.busCount, 2);
+  machine.copyPortsPerBank = 8;  // generous ports isolate the bus bound
+  const Ddg ddg = Ddg::build(loop, machine.lat);
+  const std::vector<OpConstraint> constraints(3, copyUnitConstraint(0, 1));
+
+  ModuloSchedule sched;
+  sched.ii = 1;
+  sched.cycle = {0, 0, 0};
+  sched.fu = {-1, -1, -1};
+  const VerifyReport rep = verifySchedule(ddg, machine, constraints, sched);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(anyViolationContains(rep, "buses")) << rep.joined();
+}
+
+TEST(ScheduleVerifier, CopyPortOverSubscriptionCaught) {
+  const Loop loop = threeCopyLoop();
+  MachineDesc machine = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  machine.busCount = 8;  // generous buses isolate the per-bank port bound
+  ASSERT_EQ(machine.copyPortsPerBank, 1);
+  const Ddg ddg = Ddg::build(loop, machine.lat);
+  const std::vector<OpConstraint> constraints(3, copyUnitConstraint(0, 1));
+
+  ModuloSchedule sched;
+  sched.ii = 1;
+  sched.cycle = {0, 0, 0};
+  sched.fu = {-1, -1, -1};
+  const VerifyReport rep = verifySchedule(ddg, machine, constraints, sched);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(anyViolationContains(rep, "copy ports")) << rep.joined();
+
+  // Spread over three slots the same copies are fine.
+  sched.ii = 3;
+  sched.cycle = {0, 1, 2};
+  EXPECT_TRUE(verifySchedule(ddg, machine, constraints, sched).ok());
+}
+
+TEST(ScheduleVerifier, SameBankCopyUnitCopyCaught) {
+  Loop loop;
+  loop.body.push_back(makeCopy(intReg(1), intReg(0)));
+  const MachineDesc machine = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  const Ddg ddg = Ddg::build(loop, machine.lat);
+  const std::vector<OpConstraint> constraints(1, copyUnitConstraint(0, 0));
+
+  ModuloSchedule sched;
+  sched.ii = 1;
+  sched.cycle = {0};
+  sched.fu = {-1};
+  const VerifyReport rep = verifySchedule(ddg, machine, constraints, sched);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(anyViolationContains(rep, "same-bank")) << rep.joined();
+}
+
+// ---- Stream-level checks. ----
+
+TEST(ScheduleVerifier, StreamMissingInstanceCaught) {
+  CompiledLoop c = compileForVerify(4, CopyModel::Embedded);
+  for (VliwInstr& instr : c.code.instrs) {
+    if (instr.ops.empty()) continue;
+    instr.ops.pop_back();
+    break;
+  }
+  const VerifyReport rep =
+      verifyStream(c.code, c.cddg, c.machine, c.clustered.constraints);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(anyViolationContains(rep, "never issued")) << rep.joined();
+}
+
+TEST(ScheduleVerifier, StreamDoubleIssueCaught) {
+  CompiledLoop c = compileForVerify(4, CopyModel::Embedded);
+  // Re-issue the first emitted op in the last (drain) cycle: both the
+  // duplicate issue and, depending on placement, a resource clash must not
+  // escape.
+  EmittedOp dup;
+  bool found = false;
+  for (const VliwInstr& instr : c.code.instrs) {
+    if (!instr.ops.empty()) {
+      dup = instr.ops.front();
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  c.code.instrs.back().ops.push_back(dup);
+  const VerifyReport rep =
+      verifyStream(c.code, c.cddg, c.machine, c.clustered.constraints);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(anyViolationContains(rep, "issued twice")) << rep.joined();
+}
+
+TEST(ScheduleVerifier, ClusterAnchorViolationCaught) {
+  CompiledLoop c = compileForVerify(4, CopyModel::Embedded);
+  // Move some cluster-anchored op to an FU of the neighboring cluster.
+  int op = -1;
+  for (int i = 0; i < c.sched.numOps(); ++i) {
+    if (c.clustered.constraints[i].cluster >= 0 && c.sched.fu[i] >= 0) {
+      op = i;
+      break;
+    }
+  }
+  ASSERT_GE(op, 0);
+  const int cluster = c.clustered.constraints[op].cluster;
+  const int other = (cluster + 1) % c.machine.numClusters;
+  c.sched.fu[op] = c.machine.firstFuOfCluster(other);
+  const VerifyReport rep =
+      verifySchedule(c.cddg, c.machine, c.clustered.constraints, c.sched);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(anyViolationContains(rep, "anchored")) << rep.joined();
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,64 @@
+// Shared plumbing for the verifier tests: runs the real pipeline stages by
+// hand (ideal schedule -> greedy partition -> copy insertion -> clustered
+// schedule -> emission) so tests can corrupt any intermediate and check that
+// exactly the intended oracle objects.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ddg/Ddg.h"
+#include "partition/CopyInserter.h"
+#include "partition/GreedyPartitioner.h"
+#include "partition/Rcg.h"
+#include "pipeline/CompilerPipeline.h"
+#include "sched/ModuloScheduler.h"
+#include "sched/PipelinedCode.h"
+#include "workload/LoopGenerator.h"
+
+#include <gtest/gtest.h>
+
+namespace rapt {
+
+struct CompiledLoop {
+  Loop loop;
+  MachineDesc machine;
+  ClusteredLoop clustered;
+  Ddg cddg;
+  ModuloSchedule sched;
+  PipelinedCode code;
+};
+
+/// Compiles corpus loop `index` for the given paper machine, stopping before
+/// register allocation (the verifiers run on the virtual-register stream).
+inline CompiledLoop compileForVerify(int clusters, CopyModel model, int index = 0,
+                                     std::int64_t trip = 16) {
+  const GeneratorParams params;
+  Loop loop = generateLoop(params, index);
+  MachineDesc machine = MachineDesc::paper16(clusters, model);
+
+  const Ddg ddg = Ddg::build(loop, machine.lat);
+  const MachineDesc ideal = idealCounterpart(machine);
+  const std::vector<OpConstraint> freeConstraints(loop.size());
+  const ModuloSchedulerResult idealRes = moduloSchedule(ddg, ideal, freeConstraints);
+  EXPECT_TRUE(idealRes.success);
+
+  const RcgWeights weights;
+  const Rcg rcg = Rcg::build(loop, ddg, idealRes.schedule, weights);
+  const Partition partition = greedyPartition(rcg, machine.numBanks(), weights);
+
+  ClusteredLoop clustered = insertCopies(loop, partition, machine);
+  Ddg cddg = Ddg::build(clustered.loop, machine.lat);
+  ModuloSchedulerResult res = moduloSchedule(cddg, machine, clustered.constraints);
+  EXPECT_TRUE(res.success);
+
+  trip = std::max<std::int64_t>(trip, res.schedule.stageCount() + 4);
+  PipelinedCode code =
+      emitPipelinedCode(clustered.loop, cddg, res.schedule, trip, machine.lat);
+
+  return CompiledLoop{std::move(loop),          std::move(machine),
+                      std::move(clustered),     std::move(cddg),
+                      std::move(res.schedule),  std::move(code)};
+}
+
+}  // namespace rapt

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ir/Parser.h"
 #include "workload/Kernels.h"
@@ -11,6 +12,9 @@ namespace rapt {
 namespace {
 
 // ---- evalArith semantics, one case per opcode behaviour. ----
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
 
 struct ArithCase {
   Opcode op;
@@ -53,6 +57,14 @@ INSTANTIATE_TEST_SUITE_P(
         ArithCase{Opcode::IAdd, 3, 4, 0, 0, 0, 0, 7, 0, false},
         ArithCase{Opcode::ISub, 3, 4, 0, 0, 0, 0, -1, 0, false},
         ArithCase{Opcode::IMul, -3, 4, 0, 0, 0, 0, -12, 0, false},
+        // Integer arithmetic wraps (two's complement) instead of being UB on
+        // overflow. The IMul operands are the exact values a fuzzer-generated
+        // imul chain produced; the result is the wrapped product.
+        ArithCase{Opcode::IAdd, kMax, 1, 0, 0, 0, 0, kMin, 0, false},
+        ArithCase{Opcode::ISub, kMin, 1, 0, 0, 0, 0, kMax, 0, false},
+        ArithCase{Opcode::IMul, 7187745009041408000LL, 4, 0, 0, 0, 0,
+                  -8142508111253471232LL, 0, false},
+        ArithCase{Opcode::IAddImm, kMax, 0, 0, 0, 1, 0, kMin, 0, false},
         ArithCase{Opcode::IDiv, 7, 2, 0, 0, 0, 0, 3, 0, false},
         ArithCase{Opcode::IDiv, 7, 0, 0, 0, 0, 0, 0, 0, false},  // div-by-zero -> 0
         ArithCase{Opcode::IAnd, 0b1100, 0b1010, 0, 0, 0, 0, 0b1000, 0, false},

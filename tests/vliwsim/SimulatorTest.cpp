@@ -162,6 +162,29 @@ TEST(Simulator, CopyPortLimitCheckedWithPartition) {
   EXPECT_NE(r.error.find("copy ports"), std::string::npos);
 }
 
+TEST(Simulator, RejectsSameBankCopyUnitCopy) {
+  // The machine model rejects same-bank copy-unit copies (the scheduler's
+  // Mrt::canPlace agrees; docs/verification.md "Same-bank copies").
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  Loop env;
+  env.liveInValues.push_back({fltReg(0), 0, 1.0});
+  Partition part(2);
+  part.assign(fltReg(0), 0);
+  part.assign(fltReg(1), 0);  // destination in the SAME bank
+  PipelinedCode code;
+  code.ii = 1;
+  code.trip = 1;
+  VliwInstr in;
+  EmittedOp eo;
+  eo.op = makeCopy(fltReg(1), fltReg(0));
+  eo.fu = -1;
+  in.ops.push_back(eo);
+  code.instrs.push_back(in);
+  const SimResult r = simulate(code, env, m, &part);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("same-bank"), std::string::npos) << r.error;
+}
+
 TEST(Equivalence, DetectsCorruptedStream) {
   // Schedule daxpy, then corrupt one operand: the checker must object.
   const Loop loop = parseLoop(R"(

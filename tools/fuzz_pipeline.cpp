@@ -1,0 +1,254 @@
+// Differential fuzzer for the whole compilation pipeline
+// (docs/verification.md "The fuzzer").
+//
+// Drives seeded LoopGenerator loops through compileLoop across a matrix of
+// machine configurations (cluster count x copy model, optionally small-bank
+// and unit-latency variants). Every run already embeds the two independent
+// oracles (ScheduleVerifier/PartitionVerifier via PipelineOptions::verify)
+// and the differential check (cycle-accurate simulation cross-checked
+// bit-exactly against the scalar reference interpreter via Equivalence), so
+// any discrepancy anywhere in the pipeline surfaces as a failed LoopResult.
+//
+// A failure is then MINIMIZED: body operations are removed one at a time
+// while the loop stays structurally valid and the failure category is
+// preserved, and the shrunken kernel is written as a standalone .loop file
+// ready to be committed under tests/regression/ (RegressionCorpusTest
+// replays every file there on all paper machines).
+//
+// Usage:
+//   fuzz_pipeline [--loops N] [--seed S] [--configs 2e,2c,4e,4c,8e,8c|all]
+//                 [--min-ops N] [--max-ops N] [--trip N]
+//                 [--small-banks] [--unit-lat] [--out DIR] [--quiet]
+//
+// Exit status: 0 when no run tripped an oracle, 1 otherwise. Capacity
+// give-ups (not enough registers / no schedule within the II limit) are
+// legitimate on stressed configurations and are counted but never fail.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ir/Printer.h"
+#include "pipeline/CompilerPipeline.h"
+#include "workload/LoopGenerator.h"
+
+namespace {
+
+using namespace rapt;
+
+struct FuzzConfig {
+  MachineDesc machine;
+  std::string tag;  ///< short token for file names, e.g. "4c-smallbank"
+};
+
+struct Options {
+  int loops = 200;
+  std::uint64_t seed = 0x52415054;
+  std::string configs = "all";
+  int minOps = 12;
+  int maxOps = 60;
+  std::int64_t trip = 64;
+  bool smallBanks = false;
+  bool unitLat = false;
+  std::string outDir = ".";
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--loops N] [--seed S] [--configs 2e,2c,4e,4c,8e,8c|all]\n"
+               "          [--min-ops N] [--max-ops N] [--trip N]\n"
+               "          [--small-banks] [--unit-lat] [--out DIR] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--loops") o.loops = std::atoi(next());
+    else if (a == "--seed") o.seed = std::strtoull(next(), nullptr, 0);
+    else if (a == "--configs") o.configs = next();
+    else if (a == "--min-ops") o.minOps = std::atoi(next());
+    else if (a == "--max-ops") o.maxOps = std::atoi(next());
+    else if (a == "--trip") o.trip = std::atoll(next());
+    else if (a == "--small-banks") o.smallBanks = true;
+    else if (a == "--unit-lat") o.unitLat = true;
+    else if (a == "--out") o.outDir = next();
+    else if (a == "--quiet") o.quiet = true;
+    else usage(argv[0]);
+  }
+  if (o.loops <= 0 || o.minOps < 1 || o.maxOps < o.minOps || o.trip < 1) usage(argv[0]);
+  return o;
+}
+
+/// Expands a config token list into concrete machines, multiplying in the
+/// requested bank-size and latency variants.
+std::vector<FuzzConfig> buildConfigs(const Options& o) {
+  std::vector<std::pair<int, CopyModel>> base;
+  std::string spec = o.configs == "all" ? "2e,2c,4e,4c,8e,8c" : o.configs;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (tok.size() != 2 || (tok[1] != 'e' && tok[1] != 'c') ||
+        (tok[0] != '2' && tok[0] != '4' && tok[0] != '8')) {
+      std::fprintf(stderr, "fuzz_pipeline: bad config token '%s'\n", tok.c_str());
+      std::exit(2);
+    }
+    base.emplace_back(tok[0] - '0',
+                      tok[1] == 'e' ? CopyModel::Embedded : CopyModel::CopyUnit);
+  }
+
+  std::vector<FuzzConfig> out;
+  for (const auto& [clusters, model] : base) {
+    const std::string tag = std::to_string(clusters) +
+                            (model == CopyModel::Embedded ? "e" : "c");
+    out.push_back({MachineDesc::paper16(clusters, model), tag});
+    if (o.smallBanks) {
+      MachineDesc m = MachineDesc::paper16(clusters, model);
+      m.intRegsPerBank = m.fltRegsPerBank = 16;
+      m.name += "-smallbank";
+      out.push_back({m, tag + "-smallbank"});
+    }
+    if (o.unitLat) {
+      MachineDesc m = MachineDesc::paper16(clusters, model);
+      m.lat = LatencyTable::unit();
+      m.name += "-unitlat";
+      out.push_back({m, tag + "-unitlat"});
+    }
+  }
+  return out;
+}
+
+PipelineOptions pipelineOptions(const Options& o) {
+  PipelineOptions opt;
+  opt.simulate = true;  // differential check against the scalar interpreter
+  opt.verify = true;    // independent schedule/partition oracles
+  opt.simTrip = o.trip;
+  return opt;
+}
+
+/// The minimizer must preserve the KIND of failure, not the exact message
+/// (cycle numbers and register names shift as ops disappear): the category is
+/// the error text up to the first ':'.
+std::string category(const LoopResult& r) {
+  if (r.ok) return {};
+  const std::size_t colon = r.error.find(':');
+  return colon == std::string::npos ? r.error : r.error.substr(0, colon);
+}
+
+/// A compiler GIVE-UP (not enough registers / no schedule within the II
+/// limit) is legitimate on stressed configurations such as --small-banks;
+/// only oracle violations — verification, validation, equivalence — indicate
+/// a bug worth minimizing.
+bool isCapacityFailure(const std::string& error) {
+  return error.find("register allocation failed") != std::string::npos ||
+         error.find("schedule not found") != std::string::npos;
+}
+
+/// Greedy delta-debugging: repeatedly drop body ops while the loop stays
+/// valid and the failure category is preserved; then prune live-in entries
+/// for registers the body no longer mentions.
+Loop minimizeFailure(Loop loop, const MachineDesc& machine, const PipelineOptions& opt,
+                     const std::string& cat) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < loop.size(); ++i) {
+      Loop cand = loop;
+      cand.body.erase(cand.body.begin() + i);
+      if (validate(cand).has_value()) continue;
+      if (category(compileLoop(cand, machine, opt)) != cat) continue;
+      loop = std::move(cand);
+      changed = true;
+      break;  // restart: indices shifted
+    }
+  }
+  std::vector<LiveInValue> kept;
+  for (const LiveInValue& lv : loop.liveInValues) {
+    bool used = loop.induction == lv.reg;
+    for (const Operation& op : loop.body)
+      used = used || op.uses(lv.reg) || op.def == lv.reg;
+    if (used) kept.push_back(lv);
+  }
+  loop.liveInValues = std::move(kept);
+  return loop;
+}
+
+/// Writes the minimized kernel as a parse-able .loop file with a provenance
+/// header. Returns the path.
+std::string writeRegression(const Loop& loop, const Options& o, int index,
+                            const FuzzConfig& cfg, const std::string& error) {
+  const std::string path = o.outDir + "/fuzz_s" + std::to_string(o.seed) + "_i" +
+                           std::to_string(index) + "_" + cfg.tag + ".loop";
+  std::ofstream out(path);
+  out << "# minimized by tools/fuzz_pipeline --seed " << o.seed << " (loop " << index
+      << ", config " << cfg.tag << ")\n"
+      << "# failure: " << error << "\n"
+      << printLoop(loop);
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parseArgs(argc, argv);
+  const std::vector<FuzzConfig> configs = buildConfigs(o);
+  const PipelineOptions opt = pipelineOptions(o);
+
+  GeneratorParams params;
+  params.seed = o.seed;
+  params.count = o.loops;
+  params.minOps = o.minOps;
+  params.maxOps = o.maxOps;
+  params.trip = o.trip;
+
+  int runs = 0;
+  int failures = 0;
+  int capacityGiveUps = 0;
+  std::vector<std::string> written;
+  for (int i = 0; i < o.loops; ++i) {
+    Loop loop = generateLoop(params, i);
+    for (const FuzzConfig& cfg : configs) {
+      ++runs;
+      const LoopResult r = compileLoop(loop, cfg.machine, opt);
+      if (r.ok) continue;
+      if (isCapacityFailure(r.error)) {
+        ++capacityGiveUps;
+        if (!o.quiet)
+          std::printf("give-up loop %d (%s) on %s: %s\n", i, loop.name.c_str(),
+                      cfg.machine.name.c_str(), r.error.c_str());
+        continue;
+      }
+      ++failures;
+      std::printf("FAIL loop %d (%s) on %s: %s\n", i, loop.name.c_str(),
+                  cfg.machine.name.c_str(), r.error.c_str());
+      const Loop minimized = minimizeFailure(loop, cfg.machine, opt, category(r));
+      const LoopResult rmin = compileLoop(minimized, cfg.machine, opt);
+      const std::string path =
+          writeRegression(minimized, o, i, cfg, rmin.ok ? r.error : rmin.error);
+      written.push_back(path);
+      std::printf("     minimized to %d ops -> %s\n", minimized.size(), path.c_str());
+    }
+    if (!o.quiet && (i + 1) % 50 == 0)
+      std::printf("... %d/%d loops, %d runs, %d failures\n", i + 1, o.loops, runs,
+                  failures);
+  }
+
+  std::printf(
+      "fuzz_pipeline: %d loops x %zu configs = %d runs, %d failures, "
+      "%d capacity give-ups\n",
+      o.loops, configs.size(), runs, failures, capacityGiveUps);
+  for (const std::string& p : written) std::printf("  regression: %s\n", p.c_str());
+  return failures == 0 ? 0 : 1;
+}
