@@ -78,6 +78,7 @@ inline void printFailures(const SuiteResult& s, const char* label) {
 
 [[nodiscard]] inline Json stagesJson(const PipelineTrace& t) {
   Json j = Json::object();
+  j["analysisNs"] = t.analysisNs;
   j["idealScheduleNs"] = t.idealScheduleNs;
   j["rcgBuildNs"] = t.rcgBuildNs;
   j["partitionNs"] = t.partitionNs;
@@ -100,6 +101,8 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   j["simulatedCycles"] = t.simulatedCycles;
   j["verifiedOps"] = t.verifiedOps;
   j["verifyViolations"] = t.verifyViolations;
+  j["diagErrors"] = t.diagErrors;
+  j["diagWarnings"] = t.diagWarnings;
   return j;
 }
 

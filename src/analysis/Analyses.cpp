@@ -1,0 +1,214 @@
+#include "analysis/Analyses.h"
+
+#include <algorithm>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+void noteReg(VirtReg r, std::uint32_t& maxKey, bool& any) {
+  if (!r.isValid()) return;
+  maxKey = std::max(maxKey, r.key());
+  any = true;
+}
+
+/// gen/kill of one operation for liveness: gen = uses, kill = def. An op that
+/// both reads and writes a register (a recurrence tail) still gens it — the
+/// read sees the previous value, so the register is live-in either way.
+void opLivenessGenKill(const Operation& o, BitSet& gen, BitSet& kill) {
+  if (o.def.isValid()) kill.set(static_cast<int>(o.def.key()));
+  for (VirtReg s : o.srcs()) gen.set(static_cast<int>(s.key()));
+}
+
+}  // namespace
+
+int numRegKeys(const Loop& loop) {
+  std::uint32_t maxKey = 0;
+  bool any = false;
+  for (const Operation& o : loop.body) {
+    noteReg(o.def, maxKey, any);
+    for (VirtReg s : o.srcs()) noteReg(s, maxKey, any);
+  }
+  noteReg(loop.induction, maxKey, any);
+  for (const LiveInValue& lv : loop.liveInValues) noteReg(lv.reg, maxKey, any);
+  return any ? static_cast<int>(maxKey) + 1 : 0;
+}
+
+int numRegKeys(const Function& fn) {
+  std::uint32_t maxKey = 0;
+  bool any = false;
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Operation& o : bb.ops) {
+      noteReg(o.def, maxKey, any);
+      for (VirtReg s : o.srcs()) noteReg(s, maxKey, any);
+    }
+  }
+  return any ? static_cast<int>(maxKey) + 1 : 0;
+}
+
+std::vector<VirtReg> regsOfSet(const BitSet& keys) {
+  std::vector<VirtReg> regs;
+  keys.forEach([&](int k) { regs.push_back(VirtReg::fromKey(static_cast<std::uint32_t>(k))); });
+  std::sort(regs.begin(), regs.end());
+  return regs;
+}
+
+LoopLiveness computeLoopLiveness(const Loop& loop) {
+  const int n = loop.size();
+  LoopLiveness out;
+  out.numKeys = numRegKeys(loop);
+
+  DataflowProblem p;
+  p.direction = FlowDirection::Backward;
+  p.meet = MeetOp::Union;
+  p.numFacts = out.numKeys;
+  p.gen.assign(static_cast<std::size_t>(n), BitSet(p.numFacts));
+  p.kill.assign(static_cast<std::size_t>(n), BitSet(p.numFacts));
+  for (int i = 0; i < n; ++i) opLivenessGenKill(loop.body[i], p.gen[i], p.kill[i]);
+
+  DataflowSolution s = solveDataflow(DataflowCfg::forLoopBody(n), p);
+  out.liveIn = std::move(s.in);
+  out.liveOut = std::move(s.out);
+  return out;
+}
+
+FunctionLiveness computeFunctionLiveness(const Function& fn) {
+  const int n = fn.numBlocks();
+  FunctionLiveness out;
+  out.numKeys = numRegKeys(fn);
+
+  DataflowProblem p;
+  p.direction = FlowDirection::Backward;
+  p.meet = MeetOp::Union;
+  p.numFacts = out.numKeys;
+  p.gen.assign(static_cast<std::size_t>(n), BitSet(p.numFacts));
+  p.kill.assign(static_cast<std::size_t>(n), BitSet(p.numFacts));
+  for (int b = 0; b < n; ++b) {
+    // gen = upward-exposed uses (read before any in-block def);
+    // kill = every register the block defines.
+    BitSet defined(p.numFacts);
+    for (const Operation& o : fn.blocks[b].ops) {
+      for (VirtReg s : o.srcs()) {
+        const int k = static_cast<int>(s.key());
+        if (!defined.test(k)) p.gen[b].set(k);
+      }
+      if (o.def.isValid()) defined.set(static_cast<int>(o.def.key()));
+    }
+    p.kill[b] = defined;
+  }
+
+  DataflowSolution s = solveDataflow(DataflowCfg::forFunction(fn), p);
+  out.liveIn = std::move(s.in);
+  out.liveOut = std::move(s.out);
+  return out;
+}
+
+LoopReachingDefs computeLoopReachingDefs(const Loop& loop) {
+  const int n = loop.size();
+  LoopReachingDefs out;
+
+  DataflowProblem p;
+  p.direction = FlowDirection::Forward;
+  p.meet = MeetOp::Union;
+  p.numFacts = n;
+  p.gen.assign(static_cast<std::size_t>(n), BitSet(n));
+  p.kill.assign(static_cast<std::size_t>(n), BitSet(n));
+  for (int i = 0; i < n; ++i) {
+    if (!loop.body[i].def.isValid()) continue;
+    p.gen[i].set(i);
+    for (int j = 0; j < n; ++j) {
+      if (j != i && loop.body[j].def == loop.body[i].def) p.kill[i].set(j);
+    }
+  }
+
+  DataflowSolution s = solveDataflow(DataflowCfg::forLoopBody(n), p);
+  out.in = std::move(s.in);
+  out.out = std::move(s.out);
+  return out;
+}
+
+FunctionReachingDefs computeFunctionReachingDefs(const Function& fn) {
+  FunctionReachingDefs out;
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const auto& ops = fn.blocks[b].ops;
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      if (ops[i].def.isValid()) out.defSites.emplace_back(b, i);
+    }
+  }
+  const int numDefs = static_cast<int>(out.defSites.size());
+  const int n = fn.numBlocks();
+
+  DataflowProblem p;
+  p.direction = FlowDirection::Forward;
+  p.meet = MeetOp::Union;
+  p.numFacts = numDefs;
+  p.gen.assign(static_cast<std::size_t>(n), BitSet(numDefs));
+  p.kill.assign(static_cast<std::size_t>(n), BitSet(numDefs));
+  for (int d = 0; d < numDefs; ++d) {
+    const auto [b, i] = out.defSites[d];
+    const VirtReg r = fn.blocks[b].ops[i].def;
+    // Downward-exposed: no later def of the same register in the block.
+    bool exposed = true;
+    const auto& ops = fn.blocks[b].ops;
+    for (int j = i + 1; j < static_cast<int>(ops.size()); ++j) {
+      if (ops[j].def == r) exposed = false;
+    }
+    if (exposed) p.gen[b].set(d);
+    // Any def of r in a block kills every OTHER site of r.
+    for (int e = 0; e < numDefs; ++e) {
+      if (e == d) continue;
+      const auto [eb, ei] = out.defSites[e];
+      if (fn.blocks[eb].ops[ei].def == r) p.kill[b].set(e);
+    }
+  }
+
+  DataflowSolution s = solveDataflow(DataflowCfg::forFunction(fn), p);
+  out.in = std::move(s.in);
+  out.out = std::move(s.out);
+  return out;
+}
+
+FunctionInitState computeFunctionInitState(const Function& fn) {
+  const int n = fn.numBlocks();
+  FunctionInitState out;
+  out.numKeys = numRegKeys(fn);
+
+  DataflowProblem p;
+  p.direction = FlowDirection::Forward;
+  p.numFacts = out.numKeys;
+  p.gen.assign(static_cast<std::size_t>(n), BitSet(p.numFacts));
+  p.kill.assign(static_cast<std::size_t>(n), BitSet(p.numFacts));
+  for (int b = 0; b < n; ++b) {
+    for (const Operation& o : fn.blocks[b].ops) {
+      if (o.def.isValid()) p.gen[b].set(static_cast<int>(o.def.key()));
+    }
+  }
+  const DataflowCfg cfg = DataflowCfg::forFunction(fn);
+
+  p.meet = MeetOp::Union;
+  out.mayIn = solveDataflow(cfg, p).in;
+  p.meet = MeetOp::Intersect;
+  out.mustIn = solveDataflow(cfg, p).in;
+  return out;
+}
+
+std::vector<bool> reachableBlocks(const Function& fn) {
+  std::vector<bool> seen(static_cast<std::size_t>(fn.numBlocks()), false);
+  if (fn.blocks.empty()) return seen;
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    for (int s : fn.blocks[b].succs) {
+      if (s >= 0 && s < fn.numBlocks() && !seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace rapt

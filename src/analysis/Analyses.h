@@ -1,0 +1,89 @@
+// Concrete dataflow analyses over the rapt IR, built on analysis/Dataflow.h.
+//
+// Facts are virtual-register keys (VirtReg::key(): intN -> 2N, fltN -> 2N+1)
+// or definition-site indices. Loop analyses are operation-granular over the
+// cyclic body chain (the loop's carried semantics fall out of the back edge);
+// function analyses are block-granular over the CFG, the classic textbook
+// formulation. regalloc/Liveness.cpp is a thin adapter over
+// computeFunctionLiveness, so the allocator and the lint diagnostics share
+// one solver.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "analysis/Dataflow.h"
+#include "ir/Function.h"
+#include "ir/Loop.h"
+
+namespace rapt {
+
+/// 1 + the largest VirtReg::key() mentioned by the unit (bitset width).
+[[nodiscard]] int numRegKeys(const Loop& loop);
+[[nodiscard]] int numRegKeys(const Function& fn);
+
+/// Converts a reg-key bitset into a vector sorted by VirtReg::operator<
+/// (all integer registers before all floating ones — the order regalloc's
+/// BlockLiveness contract promises).
+[[nodiscard]] std::vector<VirtReg> regsOfSet(const BitSet& keys);
+
+// ---- Liveness (backward, union) -----------------------------------------
+
+/// Per-operation liveness around the loop's iteration cycle. A register is
+/// live-in at op i if some op (possibly across the back edge) reads it before
+/// its unique definition kills it. Invariants are live everywhere.
+struct LoopLiveness {
+  int numKeys = 0;
+  std::vector<BitSet> liveIn;   ///< per op
+  std::vector<BitSet> liveOut;  ///< per op
+};
+[[nodiscard]] LoopLiveness computeLoopLiveness(const Loop& loop);
+
+/// Per-block liveness over a function CFG (gen = upward-exposed uses,
+/// kill = block definitions).
+struct FunctionLiveness {
+  int numKeys = 0;
+  std::vector<BitSet> liveIn;   ///< per block
+  std::vector<BitSet> liveOut;  ///< per block
+};
+[[nodiscard]] FunctionLiveness computeFunctionLiveness(const Function& fn);
+
+// ---- Reaching definitions (forward, union) -------------------------------
+
+/// Loop form: facts are body op indices; op i's fact reaches op j when the
+/// value written by body[i] can still be in its register at body[j] (around
+/// the back edge if needed). With single definitions per register every def
+/// reaches every op of a valid loop — the analysis exists to cross-check that
+/// property and to serve op-granular clients.
+struct LoopReachingDefs {
+  std::vector<BitSet> in;   ///< per op, facts = defining op indices
+  std::vector<BitSet> out;
+};
+[[nodiscard]] LoopReachingDefs computeLoopReachingDefs(const Loop& loop);
+
+/// Function form: facts are flattened definition sites.
+struct FunctionReachingDefs {
+  std::vector<std::pair<int, int>> defSites;  ///< fact -> (block, op index)
+  std::vector<BitSet> in;                     ///< per block
+  std::vector<BitSet> out;
+};
+[[nodiscard]] FunctionReachingDefs computeFunctionReachingDefs(const Function& fn);
+
+// ---- Initialization state (forward; may = union, must = intersect) -------
+
+/// For use-before-def reporting: which registers MAY have been assigned on
+/// some path reaching a block's entry, and which MUST have been assigned on
+/// every such path. A use of a (somewhere-defined) register outside mayIn is
+/// definitely uninitialized; outside mustIn, possibly uninitialized.
+struct FunctionInitState {
+  int numKeys = 0;
+  std::vector<BitSet> mayIn;   ///< per block
+  std::vector<BitSet> mustIn;  ///< per block
+};
+[[nodiscard]] FunctionInitState computeFunctionInitState(const Function& fn);
+
+/// Blocks reachable from the entry block (blocks[0]); element b is true when
+/// block b can execute.
+[[nodiscard]] std::vector<bool> reachableBlocks(const Function& fn);
+
+}  // namespace rapt

@@ -1,0 +1,103 @@
+// Dense fixed-width bitset, the fact representation of the dataflow solver.
+//
+// Dataflow facts in this codebase are small dense index spaces — virtual
+// register keys (VirtReg::key()) and operation/definition indices — so a flat
+// word array beats std::set by an order of magnitude on the solver's inner
+// meet/transfer loops and makes set equality (the fixpoint test) a memcmp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(int numBits)
+      : bits_(numBits), words_((static_cast<std::size_t>(numBits) + 63) / 64, 0) {
+    RAPT_ASSERT(numBits >= 0, "negative bitset width");
+  }
+
+  [[nodiscard]] int sizeBits() const { return bits_; }
+
+  void set(int i) {
+    RAPT_ASSERT(i >= 0 && i < bits_, "bitset index out of range");
+    words_[static_cast<std::size_t>(i) / 64] |= (1ull << (i % 64));
+  }
+  void reset(int i) {
+    RAPT_ASSERT(i >= 0 && i < bits_, "bitset index out of range");
+    words_[static_cast<std::size_t>(i) / 64] &= ~(1ull << (i % 64));
+  }
+  [[nodiscard]] bool test(int i) const {
+    RAPT_ASSERT(i >= 0 && i < bits_, "bitset index out of range");
+    return (words_[static_cast<std::size_t>(i) / 64] >> (i % 64)) & 1u;
+  }
+
+  void clear() {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+
+  /// Sets every bit; trailing bits of the last word stay zero so equality and
+  /// popcount remain exact.
+  void setAll() {
+    for (std::uint64_t& w : words_) w = ~0ull;
+    const int tail = bits_ % 64;
+    if (tail != 0 && !words_.empty()) words_.back() = (1ull << tail) - 1;
+  }
+
+  BitSet& operator|=(const BitSet& o) {
+    RAPT_ASSERT(bits_ == o.bits_, "bitset width mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  BitSet& operator&=(const BitSet& o) {
+    RAPT_ASSERT(bits_ == o.bits_, "bitset width mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  /// this = this - o (set difference).
+  BitSet& subtract(const BitSet& o) {
+    RAPT_ASSERT(bits_ == o.bits_, "bitset width mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const BitSet& a, const BitSet& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const BitSet& a, const BitSet& b) { return !(a == b); }
+
+  [[nodiscard]] bool any() const {
+    for (std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] int count() const {
+    int n = 0;
+    for (std::uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  /// Calls `f(index)` for every set bit in ascending order.
+  template <typename F>
+  void forEach(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        f(static_cast<int>(wi * 64) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  int bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rapt

@@ -1,0 +1,114 @@
+#include "analysis/Dataflow.h"
+
+#include <deque>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+DataflowCfg DataflowCfg::forFunction(const Function& fn) {
+  DataflowCfg cfg;
+  cfg.succs.resize(fn.blocks.size());
+  cfg.preds.resize(fn.blocks.size());
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    for (int s : fn.blocks[b].succs) {
+      RAPT_ASSERT(s >= 0 && s < fn.numBlocks(), "successor out of range");
+      cfg.succs[b].push_back(s);
+      cfg.preds[s].push_back(b);
+    }
+  }
+  return cfg;
+}
+
+DataflowCfg DataflowCfg::forLoopBody(int numOps) {
+  DataflowCfg cfg = chain(numOps);
+  if (numOps > 0) {
+    cfg.succs[numOps - 1].push_back(0);
+    cfg.preds[0].push_back(numOps - 1);
+  }
+  return cfg;
+}
+
+DataflowCfg DataflowCfg::chain(int numOps) {
+  DataflowCfg cfg;
+  cfg.succs.resize(numOps);
+  cfg.preds.resize(numOps);
+  for (int i = 0; i + 1 < numOps; ++i) {
+    cfg.succs[i].push_back(i + 1);
+    cfg.preds[i + 1].push_back(i);
+  }
+  return cfg;
+}
+
+DataflowSolution solveDataflow(const DataflowCfg& cfg, const DataflowProblem& p) {
+  const int n = cfg.numNodes();
+  RAPT_ASSERT(static_cast<int>(p.gen.size()) == n && static_cast<int>(p.kill.size()) == n,
+              "gen/kill size must match node count");
+
+  DataflowSolution s;
+  s.in.assign(n, BitSet(p.numFacts));
+  s.out.assign(n, BitSet(p.numFacts));
+
+  const bool fwd = p.direction == FlowDirection::Forward;
+  // The set the transfer function WRITES (out for forward, in for backward)
+  // starts at the lattice top: empty for a union meet (may-analysis grows),
+  // full for an intersect meet (must-analysis shrinks).
+  std::vector<BitSet>& results = fwd ? s.out : s.in;
+  if (p.meet == MeetOp::Intersect) {
+    for (BitSet& b : results) b.setAll();
+  }
+  BitSet boundary = p.boundary.sizeBits() == p.numFacts ? p.boundary : BitSet(p.numFacts);
+
+  // Deterministic worklist: natural order forward, reverse order backward
+  // (both approximate the CFG's topological order for the mostly-forward
+  // graphs this repo builds, so convergence takes a pass or two).
+  std::deque<int> work;
+  std::vector<bool> queued(static_cast<std::size_t>(n), true);
+  for (int i = 0; i < n; ++i) work.push_back(fwd ? i : n - 1 - i);
+
+  const std::vector<std::vector<int>>& inputs = fwd ? cfg.preds : cfg.succs;
+  const std::vector<std::vector<int>>& outputs = fwd ? cfg.succs : cfg.preds;
+  std::vector<BitSet>& meetSide = fwd ? s.in : s.out;
+
+  BitSet acc(p.numFacts);
+  while (!work.empty()) {
+    const int node = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(node)] = false;
+    ++s.iterations;
+
+    // Meet over the node's inputs (boundary when it has none).
+    if (inputs[node].empty()) {
+      acc = boundary;
+    } else {
+      bool first = true;
+      for (int m : inputs[node]) {
+        if (first) {
+          acc = results[m];
+          first = false;
+        } else if (p.meet == MeetOp::Union) {
+          acc |= results[m];
+        } else {
+          acc &= results[m];
+        }
+      }
+    }
+    meetSide[node] = acc;
+
+    // Transfer: result = gen | (meet - kill).
+    acc.subtract(p.kill[node]);
+    acc |= p.gen[node];
+    if (acc != results[node]) {
+      results[node] = acc;
+      for (int m : outputs[node]) {
+        if (!queued[static_cast<std::size_t>(m)]) {
+          queued[static_cast<std::size_t>(m)] = true;
+          work.push_back(m);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace rapt

@@ -1,0 +1,70 @@
+// Generic iterative dataflow over small CFGs.
+//
+// One worklist solver serves every analysis in src/analysis (and, through
+// regalloc/Liveness, the Chaitin/Briggs allocator): a problem is a direction,
+// a meet operator, and per-node gen/kill bitsets; the solver computes the
+// maximal (union meet) or minimal (intersect meet) fixpoint of
+//
+//   forward:   in[n]  = MEET over preds p of out[p]      (boundary if none)
+//              out[n] = gen[n] | (in[n] - kill[n])
+//   backward:  out[n] = MEET over succs s of in[s]       (boundary if none)
+//              in[n]  = gen[n] | (out[n] - kill[n])
+//
+// Nodes are whatever granularity the client picks: one per basic block for
+// whole-function analyses, one per operation for loop bodies (the loop's
+// iteration cycle is modeled as an explicit back edge, so loop-carried facts
+// flow without any special casing).
+#pragma once
+
+#include <vector>
+
+#include "analysis/BitSet.h"
+#include "ir/Function.h"
+#include "ir/Loop.h"
+
+namespace rapt {
+
+/// Adjacency of the graph being analyzed (successors + derived predecessors).
+struct DataflowCfg {
+  std::vector<std::vector<int>> succs;
+  std::vector<std::vector<int>> preds;
+
+  [[nodiscard]] int numNodes() const { return static_cast<int>(succs.size()); }
+
+  /// One node per basic block, edges from Function::succs.
+  [[nodiscard]] static DataflowCfg forFunction(const Function& fn);
+
+  /// One node per body operation: 0 -> 1 -> ... -> n-1 -> 0. The closing back
+  /// edge is the loop's iteration cycle (quasi-SSA carried semantics).
+  [[nodiscard]] static DataflowCfg forLoopBody(int numOps);
+
+  /// A straight chain 0 -> 1 -> ... -> n-1 (no back edge).
+  [[nodiscard]] static DataflowCfg chain(int numOps);
+};
+
+enum class FlowDirection : std::uint8_t { Forward, Backward };
+enum class MeetOp : std::uint8_t { Union, Intersect };
+
+struct DataflowProblem {
+  FlowDirection direction = FlowDirection::Forward;
+  MeetOp meet = MeetOp::Union;
+  int numFacts = 0;
+  std::vector<BitSet> gen;   ///< per node
+  std::vector<BitSet> kill;  ///< per node
+  /// Value at the graph boundary: in[] of predecessor-less nodes (forward) or
+  /// out[] of successor-less nodes (backward). Defaults to the empty set.
+  BitSet boundary;
+};
+
+struct DataflowSolution {
+  std::vector<BitSet> in;   ///< per node, meaning depends on direction
+  std::vector<BitSet> out;
+  int iterations = 0;       ///< node visits until fixpoint (observability)
+};
+
+/// Worklist solver; terminates because transfer functions are monotone over a
+/// finite lattice. Deterministic: nodes are visited in a fixed order.
+[[nodiscard]] DataflowSolution solveDataflow(const DataflowCfg& cfg,
+                                             const DataflowProblem& problem);
+
+}  // namespace rapt

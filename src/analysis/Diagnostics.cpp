@@ -1,0 +1,98 @@
+#include "analysis/Diagnostics.h"
+
+#include <sstream>
+
+#include "ir/Printer.h"
+#include "support/Assert.h"
+
+namespace rapt {
+
+const char* diagSeverityName(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::Note: return "note";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
+  }
+  RAPT_UNREACHABLE("bad severity");
+}
+
+const char* diagCodeName(DiagCode c) {
+  switch (c) {
+    case DiagCode::ParseError: return "parse-error";
+    case DiagCode::TypeMismatch: return "type-mismatch";
+    case DiagCode::UnknownArray: return "unknown-array";
+    case DiagCode::RedefinedRegister: return "redefined-register";
+    case DiagCode::BadInduction: return "bad-induction";
+    case DiagCode::InvalidCfg: return "invalid-cfg";
+    case DiagCode::UseBeforeDef: return "use-before-def";
+    case DiagCode::DeadDef: return "dead-def";
+    case DiagCode::UnreachableCode: return "unreachable-code";
+    case DiagCode::UnusedLivein: return "unused-livein";
+  }
+  RAPT_UNREACHABLE("bad diagnostic code");
+}
+
+int AnalysisReport::errorCount() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == DiagSeverity::Error) ++n;
+  return n;
+}
+
+int AnalysisReport::warningCount() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == DiagSeverity::Warning) ++n;
+  return n;
+}
+
+std::string AnalysisReport::firstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagSeverity::Error) {
+      std::ostringstream os;
+      if (d.block >= 0) os << "block " << d.block << " ";
+      if (d.op >= 0) os << "op " << d.op << " ";
+      os << "[" << diagCodeName(d.code) << "] " << d.message;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+Diagnostic& AnalysisReport::add(DiagSeverity sev, DiagCode code, std::string message) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = code;
+  d.message = std::move(message);
+  diagnostics.push_back(std::move(d));
+  return diagnostics.back();
+}
+
+std::string formatDiagnostic(const Diagnostic& d, const std::string& unitName) {
+  std::ostringstream os;
+  os << unitName << ": ";
+  if (d.block >= 0) os << "block " << d.block << ": ";
+  if (d.op >= 0) os << "op " << d.op << ": ";
+  os << diagSeverityName(d.severity) << " [" << diagCodeName(d.code) << "] "
+     << d.message;
+  if (!d.hint.empty()) os << " (hint: " << d.hint << ")";
+  return os.str();
+}
+
+Json diagnosticsJson(const std::vector<Diagnostic>& diagnostics) {
+  Json arr = Json::array();
+  for (const Diagnostic& d : diagnostics) {
+    Json j = Json::object();
+    j["severity"] = diagSeverityName(d.severity);
+    j["code"] = diagCodeName(d.code);
+    j["block"] = d.block;
+    j["op"] = d.op;
+    j["reg"] = d.reg.isValid() ? Json(regName(d.reg)) : Json();
+    j["message"] = d.message;
+    j["hint"] = d.hint;
+    arr.push(std::move(j));
+  }
+  return arr;
+}
+
+}  // namespace rapt

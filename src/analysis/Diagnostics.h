@@ -1,0 +1,69 @@
+// Structured diagnostics produced by the static IR analyses.
+//
+// Every finding carries a machine-readable code, a severity, the location
+// (block/op index, register), a human message, and a fix hint. Errors mean
+// the unit is malformed and the pipeline must not attempt to compile it
+// (CompilerPipeline/FunctionPipeline gate on them by default); warnings are
+// advisory (dead code, implicit zero live-ins) and never block compilation.
+// `tools/rapt-lint` renders reports as text or JSON (docs/analysis.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/Reg.h"
+#include "support/Json.h"
+
+namespace rapt {
+
+enum class DiagSeverity : std::uint8_t { Note, Warning, Error };
+
+enum class DiagCode : std::uint8_t {
+  ParseError,          ///< file-level: the text did not parse
+  TypeMismatch,        ///< operand/result register class or array element type
+  UnknownArray,        ///< memory op references an undeclared array
+  RedefinedRegister,   ///< second definition within a single-assignment region
+  BadInduction,        ///< induction register class/update malformed
+  InvalidCfg,          ///< successor edge out of range
+  UseBeforeDef,        ///< read of a register no definition (or initializer) reaches
+  DeadDef,             ///< definition whose value is never read
+  UnreachableCode,     ///< block that cannot execute
+  UnusedLivein,        ///< livein initializer that no read consumes
+};
+
+[[nodiscard]] const char* diagSeverityName(DiagSeverity s);
+[[nodiscard]] const char* diagCodeName(DiagCode c);  ///< kebab-case, stable
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::Error;
+  DiagCode code = DiagCode::TypeMismatch;
+  int block = -1;  ///< function block index; -1 for loops and unit-level findings
+  int op = -1;     ///< op index within the body/block; -1 for unit-level findings
+  VirtReg reg;     ///< invalid when the finding is not register-related
+  std::string message;
+  std::string hint;  ///< suggested fix; may be empty
+};
+
+/// The outcome of analyzing one unit (loop or function).
+class AnalysisReport {
+ public:
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] int errorCount() const;
+  [[nodiscard]] int warningCount() const;
+  [[nodiscard]] bool ok() const { return errorCount() == 0; }
+
+  /// Message of the first error ("" when ok()); the pipeline surfaces it.
+  [[nodiscard]] std::string firstError() const;
+
+  Diagnostic& add(DiagSeverity sev, DiagCode code, std::string message);
+};
+
+/// One-line rendering: "<unit>: op 3: error [use-before-def] ... (hint: ...)".
+[[nodiscard]] std::string formatDiagnostic(const Diagnostic& d,
+                                           const std::string& unitName);
+
+/// JSON array of diagnostic objects, schema documented in docs/analysis.md.
+[[nodiscard]] Json diagnosticsJson(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace rapt

@@ -1,0 +1,112 @@
+#include "analysis/LintDriver.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "ir/Parser.h"
+
+namespace rapt {
+namespace {
+
+/// First keyword of the text, skipping whitespace and `#` comments.
+std::string firstKeyword(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '#') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else {
+      break;
+    }
+  }
+  std::size_t end = pos;
+  while (end < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[end])) || text[end] == '_'))
+    ++end;
+  return std::string(text.substr(pos, end - pos));
+}
+
+void tally(LintFileResult& file) {
+  for (const LintUnitResult& u : file.units) {
+    file.errors += u.report.errorCount();
+    file.warnings += u.report.warningCount();
+  }
+}
+
+}  // namespace
+
+LintFileResult lintSource(const std::string& fileLabel, std::string_view text) {
+  LintFileResult result;
+  result.file = fileLabel;
+  try {
+    if (firstKeyword(text) == "function") {
+      for (const Function& fn : parseFunctions(text)) {
+        LintUnitResult u;
+        u.name = fn.name;
+        u.kind = "function";
+        u.report = analyzeFunction(fn);
+        result.units.push_back(std::move(u));
+      }
+    } else {
+      for (const Loop& loop : parseLoops(text, ParseValidation::Lenient)) {
+        LintUnitResult u;
+        u.name = loop.name;
+        u.kind = "loop";
+        u.report = analyzeLoop(loop);
+        result.units.push_back(std::move(u));
+      }
+    }
+  } catch (const ParseError& e) {
+    LintUnitResult u;
+    u.name = fileLabel;
+    u.kind = "file";
+    u.report.add(DiagSeverity::Error, DiagCode::ParseError, e.what());
+    result.units.push_back(std::move(u));
+  }
+  tally(result);
+  return result;
+}
+
+Json lintJson(std::span<const LintFileResult> files) {
+  Json doc = Json::object();
+  Json arr = Json::array();
+  int errors = 0;
+  int warnings = 0;
+  for (const LintFileResult& f : files) {
+    Json jf = Json::object();
+    jf["file"] = f.file;
+    Json units = Json::array();
+    for (const LintUnitResult& u : f.units) {
+      Json ju = Json::object();
+      ju["name"] = u.name;
+      ju["kind"] = u.kind;
+      ju["errors"] = u.report.errorCount();
+      ju["warnings"] = u.report.warningCount();
+      ju["diagnostics"] = diagnosticsJson(u.report.diagnostics);
+      units.push(std::move(ju));
+    }
+    jf["units"] = std::move(units);
+    jf["errors"] = f.errors;
+    jf["warnings"] = f.warnings;
+    arr.push(std::move(jf));
+    errors += f.errors;
+    warnings += f.warnings;
+  }
+  doc["files"] = std::move(arr);
+  doc["errors"] = errors;
+  doc["warnings"] = warnings;
+  return doc;
+}
+
+std::string lintText(const LintFileResult& file) {
+  std::ostringstream os;
+  for (const LintUnitResult& u : file.units) {
+    for (const Diagnostic& d : u.report.diagnostics)
+      os << formatDiagnostic(d, file.file + ": " + u.kind + " " + u.name) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rapt

@@ -1,0 +1,45 @@
+// File-level linting: parse + analyze + render, shared by tools/rapt-lint and
+// the golden-diagnostic tests so both see byte-identical output.
+//
+// A source file holds either loops or functions (sniffed from the first
+// keyword). Loops are parsed LENIENTLY — structural problems ir::validate()
+// would throw on become structured diagnostics instead, which is the whole
+// point of a linter. A file that does not even tokenize yields a single
+// parse-error diagnostic.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/Linter.h"
+#include "support/Json.h"
+
+namespace rapt {
+
+struct LintUnitResult {
+  std::string name;        ///< loop/function name
+  std::string kind;        ///< "loop" or "function"
+  AnalysisReport report;
+};
+
+struct LintFileResult {
+  std::string file;        ///< label used in rendered diagnostics
+  std::vector<LintUnitResult> units;
+  int errors = 0;
+  int warnings = 0;
+};
+
+/// Parses and analyzes one source text.
+[[nodiscard]] LintFileResult lintSource(const std::string& fileLabel,
+                                        std::string_view text);
+
+/// The `rapt-lint --json` document: per-file, per-unit diagnostic arrays plus
+/// total error/warning counts (schema in docs/analysis.md).
+[[nodiscard]] Json lintJson(std::span<const LintFileResult> files);
+
+/// Human-readable rendering, one line per diagnostic.
+[[nodiscard]] std::string lintText(const LintFileResult& file);
+
+}  // namespace rapt

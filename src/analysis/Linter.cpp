@@ -1,0 +1,335 @@
+#include "analysis/Linter.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/Analyses.h"
+#include "ir/Opcode.h"
+#include "ir/Printer.h"
+
+namespace rapt {
+namespace {
+
+std::string clsName(RegClass rc) { return regClassName(rc); }
+
+/// Structural audit of one operation against its opcode signature and the
+/// unit's array table. Returns false when the op is too broken for the
+/// dataflow layer (invalid opcode / invalid operand registers).
+bool checkOperation(const Operation& o, const std::vector<ArrayDecl>& arrays,
+                    int block, int opIdx, AnalysisReport& report) {
+  auto add = [&](DiagCode code, std::string msg) -> Diagnostic& {
+    Diagnostic& d = report.add(DiagSeverity::Error, code, std::move(msg));
+    d.block = block;
+    d.op = opIdx;
+    return d;
+  };
+
+  if (o.op >= Opcode::kCount_) {
+    add(DiagCode::TypeMismatch, "invalid opcode");
+    return false;
+  }
+  const OpcodeInfo& info = o.info();
+  const std::string name(info.name);
+  bool sound = true;
+
+  if (info.hasDef != o.def.isValid()) {
+    Diagnostic& d = add(DiagCode::TypeMismatch,
+                        info.hasDef ? "opcode '" + name + "' requires a result register"
+                                    : "opcode '" + name + "' produces no result");
+    d.hint = info.hasDef ? "write `reg = " + name + " ...`" : "drop the destination";
+  } else if (info.hasDef && o.def.cls() != info.defCls) {
+    Diagnostic& d = add(DiagCode::TypeMismatch,
+                        "result of '" + name + "' must be a " + clsName(info.defCls) +
+                            " register, got " + regName(o.def));
+    d.reg = o.def;
+    d.hint = "use " + std::string(info.defCls == RegClass::Int ? "an i" : "an f") +
+             "N register as the destination";
+  }
+  for (int s = 0; s < info.numSrcs; ++s) {
+    if (!o.src[s].isValid()) {
+      add(DiagCode::TypeMismatch,
+          "missing source operand " + std::to_string(s) + " of '" + name + "'");
+      sound = false;
+    } else if (o.src[s].cls() != info.srcCls[s]) {
+      Diagnostic& d =
+          add(DiagCode::TypeMismatch, "operand " + std::to_string(s) + " of '" + name +
+                                          "' must be a " + clsName(info.srcCls[s]) +
+                                          " register, got " + regName(o.src[s]));
+      d.reg = o.src[s];
+    }
+  }
+  if (isMemory(o.op)) {
+    if (o.array == kNoArray || o.array >= arrays.size()) {
+      add(DiagCode::UnknownArray, "memory operation references an undeclared array")
+          .hint = "declare it with `array name[size] int|flt`";
+    } else {
+      const bool fltOp = opcodeInfo(o.op).kind == OpKind::Load
+                             ? info.defCls == RegClass::Flt
+                             : info.srcCls[1] == RegClass::Flt;
+      if (arrays[o.array].isFloat != fltOp) {
+        Diagnostic& d = add(
+            DiagCode::TypeMismatch,
+            "'" + name + "' element type does not match array '" + arrays[o.array].name +
+                "' (" + (arrays[o.array].isFloat ? "flt" : "int") + ")");
+        d.hint = arrays[o.array].isFloat ? "use fload/fstore" : "use iload/istore";
+      }
+    }
+  }
+  return sound;
+}
+
+}  // namespace
+
+AnalysisReport analyzeLoop(const Loop& loop) {
+  AnalysisReport report;
+
+  // ---- Layer 1: structural. ----
+  bool sound = true;
+  std::unordered_map<std::uint32_t, int> defAt;  // reg key -> defining op
+  for (int i = 0; i < loop.size(); ++i) {
+    const Operation& o = loop.body[i];
+    if (!checkOperation(o, loop.arrays, /*block=*/-1, i, report)) {
+      sound = false;
+      continue;
+    }
+    if (o.def.isValid()) {
+      auto [it, inserted] = defAt.try_emplace(o.def.key(), i);
+      if (!inserted) {
+        Diagnostic& d = report.add(
+            DiagSeverity::Error, DiagCode::RedefinedRegister,
+            regName(o.def) + " already defined at op " + std::to_string(it->second) +
+                "; loop bodies assign each register at most once");
+        d.op = i;
+        d.reg = o.def;
+        d.hint = "rename the second definition";
+      }
+    }
+  }
+  if (loop.induction.isValid()) {
+    if (loop.induction.cls() != RegClass::Int) {
+      Diagnostic& d = report.add(DiagSeverity::Error, DiagCode::BadInduction,
+                                 "induction register must be an integer register");
+      d.reg = loop.induction;
+    } else if (auto it = defAt.find(loop.induction.key()); it == defAt.end()) {
+      Diagnostic& d = report.add(DiagSeverity::Error, DiagCode::BadInduction,
+                                 "induction register " + regName(loop.induction) +
+                                     " is never updated in the body");
+      d.reg = loop.induction;
+      d.hint = "append `" + regName(loop.induction) + " = iaddi " +
+               regName(loop.induction) + ", 1`";
+    } else {
+      const Operation& upd = loop.body[static_cast<std::size_t>(it->second)];
+      if (upd.op != Opcode::IAddImm || upd.src[0] != loop.induction || upd.imm != 1) {
+        Diagnostic& d =
+            report.add(DiagSeverity::Error, DiagCode::BadInduction,
+                       "induction update must be `iaddi iv, iv, 1` so uses read the "
+                       "0-based iteration number");
+        d.op = it->second;
+        d.reg = loop.induction;
+      }
+    }
+  }
+  if (!sound || !report.ok()) return report;
+
+  // ---- Layer 2: dataflow (structurally sound loops only). ----
+  const LoopLiveness live = computeLoopLiveness(loop);
+
+  // Dead definitions: the value never reaches any read, not even across the
+  // back edge (liveness over the cyclic body chain).
+  for (int i = 0; i < loop.size(); ++i) {
+    const VirtReg def = loop.body[i].def;
+    if (!def.isValid()) continue;
+    if (!live.liveOut[static_cast<std::size_t>(i)].test(static_cast<int>(def.key()))) {
+      Diagnostic& d = report.add(DiagSeverity::Warning, DiagCode::DeadDef,
+                                 regName(def) + " is defined but never read");
+      d.op = i;
+      d.reg = def;
+      d.hint = "delete the operation or consume its result";
+    }
+  }
+
+  // Reads that resolve to an implicit zero live-in: invariants without a
+  // `livein` entry, and loop-carried uses whose iteration-0 value has no
+  // initializer. Legal (registers default to zero) but usually an oversight.
+  std::unordered_set<std::uint32_t> hasLivein;
+  for (const LiveInValue& lv : loop.liveInValues)
+    if (lv.reg.isValid()) hasLivein.insert(lv.reg.key());
+  std::unordered_set<std::uint32_t> reported;
+  for (int i = 0; i < loop.size(); ++i) {
+    for (VirtReg r : loop.body[i].srcs()) {
+      if (r == loop.induction || hasLivein.count(r.key()) != 0 ||
+          reported.count(r.key()) != 0)
+        continue;
+      const auto it = defAt.find(r.key());
+      const bool invariant = it == defAt.end();
+      const bool carried = !invariant && it->second >= i;
+      if (!invariant && !carried) continue;
+      reported.insert(r.key());
+      Diagnostic& d = report.add(
+          DiagSeverity::Warning, DiagCode::UseBeforeDef,
+          invariant
+              ? regName(r) + " is read but never defined in the body and has no "
+                             "livein initializer; it reads zero"
+              : "loop-carried use of " + regName(r) +
+                    " reads zero on iteration 0 (no livein initializer)");
+      d.op = i;
+      d.reg = r;
+      d.hint = "add `livein " + regName(r) + " = <value>`";
+    }
+  }
+
+  // Livein entries nothing consumes (plus duplicates).
+  std::unordered_set<std::uint32_t> seenLivein;
+  for (const LiveInValue& lv : loop.liveInValues) {
+    if (!lv.reg.isValid()) continue;
+    if (!seenLivein.insert(lv.reg.key()).second) {
+      Diagnostic& d = report.add(DiagSeverity::Warning, DiagCode::UnusedLivein,
+                                 "duplicate livein entry for " + regName(lv.reg));
+      d.reg = lv.reg;
+      continue;
+    }
+    if (lv.reg == loop.induction) continue;  // sets the starting index
+    bool consumed = false;
+    for (int i = 0; i < loop.size() && !consumed; ++i) {
+      if (loop.body[i].uses(lv.reg)) {
+        const auto it = defAt.find(lv.reg.key());
+        consumed = it == defAt.end() || it->second >= i;  // invariant or carried
+      }
+    }
+    if (!consumed) {
+      Diagnostic& d = report.add(
+          DiagSeverity::Warning, DiagCode::UnusedLivein,
+          "livein initializer for " + regName(lv.reg) +
+              " is never consumed (no invariant or iteration-0 read)");
+      d.reg = lv.reg;
+      d.hint = "remove the livein entry";
+    }
+  }
+  return report;
+}
+
+AnalysisReport analyzeFunction(const Function& fn) {
+  AnalysisReport report;
+
+  // ---- Layer 1: structural. ----
+  bool sound = true;
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const BasicBlock& bb = fn.blocks[b];
+    for (int s : bb.succs) {
+      if (s < 0 || s >= fn.numBlocks()) {
+        Diagnostic& d = report.add(DiagSeverity::Error, DiagCode::InvalidCfg,
+                                   "successor index " + std::to_string(s) +
+                                       " is outside the function's " +
+                                       std::to_string(fn.numBlocks()) + " blocks");
+        d.block = b;
+        sound = false;
+      }
+    }
+    std::unordered_map<std::uint32_t, int> defAt;  // block-local single assignment
+    for (int i = 0; i < static_cast<int>(bb.ops.size()); ++i) {
+      const Operation& o = bb.ops[i];
+      if (!checkOperation(o, fn.arrays, b, i, report)) {
+        sound = false;
+        continue;
+      }
+      if (o.def.isValid()) {
+        auto [it, inserted] = defAt.try_emplace(o.def.key(), i);
+        if (!inserted) {
+          Diagnostic& d = report.add(
+              DiagSeverity::Error, DiagCode::RedefinedRegister,
+              regName(o.def) + " already defined at op " + std::to_string(it->second) +
+                  " of this block; blocks assign each register at most once");
+          d.block = b;
+          d.op = i;
+          d.reg = o.def;
+          d.hint = "rename the second definition";
+        }
+      }
+    }
+  }
+  if (!sound || !report.ok()) return report;
+
+  // ---- Layer 2: dataflow. ----
+  const std::vector<bool> reachable = reachableBlocks(fn);
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    if (reachable[static_cast<std::size_t>(b)]) continue;
+    Diagnostic& d = report.add(DiagSeverity::Warning, DiagCode::UnreachableCode,
+                               "block " + std::to_string(b) +
+                                   " is unreachable from the entry block");
+    d.block = b;
+    d.hint = "delete it or add an edge from a reachable block";
+  }
+
+  const int numKeys = numRegKeys(fn);
+  BitSet definedSomewhere(numKeys);
+  for (const BasicBlock& bb : fn.blocks)
+    for (const Operation& o : bb.ops)
+      if (o.def.isValid()) definedSomewhere.set(static_cast<int>(o.def.key()));
+
+  const FunctionInitState init = computeFunctionInitState(fn);
+  const FunctionLiveness live = computeFunctionLiveness(fn);
+
+  std::unordered_set<std::uint32_t> reportedUse;
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    if (!reachable[static_cast<std::size_t>(b)]) continue;  // flagged above
+    const BasicBlock& bb = fn.blocks[b];
+
+    // Use-before-def, forward walk. Registers with no definition anywhere are
+    // function inputs (the analogue of loop invariants) and are not flagged.
+    BitSet may = init.mayIn[static_cast<std::size_t>(b)];
+    BitSet must = init.mustIn[static_cast<std::size_t>(b)];
+    for (int i = 0; i < static_cast<int>(bb.ops.size()); ++i) {
+      const Operation& o = bb.ops[i];
+      for (VirtReg r : o.srcs()) {
+        const int k = static_cast<int>(r.key());
+        if (!definedSomewhere.test(k) || reportedUse.count(r.key()) != 0) continue;
+        if (!may.test(k)) {
+          Diagnostic& d = report.add(
+              DiagSeverity::Error, DiagCode::UseBeforeDef,
+              regName(r) + " is read before any of its definitions can execute");
+          d.block = b;
+          d.op = i;
+          d.reg = r;
+          d.hint = "move the definition to a block that precedes this use";
+          reportedUse.insert(r.key());
+        } else if (!must.test(k)) {
+          Diagnostic& d = report.add(DiagSeverity::Warning, DiagCode::UseBeforeDef,
+                                     regName(r) + " may be read uninitialized: no "
+                                                  "definition reaches it on every path");
+          d.block = b;
+          d.op = i;
+          d.reg = r;
+          d.hint = "define it on all paths (e.g. in the entry block)";
+          reportedUse.insert(r.key());
+        }
+      }
+      if (o.def.isValid()) {
+        may.set(static_cast<int>(o.def.key()));
+        must.set(static_cast<int>(o.def.key()));
+      }
+    }
+
+    // Dead definitions, backward walk from the block's live-out.
+    BitSet liveNow = live.liveOut[static_cast<std::size_t>(b)];
+    for (int i = static_cast<int>(bb.ops.size()) - 1; i >= 0; --i) {
+      const Operation& o = bb.ops[i];
+      if (o.def.isValid()) {
+        const int k = static_cast<int>(o.def.key());
+        if (!liveNow.test(k)) {
+          Diagnostic& d = report.add(DiagSeverity::Warning, DiagCode::DeadDef,
+                                     regName(o.def) + " is defined but never read");
+          d.block = b;
+          d.op = i;
+          d.reg = o.def;
+          d.hint = "delete the operation or consume its result";
+        }
+        liveNow.reset(k);
+      }
+      for (VirtReg s : o.srcs()) liveNow.set(static_cast<int>(s.key()));
+    }
+  }
+  return report;
+}
+
+}  // namespace rapt

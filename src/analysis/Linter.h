@@ -1,0 +1,27 @@
+// The semantic gate: whole-unit static analysis producing diagnostics.
+//
+// analyzeLoop/analyzeFunction run two layers:
+//
+//   1. structural checks (operand counts and classes, array references,
+//      single assignment, induction form, CFG edge ranges) — error severity,
+//      a superset of ir::validate() with locations and fix hints;
+//   2. dataflow-backed checks on structurally sound units (use-before-def,
+//      dead definitions, unreachable blocks, unconsumed liveins) via the
+//      worklist analyses of analysis/Analyses.h.
+//
+// Errors mean "do not compile this" and abort the pipeline before scheduling;
+// warnings are advisory. The taxonomy and the loop-vs-function severity
+// rationale (a loop read before its definition is legal carried semantics,
+// a function read no definition reaches is a bug) live in docs/analysis.md.
+#pragma once
+
+#include "analysis/Diagnostics.h"
+#include "ir/Function.h"
+#include "ir/Loop.h"
+
+namespace rapt {
+
+[[nodiscard]] AnalysisReport analyzeLoop(const Loop& loop);
+[[nodiscard]] AnalysisReport analyzeFunction(const Function& fn);
+
+}  // namespace rapt

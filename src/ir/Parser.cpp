@@ -132,7 +132,11 @@ std::optional<VirtReg> regFromIdent(const std::string& ident) {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+  explicit Parser(std::string_view text,
+                  ParseValidation validation = ParseValidation::Strict)
+      : lexer_(text), validation_(validation) {
+    advance();
+  }
 
   std::vector<Loop> parseAll() {
     std::vector<Loop> loops;
@@ -236,7 +240,9 @@ class Parser {
       loop.body.push_back(
           makeUnary(Opcode::IAddImm, loop.induction, loop.induction, 1));
     }
-    if (auto err = validate(loop)) throw ParseError(cur_.line, *err);
+    if (validation_ == ParseValidation::Strict) {
+      if (auto err = validate(loop)) throw ParseError(cur_.line, *err);
+    }
     return loop;
   }
 
@@ -435,6 +441,7 @@ class Parser {
 
   Lexer lexer_;
   Token cur_;
+  ParseValidation validation_ = ParseValidation::Strict;
 };
 
 }  // namespace
@@ -452,14 +459,16 @@ std::vector<Function> parseFunctions(std::string_view text) {
   return Parser(text).parseAllFunctions();
 }
 
-Loop parseLoop(std::string_view text) {
-  Parser p(text);
+Loop parseLoop(std::string_view text, ParseValidation validation) {
+  Parser p(text, validation);
   auto loops = p.parseAll();
   if (loops.size() != 1)
     throw ParseError(1, "expected exactly one loop, found " + std::to_string(loops.size()));
   return std::move(loops.front());
 }
 
-std::vector<Loop> parseLoops(std::string_view text) { return Parser(text).parseAll(); }
+std::vector<Loop> parseLoops(std::string_view text, ParseValidation validation) {
+  return Parser(text, validation).parseAll();
+}
 
 }  // namespace rapt

@@ -43,12 +43,20 @@ class ParseError : public std::runtime_error {
   int line_;
 };
 
-/// Parse exactly one loop; throws ParseError on malformed input and on loops
-/// that fail structural validation.
-[[nodiscard]] Loop parseLoop(std::string_view text);
+/// Strict parsing (the default) rejects loops that fail ir::validate() with a
+/// ParseError; lenient parsing returns them as written so a client with its
+/// own semantic layer (src/analysis, via tools/rapt-lint) can report
+/// structured diagnostics instead of a thrown string.
+enum class ParseValidation : std::uint8_t { Strict, Lenient };
+
+/// Parse exactly one loop; throws ParseError on malformed input and (in
+/// Strict mode) on loops that fail structural validation.
+[[nodiscard]] Loop parseLoop(std::string_view text,
+                             ParseValidation validation = ParseValidation::Strict);
 
 /// Parse a file containing any number of loops.
-[[nodiscard]] std::vector<Loop> parseLoops(std::string_view text);
+[[nodiscard]] std::vector<Loop> parseLoops(
+    std::string_view text, ParseValidation validation = ParseValidation::Strict);
 
 /// Whole-function form: named blocks with explicit successor lists.
 ///

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/Linter.h"
 #include "partition/Baselines.h"
 #include "partition/Refinement.h"
 #include "partition/CopyInserter.h"
@@ -160,6 +161,22 @@ LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
   if (auto err = validate(loop)) {
     r.error = *err;
     return r;
+  }
+
+  // Static semantic gate (src/analysis, docs/analysis.md): structural and
+  // dataflow lint before any scheduling work. Errors refuse the loop;
+  // warnings ride along in r.diagnostics for observability.
+  if (options.staticAnalysis) {
+    ScopedStageTimer analysisTimer(r.trace.analysisNs);
+    AnalysisReport rep = analyzeLoop(loop);
+    r.trace.diagErrors = rep.errorCount();
+    r.trace.diagWarnings = rep.warningCount();
+    if (rep.errorCount() > 0) {
+      r.error = "static analysis failed: " + rep.firstError();
+      r.diagnostics = std::move(rep.diagnostics);
+      return r;
+    }
+    r.diagnostics = std::move(rep.diagnostics);
   }
 
   // ---- Step 2: ideal schedule on the monolithic counterpart. ----

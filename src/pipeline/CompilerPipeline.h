@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "analysis/Diagnostics.h"
 #include "machine/MachineDesc.h"
 #include "partition/GreedyPartitioner.h"
 #include "partition/Rcg.h"
@@ -43,6 +44,9 @@ struct PipelineOptions {
   bool verify = true;             ///< run the independent schedule/partition
                                   ///< oracles on every schedule and emitted
                                   ///< stream (src/verify, docs/verification.md)
+  bool staticAnalysis = true;     ///< run the static semantic gate before
+                                  ///< scheduling; error diagnostics refuse the
+                                  ///< loop (src/analysis, docs/analysis.md)
   bool allocateRegisters = true;  ///< run per-bank Chaitin/Briggs
   int maxAllocRetries = 8;        ///< II bumps after failed allocation
   int refinePasses = 0;           ///< iterative partition refinement (§7
@@ -83,6 +87,11 @@ struct LoopResult {
   bool validated = false;  ///< simulated and bit-equal to the reference
   bool validatedPhysical = false;  ///< register-allocated stream also simulated
   std::int64_t simulatedCycles = 0;
+
+  /// Findings of the static semantic gate (empty when the gate is off or the
+  /// loop is clean). Errors are also reflected in `ok`/`error`; warnings are
+  /// advisory and never block compilation.
+  std::vector<Diagnostic> diagnostics;
 
   /// Per-stage wall times and counters (observability only: every field
   /// except the *Ns times is deterministic; the times vary run to run and

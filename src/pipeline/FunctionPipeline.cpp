@@ -4,6 +4,7 @@
 #include <map>
 #include <tuple>
 
+#include "analysis/Linter.h"
 #include "ddg/Ddg.h"
 #include "partition/BlockCopyInserter.h"
 #include "partition/GreedyPartitioner.h"
@@ -108,6 +109,18 @@ FunctionResult compileFunction(const Function& fn, const MachineDesc& machine,
   FunctionResult r;
   r.name = fn.name;
   r.numBlocks = fn.numBlocks();
+
+  // Static semantic gate (src/analysis, docs/analysis.md): structural, CFG and
+  // dataflow lint before any scheduling. Errors refuse the function.
+  if (options.staticAnalysis) {
+    AnalysisReport rep = analyzeFunction(fn);
+    if (rep.errorCount() > 0) {
+      r.error = "static analysis failed: " + rep.firstError();
+      r.diagnostics = std::move(rep.diagnostics);
+      return r;
+    }
+    r.diagnostics = std::move(rep.diagnostics);
+  }
 
   // Each block must be single-assignment within itself (the same property the
   // loop pipeline relies on).

@@ -20,6 +20,7 @@
 
 #include <string>
 
+#include "analysis/Diagnostics.h"
 #include "ir/Function.h"
 #include "machine/MachineDesc.h"
 #include "partition/Rcg.h"
@@ -30,6 +31,10 @@ struct FunctionResult {
   std::string name;
   bool ok = false;
   std::string error;
+
+  /// Findings of the static semantic gate (empty when the gate is off or the
+  /// function is clean). Errors are also reflected in `ok`/`error`.
+  std::vector<Diagnostic> diagnostics;
 
   int numBlocks = 0;
   int numOps = 0;
@@ -51,7 +56,9 @@ struct FunctionResult {
 struct FunctionPipelineOptions {
   RcgWeights weights;
   bool allocateRegisters = true;
-  bool validate = true;  ///< execute original vs rewritten along CFG paths
+  bool validate = true;        ///< execute original vs rewritten along CFG paths
+  bool staticAnalysis = true;  ///< run the static semantic gate first; error
+                               ///< diagnostics refuse the function
 };
 
 [[nodiscard]] FunctionResult compileFunction(const Function& fn,

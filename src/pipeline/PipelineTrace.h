@@ -15,6 +15,7 @@ namespace rapt {
 
 struct PipelineTrace {
   // ---- wall time per stage, nanoseconds (accumulated across retries) ----
+  std::int64_t analysisNs = 0;       ///< static semantic gate (src/analysis)
   std::int64_t idealScheduleNs = 0;  ///< step 2: monolithic modulo schedule
   std::int64_t rcgBuildNs = 0;       ///< step 3a: RCG construction (greedy only)
   std::int64_t partitionNs = 0;      ///< step 3b: partitioner + refinement
@@ -34,9 +35,12 @@ struct PipelineTrace {
   std::int64_t simulatedCycles = 0;     ///< cycles executed by the validator
   std::int64_t verifiedOps = 0;         ///< emitted ops checked by the oracles
   int verifyViolations = 0;             ///< violations found (0 on a healthy run)
+  int diagErrors = 0;                   ///< static-gate errors (compile refused)
+  int diagWarnings = 0;                 ///< static-gate warnings (advisory)
 
   /// Element-wise accumulation (suite aggregation).
   PipelineTrace& operator+=(const PipelineTrace& o) {
+    analysisNs += o.analysisNs;
     idealScheduleNs += o.idealScheduleNs;
     rcgBuildNs += o.rcgBuildNs;
     partitionNs += o.partitionNs;
@@ -54,6 +58,8 @@ struct PipelineTrace {
     simulatedCycles += o.simulatedCycles;
     verifiedOps += o.verifiedOps;
     verifyViolations += o.verifyViolations;
+    diagErrors += o.diagErrors;
+    diagWarnings += o.diagWarnings;
     return *this;
   }
 };

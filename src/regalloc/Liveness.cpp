@@ -2,59 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <unordered_map>
 
+#include "analysis/Analyses.h"
 #include "support/Assert.h"
 
 namespace rapt {
-namespace {
 
-using RegSet = std::set<VirtReg>;
-
-void collectUseDef(const BasicBlock& bb, RegSet& use, RegSet& def) {
-  // `use` = registers read before any definition within the block.
-  for (const Operation& o : bb.ops) {
-    for (VirtReg s : o.srcs()) {
-      if (def.count(s) == 0) use.insert(s);
-    }
-    if (o.def.isValid()) def.insert(o.def);
-  }
-}
-
-std::vector<VirtReg> toSorted(const RegSet& s) {
-  return std::vector<VirtReg>(s.begin(), s.end());
-}
-
-}  // namespace
-
+// Liveness proper is delegated to the shared dataflow framework
+// (analysis/Analyses.h): the same worklist solver that powers the lint
+// diagnostics computes the block live-in/live-out bitsets here, and
+// tests/analysis/LivenessDifferentialTest.cpp pins this adapter against an
+// independent set-based reference over the full loop and function corpora.
 std::vector<BlockLiveness> computeLiveness(const Function& fn) {
-  const int n = fn.numBlocks();
-  std::vector<RegSet> use(n), def(n), liveIn(n), liveOut(n);
-  for (int b = 0; b < n; ++b) collectUseDef(fn.blocks[b], use[b], def[b]);
-
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int b = n - 1; b >= 0; --b) {
-      RegSet newOut;
-      for (int s : fn.blocks[b].succs)
-        newOut.insert(liveIn[s].begin(), liveIn[s].end());
-      RegSet newIn = use[b];
-      for (VirtReg r : newOut) {
-        if (def[b].count(r) == 0) newIn.insert(r);
-      }
-      if (newOut != liveOut[b] || newIn != liveIn[b]) {
-        liveOut[b] = std::move(newOut);
-        liveIn[b] = std::move(newIn);
-        changed = true;
-      }
-    }
-  }
-
-  std::vector<BlockLiveness> result(n);
-  for (int b = 0; b < n; ++b) {
-    result[b].liveIn = toSorted(liveIn[b]);
-    result[b].liveOut = toSorted(liveOut[b]);
+  const FunctionLiveness live = computeFunctionLiveness(fn);
+  std::vector<BlockLiveness> result(static_cast<std::size_t>(fn.numBlocks()));
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    result[static_cast<std::size_t>(b)].liveIn =
+        regsOfSet(live.liveIn[static_cast<std::size_t>(b)]);
+    result[static_cast<std::size_t>(b)].liveOut =
+        regsOfSet(live.liveOut[static_cast<std::size_t>(b)]);
   }
   return result;
 }
@@ -66,27 +33,28 @@ FunctionInterference buildFunctionInterference(const Function& fn) {
   for (int i = 0; i < static_cast<int>(out.nodes.size()); ++i)
     nodeOf[out.nodes[i].key()] = i;
 
-  const std::vector<BlockLiveness> live = computeLiveness(fn);
+  const FunctionLiveness live = computeFunctionLiveness(fn);
   std::vector<std::pair<int, int>> edges;
   std::vector<double> defUseCount(out.nodes.size(), 0.0);
 
   for (int b = 0; b < fn.numBlocks(); ++b) {
-    RegSet liveNow(live[b].liveOut.begin(), live[b].liveOut.end());
+    BitSet liveNow = live.liveOut[static_cast<std::size_t>(b)];
     const auto& ops = fn.blocks[b].ops;
     const double blockWeight = std::pow(10.0, fn.blocks[b].nestingDepth);
     for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
       const Operation& o = *it;
       if (o.def.isValid()) {
         const int d = nodeOf.at(o.def.key());
-        defUseCount[d] += blockWeight;
-        for (VirtReg r : liveNow) {
-          if (r != o.def) edges.emplace_back(d, nodeOf.at(r.key()));
-        }
-        liveNow.erase(o.def);
+        defUseCount[static_cast<std::size_t>(d)] += blockWeight;
+        liveNow.forEach([&](int key) {
+          if (static_cast<std::uint32_t>(key) != o.def.key())
+            edges.emplace_back(d, nodeOf.at(static_cast<std::uint32_t>(key)));
+        });
+        liveNow.reset(static_cast<int>(o.def.key()));
       }
       for (VirtReg s : o.srcs()) {
-        defUseCount[nodeOf.at(s.key())] += blockWeight;
-        liveNow.insert(s);
+        defUseCount[static_cast<std::size_t>(nodeOf.at(s.key()))] += blockWeight;
+        liveNow.set(static_cast<int>(s.key()));
       }
     }
   }

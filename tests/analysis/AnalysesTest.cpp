@@ -1,0 +1,165 @@
+#include "analysis/Analyses.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rapt {
+namespace {
+
+bool contains(const std::vector<VirtReg>& v, VirtReg r) {
+  return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+/// daxpy-shaped loop: f1 = x[i]; f2 = f1*f0; f3 = y[i]; f4 = f2+f3;
+/// y[i] = f4; i0++. f0 is invariant, i0 the induction.
+Loop daxpyish() {
+  Loop loop;
+  loop.name = "daxpyish";
+  const ArrayId x = loop.addArray("x", 64, true);
+  const ArrayId y = loop.addArray("y", 64, true);
+  loop.induction = intReg(0);
+  loop.body = {
+      makeLoad(Opcode::FLoad, fltReg(1), x, intReg(0)),
+      makeBinary(Opcode::FMul, fltReg(2), fltReg(1), fltReg(0)),
+      makeLoad(Opcode::FLoad, fltReg(3), y, intReg(0)),
+      makeBinary(Opcode::FAdd, fltReg(4), fltReg(2), fltReg(3)),
+      makeStore(Opcode::FStore, y, intReg(0), fltReg(4)),
+      makeUnary(Opcode::IAddImm, intReg(0), intReg(0), 1),
+  };
+  loop.liveInValues = {{fltReg(0), 0, 2.5}};
+  return loop;
+}
+
+TEST(RegKeys, CoverLargestMentionedRegister) {
+  const Loop loop = daxpyish();
+  // Largest key: f4 -> 2*4+1 = 9, i0 -> 0; numRegKeys = 10.
+  EXPECT_EQ(numRegKeys(loop), static_cast<int>(fltReg(4).key()) + 1);
+}
+
+TEST(RegKeys, RegsOfSetSortsIntBeforeFlt) {
+  BitSet s(8);
+  s.set(static_cast<int>(fltReg(0).key()));  // key 1
+  s.set(static_cast<int>(intReg(3).key()));  // key 6
+  s.set(static_cast<int>(intReg(1).key()));  // key 2
+  const std::vector<VirtReg> regs = regsOfSet(s);
+  ASSERT_EQ(regs.size(), 3u);
+  EXPECT_EQ(regs[0], intReg(1));
+  EXPECT_EQ(regs[1], intReg(3));
+  EXPECT_EQ(regs[2], fltReg(0));  // all ints sort before all floats
+}
+
+TEST(LoopLiveness, InvariantLiveEverywhere) {
+  const Loop loop = daxpyish();
+  const LoopLiveness live = computeLoopLiveness(loop);
+  for (int i = 0; i < loop.size(); ++i) {
+    EXPECT_TRUE(live.liveIn[i].test(static_cast<int>(fltReg(0).key()))) << i;
+    EXPECT_TRUE(live.liveOut[i].test(static_cast<int>(fltReg(0).key()))) << i;
+  }
+}
+
+TEST(LoopLiveness, ValueDeadAfterLastUse) {
+  const Loop loop = daxpyish();
+  const LoopLiveness live = computeLoopLiveness(loop);
+  const int f1 = static_cast<int>(fltReg(1).key());
+  EXPECT_TRUE(live.liveOut[0].test(f1));   // defined at 0, used at 1
+  EXPECT_FALSE(live.liveOut[1].test(f1));  // dead after its only use
+  // The induction is live around the back edge (next iteration reads it).
+  EXPECT_TRUE(live.liveOut[5].test(static_cast<int>(intReg(0).key())));
+  EXPECT_TRUE(live.liveIn[0].test(static_cast<int>(intReg(0).key())));
+}
+
+TEST(LoopLiveness, DeadDefIsNotLiveOut) {
+  Loop loop = daxpyish();
+  loop.body.insert(loop.body.begin() + 4,
+                   makeBinary(Opcode::FSub, fltReg(5), fltReg(4), fltReg(0)));
+  const LoopLiveness live = computeLoopLiveness(loop);
+  EXPECT_FALSE(live.liveOut[4].test(static_cast<int>(fltReg(5).key())));
+}
+
+TEST(LoopReachingDefs, EveryDefReachesEveryOpOfAValidLoop) {
+  // Single definitions + iteration back edge: nothing ever re-kills a def
+  // before it wraps around, so each def op's fact is in every op's in-set.
+  const Loop loop = daxpyish();
+  const LoopReachingDefs rd = computeLoopReachingDefs(loop);
+  for (int i = 0; i < loop.size(); ++i)
+    for (int d = 0; d < loop.size(); ++d)
+      if (loop.body[d].def.isValid()) {
+        EXPECT_TRUE(rd.in[i].test(d) || d == i) << "def " << d << " at op " << i;
+      }
+}
+
+/// Diamond: entry defines a/b, one branch defines c, the other d, join reads
+/// all four (so c and d are one-path-only at the join).
+Function diamond() {
+  Function fn;
+  fn.name = "diamond";
+  fn.blocks.resize(4);
+  fn.blocks[0].ops = {makeIConst(intReg(0), 1), makeIConst(intReg(1), 2)};
+  fn.blocks[0].succs = {1, 2};
+  fn.blocks[1].ops = {makeBinary(Opcode::IAdd, intReg(2), intReg(0), intReg(1))};
+  fn.blocks[1].succs = {3};
+  fn.blocks[2].ops = {makeBinary(Opcode::IMul, intReg(3), intReg(0), intReg(0))};
+  fn.blocks[2].succs = {3};
+  fn.blocks[3].ops = {makeBinary(Opcode::IXor, intReg(4), intReg(2), intReg(3))};
+  return fn;
+}
+
+TEST(FunctionLiveness, MatchesRegallocAdapter) {
+  const Function fn = diamond();
+  const FunctionLiveness live = computeFunctionLiveness(fn);
+  EXPECT_TRUE(live.liveOut[0].test(static_cast<int>(intReg(0).key())));
+  EXPECT_TRUE(live.liveIn[3].test(static_cast<int>(intReg(2).key())));
+  EXPECT_TRUE(live.liveIn[3].test(static_cast<int>(intReg(3).key())));
+  EXPECT_FALSE(live.liveOut[3].any());
+}
+
+TEST(FunctionInitState, MayVersusMustAtTheJoin) {
+  const Function fn = diamond();
+  const FunctionInitState init = computeFunctionInitState(fn);
+  const int c = static_cast<int>(intReg(2).key());
+  const int a = static_cast<int>(intReg(0).key());
+  EXPECT_TRUE(init.mayIn[3].test(c));    // defined on the B1 path
+  EXPECT_FALSE(init.mustIn[3].test(c));  // but not on the B2 path
+  EXPECT_TRUE(init.mustIn[3].test(a));   // entry defs dominate the join
+}
+
+TEST(FunctionReachingDefs, BranchDefsMergeAtTheJoin) {
+  const Function fn = diamond();
+  const FunctionReachingDefs rd = computeFunctionReachingDefs(fn);
+  auto factOf = [&](int block, int op) {
+    for (int f = 0; f < static_cast<int>(rd.defSites.size()); ++f)
+      if (rd.defSites[f] == std::make_pair(block, op)) return f;
+    return -1;
+  };
+  EXPECT_TRUE(rd.in[3].test(factOf(1, 0)));
+  EXPECT_TRUE(rd.in[3].test(factOf(2, 0)));
+  EXPECT_TRUE(rd.in[3].test(factOf(0, 0)));
+  EXPECT_FALSE(rd.in[1].test(factOf(2, 0)));  // sibling branch can't reach
+}
+
+TEST(ReachableBlocks, FindsOrphans) {
+  Function fn = diamond();
+  fn.blocks.push_back({});  // no incoming edge
+  fn.blocks.back().ops = {makeIConst(intReg(9), 0)};
+  const std::vector<bool> reach = reachableBlocks(fn);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[3]);
+  EXPECT_FALSE(reach[4]);
+}
+
+TEST(Liveness, AdapterAgreesWithFramework) {
+  // regalloc/Liveness.cpp is a thin adapter over computeFunctionLiveness;
+  // spot-check the conversion (full differential coverage lives in
+  // LivenessDifferentialTest.cpp).
+  const Function fn = diamond();
+  const FunctionLiveness live = computeFunctionLiveness(fn);
+  for (int b = 0; b < fn.numBlocks(); ++b) {
+    const std::vector<VirtReg> in = regsOfSet(live.liveIn[b]);
+    EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+  }
+  EXPECT_TRUE(contains(regsOfSet(live.liveIn[3]), intReg(2)));
+}
+
+}  // namespace
+}  // namespace rapt

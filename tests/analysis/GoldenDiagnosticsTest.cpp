@@ -1,0 +1,73 @@
+// Golden diagnostic-JSON fixtures: each tests/analysis/fixtures/<name> file
+// has a sibling <stem>.golden.json holding the exact `rapt-lint --json`
+// document for it. The test renders through the same LintDriver/lintJson path
+// the CLI uses, so a drift in the taxonomy, messages, hints or JSON schema
+// shows up as a readable diff here.
+//
+// To regenerate after an intentional change:
+//   cd tests/analysis/fixtures && for f in *.loop *.fn; do
+//     <build>/tools/rapt-lint --json "$f" > "${f%.*}.golden.json"; done
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/LintDriver.h"
+
+namespace rapt {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void checkGolden(const std::string& fixture, const std::string& goldenStem) {
+  const std::string dir = RAPT_ANALYSIS_FIXTURE_DIR;
+  const LintFileResult r = lintSource(fixture, readFile(dir + "/" + fixture));
+  const std::string actual = lintJson({&r, 1}).dump() + "\n";
+  const std::string golden = readFile(dir + "/" + goldenStem + ".golden.json");
+  EXPECT_EQ(actual, golden) << "diagnostics drifted for " << fixture
+                            << "; regenerate with rapt-lint --json (see header)";
+}
+
+TEST(GoldenDiagnostics, DeadDefLoop) { checkGolden("dead_def.loop", "dead_def"); }
+
+TEST(GoldenDiagnostics, TypeMismatchLoop) {
+  checkGolden("type_mismatch.loop", "type_mismatch");
+}
+
+TEST(GoldenDiagnostics, UseBeforeDefFunction) {
+  checkGolden("use_before_def.fn", "use_before_def");
+}
+
+TEST(GoldenDiagnostics, UnreachableFunction) {
+  checkGolden("unreachable.fn", "unreachable");
+}
+
+/// Severity contract pinned explicitly: the loop fixtures split error/warning
+/// exactly as docs/analysis.md promises.
+TEST(GoldenDiagnostics, FixtureSeverities) {
+  const std::string dir = RAPT_ANALYSIS_FIXTURE_DIR;
+  const LintFileResult dead =
+      lintSource("dead_def.loop", readFile(dir + "/dead_def.loop"));
+  EXPECT_EQ(dead.errors, 0);
+  EXPECT_GE(dead.warnings, 1);
+  const LintFileResult mismatch =
+      lintSource("type_mismatch.loop", readFile(dir + "/type_mismatch.loop"));
+  EXPECT_GE(mismatch.errors, 1);
+  const LintFileResult ubd =
+      lintSource("use_before_def.fn", readFile(dir + "/use_before_def.fn"));
+  EXPECT_GE(ubd.errors, 1);
+  const LintFileResult orphan =
+      lintSource("unreachable.fn", readFile(dir + "/unreachable.fn"));
+  EXPECT_EQ(orphan.errors, 0);
+  EXPECT_GE(orphan.warnings, 2);  // unreachable block + dead def
+}
+
+}  // namespace
+}  // namespace rapt

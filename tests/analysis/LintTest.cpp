@@ -1,0 +1,271 @@
+#include "analysis/Linter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/LintDriver.h"
+#include "pipeline/CompilerPipeline.h"
+#include "pipeline/FunctionPipeline.h"
+#include "workload/FunctionGenerator.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+int countCode(const AnalysisReport& rep, DiagCode code) {
+  int n = 0;
+  for (const Diagnostic& d : rep.diagnostics)
+    if (d.code == code) ++n;
+  return n;
+}
+
+Loop cleanLoop() {
+  Loop loop;
+  loop.name = "clean";
+  const ArrayId a = loop.addArray("a", 64, false);
+  loop.induction = intReg(0);
+  loop.body = {
+      makeLoad(Opcode::ILoad, intReg(1), a, intReg(0)),
+      makeBinary(Opcode::IAdd, intReg(2), intReg(1), intReg(3)),
+      makeStore(Opcode::IStore, a, intReg(0), intReg(2)),
+      makeUnary(Opcode::IAddImm, intReg(0), intReg(0), 1),
+  };
+  loop.liveInValues = {{intReg(3), 7, 0.0}};
+  return loop;
+}
+
+TEST(AnalyzeLoop, CleanLoopHasNoDiagnostics) {
+  const AnalysisReport rep = analyzeLoop(cleanLoop());
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.diagnostics.empty()) << formatDiagnostic(rep.diagnostics[0], "clean");
+}
+
+TEST(AnalyzeLoop, DeadDefWarns) {
+  Loop loop = cleanLoop();
+  loop.body.insert(loop.body.begin() + 2,
+                   makeBinary(Opcode::IMul, intReg(4), intReg(2), intReg(2)));
+  const AnalysisReport rep = analyzeLoop(loop);
+  EXPECT_TRUE(rep.ok());  // warning, not error
+  ASSERT_EQ(countCode(rep, DiagCode::DeadDef), 1);
+  const Diagnostic& d = rep.diagnostics[0];
+  EXPECT_EQ(d.code, DiagCode::DeadDef);
+  EXPECT_EQ(d.op, 2);
+  EXPECT_EQ(d.reg, intReg(4));
+  EXPECT_FALSE(d.hint.empty());
+}
+
+TEST(AnalyzeLoop, MissingLiveinWarnsForInvariantAndCarriedUse) {
+  Loop loop = cleanLoop();
+  loop.liveInValues.clear();  // i3 (invariant) now reads an implicit zero
+  const AnalysisReport rep = analyzeLoop(loop);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(countCode(rep, DiagCode::UseBeforeDef), 1);
+
+  // A recurrence read before its definition with no iteration-0 initializer.
+  Loop rec = cleanLoop();
+  rec.body[1] = makeBinary(Opcode::IAdd, intReg(2), intReg(1), intReg(2));
+  const AnalysisReport rep2 = analyzeLoop(rec);
+  EXPECT_TRUE(rep2.ok());
+  EXPECT_EQ(countCode(rep2, DiagCode::UseBeforeDef), 1);
+}
+
+TEST(AnalyzeLoop, UnusedLiveinWarns) {
+  Loop loop = cleanLoop();
+  loop.liveInValues.push_back({intReg(2), 1, 0.0});  // defined before every use
+  const AnalysisReport rep = analyzeLoop(loop);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(countCode(rep, DiagCode::UnusedLivein), 1);
+
+  loop.liveInValues.push_back({intReg(3), 8, 0.0});  // duplicate entry
+  EXPECT_EQ(countCode(analyzeLoop(loop), DiagCode::UnusedLivein), 2);
+}
+
+TEST(AnalyzeLoop, RedefinedRegisterErrors) {
+  Loop loop = cleanLoop();
+  loop.body.push_back(makeBinary(Opcode::IAdd, intReg(2), intReg(1), intReg(1)));
+  const AnalysisReport rep = analyzeLoop(loop);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(countCode(rep, DiagCode::RedefinedRegister), 1);
+}
+
+TEST(AnalyzeLoop, BadInductionErrors) {
+  Loop loop = cleanLoop();
+  loop.body[3] = makeUnary(Opcode::IAddImm, intReg(0), intReg(0), 2);  // +2
+  EXPECT_EQ(countCode(analyzeLoop(loop), DiagCode::BadInduction), 1);
+
+  Loop missing = cleanLoop();
+  missing.body.erase(missing.body.begin() + 3);  // never updated
+  EXPECT_EQ(countCode(analyzeLoop(missing), DiagCode::BadInduction), 1);
+}
+
+TEST(AnalyzeLoop, TypeMismatchErrors) {
+  Loop loop = cleanLoop();
+  loop.body[1] = makeBinary(Opcode::FAdd, intReg(2), fltReg(1), fltReg(1));
+  const AnalysisReport rep = analyzeLoop(loop);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GE(countCode(rep, DiagCode::TypeMismatch), 1);
+}
+
+TEST(AnalyzeLoop, UnknownArrayErrors) {
+  Loop loop = cleanLoop();
+  loop.body[0].array = 7;  // out of range
+  EXPECT_EQ(countCode(analyzeLoop(loop), DiagCode::UnknownArray), 1);
+}
+
+Function diamond() {
+  Function fn;
+  fn.name = "diamond";
+  fn.blocks.resize(4);
+  fn.blocks[0].ops = {makeIConst(intReg(0), 1), makeIConst(intReg(1), 2)};
+  fn.blocks[0].succs = {1, 2};
+  fn.blocks[1].ops = {makeBinary(Opcode::IAdd, intReg(2), intReg(0), intReg(1))};
+  fn.blocks[1].succs = {3};
+  fn.blocks[2].ops = {makeBinary(Opcode::IMul, intReg(3), intReg(0), intReg(0))};
+  fn.blocks[2].succs = {3};
+  fn.blocks[3].ops = {makeBinary(Opcode::IXor, intReg(4), intReg(2), intReg(3))};
+  return fn;
+}
+
+TEST(AnalyzeFunction, InvalidCfgErrors) {
+  Function fn = diamond();
+  fn.blocks[1].succs = {9};
+  const AnalysisReport rep = analyzeFunction(fn);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(countCode(rep, DiagCode::InvalidCfg), 1);
+}
+
+TEST(AnalyzeFunction, UnreachableBlockWarns) {
+  Function fn = diamond();
+  fn.blocks.push_back({});
+  fn.blocks.back().ops = {makeIConst(intReg(9), 0)};
+  const AnalysisReport rep = analyzeFunction(fn);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(countCode(rep, DiagCode::UnreachableCode), 1);
+}
+
+TEST(AnalyzeFunction, UseBeforeAnyDefIsAnError) {
+  Function fn;
+  fn.blocks.resize(2);
+  fn.blocks[0].ops = {makeIConst(intReg(0), 1)};
+  fn.blocks[0].succs = {1};
+  // i1 read before its only (later) definition in the same block.
+  fn.blocks[1].ops = {makeBinary(Opcode::IAdd, intReg(2), intReg(1), intReg(0)),
+                      makeIConst(intReg(1), 5)};
+  const AnalysisReport rep = analyzeFunction(fn);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(countCode(rep, DiagCode::UseBeforeDef), 1);
+  for (const Diagnostic& d : rep.diagnostics)
+    if (d.code == DiagCode::UseBeforeDef) {
+      EXPECT_EQ(d.severity, DiagSeverity::Error);
+    }
+}
+
+TEST(AnalyzeFunction, OnePathDefIsAWarning) {
+  // In the diamond, i2/i3 are each defined on one branch only, so the join's
+  // reads may be uninitialized — warning, not error.
+  const AnalysisReport rep = analyzeFunction(diamond());
+  EXPECT_TRUE(rep.ok());
+  EXPECT_GE(countCode(rep, DiagCode::UseBeforeDef), 2);
+  for (const Diagnostic& d : rep.diagnostics)
+    if (d.code == DiagCode::UseBeforeDef) {
+      EXPECT_EQ(d.severity, DiagSeverity::Warning);
+    }
+}
+
+TEST(AnalyzeFunction, NeverDefinedRegistersAreInputsNotErrors) {
+  Function fn;
+  fn.blocks.resize(1);
+  fn.blocks[0].ops = {makeBinary(Opcode::IAdd, intReg(1), intReg(0), intReg(0)),
+                      makeBinary(Opcode::IXor, intReg(2), intReg(1), intReg(0))};
+  const AnalysisReport rep = analyzeFunction(fn);
+  EXPECT_EQ(countCode(rep, DiagCode::UseBeforeDef), 0);
+}
+
+// ---- Pipeline gate integration -------------------------------------------
+
+TEST(PipelineGate, WarningsRideAlongWithoutBlocking) {
+  Loop loop = cleanLoop();
+  loop.liveInValues.clear();  // provokes a use-before-def warning
+  const LoopResult r = compileLoop(loop, MachineDesc::paper16(2, CopyModel::Embedded));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trace.diagErrors, 0);
+  EXPECT_GE(r.trace.diagWarnings, 1);
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics[0].code, DiagCode::UseBeforeDef);
+}
+
+TEST(PipelineGate, DisabledGateLeavesNoDiagnostics) {
+  Loop loop = cleanLoop();
+  loop.liveInValues.clear();
+  PipelineOptions opt;
+  opt.staticAnalysis = false;
+  const LoopResult r = compileLoop(loop, MachineDesc::paper16(2, CopyModel::Embedded), opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(r.trace.diagWarnings, 0);
+}
+
+TEST(PipelineGate, FunctionGateCatchesCrossBlockUseBeforeDef) {
+  // Per-block validation cannot see this: each block is individually fine,
+  // only the CFG-level dataflow exposes the premature read.
+  Function fn;
+  fn.blocks.resize(2);
+  fn.blocks[0].ops = {makeBinary(Opcode::IAdd, intReg(2), intReg(1), intReg(1)),
+                      makeIConst(intReg(3), 1)};
+  fn.blocks[0].succs = {1};
+  fn.blocks[1].ops = {makeIConst(intReg(1), 5),
+                      makeBinary(Opcode::IXor, intReg(4), intReg(2), intReg(3))};
+  const FunctionResult r =
+      compileFunction(fn, MachineDesc::paper16(2, CopyModel::Embedded));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.rfind("static analysis failed", 0), 0u) << r.error;
+  ASSERT_FALSE(r.diagnostics.empty());
+
+  FunctionPipelineOptions opt;
+  opt.staticAnalysis = false;
+  const FunctionResult off = compileFunction(fn, MachineDesc::paper16(2, CopyModel::Embedded), opt);
+  EXPECT_TRUE(off.ok) << off.error;  // the old path never noticed
+}
+
+// ---- Corpus sweeps: nothing we generate or ship may produce an error. ----
+
+TEST(Corpus, Generated211LoopCorpusGatesClean) {
+  const std::vector<Loop> corpus = generateCorpus();
+  ASSERT_EQ(corpus.size(), 211u);
+  for (const Loop& loop : corpus) {
+    const AnalysisReport rep = analyzeLoop(loop);
+    EXPECT_TRUE(rep.ok()) << loop.name << ": " << rep.firstError();
+  }
+}
+
+TEST(Corpus, GeneratedFunctionCorpusGatesClean) {
+  for (const Function& fn : generateFunctionCorpus()) {
+    const AnalysisReport rep = analyzeFunction(fn);
+    EXPECT_TRUE(rep.ok()) << fn.name << ": " << rep.firstError();
+  }
+}
+
+void lintDirectoryExpectNoErrors(const std::string& dir) {
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".loop" && ext != ".rapt" && ext != ".fn") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    const LintFileResult r = lintSource(entry.path().filename().string(), text.str());
+    EXPECT_EQ(r.errors, 0) << entry.path() << ": " << lintText(r);
+    ++files;
+  }
+  EXPECT_GT(files, 0) << dir;
+}
+
+TEST(Corpus, ShippedExampleLoopsLintClean) { lintDirectoryExpectNoErrors(RAPT_EXAMPLES_DIR); }
+
+TEST(Corpus, RegressionCorpusLintsClean) { lintDirectoryExpectNoErrors(RAPT_REGRESSION_DIR); }
+
+}  // namespace
+}  // namespace rapt

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/Linter.h"
 #include "ir/Printer.h"
 #include "pipeline/CompilerPipeline.h"
 #include "workload/LoopGenerator.h"
@@ -219,10 +220,34 @@ int main(int argc, char** argv) {
   std::vector<std::string> written;
   for (int i = 0; i < o.loops; ++i) {
     Loop loop = generateLoop(params, i);
+
+    // Static-gate oracle (docs/analysis.md): every generated loop must pass
+    // the semantic gate — an error here is a gate false positive (or a
+    // generator bug), and both are worth failing the run over. The flip side
+    // is checked below: a loop the gate admitted must never die downstream
+    // with a malformed-IR class error.
+    const AnalysisReport gate = analyzeLoop(loop);
+    if (gate.errorCount() > 0) {
+      ++failures;
+      std::printf("FAIL loop %d (%s): static gate rejected a generated loop: %s\n", i,
+                  loop.name.c_str(), gate.firstError().c_str());
+      continue;
+    }
+
     for (const FuzzConfig& cfg : configs) {
       ++runs;
       const LoopResult r = compileLoop(loop, cfg.machine, opt);
       if (r.ok) continue;
+      // Gate-passing loops must never produce malformed-IR class failures
+      // downstream: the structural validator and the gate agree by
+      // construction, so either message here means the gate missed something.
+      if (r.error.rfind("loop '", 0) == 0 ||
+          r.error.find("static analysis failed") != std::string::npos) {
+        ++failures;
+        std::printf("FAIL loop %d (%s) on %s: malformed IR past the static gate: %s\n",
+                    i, loop.name.c_str(), cfg.machine.name.c_str(), r.error.c_str());
+        continue;
+      }
       if (isCapacityFailure(r.error)) {
         ++capacityGiveUps;
         if (!o.quiet)

@@ -1,0 +1,81 @@
+// rapt-lint: static diagnostics for .loop / .rapt / function files.
+//
+// Runs the src/analysis linter (docs/analysis.md) over each input file and
+// prints one line per diagnostic, or a JSON document with --json. Exit codes:
+//   0  clean (warnings allowed unless --werror)
+//   1  at least one error diagnostic (or any warning with --werror)
+//   2  usage / unreadable input
+//
+// Usage: rapt-lint [--json] [--werror] [--quiet] file...
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/LintDriver.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rapt-lint [--json] [--werror] [--quiet] file...\n"
+               "  --json    emit a machine-readable diagnostic document\n"
+               "  --werror  treat warnings as errors (exit 1)\n"
+               "  --quiet   suppress per-diagnostic output; exit code only\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rapt-lint: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  std::vector<rapt::LintFileResult> results;
+  results.reserve(files.size());
+  int errors = 0;
+  int warnings = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "rapt-lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    rapt::LintFileResult r = rapt::lintSource(path, text.str());
+    errors += r.errors;
+    warnings += r.warnings;
+    if (!json && !quiet) std::cout << rapt::lintText(r);
+    results.push_back(std::move(r));
+  }
+
+  if (json) {
+    std::cout << rapt::lintJson(results).dump() << "\n";
+  } else if (!quiet) {
+    std::cout << files.size() << " file(s): " << errors << " error(s), "
+              << warnings << " warning(s)\n";
+  }
+  return (errors > 0 || (werror && warnings > 0)) ? 1 : 0;
+}
