@@ -52,7 +52,9 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   if (s.failures == 0) return;
   std::printf("!! %s: %d loops failed:\n", label, s.failures);
   for (const LoopResult& r : s.loops) {
-    if (!r.ok) std::printf("   %s: %s\n", r.loopName.c_str(), r.error.c_str());
+    if (!r.ok)
+      std::printf("   %s [%s]: %s\n", r.loopName.c_str(),
+                  failureClassName(r.failureClass), r.error.c_str());
   }
 }
 
@@ -103,6 +105,10 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   j["verifyViolations"] = t.verifyViolations;
   j["diagErrors"] = t.diagErrors;
   j["diagWarnings"] = t.diagWarnings;
+  j["schedPlacements"] = t.schedPlacements;
+  j["recoverySteps"] = t.recoverySteps;
+  j["fallbackUsed"] = t.fallbackUsed;
+  j["faultsInjected"] = t.faultsInjected;
   return j;
 }
 
@@ -110,6 +116,12 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   Json j = Json::object();
   j["loops"] = static_cast<std::int64_t>(s.loops.size());
   j["failures"] = s.failures;
+  Json byClass = Json::object();
+  for (int c = 0; c < kNumFailureClasses; ++c) {
+    byClass[failureClassName(static_cast<FailureClass>(c))] =
+        s.failuresByClass[static_cast<std::size_t>(c)];
+  }
+  j["failuresByClass"] = std::move(byClass);
   j["validated"] = s.validatedCount;
   j["meanIdealIpc"] = s.meanIdealIpc;
   j["meanClusteredIpc"] = s.meanClusteredIpc;

@@ -24,6 +24,9 @@ int main() {
     for (int clusters : {2, 4, 8}) {
       PipelineOptions opt = benchOptions(/*simulate=*/false);
       opt.partitioner = kind;
+      // A pure ablation: a rung of the recovery ladder silently swapping in
+      // GreedyRcg would contaminate the baseline columns.
+      opt.partitionerFallback = false;
       const MachineDesc m = MachineDesc::paper16(clusters, CopyModel::Embedded);
       const SuiteResult s = runSuite(loops, m, opt);
       Json& c = report.addSuiteCase(

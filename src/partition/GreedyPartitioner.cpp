@@ -1,5 +1,7 @@
 #include "partition/GreedyPartitioner.h"
 
+#include "support/FaultInjection.h"
+
 namespace rapt {
 
 Partition greedyPartition(const Rcg& rcg, int numBanks, const RcgWeights& w,
@@ -7,6 +9,23 @@ Partition greedyPartition(const Rcg& rcg, int numBanks, const RcgWeights& w,
   Partition part(numBanks);
   const std::size_t totalNodes = rcg.nodes().size();
   if (totalNodes == 0) return part;
+
+  // Fault-injection site (docs/robustness.md). Both failure shapes produce a
+  // partition that does not cover the loop's registers: the pipeline's
+  // coverage check classifies it as PartitionFailure and the recovery ladder
+  // falls back to an uninstrumented baseline partitioner.
+  FaultKind fault = FaultKind::None;
+  if (FaultInjector* fi = FaultInjector::active()) {
+    fault = fi->draw(FaultSite::Partitioner);
+    if (fault == FaultKind::StageFail) {
+      fi->recordInjected(FaultSite::Partitioner);
+      return part;  // empty: covers nothing
+    }
+    if (fault == FaultKind::Throw) {
+      fi->recordInjected(FaultSite::Partitioner);
+      throw FaultInjected("partitioner");
+    }
+  }
   const double balanceUnit =
       w.balance * rcg.meanAbsEdgeWeight() * numBanks / static_cast<double>(totalNodes);
 
@@ -38,6 +57,15 @@ Partition greedyPartition(const Rcg& rcg, int numBanks, const RcgWeights& w,
     }
     part.assign(node, bestBank);
     ++assignedCount[bestBank];
+  }
+  if (fault == FaultKind::Corrupt) {
+    // Drop one node's assignment: a subtly incomplete partition, caught by
+    // the pipeline's coverage check before any bankOf() lookup can assert.
+    FaultInjector* fi = FaultInjector::active();
+    const std::vector<VirtReg>& nodes = rcg.nodesByDecreasingWeight();
+    part.unassign(nodes[static_cast<std::size_t>(
+        fi->index(static_cast<std::int64_t>(nodes.size())))]);
+    fi->recordInjected(FaultSite::Partitioner);
   }
   return part;
 }

@@ -26,6 +26,10 @@ class Partition {
 
   [[nodiscard]] bool isAssigned(VirtReg r) const { return bankOf_.count(r.key()) != 0; }
 
+  /// Drops `r`'s assignment (no-op when unassigned). Exists for refinement
+  /// experiments and fault injection; production partitioners only assign.
+  void unassign(VirtReg r) { bankOf_.erase(r.key()); }
+
   [[nodiscard]] int bankOf(VirtReg r) const {
     auto it = bankOf_.find(r.key());
     RAPT_ASSERT(it != bankOf_.end(), "register has no bank assignment");

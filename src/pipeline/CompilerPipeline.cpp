@@ -1,6 +1,7 @@
 #include "pipeline/CompilerPipeline.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "analysis/Linter.h"
 #include "partition/Baselines.h"
@@ -10,6 +11,7 @@
 #include "sched/LifetimeCompaction.h"
 #include "sched/PipelinedCode.h"
 #include "support/Assert.h"
+#include "support/FaultInjection.h"
 #include "support/StageTimer.h"
 #include "verify/PartitionVerifier.h"
 #include "verify/ScheduleVerifier.h"
@@ -44,11 +46,20 @@ MachineDesc idealCounterpart(const MachineDesc& machine) {
 
 namespace {
 
+/// Records a classified failure: `error` carries the human detail, the class
+/// carries the machine-readable taxonomy entry (docs/robustness.md).
+void fail(LoopResult& r, FailureClass cls, std::string detail) {
+  r.ok = false;
+  r.failureClass = cls;
+  r.error = std::move(detail);
+}
+
 Partition choosePartition(const Loop& loop, const Ddg& ddg,
                           const ModuloSchedule& ideal, const MachineDesc& machine,
-                          const PipelineOptions& options, PipelineTrace& trace) {
+                          const PipelineOptions& options, PartitionerKind kind,
+                          PipelineTrace& trace) {
   const int numBanks = machine.numClusters;
-  switch (options.partitioner) {
+  switch (kind) {
     case PartitionerKind::GreedyRcg: {
       StageTimer rcgTimer;
       const Rcg rcg = Rcg::build(loop, ddg, ideal, options.weights);
@@ -69,8 +80,38 @@ Partition choosePartition(const Loop& loop, const Ddg& ddg,
   RAPT_UNREACHABLE("bad partitioner kind");
 }
 
+/// Does `partition` assign a bank to every register of `loop`? A partitioner
+/// bug (or an injected fault) can leave a register uncovered; looking it up
+/// with Partition::bankOf would assert and abort the process, so the pipeline
+/// checks coverage up front and classifies the gap as PartitionFailure.
+[[nodiscard]] bool partitionCovers(const Loop& loop, const Partition& partition) {
+  for (VirtReg r : loop.allRegs()) {
+    if (!partition.isAssigned(r)) return false;
+  }
+  return true;
+}
+
+/// The graceful-degradation ladder (docs/robustness.md): the configured
+/// partitioner first, then GreedyRcg, then RoundRobin, deduplicated, so every
+/// recoverable partition/schedule/allocation failure gets up to two retries
+/// with progressively simpler bank assignments before the loop is given up.
+[[nodiscard]] std::vector<PartitionerKind> partitionerLadder(
+    const PipelineOptions& options) {
+  std::vector<PartitionerKind> ladder = {options.partitioner};
+  if (options.partitionerFallback) {
+    for (PartitionerKind k :
+         {PartitionerKind::GreedyRcg, PartitionerKind::RoundRobin}) {
+      if (std::find(ladder.begin(), ladder.end(), k) == ladder.end())
+        ladder.push_back(k);
+    }
+  }
+  return ladder;
+}
+
 /// Emits, allocates and (optionally) simulates one scheduled clustered loop.
-/// Returns false if the bank allocation spilled (caller bumps II).
+/// Returns false if the bank allocation spilled (caller bumps II). A true
+/// return with ok == false is a classified fatal failure (verifier or
+/// validation): a legality bug the retry ladder must NOT mask.
 bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
                     const Ddg& cddg, const ModuloSchedule& sched,
                     const MachineDesc& machine, const PipelineOptions& options,
@@ -101,8 +142,7 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
       r.trace.verifiedOps += static_cast<std::int64_t>(in.ops.size());
     if (!rep.ok()) {
       r.trace.verifyViolations += static_cast<int>(rep.violations.size());
-      r.ok = false;
-      r.error = "verification failed: " + rep.first();
+      fail(r, FailureClass::VerifierViolation, "verification failed: " + rep.first());
       return true;  // a legality bug, not an allocation problem; do not retry
     }
   }
@@ -125,8 +165,7 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
         simulate(code, clustered.loop, machine, &clustered.partition);
     const EquivalenceReport eq = checkEquivalence(original, code, sim);
     if (!eq.equal) {
-      r.ok = false;
-      r.error = "validation failed: " + eq.detail;
+      fail(r, FailureClass::ValidationMismatch, "validation failed: " + eq.detail);
       return true;  // not an allocation problem; do not retry
     }
     r.validated = true;
@@ -142,8 +181,8 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
       const EquivalenceReport physEq =
           checkEquivalence(original, phys, physSim, /*checkRegisters=*/false);
       if (!physEq.equal) {
-        r.ok = false;
-        r.error = "physical validation failed: " + physEq.detail;
+        fail(r, FailureClass::ValidationMismatch,
+             "physical validation failed: " + physEq.detail);
         return true;
       }
       r.validatedPhysical = true;
@@ -154,12 +193,29 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
 
 LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
                            const PipelineOptions& options) {
+  StageTimer lifeTimer;
   LoopResult r;
   r.loopName = loop.name;
   r.numOps = loop.size();
+  r.partitionerUsed = options.partitioner;
+
+  // Deterministic work budget + optional wall-clock belt (docs/robustness.md).
+  // The budget counts scheduler placements — the only unbounded work in the
+  // pipeline — so exhaustion is identical on every host and thread count; the
+  // deadline is a non-deterministic backstop, off by default.
+  auto budgetLeft = [&]() -> std::int64_t {
+    if (options.workBudget <= 0) return 0;  // 0 = unbounded (scheduler contract)
+    return std::max<std::int64_t>(1, options.workBudget - r.trace.schedPlacements);
+  };
+  auto budgetDone = [&]() {
+    return options.workBudget > 0 && r.trace.schedPlacements >= options.workBudget;
+  };
+  auto deadlineHit = [&]() {
+    return options.deadlineNs > 0 && lifeTimer.elapsedNs() > options.deadlineNs;
+  };
 
   if (auto err = validate(loop)) {
-    r.error = *err;
+    fail(r, FailureClass::ParseError, *err);
     return r;
   }
 
@@ -172,7 +228,7 @@ LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
     r.trace.diagErrors = rep.errorCount();
     r.trace.diagWarnings = rep.warningCount();
     if (rep.errorCount() > 0) {
-      r.error = "static analysis failed: " + rep.firstError();
+      fail(r, FailureClass::GateRefusal, "static analysis failed: " + rep.firstError());
       r.diagnostics = std::move(rep.diagnostics);
       return r;
     }
@@ -184,13 +240,20 @@ LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
   const MachineDesc ideal = idealCounterpart(machine);
   const Ddg ddg = Ddg::build(loop, machine.lat);
   const std::vector<OpConstraint> freeConstraints(loop.size());
+  ModuloSchedulerOptions idealOpts = options.sched;
+  idealOpts.maxPlacements = budgetLeft();
   const ModuloSchedulerResult idealRes =
-      moduloSchedule(ddg, ideal, freeConstraints, options.sched);
+      moduloSchedule(ddg, ideal, freeConstraints, idealOpts);
   r.trace.idealScheduleNs += idealTimer.elapsedNs();
+  r.trace.schedPlacements += idealRes.placements;
   r.idealResII = idealRes.resII;
   r.idealRecII = idealRes.recII;
   if (!idealRes.success) {
-    r.error = "ideal schedule not found within II limit";
+    if (idealRes.budgetExhausted) {
+      fail(r, FailureClass::Timeout, "work budget exhausted during ideal schedule");
+    } else {
+      fail(r, FailureClass::SchedCapacity, "ideal schedule not found within II limit");
+    }
     return r;
   }
   r.idealII = idealRes.schedule.ii;
@@ -201,73 +264,165 @@ LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
         verifySchedule(ddg, ideal, freeConstraints, idealRes.schedule);
     if (!rep.ok()) {
       r.trace.verifyViolations += static_cast<int>(rep.violations.size());
-      r.error = "ideal schedule verification failed: " + rep.first();
+      fail(r, FailureClass::VerifierViolation,
+           "ideal schedule verification failed: " + rep.first());
       return r;
     }
   }
 
-  // ---- Step 3: partition registers to banks. ----
-  // (On a monolithic machine every register lands in bank 0, no copies are
-  // inserted, and the clustered schedule reproduces the ideal one.)
-  StageTimer partitionTimer;
-  Partition partition =
-      choosePartition(loop, ddg, idealRes.schedule, machine, options, r.trace);
-  if (options.refinePasses > 0 && !machine.isMonolithic()) {
-    RefinementOptions ropts;
-    ropts.maxPasses = options.refinePasses;
-    ropts.sched = options.sched;
-    RefinementResult refined =
-        refinePartition(loop, machine, partition, r.idealII, ropts);
-    partition = std::move(refined.partition);
-    r.refineMoves = refined.movesAccepted;
-  }
-  r.trace.partitionNs += partitionTimer.elapsedNs() - r.trace.rcgBuildNs;
+  // ---- Steps 3-5 under the graceful-degradation ladder. ----
+  // Recoverable failures (unusable partition, invalid clustered loop,
+  // unschedulable constraints, exhausted allocation retries) advance to the
+  // next rung; bug-class failures (verifier, validation) and Timeout are
+  // terminal so the ladder can never mask a legality bug or loop forever.
+  const std::vector<PartitionerKind> ladder = partitionerLadder(options);
+  for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
+    const PartitionerKind kind = ladder[rung];
+    if (rung > 0) {
+      r.trace.fallbackUsed = 1;
+      ++r.trace.recoverySteps;
+    }
+    r.partitionerUsed = kind;
+    // Reset the per-attempt outputs a previous rung may have left behind
+    // (trace counters deliberately keep accumulating across rungs).
+    r.error.clear();
+    r.failureClass = FailureClass::None;
+    r.clusteredII = 0;
+    r.bodyCopies = 0;
+    r.preheaderCopies = 0;
+    r.stageCount = 0;
+    r.maxUnroll = 0;
+    r.allocOk = false;
+    r.allocRetries = 0;
+    r.refineMoves = 0;
+    r.compactionMoves = 0;
+    r.validated = false;
+    r.validatedPhysical = false;
+    r.simulatedCycles = 0;
 
-  // ---- Step 4: copies + cluster-constrained rescheduling. ----
-  StageTimer copyTimer;
-  const ClusteredLoop clustered = insertCopies(loop, partition, machine);
-  r.trace.copyInsertNs += copyTimer.elapsedNs();
-  r.bodyCopies = clustered.bodyCopies;
-  r.preheaderCopies = clustered.preheaderCopies;
-
-  StageTimer rescheduleTimer;
-  const Ddg cddg = Ddg::build(clustered.loop, machine.lat);
-  r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
-  ModuloSchedulerOptions schedOpts = options.sched;
-  for (int attempt = 0;; ++attempt) {
-    rescheduleTimer.restart();
-    ++r.trace.rescheduleAttempts;
-    const ModuloSchedulerResult clusteredRes =
-        moduloSchedule(cddg, machine, clustered.constraints, schedOpts);
-    if (!clusteredRes.success) {
-      r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
-      r.error = "clustered schedule not found within II limit";
+    if (budgetDone()) {
+      fail(r, FailureClass::Timeout, "work budget exhausted before partitioning");
       return r;
     }
-    ModuloSchedule clusteredSched = clusteredRes.schedule;
-    if (options.compactLifetimes) {
-      const CompactionStats cs =
-          compactLifetimes(cddg, machine, clustered.constraints, clusteredSched);
-      r.compactionMoves = cs.movedOps;
+    if (deadlineHit()) {
+      fail(r, FailureClass::Timeout, "wall-clock deadline exceeded");
+      return r;
     }
+
+    // ---- Step 3: partition registers to banks. ----
+    // (On a monolithic machine every register lands in bank 0, no copies are
+    // inserted, and the clustered schedule reproduces the ideal one.)
+    StageTimer partitionTimer;
+    const std::int64_t rcgNsBefore = r.trace.rcgBuildNs;
+    Partition partition =
+        choosePartition(loop, ddg, idealRes.schedule, machine, options, kind, r.trace);
+    if (options.refinePasses > 0 && !machine.isMonolithic() &&
+        partitionCovers(loop, partition)) {
+      RefinementOptions ropts;
+      ropts.maxPasses = options.refinePasses;
+      ropts.sched = options.sched;
+      RefinementResult refined =
+          refinePartition(loop, machine, partition, r.idealII, ropts);
+      partition = std::move(refined.partition);
+      r.refineMoves = refined.movesAccepted;
+    }
+    r.trace.partitionNs +=
+        partitionTimer.elapsedNs() - (r.trace.rcgBuildNs - rcgNsBefore);
+
+    if (!partitionCovers(loop, partition)) {
+      fail(r, FailureClass::PartitionFailure,
+           std::string("partitioner ") + partitionerName(kind) +
+               " left registers without a bank");
+      continue;  // next rung
+    }
+
+    // ---- Step 4: copies + cluster-constrained rescheduling. ----
+    StageTimer copyTimer;
+    const ClusteredLoop clustered = insertCopies(loop, partition, machine);
+    r.trace.copyInsertNs += copyTimer.elapsedNs();
+    r.bodyCopies = clustered.bodyCopies;
+    r.preheaderCopies = clustered.preheaderCopies;
+    if (auto err = validate(clustered.loop)) {
+      fail(r, FailureClass::CopyInsertFailure,
+           "copy insertion produced an invalid loop: " + *err);
+      continue;  // next rung
+    }
+
+    StageTimer rescheduleTimer;
+    const Ddg cddg = Ddg::build(clustered.loop, machine.lat);
     r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
-    r.clusteredII = clusteredSched.ii;
+    ModuloSchedulerOptions schedOpts = options.sched;
+    bool rungFailed = false;
+    for (int attempt = 0;; ++attempt) {
+      if (deadlineHit()) {
+        fail(r, FailureClass::Timeout, "wall-clock deadline exceeded");
+        return r;
+      }
+      rescheduleTimer.restart();
+      ++r.trace.rescheduleAttempts;
+      schedOpts.maxPlacements = budgetLeft();
+      const ModuloSchedulerResult clusteredRes =
+          moduloSchedule(cddg, machine, clustered.constraints, schedOpts);
+      r.trace.schedPlacements += clusteredRes.placements;
+      if (!clusteredRes.success) {
+        r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
+        if (clusteredRes.budgetExhausted) {
+          fail(r, FailureClass::Timeout,
+               "work budget exhausted during clustered schedule");
+          return r;  // terminal: retrying cannot shrink the work done
+        }
+        fail(r, FailureClass::SchedCapacity,
+             "clustered schedule not found within II limit");
+        rungFailed = true;
+        break;  // next rung
+      }
+      ModuloSchedule clusteredSched = clusteredRes.schedule;
+      if (options.compactLifetimes) {
+        const CompactionStats cs =
+            compactLifetimes(cddg, machine, clustered.constraints, clusteredSched);
+        r.compactionMoves = cs.movedOps;
+      }
+      r.trace.rescheduleNs += rescheduleTimer.elapsedNs();
+      r.clusteredII = clusteredSched.ii;
 
-    // ---- Step 5 (+ emission, simulation, validation). ----
-    r.allocRetries = attempt;
-    r.trace.iiEscalations = attempt;
-    if (finishSchedule(loop, clustered, cddg, clusteredSched, machine, options, r)) {
-      break;
+      // ---- Step 5 (+ emission, simulation, validation). ----
+      r.allocRetries = attempt;
+      r.trace.iiEscalations = attempt;
+      if (finishSchedule(loop, clustered, cddg, clusteredSched, machine, options, r)) {
+        if (r.failureClass != FailureClass::None) return r;  // bug class: terminal
+        break;  // success
+      }
+      if (attempt >= options.maxAllocRetries) {
+        fail(r, FailureClass::AllocCapacity,
+             "register allocation failed after II relaxation");
+        rungFailed = true;
+        break;  // next rung
+      }
+      ++r.trace.recoverySteps;
+      schedOpts.startII = clusteredRes.schedule.ii + 1;  // relax pressure
     }
-    if (attempt >= options.maxAllocRetries) {
-      r.error = "register allocation failed after II relaxation";
-      return r;
-    }
-    schedOpts.startII = clusteredRes.schedule.ii + 1;  // relax pressure
+    if (rungFailed) continue;
+
+    r.ok = true;
+    return r;
   }
 
-  r.ok = r.error.empty();
+  // Every rung failed; r carries the last rung's classified failure.
+  RAPT_ASSERT(!r.ok && r.failureClass != FailureClass::None,
+              "ladder exhausted without a classified failure");
   return r;
+}
+
+/// FNV-1a, mixed with the campaign seed: gives every loop its own fault
+/// stream keyed by NAME, not corpus position, so injections are identical for
+/// every suite thread count and corpus order.
+std::uint64_t perLoopFaultSeed(std::uint64_t seed, const std::string& name) {
+  std::uint64_t h = 14695981039346656037ULL ^ seed;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 }  // namespace
@@ -275,7 +430,35 @@ LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
 LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
                        const PipelineOptions& options) {
   StageTimer total;
-  LoopResult r = compileLoopImpl(loop, machine, options);
+  std::optional<FaultInjector> injector;
+  if (options.fault.ratePercent > 0) {
+    injector.emplace(perLoopFaultSeed(options.fault.seed, loop.name),
+                     options.fault.ratePercent);
+  }
+  FaultInjector::Scope scope(injector ? &*injector : nullptr);
+
+  // Exception containment: whatever a stage throws — std::bad_alloc, a logic
+  // error, an injected FaultInjected — becomes a classified InternalError
+  // result. One pathological loop must never abort a whole suite run.
+  LoopResult r;
+  try {
+    r = compileLoopImpl(loop, machine, options);
+  } catch (const std::exception& e) {
+    r = LoopResult{};
+    r.loopName = loop.name;
+    r.numOps = loop.size();
+    r.partitionerUsed = options.partitioner;
+    fail(r, FailureClass::InternalError, std::string("uncaught exception: ") + e.what());
+  } catch (...) {
+    r = LoopResult{};
+    r.loopName = loop.name;
+    r.numOps = loop.size();
+    r.partitionerUsed = options.partitioner;
+    fail(r, FailureClass::InternalError, "uncaught non-standard exception");
+  }
+  if (injector) r.trace.faultsInjected = injector->injectedCount();
+  RAPT_ASSERT(r.ok == (r.failureClass == FailureClass::None),
+              "failure class must be None exactly when ok");
   r.trace.totalNs = total.elapsedNs();
   return r;
 }

@@ -19,6 +19,7 @@
 #include "machine/MachineDesc.h"
 #include "partition/GreedyPartitioner.h"
 #include "partition/Rcg.h"
+#include "pipeline/FailureClass.h"
 #include "pipeline/PipelineTrace.h"
 #include "regalloc/BankAssigner.h"
 #include "sched/ModuloScheduler.h"
@@ -34,6 +35,16 @@ enum class PartitionerKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* partitionerName(PartitionerKind k);
+
+/// Fault-injection plan for robustness campaigns (docs/robustness.md).
+/// `ratePercent == 0` (the default) disables injection entirely. When
+/// enabled, compileLoop derives ONE seeded FaultInjector per loop from
+/// (seed, loop name), so injected faults are identical for every suite
+/// thread count and every corpus order.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  int ratePercent = 0;  ///< per-site fault probability, 0-100
+};
 
 struct PipelineOptions {
   RcgWeights weights;
@@ -58,6 +69,29 @@ struct PipelineOptions {
                                   ///< concurrency, 1 = legacy serial path.
                                   ///< Results are bit-identical either way;
                                   ///< compileLoop itself is single-threaded.
+  bool partitionerFallback = true;  ///< graceful-degradation ladder
+                                    ///< (docs/robustness.md): when the chosen
+                                    ///< partitioner yields an unusable
+                                    ///< partition, an invalid clustered loop,
+                                    ///< an unschedulable problem, or an
+                                    ///< unallocatable one, retry with
+                                    ///< GreedyRcg and then RoundRobin before
+                                    ///< giving up. Disable for partitioner
+                                    ///< ablations that must not mix kinds.
+  std::int64_t workBudget = 200'000'000;  ///< per-loop scheduler-placement
+                                  ///< budget summed over every attempt (ideal,
+                                  ///< reschedules, ladder retries). 0 =
+                                  ///< unbounded. Deterministic: exhaustion
+                                  ///< classifies the loop as Timeout instead
+                                  ///< of hanging a suite worker. The default
+                                  ///< is ~100x the costliest corpus loop.
+  std::int64_t deadlineNs = 0;    ///< optional wall-clock belt on top of the
+                                  ///< placement budget (0 = off). NOT
+                                  ///< deterministic — results may differ
+                                  ///< between runs/hosts near the limit — so
+                                  ///< it is opt-in for latency-critical
+                                  ///< serving, not for experiments.
+  FaultPlan fault;                ///< fault injection; off by default
   ModuloSchedulerOptions sched;
 };
 
@@ -65,7 +99,12 @@ struct PipelineOptions {
 struct LoopResult {
   std::string loopName;
   bool ok = false;
-  std::string error;
+  std::string error;                  ///< human-readable detail (free-form)
+  FailureClass failureClass = FailureClass::None;  ///< machine-readable class;
+                                      ///< None iff ok (docs/robustness.md)
+  PartitionerKind partitionerUsed = PartitionerKind::GreedyRcg;  ///< after the
+                                      ///< recovery ladder; == options.partitioner
+                                      ///< unless a fallback fired
 
   int numOps = 0;          ///< original body size
   int idealII = 0;

@@ -1,0 +1,85 @@
+#include "pipeline/CorpusLoader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "ir/Parser.h"
+
+namespace rapt {
+namespace {
+
+LoopResult parseFailure(const std::string& originName, const std::string& detail) {
+  LoopResult r;
+  r.loopName = originName;
+  r.ok = false;
+  r.failureClass = FailureClass::ParseError;
+  r.error = detail;
+  return r;
+}
+
+}  // namespace
+
+LoadedCorpus loadLoopText(std::string_view text, const std::string& originName) {
+  LoadedCorpus out;
+  try {
+    out.loops = parseLoops(text);
+  } catch (const ParseError& e) {
+    out.parseFailures.push_back(
+        parseFailure(originName, std::string("parse error: ") + e.what()));
+  } catch (const std::exception& e) {
+    out.parseFailures.push_back(
+        parseFailure(originName, std::string("loop ingestion failed: ") + e.what()));
+  }
+  return out;
+}
+
+LoadedCorpus loadLoopFile(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  std::ifstream in(path);
+  if (!in) {
+    LoadedCorpus out;
+    out.parseFailures.push_back(parseFailure(name, "cannot open file"));
+    return out;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    LoadedCorpus out;
+    out.parseFailures.push_back(parseFailure(name, "read error"));
+    return out;
+  }
+  return loadLoopText(buf.str(), name);
+}
+
+LoadedCorpus loadLoopDirectory(const std::filesystem::path& dir) {
+  LoadedCorpus out;
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() == ".loop") files.push_back(it->path());
+  }
+  if (ec) {
+    out.parseFailures.push_back(
+        parseFailure(dir.string(), "cannot read directory: " + ec.message()));
+    return out;
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& f : files) out.merge(loadLoopFile(f));
+  return out;
+}
+
+SuiteResult runSuite(const LoadedCorpus& corpus, const MachineDesc& machine,
+                     const PipelineOptions& options) {
+  SuiteResult out = runSuite(std::span<const Loop>(corpus.loops), machine, options);
+  for (const LoopResult& r : corpus.parseFailures) {
+    out.loops.push_back(r);
+    ++out.failures;
+    ++out.failuresByClass[static_cast<std::size_t>(r.failureClass)];
+  }
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,56 @@
+// Fault-tolerant corpus ingestion (docs/robustness.md "Parse containment").
+//
+// Loading a corpus through the raw parser means one malformed .loop file
+// throws and aborts the whole run. This loader converts every ingestion
+// failure — unreadable file, parse error, structural validation error — into
+// a per-loop LoopResult classified as FailureClass::ParseError, so a corpus
+// directory with one bad file still compiles the other N-1 loops and the bad
+// one shows up in SuiteResult::failuresByClass like any other failure.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/Loop.h"
+#include "pipeline/Suite.h"
+
+namespace rapt {
+
+/// The outcome of ingesting one or more .loop sources: the loops that parsed
+/// plus one pre-classified failure result per source that did not.
+struct LoadedCorpus {
+  std::vector<Loop> loops;                ///< parsed + validated successfully
+  std::vector<LoopResult> parseFailures;  ///< failureClass == ParseError
+
+  /// Folds another load (e.g. the next file of a directory) into this one.
+  void merge(LoadedCorpus other) {
+    for (Loop& l : other.loops) loops.push_back(std::move(l));
+    for (LoopResult& r : other.parseFailures) parseFailures.push_back(std::move(r));
+  }
+};
+
+/// Parses loop text; a throw becomes one ParseError entry named after
+/// `originName` (a file name or synthetic label) instead of propagating.
+[[nodiscard]] LoadedCorpus loadLoopText(std::string_view text,
+                                        const std::string& originName);
+
+/// Reads and parses one .loop file; IO errors are ParseError entries too.
+[[nodiscard]] LoadedCorpus loadLoopFile(const std::filesystem::path& path);
+
+/// Loads every *.loop file under `dir` (sorted by path, deterministic). A
+/// missing or unreadable directory yields a single ParseError entry rather
+/// than a throw.
+[[nodiscard]] LoadedCorpus loadLoopDirectory(const std::filesystem::path& dir);
+
+/// Compiles the loaded loops like runSuite(span, ...) and then appends the
+/// parse failures to the result (after the compiled loops, in load order),
+/// folding them into `failures` and `failuresByClass`. A malformed source can
+/// therefore never abort a suite run — it is one classified row in the
+/// report.
+[[nodiscard]] SuiteResult runSuite(const LoadedCorpus& corpus,
+                                   const MachineDesc& machine,
+                                   const PipelineOptions& options = {});
+
+}  // namespace rapt

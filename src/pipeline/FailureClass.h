@@ -1,0 +1,76 @@
+// The pipeline failure taxonomy (docs/robustness.md).
+//
+// Every LoopResult with ok == false carries exactly one FailureClass telling
+// the caller WHICH stage gave up and WHY, machine-readably; the free-text
+// `error` string stays the human detail. The classes partition the failure
+// space along two axes the suite aggregation and the fault-injection oracle
+// both need:
+//
+//   * capacity give-ups (SchedCapacity, AllocCapacity, Timeout) are
+//     legitimate outcomes on stressed configurations — the compiler ran out
+//     of II headroom, registers, or work budget after exhausting its
+//     recovery ladder;
+//   * input refusals (ParseError, GateRefusal) mean the loop never entered
+//     the pipeline;
+//   * oracle trips (VerifierViolation, ValidationMismatch) and InternalError
+//     indicate a compiler bug (or an injected fault) and are never
+//     acceptable on a healthy run.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rapt {
+
+enum class FailureClass : std::uint8_t {
+  None = 0,            ///< ok == true; no failure
+  ParseError,          ///< malformed input (parse throw or ir::validate refusal)
+  GateRefusal,         ///< static semantic gate reported errors (docs/analysis.md)
+  SchedCapacity,       ///< no (ideal or clustered) schedule within the II limit
+  PartitionFailure,    ///< partitioner produced an unusable bank assignment
+  CopyInsertFailure,   ///< copy insertion produced a structurally invalid loop
+  AllocCapacity,       ///< bank allocation failed after II relaxation
+  VerifierViolation,   ///< independent oracle rejected a schedule or stream
+  ValidationMismatch,  ///< simulation disagreed with the sequential reference
+  Timeout,             ///< per-loop work budget (or wall deadline) exhausted
+  InternalError,       ///< uncaught exception contained by the harness
+};
+
+/// Number of enumerators (array-of-counters size for per-class aggregation).
+inline constexpr int kNumFailureClasses = 11;
+
+/// Stable machine-readable token, used as the BENCH_*.json key.
+[[nodiscard]] constexpr const char* failureClassName(FailureClass c) {
+  switch (c) {
+    case FailureClass::None: return "none";
+    case FailureClass::ParseError: return "parseError";
+    case FailureClass::GateRefusal: return "gateRefusal";
+    case FailureClass::SchedCapacity: return "schedCapacity";
+    case FailureClass::PartitionFailure: return "partitionFailure";
+    case FailureClass::CopyInsertFailure: return "copyInsertFailure";
+    case FailureClass::AllocCapacity: return "allocCapacity";
+    case FailureClass::VerifierViolation: return "verifierViolation";
+    case FailureClass::ValidationMismatch: return "validationMismatch";
+    case FailureClass::Timeout: return "timeout";
+    case FailureClass::InternalError: return "internalError";
+  }
+  return "invalid";
+}
+
+/// Capacity give-ups: acceptable on stressed machines (small banks, tight
+/// latencies); the graceful counterpart of "compiled". Everything else that
+/// is not None means refused input or a bug.
+[[nodiscard]] constexpr bool isCapacityClass(FailureClass c) {
+  return c == FailureClass::SchedCapacity || c == FailureClass::AllocCapacity ||
+         c == FailureClass::Timeout;
+}
+
+/// Oracle trips and containment: never acceptable on a healthy run (they are
+/// exactly what the fault-injection campaign expects to see *instead of* a
+/// wrong answer when a fault is not recoverable).
+[[nodiscard]] constexpr bool isBugClass(FailureClass c) {
+  return c == FailureClass::VerifierViolation ||
+         c == FailureClass::ValidationMismatch || c == FailureClass::InternalError;
+}
+
+}  // namespace rapt

@@ -37,6 +37,16 @@ struct PipelineTrace {
   int verifyViolations = 0;             ///< violations found (0 on a healthy run)
   int diagErrors = 0;                   ///< static-gate errors (compile refused)
   int diagWarnings = 0;                 ///< static-gate warnings (advisory)
+  std::int64_t schedPlacements = 0;     ///< scheduler placement steps, all
+                                        ///< attempts — the deterministic work
+                                        ///< measure the Timeout budget counts
+  int recoverySteps = 0;                ///< degradation-ladder actions taken:
+                                        ///< partitioner fallbacks + alloc II
+                                        ///< bumps (docs/robustness.md)
+  int fallbackUsed = 0;                 ///< 1 when a fallback partitioner
+                                        ///< produced the final result
+  int faultsInjected = 0;               ///< faults actually applied by the
+                                        ///< injector (0 without a campaign)
 
   /// Element-wise accumulation (suite aggregation).
   PipelineTrace& operator+=(const PipelineTrace& o) {
@@ -60,6 +70,10 @@ struct PipelineTrace {
     verifyViolations += o.verifyViolations;
     diagErrors += o.diagErrors;
     diagWarnings += o.diagWarnings;
+    schedPlacements += o.schedPlacements;
+    recoverySteps += o.recoverySteps;
+    fallbackUsed += o.fallbackUsed;
+    faultsInjected += o.faultsInjected;
     return *this;
   }
 };

@@ -18,9 +18,27 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
   int threads = options.threads == 0 ? ThreadPool::hardwareThreads() : options.threads;
   threads = std::clamp(threads, 1, std::max(1, n));
   out.threadsUsed = threads;
+  // compileLoop contains exceptions itself; this belt catches anything that
+  // still escapes (e.g. a throw from LoopResult's own move machinery) so one
+  // loop can never tear down the pool — it lands as InternalError instead.
   parallelFor(n, threads, [&](int i) {
-    out.loops[static_cast<std::size_t>(i)] =
-        compileLoop(corpus[static_cast<std::size_t>(i)], machine, options);
+    const Loop& loop = corpus[static_cast<std::size_t>(i)];
+    LoopResult& slot = out.loops[static_cast<std::size_t>(i)];
+    try {
+      slot = compileLoop(loop, machine, options);
+    } catch (const std::exception& e) {
+      slot = LoopResult{};
+      slot.loopName = loop.name;
+      slot.numOps = loop.size();
+      slot.failureClass = FailureClass::InternalError;
+      slot.error = std::string("uncaught exception escaped compileLoop: ") + e.what();
+    } catch (...) {
+      slot = LoopResult{};
+      slot.loopName = loop.name;
+      slot.numOps = loop.size();
+      slot.failureClass = FailureClass::InternalError;
+      slot.error = "uncaught non-standard exception escaped compileLoop";
+    }
   });
 
   // Reduction phase: serial, in corpus order, over the completed vector.
@@ -38,6 +56,7 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
     } else {
       ++out.failures;
     }
+    ++out.failuresByClass[static_cast<std::size_t>(r.failureClass)];
     out.trace += r.trace;
   }
   if (!normalized.empty()) {

@@ -13,6 +13,7 @@
 // runs; they are observability, never inputs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -25,6 +26,10 @@ namespace rapt {
 struct SuiteResult {
   std::vector<LoopResult> loops;     ///< one per corpus loop, in order
   int failures = 0;                  ///< loops with ok == false
+  /// Loop count per FailureClass, indexed by the enum value; the None bucket
+  /// holds the successful loops, so the array always sums to loops.size()
+  /// (docs/robustness.md, docs/metrics.md).
+  std::array<int, kNumFailureClasses> failuresByClass{};
 
   // Aggregates over successful loops:
   double meanIdealIpc = 0.0;

@@ -1,15 +1,54 @@
 #include "regalloc/BankAssigner.h"
 
+#include <algorithm>
+
 #include "regalloc/LiveIntervals.h"
 #include "support/Assert.h"
+#include "support/FaultInjection.h"
 
 namespace rapt {
+
+namespace {
+
+/// Fault-injection corruption (docs/robustness.md): collapse one successfully
+/// coloured FLOAT name onto physical index 0 of its file. Restricting the
+/// corruption to the float class keeps it memory-safe under simulation (float
+/// values never feed address computations, so a clobbered value can change
+/// results — which the physical-stream validation catches — but can never
+/// push a load or store outside the simulator's guard band).
+void corruptAssignment(BankAssignment& out, FaultInjector& fi) {
+  std::vector<std::uint32_t> candidates;
+  for (const auto& [key, phys] : out.physOf) {
+    if (phys.cls == RegClass::Flt && phys.index != 0) candidates.push_back(key);
+  }
+  if (candidates.empty()) return;  // nothing corruptible: no fault applied
+  std::sort(candidates.begin(), candidates.end());
+  const std::uint32_t victim = candidates[static_cast<std::size_t>(
+      fi.index(static_cast<std::int64_t>(candidates.size())))];
+  out.physOf[victim].index = 0;
+  fi.recordInjected(FaultSite::Allocator);
+}
+
+}  // namespace
 
 BankAssignment assignBanks(const PipelinedCode& code, const Partition& partition,
                            const MachineDesc& machine) {
   BankAssignment out;
   out.regsUsed.assign(machine.numClusters, {0, 0});
   out.maxLive.assign(machine.numClusters, {0, 0});
+
+  FaultKind fault = FaultKind::None;
+  if (FaultInjector* fi = FaultInjector::active()) {
+    fault = fi->draw(FaultSite::Allocator);
+    if (fault == FaultKind::StageFail) {
+      fi->recordInjected(FaultSite::Allocator);
+      return out;  // success == false: a clean allocation failure (II bump)
+    }
+    if (fault == FaultKind::Throw) {
+      fi->recordInjected(FaultSite::Allocator);
+      throw FaultInjected("allocator");
+    }
+  }
 
   const std::vector<LiveRange> ranges = computeLiveRanges(code, machine.lat);
 
@@ -46,6 +85,9 @@ BankAssignment assignBanks(const PipelinedCode& code, const Partition& partition
     }
   }
   out.success = !anySpill;
+  if (out.success && fault == FaultKind::Corrupt) {
+    corruptAssignment(out, *FaultInjector::active());
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "sched/Mrt.h"
 #include "support/Assert.h"
+#include "support/FaultInjection.h"
 
 namespace rapt {
 
@@ -61,11 +62,12 @@ class AttemptState {
         heights_(ddg.heights(ii)) {}
 
   /// Returns true if every op got scheduled within the budget.
-  bool run(int budget) {
+  bool run(std::int64_t budget) {
     std::vector<int> worklist(ddg_.numOps());
     for (int i = 0; i < ddg_.numOps(); ++i) worklist[i] = i;
     while (!worklist.empty()) {
       if (budget-- <= 0) return false;
+      ++placements_;
       // Highest height first; op index breaks ties deterministically.
       auto best = std::min_element(worklist.begin(), worklist.end(),
                                    [&](int a, int b) {
@@ -81,6 +83,9 @@ class AttemptState {
   }
 
   [[nodiscard]] const std::vector<int>& times() const { return time_; }
+
+  /// Placement steps this attempt consumed (the deterministic work measure).
+  [[nodiscard]] std::int64_t placements() const { return placements_; }
 
  private:
   /// Returns false when `op` cannot be placed even after eviction — e.g. a
@@ -152,6 +157,7 @@ class AttemptState {
   std::vector<int> time_;
   std::vector<int> lastTried_;
   std::vector<int> heights_;
+  std::int64_t placements_ = 0;
 };
 
 }  // namespace
@@ -194,11 +200,46 @@ ModuloSchedulerResult moduloSchedule(const Ddg& ddg, const MachineDesc& machine,
     result.schedule.ii = 1;
     return result;
   }
+
+  // Fault-injection site (docs/robustness.md): a StageFail draw reports a
+  // clean capacity-style failure, Throw exercises the containment layer, and
+  // Corrupt is applied to the finished schedule below — after the internal
+  // legality assert, so only the *independent* oracles can catch it.
+  FaultKind fault = FaultKind::None;
+  if (FaultInjector* fi = FaultInjector::active()) {
+    fault = fi->draw(FaultSite::Scheduler);
+    if (fault == FaultKind::StageFail) {
+      fi->recordInjected(FaultSite::Scheduler);
+      return result;
+    }
+    if (fault == FaultKind::Throw) {
+      fi->recordInjected(FaultSite::Scheduler);
+      throw FaultInjected("scheduler");
+    }
+  }
+
   const int firstII = std::max(result.minII(), options.startII);
   for (int ii = firstII; ii <= options.maxII; ++ii) {
     if (!ddg.feasibleII(ii)) continue;
+    std::int64_t budget = static_cast<std::int64_t>(options.budgetRatio) * ddg.numOps();
+    if (options.maxPlacements > 0) {
+      const std::int64_t remaining = options.maxPlacements - result.placements;
+      if (remaining <= 0) {
+        result.budgetExhausted = true;
+        return result;
+      }
+      budget = std::min(budget, remaining);
+    }
     AttemptState attempt(ddg, machine, constraints, ii);
-    if (!attempt.run(options.budgetRatio * ddg.numOps())) continue;
+    const bool placed = attempt.run(budget);
+    result.placements += attempt.placements();
+    if (!placed) {
+      if (options.maxPlacements > 0 && result.placements >= options.maxPlacements) {
+        result.budgetExhausted = true;
+        return result;
+      }
+      continue;
+    }
     ModuloSchedule sched;
     sched.ii = ii;
     sched.cycle = attempt.times();
@@ -207,6 +248,15 @@ ModuloSchedulerResult moduloSchedule(const Ddg& ddg, const MachineDesc& machine,
     for (int& t : sched.cycle) t -= minCycle;
     assignFunctionalUnits(ddg, machine, constraints, sched);
     RAPT_ASSERT(findViolatedEdge(ddg, sched) < 0, "scheduler produced illegal schedule");
+    if (fault == FaultKind::Corrupt) {
+      // Shift one op a full II later: same modulo slot and FU occupancy (so
+      // downstream emission stays structurally sound), but dependence
+      // latencies and cross-iteration overlap change — exactly the class of
+      // bug ScheduleVerifier / the differential simulation exist to catch.
+      FaultInjector* fi = FaultInjector::active();
+      sched.cycle[static_cast<std::size_t>(fi->index(ddg.numOps()))] += ii;
+      fi->recordInjected(FaultSite::Scheduler);
+    }
     result.success = true;
     result.schedule = std::move(sched);
     return result;

@@ -29,13 +29,21 @@ struct ModuloSchedulerOptions {
   int startII = 0;      ///< first II to try when above minII (0 = use minII);
                         ///< used to relax register pressure after a failed
                         ///< bank allocation
+  std::int64_t maxPlacements = 0;  ///< cumulative placement budget across ALL
+                                   ///< II attempts of this call (0 = unbounded).
+                                   ///< Exhaustion sets budgetExhausted so the
+                                   ///< pipeline can classify the loop as a
+                                   ///< Timeout instead of hanging a worker.
 };
 
 struct ModuloSchedulerResult {
   bool success = false;
+  bool budgetExhausted = false;  ///< stopped by options.maxPlacements
   ModuloSchedule schedule;  ///< valid iff success
   int resII = 0;            ///< resource-constrained lower bound (with constraints)
   int recII = 0;            ///< recurrence-constrained lower bound
+  std::int64_t placements = 0;  ///< placement steps consumed (deterministic
+                                ///< work measure; summed into PipelineTrace)
   [[nodiscard]] int minII() const { return resII > recII ? resII : recII; }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/Assert.h"
+#include "support/FaultInjection.h"
 
 namespace rapt {
 namespace {
@@ -11,6 +12,40 @@ namespace {
 int floorDiv(int a, int b) {
   RAPT_ASSERT(b > 0, "floorDiv by non-positive");
   return (a >= 0) ? a / b : -((-a + b - 1) / b);
+}
+
+/// Fault-injection corruption of the emitted stream (docs/robustness.md):
+/// make one FLOAT-producing instance compute a different value — bump an
+/// FConst immediate or swap the operands of a non-commutative float op. Only
+/// float dataflow is touched so the corruption can change *results* (which
+/// the differential simulation catches) but never an address (which would
+/// trip the simulator's guard-band assert instead of an oracle).
+void corruptStream(PipelinedCode& code, FaultInjector& fi) {
+  struct Target {
+    std::size_t instr;
+    std::size_t slot;
+  };
+  std::vector<Target> consts, swaps;
+  for (std::size_t i = 0; i < code.instrs.size(); ++i) {
+    for (std::size_t s = 0; s < code.instrs[i].ops.size(); ++s) {
+      const Opcode op = code.instrs[i].ops[s].op.op;
+      if (op == Opcode::FConst) consts.push_back({i, s});
+      if (op == Opcode::FSub || op == Opcode::FDiv) swaps.push_back({i, s});
+    }
+  }
+  if (!consts.empty()) {
+    const Target t = consts[static_cast<std::size_t>(
+        fi.index(static_cast<std::int64_t>(consts.size())))];
+    code.instrs[t.instr].ops[t.slot].op.fimm += 1.0;
+    fi.recordInjected(FaultSite::Emitter);
+  } else if (!swaps.empty()) {
+    const Target t = swaps[static_cast<std::size_t>(
+        fi.index(static_cast<std::int64_t>(swaps.size())))];
+    Operation& op = code.instrs[t.instr].ops[t.slot].op;
+    std::swap(op.src[0], op.src[1]);
+    fi.recordInjected(FaultSite::Emitter);
+  }
+  // No float payload to corrupt: the fault is not applied (and not counted).
 }
 
 }  // namespace
@@ -162,6 +197,20 @@ PipelinedCode emitPipelinedCode(const Loop& loop, const Ddg& ddg,
         lv.reg = name;
         code.nameInits.push_back(lv);
       }
+    }
+  }
+
+  // Fault-injection site. The emitter has no clean failure channel, so a
+  // StageFail draw degrades to Corrupt; either way the oracles downstream
+  // (verifyStream + differential simulation) must catch what changed.
+  if (FaultInjector* fi = FaultInjector::active()) {
+    const FaultKind fault = fi->draw(FaultSite::Emitter);
+    if (fault == FaultKind::Throw) {
+      fi->recordInjected(FaultSite::Emitter);
+      throw FaultInjected("emitter");
+    }
+    if (fault == FaultKind::Corrupt || fault == FaultKind::StageFail) {
+      corruptStream(code, *fi);
     }
   }
   return code;

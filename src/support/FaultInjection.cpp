@@ -1,0 +1,15 @@
+#include "support/FaultInjection.h"
+
+namespace rapt {
+
+namespace {
+thread_local FaultInjector* tlsActive = nullptr;
+}  // namespace
+
+FaultInjector* FaultInjector::active() { return tlsActive; }
+
+FaultInjector::Scope::Scope(FaultInjector* fi) : prev_(tlsActive) { tlsActive = fi; }
+
+FaultInjector::Scope::~Scope() { tlsActive = prev_; }
+
+}  // namespace rapt

@@ -1,0 +1,122 @@
+// Seeded, deterministic fault injection for the pipeline robustness harness
+// (docs/robustness.md "Fault injection").
+//
+// A FaultInjector decides, per injection site, whether the site should
+// misbehave on this call and how: report a clean stage failure, corrupt its
+// otherwise-correct output, or throw. Draws come from a SplitMix64 stream
+// seeded by the caller, so a campaign run is bit-reproducible and — because
+// compileLoop derives one injector per loop from (seed, loop name) — the
+// injected faults are identical for every suite thread count.
+//
+// The injector is published to the pipeline stages through a thread-local
+// pointer (compileLoop is single-threaded, so the pointer never crosses a
+// thread): library code queries FaultInjector::active() and does nothing
+// when no injector is installed, which keeps the hooks free on production
+// paths. Sites only count a fault as injected when they actually applied it
+// (a Corrupt draw with no corruptible payload is a no-op), so campaign
+// oracles can trust injectedCount().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "support/Rng.h"
+
+namespace rapt {
+
+/// Where a fault can be injected. One enumerator per instrumented subsystem.
+enum class FaultSite : std::uint8_t {
+  Scheduler,    ///< moduloSchedule (ideal and clustered attempts)
+  Partitioner,  ///< greedyPartition
+  Allocator,    ///< assignBanks
+  Emitter,      ///< emitPipelinedCode
+};
+inline constexpr int kNumFaultSites = 4;
+
+[[nodiscard]] constexpr const char* faultSiteName(FaultSite s) {
+  switch (s) {
+    case FaultSite::Scheduler: return "scheduler";
+    case FaultSite::Partitioner: return "partitioner";
+    case FaultSite::Allocator: return "allocator";
+    case FaultSite::Emitter: return "emitter";
+  }
+  return "invalid";
+}
+
+/// What the faulted site does.
+enum class FaultKind : std::uint8_t {
+  None = 0,   ///< behave normally
+  StageFail,  ///< report a clean failure through the stage's failure channel
+  Corrupt,    ///< return subtly wrong output (the oracles must catch it)
+  Throw,      ///< throw FaultInjected (the containment layer must catch it)
+};
+
+/// The exception injected by FaultKind::Throw. Deliberately a plain
+/// std::runtime_error subtype: containment must not special-case it.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at " + site) {}
+};
+
+class FaultInjector {
+ public:
+  /// `ratePercent` is the per-query probability (0-100) that a site faults.
+  FaultInjector(std::uint64_t seed, int ratePercent)
+      : rng_(seed), ratePercent_(ratePercent) {}
+
+  /// One decision for one site call. Deterministic given seed and call
+  /// sequence (compileLoop's stage sequence is deterministic).
+  [[nodiscard]] FaultKind draw(FaultSite site) {
+    (void)site;
+    if (ratePercent_ <= 0 || !rng_.chancePercent(ratePercent_)) return FaultKind::None;
+    switch (rng_.range(0, 2)) {
+      case 0: return FaultKind::StageFail;
+      case 1: return FaultKind::Corrupt;
+      default: return FaultKind::Throw;
+    }
+  }
+
+  /// Uniform index in [0, n) for picking a corruption target. n must be > 0.
+  [[nodiscard]] std::int64_t index(std::int64_t n) { return rng_.range(0, n - 1); }
+
+  /// Called by a site when it actually applied a fault.
+  void recordInjected(FaultSite site) {
+    ++counts_[static_cast<std::size_t>(site)];
+  }
+
+  [[nodiscard]] int injectedAt(FaultSite site) const {
+    return counts_[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] int injectedCount() const {
+    int total = 0;
+    for (int c : counts_) total += c;
+    return total;
+  }
+
+  /// The injector visible to pipeline stages on this thread (nullptr when
+  /// fault injection is off — the production case).
+  [[nodiscard]] static FaultInjector* active();
+
+  /// RAII installer: publishes `fi` for the scope's duration and restores the
+  /// previous injector on exit, including on exception unwind.
+  class Scope {
+   public:
+    explicit Scope(FaultInjector* fi);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    FaultInjector* prev_;
+  };
+
+ private:
+  SplitMix64 rng_;
+  int ratePercent_ = 0;
+  std::array<int, kNumFaultSites> counts_{};
+};
+
+}  // namespace rapt

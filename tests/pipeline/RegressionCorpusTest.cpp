@@ -5,13 +5,10 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "ir/Parser.h"
-#include "pipeline/CompilerPipeline.h"
+#include "pipeline/CorpusLoader.h"
 
 namespace rapt {
 namespace {
@@ -26,17 +23,12 @@ std::vector<std::filesystem::path> corpusFiles() {
 }
 
 std::vector<Loop> loadLoops(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  return parseLoops(buf.str());
-}
-
-/// A compiler give-up is acceptable on stressed machines; an oracle trip
-/// (verification / validation / equivalence failure) or an abort never is.
-bool isCapacityFailure(const std::string& error) {
-  return error.find("register allocation failed") != std::string::npos ||
-         error.find("schedule not found") != std::string::npos;
+  // Committed reproducers must always parse: surface loader failures loudly
+  // instead of silently skipping a file.
+  LoadedCorpus corpus = loadLoopFile(path);
+  EXPECT_TRUE(corpus.parseFailures.empty())
+      << path << ": " << corpus.parseFailures[0].error;
+  return std::move(corpus.loops);
 }
 
 TEST(RegressionCorpus, DirectoryIsNotEmpty) {
@@ -61,7 +53,8 @@ TEST(RegressionCorpus, CleanOnAllPaperMachines) {
 
 TEST(RegressionCorpus, GracefulOnSmallBankMachines) {
   // The stressed configuration these loops were minimized on: 16 registers
-  // per bank. Running out of registers is fine; tripping an oracle is not.
+  // per bank. Running out of capacity is fine; tripping an oracle is not —
+  // and every failure must carry a specific capacity class, not a bug class.
   const PipelineOptions opt;
   for (const auto& path : corpusFiles()) {
     for (const Loop& loop : loadLoops(path)) {
@@ -71,9 +64,9 @@ TEST(RegressionCorpus, GracefulOnSmallBankMachines) {
           m.intRegsPerBank = m.fltRegsPerBank = 16;
           m.name += "-smallbank";
           const LoopResult r = compileLoop(loop, m, opt);
-          EXPECT_TRUE(r.ok || isCapacityFailure(r.error))
-              << path.filename() << " (" << loop.name << ") on " << m.name << ": "
-              << r.error;
+          EXPECT_TRUE(r.ok || isCapacityClass(r.failureClass))
+              << path.filename() << " (" << loop.name << ") on " << m.name
+              << ": [" << failureClassName(r.failureClass) << "] " << r.error;
         }
       }
     }

@@ -1,0 +1,320 @@
+// The robustness harness (docs/robustness.md): the FailureClass taxonomy,
+// the graceful-degradation ladder, the deterministic work budget, exception
+// containment, seeded fault injection, and the fault-tolerant corpus loader.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "ir/Operation.h"
+#include "pipeline/CorpusLoader.h"
+#include "pipeline/Suite.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+MachineDesc paper4e() { return MachineDesc::paper16(4, CopyModel::Embedded); }
+
+std::vector<Loop> smallCorpus(int count) {
+  GeneratorParams params;
+  params.count = count;
+  return generateCorpus(params);
+}
+
+// ---- Taxonomy -------------------------------------------------------------
+
+TEST(FailureTaxonomy, NamesAreStableTokens) {
+  EXPECT_STREQ(failureClassName(FailureClass::None), "none");
+  EXPECT_STREQ(failureClassName(FailureClass::ParseError), "parseError");
+  EXPECT_STREQ(failureClassName(FailureClass::GateRefusal), "gateRefusal");
+  EXPECT_STREQ(failureClassName(FailureClass::SchedCapacity), "schedCapacity");
+  EXPECT_STREQ(failureClassName(FailureClass::PartitionFailure), "partitionFailure");
+  EXPECT_STREQ(failureClassName(FailureClass::CopyInsertFailure), "copyInsertFailure");
+  EXPECT_STREQ(failureClassName(FailureClass::AllocCapacity), "allocCapacity");
+  EXPECT_STREQ(failureClassName(FailureClass::VerifierViolation), "verifierViolation");
+  EXPECT_STREQ(failureClassName(FailureClass::ValidationMismatch), "validationMismatch");
+  EXPECT_STREQ(failureClassName(FailureClass::Timeout), "timeout");
+  EXPECT_STREQ(failureClassName(FailureClass::InternalError), "internalError");
+}
+
+TEST(FailureTaxonomy, CapacityAndBugClassesAreDisjoint) {
+  int capacity = 0, bug = 0;
+  for (int c = 0; c < kNumFailureClasses; ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    EXPECT_FALSE(isCapacityClass(cls) && isBugClass(cls)) << failureClassName(cls);
+    if (isCapacityClass(cls)) ++capacity;
+    if (isBugClass(cls)) ++bug;
+  }
+  EXPECT_EQ(capacity, 3);  // sched, alloc, timeout
+  EXPECT_EQ(bug, 3);       // verifier, validation, internal
+  EXPECT_FALSE(isCapacityClass(FailureClass::None));
+  EXPECT_FALSE(isBugClass(FailureClass::None));
+}
+
+TEST(FailureTaxonomy, HealthyLoopIsClassNone) {
+  const LoopResult r = compileLoop(smallCorpus(1)[0], paper4e());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.failureClass, FailureClass::None);
+  EXPECT_EQ(r.partitionerUsed, PartitionerKind::GreedyRcg);
+  EXPECT_EQ(r.trace.fallbackUsed, 0);
+  EXPECT_GT(r.trace.schedPlacements, 0);
+}
+
+TEST(FailureTaxonomy, InvalidLoopIsParseError) {
+  Loop loop = smallCorpus(1)[0];
+  loop.body[0].op = Opcode::kCount_;
+  const LoopResult r = compileLoop(loop, paper4e());
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failureClass, FailureClass::ParseError);
+}
+
+TEST(FailureTaxonomy, IiLimitExhaustionIsSchedCapacity) {
+  PipelineOptions opt;
+  opt.sched.maxII = 1;  // multi-op loops cannot fit one issue cycle
+  const LoopResult r = compileLoop(smallCorpus(1)[0], paper4e(), opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failureClass, FailureClass::SchedCapacity);
+  EXPECT_TRUE(isCapacityClass(r.failureClass));
+}
+
+TEST(FailureTaxonomy, StarvationWorkBudgetIsTimeout) {
+  PipelineOptions opt;
+  opt.workBudget = 1;  // one placement: nothing real can schedule
+  const LoopResult r = compileLoop(smallCorpus(1)[0], paper4e(), opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failureClass, FailureClass::Timeout);
+  EXPECT_NE(r.error.find("work budget"), std::string::npos) << r.error;
+}
+
+TEST(FailureTaxonomy, WallClockDeadlineIsTimeout) {
+  PipelineOptions opt;
+  opt.deadlineNs = 1;  // expired by the time the first ladder rung checks
+  const LoopResult r = compileLoop(smallCorpus(1)[0], paper4e(), opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failureClass, FailureClass::Timeout);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+}
+
+TEST(FailureTaxonomy, RegisterStarvationIsCapacityClassed) {
+  // Two registers per bank cannot hold a pipelined corpus loop: every loop
+  // must land in a capacity class (alloc, sched, or budget), never a bug
+  // class, and never abort.
+  MachineDesc m = paper4e();
+  m.intRegsPerBank = m.fltRegsPerBank = 2;
+  m.name += "-starved";
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.partitionerFallback = false;  // isolate the class of the first failure
+  opt.maxAllocRetries = 1;
+  int allocFailures = 0;
+  for (const Loop& loop : smallCorpus(12)) {
+    const LoopResult r = compileLoop(loop, m, opt);
+    if (r.ok) continue;
+    EXPECT_TRUE(isCapacityClass(r.failureClass))
+        << loop.name << ": " << failureClassName(r.failureClass) << ": " << r.error;
+    if (r.failureClass == FailureClass::AllocCapacity) ++allocFailures;
+  }
+  EXPECT_GT(allocFailures, 0);
+}
+
+TEST(FailureTaxonomy, BudgetAccountingIsDeterministic) {
+  const Loop loop = smallCorpus(1)[0];
+  const LoopResult a = compileLoop(loop, paper4e());
+  const LoopResult b = compileLoop(loop, paper4e());
+  EXPECT_GT(a.trace.schedPlacements, 0);
+  EXPECT_EQ(a.trace.schedPlacements, b.trace.schedPlacements);
+}
+
+// ---- Degradation ladder and fault injection -------------------------------
+
+/// Compiles `loop` across fault seeds until `pred` accepts a result (the
+/// injector is seeded, so whether a given seed fires a given site is fixed
+/// forever; scanning a bounded range makes the tests deterministic without
+/// hand-picking magic seeds).
+template <typename Pred>
+bool scanFaultSeeds(const Loop& loop, const MachineDesc& m, PipelineOptions opt,
+                    Pred pred, int seeds = 400) {
+  opt.fault.ratePercent = 30;
+  for (int s = 0; s < seeds; ++s) {
+    opt.fault.seed = static_cast<std::uint64_t>(s);
+    if (pred(compileLoop(loop, m, opt))) return true;
+  }
+  return false;
+}
+
+TEST(DegradationLadder, PartitionerFaultFallsBackAndRecovers) {
+  // An injected partitioner failure on the GreedyRcg rung must fall back to
+  // RoundRobin and still produce a validated result, with the recovery
+  // visible in the trace.
+  const Loop loop = smallCorpus(1)[0];
+  const bool found = scanFaultSeeds(loop, paper4e(), PipelineOptions{},
+                                    [](const LoopResult& r) {
+    if (!(r.ok && r.trace.fallbackUsed == 1)) return false;
+    EXPECT_EQ(r.partitionerUsed, PartitionerKind::RoundRobin);
+    EXPECT_GE(r.trace.recoverySteps, 1);
+    EXPECT_GT(r.trace.faultsInjected, 0);
+    EXPECT_TRUE(r.validated);
+    return true;
+  });
+  EXPECT_TRUE(found) << "no seed produced a recovered partitioner fault";
+}
+
+TEST(DegradationLadder, DisabledFallbackReportsPartitionFailure) {
+  const Loop loop = smallCorpus(1)[0];
+  PipelineOptions opt;
+  opt.partitionerFallback = false;
+  const bool found = scanFaultSeeds(loop, paper4e(), opt, [](const LoopResult& r) {
+    if (r.failureClass != FailureClass::PartitionFailure) return false;
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.trace.fallbackUsed, 0);
+    return true;
+  });
+  EXPECT_TRUE(found) << "no seed produced an unrecovered partition failure";
+}
+
+TEST(FaultInjection, InjectedThrowIsContainedAsInternalError) {
+  const Loop loop = smallCorpus(1)[0];
+  const bool found = scanFaultSeeds(loop, paper4e(), PipelineOptions{},
+                                    [](const LoopResult& r) {
+    if (r.failureClass != FailureClass::InternalError) return false;
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("injected fault"), std::string::npos) << r.error;
+    EXPECT_GT(r.trace.faultsInjected, 0);
+    return true;
+  });
+  EXPECT_TRUE(found) << "no seed surfaced a contained injected throw";
+}
+
+TEST(FaultInjection, CorruptionIsCaughtByAnOracle) {
+  // A Corrupt fault produces subtly wrong output; the independent verifiers
+  // or the differential simulation must flag it as a bug class.
+  const Loop loop = smallCorpus(1)[0];
+  const bool found = scanFaultSeeds(loop, paper4e(), PipelineOptions{},
+                                    [](const LoopResult& r) {
+    return r.failureClass == FailureClass::VerifierViolation ||
+           r.failureClass == FailureClass::ValidationMismatch;
+  });
+  EXPECT_TRUE(found) << "no seed surfaced a corruption caught by an oracle";
+}
+
+TEST(FaultInjection, CampaignOracleHoldsOnSlice) {
+  // The campaign invariant over a loop x seed grid: every result is either
+  // ok AND validated, or carries a specific failure class. No aborts (the
+  // test finishing is the proof), no silent wrong answers.
+  const std::vector<Loop> loops = smallCorpus(6);
+  const MachineDesc m = paper4e();
+  PipelineOptions opt;
+  opt.fault.ratePercent = 25;
+  int recovered = 0, detected = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    opt.fault.seed = seed;
+    for (const Loop& loop : loops) {
+      const LoopResult r = compileLoop(loop, m, opt);
+      EXPECT_EQ(r.ok, r.failureClass == FailureClass::None) << r.error;
+      if (r.ok) {
+        EXPECT_TRUE(r.validated) << loop.name << " seed " << seed;
+        if (r.trace.faultsInjected > 0) ++recovered;
+      } else if (r.trace.faultsInjected > 0) {
+        ++detected;
+      }
+    }
+  }
+  EXPECT_GT(recovered, 0);
+  EXPECT_GT(detected, 0);
+}
+
+TEST(FaultInjection, ZeroRateInjectsNothing) {
+  PipelineOptions opt;
+  opt.fault.seed = 123;  // ignored: rate 0 disables the injector entirely
+  const LoopResult r = compileLoop(smallCorpus(1)[0], paper4e(), opt);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trace.faultsInjected, 0);
+}
+
+// ---- Corpus loader --------------------------------------------------------
+
+TEST(CorpusLoader, MalformedTextBecomesParseErrorResult) {
+  const LoadedCorpus c = loadLoopText("loop broken {", "broken.loop");
+  EXPECT_TRUE(c.loops.empty());
+  ASSERT_EQ(c.parseFailures.size(), 1u);
+  EXPECT_EQ(c.parseFailures[0].loopName, "broken.loop");
+  EXPECT_EQ(c.parseFailures[0].failureClass, FailureClass::ParseError);
+  EXPECT_FALSE(c.parseFailures[0].ok);
+}
+
+TEST(CorpusLoader, ValidTextParses) {
+  const LoadedCorpus c =
+      loadLoopText("loop tiny { f1 = fconst 1.0 }", "tiny.loop");
+  EXPECT_TRUE(c.parseFailures.empty());
+  ASSERT_EQ(c.loops.size(), 1u);
+  EXPECT_EQ(c.loops[0].name, "tiny");
+}
+
+TEST(CorpusLoader, MissingFileAndDirectoryAreParseErrors) {
+  const LoadedCorpus file = loadLoopFile("/nonexistent/path/x.loop");
+  ASSERT_EQ(file.parseFailures.size(), 1u);
+  EXPECT_EQ(file.parseFailures[0].failureClass, FailureClass::ParseError);
+
+  const LoadedCorpus dir = loadLoopDirectory("/nonexistent/path");
+  ASSERT_EQ(dir.parseFailures.size(), 1u);
+  EXPECT_EQ(dir.parseFailures[0].failureClass, FailureClass::ParseError);
+}
+
+TEST(CorpusLoader, BadFileCannotAbortASuiteRun) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rapt_robustness_corpus";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "a_good.loop") << "loop good { f1 = fconst 2.0 }\n";
+  std::ofstream(dir / "b_bad.loop") << "loop bad { f1 = bogusop f2 }\n";
+
+  const LoadedCorpus corpus = loadLoopDirectory(dir);
+  EXPECT_EQ(corpus.loops.size(), 1u);
+  ASSERT_EQ(corpus.parseFailures.size(), 1u);
+  EXPECT_EQ(corpus.parseFailures[0].loopName, "b_bad.loop");
+
+  const SuiteResult s = runSuite(corpus, paper4e());
+  EXPECT_EQ(s.loops.size(), 2u);
+  EXPECT_EQ(s.failures, 1);
+  EXPECT_EQ(s.failuresByClass[static_cast<int>(FailureClass::ParseError)], 1);
+  EXPECT_EQ(s.failuresByClass[static_cast<int>(FailureClass::None)], 1);
+  fs::remove_all(dir);
+}
+
+// ---- Suite aggregation ----------------------------------------------------
+
+TEST(SuiteRobustness, FailuresByClassSumsToLoopCount) {
+  std::vector<Loop> loops = smallCorpus(10);
+  loops[4].body[0].op = Opcode::kCount_;  // one ParseError
+  PipelineOptions opt;
+  opt.simulate = false;
+  const SuiteResult s = runSuite(loops, paper4e(), opt);
+  int sum = 0;
+  for (int c : s.failuresByClass) sum += c;
+  EXPECT_EQ(sum, static_cast<int>(s.loops.size()));
+  EXPECT_EQ(s.failuresByClass[static_cast<int>(FailureClass::ParseError)], 1);
+  EXPECT_EQ(s.failures, 1);
+}
+
+TEST(SuiteRobustness, InjectedFaultsNeverAbortTheSuite) {
+  // A fault campaign across a whole suite run: throwing loops become
+  // InternalError rows, every row is classified, the pool survives.
+  const std::vector<Loop> loops = smallCorpus(16);
+  PipelineOptions opt;
+  opt.fault.ratePercent = 40;
+  opt.fault.seed = 99;
+  opt.threads = 4;
+  const SuiteResult s = runSuite(loops, paper4e(), opt);
+  ASSERT_EQ(s.loops.size(), loops.size());
+  for (const LoopResult& r : s.loops) {
+    EXPECT_EQ(r.ok, r.failureClass == FailureClass::None) << r.loopName;
+    if (r.ok) {
+      EXPECT_TRUE(r.validated) << r.loopName;
+    }
+  }
+  EXPECT_GT(s.trace.faultsInjected, 0);
+}
+
+}  // namespace
+}  // namespace rapt

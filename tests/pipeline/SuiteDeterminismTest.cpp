@@ -17,6 +17,8 @@ void expectLoopResultsIdentical(const LoopResult& a, const LoopResult& b) {
   EXPECT_EQ(a.loopName, b.loopName);
   EXPECT_EQ(a.ok, b.ok);
   EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.failureClass, b.failureClass);
+  EXPECT_EQ(a.partitionerUsed, b.partitionerUsed);
   EXPECT_EQ(a.numOps, b.numOps);
   EXPECT_EQ(a.idealII, b.idealII);
   EXPECT_EQ(a.idealRecII, b.idealRecII);
@@ -40,6 +42,10 @@ void expectLoopResultsIdentical(const LoopResult& a, const LoopResult& b) {
   EXPECT_EQ(a.trace.iiEscalations, b.trace.iiEscalations);
   EXPECT_EQ(a.trace.spillRetries, b.trace.spillRetries);
   EXPECT_EQ(a.trace.simulatedCycles, b.trace.simulatedCycles);
+  EXPECT_EQ(a.trace.schedPlacements, b.trace.schedPlacements);
+  EXPECT_EQ(a.trace.recoverySteps, b.trace.recoverySteps);
+  EXPECT_EQ(a.trace.fallbackUsed, b.trace.fallbackUsed);
+  EXPECT_EQ(a.trace.faultsInjected, b.trace.faultsInjected);
 }
 
 void expectSuiteResultsIdentical(const SuiteResult& a, const SuiteResult& b) {
@@ -49,6 +55,7 @@ void expectSuiteResultsIdentical(const SuiteResult& a, const SuiteResult& b) {
     expectLoopResultsIdentical(a.loops[i], b.loops[i]);
   }
   EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.failuresByClass, b.failuresByClass);
   EXPECT_EQ(a.validatedCount, b.validatedCount);
   EXPECT_EQ(a.totalBodyCopies, b.totalBodyCopies);
   // Bit-identical doubles, not near-equal: the deterministic post-pass adds
@@ -160,6 +167,60 @@ TEST(SuiteDeterminism, FailureReportingIsOrderStable) {
   EXPECT_EQ(parallel.failures, 2);
   EXPECT_FALSE(parallel.loops[3].ok);
   EXPECT_FALSE(parallel.loops[9].ok);
+  expectSuiteResultsIdentical(serial, parallel);
+}
+
+TEST(SuiteDeterminism, TimeoutLoopsIdenticalAcrossThreadCounts) {
+  // A starvation-level work budget classifies most loops as Timeout; the
+  // placement counter that triggers it is deterministic, so the budget must
+  // bite at the same point for every thread count.
+  GeneratorParams params;
+  params.count = 16;
+  const std::vector<Loop> loops = generateCorpus(params);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.workBudget = 40;  // a handful of placements: almost nothing schedules
+  const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+  const SuiteResult parallel = runWithThreads(loops, m, opt, 8);
+  EXPECT_GT(serial.failuresByClass[static_cast<int>(FailureClass::Timeout)], 0);
+  expectSuiteResultsIdentical(serial, parallel);
+}
+
+TEST(SuiteDeterminism, FallbackLadderIdenticalAcrossThreadCounts) {
+  // Force the ladder: the BugLike baseline on a machine too small for some
+  // loops exercises fallback + II escalation paths; the rung sequence is
+  // deterministic per loop, so results must not depend on the thread count.
+  GeneratorParams params;
+  params.count = 24;
+  const std::vector<Loop> loops = generateCorpus(params);
+  MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  m.intRegsPerBank = m.fltRegsPerBank = 8;  // tiny banks: allocation struggles
+  m.name += "-tinybank";
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.partitioner = PartitionerKind::BugLike;
+  opt.maxAllocRetries = 2;
+  const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+  const SuiteResult parallel = runWithThreads(loops, m, opt, 8);
+  expectSuiteResultsIdentical(serial, parallel);
+}
+
+TEST(SuiteDeterminism, FaultInjectionCampaignIdenticalAcrossThreadCounts) {
+  // The campaign invariant (FaultInjection.h): each loop's fault stream is
+  // derived from (seed, loop NAME), never from scheduling order, so injected
+  // StageFails, corruptions, and thrown-then-contained exceptions all land
+  // identically whatever the thread count.
+  GeneratorParams params;
+  params.count = 32;
+  const std::vector<Loop> loops = generateCorpus(params);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;  // simulate on: corruption detection is part of the run
+  opt.fault.seed = 0xc0ffee;
+  opt.fault.ratePercent = 25;
+  const SuiteResult serial = runWithThreads(loops, m, opt, 1);
+  const SuiteResult parallel = runWithThreads(loops, m, opt, 8);
+  EXPECT_GT(serial.trace.faultsInjected, 0);
   expectSuiteResultsIdentical(serial, parallel);
 }
 

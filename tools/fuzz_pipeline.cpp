@@ -15,14 +15,25 @@
 // ready to be committed under tests/regression/ (RegressionCorpusTest
 // replays every file there on all paper machines).
 //
+// FAULT CAMPAIGN (--fault-rate P, docs/robustness.md): every run additionally
+// arms the seeded FaultInjector at rate P%, with a distinct fault seed per
+// loop index. The campaign oracle is that every injected fault is either
+// RECOVERED (the degradation ladder / II retries absorb it and the result
+// still validates bit-exact) or DETECTED (the loop fails with a specific
+// FailureClass) — a run that reports ok without validating, or a failure
+// without a class, is a silent wrong answer and fails the campaign. Bug-class
+// failures on runs where a fault actually fired are correct detections;
+// on fault-free runs they are real bugs and are minimized as usual.
+//
 // Usage:
 //   fuzz_pipeline [--loops N] [--seed S] [--configs 2e,2c,4e,4c,8e,8c|all]
-//                 [--min-ops N] [--max-ops N] [--trip N]
+//                 [--min-ops N] [--max-ops N] [--trip N] [--fault-rate P]
 //                 [--small-banks] [--unit-lat] [--out DIR] [--quiet]
 //
 // Exit status: 0 when no run tripped an oracle, 1 otherwise. Capacity
-// give-ups (not enough registers / no schedule within the II limit) are
-// legitimate on stressed configurations and are counted but never fail.
+// give-ups (not enough registers / no schedule within the II limit / work
+// budget) are legitimate on stressed configurations and are counted but
+// never fail.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +62,7 @@ struct Options {
   int minOps = 12;
   int maxOps = 60;
   std::int64_t trip = 64;
+  int faultRate = 0;  ///< percent; > 0 arms the fault-injection campaign
   bool smallBanks = false;
   bool unitLat = false;
   std::string outDir = ".";
@@ -60,7 +72,7 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--loops N] [--seed S] [--configs 2e,2c,4e,4c,8e,8c|all]\n"
-               "          [--min-ops N] [--max-ops N] [--trip N]\n"
+               "          [--min-ops N] [--max-ops N] [--trip N] [--fault-rate P]\n"
                "          [--small-banks] [--unit-lat] [--out DIR] [--quiet]\n",
                argv0);
   std::exit(2);
@@ -80,13 +92,16 @@ Options parseArgs(int argc, char** argv) {
     else if (a == "--min-ops") o.minOps = std::atoi(next());
     else if (a == "--max-ops") o.maxOps = std::atoi(next());
     else if (a == "--trip") o.trip = std::atoll(next());
+    else if (a == "--fault-rate") o.faultRate = std::atoi(next());
     else if (a == "--small-banks") o.smallBanks = true;
     else if (a == "--unit-lat") o.unitLat = true;
     else if (a == "--out") o.outDir = next();
     else if (a == "--quiet") o.quiet = true;
     else usage(argv[0]);
   }
-  if (o.loops <= 0 || o.minOps < 1 || o.maxOps < o.minOps || o.trip < 1) usage(argv[0]);
+  if (o.loops <= 0 || o.minOps < 1 || o.maxOps < o.minOps || o.trip < 1 ||
+      o.faultRate < 0 || o.faultRate > 100)
+    usage(argv[0]);
   return o;
 }
 
@@ -136,25 +151,16 @@ PipelineOptions pipelineOptions(const Options& o) {
   opt.simulate = true;  // differential check against the scalar interpreter
   opt.verify = true;    // independent schedule/partition oracles
   opt.simTrip = o.trip;
+  opt.fault.ratePercent = o.faultRate;  // 0 = campaign off
   return opt;
 }
 
 /// The minimizer must preserve the KIND of failure, not the exact message
 /// (cycle numbers and register names shift as ops disappear): the category is
-/// the error text up to the first ':'.
+/// the taxonomy class compileLoop now attaches to every result.
 std::string category(const LoopResult& r) {
   if (r.ok) return {};
-  const std::size_t colon = r.error.find(':');
-  return colon == std::string::npos ? r.error : r.error.substr(0, colon);
-}
-
-/// A compiler GIVE-UP (not enough registers / no schedule within the II
-/// limit) is legitimate on stressed configurations such as --small-banks;
-/// only oracle violations — verification, validation, equivalence — indicate
-/// a bug worth minimizing.
-bool isCapacityFailure(const std::string& error) {
-  return error.find("register allocation failed") != std::string::npos ||
-         error.find("schedule not found") != std::string::npos;
+  return failureClassName(r.failureClass);
 }
 
 /// Greedy delta-debugging: repeatedly drop body ops while the loop stays
@@ -205,7 +211,7 @@ std::string writeRegression(const Loop& loop, const Options& o, int index,
 int main(int argc, char** argv) {
   const Options o = parseArgs(argc, argv);
   const std::vector<FuzzConfig> configs = buildConfigs(o);
-  const PipelineOptions opt = pipelineOptions(o);
+  PipelineOptions opt = pipelineOptions(o);
 
   GeneratorParams params;
   params.seed = o.seed;
@@ -217,9 +223,14 @@ int main(int argc, char** argv) {
   int runs = 0;
   int failures = 0;
   int capacityGiveUps = 0;
+  int faultRecovered = 0;  ///< faults fired, yet the loop compiled + validated
+  int faultDetected = 0;   ///< faults fired and surfaced as a classified failure
   std::vector<std::string> written;
   for (int i = 0; i < o.loops; ++i) {
     Loop loop = generateLoop(params, i);
+    // One fault stream per loop index: --loops 500 --fault-rate P is a
+    // 500-seed campaign over a fixed, reproducible seed range.
+    opt.fault.seed = o.seed + static_cast<std::uint64_t>(i);
 
     // Static-gate oracle (docs/analysis.md): every generated loop must pass
     // the semantic gate — an error here is a gate false positive (or a
@@ -237,29 +248,71 @@ int main(int argc, char** argv) {
     for (const FuzzConfig& cfg : configs) {
       ++runs;
       const LoopResult r = compileLoop(loop, cfg.machine, opt);
-      if (r.ok) continue;
+      const bool faulted = r.trace.faultsInjected > 0;
+      if (r.ok) {
+        // Campaign oracle, part 1: "ok" must mean PROVEN ok. With the
+        // differential check on, an ok result that skipped validation would
+        // be exactly the silent wrong answer fault injection exists to find.
+        if (opt.simulate && !r.validated) {
+          ++failures;
+          std::printf("FAIL loop %d (%s) on %s: ok without validation%s\n", i,
+                      loop.name.c_str(), cfg.machine.name.c_str(),
+                      faulted ? " (fault injected)" : "");
+          continue;
+        }
+        if (faulted) ++faultRecovered;
+        continue;
+      }
+      // Campaign oracle, part 2: every failure carries a specific class.
+      if (r.failureClass == FailureClass::None) {
+        ++failures;
+        std::printf("FAIL loop %d (%s) on %s: unclassified failure: %s\n", i,
+                    loop.name.c_str(), cfg.machine.name.c_str(), r.error.c_str());
+        continue;
+      }
       // Gate-passing loops must never produce malformed-IR class failures
       // downstream: the structural validator and the gate agree by
-      // construction, so either message here means the gate missed something.
-      if (r.error.rfind("loop '", 0) == 0 ||
-          r.error.find("static analysis failed") != std::string::npos) {
+      // construction, so either class here means the gate missed something.
+      if (r.failureClass == FailureClass::ParseError ||
+          r.failureClass == FailureClass::GateRefusal) {
         ++failures;
         std::printf("FAIL loop %d (%s) on %s: malformed IR past the static gate: %s\n",
                     i, loop.name.c_str(), cfg.machine.name.c_str(), r.error.c_str());
         continue;
       }
-      if (isCapacityFailure(r.error)) {
-        ++capacityGiveUps;
+      if (isCapacityClass(r.failureClass)) {
+        if (faulted) {
+          ++faultDetected;  // an injected StageFail surfacing as capacity
+        } else {
+          ++capacityGiveUps;
+          if (!o.quiet)
+            std::printf("give-up loop %d (%s) on %s: %s\n", i, loop.name.c_str(),
+                        cfg.machine.name.c_str(), r.error.c_str());
+        }
+        continue;
+      }
+      // Bug-class failure. When a fault actually fired this is the harness
+      // WORKING — the corruption/throw was caught and classified. Without a
+      // fired fault it is a real pipeline bug: minimize and write it out.
+      if (faulted) {
+        ++faultDetected;
         if (!o.quiet)
-          std::printf("give-up loop %d (%s) on %s: %s\n", i, loop.name.c_str(),
-                      cfg.machine.name.c_str(), r.error.c_str());
+          std::printf("detected loop %d (%s) on %s [%s]: %s\n", i, loop.name.c_str(),
+                      cfg.machine.name.c_str(), failureClassName(r.failureClass),
+                      r.error.c_str());
         continue;
       }
       ++failures;
-      std::printf("FAIL loop %d (%s) on %s: %s\n", i, loop.name.c_str(),
-                  cfg.machine.name.c_str(), r.error.c_str());
-      const Loop minimized = minimizeFailure(loop, cfg.machine, opt, category(r));
-      const LoopResult rmin = compileLoop(minimized, cfg.machine, opt);
+      std::printf("FAIL loop %d (%s) on %s [%s]: %s\n", i, loop.name.c_str(),
+                  cfg.machine.name.c_str(), failureClassName(r.failureClass),
+                  r.error.c_str());
+      // Minimize WITHOUT fault injection: the bug reproduced with zero
+      // faults fired, and arming the injector on shrunken candidates could
+      // perturb the failure class the minimizer must preserve.
+      PipelineOptions cleanOpt = opt;
+      cleanOpt.fault = FaultPlan{};
+      const Loop minimized = minimizeFailure(loop, cfg.machine, cleanOpt, category(r));
+      const LoopResult rmin = compileLoop(minimized, cfg.machine, cleanOpt);
       const std::string path =
           writeRegression(minimized, o, i, cfg, rmin.ok ? r.error : rmin.error);
       written.push_back(path);
@@ -274,6 +327,11 @@ int main(int argc, char** argv) {
       "fuzz_pipeline: %d loops x %zu configs = %d runs, %d failures, "
       "%d capacity give-ups\n",
       o.loops, configs.size(), runs, failures, capacityGiveUps);
+  if (o.faultRate > 0)
+    std::printf("fault campaign: rate %d%%, %d recovered, %d detected, %s\n",
+                o.faultRate, faultRecovered, faultDetected,
+                failures == 0 ? "oracle held (no silent wrong answers)"
+                              : "ORACLE VIOLATED (see FAIL lines above)");
   for (const std::string& p : written) std::printf("  regression: %s\n", p.c_str());
   return failures == 0 ? 0 : 1;
 }
