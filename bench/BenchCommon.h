@@ -8,17 +8,28 @@
 // files, and the per-stage timings give the repo its perf trajectory.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "pipeline/Suite.h"
+#include "support/ArgParser.h"
+#include "support/Interrupt.h"
 #include "support/Json.h"
 #include "workload/LoopGenerator.h"
 
 namespace rapt::bench {
+
+/// $RAPT_BENCH_DIR with a trailing slash, or "" (the working directory) —
+/// where BENCH_*.json reports and bench journals land.
+[[nodiscard]] inline std::string benchDir() {
+  if (const char* env = std::getenv("RAPT_BENCH_DIR")) return std::string(env) + "/";
+  return {};
+}
 
 /// The evaluation corpus: 211 synthetic Spec95-like loops (the substitution
 /// for the paper's extracted Fortran loops; DESIGN.md).
@@ -167,6 +178,8 @@ class BenchReport {
     Json suite = Json::object();
     suite["wallNs"] = s.suiteWallNs;
     suite["threads"] = s.threadsUsed;
+    suite["isolation"] = suiteIsolationName(s.isolationUsed);
+    if (s.resumedRows > 0) suite["resumedRows"] = s.resumedRows;
     c["suite"] = std::move(suite);
     return doc_["cases"].push(std::move(c));
   }
@@ -174,19 +187,113 @@ class BenchReport {
   /// A fully custom case (benches that do not run the loop suite).
   Json& addCase(Json c) { return doc_["cases"].push(std::move(c)); }
 
-  /// Writes BENCH_<name>.json; prints the path so runs are self-describing.
+  /// Writes BENCH_<name>.json ATOMICALLY (temp file + rename): an interrupt
+  /// or crash mid-write can never leave a torn report where a previous good
+  /// one stood. Prints the path so runs are self-describing.
   bool write() const {
-    std::string dir;
-    if (const char* env = std::getenv("RAPT_BENCH_DIR")) dir = std::string(env) + "/";
-    const std::string path = dir + "BENCH_" + name_ + ".json";
-    const bool ok = doc_.writeFile(path);
-    if (ok) std::printf("\nwrote %s\n", path.c_str());
-    return ok;
+    const std::string path = benchDir() + "BENCH_" + name_ + ".json";
+    const std::string tmp = path + ".tmp";
+    if (!doc_.writeFile(tmp)) return false;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
   }
 
  private:
   std::string name_;
   Json doc_;
+};
+
+// ---- shared bench CLI + supervised suite runs (docs/robustness.md) ----
+
+/// The common harness every table/figure/ablation bench runs through:
+///
+///   bench_x [--jobs N] [--isolation inprocess|subprocess] [--timeout-ms T]
+///           [--memory-mb M] [--resume]
+///
+/// It installs the SIGINT/SIGTERM wind-down guard (support/Interrupt.h),
+/// applies the suite-level knobs to every run() call, and journals each case
+/// to $RAPT_BENCH_DIR/JOURNAL_<bench>_<label>.jsonl so an interrupted or
+/// killed bench resumes with --resume to the bit-identical aggregate. A
+/// case's journal is deleted once the case completes un-interrupted (the
+/// report row is durable then); interrupted journals are kept for resume.
+class BenchHarness {
+ public:
+  /// Parses the shared flags; exits 0 on --help and 2 on a bad command line.
+  BenchHarness(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    std::string isolationToken = suiteIsolationName(isolation_);
+    ArgParser args("bench_" + name_,
+                   "paper experiment harness (docs/metrics.md; shared flags: "
+                   "docs/robustness.md)");
+    args.addInt("jobs", &jobs_, "suite worker threads (0 = all hardware threads)");
+    args.addString("isolation", &isolationToken,
+                   "suite isolation: inprocess | subprocess");
+    args.addInt64("timeout-ms", &timeoutMs_,
+                  "per-loop wall watchdog under subprocess isolation");
+    args.addInt64("memory-mb", &memoryMb_,
+                  "per-loop RLIMIT_AS in MiB under subprocess isolation "
+                  "(0 = unlimited; keep 0 under ASan)");
+    args.addFlag("resume", &resume_,
+                 "replay completed rows from this bench's journals");
+    if (!args.parse(argc, argv)) std::exit(args.helpRequested() ? 0 : 2);
+    if (!parseSuiteIsolation(isolationToken, isolation_)) {
+      std::fprintf(stderr, "bench_%s: bad --isolation '%s' (inprocess|subprocess)\n",
+                   name_.c_str(), isolationToken.c_str());
+      std::exit(2);
+    }
+  }
+
+  /// runSuite under the shared knobs, journaled per (bench, label).
+  [[nodiscard]] SuiteResult run(const std::string& label,
+                                std::span<const Loop> loops,
+                                const MachineDesc& machine, PipelineOptions opt) {
+    opt.threads = jobs_;
+    opt.isolation = isolation_;
+    opt.workerTimeoutMs = timeoutMs_;
+    opt.workerMemoryBytes = memoryMb_ * 1024 * 1024;
+    opt.journalPath = journalPath(label);
+    opt.resume = resume_;
+    const SuiteResult s = runSuite(loops, machine, opt);
+    if (!s.interrupted) std::remove(opt.journalPath.c_str());
+    return s;
+  }
+
+  /// Writes the report — partial and marked when interrupted — and converts
+  /// the outcome into the process exit status: 0 clean, 1 write failure,
+  /// 128+signal after SIGINT/SIGTERM (the shell convention for killed-by).
+  [[nodiscard]] int finish(BenchReport& report) const {
+    if (interruptRequested()) {
+      report["interrupted"] = true;
+      std::printf("\ninterrupted: partial report; journals kept, rerun with "
+                  "--resume to finish\n");
+    }
+    if (!report.write()) return 1;
+    return interruptRequested() ? 128 + interruptSignal() : 0;
+  }
+
+  /// True once SIGINT/SIGTERM arrived: benches should stop starting cases.
+  [[nodiscard]] bool interrupted() const { return interruptRequested(); }
+
+  [[nodiscard]] std::string journalPath(const std::string& label) const {
+    std::string safe;
+    for (char c : label) {
+      const auto u = static_cast<unsigned char>(c);
+      safe += (std::isalnum(u) != 0 || c == '-' || c == '_' || c == '.') ? c : '_';
+    }
+    return benchDir() + "JOURNAL_" + name_ + "_" + safe + ".jsonl";
+  }
+
+ private:
+  std::string name_;
+  int jobs_ = 0;
+  SuiteIsolation isolation_ = SuiteIsolation::InProcess;
+  std::int64_t timeoutMs_ = 120'000;
+  std::int64_t memoryMb_ = 0;
+  bool resume_ = false;
+  InterruptGuard guard_;
 };
 
 }  // namespace rapt::bench

@@ -10,7 +10,9 @@
 namespace rapt::bench {
 
 inline int runFigureHistogram(int clusters, const char* figure,
-                              const char* benchName, const char* paperNote) {
+                              const char* benchName, const char* paperNote,
+                              int argc, char** argv) {
+  BenchHarness bench(benchName, argc, argv);
   const std::vector<Loop> loops = corpus();
   const PipelineOptions opt = benchOptions();
   BenchReport report(benchName);
@@ -18,10 +20,10 @@ inline int runFigureHistogram(int clusters, const char* figure,
   report["figure"] = figure;
 
   DegradationHistogram hist[2];
-  for (int m = 0; m < 2; ++m) {
+  for (int m = 0; m < 2 && !bench.interrupted(); ++m) {
     const CopyModel model = m == 0 ? CopyModel::Embedded : CopyModel::CopyUnit;
     const MachineDesc machine = MachineDesc::paper16(clusters, model);
-    const SuiteResult s = runSuite(loops, machine, opt);
+    const SuiteResult s = bench.run(machine.name, loops, machine, opt);
     printFailures(s, machine.name.c_str());
     report.addSuiteCase(machine.name, machine, s);
     hist[m] = s.histogram;
@@ -52,7 +54,7 @@ inline int runFigureHistogram(int clusters, const char* figure,
     }
   }
   std::printf("\npaper: %s\n", paperNote);
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }
 
 }  // namespace rapt::bench

@@ -10,7 +10,8 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ablation_banksize", argc, argv);
   const std::vector<Loop> loops = corpus();
   BenchReport report("ablation_banksize");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
@@ -19,12 +20,13 @@ int main() {
   t.row().cell("Regs/bank").cell("ArithMean").cell("loops w/ alloc retries")
       .cell("mean retries").cell("failures");
   for (int regs : {8, 12, 16, 24, 32, 64}) {
+    if (bench.interrupted()) break;
     MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
     m.intRegsPerBank = regs;
     m.fltRegsPerBank = regs;
     PipelineOptions opt = benchOptions(/*simulate=*/false);
     opt.maxAllocRetries = 16;
-    const SuiteResult s = runSuite(loops, m, opt);
+    const SuiteResult s = bench.run(std::to_string(regs) + "-regs", loops, m, opt);
     int retried = 0;
     double retries = 0;
     for (const LoopResult& r : s.loops) {
@@ -47,5 +49,5 @@ int main() {
       "Ablation A4: bank size vs allocation-driven II relaxation\n"
       "(4 clusters x 4 FUs, embedded copies)\n\n%s",
       t.render().c_str());
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -9,7 +9,8 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ablation_latency", argc, argv);
   const std::vector<Loop> loops = corpus();
   BenchReport report("ablation_latency");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
@@ -29,12 +30,14 @@ int main() {
   for (const LatCase& lc : kCases) {
     for (int clusters : {2, 4, 8}) {
       for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+        if (bench.interrupted()) break;
         MachineDesc m = MachineDesc::paper16(clusters, model);
         m.lat.intCopy = lc.intCopy;
         m.lat.fltCopy = lc.fltCopy;
-        const SuiteResult s = runSuite(loops, m, benchOptions(/*simulate=*/false));
         const std::string label = std::to_string(lc.intCopy) + "/" +
                                   std::to_string(lc.fltCopy) + " " + m.name;
+        const SuiteResult s =
+            bench.run(label, loops, m, benchOptions(/*simulate=*/false));
         Json& c = report.addSuiteCase(label, m, s);
         Json params = Json::object();
         params["note"] = lc.note;
@@ -50,5 +53,5 @@ int main() {
   }
   std::printf("Ablation A3: copy latency sensitivity\n\n%s", t.render().c_str());
   std::printf("\n(1/1 latency approximates the related work's machine assumptions)\n");
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -8,7 +8,8 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ablation_partitioners", argc, argv);
   const std::vector<Loop> loops = corpus();
   BenchReport report("ablation_partitioners");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
@@ -22,15 +23,16 @@ int main() {
       .cell("0%-loops").cell("copies/loop");
   for (PartitionerKind kind : kKinds) {
     for (int clusters : {2, 4, 8}) {
+      if (bench.interrupted()) break;
       PipelineOptions opt = benchOptions(/*simulate=*/false);
       opt.partitioner = kind;
       // A pure ablation: a rung of the recovery ladder silently swapping in
       // GreedyRcg would contaminate the baseline columns.
       opt.partitionerFallback = false;
       const MachineDesc m = MachineDesc::paper16(clusters, CopyModel::Embedded);
-      const SuiteResult s = runSuite(loops, m, opt);
-      Json& c = report.addSuiteCase(
-          std::string(partitionerName(kind)) + "/" + m.name, m, s);
+      const std::string label = std::string(partitionerName(kind)) + "/" + m.name;
+      const SuiteResult s = bench.run(label, loops, m, opt);
+      Json& c = report.addSuiteCase(label, m, s);
       Json params = Json::object();
       params["partitioner"] = partitionerName(kind);
       c["params"] = std::move(params);
@@ -47,5 +49,5 @@ int main() {
   }
   std::printf("Ablation A2: partitioner comparison (embedded model)\n\n%s",
               t.render().c_str());
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -12,13 +12,15 @@ using namespace rapt::bench;
 
 namespace {
 
-double meanFor(const std::vector<Loop>& loops, const RcgWeights& w,
-               BenchReport& report, const std::string& constant, double value) {
+double meanFor(BenchHarness& bench, const std::vector<Loop>& loops,
+               const RcgWeights& w, BenchReport& report,
+               const std::string& constant, double value) {
   PipelineOptions opt = benchOptions(/*simulate=*/false);
   opt.weights = w;
   const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
-  const SuiteResult s = runSuite(loops, m, opt);
-  Json& c = report.addSuiteCase(constant + "=" + formatFixed(value, 2), m, s);
+  const std::string label = constant + "=" + formatFixed(value, 2);
+  const SuiteResult s = bench.run(label, loops, m, opt);
+  Json& c = report.addSuiteCase(label, m, s);
   Json params = Json::object();
   params["constant"] = constant;
   params["value"] = value;
@@ -28,7 +30,8 @@ double meanFor(const std::vector<Loop>& loops, const RcgWeights& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ablation_weights", argc, argv);
   const std::vector<Loop> loops = corpus();
   BenchReport report("ablation_weights");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
@@ -37,31 +40,31 @@ int main() {
 
   const RcgWeights base;
   t.row().cell("(defaults)").cell("-").cell(
-      meanFor(loops, base, report, "defaults", 0.0), 1);
+      meanFor(bench, loops, base, report, "defaults", 0.0), 1);
 
   for (double v : {1.0, 2.0, 4.0, 8.0}) {
     RcgWeights w = base;
     w.critBonus = v;
     t.row().cell("critBonus").cell(formatFixed(v, 1)).cell(
-        meanFor(loops, w, report, "critBonus", v), 1);
+        meanFor(bench, loops, w, report, "critBonus", v), 1);
   }
   for (double v : {0.0, 0.25, 0.5, 1.0, 2.0}) {
     RcgWeights w = base;
     w.sep = v;
     t.row().cell("sep").cell(formatFixed(v, 2)).cell(
-        meanFor(loops, w, report, "sep", v), 1);
+        meanFor(bench, loops, w, report, "sep", v), 1);
   }
   for (double v : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     RcgWeights w = base;
     w.balance = v;
     t.row().cell("balance").cell(formatFixed(v, 1)).cell(
-        meanFor(loops, w, report, "balance", v), 1);
+        meanFor(bench, loops, w, report, "balance", v), 1);
   }
   for (double v : {1.0, 2.0, 10.0}) {
     RcgWeights w = base;
     w.depthBase = v;
     t.row().cell("depthBase").cell(formatFixed(v, 0)).cell(
-        meanFor(loops, w, report, "depthBase", v), 1);
+        meanFor(bench, loops, w, report, "depthBase", v), 1);
   }
 
   std::printf("Ablation A1: RCG weight constants (lower mean = better)\n\n%s",
@@ -69,5 +72,5 @@ int main() {
   std::printf(
       "\nNote: balance=0 shows the balance term's contribution; sep=0 disables\n"
       "the same-instruction separation rule entirely.\n");
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -15,11 +15,12 @@ using namespace rapt::bench;
 
 namespace {
 
-double score(const std::vector<Loop>& loops, const RcgWeights& w) {
+double score(BenchHarness& bench, const std::string& label,
+             const std::vector<Loop>& loops, const RcgWeights& w) {
   PipelineOptions opt = benchOptions(/*simulate=*/false);
   opt.weights = w;
   const SuiteResult s =
-      runSuite(loops, MachineDesc::paper16(4, CopyModel::Embedded), opt);
+      bench.run(label, loops, MachineDesc::paper16(4, CopyModel::Embedded), opt);
   return s.arithMeanNormalized;
 }
 
@@ -35,7 +36,8 @@ Json weightsJson(const RcgWeights& w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ext_autotune", argc, argv);
   // Train on even corpus indices, hold out the odd ones.
   GeneratorParams params;
   std::vector<Loop> train, holdout;
@@ -44,27 +46,27 @@ int main() {
   }
 
   const RcgWeights defaults;
-  const double defaultTrain = score(train, defaults);
-  const double defaultHoldout = score(holdout, defaults);
+  const double defaultTrain = score(bench, "defaults-train", train, defaults);
+  const double defaultHoldout = score(bench, "defaults-holdout", holdout, defaults);
 
   SplitMix64 rng(0x7e57ed);
   RcgWeights best = defaults;
   double bestTrain = defaultTrain;
   constexpr int kTrials = 40;
-  for (int t = 0; t < kTrials; ++t) {
+  for (int t = 0; t < kTrials && !bench.interrupted(); ++t) {
     RcgWeights w;
     w.critBonus = 0.5 + rng.uniform01() * 7.5;
     w.base = 0.25 + rng.uniform01() * 2.0;
     w.depthBase = 1.0 + rng.uniform01() * 9.0;
     w.sep = rng.uniform01() * 1.5;
     w.balance = rng.uniform01() * 3.0;
-    const double s = score(train, w);
+    const double s = score(bench, "trial-" + std::to_string(t), train, w);
     if (s < bestTrain) {
       bestTrain = s;
       best = w;
     }
   }
-  const double tunedHoldout = score(holdout, best);
+  const double tunedHoldout = score(bench, "tuned-holdout", holdout, best);
 
   BenchReport report("ext_autotune");
   report["trials"] = kTrials;
@@ -95,5 +97,5 @@ int main() {
       "\nA small but transferable win is the expected outcome: the ablation\n"
       "(A1) already shows the objective is fairly flat around the defaults.\n",
       kTrials, t.render().c_str());
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -17,7 +17,8 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ext_interconnect", argc, argv);
   const std::vector<Loop> loops = corpus();
   BenchReport report("ext_interconnect");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
@@ -26,13 +27,14 @@ int main() {
   t.row().cell("Clusters").cell("Embedded").cell("Copy Unit").cell("Network lat 1")
       .cell("Network lat 2");
   for (int clusters : {2, 4, 8}) {
+    if (bench.interrupted()) break;
     double means[4] = {0, 0, 0, 0};
     int counts[4] = {0, 0, 0, 0};
     // Embedded / copy-unit via the standard pipeline.
     for (int m = 0; m < 2; ++m) {
       const MachineDesc machine = MachineDesc::paper16(
           clusters, m == 0 ? CopyModel::Embedded : CopyModel::CopyUnit);
-      const SuiteResult s = runSuite(loops, machine, benchOptions(false));
+      const SuiteResult s = bench.run(machine.name, loops, machine, benchOptions(false));
       report.addSuiteCase(machine.name, machine, s);
       means[m] = s.arithMeanNormalized;
       counts[m] = static_cast<int>(loops.size()) - s.failures;
@@ -78,5 +80,5 @@ int main() {
       "\nThe network model needs no copy operations, only latency on remote\n"
       "reads -- the schedule-quality advantage the paper concedes to TTAs\n"
       "before rejecting them on cycle-time grounds (Section 3).\n");
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -13,7 +13,8 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ext_pressure", argc, argv);
   const std::vector<Loop> loops = corpus();
   BenchReport report("ext_pressure");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
@@ -23,13 +24,16 @@ int main() {
       .cell("loops w/ retries").cell("mean unroll").cell("failures");
   for (int regs : {10, 12, 16, 32}) {
     for (bool compact : {false, true}) {
+      if (bench.interrupted()) break;
       MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
       m.intRegsPerBank = regs;
       m.fltRegsPerBank = regs;
       PipelineOptions opt = benchOptions(/*simulate=*/false);
       opt.compactLifetimes = compact;
       opt.maxAllocRetries = 16;
-      const SuiteResult s = runSuite(loops, m, opt);
+      const std::string label =
+          std::to_string(regs) + "-regs/compact=" + (compact ? "on" : "off");
+      const SuiteResult s = bench.run(label, loops, m, opt);
       int retried = 0;
       double unroll = 0;
       int n = 0;
@@ -39,9 +43,7 @@ int main() {
         unroll += r.maxUnroll;
         ++n;
       }
-      Json& c = report.addSuiteCase(std::to_string(regs) + "-regs/compact=" +
-                                        (compact ? "on" : "off"),
-                                    m, s);
+      Json& c = report.addSuiteCase(label, m, s);
       Json params = Json::object();
       params["regsPerBank"] = regs;
       params["compactLifetimes"] = compact;
@@ -61,5 +63,5 @@ int main() {
       "Extension E3: lifetime compaction vs register pressure\n"
       "(4 clusters x 4 FUs, embedded copies)\n\n%s",
       t.render().c_str());
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

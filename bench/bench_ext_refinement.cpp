@@ -11,7 +11,8 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("ext_refinement", argc, argv);
   const std::vector<Loop> loops = corpus();
   BenchReport report("ext_refinement");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
@@ -23,14 +24,15 @@ int main() {
     const MachineDesc m =
         MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
     for (int passes : {0, 1, 3}) {
+      if (bench.interrupted()) break;
       PipelineOptions opt = benchOptions(/*simulate=*/false);
       opt.refinePasses = passes;
-      const SuiteResult s = runSuite(loops, m, opt);
+      const std::string label = m.name + "/passes=" + std::to_string(passes);
+      const SuiteResult s = bench.run(label, loops, m, opt);
       printFailures(s, m.name.c_str());
       double moves = 0;
       for (const LoopResult& r : s.loops) moves += r.refineMoves;
-      Json& c = report.addSuiteCase(
-          m.name + "/passes=" + std::to_string(passes), m, s);
+      Json& c = report.addSuiteCase(label, m, s);
       Json params = Json::object();
       params["refinePasses"] = passes;
       params["movesAccepted"] = static_cast<std::int64_t>(moves);
@@ -45,5 +47,5 @@ int main() {
   }
   std::printf("Extension E1: iterative partition refinement\n\n%s",
               t.render().c_str());
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -60,7 +60,11 @@ void runCase(TextTable& t, BenchReport& report, const std::vector<Function>& fns
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // The shared bench CLI for flag-surface consistency; the function pipeline
+  // compiles in-process (no per-loop suite, so no journal to resume), but the
+  // interrupt guard and the atomic partial report still apply.
+  BenchHarness bench("ext_wholefn", argc, argv);
   const std::vector<Function> fns = generateFunctionCorpus(FunctionGenParams{});
   std::printf("Extension E2: whole-function partitioning over %zu synthetic CFGs\n\n",
               fns.size());
@@ -83,6 +87,7 @@ int main() {
 
   for (int clusters : {2, 4, 8}) {
     for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+      if (bench.interrupted()) break;
       runCase(t, report, fns, MachineDesc::paper16(clusters, model));
     }
   }
@@ -90,5 +95,5 @@ int main() {
   std::printf(
       "paper reference: ~111 on the 4x1 machine for whole programs [16];\n"
       "whole functions should degrade LESS than the pipelined-loop Table 2.\n");
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -1,8 +1,9 @@
 // Reproduces Figure 5: Achieved II on 2 Clusters with 8 Units Each.
 #include "FigureHistogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   return rapt::bench::runFigureHistogram(
       2, "Figure 5", "fig5_hist2c",
-      "roughly 60% of loops at 0.00% degradation; embedded dominates copy-unit");
+      "roughly 60% of loops at 0.00% degradation; embedded dominates copy-unit",
+      argc, argv);
 }

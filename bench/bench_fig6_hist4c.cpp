@@ -1,7 +1,8 @@
 // Reproduces Figure 6: Achieved II on 4 Clusters with 4 Units Each.
 #include "FigureHistogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   return rapt::bench::runFigureHistogram(
-      4, "Figure 6", "fig6_hist4c", "roughly 50% of loops at 0.00% degradation");
+      4, "Figure 6", "fig6_hist4c", "roughly 50% of loops at 0.00% degradation",
+      argc, argv);
 }

@@ -1,7 +1,8 @@
 // Reproduces Figure 7: Achieved II on 8 Clusters with 2 Units Each.
 #include "FigureHistogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   return rapt::bench::runFigureHistogram(
-      8, "Figure 7", "fig7_hist8c", "roughly 40% of loops at 0.00% degradation");
+      8, "Figure 7", "fig7_hist8c", "roughly 40% of loops at 0.00% degradation",
+      argc, argv);
 }

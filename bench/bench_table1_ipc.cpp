@@ -11,23 +11,24 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("table1_ipc", argc, argv);
   const std::vector<Loop> loops = corpus();
   const PipelineOptions opt = benchOptions();
   BenchReport report("table1_ipc");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
   // Ideal row: monolithic 16-wide.
-  const SuiteResult ideal = runSuite(loops, MachineDesc::ideal16(), opt);
+  const SuiteResult ideal = bench.run("ideal", loops, MachineDesc::ideal16(), opt);
   printFailures(ideal, "ideal");
   report.addSuiteCase("ideal", MachineDesc::ideal16(), ideal);
 
-  double clusteredIpc[6];
+  double clusteredIpc[6] = {};
   int validated = ideal.validatedCount;
-  for (int i = 0; i < 6; ++i) {
+  for (int i = 0; i < 6 && !bench.interrupted(); ++i) {
     const MachineDesc m =
         MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
-    const SuiteResult s = runSuite(loops, m, opt);
+    const SuiteResult s = bench.run(m.name, loops, m, opt);
     printFailures(s, m.name.c_str());
     report.addSuiteCase(m.name, m, s);
     clusteredIpc[i] = s.meanClusteredIpc;
@@ -46,5 +47,5 @@ int main() {
   std::printf("%s\n", t.render().c_str());
   std::printf("paper:  Ideal 8.6 everywhere; Clustered 9.3 / 6.2 / 8.4 / 7.5 / 6.9 / 6.8\n");
   std::printf("(%d loop compilations validated bit-exact in simulation)\n", validated);
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

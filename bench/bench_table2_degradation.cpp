@@ -10,17 +10,18 @@
 using namespace rapt;
 using namespace rapt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchHarness bench("table2_degradation", argc, argv);
   const std::vector<Loop> loops = corpus();
   const PipelineOptions opt = benchOptions();
   BenchReport report("table2_degradation");
   report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
 
-  double arith[6], harm[6];
-  for (int i = 0; i < 6; ++i) {
+  double arith[6] = {}, harm[6] = {};
+  for (int i = 0; i < 6 && !bench.interrupted(); ++i) {
     const MachineDesc m =
         MachineDesc::paper16(kMachineCases[i].clusters, kMachineCases[i].model);
-    const SuiteResult s = runSuite(loops, m, opt);
+    const SuiteResult s = bench.run(m.name, loops, m, opt);
     printFailures(s, m.name.c_str());
     report.addSuiteCase(m.name, m, s);
     arith[i] = s.arithMeanNormalized;
@@ -39,5 +40,5 @@ int main() {
   std::printf("%s\n", t.render().c_str());
   std::printf("paper:  arithmetic 111 / 150 / 126 / 122 / 162 / 133\n");
   std::printf("        harmonic   109 / 127 / 119 / 115 / 138 / 124\n");
-  return report.write() ? 0 : 1;
+  return bench.finish(report);
 }

@@ -434,6 +434,13 @@ LoopResult compileLoop(const Loop& loop, const MachineDesc& machine,
   if (options.fault.ratePercent > 0) {
     injector.emplace(perLoopFaultSeed(options.fault.seed, loop.name),
                      options.fault.ratePercent);
+    injector->armProcessFaults(options.fault.processFaults);
+    // Process-grade faults fire before any real work: the point is to kill
+    // or wedge THIS process, and the supervisor (pipeline/Suite.h subprocess
+    // mode) must classify what it sees. Keyed by loop name like the stage
+    // faults, so the same loops die on every thread count.
+    const ProcessFaultKind lethal = injector->drawProcessFault();
+    if (lethal != ProcessFaultKind::None) fireProcessFault(lethal);
   }
   FaultInjector::Scope scope(injector ? &*injector : nullptr);
 

@@ -26,6 +26,34 @@
 
 namespace rapt {
 
+/// How runSuite executes each compileLoop (docs/robustness.md "Process
+/// isolation"). InProcess is the historical mode: fastest, but a crash or
+/// hang in one loop takes the suite with it. Subprocess forks one supervised
+/// worker per loop (tools/rapt-worker) under hard rlimits and a wall-clock
+/// watchdog; crashes, memory bombs, and hangs become classified rows (Crash
+/// / OutOfMemory / HardTimeout) while the rest of the corpus completes.
+/// Aggregation is bit-identical between the modes on clean corpora.
+enum class SuiteIsolation : std::uint8_t { InProcess, Subprocess };
+
+[[nodiscard]] constexpr const char* suiteIsolationName(SuiteIsolation i) {
+  return i == SuiteIsolation::InProcess ? "inprocess" : "subprocess";
+}
+
+/// Inverse of suiteIsolationName, for the shared --isolation CLI flag.
+/// Returns false (leaving `out` untouched) on an unknown token.
+[[nodiscard]] inline bool parseSuiteIsolation(const std::string& token,
+                                              SuiteIsolation& out) {
+  if (token == "inprocess") {
+    out = SuiteIsolation::InProcess;
+    return true;
+  }
+  if (token == "subprocess") {
+    out = SuiteIsolation::Subprocess;
+    return true;
+  }
+  return false;
+}
+
 enum class PartitionerKind : std::uint8_t {
   GreedyRcg,   ///< the paper's contribution
   RoundRobin,  ///< naive spreading
@@ -44,6 +72,12 @@ enum class PartitionerKind : std::uint8_t {
 struct FaultPlan {
   std::uint64_t seed = 0;
   int ratePercent = 0;  ///< per-site fault probability, 0-100
+  bool processFaults = false;  ///< also draw process-grade faults (abort,
+                               ///< segfault, alloc bomb, spin hang) at loop
+                               ///< entry. LETHAL to the calling process —
+                               ///< only meaningful under subprocess
+                               ///< isolation, where the supervisor maps each
+                               ///< kind to its taxonomy class.
 };
 
 struct PipelineOptions {
@@ -69,6 +103,25 @@ struct PipelineOptions {
                                   ///< concurrency, 1 = legacy serial path.
                                   ///< Results are bit-identical either way;
                                   ///< compileLoop itself is single-threaded.
+
+  // ---- suite-level supervision (runSuite only; compileLoop ignores these,
+  // and none of them enter suiteConfigHash — resume and bit-identity must
+  // hold across thread counts, isolation modes, and limit settings) ----
+  SuiteIsolation isolation = SuiteIsolation::InProcess;
+  std::string workerPath;         ///< rapt-worker binary override; otherwise
+                                  ///< $RAPT_WORKER, then the supervisor's own
+                                  ///< directory, then PATH (Suite.cpp)
+  std::int64_t workerTimeoutMs = 120'000;  ///< per-loop wall watchdog under
+                                  ///< subprocess isolation (0 = none); a
+                                  ///< derived RLIMIT_CPU backs it up
+  std::int64_t workerMemoryBytes = 0;  ///< RLIMIT_AS per worker (0 = none).
+                                  ///< Leave 0 under ASan: shadow memory needs
+                                  ///< the whole address space.
+  std::string journalPath;        ///< append-only JSONL run journal (empty =
+                                  ///< off); works in both isolation modes
+  bool resume = false;            ///< replay completed rows from journalPath
+                                  ///< (matching config hash) before compiling
+                                  ///< the rest
   bool partitionerFallback = true;  ///< graceful-degradation ladder
                                     ///< (docs/robustness.md): when the chosen
                                     ///< partitioner yields an unusable
@@ -131,6 +184,12 @@ struct LoopResult {
   /// loop is clean). Errors are also reflected in `ok`/`error`; warnings are
   /// advisory and never block compilation.
   std::vector<Diagnostic> diagnostics;
+
+  /// Subprocess isolation only: the tail of the dead worker's stderr
+  /// (redacted, bounded; support/Subprocess.h), attached to Crash and
+  /// InternalError rows so the first diagnostic artifact of a contained
+  /// crash survives in the suite result. Empty in-process and on clean rows.
+  std::string workerStderr;
 
   /// Per-stage wall times and counters (observability only: every field
   /// except the *Ns times is deterministic; the times vary run to run and

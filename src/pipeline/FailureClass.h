@@ -14,7 +14,13 @@
 //     the pipeline;
 //   * oracle trips (VerifierViolation, ValidationMismatch) and InternalError
 //     indicate a compiler bug (or an injected fault) and are never
-//     acceptable on a healthy run.
+//     acceptable on a healthy run;
+//   * process-grade outcomes (Crash, OutOfMemory, HardTimeout) exist only
+//     under subprocess isolation (pipeline/Suite.h): the supervisor maps a
+//     worker's fatal signal, rlimit death, or watchdog kill to them. Crash
+//     is a bug class — a SIGSEGV is never legitimate; OutOfMemory and
+//     HardTimeout are capacity classes — the hard caps are deliberately
+//     finite, and hitting one is the contained analogue of Timeout.
 #pragma once
 
 #include <cstdint>
@@ -34,10 +40,13 @@ enum class FailureClass : std::uint8_t {
   ValidationMismatch,  ///< simulation disagreed with the sequential reference
   Timeout,             ///< per-loop work budget (or wall deadline) exhausted
   InternalError,       ///< uncaught exception contained by the harness
+  Crash,               ///< worker process died on a fatal signal (subprocess mode)
+  OutOfMemory,         ///< worker exceeded its RLIMIT_AS memory cap
+  HardTimeout,         ///< worker killed by the supervisor watchdog or RLIMIT_CPU
 };
 
 /// Number of enumerators (array-of-counters size for per-class aggregation).
-inline constexpr int kNumFailureClasses = 11;
+inline constexpr int kNumFailureClasses = 14;
 
 /// Stable machine-readable token, used as the BENCH_*.json key.
 [[nodiscard]] constexpr const char* failureClassName(FailureClass c) {
@@ -53,6 +62,9 @@ inline constexpr int kNumFailureClasses = 11;
     case FailureClass::ValidationMismatch: return "validationMismatch";
     case FailureClass::Timeout: return "timeout";
     case FailureClass::InternalError: return "internalError";
+    case FailureClass::Crash: return "crash";
+    case FailureClass::OutOfMemory: return "outOfMemory";
+    case FailureClass::HardTimeout: return "hardTimeout";
   }
   return "invalid";
 }
@@ -62,7 +74,8 @@ inline constexpr int kNumFailureClasses = 11;
 /// is not None means refused input or a bug.
 [[nodiscard]] constexpr bool isCapacityClass(FailureClass c) {
   return c == FailureClass::SchedCapacity || c == FailureClass::AllocCapacity ||
-         c == FailureClass::Timeout;
+         c == FailureClass::Timeout || c == FailureClass::OutOfMemory ||
+         c == FailureClass::HardTimeout;
 }
 
 /// Oracle trips and containment: never acceptable on a healthy run (they are
@@ -70,7 +83,8 @@ inline constexpr int kNumFailureClasses = 11;
 /// wrong answer when a fault is not recoverable).
 [[nodiscard]] constexpr bool isBugClass(FailureClass c) {
   return c == FailureClass::VerifierViolation ||
-         c == FailureClass::ValidationMismatch || c == FailureClass::InternalError;
+         c == FailureClass::ValidationMismatch ||
+         c == FailureClass::InternalError || c == FailureClass::Crash;
 }
 
 }  // namespace rapt

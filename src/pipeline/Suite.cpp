@@ -1,11 +1,180 @@
 #include "pipeline/Suite.h"
 
-#include <algorithm>
+#include <signal.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/WorkerProtocol.h"
+#include "support/Interrupt.h"
+#include "support/Journal.h"
 #include "support/StageTimer.h"
+#include "support/Subprocess.h"
 #include "support/ThreadPool.h"
 
 namespace rapt {
+namespace {
+
+// ---- worker resolution ----------------------------------------------------
+
+/// "<directory of this executable>/<name>", or "" when /proc is unhelpful.
+std::string siblingPath(const char* name) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  const std::string exe(buf);
+  const std::size_t slash = exe.rfind('/');
+  if (slash == std::string::npos) return {};
+  return exe.substr(0, slash + 1) + name;
+}
+
+/// Resolution chain: explicit option, $RAPT_WORKER, a sibling of the running
+/// binary (tests and tools installed side by side), the tools/ directory of
+/// a build tree (tests run from build/tests/), then bare PATH lookup.
+std::string resolveWorkerPath(const PipelineOptions& options) {
+  if (!options.workerPath.empty()) return options.workerPath;
+  if (const char* env = std::getenv("RAPT_WORKER"); env != nullptr && *env != '\0')
+    return env;
+  for (const char* relative : {"rapt-worker", "../tools/rapt-worker"}) {
+    const std::string candidate = siblingPath(relative);
+    if (!candidate.empty() && ::access(candidate.c_str(), X_OK) == 0)
+      return candidate;
+  }
+  return "rapt-worker";
+}
+
+/// Keeps sanitizer runtimes in the worker from intercepting exactly the
+/// deaths the supervisor classifies: handle_segv/handle_abort off so an
+/// injected SIGSEGV/SIGABRT stays a real signal, allocator_may_return_null
+/// so a memory cap surfaces through the worker's new_handler (exit
+/// kWorkerOomExit) instead of a sanitizer abort. Harmless without sanitizers.
+std::vector<std::string> workerEnv() {
+  return {
+      "ASAN_OPTIONS=detect_leaks=0:handle_segv=0:handle_abort=0:"
+      "handle_sigbus=0:handle_sigfpe=0:allocator_may_return_null=1:"
+      "abort_on_error=0",
+      "UBSAN_OPTIONS=handle_segv=0:handle_abort=0",
+  };
+}
+
+const char* fatalSignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGXCPU: return "SIGXCPU";
+    default: return "signal";
+  }
+}
+
+/// A classified failure row with the identity fields compileLoop would have
+/// filled. Crash and InternalError rows carry the worker's stderr tail —
+/// the first artifact anyone debugging a contained crash needs.
+LoopResult supervisorRow(const Loop& loop, const PipelineOptions& options,
+                         FailureClass cls, std::string error,
+                         const SubprocessResult* sub) {
+  LoopResult r;
+  r.loopName = loop.name;
+  r.numOps = loop.size();
+  r.partitionerUsed = options.partitioner;
+  r.ok = false;
+  r.failureClass = cls;
+  r.error = std::move(error);
+  if (sub != nullptr && !sub->err.empty() &&
+      (cls == FailureClass::Crash || cls == FailureClass::InternalError)) {
+    r.workerStderr = sub->err;
+  }
+  return r;
+}
+
+}  // namespace
+
+LoopResult compileLoopInSubprocess(const Loop& loop, const MachineDesc& machine,
+                                   const PipelineOptions& options,
+                                   bool* retriedSpawn) {
+  SubprocessSpec spec;
+  spec.argv = {resolveWorkerPath(options)};
+  spec.stdinData = encodeWorkerJob(loop, machine, options).dumpCompact() + "\n";
+  spec.limits.addressSpaceBytes = options.workerMemoryBytes;
+  spec.limits.wallTimeoutMs = options.workerTimeoutMs;
+  if (options.workerTimeoutMs > 0) {
+    // RLIMIT_CPU backs up the watchdog: one second of slack above the wall
+    // deadline, so it only ever fires if the supervisor itself is wedged.
+    spec.limits.cpuSeconds =
+        static_cast<int>((options.workerTimeoutMs + 999) / 1000 + 1);
+  }
+  spec.extraEnv = workerEnv();
+
+  for (int attempt = 0;; ++attempt) {
+    const SubprocessResult sub = runSubprocess(spec);
+    std::string transientError;
+
+    if (sub.spawnFailed) {
+      transientError = "worker spawn failed: " + sub.spawnError;
+    } else if (sub.timedOut) {
+      return supervisorRow(loop, options, FailureClass::HardTimeout,
+                           "worker exceeded the " +
+                               std::to_string(options.workerTimeoutMs) +
+                               "ms wall watchdog and was killed",
+                           &sub);
+    } else if (sub.signal == SIGXCPU) {
+      return supervisorRow(loop, options, FailureClass::HardTimeout,
+                           "worker hit its RLIMIT_CPU cap (SIGXCPU)", &sub);
+    } else if (sub.signal == SIGKILL) {
+      // Not our watchdog (that sets timedOut) — the kernel's OOM killer is
+      // the one other SIGKILL source under supervision.
+      return supervisorRow(loop, options, FailureClass::OutOfMemory,
+                           "worker was killed (SIGKILL outside the watchdog; "
+                           "kernel out-of-memory)",
+                           &sub);
+    } else if (sub.signal != 0) {
+      return supervisorRow(loop, options, FailureClass::Crash,
+                           std::string("worker died on ") +
+                               fatalSignalName(sub.signal) + " (signal " +
+                               std::to_string(sub.signal) + ")",
+                           &sub);
+    } else if (sub.exitCode == kWorkerOomExit) {
+      return supervisorRow(loop, options, FailureClass::OutOfMemory,
+                           "worker exhausted its memory cap (RLIMIT_AS)", &sub);
+    } else if (sub.exitCode != 0) {
+      // A deterministic worker-side refusal (bad job decode, bad loop):
+      // retrying would reproduce it, so classify immediately.
+      return supervisorRow(loop, options, FailureClass::InternalError,
+                           "worker exited with status " +
+                               std::to_string(sub.exitCode),
+                           &sub);
+    } else {
+      Json doc;
+      std::string error;
+      LoopResult r;
+      if (Json::parse(sub.out, doc, error) && decodeLoopResult(doc, r, error)) {
+        if (r.loopName == loop.name) return r;
+        error = "result names loop '" + r.loopName + "'";
+      }
+      // A clean exit with an undecodable (or mismatched) reply is a
+      // transport hiccup as far as we can tell — worth the one retry.
+      transientError = "worker replied with an undecodable result: " + error;
+    }
+
+    if (attempt == 0) {
+      if (retriedSpawn != nullptr) *retriedSpawn = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    return supervisorRow(loop, options, FailureClass::InternalError,
+                         transientError + " (after retry)", &sub);
+  }
+}
 
 SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
                      const PipelineOptions& options) {
@@ -13,33 +182,123 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
   SuiteResult out;
   const int n = static_cast<int>(corpus.size());
   out.loops.resize(corpus.size());
+  out.plannedLoops = n;
+  out.isolationUsed = options.isolation;
 
-  // Compile phase: loops land in their own slots, in any completion order.
+  // done[i] is written by exactly one pool worker (or the resume pass below)
+  // and read only after parallelFor joins, so plain bytes suffice.
+  std::vector<unsigned char> done(corpus.size(), 0);
+
+  // ---- journal: resume, then open for appending ----
+  JournalWriter journal;
+  bool journaling = false;
+  if (!options.journalPath.empty()) {
+    const std::string configHash = hashToHex(suiteConfigHash(machine, options));
+    bool resumed = false;
+    if (options.resume) {
+      const JournalContents prior = loadJournal(options.journalPath);
+      const Json* hash = prior.valid ? prior.header.find("configHash") : nullptr;
+      const Json* loops = prior.valid ? prior.header.find("corpusLoops") : nullptr;
+      if (hash != nullptr && hash->isString() && hash->asString() == configHash &&
+          loops != nullptr && loops->isInt() && loops->asInt() == n) {
+        for (const Json& row : prior.rows) {
+          const Json* kind = row.find("kind");
+          const Json* index = row.find("index");
+          const Json* loopHash = row.find("loopHash");
+          const Json* result = row.find("result");
+          if (kind == nullptr || !kind->isString() || kind->asString() != "row")
+            continue;
+          if (index == nullptr || !index->isInt() || loopHash == nullptr ||
+              !loopHash->isString() || result == nullptr || !result->isObject())
+            continue;
+          const std::int64_t i = index->asInt();
+          if (i < 0 || i >= n || done[static_cast<std::size_t>(i)] != 0) continue;
+          // The row must describe THIS corpus entry, not a stale one.
+          if (loopHash->asString() !=
+              hashToHex(loopTextHash(corpus[static_cast<std::size_t>(i)])))
+            continue;
+          LoopResult r;
+          std::string error;
+          if (!decodeLoopResult(*result, r, error)) continue;
+          out.loops[static_cast<std::size_t>(i)] = std::move(r);
+          done[static_cast<std::size_t>(i)] = 1;
+          ++out.resumedRows;
+        }
+        resumed = true;
+      }
+    }
+    if (resumed) {
+      journaling = journal.openAppend(options.journalPath);
+    } else {
+      Json header = Json::object();
+      header["configHash"] = configHash;
+      header["corpusLoops"] = n;
+      header["machine"] = machine.name;
+      header["isolation"] = suiteIsolationName(options.isolation);
+      journaling = journal.create(options.journalPath, std::move(header));
+    }
+  }
+
+  // ---- compile phase: loops land in their own slots, any completion order.
   int threads = options.threads == 0 ? ThreadPool::hardwareThreads() : options.threads;
   threads = std::clamp(threads, 1, std::max(1, n));
   out.threadsUsed = threads;
-  // compileLoop contains exceptions itself; this belt catches anything that
-  // still escapes (e.g. a throw from LoopResult's own move machinery) so one
-  // loop can never tear down the pool — it lands as InternalError instead.
+  std::atomic<int> spawnRetries{0};
   parallelFor(n, threads, [&](int i) {
-    const Loop& loop = corpus[static_cast<std::size_t>(i)];
-    LoopResult& slot = out.loops[static_cast<std::size_t>(i)];
-    try {
-      slot = compileLoop(loop, machine, options);
-    } catch (const std::exception& e) {
-      slot = LoopResult{};
-      slot.loopName = loop.name;
-      slot.numOps = loop.size();
-      slot.failureClass = FailureClass::InternalError;
-      slot.error = std::string("uncaught exception escaped compileLoop: ") + e.what();
-    } catch (...) {
-      slot = LoopResult{};
-      slot.loopName = loop.name;
-      slot.numOps = loop.size();
-      slot.failureClass = FailureClass::InternalError;
-      slot.error = "uncaught non-standard exception escaped compileLoop";
+    const auto slotIndex = static_cast<std::size_t>(i);
+    if (done[slotIndex] != 0) return;  // replayed from the journal
+    // Interrupt wind-down: rows already in flight finish; everything not yet
+    // started stays un-done and is dropped (never fabricated) below.
+    if (interruptRequested()) return;
+    const Loop& loop = corpus[slotIndex];
+    LoopResult& slot = out.loops[slotIndex];
+    if (options.isolation == SuiteIsolation::Subprocess) {
+      bool retried = false;
+      slot = compileLoopInSubprocess(loop, machine, options, &retried);
+      if (retried) spawnRetries.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // compileLoop contains exceptions itself; this belt catches anything
+      // that still escapes (e.g. a throw from LoopResult's own move
+      // machinery) so one loop can never tear down the pool.
+      try {
+        slot = compileLoop(loop, machine, options);
+      } catch (const std::exception& e) {
+        slot = LoopResult{};
+        slot.loopName = loop.name;
+        slot.numOps = loop.size();
+        slot.failureClass = FailureClass::InternalError;
+        slot.error = std::string("uncaught exception escaped compileLoop: ") + e.what();
+      } catch (...) {
+        slot = LoopResult{};
+        slot.loopName = loop.name;
+        slot.numOps = loop.size();
+        slot.failureClass = FailureClass::InternalError;
+        slot.error = "uncaught non-standard exception escaped compileLoop";
+      }
+    }
+    done[slotIndex] = 1;
+    if (journaling) {
+      Json row = Json::object();
+      row["kind"] = "row";
+      row["index"] = i;
+      row["loop"] = loop.name;
+      row["loopHash"] = hashToHex(loopTextHash(loop));
+      row["result"] = encodeLoopResult(slot);
+      journal.append(row);  // fsync'd: durable before the suite moves on
     }
   });
+  out.spawnRetries = spawnRetries.load();
+  journal.close();
+
+  // An interrupted run keeps only completed rows, still in corpus order.
+  if (std::find(done.begin(), done.end(), 0) != done.end()) {
+    out.interrupted = true;
+    std::vector<LoopResult> kept;
+    kept.reserve(out.loops.size());
+    for (std::size_t i = 0; i < out.loops.size(); ++i)
+      if (done[i] != 0) kept.push_back(std::move(out.loops[i]));
+    out.loops = std::move(kept);
+  }
 
   // Reduction phase: serial, in corpus order, over the completed vector.
   // This is the only place failures/validatedCount/aggregates are touched, so

@@ -45,6 +45,16 @@ struct SuiteResult {
   PipelineTrace trace;
   std::int64_t suiteWallNs = 0;
   int threadsUsed = 1;
+
+  // Supervision (docs/robustness.md). On an interrupted run `loops` holds
+  // only the rows that finished (still in corpus order) and aggregates cover
+  // exactly those rows — nothing is fabricated for the missing tail.
+  SuiteIsolation isolationUsed = SuiteIsolation::InProcess;
+  bool interrupted = false;   ///< SIGINT/SIGTERM wind-down cut the run short
+  int plannedLoops = 0;       ///< corpus size requested (== loops.size()
+                              ///< unless interrupted)
+  int resumedRows = 0;        ///< rows replayed from the journal, not compiled
+  int spawnRetries = 0;       ///< transient worker spawn failures retried
 };
 
 /// Compiles every loop of `corpus` for `machine`. `options.threads` picks the
@@ -53,5 +63,18 @@ struct SuiteResult {
 [[nodiscard]] SuiteResult runSuite(std::span<const Loop> corpus,
                                    const MachineDesc& machine,
                                    const PipelineOptions& options = {});
+
+/// One compileLoop in a supervised tools/rapt-worker child under the
+/// options' rlimits and watchdog (docs/robustness.md). Fatal outcomes come
+/// back as classified rows: a signal death is Crash, the memory cap is
+/// OutOfMemory, the watchdog or CPU cap is HardTimeout; one transient spawn
+/// failure is retried before an InternalError row (with the worker's stderr
+/// tail attached). `retriedSpawn`, when non-null, is set if the retry path
+/// fired. Exposed for tests and tools; runSuite calls this per loop when
+/// options.isolation == Subprocess.
+[[nodiscard]] LoopResult compileLoopInSubprocess(const Loop& loop,
+                                                 const MachineDesc& machine,
+                                                 const PipelineOptions& options,
+                                                 bool* retriedSpawn = nullptr);
 
 }  // namespace rapt

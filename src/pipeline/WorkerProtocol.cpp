@@ -1,0 +1,480 @@
+#include "pipeline/WorkerProtocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+namespace rapt {
+namespace {
+
+// ---- strict field readers -------------------------------------------------
+// Decoding is deliberately unforgiving: a missing or mistyped field means the
+// two sides disagree about the protocol, and silently defaulting would turn
+// that into a wrong aggregate instead of a loud InternalError.
+
+class Reader {
+ public:
+  Reader(const Json& doc, std::string& error) : doc_(doc), error_(error) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  const Json* get(const char* key, Json::Kind kind) {
+    if (failed_) return nullptr;
+    const Json* f = doc_.find(key);
+    if (f == nullptr) return fail(key, "missing");
+    if (kind == Json::Kind::Double) {
+      if (!f->isNumber()) return fail(key, "not a number");
+    } else if (f->kind() != kind) {
+      return fail(key, "wrong kind");
+    }
+    return f;
+  }
+
+  bool i64(const char* key, std::int64_t& out) {
+    const Json* f = get(key, Json::Kind::Int);
+    if (f != nullptr) out = f->asInt();
+    return f != nullptr;
+  }
+  bool i(const char* key, int& out) {
+    std::int64_t wide = 0;
+    if (!i64(key, wide)) return false;
+    out = static_cast<int>(wide);
+    if (out != wide) return fail(key, "out of int range") != nullptr;
+    return true;
+  }
+  bool b(const char* key, bool& out) {
+    const Json* f = get(key, Json::Kind::Bool);
+    if (f != nullptr) out = f->asBool();
+    return f != nullptr;
+  }
+  bool d(const char* key, double& out) {
+    const Json* f = get(key, Json::Kind::Double);
+    if (f != nullptr) out = f->asDouble();
+    return f != nullptr;
+  }
+  bool s(const char* key, std::string& out) {
+    const Json* f = get(key, Json::Kind::String);
+    if (f != nullptr) out = f->asString();
+    return f != nullptr;
+  }
+  bool u64hex(const char* key, std::uint64_t& out) {
+    std::string text;
+    if (!s(key, text)) return false;
+    char* end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || text.empty())
+      return fail(key, "not a hex hash") != nullptr;
+    return true;
+  }
+  const Json* obj(const char* key) { return get(key, Json::Kind::Object); }
+  const Json* arr(const char* key) { return get(key, Json::Kind::Array); }
+
+  const Json* fail(const char* key, const char* what) {
+    if (!failed_) error_ = std::string("field '") + key + "': " + what;
+    failed_ = true;
+    return nullptr;
+  }
+
+ private:
+  const Json& doc_;
+  std::string& error_;
+  bool failed_ = false;
+};
+
+template <typename Enum>
+bool decodeEnum(Reader& r, const char* key, Enum& out, int numValues) {
+  int raw = 0;
+  if (!r.i(key, raw)) return false;
+  if (raw < 0 || raw >= numValues) return r.fail(key, "enum out of range") != nullptr;
+  out = static_cast<Enum>(raw);
+  return true;
+}
+
+// ---- machine --------------------------------------------------------------
+
+Json encodeMachine(const MachineDesc& m) {
+  Json j = Json::object();
+  j["name"] = m.name;
+  j["numClusters"] = m.numClusters;
+  j["fusPerCluster"] = m.fusPerCluster;
+  j["intRegsPerBank"] = m.intRegsPerBank;
+  j["fltRegsPerBank"] = m.fltRegsPerBank;
+  j["copyModel"] = static_cast<int>(m.copyModel);
+  j["busCount"] = m.busCount;
+  j["copyPortsPerBank"] = m.copyPortsPerBank;
+  Json lat = Json::object();
+  lat["intAlu"] = m.lat.intAlu;
+  lat["intMul"] = m.lat.intMul;
+  lat["intDiv"] = m.lat.intDiv;
+  lat["load"] = m.lat.load;
+  lat["store"] = m.lat.store;
+  lat["fltOther"] = m.lat.fltOther;
+  lat["fltMul"] = m.lat.fltMul;
+  lat["fltDiv"] = m.lat.fltDiv;
+  lat["intCopy"] = m.lat.intCopy;
+  lat["fltCopy"] = m.lat.fltCopy;
+  j["lat"] = std::move(lat);
+  return j;
+}
+
+bool decodeMachine(const Json& doc, MachineDesc& m, std::string& error) {
+  Reader r(doc, error);
+  r.s("name", m.name);
+  r.i("numClusters", m.numClusters);
+  r.i("fusPerCluster", m.fusPerCluster);
+  r.i("intRegsPerBank", m.intRegsPerBank);
+  r.i("fltRegsPerBank", m.fltRegsPerBank);
+  decodeEnum(r, "copyModel", m.copyModel, 2);
+  r.i("busCount", m.busCount);
+  r.i("copyPortsPerBank", m.copyPortsPerBank);
+  if (const Json* lat = r.obj("lat")) {
+    Reader lr(*lat, error);
+    lr.i("intAlu", m.lat.intAlu);
+    lr.i("intMul", m.lat.intMul);
+    lr.i("intDiv", m.lat.intDiv);
+    lr.i("load", m.lat.load);
+    lr.i("store", m.lat.store);
+    lr.i("fltOther", m.lat.fltOther);
+    lr.i("fltMul", m.lat.fltMul);
+    lr.i("fltDiv", m.lat.fltDiv);
+    lr.i("intCopy", m.lat.intCopy);
+    lr.i("fltCopy", m.lat.fltCopy);
+    if (lr.failed()) return false;
+  }
+  return !r.failed();
+}
+
+// ---- options --------------------------------------------------------------
+// Everything that can change a RESULT crosses the wire (and enters the
+// config hash). The suite-level knobs — threads, isolation, worker limits,
+// journaling — do not: a worker compiles one loop on one thread regardless,
+// and resume must work across thread counts and isolation modes.
+
+Json encodeOptions(const PipelineOptions& o) {
+  Json j = Json::object();
+  Json w = Json::object();
+  w["critBonus"] = o.weights.critBonus;
+  w["base"] = o.weights.base;
+  w["depthBase"] = o.weights.depthBase;
+  w["sep"] = o.weights.sep;
+  w["balance"] = o.weights.balance;
+  j["weights"] = std::move(w);
+  j["partitioner"] = static_cast<int>(o.partitioner);
+  j["randomSeed"] = hashToHex(o.randomSeed);
+  j["simTrip"] = o.simTrip;
+  j["simulate"] = o.simulate;
+  j["verify"] = o.verify;
+  j["staticAnalysis"] = o.staticAnalysis;
+  j["allocateRegisters"] = o.allocateRegisters;
+  j["maxAllocRetries"] = o.maxAllocRetries;
+  j["refinePasses"] = o.refinePasses;
+  j["compactLifetimes"] = o.compactLifetimes;
+  j["partitionerFallback"] = o.partitionerFallback;
+  j["workBudget"] = o.workBudget;
+  j["deadlineNs"] = o.deadlineNs;
+  Json f = Json::object();
+  f["seed"] = hashToHex(o.fault.seed);
+  f["ratePercent"] = o.fault.ratePercent;
+  f["processFaults"] = o.fault.processFaults;
+  j["fault"] = std::move(f);
+  Json s = Json::object();
+  s["maxII"] = o.sched.maxII;
+  s["budgetRatio"] = o.sched.budgetRatio;
+  s["startII"] = o.sched.startII;
+  s["maxPlacements"] = o.sched.maxPlacements;
+  j["sched"] = std::move(s);
+  return j;
+}
+
+bool decodeOptions(const Json& doc, PipelineOptions& o, std::string& error) {
+  Reader r(doc, error);
+  if (const Json* w = r.obj("weights")) {
+    Reader wr(*w, error);
+    wr.d("critBonus", o.weights.critBonus);
+    wr.d("base", o.weights.base);
+    wr.d("depthBase", o.weights.depthBase);
+    wr.d("sep", o.weights.sep);
+    wr.d("balance", o.weights.balance);
+    if (wr.failed()) return false;
+  }
+  decodeEnum(r, "partitioner", o.partitioner, 5);
+  r.u64hex("randomSeed", o.randomSeed);
+  r.i64("simTrip", o.simTrip);
+  r.b("simulate", o.simulate);
+  r.b("verify", o.verify);
+  r.b("staticAnalysis", o.staticAnalysis);
+  r.b("allocateRegisters", o.allocateRegisters);
+  r.i("maxAllocRetries", o.maxAllocRetries);
+  r.i("refinePasses", o.refinePasses);
+  r.b("compactLifetimes", o.compactLifetimes);
+  r.b("partitionerFallback", o.partitionerFallback);
+  r.i64("workBudget", o.workBudget);
+  r.i64("deadlineNs", o.deadlineNs);
+  if (const Json* f = r.obj("fault")) {
+    Reader fr(*f, error);
+    fr.u64hex("seed", o.fault.seed);
+    fr.i("ratePercent", o.fault.ratePercent);
+    fr.b("processFaults", o.fault.processFaults);
+    if (fr.failed()) return false;
+  }
+  if (const Json* s = r.obj("sched")) {
+    Reader sr(*s, error);
+    sr.i("maxII", o.sched.maxII);
+    sr.i("budgetRatio", o.sched.budgetRatio);
+    sr.i("startII", o.sched.startII);
+    sr.i64("maxPlacements", o.sched.maxPlacements);
+    if (sr.failed()) return false;
+  }
+  return !r.failed();
+}
+
+// ---- diagnostics ----------------------------------------------------------
+
+Json encodeDiagnostics(const std::vector<Diagnostic>& diags) {
+  Json arr = Json::array();
+  for (const Diagnostic& d : diags) {
+    Json j = Json::object();
+    j["severity"] = static_cast<int>(d.severity);
+    j["code"] = static_cast<int>(d.code);
+    j["block"] = d.block;
+    j["op"] = d.op;
+    j["regValid"] = d.reg.isValid();
+    j["regClass"] = d.reg.isValid() ? static_cast<int>(d.reg.cls()) : 0;
+    j["regIndex"] =
+        d.reg.isValid() ? static_cast<std::int64_t>(d.reg.index()) : 0;
+    j["message"] = d.message;
+    j["hint"] = d.hint;
+    arr.push(std::move(j));
+  }
+  return arr;
+}
+
+bool decodeDiagnostics(const Json& arr, std::vector<Diagnostic>& out,
+                       std::string& error) {
+  out.clear();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    Reader r(arr.at(i), error);
+    Diagnostic d;
+    decodeEnum(r, "severity", d.severity, 3);
+    decodeEnum(r, "code", d.code, 10);
+    r.i("block", d.block);
+    r.i("op", d.op);
+    bool regValid = false;
+    r.b("regValid", regValid);
+    int regClass = 0;
+    std::int64_t regIndex = 0;
+    r.i("regClass", regClass);
+    r.i64("regIndex", regIndex);
+    r.s("message", d.message);
+    r.s("hint", d.hint);
+    if (r.failed()) return false;
+    if (regValid)
+      d.reg = VirtReg(static_cast<RegClass>(regClass),
+                      static_cast<std::uint32_t>(regIndex));
+    out.push_back(std::move(d));
+  }
+  return true;
+}
+
+// ---- trace ----------------------------------------------------------------
+
+Json encodeTrace(const PipelineTrace& t) {
+  Json j = Json::object();
+  j["analysisNs"] = t.analysisNs;
+  j["idealScheduleNs"] = t.idealScheduleNs;
+  j["rcgBuildNs"] = t.rcgBuildNs;
+  j["partitionNs"] = t.partitionNs;
+  j["copyInsertNs"] = t.copyInsertNs;
+  j["rescheduleNs"] = t.rescheduleNs;
+  j["regallocNs"] = t.regallocNs;
+  j["emitNs"] = t.emitNs;
+  j["verifyNs"] = t.verifyNs;
+  j["simulateNs"] = t.simulateNs;
+  j["totalNs"] = t.totalNs;
+  j["idealCycles"] = t.idealCycles;
+  j["rescheduleAttempts"] = t.rescheduleAttempts;
+  j["iiEscalations"] = t.iiEscalations;
+  j["spillRetries"] = t.spillRetries;
+  j["simulatedCycles"] = t.simulatedCycles;
+  j["verifiedOps"] = t.verifiedOps;
+  j["verifyViolations"] = t.verifyViolations;
+  j["diagErrors"] = t.diagErrors;
+  j["diagWarnings"] = t.diagWarnings;
+  j["schedPlacements"] = t.schedPlacements;
+  j["recoverySteps"] = t.recoverySteps;
+  j["fallbackUsed"] = t.fallbackUsed;
+  j["faultsInjected"] = t.faultsInjected;
+  return j;
+}
+
+bool decodeTrace(const Json& doc, PipelineTrace& t, std::string& error) {
+  Reader r(doc, error);
+  r.i64("analysisNs", t.analysisNs);
+  r.i64("idealScheduleNs", t.idealScheduleNs);
+  r.i64("rcgBuildNs", t.rcgBuildNs);
+  r.i64("partitionNs", t.partitionNs);
+  r.i64("copyInsertNs", t.copyInsertNs);
+  r.i64("rescheduleNs", t.rescheduleNs);
+  r.i64("regallocNs", t.regallocNs);
+  r.i64("emitNs", t.emitNs);
+  r.i64("verifyNs", t.verifyNs);
+  r.i64("simulateNs", t.simulateNs);
+  r.i64("totalNs", t.totalNs);
+  r.i64("idealCycles", t.idealCycles);
+  r.i("rescheduleAttempts", t.rescheduleAttempts);
+  r.i("iiEscalations", t.iiEscalations);
+  r.i("spillRetries", t.spillRetries);
+  r.i64("simulatedCycles", t.simulatedCycles);
+  r.i64("verifiedOps", t.verifiedOps);
+  r.i("verifyViolations", t.verifyViolations);
+  r.i("diagErrors", t.diagErrors);
+  r.i("diagWarnings", t.diagWarnings);
+  r.i64("schedPlacements", t.schedPlacements);
+  r.i("recoverySteps", t.recoverySteps);
+  r.i("fallbackUsed", t.fallbackUsed);
+  r.i("faultsInjected", t.faultsInjected);
+  return !r.failed();
+}
+
+// FNV-1a over a canonical byte string.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Json encodeWorkerJob(const Loop& loop, const MachineDesc& machine,
+                     const PipelineOptions& options) {
+  Json j = Json::object();
+  j["schema"] = kWorkerProtocolSchema;
+  j["kind"] = "job";
+  j["loopText"] = printLoop(loop);
+  j["machine"] = encodeMachine(machine);
+  j["options"] = encodeOptions(options);
+  return j;
+}
+
+bool decodeWorkerJob(const Json& doc, Loop& loop, MachineDesc& machine,
+                     PipelineOptions& options, std::string& error) {
+  Reader r(doc, error);
+  std::string schema, loopText;
+  r.s("schema", schema);
+  r.s("loopText", loopText);
+  const Json* m = r.obj("machine");
+  const Json* o = r.obj("options");
+  if (r.failed()) return false;
+  if (schema != kWorkerProtocolSchema) {
+    error = "job schema mismatch: " + schema;
+    return false;
+  }
+  if (!decodeMachine(*m, machine, error) || !decodeOptions(*o, options, error))
+    return false;
+  try {
+    loop = parseLoop(loopText);
+  } catch (const std::exception& e) {
+    error = std::string("loop text does not parse: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+Json encodeLoopResult(const LoopResult& r) {
+  Json j = Json::object();
+  j["schema"] = kWorkerProtocolSchema;
+  j["kind"] = "result";
+  j["loopName"] = r.loopName;
+  j["ok"] = r.ok;
+  j["error"] = r.error;
+  j["failureClass"] = static_cast<int>(r.failureClass);
+  j["partitionerUsed"] = static_cast<int>(r.partitionerUsed);
+  j["numOps"] = r.numOps;
+  j["idealII"] = r.idealII;
+  j["idealRecII"] = r.idealRecII;
+  j["idealResII"] = r.idealResII;
+  j["clusteredII"] = r.clusteredII;
+  j["bodyCopies"] = r.bodyCopies;
+  j["preheaderCopies"] = r.preheaderCopies;
+  j["stageCount"] = r.stageCount;
+  j["maxUnroll"] = r.maxUnroll;
+  j["allocOk"] = r.allocOk;
+  j["allocRetries"] = r.allocRetries;
+  j["spillsAtFirstTry"] = r.spillsAtFirstTry;
+  j["refineMoves"] = r.refineMoves;
+  j["compactionMoves"] = r.compactionMoves;
+  j["validated"] = r.validated;
+  j["validatedPhysical"] = r.validatedPhysical;
+  j["simulatedCycles"] = r.simulatedCycles;
+  j["workerStderr"] = r.workerStderr;
+  j["diagnostics"] = encodeDiagnostics(r.diagnostics);
+  j["trace"] = encodeTrace(r.trace);
+  return j;
+}
+
+bool decodeLoopResult(const Json& doc, LoopResult& out, std::string& error) {
+  Reader r(doc, error);
+  std::string schema;
+  r.s("schema", schema);
+  r.s("loopName", out.loopName);
+  r.b("ok", out.ok);
+  r.s("error", out.error);
+  decodeEnum(r, "failureClass", out.failureClass, kNumFailureClasses);
+  decodeEnum(r, "partitionerUsed", out.partitionerUsed, 5);
+  r.i("numOps", out.numOps);
+  r.i("idealII", out.idealII);
+  r.i("idealRecII", out.idealRecII);
+  r.i("idealResII", out.idealResII);
+  r.i("clusteredII", out.clusteredII);
+  r.i("bodyCopies", out.bodyCopies);
+  r.i("preheaderCopies", out.preheaderCopies);
+  r.i("stageCount", out.stageCount);
+  r.i("maxUnroll", out.maxUnroll);
+  r.b("allocOk", out.allocOk);
+  r.i("allocRetries", out.allocRetries);
+  r.i("spillsAtFirstTry", out.spillsAtFirstTry);
+  r.i("refineMoves", out.refineMoves);
+  r.i("compactionMoves", out.compactionMoves);
+  r.b("validated", out.validated);
+  r.b("validatedPhysical", out.validatedPhysical);
+  r.i64("simulatedCycles", out.simulatedCycles);
+  r.s("workerStderr", out.workerStderr);
+  const Json* diags = r.arr("diagnostics");
+  const Json* trace = r.obj("trace");
+  if (r.failed()) return false;
+  if (schema != kWorkerProtocolSchema) {
+    error = "result schema mismatch: " + schema;
+    return false;
+  }
+  if (!decodeDiagnostics(*diags, out.diagnostics, error)) return false;
+  if (!decodeTrace(*trace, out.trace, error)) return false;
+  if (out.ok != (out.failureClass == FailureClass::None)) {
+    error = "result violates the ok <-> class-None invariant";
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t suiteConfigHash(const MachineDesc& machine,
+                              const PipelineOptions& options) {
+  Json j = Json::object();
+  j["machine"] = encodeMachine(machine);
+  j["options"] = encodeOptions(options);
+  return fnv1a(j.dumpCompact());
+}
+
+std::uint64_t loopTextHash(const Loop& loop) { return fnv1a(printLoop(loop)); }
+
+std::string hashToHex(std::uint64_t hash) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace rapt

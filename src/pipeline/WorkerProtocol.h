@@ -1,0 +1,72 @@
+// JSON wire protocol between the suite supervisor and tools/rapt-worker
+// (docs/robustness.md "Process isolation").
+//
+// One job = one compileLoop call: the supervisor writes a job document to the
+// worker's stdin (loop as printLoop text — the canonical round-trippable
+// form — plus the full MachineDesc and every result-relevant PipelineOption),
+// the worker answers with one result document on stdout and exits 0. Every
+// LoopResult field is integral, boolean, or string, so encode/decode
+// round-trips BIT-EXACTLY — which is what lets subprocess-isolated suites
+// aggregate identically to in-process ones (SuiteDeterminismTest's
+// invariant extends across the process boundary).
+//
+// The same encoders feed the run journal (support/Journal.h): a journal row
+// is {index, loop, loopHash, result}, and the header carries
+// `suiteConfigHash`, which covers everything that changes RESULTS and
+// deliberately excludes suite-level knobs (threads, isolation, worker
+// limits, journaling) so a run may be resumed under a different thread count
+// or isolation mode and still aggregate bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/Loop.h"
+#include "pipeline/CompilerPipeline.h"
+#include "support/Json.h"
+
+namespace rapt {
+
+/// Schema tag carried by every job and result document.
+inline constexpr const char* kWorkerProtocolSchema = "rapt-worker-v1";
+
+/// Exit status the worker reserves for memory exhaustion: its new_handler
+/// calls _exit with this, so an RLIMIT_AS death maps to OutOfMemory even
+/// though std::bad_alloc would otherwise be contained as InternalError.
+inline constexpr int kWorkerOomExit = 42;
+
+// ---- job documents (supervisor -> worker) ----
+
+[[nodiscard]] Json encodeWorkerJob(const Loop& loop, const MachineDesc& machine,
+                                   const PipelineOptions& options);
+
+/// Strict decode: schema must match and every field must be present with the
+/// right kind. Returns false with a diagnostic in `error`.
+[[nodiscard]] bool decodeWorkerJob(const Json& doc, Loop& loop,
+                                   MachineDesc& machine, PipelineOptions& options,
+                                   std::string& error);
+
+// ---- result documents (worker -> supervisor, and journal rows) ----
+
+[[nodiscard]] Json encodeLoopResult(const LoopResult& result);
+
+[[nodiscard]] bool decodeLoopResult(const Json& doc, LoopResult& result,
+                                    std::string& error);
+
+// ---- hashing (journal keys) ----
+
+/// FNV-1a over the machine and the result-relevant options — the journal
+/// header key deciding whether an old journal may seed a new run. Threads,
+/// isolation, worker limits and journal settings are excluded on purpose.
+[[nodiscard]] std::uint64_t suiteConfigHash(const MachineDesc& machine,
+                                            const PipelineOptions& options);
+
+/// FNV-1a of printLoop(loop): the per-row key that detects corpus drift
+/// between the journaled run and the resuming one.
+[[nodiscard]] std::uint64_t loopTextHash(const Loop& loop);
+
+/// Hex rendering used to store 64-bit hashes in JSON without overflowing the
+/// signed int64 number kind.
+[[nodiscard]] std::string hashToHex(std::uint64_t hash);
+
+}  // namespace rapt

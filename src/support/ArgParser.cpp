@@ -1,0 +1,170 @@
+#include "support/ArgParser.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace rapt {
+namespace {
+
+/// Strict integer parse: the whole token must be consumed and in range.
+template <typename T, typename Raw>
+bool parseWhole(const std::string& text, T* out,
+                Raw (*convert)(const char*, char**, int)) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const Raw raw = convert(text.c_str(), &end, 0);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  const T narrowed = static_cast<T>(raw);
+  if (static_cast<Raw>(narrowed) != raw) return false;
+  *out = narrowed;
+  return true;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string synopsis)
+    : program_(std::move(program)), synopsis_(std::move(synopsis)) {}
+
+void ArgParser::addFlag(const std::string& name, bool* target,
+                        const std::string& help) {
+  specs_.push_back({name, Kind::Flag, target, help, *target ? "on" : "off"});
+}
+
+void ArgParser::addInt(const std::string& name, int* target,
+                       const std::string& help) {
+  specs_.push_back({name, Kind::Int, target, help, std::to_string(*target)});
+}
+
+void ArgParser::addInt64(const std::string& name, std::int64_t* target,
+                         const std::string& help) {
+  specs_.push_back({name, Kind::Int64, target, help, std::to_string(*target)});
+}
+
+void ArgParser::addUint64(const std::string& name, std::uint64_t* target,
+                          const std::string& help) {
+  specs_.push_back({name, Kind::Uint64, target, help, std::to_string(*target)});
+}
+
+void ArgParser::addString(const std::string& name, std::string* target,
+                          const std::string& help) {
+  specs_.push_back(
+      {name, Kind::String, target, help, target->empty() ? "\"\"" : *target});
+}
+
+void ArgParser::allowPositionals(const std::string& placeholder) {
+  positionalsAllowed_ = true;
+  positionalPlaceholder_ = placeholder;
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const Spec& s : specs_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+bool ArgParser::applyValue(const Spec& spec, const std::string& value) {
+  switch (spec.kind) {
+    case Kind::Flag:
+      return false;  // flags never take a value; caller reports
+    case Kind::Int:
+      return parseWhole(value, static_cast<int*>(spec.target), std::strtol);
+    case Kind::Int64:
+      return parseWhole(value, static_cast<std::int64_t*>(spec.target),
+                        std::strtoll);
+    case Kind::Uint64:
+      // Reject an explicit minus sign: strtoull wraps it silently.
+      if (!value.empty() && value[0] == '-') return false;
+      return parseWhole(value, static_cast<std::uint64_t*>(spec.target),
+                        std::strtoull);
+    case Kind::String:
+      *static_cast<std::string*>(spec.target) = value;
+      return true;
+  }
+  return false;
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(stdout);
+      helpRequested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0 || arg == "--") {
+      if (!positionalsAllowed_) {
+        std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(),
+                     arg.c_str());
+        printUsage(stderr);
+        return false;
+      }
+      positionals_.push_back(arg);
+      continue;
+    }
+
+    std::string name = arg.substr(2);
+    std::string value;
+    bool haveValue = false;
+    if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      haveValue = true;
+    }
+
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag '--%s'\n", program_.c_str(),
+                   name.c_str());
+      printUsage(stderr);
+      return false;
+    }
+
+    if (spec->kind == Kind::Flag) {
+      if (haveValue) {
+        std::fprintf(stderr, "%s: flag '--%s' takes no value\n",
+                     program_.c_str(), name.c_str());
+        printUsage(stderr);
+        return false;
+      }
+      *static_cast<bool*>(spec->target) = true;
+      continue;
+    }
+
+    if (!haveValue) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: flag '--%s' needs a value\n", program_.c_str(),
+                     name.c_str());
+        printUsage(stderr);
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!applyValue(*spec, value)) {
+      std::fprintf(stderr, "%s: bad value '%s' for '--%s'\n", program_.c_str(),
+                   value.c_str(), name.c_str());
+      printUsage(stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+void ArgParser::printUsage(std::FILE* to) const {
+  std::fprintf(to, "%s — %s\n", program_.c_str(), synopsis_.c_str());
+  std::fprintf(to, "usage: %s [flags]%s%s\n", program_.c_str(),
+               positionalsAllowed_ ? " " : "",
+               positionalsAllowed_ ? positionalPlaceholder_.c_str() : "");
+  std::size_t width = 0;
+  for (const Spec& s : specs_) width = std::max(width, s.name.size());
+  for (const Spec& s : specs_) {
+    const std::string header =
+        "--" + s.name + std::string(width - s.name.size(), ' ');
+    std::fprintf(to, "  %s  %s (default: %s)\n", header.c_str(), s.help.c_str(),
+                 s.defaultText.c_str());
+  }
+}
+
+}  // namespace rapt

@@ -1,0 +1,79 @@
+// Declarative command-line flag parsing shared by every tool and bench
+// binary (tools/, bench/).
+//
+// Before this existed each binary hand-rolled its own argv loop, and the
+// suite-level flags the robustness work added (--jobs, --isolation,
+// --timeout-ms, --resume) would have meant copy-pasting the same parsing six
+// more times, drifting in accepted spellings. ArgParser keeps the surface
+// small on purpose: long flags only, `--name value` or `--name=value`,
+// booleans take no value, unknown flags are errors, and `--help` prints a
+// generated usage block and reports `helpRequested()`. Targets are plain
+// pointers into the caller's options struct, so defaults live where they
+// always did.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rapt {
+
+class ArgParser {
+ public:
+  /// `program` is argv[0]'s display name; `synopsis` is a one-line
+  /// description printed at the top of --help.
+  ArgParser(std::string program, std::string synopsis);
+
+  // Each add* registers `--name`; the target keeps its current value as the
+  // default (shown in --help). `help` is one line.
+  void addFlag(const std::string& name, bool* target, const std::string& help);
+  void addInt(const std::string& name, int* target, const std::string& help);
+  void addInt64(const std::string& name, std::int64_t* target,
+                const std::string& help);
+  /// Parsed with base 0: hex seeds like 0x52415054 work.
+  void addUint64(const std::string& name, std::uint64_t* target,
+                 const std::string& help);
+  void addString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Accept non-flag arguments (e.g. file paths); without this they are
+  /// errors. `placeholder` names them in the usage line ("FILE...").
+  void allowPositionals(const std::string& placeholder);
+
+  /// Parses argv[1..). Returns true on success; on error prints the message
+  /// and the usage block to stderr and returns false (caller exits 2). When
+  /// --help is seen, prints usage to stdout, sets helpRequested(), and
+  /// returns false (caller exits 0).
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool helpRequested() const { return helpRequested_; }
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  void printUsage(std::FILE* to) const;
+
+ private:
+  enum class Kind { Flag, Int, Int64, Uint64, String };
+  struct Spec {
+    std::string name;  ///< without the leading "--"
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string defaultText;
+  };
+
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+  [[nodiscard]] bool applyValue(const Spec& spec, const std::string& value);
+
+  std::string program_;
+  std::string synopsis_;
+  std::vector<Spec> specs_;
+  std::string positionalPlaceholder_;
+  bool positionalsAllowed_ = false;
+  std::vector<std::string> positionals_;
+  bool helpRequested_ = false;
+};
+
+}  // namespace rapt

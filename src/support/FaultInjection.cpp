@@ -1,6 +1,40 @@
 #include "support/FaultInjection.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
 namespace rapt {
+
+void fireProcessFault(ProcessFaultKind kind) {
+  switch (kind) {
+    case ProcessFaultKind::Abort:
+      std::abort();
+    case ProcessFaultKind::Segfault: {
+      volatile int* null = nullptr;
+      *null = 1;
+      std::abort();  // unreachable; keeps [[noreturn]] honest if SEGV is trapped
+    }
+    case ProcessFaultKind::AllocBomb: {
+      // Touch every block so a lazily-committing allocator still grows the
+      // address space; RLIMIT_AS (or the worker's new_handler) ends this.
+      std::vector<char*> blocks;
+      for (;;) {
+        char* block = new char[64 * 1024 * 1024];
+        std::memset(block, 0xab, 64 * 1024 * 1024);
+        blocks.push_back(block);
+      }
+    }
+    case ProcessFaultKind::SpinHang:
+    case ProcessFaultKind::None: {
+      // None should not reach here; spinning is the safe interpretation —
+      // under supervision the watchdog reports it loudly.
+      volatile std::uint64_t spin = 0;
+      for (;;) spin = spin + 1;
+    }
+  }
+  std::abort();
+}
 
 namespace {
 thread_local FaultInjector* tlsActive = nullptr;

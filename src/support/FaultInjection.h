@@ -53,6 +53,36 @@ enum class FaultKind : std::uint8_t {
   Throw,      ///< throw FaultInjected (the containment layer must catch it)
 };
 
+/// Process-grade faults (docs/robustness.md "Process fault campaign"). Unlike
+/// FaultKind these do not exercise the in-process containment — they KILL or
+/// WEDGE the process on purpose, which is survivable only under subprocess
+/// isolation (pipeline/Suite.h), where each one must land in its taxonomy
+/// class: Abort/Segfault -> Crash, AllocBomb -> OutOfMemory, SpinHang ->
+/// HardTimeout.
+enum class ProcessFaultKind : std::uint8_t {
+  None = 0,
+  Abort,      ///< std::abort (SIGABRT)
+  Segfault,   ///< write through a null pointer (SIGSEGV)
+  AllocBomb,  ///< allocate until RLIMIT_AS ends the process
+  SpinHang,   ///< spin forever; the watchdog or RLIMIT_CPU must end it
+};
+
+[[nodiscard]] constexpr const char* processFaultName(ProcessFaultKind k) {
+  switch (k) {
+    case ProcessFaultKind::None: return "none";
+    case ProcessFaultKind::Abort: return "abort";
+    case ProcessFaultKind::Segfault: return "segfault";
+    case ProcessFaultKind::AllocBomb: return "allocBomb";
+    case ProcessFaultKind::SpinHang: return "spinHang";
+  }
+  return "invalid";
+}
+
+/// Executes the fault. Never returns: every kind either kills the process or
+/// spins until something outside the process kills it. (An AllocBomb relies
+/// on the worker's new_handler / RLIMIT_AS to die rather than throw.)
+[[noreturn]] void fireProcessFault(ProcessFaultKind kind);
+
 /// The exception injected by FaultKind::Throw. Deliberately a plain
 /// std::runtime_error subtype: containment must not special-case it.
 class FaultInjected : public std::runtime_error {
@@ -81,6 +111,23 @@ class FaultInjector {
 
   /// Uniform index in [0, n) for picking a corruption target. n must be > 0.
   [[nodiscard]] std::int64_t index(std::int64_t n) { return rng_.range(0, n - 1); }
+
+  /// Arms process-grade faults; off by default so the stage-fault stream of
+  /// existing campaigns is unchanged.
+  void armProcessFaults(bool on) { processFaults_ = on; }
+
+  /// One process-fault decision, drawn at loop entry. Returns None unless
+  /// armed AND the rate fires; otherwise a uniformly chosen lethal kind.
+  [[nodiscard]] ProcessFaultKind drawProcessFault() {
+    if (!processFaults_ || ratePercent_ <= 0 || !rng_.chancePercent(ratePercent_))
+      return ProcessFaultKind::None;
+    switch (rng_.range(0, 3)) {
+      case 0: return ProcessFaultKind::Abort;
+      case 1: return ProcessFaultKind::Segfault;
+      case 2: return ProcessFaultKind::AllocBomb;
+      default: return ProcessFaultKind::SpinHang;
+    }
+  }
 
   /// Called by a site when it actually applied a fault.
   void recordInjected(FaultSite site) {
@@ -116,6 +163,7 @@ class FaultInjector {
  private:
   SplitMix64 rng_;
   int ratePercent_ = 0;
+  bool processFaults_ = false;
   std::array<int, kNumFaultSites> counts_{};
 };
 

@@ -1,0 +1,67 @@
+#include "support/Interrupt.h"
+
+#include <signal.h>
+
+#include <atomic>
+
+namespace rapt {
+namespace {
+
+// sig_atomic_t for the handler, std::atomic for cross-thread visibility in
+// the supervisor's pool threads. Both writes happen in the handler; that is
+// legal for lock-free atomics.
+std::atomic<int> gInterruptSignal{0};
+std::atomic<int> gGuardDepth{0};
+
+struct sigaction gPreviousInt;
+struct sigaction gPreviousTerm;
+
+extern "C" void raptInterruptHandler(int sig) {
+  int expected = 0;
+  if (!gInterruptSignal.compare_exchange_strong(expected, sig)) {
+    // Second signal: the operator wants out NOW. Restore default and
+    // re-raise — only async-signal-safe calls here.
+    struct sigaction dfl {};
+    dfl.sa_handler = SIG_DFL;
+    ::sigaction(sig, &dfl, nullptr);
+    ::raise(sig);
+  }
+}
+
+}  // namespace
+
+InterruptGuard::InterruptGuard() {
+  if (gGuardDepth.fetch_add(1) != 0) return;  // inner guard: already live
+  struct sigaction sa {};
+  sa.sa_handler = raptInterruptHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, &gPreviousInt);
+  ::sigaction(SIGTERM, &sa, &gPreviousTerm);
+  installed_ = true;
+}
+
+InterruptGuard::~InterruptGuard() {
+  gGuardDepth.fetch_sub(1);
+  if (!installed_) return;
+  ::sigaction(SIGINT, &gPreviousInt, nullptr);
+  ::sigaction(SIGTERM, &gPreviousTerm, nullptr);
+}
+
+bool interruptRequested() {
+  return gInterruptSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int interruptSignal() {
+  return gInterruptSignal.load(std::memory_order_relaxed);
+}
+
+void requestInterruptForTest(int sig) {
+  gInterruptSignal.store(sig, std::memory_order_relaxed);
+}
+
+void clearInterruptForTest() {
+  gInterruptSignal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rapt

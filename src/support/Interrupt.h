@@ -1,0 +1,46 @@
+// Cooperative SIGINT/SIGTERM handling for long suite and bench runs
+// (docs/robustness.md "Interrupt safety").
+//
+// The default disposition for Ctrl-C is immediate death — which tears
+// half-written BENCH_*.json files and throws away every compiled loop of a
+// long run. InterruptGuard replaces it with a sticky flag: the handler only
+// records the signal (async-signal-safe), and the supervisor polls
+// `interruptRequested()` between loops, finishes the rows already in flight,
+// flushes the journal, writes a *partial* report atomically, and exits with
+// the conventional 128+signal status. A second Ctrl-C while winding down
+// restores the default disposition and re-raises, so an impatient operator
+// can still kill the process outright.
+#pragma once
+
+namespace rapt {
+
+/// RAII scope that installs the flag-setting handler for SIGINT and SIGTERM
+/// and restores the previous dispositions on destruction. Nesting is
+/// harmless (inner guards are no-ops); the sticky flag is process-global.
+class InterruptGuard {
+ public:
+  InterruptGuard();
+  ~InterruptGuard();
+  InterruptGuard(const InterruptGuard&) = delete;
+  InterruptGuard& operator=(const InterruptGuard&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+/// True once SIGINT or SIGTERM has been received under an InterruptGuard.
+/// Sticky: stays true for the rest of the process.
+[[nodiscard]] bool interruptRequested();
+
+/// The signal that set the flag (SIGINT or SIGTERM), or 0 if none yet.
+/// `128 + interruptSignal()` is the conventional exit status.
+[[nodiscard]] int interruptSignal();
+
+/// Sets the flag as if `sig` had been delivered — lets tests exercise the
+/// wind-down path without racing a real signal.
+void requestInterruptForTest(int sig);
+
+/// Clears the sticky flag. Tests only: real runs treat the flag as final.
+void clearInterruptForTest();
+
+}  // namespace rapt

@@ -1,0 +1,80 @@
+// Append-only, crash-consistent run journal (docs/robustness.md "Journaled
+// resume").
+//
+// A journal is a JSONL file: one header line identifying the run
+// configuration, then one self-contained JSON record per completed unit of
+// work. Every append is flushed AND fsync'd before returning, so a record is
+// either durable or absent — a SIGKILL mid-write can at worst leave one torn
+// trailing line, which the loader detects and drops (everything before it
+// replays). The writer takes an internal mutex: suite workers append from
+// pool threads.
+//
+// The journal knows nothing about LoopResults: records are opaque Json
+// objects, and the pipeline layer (pipeline/WorkerProtocol.h) owns their
+// schema and the config-hash key that decides whether a journal may be
+// resumed against a given run.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/Json.h"
+
+namespace rapt {
+
+/// Everything read back from a journal file. `valid` means the file existed,
+/// the header parsed, and the schema matched; `rows` then holds every intact
+/// record in append order (a torn trailing line is counted, not an error).
+struct JournalContents {
+  bool valid = false;
+  std::string error;     ///< why !valid (missing file, bad header, ...)
+  Json header;           ///< the header record (kind == "header")
+  std::vector<Json> rows;
+  int tornTailLines = 0;  ///< trailing lines dropped as torn/garbled
+};
+
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates `path` (truncating any previous file) and durably writes the
+  /// header record; `header` gains `"kind": "header"` and the schema tag.
+  /// Returns false on I/O failure (the writer is then unusable).
+  [[nodiscard]] bool create(const std::string& path, Json header);
+
+  /// Opens `path` for appending WITHOUT writing a header — the resume case:
+  /// the existing header has been validated by load(). Returns false on I/O
+  /// failure.
+  [[nodiscard]] bool openAppend(const std::string& path);
+
+  /// Appends one record as a single line and fsyncs. Thread-safe. Returns
+  /// false on I/O failure (the record may then be absent or torn on disk —
+  /// both are handled by load()).
+  bool append(const Json& record);
+
+  /// Flushes and closes; further appends fail. Idempotent.
+  void close();
+
+  [[nodiscard]] bool isOpen() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// The schema tag written into and required of every journal header.
+  static constexpr const char* kSchema = "rapt-journal-v1";
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Reads a journal back. Tolerates (and counts) a torn trailing line; any
+/// torn or unparseable line earlier in the file invalidates the journal —
+/// that is corruption, not an interrupted append.
+[[nodiscard]] JournalContents loadJournal(const std::string& path);
+
+}  // namespace rapt

@@ -2,8 +2,10 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "support/Assert.h"
@@ -35,6 +37,52 @@ Json& Json::push(Json v) {
   RAPT_ASSERT(kind_ == Kind::Array, "push on non-array Json");
   arrayItems_.push_back(std::move(v));
   return arrayItems_.back();
+}
+
+bool Json::asBool() const {
+  RAPT_ASSERT(kind_ == Kind::Bool, "asBool on non-bool Json");
+  return bool_;
+}
+
+std::int64_t Json::asInt() const {
+  RAPT_ASSERT(kind_ == Kind::Int, "asInt on non-integer Json");
+  return int_;
+}
+
+double Json::asDouble() const {
+  RAPT_ASSERT(kind_ == Kind::Int || kind_ == Kind::Double,
+              "asDouble on non-number Json");
+  return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Json::asString() const {
+  RAPT_ASSERT(kind_ == Kind::String, "asString on non-string Json");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::Array) return arrayItems_.size();
+  if (kind_ == Kind::Object) return objectItems_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  RAPT_ASSERT(kind_ == Kind::Array, "at on non-array Json");
+  RAPT_ASSERT(i < arrayItems_.size(), "Json array index out of range");
+  return arrayItems_[i];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : objectItems_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  RAPT_ASSERT(kind_ == Kind::Object, "items on non-object Json");
+  return objectItems_;
 }
 
 std::string jsonEscape(const std::string& s) {
@@ -141,6 +189,350 @@ std::string Json::dump() const {
   dumpTo(out, 0);
   out += '\n';
   return out;
+}
+
+void Json::dumpCompactTo(std::string& out) const {
+  switch (kind_) {
+    case Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < arrayItems_.size(); ++i) {
+        if (i > 0) out += ',';
+        arrayItems_[i].dumpCompactTo(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < objectItems_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += jsonEscape(objectItems_[i].first);
+        out += "\":";
+        objectItems_[i].second.dumpCompactTo(out);
+      }
+      out += '}';
+      break;
+    }
+    default:
+      // Scalars render identically in both formats; reuse the pretty printer
+      // (it never emits whitespace for non-containers).
+      dumpTo(out, 0);
+  }
+}
+
+std::string Json::dumpCompact() const {
+  std::string out;
+  dumpCompactTo(out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Positions are byte offsets
+/// into the original text, reported in error messages.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parseDocument(Json& out, std::string& error) {
+    skipWs();
+    if (!parseValue(out, error)) return false;
+    skipWs();
+    if (pos_ != text_.size()) {
+      error = err("trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::string err(const std::string& what) const {
+    return what + " at offset " + std::to_string(pos_);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word, std::string& error) {
+    if (text_.substr(pos_, word.size()) != word) {
+      error = err("invalid JSON value");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(Json& out, std::string& error) {
+    if (++depth_ > kMaxDepth) {
+      error = err("JSON nesting too deep");
+      return false;
+    }
+    skipWs();
+    if (atEnd()) {
+      error = err("unexpected end of input");
+      return false;
+    }
+    bool ok = false;
+    switch (peek()) {
+      case 'n': ok = literal("null", error); out = Json(); break;
+      case 't': ok = literal("true", error); out = Json(true); break;
+      case 'f': ok = literal("false", error); out = Json(false); break;
+      case '"': ok = parseString(out, error); break;
+      case '[': ok = parseArray(out, error); break;
+      case '{': ok = parseObject(out, error); break;
+      default: ok = parseNumber(out, error); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parseHex4(unsigned& out, std::string& error) {
+    if (pos_ + 4 > text_.size()) {
+      error = err("truncated \\u escape");
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+      else {
+        error = err("invalid \\u escape digit");
+        return false;
+      }
+      out = out * 16 + digit;
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xc0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xe0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      s += static_cast<char>(0xf0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      s += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  bool parseStringInto(std::string& out, std::string& error) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (atEnd()) {
+        error = err("unterminated string");
+        return false;
+      }
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        error = err("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (atEnd()) {
+        error = err("truncated escape");
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parseHex4(cp, error)) return false;
+          // Surrogate pair: combine \uD800-\uDBFF with the following low half.
+          if (cp >= 0xd800 && cp <= 0xdbff && text_.substr(pos_, 2) == "\\u") {
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parseHex4(low, error)) return false;
+            if (low >= 0xdc00 && low <= 0xdfff)
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+            else
+              appendUtf8(out, cp), cp = low;  // lone halves kept as-is
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default:
+          error = err("invalid escape character");
+          return false;
+      }
+    }
+  }
+
+  bool parseString(Json& out, std::string& error) {
+    std::string s;
+    if (!parseStringInto(s, error)) return false;
+    out = Json(std::move(s));
+    return true;
+  }
+
+  bool parseNumber(Json& out, std::string& error) {
+    const std::size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    if (atEnd() || peek() < '0' || peek() > '9') {
+      error = err("invalid number");
+      return false;
+    }
+    while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    bool isDouble = false;
+    if (!atEnd() && peek() == '.') {
+      isDouble = true;
+      ++pos_;
+      if (atEnd() || peek() < '0' || peek() > '9') {
+        error = err("digit expected after decimal point");
+        return false;
+      }
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      isDouble = true;
+      ++pos_;
+      if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (atEnd() || peek() < '0' || peek() > '9') {
+        error = err("digit expected in exponent");
+        return false;
+      }
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    // The token is NUL-terminated via a copy: string_view is not.
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    if (!isDouble) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == ERANGE || end != token.c_str() + token.size()) {
+        // Out of int64 range: fall back to double (mirrors the writer, which
+        // never emits such values for the repo's schemas).
+        isDouble = true;
+      } else {
+        out = Json(static_cast<std::int64_t>(v));
+        return true;
+      }
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      error = err("invalid number");
+      return false;
+    }
+    out = Json(d);
+    return true;
+  }
+
+  bool parseArray(Json& out, std::string& error) {
+    ++pos_;  // '['
+    out = Json::array();
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json v;
+      if (!parseValue(v, error)) return false;
+      out.push(std::move(v));
+      skipWs();
+      if (atEnd()) {
+        error = err("unterminated array");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') {
+        --pos_;
+        error = err("',' or ']' expected in array");
+        return false;
+      }
+    }
+  }
+
+  bool parseObject(Json& out, std::string& error) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (atEnd() || peek() != '"') {
+        error = err("object key expected");
+        return false;
+      }
+      std::string key;
+      if (!parseStringInto(key, error)) return false;
+      skipWs();
+      if (atEnd() || text_[pos_] != ':') {
+        error = err("':' expected after object key");
+        return false;
+      }
+      ++pos_;
+      Json v;
+      if (!parseValue(v, error)) return false;
+      out[key] = std::move(v);
+      skipWs();
+      if (atEnd()) {
+        error = err("unterminated object");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') {
+        --pos_;
+        error = err("',' or '}' expected in object");
+        return false;
+      }
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;  ///< recursion guard for hostile input
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool Json::parse(std::string_view text, Json& out, std::string& error) {
+  return JsonParser(text).parseDocument(out, error);
 }
 
 bool Json::writeFile(const std::string& path) const {

@@ -1,15 +1,23 @@
-// A minimal JSON document builder for the bench observability output
-// (BENCH_<name>.json; schema in docs/metrics.md).
+// A minimal JSON document builder and parser.
 //
-// Writing only — the repo never parses JSON. Numbers are emitted with enough
-// precision to round-trip doubles bit-exactly (printf %.17g), so a JSON file
-// regenerated from an identical run diffs clean.
+// Writing serves the bench observability output (BENCH_<name>.json; schema in
+// docs/metrics.md). Numbers are emitted with enough precision to round-trip
+// doubles bit-exactly (printf %.17g), so a JSON file regenerated from an
+// identical run diffs clean.
+//
+// Parsing serves the suite supervisor and the resume journal
+// (docs/robustness.md): worker processes return LoopResults as JSON over a
+// pipe and journal rows are replayed from disk, so parse(dump(x)) must
+// reproduce x exactly — including the int/double distinction (a number is an
+// integer iff its text has no '.', 'e' or 'E') and the full 64-bit integer
+// range.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rapt {
@@ -18,6 +26,8 @@ namespace rapt {
 /// Object keys keep insertion order (the emitted file reads like the schema).
 class Json {
  public:
+  enum class Kind : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
   Json() : kind_(Kind::Null) {}
   Json(bool b) : kind_(Kind::Bool), bool_(b) {}                   // NOLINT(google-explicit-constructor)
   Json(int i) : kind_(Kind::Int), int_(i) {}                      // NOLINT(google-explicit-constructor)
@@ -29,26 +39,60 @@ class Json {
   [[nodiscard]] static Json object();
   [[nodiscard]] static Json array();
 
+  /// Strict parse of one JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected). Returns false and fills `error` (with a byte offset)
+  /// on malformed input; `out` is unspecified then.
+  [[nodiscard]] static bool parse(std::string_view text, Json& out, std::string& error);
+
   /// Object access; creates the key on first use (insertion order preserved).
   Json& operator[](const std::string& key);
 
   /// Array append.
   Json& push(Json v);
 
+  // ---- Read access (for parsed documents) ----
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
   [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
   [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isString() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool isBool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool isInt() const { return kind_ == Kind::Int; }
+  /// Any JSON number (integer- or double-kinded).
+  [[nodiscard]] bool isNumber() const {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+
+  /// Value accessors; asserting on kind mismatch (asDouble accepts Int).
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] std::int64_t asInt() const;
+  [[nodiscard]] double asDouble() const;
+  [[nodiscard]] const std::string& asString() const;
+
+  /// Array/object element count (0 for scalars).
+  [[nodiscard]] std::size_t size() const;
+  /// Array element (asserts on kind/range).
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Object entries in insertion order (asserts unless object).
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items() const;
 
   /// Serializes with 2-space indentation and a trailing newline at top level.
   [[nodiscard]] std::string dump() const;
+
+  /// Single-line serialization without the trailing newline — the journal's
+  /// one-record-per-line format (support/Journal.h).
+  [[nodiscard]] std::string dumpCompact() const;
 
   /// Writes `dump()` to `path`. Returns false (and prints to stderr) on I/O
   /// failure.
   bool writeFile(const std::string& path) const;
 
  private:
-  enum class Kind : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
-
   void dumpTo(std::string& out, int indent) const;
+  void dumpCompactTo(std::string& out) const;
 
   Kind kind_;
   bool bool_ = false;

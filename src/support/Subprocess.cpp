@@ -1,0 +1,309 @@
+#include "support/Subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+extern char** environ;  // NOLINT(readability-redundant-declaration)
+
+namespace rapt {
+
+std::string redactForTransport(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '\n' || c == '\t' || (u >= 0x20 && u < 0x7f)) {
+      out += c;
+    } else {
+      out += '.';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Writes never raise SIGPIPE out of the supervisor: a worker that dies
+/// mid-feed must surface as its exit status, not kill the parent. Installed
+/// once, process-wide (the repo never relies on default SIGPIPE death).
+void ignoreSigpipeOnce() {
+  static const bool installed = [] {
+    struct sigaction sa{};
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGPIPE, &sa, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+void setLimit(int resource, std::int64_t value) {
+  if (value <= 0) return;
+  struct rlimit rl{};
+  rl.rlim_cur = static_cast<rlim_t>(value);
+  rl.rlim_max = static_cast<rlim_t>(value);
+  ::setrlimit(resource, &rl);  // best effort; the watchdog is the belt
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[nodiscard]] std::int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Keeps at most `maxBytes` of tail; sets `truncated` once bytes are lost.
+void appendTail(std::string& buf, const char* data, std::size_t n,
+                std::int64_t maxBytes, bool& truncated) {
+  buf.append(data, n);
+  const auto cap = static_cast<std::size_t>(maxBytes);
+  if (buf.size() > cap) {
+    buf.erase(0, buf.size() - cap);
+    truncated = true;
+  }
+}
+
+struct Pipe {
+  int readEnd = -1;
+  int writeEnd = -1;
+  bool open() {
+    int fds[2];
+    // CLOEXEC at creation: a concurrently forked sibling (subprocess suite
+    // workers run from pool threads) must not inherit these ends past its
+    // exec, or this child's stdin would never see EOF.
+    if (::pipe2(fds, O_CLOEXEC) != 0) return false;
+    readEnd = fds[0];
+    writeEnd = fds[1];
+    return true;
+  }
+  void closeRead() {
+    if (readEnd >= 0) ::close(readEnd);
+    readEnd = -1;
+  }
+  void closeWrite() {
+    if (writeEnd >= 0) ::close(writeEnd);
+    writeEnd = -1;
+  }
+  ~Pipe() {
+    closeRead();
+    closeWrite();
+  }
+};
+
+SubprocessResult spawnFailure(const std::string& detail) {
+  SubprocessResult r;
+  r.spawnFailed = true;
+  r.spawnError = detail + ": " + std::strerror(errno);
+  return r;
+}
+
+}  // namespace
+
+SubprocessResult runSubprocess(const SubprocessSpec& spec) {
+  ignoreSigpipeOnce();
+  SubprocessResult result;
+  if (spec.argv.empty()) {
+    result.spawnFailed = true;
+    result.spawnError = "empty argv";
+    return result;
+  }
+
+  Pipe toChild, fromChildOut, fromChildErr, execStatus;
+  if (!toChild.open() || !fromChildOut.open() || !fromChildErr.open() ||
+      !execStatus.open()) {
+    return spawnFailure("pipe2 failed");
+  }
+
+  // argv/envp arrays must be built before fork: only async-signal-safe work
+  // is allowed in the child of a multithreaded process.
+  std::vector<char*> argv;
+  argv.reserve(spec.argv.size() + 1);
+  for (const std::string& a : spec.argv)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  // extraEnv wins over inherited duplicates: getenv returns the FIRST match
+  // in environ, so matching inherited keys are dropped, not shadowed.
+  auto sameKey = [](const char* entry, const std::string& kv) {
+    const std::size_t eq = kv.find('=');
+    const std::size_t len = eq == std::string::npos ? kv.size() : eq;
+    return std::strncmp(entry, kv.c_str(), len) == 0 && entry[len] == '=';
+  };
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) {
+    bool overridden = false;
+    for (const std::string& kv : spec.extraEnv)
+      overridden = overridden || sameKey(*e, kv);
+    if (!overridden) envp.push_back(*e);
+  }
+  for (const std::string& e : spec.extraEnv)
+    envp.push_back(const_cast<char*>(e.c_str()));
+  envp.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return spawnFailure("fork failed");
+
+  if (pid == 0) {
+    // ---- child ----
+    // Own process group, so the watchdog's kill(-pid) also reaps anything
+    // the child forked — otherwise a grandchild keeps the stdout pipe open
+    // and the supervisor waits out the full hang.
+    ::setpgid(0, 0);
+    setLimit(RLIMIT_AS, spec.limits.addressSpaceBytes);
+    setLimit(RLIMIT_CPU, spec.limits.cpuSeconds);
+    // dup2 clears O_CLOEXEC on the standard fds; the originals close at exec.
+    if (::dup2(toChild.readEnd, STDIN_FILENO) < 0 ||
+        ::dup2(fromChildOut.writeEnd, STDOUT_FILENO) < 0 ||
+        ::dup2(fromChildErr.writeEnd, STDERR_FILENO) < 0) {
+      ::_exit(127);
+    }
+    ::execvpe(argv[0], argv.data(), envp.data());
+    // Exec failed: report errno over the CLOEXEC status pipe so the parent
+    // can distinguish "never ran" (retryable) from a child-side failure.
+    const int err = errno;
+    ssize_t ignored = ::write(execStatus.writeEnd, &err, sizeof err);
+    (void)ignored;
+    ::_exit(127);
+  }
+
+  // ---- parent ----
+  toChild.closeRead();
+  fromChildOut.closeWrite();
+  fromChildErr.closeWrite();
+  execStatus.closeWrite();
+  setNonBlocking(toChild.writeEnd);
+  setNonBlocking(fromChildOut.readEnd);
+  setNonBlocking(fromChildErr.readEnd);
+
+  const std::int64_t deadline =
+      spec.limits.wallTimeoutMs > 0 ? nowMs() + spec.limits.wallTimeoutMs : 0;
+  std::size_t written = 0;
+  std::int64_t outBytes = 0;
+  bool killed = false;
+  std::int64_t graceDeadline = 0;
+  if (spec.stdinData.empty()) toChild.closeWrite();
+
+  char buf[65536];
+  while (fromChildOut.readEnd >= 0 || fromChildErr.readEnd >= 0 ||
+         toChild.writeEnd >= 0) {
+    struct pollfd fds[3];
+    int n = 0;
+    int outIdx = -1, errIdx = -1, inIdx = -1;
+    if (fromChildOut.readEnd >= 0) {
+      outIdx = n;
+      fds[n++] = {fromChildOut.readEnd, POLLIN, 0};
+    }
+    if (fromChildErr.readEnd >= 0) {
+      errIdx = n;
+      fds[n++] = {fromChildErr.readEnd, POLLIN, 0};
+    }
+    if (toChild.writeEnd >= 0) {
+      inIdx = n;
+      fds[n++] = {toChild.writeEnd, POLLOUT, 0};
+    }
+
+    int timeout = -1;
+    if (deadline > 0 && !killed) {
+      const std::int64_t left = deadline - nowMs();
+      if (left <= 0) {
+        ::kill(-pid, SIGKILL);  // the whole group, grandchildren included
+        ::kill(pid, SIGKILL);   // fallback if the child never reached setpgid
+        killed = true;
+        result.timedOut = true;
+        graceDeadline = nowMs() + 2000;
+      } else {
+        timeout = static_cast<int>(left > 1'000'000'000 ? 1'000'000'000 : left);
+      }
+    }
+    if (killed) {
+      // The group kill closes the pipes almost immediately; the grace
+      // deadline only guards against an orphan that re-grouped itself and
+      // still holds a write end.
+      const std::int64_t left = graceDeadline - nowMs();
+      if (left <= 0) break;
+      timeout = static_cast<int>(left);
+    }
+
+    const int ready = ::poll(fds, static_cast<nfds_t>(n), timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unexpected; fall through to reap
+    }
+    if (ready == 0) continue;  // re-check the deadline
+
+    if (outIdx >= 0 && (fds[outIdx].revents & (POLLIN | POLLHUP | POLLERR))) {
+      const ssize_t got = ::read(fromChildOut.readEnd, buf, sizeof buf);
+      if (got > 0) {
+        if (outBytes < spec.maxStdoutBytes) {
+          const auto keep = static_cast<std::size_t>(
+              std::min<std::int64_t>(got, spec.maxStdoutBytes - outBytes));
+          result.out.append(buf, keep);
+          if (keep < static_cast<std::size_t>(got)) result.stdoutTruncated = true;
+        } else {
+          result.stdoutTruncated = true;
+        }
+        outBytes += got;
+      } else if (got == 0 || (got < 0 && errno != EAGAIN && errno != EINTR)) {
+        fromChildOut.closeRead();
+      }
+    }
+    if (errIdx >= 0 && (fds[errIdx].revents & (POLLIN | POLLHUP | POLLERR))) {
+      const ssize_t got = ::read(fromChildErr.readEnd, buf, sizeof buf);
+      if (got > 0) {
+        appendTail(result.err, buf, static_cast<std::size_t>(got),
+                   spec.maxStderrBytes, result.stderrTruncated);
+      } else if (got == 0 || (got < 0 && errno != EAGAIN && errno != EINTR)) {
+        fromChildErr.closeRead();
+      }
+    }
+    if (inIdx >= 0 && (fds[inIdx].revents & (POLLOUT | POLLHUP | POLLERR))) {
+      const ssize_t sent =
+          ::write(toChild.writeEnd, spec.stdinData.data() + written,
+                  spec.stdinData.size() - written);
+      if (sent > 0) {
+        written += static_cast<std::size_t>(sent);
+        if (written == spec.stdinData.size()) toChild.closeWrite();
+      } else if (sent < 0 && errno != EAGAIN && errno != EINTR) {
+        toChild.closeWrite();  // EPIPE: the child is gone or closed stdin
+      }
+    }
+  }
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  // A byte on the status pipe means exec itself failed — retryable spawn
+  // failure, not a child verdict.
+  int execErrno = 0;
+  const ssize_t got = ::read(execStatus.readEnd, &execErrno, sizeof execErrno);
+  if (got == static_cast<ssize_t>(sizeof execErrno)) {
+    result.spawnFailed = true;
+    result.spawnError = std::string("exec failed: ") + std::strerror(execErrno) +
+                        " (" + spec.argv[0] + ")";
+    return result;
+  }
+
+  if (WIFSIGNALED(status)) {
+    result.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.exitCode = WEXITSTATUS(status);
+  }
+  result.err = redactForTransport(result.err);
+  return result;
+}
+
+}  // namespace rapt

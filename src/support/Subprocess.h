@@ -1,0 +1,81 @@
+// Supervised child processes for crash-containing suite runs
+// (docs/robustness.md "Process isolation").
+//
+// runSubprocess forks and execs one child under hard resource limits —
+// RLIMIT_AS caps the address space so an allocation bomb dies in the child
+// instead of triggering the machine's OOM killer, RLIMIT_CPU backs up the
+// supervisor-side wall-clock watchdog so a spinning worker dies even if the
+// supervisor is wedged — feeds it a stdin payload, and captures bounded
+// stdout/stderr. The exit is reported losslessly: normal exit code, the
+// terminating signal, watchdog kill, or a spawn failure the caller may
+// retry. Everything is plain POSIX (fork/execvp/pipe/poll/waitpid); no
+// threads are spawned, so the call is safe from pool workers.
+//
+// Capture bounds keep a hostile child from ballooning the supervisor: stdout
+// is truncated at `maxStdoutBytes` (protocol replies are small; a huge reply
+// is itself an error) and stderr keeps only the *tail* of `maxStderrBytes`
+// (the end of a crash log is the interesting part). Captured stderr is also
+// redacted for transport: control bytes other than \n\t are replaced so a
+// crashing child cannot splatter binary garbage into journals and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rapt {
+
+struct SubprocessLimits {
+  /// RLIMIT_AS in bytes (0 = leave unlimited).
+  std::int64_t addressSpaceBytes = 0;
+  /// RLIMIT_CPU in seconds (0 = leave unlimited). The kernel delivers
+  /// SIGXCPU at the soft limit — the in-child backstop for spin hangs.
+  int cpuSeconds = 0;
+  /// Supervisor-side wall-clock watchdog in milliseconds (0 = none). On
+  /// expiry the child is killed with SIGKILL and the result reports
+  /// `timedOut`.
+  std::int64_t wallTimeoutMs = 0;
+};
+
+struct SubprocessResult {
+  /// The spawn itself failed (pipe/fork/exec error); nothing ran. The one
+  /// caller-retryable outcome — everything else is a verdict about the child.
+  bool spawnFailed = false;
+  std::string spawnError;  ///< detail when spawnFailed
+
+  bool timedOut = false;   ///< killed by the wall-clock watchdog
+  /// Terminating signal (0 = exited normally). SIGKILL with timedOut set is
+  /// the watchdog; SIGXCPU is the RLIMIT_CPU backstop.
+  int signal = 0;
+  int exitCode = 0;        ///< exit status when signal == 0
+
+  std::string out;         ///< captured stdout, truncated at maxStdoutBytes
+  std::string err;         ///< captured stderr tail, redacted printable
+  bool stdoutTruncated = false;
+  bool stderrTruncated = false;
+
+  [[nodiscard]] bool exitedCleanly() const {
+    return !spawnFailed && !timedOut && signal == 0 && exitCode == 0;
+  }
+};
+
+struct SubprocessSpec {
+  std::vector<std::string> argv;  ///< argv[0] is resolved via PATH (execvp)
+  std::string stdinData;          ///< written to the child's stdin, then EOF
+  SubprocessLimits limits;
+  /// Extra KEY=VALUE entries added to the inherited environment; an entry
+  /// REPLACES any inherited variable with the same key (the inherited copy
+  /// is dropped so getenv's first-match rule cannot resurrect it).
+  std::vector<std::string> extraEnv;
+  std::int64_t maxStdoutBytes = 8 * 1024 * 1024;
+  std::int64_t maxStderrBytes = 64 * 1024;
+};
+
+/// Runs one child to completion (or watchdog kill). Never throws.
+[[nodiscard]] SubprocessResult runSubprocess(const SubprocessSpec& spec);
+
+/// The stderr transport redaction used by runSubprocess, exposed for reuse:
+/// keeps printable bytes, '\n' and '\t'; every other byte becomes '.'.
+[[nodiscard]] std::string redactForTransport(const std::string& raw);
+
+}  // namespace rapt

@@ -1,0 +1,111 @@
+// CorpusLoader error rows under the parallel/isolated suite runner
+// (docs/robustness.md "Parse containment"): ParseError and file-error rows
+// keep a stable position — after the compiled loops, in load order — and the
+// aggregation is identical across threads = 1 / 4 / hardware and across both
+// isolation modes. Parse failures never reach a worker process (there is no
+// loop to ship), so the isolation mode must not perturb them at all.
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "SuiteCompare.h"
+#include "ir/Printer.h"
+#include "pipeline/CorpusLoader.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+/// A mixed corpus: parsed loops from the generator plus two sources that
+/// fail ingestion (malformed text, missing file) in a known load order.
+LoadedCorpus mixedCorpus() {
+  GeneratorParams params;
+  params.count = 6;
+  const std::vector<Loop> good = generateCorpus(params);
+  LoadedCorpus corpus;
+  for (const Loop& l : good) {
+    corpus.merge(loadLoopText(printLoop(l), l.name));
+  }
+  corpus.merge(loadLoopText("loop broken {\n  this is not an op\n}", "bad-syntax"));
+  corpus.merge(loadLoopFile(std::string(::testing::TempDir()) +
+                            "/definitely-missing-corpus-row.loop"));
+  return corpus;
+}
+
+TEST(CorpusRows, ErrorRowsKeepLoadOrderAfterCompiledLoops) {
+  const LoadedCorpus corpus = mixedCorpus();
+  ASSERT_EQ(corpus.loops.size(), 6u);
+  ASSERT_EQ(corpus.parseFailures.size(), 2u);
+
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  const SuiteResult s = runSuite(corpus, m, opt);
+  ASSERT_EQ(s.loops.size(), 8u);
+  // Compiled rows first (corpus order), then the error rows in load order.
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(s.loops[i].loopName, corpus.loops[i].name);
+  EXPECT_EQ(s.loops[6].loopName, "bad-syntax");
+  EXPECT_EQ(s.loops[6].failureClass, FailureClass::ParseError);
+  EXPECT_EQ(s.loops[7].failureClass, FailureClass::ParseError);
+  EXPECT_NE(s.loops[7].loopName.find("definitely-missing-corpus-row"),
+            std::string::npos);
+  EXPECT_EQ(s.failuresByClass[static_cast<int>(FailureClass::ParseError)], 2);
+  EXPECT_EQ(s.failures, 2);
+}
+
+TEST(CorpusRows, IdenticalAcrossThreadCountsAndIsolationModes) {
+  const LoadedCorpus corpus = mixedCorpus();
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 1;
+  const SuiteResult reference = runSuite(corpus, m, opt);
+
+  for (SuiteIsolation isolation :
+       {SuiteIsolation::InProcess, SuiteIsolation::Subprocess}) {
+    for (int threads : {1, 4, 0}) {  // 0 = hardware concurrency
+      SCOPED_TRACE(std::string(suiteIsolationName(isolation)) + " threads=" +
+                   std::to_string(threads));
+      PipelineOptions run = opt;
+      run.threads = threads;
+      run.isolation = isolation;
+      run.workerPath = RAPT_WORKER_BIN;
+      expectSuiteResultsIdentical(reference, runSuite(corpus, m, run));
+    }
+  }
+}
+
+TEST(CorpusRows, DirectoryLoadIsSortedAndContainsBadFiles) {
+  // A directory with one good and one bad .loop file compiles the good one
+  // and classifies the bad one — and the order is the sorted path order,
+  // independent of readdir order.
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/corpus-rows-dir";
+  std::filesystem::create_directories(dir);
+  GeneratorParams params;
+  params.count = 1;
+  const std::vector<Loop> good = generateCorpus(params);
+  {
+    std::ofstream a(dir + "/a-good.loop");
+    a << printLoop(good[0]);
+    std::ofstream z(dir + "/z-bad.loop");
+    z << "loop nope { garbage }";
+  }
+  const LoadedCorpus corpus = loadLoopDirectory(dir);
+  ASSERT_EQ(corpus.loops.size(), 1u);
+  ASSERT_EQ(corpus.parseFailures.size(), 1u);
+  EXPECT_NE(corpus.parseFailures[0].loopName.find("z-bad"), std::string::npos);
+
+  const MachineDesc machine = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  const SuiteResult s = runSuite(corpus, machine, opt);
+  EXPECT_EQ(s.failures, 1);
+  EXPECT_EQ(s.failuresByClass[static_cast<int>(FailureClass::ParseError)], 1);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -36,6 +36,9 @@ TEST(FailureTaxonomy, NamesAreStableTokens) {
   EXPECT_STREQ(failureClassName(FailureClass::ValidationMismatch), "validationMismatch");
   EXPECT_STREQ(failureClassName(FailureClass::Timeout), "timeout");
   EXPECT_STREQ(failureClassName(FailureClass::InternalError), "internalError");
+  EXPECT_STREQ(failureClassName(FailureClass::Crash), "crash");
+  EXPECT_STREQ(failureClassName(FailureClass::OutOfMemory), "outOfMemory");
+  EXPECT_STREQ(failureClassName(FailureClass::HardTimeout), "hardTimeout");
 }
 
 TEST(FailureTaxonomy, CapacityAndBugClassesAreDisjoint) {
@@ -46,8 +49,8 @@ TEST(FailureTaxonomy, CapacityAndBugClassesAreDisjoint) {
     if (isCapacityClass(cls)) ++capacity;
     if (isBugClass(cls)) ++bug;
   }
-  EXPECT_EQ(capacity, 3);  // sched, alloc, timeout
-  EXPECT_EQ(bug, 3);       // verifier, validation, internal
+  EXPECT_EQ(capacity, 5);  // sched, alloc, timeout, oom, hard-timeout
+  EXPECT_EQ(bug, 4);       // verifier, validation, internal, crash
   EXPECT_FALSE(isCapacityClass(FailureClass::None));
   EXPECT_FALSE(isBugClass(FailureClass::None));
 }

@@ -1,73 +1,16 @@
 // The parallel suite runner's core invariant (Suite.h): runSuite produces a
-// bit-identical SuiteResult for every thread count. Aggregates are compared
-// with exact floating-point equality — the reduction is a serial post-pass in
-// corpus order, so there is no summation-order wiggle room to tolerate. Only
-// the trace wall times and suiteWallNs are exempt (documented observability;
-// they never feed back into results).
+// bit-identical SuiteResult for every thread count. The assertion helpers
+// live in SuiteCompare.h (shared with the supervisor and corpus-row tests);
+// this file exercises them across thread counts in one process.
 #include "pipeline/Suite.h"
 
 #include <gtest/gtest.h>
 
+#include "SuiteCompare.h"
 #include "workload/LoopGenerator.h"
 
 namespace rapt {
 namespace {
-
-void expectLoopResultsIdentical(const LoopResult& a, const LoopResult& b) {
-  EXPECT_EQ(a.loopName, b.loopName);
-  EXPECT_EQ(a.ok, b.ok);
-  EXPECT_EQ(a.error, b.error);
-  EXPECT_EQ(a.failureClass, b.failureClass);
-  EXPECT_EQ(a.partitionerUsed, b.partitionerUsed);
-  EXPECT_EQ(a.numOps, b.numOps);
-  EXPECT_EQ(a.idealII, b.idealII);
-  EXPECT_EQ(a.idealRecII, b.idealRecII);
-  EXPECT_EQ(a.idealResII, b.idealResII);
-  EXPECT_EQ(a.clusteredII, b.clusteredII);
-  EXPECT_EQ(a.bodyCopies, b.bodyCopies);
-  EXPECT_EQ(a.preheaderCopies, b.preheaderCopies);
-  EXPECT_EQ(a.stageCount, b.stageCount);
-  EXPECT_EQ(a.maxUnroll, b.maxUnroll);
-  EXPECT_EQ(a.allocOk, b.allocOk);
-  EXPECT_EQ(a.allocRetries, b.allocRetries);
-  EXPECT_EQ(a.spillsAtFirstTry, b.spillsAtFirstTry);
-  EXPECT_EQ(a.refineMoves, b.refineMoves);
-  EXPECT_EQ(a.compactionMoves, b.compactionMoves);
-  EXPECT_EQ(a.validated, b.validated);
-  EXPECT_EQ(a.validatedPhysical, b.validatedPhysical);
-  EXPECT_EQ(a.simulatedCycles, b.simulatedCycles);
-  // Trace counters are results too; only the *Ns wall times may differ.
-  EXPECT_EQ(a.trace.idealCycles, b.trace.idealCycles);
-  EXPECT_EQ(a.trace.rescheduleAttempts, b.trace.rescheduleAttempts);
-  EXPECT_EQ(a.trace.iiEscalations, b.trace.iiEscalations);
-  EXPECT_EQ(a.trace.spillRetries, b.trace.spillRetries);
-  EXPECT_EQ(a.trace.simulatedCycles, b.trace.simulatedCycles);
-  EXPECT_EQ(a.trace.schedPlacements, b.trace.schedPlacements);
-  EXPECT_EQ(a.trace.recoverySteps, b.trace.recoverySteps);
-  EXPECT_EQ(a.trace.fallbackUsed, b.trace.fallbackUsed);
-  EXPECT_EQ(a.trace.faultsInjected, b.trace.faultsInjected);
-}
-
-void expectSuiteResultsIdentical(const SuiteResult& a, const SuiteResult& b) {
-  ASSERT_EQ(a.loops.size(), b.loops.size());
-  for (std::size_t i = 0; i < a.loops.size(); ++i) {
-    SCOPED_TRACE("loop " + a.loops[i].loopName);
-    expectLoopResultsIdentical(a.loops[i], b.loops[i]);
-  }
-  EXPECT_EQ(a.failures, b.failures);
-  EXPECT_EQ(a.failuresByClass, b.failuresByClass);
-  EXPECT_EQ(a.validatedCount, b.validatedCount);
-  EXPECT_EQ(a.totalBodyCopies, b.totalBodyCopies);
-  // Bit-identical doubles, not near-equal: the deterministic post-pass adds
-  // the same numbers in the same order whatever the thread count.
-  EXPECT_EQ(a.meanIdealIpc, b.meanIdealIpc);
-  EXPECT_EQ(a.meanClusteredIpc, b.meanClusteredIpc);
-  EXPECT_EQ(a.arithMeanNormalized, b.arithMeanNormalized);
-  EXPECT_EQ(a.harmMeanNormalized, b.harmMeanNormalized);
-  for (int bkt = 0; bkt < DegradationHistogram::kNumBuckets; ++bkt) {
-    EXPECT_EQ(a.histogram.count(bkt), b.histogram.count(bkt)) << "bucket " << bkt;
-  }
-}
 
 SuiteResult runWithThreads(const std::vector<Loop>& loops, const MachineDesc& m,
                            PipelineOptions opt, int threads) {

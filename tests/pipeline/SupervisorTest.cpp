@@ -1,0 +1,445 @@
+// The subprocess suite supervisor (Suite.h, docs/robustness.md):
+//  - clean corpora aggregate BIT-IDENTICALLY to in-process runs,
+//  - a process-grade fault in one worker (SIGSEGV, SIGABRT, memory-cap
+//    death, spin hang) becomes one classified row while every other loop
+//    completes,
+//  - the fsync'd journal resumes a truncated run to the same bit-identical
+//    SuiteResult, across thread counts and isolation modes,
+//  - worker stderr survives on Crash/InternalError rows.
+//
+// Faults are provoked with RAPT_WORKER_INJECT=<kind>@<loopName>
+// (tools/rapt_worker.cpp), which fires inside the real worker binary —
+// RAPT_WORKER_BIN, injected by tests/CMakeLists.txt — so each scenario
+// exercises the genuine exit-status mapping, not a mock.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "SuiteCompare.h"
+#include "pipeline/Suite.h"
+#include "pipeline/WorkerProtocol.h"
+#include "support/Interrupt.h"
+#include "workload/LoopGenerator.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define RAPT_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RAPT_TEST_ASAN 1
+#endif
+#endif
+#ifndef RAPT_TEST_ASAN
+#define RAPT_TEST_ASAN 0
+#endif
+
+namespace rapt {
+namespace {
+
+/// Sets an environment variable for the scope of one test. The suite forks
+/// workers while it is set; tests in this binary run sequentially, so there
+/// is no concurrent setenv.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+std::vector<Loop> smallCorpus(int count) {
+  GeneratorParams params;
+  params.count = count;
+  return generateCorpus(params);
+}
+
+PipelineOptions subprocessOptions() {
+  PipelineOptions opt;
+  opt.isolation = SuiteIsolation::Subprocess;
+  opt.workerPath = RAPT_WORKER_BIN;
+  return opt;
+}
+
+std::string tempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Rewrites `path` keeping only its first `keepLines` lines — the shape a
+/// journal has after a mid-run SIGKILL (plus, separately, a torn tail).
+void truncateToLines(const std::string& path, int keepLines) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream kept;
+  std::string line;
+  for (int i = 0; i < keepLines && std::getline(in, line); ++i)
+    kept << line << '\n';
+  in.close();
+  std::ofstream out(path, std::ios::trunc);
+  out << kept.str();
+}
+
+// ---- wire protocol round-trips --------------------------------------------
+
+TEST(WorkerWire, JobDocumentRoundTripsExactly) {
+  const std::vector<Loop> loops = smallCorpus(3);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::CopyUnit);
+  PipelineOptions opt;
+  opt.partitioner = PartitionerKind::Random;
+  opt.randomSeed = 0xdeadbeefcafef00dULL;  // needs the hex transport
+  opt.fault.seed = 0xffffffffffffffffULL;
+  opt.fault.ratePercent = 13;
+  opt.simTrip = 7;
+  opt.workBudget = 12345;
+  const Json doc = encodeWorkerJob(loops[1], m, opt);
+
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(Json::parse(doc.dumpCompact(), parsed, error)) << error;
+  Loop loop2;
+  MachineDesc m2;
+  PipelineOptions opt2;
+  ASSERT_TRUE(decodeWorkerJob(parsed, loop2, m2, opt2, error)) << error;
+  // Re-encoding the decoded job must reproduce the document byte for byte —
+  // that covers every transported field without enumerating them here.
+  EXPECT_EQ(encodeWorkerJob(loop2, m2, opt2).dumpCompact(), doc.dumpCompact());
+  EXPECT_EQ(loop2.name, loops[1].name);
+  EXPECT_EQ(m2.name, m.name);
+  EXPECT_EQ(opt2.randomSeed, opt.randomSeed);
+  EXPECT_EQ(opt2.fault.seed, opt.fault.seed);
+}
+
+TEST(WorkerWire, ResultDocumentRoundTripsBitExactly) {
+  const std::vector<Loop> loops = smallCorpus(2);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  const LoopResult original = compileLoop(loops[0], m, PipelineOptions{});
+  const Json doc = encodeLoopResult(original);
+
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(Json::parse(doc.dumpCompact(), parsed, error)) << error;
+  LoopResult decoded;
+  ASSERT_TRUE(decodeLoopResult(parsed, decoded, error)) << error;
+  expectLoopResultsIdentical(original, decoded);
+  // Including the *Ns observability fields: the dump comparison is total.
+  EXPECT_EQ(encodeLoopResult(decoded).dumpCompact(), doc.dumpCompact());
+}
+
+TEST(WorkerWire, ConfigHashIgnoresSupervisionKnobsOnly) {
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions base;
+  const std::uint64_t h = suiteConfigHash(m, base);
+
+  // Suite-level knobs must NOT change the hash: that is what lets a journal
+  // resume under a different thread count or isolation mode.
+  PipelineOptions knobs = base;
+  knobs.threads = 7;
+  knobs.isolation = SuiteIsolation::Subprocess;
+  knobs.workerPath = "/somewhere/rapt-worker";
+  knobs.workerTimeoutMs = 5;
+  knobs.workerMemoryBytes = 1 << 20;
+  knobs.journalPath = "/tmp/j.jsonl";
+  knobs.resume = true;
+  EXPECT_EQ(suiteConfigHash(m, knobs), h);
+
+  // Result-relevant options and the machine MUST change it.
+  PipelineOptions seeded = base;
+  seeded.randomSeed = 99;
+  EXPECT_NE(suiteConfigHash(m, seeded), h);
+  MachineDesc other = m;
+  other.intRegsPerBank = 8;
+  EXPECT_NE(suiteConfigHash(other, base), h);
+}
+
+// ---- clean-corpus bit-identity across the process boundary -----------------
+
+TEST(Supervisor, SubprocessAggregatesBitIdenticalToInProcess) {
+  const std::vector<Loop> loops = smallCorpus(12);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions inProc;  // simulate stays on: validation crosses the wire too
+  inProc.threads = 4;
+  const SuiteResult reference = runSuite(loops, m, inProc);
+  EXPECT_EQ(reference.isolationUsed, SuiteIsolation::InProcess);
+
+  PipelineOptions sub = subprocessOptions();
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    sub.threads = threads;
+    const SuiteResult isolated = runSuite(loops, m, sub);
+    EXPECT_EQ(isolated.isolationUsed, SuiteIsolation::Subprocess);
+    EXPECT_EQ(isolated.spawnRetries, 0);
+    expectSuiteResultsIdentical(reference, isolated);
+  }
+}
+
+// ---- fault containment and classification ----------------------------------
+
+/// Runs the corpus under subprocess isolation with one injected fault and
+/// checks: the targeted row lands in `expected` with `errorNeedle` in its
+/// error text, and every OTHER row is identical to the in-process run.
+void expectContainedFault(const std::string& injectSpec, int targetIndex,
+                          FailureClass expected, const std::string& errorNeedle,
+                          PipelineOptions sub = subprocessOptions()) {
+  const std::vector<Loop> loops = smallCorpus(6);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions inProc;
+  inProc.simulate = false;
+  inProc.threads = 2;
+  const SuiteResult reference = runSuite(loops, m, inProc);
+
+  sub.simulate = false;
+  sub.threads = 2;
+  const ScopedEnv inject("RAPT_WORKER_INJECT",
+                         injectSpec + "@" + loops[targetIndex].name);
+  const SuiteResult isolated = runSuite(loops, m, sub);
+
+  ASSERT_EQ(isolated.loops.size(), loops.size());
+  const LoopResult& hit = isolated.loops[targetIndex];
+  EXPECT_FALSE(hit.ok);
+  EXPECT_EQ(hit.failureClass, expected)
+      << "got class " << failureClassName(hit.failureClass) << ": " << hit.error;
+  EXPECT_NE(hit.error.find(errorNeedle), std::string::npos) << hit.error;
+  EXPECT_EQ(isolated.failuresByClass[static_cast<int>(expected)],
+            reference.failuresByClass[static_cast<int>(expected)] + 1);
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    if (static_cast<int>(i) == targetIndex) continue;
+    SCOPED_TRACE("surviving loop " + loops[i].name);
+    expectLoopResultsIdentical(reference.loops[i], isolated.loops[i]);
+  }
+}
+
+TEST(Supervisor, SegfaultBecomesCrashRowOthersComplete) {
+  expectContainedFault("segfault", 2, FailureClass::Crash, "SIGSEGV");
+}
+
+TEST(Supervisor, AbortBecomesCrashRowOthersComplete) {
+  expectContainedFault("abort", 4, FailureClass::Crash, "SIGABRT");
+}
+
+TEST(Supervisor, SpinHangBecomesHardTimeoutRowOthersComplete) {
+  PipelineOptions sub = subprocessOptions();
+  sub.workerTimeoutMs = 400;  // the spinner dies at the wall watchdog
+  expectContainedFault("spinHang", 1, FailureClass::HardTimeout, "watchdog", sub);
+}
+
+TEST(Supervisor, OomExitBecomesOutOfMemoryRow) {
+  // The reserved exit status (worker new_handler) — the mapping the memory
+  // cap uses, testable under every sanitizer because no rlimit is involved.
+  expectContainedFault("oomExit", 3, FailureClass::OutOfMemory, "memory cap");
+}
+
+TEST(Supervisor, AllocBombDiesOnAddressSpaceCap) {
+  if (RAPT_TEST_ASAN) {
+    GTEST_SKIP() << "RLIMIT_AS cannot be applied under ASan (shadow mapping); "
+                    "the exit-status mapping is covered by OomExitBecomes...";
+  }
+  PipelineOptions sub = subprocessOptions();
+  sub.workerMemoryBytes = 512LL * 1024 * 1024;
+  expectContainedFault("allocBomb", 0, FailureClass::OutOfMemory, "memory cap",
+                       sub);
+}
+
+TEST(Supervisor, GarbageReplyIsRetriedThenInternalError) {
+  // A clean exit with a non-protocol reply is indistinguishable from a
+  // transport hiccup, so it earns exactly one retry before classification.
+  const std::vector<Loop> loops = smallCorpus(4);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions sub = subprocessOptions();
+  sub.simulate = false;
+  sub.threads = 2;
+  const ScopedEnv inject("RAPT_WORKER_INJECT", "garbage@" + loops[1].name);
+  const SuiteResult isolated = runSuite(loops, m, sub);
+  ASSERT_EQ(isolated.loops.size(), loops.size());
+  const LoopResult& hit = isolated.loops[1];
+  EXPECT_EQ(hit.failureClass, FailureClass::InternalError) << hit.error;
+  EXPECT_NE(hit.error.find("undecodable"), std::string::npos) << hit.error;
+  EXPECT_NE(hit.error.find("(after retry)"), std::string::npos) << hit.error;
+  EXPECT_GE(isolated.spawnRetries, 1);
+}
+
+TEST(Supervisor, WorkerRefusalAttachesStderrWithoutRetry) {
+  // An unknown inject kind makes the worker exit 3 with a diagnostic on
+  // stderr: a deterministic refusal — InternalError immediately, no retry,
+  // stderr tail attached to the row (satellite: crash artifacts survive).
+  const std::vector<Loop> loops = smallCorpus(4);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions sub = subprocessOptions();
+  sub.simulate = false;
+  sub.threads = 2;
+  const ScopedEnv inject("RAPT_WORKER_INJECT",
+                         "notAnInjectKind@" + loops[2].name);
+  const SuiteResult isolated = runSuite(loops, m, sub);
+  ASSERT_EQ(isolated.loops.size(), loops.size());
+  const LoopResult& hit = isolated.loops[2];
+  EXPECT_EQ(hit.failureClass, FailureClass::InternalError) << hit.error;
+  EXPECT_NE(hit.error.find("status 3"), std::string::npos) << hit.error;
+  EXPECT_NE(hit.workerStderr.find("unknown RAPT_WORKER_INJECT"),
+            std::string::npos)
+      << "stderr not attached: '" << hit.workerStderr << "'";
+  EXPECT_EQ(isolated.spawnRetries, 0);
+}
+
+TEST(Supervisor, MissingWorkerBinaryRetriesThenInternalError) {
+  const std::vector<Loop> loops = smallCorpus(2);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions sub;
+  sub.isolation = SuiteIsolation::Subprocess;
+  sub.workerPath = tempPath("no-such-rapt-worker");
+  sub.simulate = false;
+  sub.threads = 1;
+  const SuiteResult isolated = runSuite(loops, m, sub);
+  ASSERT_EQ(isolated.loops.size(), loops.size());
+  for (const LoopResult& r : isolated.loops) {
+    EXPECT_EQ(r.failureClass, FailureClass::InternalError) << r.error;
+    EXPECT_NE(r.error.find("spawn failed"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("(after retry)"), std::string::npos) << r.error;
+  }
+  EXPECT_EQ(isolated.spawnRetries, 2);
+}
+
+// ---- journal + resume -------------------------------------------------------
+
+TEST(Supervisor, TruncatedJournalResumesToBitIdenticalResult) {
+  const std::vector<Loop> loops = smallCorpus(8);
+  const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.threads = 1;  // journal rows land in corpus order: truncation is precise
+  const SuiteResult reference = runSuite(loops, m, opt);
+
+  const std::string path = tempPath("resume.jsonl");
+  opt.journalPath = path;
+  const SuiteResult journaled = runSuite(loops, m, opt);
+  expectSuiteResultsIdentical(reference, journaled);
+
+  // Keep the header + 4 rows + a torn half-line: the post-SIGKILL shape.
+  truncateToLines(path, 5);
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << R"({"kind":"row","index":99,"loop":"to)";  // no newline: torn
+  }
+
+  PipelineOptions resumeOpt = opt;
+  resumeOpt.resume = true;
+  resumeOpt.threads = 4;  // resume does not depend on the original threads
+  const SuiteResult resumed = runSuite(loops, m, resumeOpt);
+  EXPECT_EQ(resumed.resumedRows, 4);
+  EXPECT_FALSE(resumed.interrupted);
+  expectSuiteResultsIdentical(reference, resumed);
+}
+
+TEST(Supervisor, ResumeCrossesIsolationModes) {
+  // An in-process journal seeds a subprocess resume (and the aggregate stays
+  // bit-identical): the config hash excludes supervision knobs on purpose.
+  const std::vector<Loop> loops = smallCorpus(6);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::CopyUnit);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 1;
+  const SuiteResult reference = runSuite(loops, m, opt);
+
+  const std::string path = tempPath("cross-isolation.jsonl");
+  opt.journalPath = path;
+  (void)runSuite(loops, m, opt);
+  truncateToLines(path, 4);  // header + 3 rows
+
+  PipelineOptions sub = subprocessOptions();
+  sub.simulate = false;
+  sub.threads = 2;
+  sub.journalPath = path;
+  sub.resume = true;
+  const SuiteResult resumed = runSuite(loops, m, sub);
+  EXPECT_EQ(resumed.resumedRows, 3);
+  expectSuiteResultsIdentical(reference, resumed);
+}
+
+TEST(Supervisor, ResumeRejectsMismatchedConfigAndStartsFresh) {
+  const std::vector<Loop> loops = smallCorpus(4);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 1;
+  const std::string path = tempPath("mismatch.jsonl");
+  opt.journalPath = path;
+  (void)runSuite(loops, m, opt);
+
+  // Same journal, different random seed: every row is stale. The run must
+  // recompile everything (resumedRows == 0) and still match a clean run.
+  PipelineOptions changed = opt;
+  changed.randomSeed = 4242;
+  changed.partitioner = PartitionerKind::Random;
+  changed.resume = true;
+  const SuiteResult resumed = runSuite(loops, m, changed);
+  EXPECT_EQ(resumed.resumedRows, 0);
+  PipelineOptions clean = changed;
+  clean.journalPath.clear();
+  clean.resume = false;
+  expectSuiteResultsIdentical(runSuite(loops, m, clean), resumed);
+}
+
+TEST(Supervisor, ResumeRejectsCorpusDrift) {
+  // Rows whose loopHash no longer matches the corpus entry are recompiled,
+  // not replayed: the per-row belt against editing loops between runs.
+  std::vector<Loop> loops = smallCorpus(4);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 1;
+  const std::string path = tempPath("drift.jsonl");
+  opt.journalPath = path;
+  (void)runSuite(loops, m, opt);
+
+  std::vector<Loop> drifted = loops;
+  std::swap(drifted[0], drifted[1]);  // same corpus size, shuffled content
+  drifted[0].name = loops[0].name;    // keep names aligned with the indices
+  drifted[1].name = loops[1].name;
+  PipelineOptions resumeOpt = opt;
+  resumeOpt.resume = true;
+  const SuiteResult resumed = runSuite(drifted, m, resumeOpt);
+  EXPECT_LE(resumed.resumedRows, 2);  // at most the undrifted tail replays
+  PipelineOptions clean = opt;
+  clean.journalPath.clear();
+  expectSuiteResultsIdentical(runSuite(drifted, m, clean), resumed);
+}
+
+// ---- interrupt wind-down ----------------------------------------------------
+
+class SupervisorInterrupt : public ::testing::Test {
+ protected:
+  void SetUp() override { clearInterruptForTest(); }
+  void TearDown() override { clearInterruptForTest(); }
+};
+
+TEST_F(SupervisorInterrupt, PendingInterruptDropsUnstartedRowsThenResumeCompletes) {
+  const std::vector<Loop> loops = smallCorpus(6);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 2;
+  const SuiteResult reference = runSuite(loops, m, opt);
+
+  const std::string path = tempPath("interrupted.jsonl");
+  opt.journalPath = path;
+  requestInterruptForTest(SIGINT);
+  const SuiteResult cut = runSuite(loops, m, opt);
+  EXPECT_TRUE(cut.interrupted);
+  EXPECT_EQ(cut.plannedLoops, static_cast<int>(loops.size()));
+  EXPECT_TRUE(cut.loops.empty());  // nothing fabricated for the missing tail
+  EXPECT_EQ(cut.failures, 0);
+
+  clearInterruptForTest();
+  PipelineOptions resumeOpt = opt;
+  resumeOpt.resume = true;
+  const SuiteResult resumed = runSuite(loops, m, resumeOpt);
+  EXPECT_FALSE(resumed.interrupted);
+  expectSuiteResultsIdentical(reference, resumed);
+}
+
+}  // namespace
+}  // namespace rapt

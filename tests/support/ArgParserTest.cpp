@@ -1,0 +1,138 @@
+#include "support/ArgParser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rapt {
+namespace {
+
+bool runParse(ArgParser& parser, std::vector<std::string> args) {
+  args.insert(args.begin(), "test-prog");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+struct SuiteFlags {
+  int jobs = 0;
+  std::string isolation = "inprocess";
+  std::int64_t timeoutMs = 0;
+  bool resume = false;
+  std::uint64_t seed = 7;
+};
+
+ArgParser suiteParser(SuiteFlags& f) {
+  ArgParser p("test-prog", "unit test parser");
+  p.addInt("jobs", &f.jobs, "worker threads (0 = hardware)");
+  p.addString("isolation", &f.isolation, "inprocess|subprocess");
+  p.addInt64("timeout-ms", &f.timeoutMs, "per-loop wall timeout");
+  p.addFlag("resume", &f.resume, "replay the journal");
+  p.addUint64("seed", &f.seed, "rng seed");
+  return p;
+}
+
+TEST(ArgParse, DefaultsSurviveAnEmptyCommandLine) {
+  SuiteFlags f;
+  ArgParser p = suiteParser(f);
+  EXPECT_TRUE(runParse(p, {}));
+  EXPECT_EQ(f.jobs, 0);
+  EXPECT_EQ(f.isolation, "inprocess");
+  EXPECT_EQ(f.timeoutMs, 0);
+  EXPECT_FALSE(f.resume);
+  EXPECT_EQ(f.seed, 7u);
+}
+
+TEST(ArgParse, ParsesEveryKindInBothSpellings) {
+  SuiteFlags f;
+  ArgParser p = suiteParser(f);
+  EXPECT_TRUE(runParse(p, {"--jobs", "4", "--isolation=subprocess",
+                           "--timeout-ms=30000", "--resume", "--seed",
+                           "0x52415054"}));
+  EXPECT_EQ(f.jobs, 4);
+  EXPECT_EQ(f.isolation, "subprocess");
+  EXPECT_EQ(f.timeoutMs, 30000);
+  EXPECT_TRUE(f.resume);
+  EXPECT_EQ(f.seed, 0x52415054u);
+}
+
+TEST(ArgParse, NegativeValuesParseForSignedTargets) {
+  SuiteFlags f;
+  ArgParser p = suiteParser(f);
+  EXPECT_TRUE(runParse(p, {"--jobs", "-1", "--timeout-ms=-5"}));
+  EXPECT_EQ(f.jobs, -1);
+  EXPECT_EQ(f.timeoutMs, -5);
+}
+
+TEST(ArgParse, RejectsBadInput) {
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_FALSE(runParse(p, {"--no-such-flag"}));
+  }
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_FALSE(runParse(p, {"--jobs"}));  // missing value
+  }
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_FALSE(runParse(p, {"--jobs", "four"}));
+  }
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_FALSE(runParse(p, {"--jobs", "1x"}));  // trailing garbage
+  }
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_FALSE(runParse(p, {"--seed", "-3"}));  // negative unsigned
+  }
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_FALSE(runParse(p, {"--resume=yes"}));  // flags take no value
+  }
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_FALSE(runParse(p, {"stray-positional"}));
+  }
+}
+
+TEST(ArgParse, PositionalsCollectWhenAllowed) {
+  SuiteFlags f;
+  ArgParser p = suiteParser(f);
+  p.allowPositionals("FILE...");
+  EXPECT_TRUE(runParse(p, {"a.loop", "--jobs", "2", "b.loop"}));
+  EXPECT_EQ(f.jobs, 2);
+  ASSERT_EQ(p.positionals().size(), 2u);
+  EXPECT_EQ(p.positionals()[0], "a.loop");
+  EXPECT_EQ(p.positionals()[1], "b.loop");
+}
+
+TEST(ArgParse, HelpStopsParsingAndIsDistinguishable) {
+  SuiteFlags f;
+  ArgParser p = suiteParser(f);
+  EXPECT_FALSE(runParse(p, {"--help"}));
+  EXPECT_TRUE(p.helpRequested());
+
+  SuiteFlags f2;
+  ArgParser p2 = suiteParser(f2);
+  EXPECT_FALSE(runParse(p2, {"--bogus"}));
+  EXPECT_FALSE(p2.helpRequested());
+}
+
+TEST(ArgParse, IntOverflowIsRejected) {
+  SuiteFlags f;
+  ArgParser p = suiteParser(f);
+  EXPECT_FALSE(runParse(p, {"--jobs", "99999999999999999999"}));
+  EXPECT_FALSE(runParse(p, {"--jobs", "4294967296"}));  // > INT_MAX
+}
+
+}  // namespace
+}  // namespace rapt

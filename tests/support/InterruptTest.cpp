@@ -1,0 +1,60 @@
+#include "support/Interrupt.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+namespace rapt {
+namespace {
+
+// The sticky flag is process-global; every test starts from a clean slate
+// and clears on exit so ordering cannot leak between tests.
+class InterruptFlag : public ::testing::Test {
+ protected:
+  void SetUp() override { clearInterruptForTest(); }
+  void TearDown() override { clearInterruptForTest(); }
+};
+
+TEST_F(InterruptFlag, StartsClear) {
+  EXPECT_FALSE(interruptRequested());
+  EXPECT_EQ(interruptSignal(), 0);
+}
+
+TEST_F(InterruptFlag, RealSignalSetsTheStickyFlag) {
+  InterruptGuard guard;
+  ASSERT_FALSE(interruptRequested());
+  ::raise(SIGINT);
+  EXPECT_TRUE(interruptRequested());
+  EXPECT_EQ(interruptSignal(), SIGINT);
+  // Sticky: still set after the guard is gone.
+}
+
+TEST_F(InterruptFlag, SigtermIsHandledToo) {
+  InterruptGuard guard;
+  ::raise(SIGTERM);
+  EXPECT_TRUE(interruptRequested());
+  EXPECT_EQ(interruptSignal(), SIGTERM);
+}
+
+TEST_F(InterruptFlag, NestedGuardsAreHarmless) {
+  InterruptGuard outer;
+  {
+    InterruptGuard inner;
+    ::raise(SIGINT);
+  }
+  // The inner guard's destruction must not have restored default SIGINT
+  // while the outer guard is live — a second raise would kill the process
+  // if it had.
+  EXPECT_TRUE(interruptRequested());
+  clearInterruptForTest();
+  ::raise(SIGINT);
+  EXPECT_TRUE(interruptRequested());
+}
+
+TEST_F(InterruptFlag, TestHookMimicsDelivery) {
+  requestInterruptForTest(SIGTERM);
+  EXPECT_TRUE(interruptRequested());
+  EXPECT_EQ(interruptSignal(), SIGTERM);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,157 @@
+#include "support/Journal.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rapt {
+namespace {
+
+std::string tmpPath(const std::string& name) {
+  return ::testing::TempDir() + "rapt-journal-" + name + ".jsonl";
+}
+
+Json headerFor(const std::string& run) {
+  Json h = Json::object();
+  h["run"] = run;
+  h["configHash"] = std::int64_t{0x1234};
+  return h;
+}
+
+Json rowFor(int index) {
+  Json r = Json::object();
+  r["kind"] = "row";
+  r["index"] = index;
+  return r;
+}
+
+void appendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << bytes;
+}
+
+TEST(JournalIo, CreateAppendLoadRoundTrips) {
+  const std::string path = tmpPath("roundtrip");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("unit")));
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(w.append(rowFor(i)));
+  }
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  EXPECT_EQ(c.tornTailLines, 0);
+  ASSERT_NE(c.header.find("schema"), nullptr);
+  EXPECT_EQ(c.header.find("schema")->asString(), JournalWriter::kSchema);
+  ASSERT_NE(c.header.find("run"), nullptr);
+  EXPECT_EQ(c.header.find("run")->asString(), "unit");
+  ASSERT_EQ(c.rows.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(c.rows[static_cast<std::size_t>(i)].find("index")->asInt(), i);
+}
+
+TEST(JournalIo, OpenAppendContinuesAfterTheHeader) {
+  const std::string path = tmpPath("append");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("first")));
+    EXPECT_TRUE(w.append(rowFor(0)));
+  }
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.openAppend(path));
+    EXPECT_TRUE(w.append(rowFor(1)));
+  }
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  ASSERT_EQ(c.rows.size(), 2u);
+  EXPECT_EQ(c.rows[1].find("index")->asInt(), 1);
+}
+
+TEST(JournalIo, TornTrailingLineIsDroppedNotFatal) {
+  const std::string path = tmpPath("torn");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("torn")));
+    EXPECT_TRUE(w.append(rowFor(0)));
+  }
+  // A SIGKILL mid-append leaves a prefix of the final line.
+  appendRaw(path, R"({"kind":"row","ind)");
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  EXPECT_EQ(c.tornTailLines, 1);
+  ASSERT_EQ(c.rows.size(), 1u);
+  EXPECT_EQ(c.rows[0].find("index")->asInt(), 0);
+}
+
+TEST(JournalIo, CorruptionBeforeTheEndInvalidates) {
+  const std::string path = tmpPath("corrupt");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("corrupt")));
+    EXPECT_TRUE(w.append(rowFor(0)));
+  }
+  appendRaw(path, "garbage not json\n");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.openAppend(path));
+    EXPECT_TRUE(w.append(rowFor(1)));  // a good line AFTER the bad one
+  }
+  const JournalContents c = loadJournal(path);
+  EXPECT_FALSE(c.valid);
+  EXPECT_NE(c.error.find("corrupt"), std::string::npos) << c.error;
+}
+
+TEST(JournalIo, RejectsMissingFileEmptyFileAndBadHeader) {
+  EXPECT_FALSE(loadJournal(tmpPath("never-created")).valid);
+
+  const std::string empty = tmpPath("empty");
+  { std::ofstream out(empty, std::ios::binary | std::ios::trunc); }
+  EXPECT_FALSE(loadJournal(empty).valid);
+
+  const std::string noHeader = tmpPath("no-header");
+  { std::ofstream out(noHeader, std::ios::binary | std::ios::trunc); }
+  appendRaw(noHeader, R"({"kind":"row","index":0})" "\n");
+  EXPECT_FALSE(loadJournal(noHeader).valid);
+
+  const std::string badSchema = tmpPath("bad-schema");
+  { std::ofstream out(badSchema, std::ios::binary | std::ios::trunc); }
+  appendRaw(badSchema, R"({"kind":"header","schema":"other-v9"})" "\n");
+  const JournalContents c = loadJournal(badSchema);
+  EXPECT_FALSE(c.valid);
+  EXPECT_NE(c.error.find("schema"), std::string::npos) << c.error;
+}
+
+TEST(JournalIo, ConcurrentAppendsStayLineAtomic) {
+  const std::string path = tmpPath("concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("concurrent")));
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&w, t] {
+        for (int i = 0; i < kPerThread; ++i)
+          EXPECT_TRUE(w.append(rowFor(t * kPerThread + i)));
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  ASSERT_EQ(c.rows.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // Every record intact exactly once, in some interleaving.
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (const Json& row : c.rows) {
+    const auto idx = static_cast<std::size_t>(row.find("index")->asInt());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+}  // namespace
+}  // namespace rapt

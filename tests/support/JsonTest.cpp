@@ -72,5 +72,124 @@ TEST(Json, EmptyContainersRenderCompact) {
   EXPECT_EQ(Json::array().dump(), "[]\n");
 }
 
+// ---- Parser (the worker protocol / journal reader; docs/robustness.md) ----
+
+Json parseOk(const std::string& text) {
+  Json out;
+  std::string error;
+  EXPECT_TRUE(Json::parse(text, out, error)) << text << ": " << error;
+  return out;
+}
+
+void expectParseFails(const std::string& text) {
+  Json out;
+  std::string error;
+  EXPECT_FALSE(Json::parse(text, out, error)) << text;
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk(" false ").asBool());
+  EXPECT_EQ(parseOk("42").asInt(), 42);
+  EXPECT_EQ(parseOk("-7").asInt(), -7);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, IntVsDoubleDistinctionSurvives) {
+  // The worker protocol depends on parse(dump(x)) == x including number kind.
+  EXPECT_TRUE(parseOk("100").isInt());
+  EXPECT_FALSE(parseOk("100.0").isInt());
+  EXPECT_TRUE(parseOk("100.0").isNumber());
+  EXPECT_EQ(parseOk("100.0").asDouble(), 100.0);
+  EXPECT_TRUE(parseOk("1e3").isNumber());
+  EXPECT_EQ(parseOk("1e3").asDouble(), 1000.0);
+}
+
+TEST(JsonParse, Int64RangeRoundTrips) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t small = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(parseOk(Json(big).dump()).asInt(), big);
+  EXPECT_EQ(parseOk(Json(small).dump()).asInt(), small);
+}
+
+TEST(JsonParse, DoubleBitExactRoundTrip) {
+  const double v = 121.39868077059668;
+  EXPECT_EQ(parseOk(Json(v).dump()).asDouble(), v);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\\"b\\\\c\\nd\\u0041\"").asString(), "a\"b\\c\ndA");
+  // Escaped control characters written by jsonEscape come back bit-equal.
+  const std::string original(1, '\x01');
+  EXPECT_EQ(parseOk(Json(original).dump()).asString(), original);
+  // Surrogate pair -> one UTF-8 code point.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, ContainersAndLookup) {
+  const Json doc = parseOk(R"({"a": [1, 2.5, "x"], "b": {"nested": true}})");
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.size(), 2u);
+  const Json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->isArray());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(0).asInt(), 1);
+  EXPECT_EQ(a->at(1).asDouble(), 2.5);
+  EXPECT_EQ(a->at(2).asString(), "x");
+  const Json* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->find("nested"), nullptr);
+  EXPECT_TRUE(b->find("nested")->asBool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, DumpParseRoundTripOfBenchLikeDocument) {
+  Json doc = Json::object();
+  doc["schema"] = "rapt-bench-v1";
+  doc["count"] = std::int64_t{211};
+  doc["mean"] = 8.598765432109876;
+  doc["flags"] = Json::array();
+  doc["flags"].push(true);
+  doc["flags"].push(Json());
+  doc["nested"] = Json::object();
+  doc["nested"]["empty"] = Json::array();
+  for (const std::string& text : {doc.dump(), doc.dumpCompact()}) {
+    const Json back = parseOk(text);
+    EXPECT_EQ(back.dump(), doc.dump());
+  }
+}
+
+TEST(JsonParse, CompactDumpIsSingleLine) {
+  Json doc = Json::object();
+  doc["a"] = 1;
+  doc["b"] = Json::array();
+  doc["b"].push("two");
+  EXPECT_EQ(doc.dumpCompact(), R"({"a":1,"b":["two"]})");
+  EXPECT_EQ(doc.dumpCompact().find('\n'), std::string::npos);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  expectParseFails("");
+  expectParseFails("{");
+  expectParseFails("[1,");
+  expectParseFails("{\"a\" 1}");
+  expectParseFails("{\"a\": 1,}");
+  expectParseFails("nul");
+  expectParseFails("1 2");            // trailing garbage
+  expectParseFails("\"unterminated");
+  expectParseFails("01a");
+  expectParseFails("1.");
+  expectParseFails("[\"\\q\"]");      // bad escape
+  expectParseFails(std::string(300, '[') + std::string(300, ']'));  // depth guard
+}
+
+TEST(JsonParse, ToleratesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(parseOk("  \t\r\n 5 \n").asInt(), 5);
+  expectParseFails("5 x");
+}
+
 }  // namespace
 }  // namespace rapt

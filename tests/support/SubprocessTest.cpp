@@ -1,0 +1,131 @@
+#include "support/Subprocess.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <string>
+
+namespace rapt {
+namespace {
+
+SubprocessSpec shellSpec(const std::string& script) {
+  SubprocessSpec spec;
+  spec.argv = {"/bin/sh", "-c", script};
+  return spec;
+}
+
+TEST(SubprocessRun, CapturesStdoutAndCleanExit) {
+  const SubprocessResult r = runSubprocess(shellSpec("printf 'hello'"));
+  EXPECT_TRUE(r.exitedCleanly());
+  EXPECT_EQ(r.out, "hello");
+  EXPECT_EQ(r.signal, 0);
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_FALSE(r.spawnFailed);
+  EXPECT_FALSE(r.timedOut);
+}
+
+TEST(SubprocessRun, ReportsNonZeroExitCode) {
+  const SubprocessResult r = runSubprocess(shellSpec("exit 42"));
+  EXPECT_FALSE(r.exitedCleanly());
+  EXPECT_EQ(r.exitCode, 42);
+  EXPECT_EQ(r.signal, 0);
+}
+
+TEST(SubprocessRun, FeedsStdinThroughToChild) {
+  SubprocessSpec spec;
+  spec.argv = {"/bin/cat"};
+  spec.stdinData = "line one\nline two\n";
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.exitedCleanly());
+  EXPECT_EQ(r.out, spec.stdinData);
+}
+
+TEST(SubprocessRun, LargeStdinSurvivesPipeBackpressure) {
+  // Bigger than any kernel pipe buffer: exercises the nonblocking
+  // write/read interleave rather than a single atomic write.
+  SubprocessSpec spec;
+  spec.argv = {"/bin/cat"};
+  spec.stdinData.assign(4 * 1024 * 1024, 'x');
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.exitedCleanly());
+  EXPECT_EQ(r.out.size(), spec.stdinData.size());
+}
+
+TEST(SubprocessRun, ReportsTerminatingSignal) {
+  const SubprocessResult r = runSubprocess(shellSpec("kill -SEGV $$"));
+  EXPECT_FALSE(r.exitedCleanly());
+  EXPECT_EQ(r.signal, SIGSEGV);
+  EXPECT_FALSE(r.timedOut);
+}
+
+TEST(SubprocessRun, WatchdogKillsAHungChild) {
+  SubprocessSpec spec = shellSpec("sleep 30");
+  spec.limits.wallTimeoutMs = 200;
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.timedOut);
+  EXPECT_EQ(r.signal, SIGKILL);
+}
+
+TEST(SubprocessRun, CpuLimitBacksUpTheWatchdog) {
+  // A pure spin burns CPU == wall, so RLIMIT_CPU=1s ends it with SIGXCPU (or
+  // SIGKILL at the hard limit) even with a generous wall deadline.
+  SubprocessSpec spec = shellSpec("while :; do :; done");
+  spec.limits.cpuSeconds = 1;
+  spec.limits.wallTimeoutMs = 30'000;
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_FALSE(r.timedOut);
+  EXPECT_TRUE(r.signal == SIGXCPU || r.signal == SIGKILL) << r.signal;
+}
+
+TEST(SubprocessRun, ExecFailureIsARetryableSpawnFailure) {
+  SubprocessSpec spec;
+  spec.argv = {"/nonexistent/rapt-no-such-binary"};
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.spawnFailed);
+  EXPECT_NE(r.spawnError.find("exec failed"), std::string::npos) << r.spawnError;
+}
+
+TEST(SubprocessRun, StderrIsCapturedAndRedacted) {
+  // \xff and \x01 are transport-redacted to '.'; \n survives.
+  const SubprocessResult r =
+      runSubprocess(shellSpec("printf 'bad\\001byte\\nok' >&2"));
+  EXPECT_TRUE(r.exitedCleanly());
+  EXPECT_EQ(r.err, "bad.byte\nok");
+}
+
+TEST(SubprocessRun, StderrKeepsOnlyTheTail) {
+  SubprocessSpec spec =
+      shellSpec("i=0; while [ $i -lt 2000 ]; do echo \"line $i\" >&2; i=$((i+1)); done");
+  spec.maxStderrBytes = 512;
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.exitedCleanly());
+  EXPECT_TRUE(r.stderrTruncated);
+  EXPECT_LE(r.err.size(), 512u);
+  // The tail (the interesting end of a crash log) is what survives.
+  EXPECT_NE(r.err.find("line 1999"), std::string::npos) << r.err;
+  EXPECT_EQ(r.err.find("line 0\n"), std::string::npos);
+}
+
+TEST(SubprocessRun, StdoutIsTruncatedAtTheCap) {
+  SubprocessSpec spec = shellSpec("head -c 100000 /dev/zero | tr '\\0' 'a'");
+  spec.maxStdoutBytes = 1024;
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.stdoutTruncated);
+  EXPECT_EQ(r.out.size(), 1024u);
+}
+
+TEST(SubprocessRun, ExtraEnvReachesTheChild) {
+  SubprocessSpec spec = shellSpec("printf '%s' \"$RAPT_TEST_MARKER\"");
+  spec.extraEnv = {"RAPT_TEST_MARKER=visible"};
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.exitedCleanly());
+  EXPECT_EQ(r.out, "visible");
+}
+
+TEST(SubprocessRun, RedactionKeepsPrintablesAndNewlines) {
+  EXPECT_EQ(redactForTransport("plain text\twith\ntabs"), "plain text\twith\ntabs");
+  EXPECT_EQ(redactForTransport(std::string("\x01\x7f\xff", 3)), "...");
+}
+
+}  // namespace
+}  // namespace rapt

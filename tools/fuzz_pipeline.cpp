@@ -25,15 +25,23 @@
 // failures on runs where a fault actually fired are correct detections;
 // on fault-free runs they are real bugs and are minimized as usual.
 //
-// Usage:
-//   fuzz_pipeline [--loops N] [--seed S] [--configs 2e,2c,4e,4c,8e,8c|all]
-//                 [--min-ops N] [--max-ops N] [--trip N] [--fault-rate P]
-//                 [--small-banks] [--unit-lat] [--out DIR] [--quiet]
+// PROCESS CAMPAIGN (--process-faults, requires --isolation subprocess):
+// FaultInjector additionally draws LETHAL faults — abort, segfault, alloc
+// bomb, spin hang — that kill the worker outright. The oracle extends
+// process-grade: every such death must come back as its taxonomy class
+// (Crash / OutOfMemory / HardTimeout) with the fuzzer itself surviving to
+// finish the campaign. A process-grade row WITHOUT --process-faults armed is
+// a real supervisor or pipeline bug (Crash) or an honest capacity give-up
+// (OutOfMemory / HardTimeout under a tight --timeout-ms / --memory-mb).
 //
-// Exit status: 0 when no run tripped an oracle, 1 otherwise. Capacity
-// give-ups (not enough registers / no schedule within the II limit / work
-// budget) are legitimate on stressed configurations and are counted but
-// never fail.
+// The run journals every completed (loop, config) verdict to
+// <out>/FUZZ_JOURNAL_s<seed>.jsonl (fsync'd; support/Journal.h). An
+// interrupted campaign keeps the journal and --resume replays the recorded
+// verdicts — counters restore, finished pairs are not recompiled — before
+// fuzzing the remainder. A clean completion deletes the journal.
+//
+// Exit status: 0 when no run tripped an oracle, 1 otherwise, 2 on usage
+// errors, 128+signal when interrupted (rerun with --resume).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,7 +51,11 @@
 
 #include "analysis/Linter.h"
 #include "ir/Printer.h"
-#include "pipeline/CompilerPipeline.h"
+#include "pipeline/Suite.h"
+#include "support/ArgParser.h"
+#include "support/Interrupt.h"
+#include "support/Journal.h"
+#include "support/ThreadPool.h"
 #include "workload/LoopGenerator.h"
 
 namespace {
@@ -67,41 +79,69 @@ struct Options {
   bool unitLat = false;
   std::string outDir = ".";
   bool quiet = false;
+  // Suite-level supervision knobs (shared CLI surface; docs/robustness.md).
+  int jobs = 1;  ///< parallel config compiles per loop (0 = hardware)
+  SuiteIsolation isolation = SuiteIsolation::InProcess;
+  std::int64_t timeoutMs = 120'000;
+  std::int64_t memoryMb = 0;
+  std::string worker;
+  bool resume = false;
+  bool processFaults = false;
 };
-
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--loops N] [--seed S] [--configs 2e,2c,4e,4c,8e,8c|all]\n"
-               "          [--min-ops N] [--max-ops N] [--trip N] [--fault-rate P]\n"
-               "          [--small-banks] [--unit-lat] [--out DIR] [--quiet]\n",
-               argv0);
-  std::exit(2);
-}
 
 Options parseArgs(int argc, char** argv) {
   Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (a == "--loops") o.loops = std::atoi(next());
-    else if (a == "--seed") o.seed = std::strtoull(next(), nullptr, 0);
-    else if (a == "--configs") o.configs = next();
-    else if (a == "--min-ops") o.minOps = std::atoi(next());
-    else if (a == "--max-ops") o.maxOps = std::atoi(next());
-    else if (a == "--trip") o.trip = std::atoll(next());
-    else if (a == "--fault-rate") o.faultRate = std::atoi(next());
-    else if (a == "--small-banks") o.smallBanks = true;
-    else if (a == "--unit-lat") o.unitLat = true;
-    else if (a == "--out") o.outDir = next();
-    else if (a == "--quiet") o.quiet = true;
-    else usage(argv[0]);
-  }
+  std::string isolationToken = suiteIsolationName(o.isolation);
+  ArgParser args("fuzz_pipeline",
+                 "differential pipeline fuzzer with fault campaigns "
+                 "(docs/verification.md, docs/robustness.md)");
+  args.addInt("loops", &o.loops, "generated loops per campaign");
+  args.addUint64("seed", &o.seed, "generator and fault seed base");
+  args.addString("configs", &o.configs,
+                 "machine tokens from 2e,2c,4e,4c,8e,8c — or 'all'");
+  args.addInt("min-ops", &o.minOps, "minimum body size of generated loops");
+  args.addInt("max-ops", &o.maxOps, "maximum body size of generated loops");
+  args.addInt64("trip", &o.trip, "simulated trip count per loop");
+  args.addInt("fault-rate", &o.faultRate,
+              "percent chance of an injected fault per stage (0 = off)");
+  args.addFlag("small-banks", &o.smallBanks, "also fuzz 16-register banks");
+  args.addFlag("unit-lat", &o.unitLat, "also fuzz unit-latency machines");
+  args.addString("out", &o.outDir,
+                 "directory for minimized regressions and the run journal");
+  args.addFlag("quiet", &o.quiet, "suppress per-run give-up/detection lines");
+  args.addInt("jobs", &o.jobs,
+              "parallel compilations across configs (0 = all hardware threads)");
+  args.addString("isolation", &isolationToken,
+                 "run each compile inprocess | subprocess (supervised worker)");
+  args.addInt64("timeout-ms", &o.timeoutMs,
+                "per-compile wall watchdog under subprocess isolation");
+  args.addInt64("memory-mb", &o.memoryMb,
+                "per-compile RLIMIT_AS in MiB under subprocess isolation "
+                "(0 = unlimited; keep 0 under ASan)");
+  args.addString("worker", &o.worker, "rapt-worker binary path override");
+  args.addFlag("resume", &o.resume,
+               "replay verdicts journaled by an interrupted run");
+  args.addFlag("process-faults", &o.processFaults,
+               "arm LETHAL process-grade faults (abort/segfault/alloc bomb/"
+               "spin hang); requires --isolation subprocess and --fault-rate");
+  if (!args.parse(argc, argv)) std::exit(args.helpRequested() ? 0 : 2);
+
+  auto fail = [&](const char* message) {
+    std::fprintf(stderr, "fuzz_pipeline: %s\n", message);
+    args.printUsage(stderr);
+    std::exit(2);
+  };
+  if (!parseSuiteIsolation(isolationToken, o.isolation))
+    fail("--isolation takes 'inprocess' or 'subprocess'");
   if (o.loops <= 0 || o.minOps < 1 || o.maxOps < o.minOps || o.trip < 1 ||
-      o.faultRate < 0 || o.faultRate > 100)
-    usage(argv[0]);
+      o.faultRate < 0 || o.faultRate > 100 || o.jobs < 0 || o.timeoutMs < 0 ||
+      o.memoryMb < 0)
+    fail("bad numeric argument");
+  if (o.processFaults && o.isolation != SuiteIsolation::Subprocess)
+    fail("--process-faults would kill this process without "
+         "--isolation subprocess");
+  if (o.processFaults && o.faultRate == 0)
+    fail("--process-faults needs --fault-rate > 0 to ever fire");
   return o;
 }
 
@@ -152,7 +192,20 @@ PipelineOptions pipelineOptions(const Options& o) {
   opt.verify = true;    // independent schedule/partition oracles
   opt.simTrip = o.trip;
   opt.fault.ratePercent = o.faultRate;  // 0 = campaign off
+  opt.fault.processFaults = o.processFaults;
+  opt.isolation = o.isolation;
+  opt.workerPath = o.worker;
+  opt.workerTimeoutMs = o.timeoutMs;
+  opt.workerMemoryBytes = o.memoryMb * 1024 * 1024;
   return opt;
+}
+
+/// One supervised or in-process compile, per the --isolation flag.
+LoopResult runOne(const Loop& loop, const MachineDesc& machine,
+                  const PipelineOptions& opt) {
+  if (opt.isolation == SuiteIsolation::Subprocess)
+    return compileLoopInSubprocess(loop, machine, opt);
+  return compileLoop(loop, machine, opt);
 }
 
 /// The minimizer must preserve the KIND of failure, not the exact message
@@ -206,12 +259,95 @@ std::string writeRegression(const Loop& loop, const Options& o, int index,
   return path;
 }
 
+// ---- campaign accounting + the resumable verdict journal -------------------
+
+/// One verdict per (loop, config) run; the journal rows restore these
+/// counters on --resume without recompiling.
+struct Tally {
+  int runs = 0;
+  int failures = 0;
+  int capacityGiveUps = 0;
+  int faultRecovered = 0;   ///< faults fired, yet compiled + validated
+  int faultDetected = 0;    ///< faults fired and surfaced as a classified failure
+  int processDetected = 0;  ///< lethal faults that came back as their class
+
+  void count(const std::string& verdict) {
+    ++runs;
+    if (verdict == "fail") ++failures;
+    else if (verdict == "giveup") ++capacityGiveUps;
+    else if (verdict == "recovered") ++faultRecovered;
+    else if (verdict == "detected") ++faultDetected;
+    else if (verdict == "processDetected") ++processDetected;
+    // "ok" adds only the run.
+  }
+};
+
+[[nodiscard]] Json fuzzJournalHeader(const Options& o) {
+  // Everything that changes VERDICTS; supervision knobs (jobs, isolation,
+  // worker limits) are excluded like the suite's config hash is.
+  Json h = Json::object();
+  char seedHex[17];
+  std::snprintf(seedHex, sizeof seedHex, "%016llx",
+                static_cast<unsigned long long>(o.seed));
+  h["tool"] = "fuzz_pipeline";
+  h["seed"] = std::string(seedHex);
+  h["loops"] = o.loops;
+  h["configs"] = o.configs;
+  h["minOps"] = o.minOps;
+  h["maxOps"] = o.maxOps;
+  h["trip"] = o.trip;
+  h["faultRate"] = o.faultRate;
+  h["processFaults"] = o.processFaults;
+  h["smallBanks"] = o.smallBanks;
+  h["unitLat"] = o.unitLat;
+  return h;
+}
+
+/// Loads a --resume journal: restores the tally and marks finished pairs in
+/// `done` (indexed loop * numConfigs + config). Returns false (fresh start)
+/// when the journal is missing, corrupt, or from a different campaign.
+bool replayJournal(const std::string& path, const Options& o, int numConfigs,
+                   std::vector<unsigned char>& done, Tally& tally) {
+  const JournalContents prior = loadJournal(path);
+  if (!prior.valid) return false;
+  const Json expected = fuzzJournalHeader(o);
+  for (const std::string& key :
+       {"tool", "seed", "loops", "configs", "minOps", "maxOps", "trip",
+        "faultRate", "processFaults", "smallBanks", "unitLat"}) {
+    const Json* have = prior.header.find(key);
+    const Json* want = expected.find(key);
+    if (have == nullptr || want == nullptr ||
+        have->dumpCompact() != want->dumpCompact())
+      return false;
+  }
+  for (const Json& row : prior.rows) {
+    const Json* loop = row.find("loop");
+    const Json* config = row.find("config");
+    const Json* verdict = row.find("verdict");
+    if (loop == nullptr || !loop->isInt() || config == nullptr ||
+        !config->isInt() || verdict == nullptr || !verdict->isString())
+      continue;
+    const std::int64_t i = loop->asInt();
+    const std::int64_t c = config->asInt();
+    if (i < 0 || i >= o.loops || c < 0 || c >= numConfigs) continue;
+    const std::size_t slot =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(numConfigs) +
+        static_cast<std::size_t>(c);
+    if (done[slot] != 0) continue;
+    done[slot] = 1;
+    tally.count(verdict->asString());
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parseArgs(argc, argv);
   const std::vector<FuzzConfig> configs = buildConfigs(o);
+  const int numConfigs = static_cast<int>(configs.size());
   PipelineOptions opt = pipelineOptions(o);
+  const InterruptGuard winddown;  // SIGINT/SIGTERM: finish the row, keep journal
 
   GeneratorParams params;
   params.seed = o.seed;
@@ -220,13 +356,35 @@ int main(int argc, char** argv) {
   params.maxOps = o.maxOps;
   params.trip = o.trip;
 
-  int runs = 0;
-  int failures = 0;
-  int capacityGiveUps = 0;
-  int faultRecovered = 0;  ///< faults fired, yet the loop compiled + validated
-  int faultDetected = 0;   ///< faults fired and surfaced as a classified failure
+  const std::string journalPath =
+      o.outDir + "/FUZZ_JOURNAL_s" + std::to_string(o.seed) + ".jsonl";
+  std::vector<unsigned char> done(
+      static_cast<std::size_t>(o.loops) * static_cast<std::size_t>(numConfigs), 0);
+  Tally tally;
+  JournalWriter journal;
+  bool resumed = false;
+  if (o.resume) resumed = replayJournal(journalPath, o, numConfigs, done, tally);
+  const bool journaling = resumed ? journal.openAppend(journalPath)
+                                  : journal.create(journalPath, fuzzJournalHeader(o));
+  if (resumed)
+    std::printf("resumed %d journaled runs from %s\n", tally.runs,
+                journalPath.c_str());
+
+  auto record = [&](int i, int c, const char* verdict) {
+    tally.count(verdict);
+    done[static_cast<std::size_t>(i) * static_cast<std::size_t>(numConfigs) +
+         static_cast<std::size_t>(c)] = 1;
+    if (!journaling) return;
+    Json row = Json::object();
+    row["kind"] = "row";
+    row["loop"] = i;
+    row["config"] = c;
+    row["verdict"] = verdict;
+    journal.append(row);
+  };
+
   std::vector<std::string> written;
-  for (int i = 0; i < o.loops; ++i) {
+  for (int i = 0; i < o.loops && !interruptRequested(); ++i) {
     Loop loop = generateLoop(params, i);
     // One fault stream per loop index: --loops 500 --fault-rate P is a
     // 500-seed campaign over a fixed, reproducible seed range.
@@ -239,35 +397,82 @@ int main(int argc, char** argv) {
     // with a malformed-IR class error.
     const AnalysisReport gate = analyzeLoop(loop);
     if (gate.errorCount() > 0) {
-      ++failures;
+      ++tally.failures;
       std::printf("FAIL loop %d (%s): static gate rejected a generated loop: %s\n", i,
                   loop.name.c_str(), gate.firstError().c_str());
       continue;
     }
 
-    for (const FuzzConfig& cfg : configs) {
-      ++runs;
-      const LoopResult r = compileLoop(loop, cfg.machine, opt);
+    // Compile every pending config in parallel (slots, deterministic order),
+    // then judge serially in config order so output and minimization are
+    // identical whatever --jobs is.
+    std::vector<LoopResult> results(configs.size());
+    std::vector<unsigned char> ran(configs.size(), 0);
+    const int jobs = o.jobs == 0 ? ThreadPool::hardwareThreads() : o.jobs;
+    parallelFor(numConfigs, std::max(1, jobs), [&](int c) {
+      const std::size_t slot =
+          static_cast<std::size_t>(i) * static_cast<std::size_t>(numConfigs) +
+          static_cast<std::size_t>(c);
+      if (done[slot] != 0 || interruptRequested()) return;
+      results[static_cast<std::size_t>(c)] =
+          runOne(loop, configs[static_cast<std::size_t>(c)].machine, opt);
+      ran[static_cast<std::size_t>(c)] = 1;
+    });
+
+    for (int c = 0; c < numConfigs; ++c) {
+      if (ran[static_cast<std::size_t>(c)] == 0) continue;  // resumed or interrupted
+      const FuzzConfig& cfg = configs[static_cast<std::size_t>(c)];
+      const LoopResult& r = results[static_cast<std::size_t>(c)];
       const bool faulted = r.trace.faultsInjected > 0;
       if (r.ok) {
         // Campaign oracle, part 1: "ok" must mean PROVEN ok. With the
         // differential check on, an ok result that skipped validation would
         // be exactly the silent wrong answer fault injection exists to find.
         if (opt.simulate && !r.validated) {
-          ++failures;
           std::printf("FAIL loop %d (%s) on %s: ok without validation%s\n", i,
                       loop.name.c_str(), cfg.machine.name.c_str(),
                       faulted ? " (fault injected)" : "");
+          record(i, c, "fail");
           continue;
         }
-        if (faulted) ++faultRecovered;
+        record(i, c, faulted ? "recovered" : "ok");
         continue;
       }
       // Campaign oracle, part 2: every failure carries a specific class.
       if (r.failureClass == FailureClass::None) {
-        ++failures;
         std::printf("FAIL loop %d (%s) on %s: unclassified failure: %s\n", i,
                     loop.name.c_str(), cfg.machine.name.c_str(), r.error.c_str());
+        record(i, c, "fail");
+        continue;
+      }
+      // Process-grade rows. A dead worker returns no trace, so the verdict
+      // keys off the armed campaign: with --process-faults the injector is
+      // the only source of these deaths and each one coming back AS ITS
+      // CLASS is the oracle holding; without it a Crash is a real bug, and
+      // OutOfMemory / HardTimeout are honest capacity give-ups under the
+      // configured caps.
+      if (r.failureClass == FailureClass::Crash) {
+        if (o.processFaults) {
+          if (!o.quiet)
+            std::printf("contained loop %d (%s) on %s [crash]: %s\n", i,
+                        loop.name.c_str(), cfg.machine.name.c_str(), r.error.c_str());
+          record(i, c, "processDetected");
+        } else {
+          // Minimizing would re-run the crash inside THIS process; report
+          // un-minimized instead.
+          std::printf("FAIL loop %d (%s) on %s [crash]: %s\n", i, loop.name.c_str(),
+                      cfg.machine.name.c_str(), r.error.c_str());
+          record(i, c, "fail");
+        }
+        continue;
+      }
+      if (o.processFaults && (r.failureClass == FailureClass::OutOfMemory ||
+                              r.failureClass == FailureClass::HardTimeout)) {
+        if (!o.quiet)
+          std::printf("contained loop %d (%s) on %s [%s]: %s\n", i,
+                      loop.name.c_str(), cfg.machine.name.c_str(),
+                      failureClassName(r.failureClass), r.error.c_str());
+        record(i, c, "processDetected");
         continue;
       }
       // Gate-passing loops must never produce malformed-IR class failures
@@ -275,19 +480,19 @@ int main(int argc, char** argv) {
       // construction, so either class here means the gate missed something.
       if (r.failureClass == FailureClass::ParseError ||
           r.failureClass == FailureClass::GateRefusal) {
-        ++failures;
         std::printf("FAIL loop %d (%s) on %s: malformed IR past the static gate: %s\n",
                     i, loop.name.c_str(), cfg.machine.name.c_str(), r.error.c_str());
+        record(i, c, "fail");
         continue;
       }
       if (isCapacityClass(r.failureClass)) {
         if (faulted) {
-          ++faultDetected;  // an injected StageFail surfacing as capacity
+          record(i, c, "detected");  // an injected StageFail surfacing as capacity
         } else {
-          ++capacityGiveUps;
           if (!o.quiet)
             std::printf("give-up loop %d (%s) on %s: %s\n", i, loop.name.c_str(),
                         cfg.machine.name.c_str(), r.error.c_str());
+          record(i, c, "giveup");
         }
         continue;
       }
@@ -295,17 +500,17 @@ int main(int argc, char** argv) {
       // WORKING — the corruption/throw was caught and classified. Without a
       // fired fault it is a real pipeline bug: minimize and write it out.
       if (faulted) {
-        ++faultDetected;
         if (!o.quiet)
           std::printf("detected loop %d (%s) on %s [%s]: %s\n", i, loop.name.c_str(),
                       cfg.machine.name.c_str(), failureClassName(r.failureClass),
                       r.error.c_str());
+        record(i, c, "detected");
         continue;
       }
-      ++failures;
       std::printf("FAIL loop %d (%s) on %s [%s]: %s\n", i, loop.name.c_str(),
                   cfg.machine.name.c_str(), failureClassName(r.failureClass),
                   r.error.c_str());
+      record(i, c, "fail");
       // Minimize WITHOUT fault injection: the bug reproduced with zero
       // faults fired, and arming the injector on shrunken candidates could
       // perturb the failure class the minimizer must preserve.
@@ -319,19 +524,35 @@ int main(int argc, char** argv) {
       std::printf("     minimized to %d ops -> %s\n", minimized.size(), path.c_str());
     }
     if (!o.quiet && (i + 1) % 50 == 0)
-      std::printf("... %d/%d loops, %d runs, %d failures\n", i + 1, o.loops, runs,
-                  failures);
+      std::printf("... %d/%d loops, %d runs, %d failures\n", i + 1, o.loops,
+                  tally.runs, tally.failures);
   }
 
+  journal.close();
+  const bool interrupted = interruptRequested();
+
   std::printf(
-      "fuzz_pipeline: %d loops x %zu configs = %d runs, %d failures, "
-      "%d capacity give-ups\n",
-      o.loops, configs.size(), runs, failures, capacityGiveUps);
+      "fuzz_pipeline: %d loops x %d configs = %d runs, %d failures, "
+      "%d capacity give-ups%s\n",
+      o.loops, numConfigs, tally.runs, tally.failures, tally.capacityGiveUps,
+      interrupted ? " (INTERRUPTED)" : "");
   if (o.faultRate > 0)
     std::printf("fault campaign: rate %d%%, %d recovered, %d detected, %s\n",
-                o.faultRate, faultRecovered, faultDetected,
-                failures == 0 ? "oracle held (no silent wrong answers)"
-                              : "ORACLE VIOLATED (see FAIL lines above)");
+                o.faultRate, tally.faultRecovered, tally.faultDetected,
+                tally.failures == 0 ? "oracle held (no silent wrong answers)"
+                                    : "ORACLE VIOLATED (see FAIL lines above)");
+  if (o.processFaults)
+    std::printf(
+        "process campaign: %d lethal faults contained as Crash/OutOfMemory/"
+        "HardTimeout rows; the fuzzer survived every one\n",
+        tally.processDetected);
   for (const std::string& p : written) std::printf("  regression: %s\n", p.c_str());
-  return failures == 0 ? 0 : 1;
+
+  if (interrupted) {
+    std::printf("journal kept: rerun with --resume to finish (%s)\n",
+                journalPath.c_str());
+    return 128 + interruptSignal();
+  }
+  std::remove(journalPath.c_str());
+  return tally.failures == 0 ? 0 : 1;
 }

@@ -1,12 +1,18 @@
 // rapt-lint: static diagnostics for .loop / .rapt / function files.
 //
 // Runs the src/analysis linter (docs/analysis.md) over each input file and
-// prints one line per diagnostic, or a JSON document with --json. Exit codes:
+// prints one line per diagnostic, or a JSON document with --json. Files lint
+// independently, so --jobs fans them out across a thread pool; results are
+// collected into per-file slots and printed in argument order, so output is
+// byte-identical whatever the job count. Linting is a pure in-process
+// analysis (no compilation, no subprocess supervision), so the suite-level
+// --isolation/--timeout-ms/--resume flags of fuzz_pipeline and the bench
+// binaries do not apply here.
+//
+// Exit codes:
 //   0  clean (warnings allowed unless --werror)
 //   1  at least one error diagnostic (or any warning with --werror)
 //   2  usage / unreadable input
-//
-// Usage: rapt-lint [--json] [--werror] [--quiet] file...
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -14,61 +20,62 @@
 #include <vector>
 
 #include "analysis/LintDriver.h"
-
-namespace {
-
-int usage() {
-  std::cerr << "usage: rapt-lint [--json] [--werror] [--quiet] file...\n"
-               "  --json    emit a machine-readable diagnostic document\n"
-               "  --werror  treat warnings as errors (exit 1)\n"
-               "  --quiet   suppress per-diagnostic output; exit code only\n";
-  return 2;
-}
-
-}  // namespace
+#include "support/ArgParser.h"
+#include "support/ThreadPool.h"
 
 int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
   bool quiet = false;
-  std::vector<std::string> files;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-    } else if (arg == "--werror") {
-      werror = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage();
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "rapt-lint: unknown option '" << arg << "'\n";
-      return usage();
-    } else {
-      files.push_back(arg);
-    }
+  int jobs = 1;
+  rapt::ArgParser args("rapt-lint",
+                       "static diagnostics for .loop / .rapt files "
+                       "(docs/analysis.md)");
+  args.addFlag("json", &json, "emit a machine-readable diagnostic document");
+  args.addFlag("werror", &werror, "treat warnings as errors (exit 1)");
+  args.addFlag("quiet", &quiet, "suppress per-diagnostic output; exit code only");
+  args.addInt("jobs", &jobs,
+              "lint files in parallel (0 = all hardware threads)");
+  args.allowPositionals("FILE...");
+  if (!args.parse(argc, argv)) return args.helpRequested() ? 0 : 2;
+  const std::vector<std::string>& files = args.positionals();
+  if (files.empty() || jobs < 0) {
+    std::fprintf(stderr, "rapt-lint: expected at least one input file\n");
+    args.printUsage(stderr);
+    return 2;
   }
-  if (files.empty()) return usage();
 
-  std::vector<rapt::LintFileResult> results;
-  results.reserve(files.size());
-  int errors = 0;
-  int warnings = 0;
-  for (const std::string& path : files) {
+  // Slot-per-file so diagnostics print in argument order regardless of which
+  // worker finished first (the same pre-sized-slots discipline runSuite uses
+  // for bit-identical aggregation).
+  const int n = static_cast<int>(files.size());
+  std::vector<rapt::LintFileResult> results(files.size());
+  std::vector<unsigned char> unreadable(files.size(), 0);
+  const int threads = jobs == 0 ? rapt::ThreadPool::hardwareThreads() : jobs;
+  rapt::parallelFor(n, std::max(1, threads), [&](int i) {
+    const std::string& path = files[static_cast<std::size_t>(i)];
     std::ifstream in(path);
     if (!in) {
-      std::cerr << "rapt-lint: cannot read '" << path << "'\n";
-      return 2;
+      unreadable[static_cast<std::size_t>(i)] = 1;
+      return;
     }
     std::ostringstream text;
     text << in.rdbuf();
-    rapt::LintFileResult r = rapt::lintSource(path, text.str());
+    results[static_cast<std::size_t>(i)] = rapt::lintSource(path, text.str());
+  });
+
+  int errors = 0;
+  int warnings = 0;
+  for (int i = 0; i < n; ++i) {
+    if (unreadable[static_cast<std::size_t>(i)] != 0) {
+      std::cerr << "rapt-lint: cannot read '"
+                << files[static_cast<std::size_t>(i)] << "'\n";
+      return 2;
+    }
+    const rapt::LintFileResult& r = results[static_cast<std::size_t>(i)];
     errors += r.errors;
     warnings += r.warnings;
     if (!json && !quiet) std::cout << rapt::lintText(r);
-    results.push_back(std::move(r));
   }
 
   if (json) {

@@ -1,0 +1,112 @@
+// The per-loop compilation worker of subprocess-isolated suite runs
+// (docs/robustness.md "Process isolation"; protocol in
+// src/pipeline/WorkerProtocol.h).
+//
+// One run = one job: read a job document from stdin (until EOF), run
+// compileLoop, write the result document to stdout, exit 0. Everything else
+// the supervisor needs travels out-of-band: a fatal signal IS the crash
+// report, exit kWorkerOomExit means the memory cap was hit (a new_handler
+// converts allocation failure into that exit, because a contained
+// std::bad_alloc would otherwise misclassify as InternalError), and silence
+// past the deadline means the watchdog kills us. Exit 3 = bad job (a
+// deterministic refusal the supervisor never retries); stderr carries the
+// detail either way.
+//
+// RAPT_WORKER_INJECT=<kind>[@<loopName>] fires a process-grade fault
+// (abort | segfault | allocBomb | spinHang | oomExit | garbage) before — or
+// instead of — compiling, optionally only for the named loop. Test-only: it
+// lets the supervisor tests provoke every fatal outcome without arming a
+// fault campaign.
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "pipeline/CompilerPipeline.h"
+#include "pipeline/WorkerProtocol.h"
+#include "support/FaultInjection.h"
+
+namespace {
+
+using namespace rapt;
+
+std::string readAllOfStdin() {
+  std::string data;
+  char buf[65536];
+  for (;;) {
+    const ssize_t got = ::read(STDIN_FILENO, buf, sizeof buf);
+    if (got > 0) {
+      data.append(buf, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      return data;
+    } else if (errno != EINTR) {
+      std::fprintf(stderr, "rapt-worker: stdin read failed: %s\n",
+                   std::strerror(errno));
+      std::exit(3);
+    }
+  }
+}
+
+/// Applies RAPT_WORKER_INJECT if it targets this loop. Never returns when a
+/// lethal kind fires; "garbage"/"oomExit" are handled inline.
+void maybeInjectTestFault(const std::string& loopName) {
+  const char* spec = std::getenv("RAPT_WORKER_INJECT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string kind = spec;
+  if (const std::size_t at = kind.find('@'); at != std::string::npos) {
+    if (kind.substr(at + 1) != loopName) return;
+    kind = kind.substr(0, at);
+  }
+  if (kind == "abort") fireProcessFault(ProcessFaultKind::Abort);
+  if (kind == "segfault") fireProcessFault(ProcessFaultKind::Segfault);
+  if (kind == "allocBomb") fireProcessFault(ProcessFaultKind::AllocBomb);
+  if (kind == "spinHang") fireProcessFault(ProcessFaultKind::SpinHang);
+  if (kind == "oomExit") ::_exit(kWorkerOomExit);
+  if (kind == "garbage") {
+    std::printf("this is not a protocol document\n");
+    std::fflush(stdout);
+    ::_exit(0);
+  }
+  std::fprintf(stderr, "rapt-worker: unknown RAPT_WORKER_INJECT kind '%s'\n",
+               kind.c_str());
+  std::exit(3);
+}
+
+}  // namespace
+
+int main() {
+  // Allocation failure (the RLIMIT_AS cap, or a genuine exhaustion) must NOT
+  // unwind into compileLoop's containment — the supervisor needs to see it
+  // as the reserved exit so it lands in the OutOfMemory class.
+  std::set_new_handler([] { ::_exit(kWorkerOomExit); });
+
+  const std::string input = readAllOfStdin();
+  Json doc;
+  std::string error;
+  if (!Json::parse(input, doc, error)) {
+    std::fprintf(stderr, "rapt-worker: job does not parse: %s\n", error.c_str());
+    return 3;
+  }
+  Loop loop;
+  MachineDesc machine;
+  PipelineOptions options;
+  if (!decodeWorkerJob(doc, loop, machine, options, error)) {
+    std::fprintf(stderr, "rapt-worker: bad job: %s\n", error.c_str());
+    return 3;
+  }
+
+  maybeInjectTestFault(loop.name);
+
+  const LoopResult result = compileLoop(loop, machine, options);
+  const std::string reply = encodeLoopResult(result).dumpCompact() + "\n";
+  if (std::fwrite(reply.data(), 1, reply.size(), stdout) != reply.size() ||
+      std::fflush(stdout) != 0) {
+    std::fprintf(stderr, "rapt-worker: reply write failed\n");
+    return 3;
+  }
+  return 0;
+}
