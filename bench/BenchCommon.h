@@ -18,6 +18,7 @@
 
 #include "pipeline/Suite.h"
 #include "support/ArgParser.h"
+#include "support/Durability.h"
 #include "support/Interrupt.h"
 #include "support/Json.h"
 #include "workload/LoopGenerator.h"
@@ -187,17 +188,14 @@ class BenchReport {
   /// A fully custom case (benches that do not run the loop suite).
   Json& addCase(Json c) { return doc_["cases"].push(std::move(c)); }
 
-  /// Writes BENCH_<name>.json ATOMICALLY (temp file + rename): an interrupt
-  /// or crash mid-write can never leave a torn report where a previous good
-  /// one stood. Prints the path so runs are self-describing.
+  /// Writes BENCH_<name>.json ATOMICALLY AND DURABLY (temp file fsync'd
+  /// before rename, parent dir fsync'd after — support/Durability.h): an
+  /// interrupt or crash mid-write can never leave a torn report where a
+  /// previous good one stood, and a crash right after cannot roll the new
+  /// report back to zero bytes. Prints the path so runs are self-describing.
   bool write() const {
     const std::string path = benchDir() + "BENCH_" + name_ + ".json";
-    const std::string tmp = path + ".tmp";
-    if (!doc_.writeFile(tmp)) return false;
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      std::remove(tmp.c_str());
-      return false;
-    }
+    if (!writeFileDurable(path, doc_.dump())) return false;
     std::printf("\nwrote %s\n", path.c_str());
     return true;
   }

@@ -191,6 +191,15 @@ struct LoopResult {
   /// crash survives in the suite result. Empty in-process and on clean rows.
   std::string workerStderr;
 
+  /// Compile-service provenance (docs/service.md): true when this result was
+  /// answered from rapt-served's content-addressed cache instead of a fresh
+  /// compile. Transport-level metadata, NOT part of the result itself: it is
+  /// deliberately excluded from encodeLoopResult, so a cached reply stays
+  /// bit-identical to its cold-compile counterpart on the wire, in journals,
+  /// and in every aggregate. Set only by the service client (service/Client.h)
+  /// from the response envelope.
+  bool servedFromCache = false;
+
   /// Per-stage wall times and counters (observability only: every field
   /// except the *Ns times is deterministic; the times vary run to run and
   /// never influence results).

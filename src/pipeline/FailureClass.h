@@ -43,10 +43,14 @@ enum class FailureClass : std::uint8_t {
   Crash,               ///< worker process died on a fatal signal (subprocess mode)
   OutOfMemory,         ///< worker exceeded its RLIMIT_AS memory cap
   HardTimeout,         ///< worker killed by the supervisor watchdog or RLIMIT_CPU
+  Overload,            ///< compile service rejected the job at admission: the
+                       ///< bounded queue was full (docs/service.md). A
+                       ///< capacity class — the client should back off and
+                       ///< retry; the loop itself is fine.
 };
 
 /// Number of enumerators (array-of-counters size for per-class aggregation).
-inline constexpr int kNumFailureClasses = 14;
+inline constexpr int kNumFailureClasses = 15;
 
 /// Stable machine-readable token, used as the BENCH_*.json key.
 [[nodiscard]] constexpr const char* failureClassName(FailureClass c) {
@@ -65,6 +69,7 @@ inline constexpr int kNumFailureClasses = 14;
     case FailureClass::Crash: return "crash";
     case FailureClass::OutOfMemory: return "outOfMemory";
     case FailureClass::HardTimeout: return "hardTimeout";
+    case FailureClass::Overload: return "overload";
   }
   return "invalid";
 }
@@ -75,7 +80,7 @@ inline constexpr int kNumFailureClasses = 14;
 [[nodiscard]] constexpr bool isCapacityClass(FailureClass c) {
   return c == FailureClass::SchedCapacity || c == FailureClass::AllocCapacity ||
          c == FailureClass::Timeout || c == FailureClass::OutOfMemory ||
-         c == FailureClass::HardTimeout;
+         c == FailureClass::HardTimeout || c == FailureClass::Overload;
 }
 
 /// Oracle trips and containment: never acceptable on a healthy run (they are

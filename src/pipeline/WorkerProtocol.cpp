@@ -460,6 +460,104 @@ bool decodeLoopResult(const Json& doc, LoopResult& out, std::string& error) {
   return true;
 }
 
+Json encodeServiceJobRequest(std::int64_t id, const Loop& loop,
+                             const MachineDesc& machine,
+                             const PipelineOptions& options) {
+  Json j = Json::object();
+  j["schema"] = kServiceSchema;
+  j["kind"] = "request";
+  j["id"] = id;
+  j["job"] = encodeWorkerJob(loop, machine, options);
+  return j;
+}
+
+Json encodeServiceStatsRequest(std::int64_t id) {
+  Json j = Json::object();
+  j["schema"] = kServiceSchema;
+  j["kind"] = "stats";
+  j["id"] = id;
+  return j;
+}
+
+bool decodeServiceRequest(const Json& doc, ServiceRequestKind& kind,
+                          std::int64_t& id, const Json*& job,
+                          std::string& error) {
+  Reader r(doc, error);
+  std::string schema, kindToken;
+  r.s("schema", schema);
+  r.s("kind", kindToken);
+  r.i64("id", id);
+  if (r.failed()) return false;
+  if (schema != kServiceSchema) {
+    error = "service request schema mismatch: " + schema;
+    return false;
+  }
+  job = nullptr;
+  if (kindToken == "request") {
+    kind = ServiceRequestKind::Job;
+    job = r.obj("job");
+    return job != nullptr;
+  }
+  if (kindToken == "stats") {
+    kind = ServiceRequestKind::Stats;
+    return true;
+  }
+  error = "unknown service request kind: " + kindToken;
+  return false;
+}
+
+Json encodeServiceResponse(std::int64_t id, bool cacheHit, std::int64_t queueNs,
+                           std::int64_t serviceNs, Json resultDoc) {
+  Json j = Json::object();
+  j["schema"] = kServiceSchema;
+  j["kind"] = "response";
+  j["id"] = id;
+  j["cacheHit"] = cacheHit;
+  j["queueNs"] = queueNs;
+  j["serviceNs"] = serviceNs;
+  j["result"] = std::move(resultDoc);
+  return j;
+}
+
+Json encodeServiceStatsResponse(std::int64_t id, Json stats) {
+  Json j = Json::object();
+  j["schema"] = kServiceSchema;
+  j["kind"] = "stats";
+  j["id"] = id;
+  j["stats"] = std::move(stats);
+  return j;
+}
+
+bool decodeServiceResponse(const Json& doc, std::int64_t& id, bool& cacheHit,
+                           std::int64_t& queueNs, std::int64_t& serviceNs,
+                           const Json*& payload, std::string& error) {
+  Reader r(doc, error);
+  std::string schema, kindToken;
+  r.s("schema", schema);
+  r.s("kind", kindToken);
+  r.i64("id", id);
+  if (r.failed()) return false;
+  if (schema != kServiceSchema) {
+    error = "service response schema mismatch: " + schema;
+    return false;
+  }
+  if (kindToken == "stats") {
+    cacheHit = false;
+    queueNs = serviceNs = 0;
+    payload = r.obj("stats");
+    return payload != nullptr;
+  }
+  if (kindToken != "response") {
+    error = "unknown service response kind: " + kindToken;
+    return false;
+  }
+  r.b("cacheHit", cacheHit);
+  r.i64("queueNs", queueNs);
+  r.i64("serviceNs", serviceNs);
+  payload = r.obj("result");
+  return payload != nullptr && !r.failed();
+}
+
 std::uint64_t suiteConfigHash(const MachineDesc& machine,
                               const PipelineOptions& options) {
   Json j = Json::object();

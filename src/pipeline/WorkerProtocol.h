@@ -53,6 +53,51 @@ inline constexpr int kWorkerOomExit = 42;
 [[nodiscard]] bool decodeLoopResult(const Json& doc, LoopResult& result,
                                     std::string& error);
 
+// ---- service framing (tools/rapt-served; docs/service.md) ----
+//
+// The compile service speaks the SAME job/result documents over a Unix-domain
+// socket (support/Socket.h), one JSON document per line, wrapped in a small
+// envelope: a client-chosen correlation id (responses on a pipelined
+// connection may complete out of order) and, on responses, the cache
+// provenance + server-side timing the result document itself must not carry
+// (a cached reply has to stay bit-identical to its cold compile).
+
+/// Schema tag of every service request and response envelope.
+inline constexpr const char* kServiceSchema = "rapt-served-v1";
+
+/// What a decoded service request asks for.
+enum class ServiceRequestKind : std::uint8_t {
+  Job,    ///< compile one loop (payload: a kWorkerProtocolSchema job document)
+  Stats,  ///< return the server's cache/queue/latency counters
+};
+
+[[nodiscard]] Json encodeServiceJobRequest(std::int64_t id, const Loop& loop,
+                                           const MachineDesc& machine,
+                                           const PipelineOptions& options);
+[[nodiscard]] Json encodeServiceStatsRequest(std::int64_t id);
+
+/// Strict decode of either request kind; `job` points into `doc` (valid
+/// while `doc` lives) and is null for Stats requests.
+[[nodiscard]] bool decodeServiceRequest(const Json& doc, ServiceRequestKind& kind,
+                                        std::int64_t& id, const Json*& job,
+                                        std::string& error);
+
+/// Wraps a result document (the EXACT bytes-equivalent Json of
+/// encodeLoopResult, whether fresh or replayed from the cache) in a response
+/// envelope. `queueNs`/`serviceNs` are server-side admission-queue wait and
+/// total service time; both 0 on cache hits answered inline.
+[[nodiscard]] Json encodeServiceResponse(std::int64_t id, bool cacheHit,
+                                         std::int64_t queueNs,
+                                         std::int64_t serviceNs, Json resultDoc);
+[[nodiscard]] Json encodeServiceStatsResponse(std::int64_t id, Json stats);
+
+/// Decodes either response kind: `payload` points at the "result" (Job) or
+/// "stats" (Stats) object inside `doc`.
+[[nodiscard]] bool decodeServiceResponse(const Json& doc, std::int64_t& id,
+                                         bool& cacheHit, std::int64_t& queueNs,
+                                         std::int64_t& serviceNs,
+                                         const Json*& payload, std::string& error);
+
 // ---- hashing (journal keys) ----
 
 /// FNV-1a over the machine and the result-relevant options — the journal

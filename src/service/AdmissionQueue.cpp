@@ -1,0 +1,71 @@
+#include "service/AdmissionQueue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rapt {
+
+bool AdmissionQueue::push(std::int64_t clientId, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || stats_.depth >= maxDepth_) {
+      ++stats_.rejected;
+      return false;
+    }
+    auto it = byClient_.find(clientId);
+    if (it == byClient_.end()) {
+      rotation_.push_back(ClientQueue{clientId, {}});
+      it = byClient_.emplace(clientId, std::prev(rotation_.end())).first;
+    }
+    it->second->tasks.push_back(std::move(task));
+    ++stats_.admitted;
+    ++stats_.depth;
+    stats_.maxDepthSeen = std::max(stats_.maxDepthSeen, stats_.depth);
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::pop(Task& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !rotation_.empty(); });
+  if (rotation_.empty()) return false;  // closed and drained
+  ClientQueue& front = rotation_.front();
+  out = std::move(front.tasks.front());
+  front.tasks.pop_front();
+  --stats_.depth;
+  if (front.tasks.empty()) {
+    byClient_.erase(front.clientId);
+    rotation_.pop_front();
+  } else {
+    // Round-robin: the served client goes to the back of the rotation.
+    rotation_.splice(rotation_.end(), rotation_, rotation_.begin());
+  }
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+void AdmissionQueue::closeAndDiscard() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    rotation_.clear();
+    byClient_.clear();
+    stats_.depth = 0;
+  }
+  ready_.notify_all();
+}
+
+AdmissionStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rapt

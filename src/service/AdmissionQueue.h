@@ -1,0 +1,84 @@
+// Bounded, per-client-fair admission control for the compile service
+// (docs/service.md "Admission control").
+//
+// Two properties a shared daemon needs that a plain FIFO queue lacks:
+//
+//   * Explicit overload. The queue holds at most `maxDepth` pending jobs
+//     TOTAL; a push beyond that is rejected IMMEDIATELY (returning false)
+//     instead of blocking the connection thread or growing without bound.
+//     The server maps the rejection to FailureClass::Overload, so clients
+//     see a classified, retryable refusal rather than unbounded latency —
+//     load shedding at the door, not in the dark.
+//
+//   * Round-robin fairness. Pending jobs are kept per client, and workers
+//     drain clients in rotation: a client that dumps 1000 jobs cannot starve
+//     one that sends a single loop — the single loop is at worst
+//     #clients positions from service, not 1000 (AdmissionQueueTest pins the
+//     interleaving down exactly).
+//
+// The queued unit is an opaque closure: the server binds the connection,
+// envelope id, and decoded job into it, so the queue stays free of protocol
+// types and directly testable.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace rapt {
+
+struct AdmissionStats {
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;       ///< pushes refused at the depth cap
+  std::int64_t depth = 0;          ///< pending now
+  std::int64_t maxDepthSeen = 0;   ///< high-water mark of `depth`
+};
+
+class AdmissionQueue {
+ public:
+  using Task = std::function<void()>;
+
+  explicit AdmissionQueue(int maxDepth) : maxDepth_(maxDepth) {}
+
+  /// Admits one task for `clientId`, or returns false when the queue already
+  /// holds `maxDepth` pending tasks (the overload rejection).
+  [[nodiscard]] bool push(std::int64_t clientId, Task task);
+
+  /// Blocks until a task is available or the queue is closed and drained.
+  /// Tasks are handed out round-robin across clients with pending work.
+  /// Returns false only on closed-and-drained (the worker's exit signal).
+  [[nodiscard]] bool pop(Task& out);
+
+  /// No more pushes are admitted (they return false); blocked pops drain the
+  /// backlog, then return false. Idempotent.
+  void close();
+
+  /// close() and additionally DISCARD the backlog: blocked pops return
+  /// false as soon as running tasks are handed out. The hard-stop path; the
+  /// graceful wind-down uses close() so admitted jobs still finish.
+  void closeAndDiscard();
+
+  [[nodiscard]] AdmissionStats stats() const;
+
+ private:
+  struct ClientQueue {
+    std::int64_t clientId;
+    std::deque<Task> tasks;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  int maxDepth_;
+  bool closed_ = false;
+  /// Rotation order; a client appears iff it has pending tasks. pop takes
+  /// from the front client and rotates it to the back.
+  std::list<ClientQueue> rotation_;
+  std::unordered_map<std::int64_t, std::list<ClientQueue>::iterator> byClient_;
+  AdmissionStats stats_;
+};
+
+}  // namespace rapt

@@ -1,0 +1,91 @@
+#include "service/Client.h"
+
+#include "pipeline/WorkerProtocol.h"
+
+namespace rapt {
+
+bool ServiceClient::connect(const std::string& socketPath, std::string& error) {
+  conn_ = unixConnect(socketPath, error);
+  return conn_.isOpen();
+}
+
+bool ServiceClient::roundTrip(const Json& request, std::int64_t expectId,
+                              Json& responseDoc, const Json*& payload,
+                              bool& cacheHit, std::int64_t& queueNs,
+                              std::int64_t& serviceNs, std::string& error,
+                              int timeoutMs) {
+  if (!conn_.isOpen()) {
+    error = "not connected";
+    return false;
+  }
+  if (!conn_.writeAll(request.dumpCompact() + "\n", timeoutMs)) {
+    error = "service request write failed (server gone?)";
+    return false;
+  }
+  std::string line;
+  const SocketConn::ReadStatus status = conn_.readLine(line, timeoutMs);
+  if (status != SocketConn::ReadStatus::Line) {
+    error = status == SocketConn::ReadStatus::Eof
+                ? "service closed the connection before replying"
+                : (status == SocketConn::ReadStatus::Timeout
+                       ? "timed out waiting for service reply"
+                       : "service read error");
+    conn_.close();
+    return false;
+  }
+  std::int64_t id = 0;
+  if (!Json::parse(line, responseDoc, error) ||
+      !decodeServiceResponse(responseDoc, id, cacheHit, queueNs, serviceNs,
+                             payload, error)) {
+    conn_.close();
+    return false;
+  }
+  if (id != expectId) {
+    // One-outstanding-request clients must see ids in lockstep; a mismatch
+    // means the stream is desynchronized and nothing after it can be trusted.
+    error = "service response id " + std::to_string(id) + " != expected " +
+            std::to_string(expectId);
+    conn_.close();
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::compile(const Loop& loop, const MachineDesc& machine,
+                            const PipelineOptions& options, ServiceReply& reply,
+                            std::string& error, int timeoutMs) {
+  const std::int64_t id = nextId_++;
+  Json responseDoc;
+  const Json* payload = nullptr;
+  if (!roundTrip(encodeServiceJobRequest(id, loop, machine, options), id,
+                 responseDoc, payload, reply.cacheHit, reply.queueNs,
+                 reply.serviceNs, error, timeoutMs)) {
+    return false;
+  }
+  reply.resultText = payload->dumpCompact();
+  if (!decodeLoopResult(*payload, reply.result, error)) {
+    conn_.close();
+    return false;
+  }
+  // Envelope-level provenance: set here, never on the wire document itself
+  // (pipeline/CompilerPipeline.h on why bit-identity requires that split).
+  reply.result.servedFromCache = reply.cacheHit;
+  return true;
+}
+
+bool ServiceClient::stats(Json& out, std::string& error, int timeoutMs) {
+  const std::int64_t id = nextId_++;
+  Json responseDoc;
+  const Json* payload = nullptr;
+  bool cacheHit = false;
+  std::int64_t queueNs = 0;
+  std::int64_t serviceNs = 0;
+  if (!roundTrip(encodeServiceStatsRequest(id), id, responseDoc, payload,
+                 cacheHit, queueNs, serviceNs, error, timeoutMs)) {
+    return false;
+  }
+  out = *payload;
+  return true;
+}
+
+}  // namespace rapt

@@ -1,0 +1,62 @@
+// Client side of the rapt-served protocol (docs/service.md): connect to the
+// daemon's Unix-domain socket, send one job per line, read one response per
+// line. Used by tools/rapt_loadgen.cpp and the service tests; a ServiceClient
+// is single-threaded (one outstanding request at a time — pipelining is the
+// server's affordance, not this helper's).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pipeline/CompilerPipeline.h"
+#include "support/Json.h"
+#include "support/Socket.h"
+
+namespace rapt {
+
+/// One job's worth of response: the decoded result plus the envelope's cache
+/// provenance and server-side timing, and the EXACT compact-JSON text of the
+/// result document — the bit-identity tests and the load generator compare
+/// these bytes across cold and cached passes.
+struct ServiceReply {
+  LoopResult result;
+  bool cacheHit = false;
+  std::int64_t queueNs = 0;
+  std::int64_t serviceNs = 0;
+  std::string resultText;  ///< dumpCompact of the response's result document
+};
+
+class ServiceClient {
+ public:
+  /// Connects to the daemon at `socketPath`. Returns false with a diagnostic
+  /// in `error`.
+  [[nodiscard]] bool connect(const std::string& socketPath, std::string& error);
+
+  [[nodiscard]] bool isConnected() const { return conn_.isOpen(); }
+  void close() { conn_.close(); }
+
+  /// Sends one compile job and blocks for its response (up to `timeoutMs`;
+  /// 0 = forever). On success fills `reply`, including
+  /// `reply.result.servedFromCache` from the envelope's cacheHit bit. On
+  /// failure (transport, decode, or correlation-id mismatch) returns false
+  /// with a diagnostic in `error`; the connection is closed then — under
+  /// line framing a desynchronized stream cannot be resynchronized.
+  [[nodiscard]] bool compile(const Loop& loop, const MachineDesc& machine,
+                             const PipelineOptions& options, ServiceReply& reply,
+                             std::string& error, int timeoutMs = 0);
+
+  /// Fetches the server's stats object (docs/metrics.md) into `out`.
+  [[nodiscard]] bool stats(Json& out, std::string& error, int timeoutMs = 0);
+
+ private:
+  [[nodiscard]] bool roundTrip(const Json& request, std::int64_t expectId,
+                               Json& responseDoc, const Json*& payload,
+                               bool& cacheHit, std::int64_t& queueNs,
+                               std::int64_t& serviceNs, std::string& error,
+                               int timeoutMs);
+
+  SocketConn conn_;
+  std::int64_t nextId_ = 1;
+};
+
+}  // namespace rapt

@@ -1,0 +1,122 @@
+#include "service/ResultCache.h"
+
+#include <cstdio>
+
+#include "pipeline/WorkerProtocol.h"
+
+namespace rapt {
+
+std::string ResultCache::makeKey(std::uint64_t configHash,
+                                 std::uint64_t loopHash) {
+  return hashToHex(configHash) + ":" + hashToHex(loopHash);
+}
+
+bool ResultCache::lookup(const std::string& key, std::string& resultText) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  resultText = it->second->resultText;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, const std::string& resultText) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  insertLocked(key, resultText, /*journalIt=*/true);
+}
+
+void ResultCache::insertLocked(const std::string& key,
+                               const std::string& resultText, bool journalIt) {
+  if (byteBudget_ > 0 &&
+      static_cast<std::int64_t>(key.size() + resultText.size()) > byteBudget_)
+    return;  // bigger than the whole cache: caching it would evict everything
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same key, same deterministic compile — refresh recency, keep the
+    // original bytes (they are identical by construction).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, resultText});
+  index_[key] = lru_.begin();
+  stats_.bytes += entryBytes(lru_.front());
+  ++stats_.entries;
+  ++stats_.insertions;
+  evictToBudgetLocked();
+  if (journalIt && journal_.isOpen()) {
+    Json row = Json::object();
+    row["kind"] = "cache";
+    row["key"] = key;
+    row["result"] = resultText;  // compact JSON stored as a string field
+    journal_.append(row);
+  }
+}
+
+void ResultCache::evictToBudgetLocked() {
+  if (byteBudget_ <= 0) return;
+  while (stats_.bytes > byteBudget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= entryBytes(victim);
+    --stats_.entries;
+    ++stats_.evictions;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+bool ResultCache::openJournal(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const JournalContents prior = loadJournal(path);
+  if (prior.valid) {
+    const Json* jk = prior.header.find("journalKind");
+    if (jk != nullptr && jk->isString() && jk->asString() == kJournalKind) {
+      for (const Json& row : prior.rows) {
+        const Json* kind = row.find("kind");
+        const Json* key = row.find("key");
+        const Json* result = row.find("result");
+        if (kind == nullptr || !kind->isString() || kind->asString() != "cache")
+          continue;
+        if (key == nullptr || !key->isString() || result == nullptr ||
+            !result->isString())
+          continue;
+        insertLocked(key->asString(), result->asString(), /*journalIt=*/false);
+        ++stats_.journalRowsReplayed;
+      }
+      return journal_.openAppend(path);
+    }
+    std::fprintf(stderr,
+                 "result cache: %s is a journal of another kind; recreating\n",
+                 path.c_str());
+  }
+  Json header = Json::object();
+  header["journalKind"] = kJournalKind;
+  if (!journal_.create(path, std::move(header))) return false;
+  // A fresh journal must seed from what is already in memory (a cache that
+  // warmed before persistence was attached), or those entries die with us.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Json row = Json::object();
+    row["kind"] = "cache";
+    row["key"] = it->key;
+    row["result"] = it->resultText;
+    journal_.append(row);
+  }
+  return true;
+}
+
+void ResultCache::closeJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_.close();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResultCacheStats s = stats_;
+  s.byteBudget = byteBudget_;
+  return s;
+}
+
+}  // namespace rapt

@@ -1,0 +1,108 @@
+// Content-addressed LRU cache of compile results for the rapt-served daemon
+// (docs/service.md "Cache keying").
+//
+// The key is the pair the run journal already uses to decide whether an old
+// result may stand in for a new compile (pipeline/WorkerProtocol.h):
+//
+//   suiteConfigHash(machine, options) : loopTextHash(loop)
+//
+// — everything that changes a RESULT is folded into the config hash, and the
+// loop's canonical printLoop text is hashed per entry, so two requests with
+// the same key are the same compile by construction. The value is the
+// result's EXACT compact-JSON encoding (encodeLoopResult): a hit replays
+// those bytes, which is what makes cached replies bit-identical to their
+// cold-compile counterparts (ServiceTest holds that invariant end to end).
+//
+// Eviction is LRU under a byte budget (key + value bytes). Persistence is an
+// append-only journal (support/Journal.h): every insert appends one
+// fsync'd row, so a SIGTERM'd or crashed daemon restarts warm; eviction does
+// not rewrite the journal (it is a log, not a mirror — replay re-inserts in
+// append order and the byte budget trims the overflow, oldest first).
+//
+// Thread-safe: one internal mutex; every method may be called from any
+// worker or connection thread.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "support/Journal.h"
+
+namespace rapt {
+
+/// Monotonic counters, readable at any time (stats requests, shutdown
+/// report). `bytes`/`entries` are the current footprint, the rest are
+/// lifetime totals.
+struct ResultCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t journalRowsReplayed = 0;
+  std::int64_t bytes = 0;
+  std::int64_t entries = 0;
+  std::int64_t byteBudget = 0;
+};
+
+class ResultCache {
+ public:
+  /// `byteBudget` caps key+value bytes held (<= 0 means unlimited — tests
+  /// and trusted corpora only; a serving daemon should always set one).
+  explicit ResultCache(std::int64_t byteBudget) : byteBudget_(byteBudget) {}
+
+  /// The canonical cache key: "<configHashHex>:<loopHashHex>".
+  [[nodiscard]] static std::string makeKey(std::uint64_t configHash,
+                                           std::uint64_t loopHash);
+
+  /// Looks `key` up; on a hit copies the stored compact-JSON result into
+  /// `resultText` and refreshes recency. Counts a hit or miss either way.
+  [[nodiscard]] bool lookup(const std::string& key, std::string& resultText);
+
+  /// Inserts (or refreshes) `key -> resultText`, evicting LRU entries until
+  /// the budget holds, and appends the row to the journal when one is
+  /// attached. An entry larger than the whole budget is not cached.
+  void insert(const std::string& key, const std::string& resultText);
+
+  /// Attaches persistence: loads `path` if it exists and is a valid cache
+  /// journal (replaying rows through insert, budget enforced), then keeps it
+  /// open for appending; creates it fresh otherwise. Returns false if the
+  /// journal could neither be resumed nor created (the cache still works,
+  /// just without persistence).
+  [[nodiscard]] bool openJournal(const std::string& path);
+
+  /// Flushes and closes the journal (idempotent; the destructor also does
+  /// this). The SIGTERM wind-down calls it so the "cache persisted" claim in
+  /// the shutdown log is backed by a closed, fsync'd file.
+  void closeJournal();
+
+  [[nodiscard]] ResultCacheStats stats() const;
+
+  /// The journal-row schema marker ("cache" rows; header field
+  /// "journalKind": "rapt-result-cache").
+  static constexpr const char* kJournalKind = "rapt-result-cache";
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string resultText;
+  };
+
+  void insertLocked(const std::string& key, const std::string& resultText,
+                    bool journalIt);
+  void evictToBudgetLocked();
+  [[nodiscard]] static std::int64_t entryBytes(const Entry& e) {
+    return static_cast<std::int64_t>(e.key.size() + e.resultText.size());
+  }
+
+  mutable std::mutex mutex_;
+  std::int64_t byteBudget_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  JournalWriter journal_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace rapt

@@ -1,0 +1,360 @@
+#include "service/Server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "pipeline/WorkerProtocol.h"
+#include "support/Interrupt.h"
+#include "support/Stats.h"
+
+namespace rapt {
+
+namespace {
+
+// A reply write that stalls longer than this indicates a wedged or vanished
+// client; the connection is dropped rather than pinning a compile worker.
+constexpr int kWriteTimeoutMs = 30'000;
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Json latencySummary(const std::vector<std::int64_t>& xs) {
+  Json o = Json::object();
+  o["count"] = static_cast<std::int64_t>(xs.size());
+  o["p50"] = percentile(xs, 50.0);
+  o["p95"] = percentile(xs, 95.0);
+  o["p99"] = percentile(xs, 99.0);
+  std::int64_t maxNs = 0;
+  std::int64_t sum = 0;
+  for (std::int64_t x : xs) {
+    sum += x;
+    if (x > maxNs) maxNs = x;
+  }
+  o["max"] = maxNs;
+  o["mean"] = xs.empty() ? std::int64_t{0}
+                         : sum / static_cast<std::int64_t>(xs.size());
+  return o;
+}
+
+}  // namespace
+
+/// Shared between the reader thread and any compile workers holding queued
+/// jobs for this client: the socket stays alive until the last reply is
+/// written, and `writeMutex` keeps out-of-order worker replies from
+/// interleaving bytes with the reader's inline (cache hit / stats) replies.
+struct ServiceServer::Connection {
+  std::int64_t clientId = 0;
+  SocketConn conn;
+  std::mutex writeMutex;
+};
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cacheBytes),
+      queue_(options_.maxQueueDepth) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+bool ServiceServer::start(std::string& error) {
+  if (running_.load()) {
+    error = "service already started";
+    return false;
+  }
+  if (!options_.cacheJournalPath.empty() &&
+      !cache_.openJournal(options_.cacheJournalPath)) {
+    // Persistence is an upgrade, not a precondition: serve from memory.
+    std::fprintf(stderr,
+                 "rapt-served: warning: cache journal '%s' unusable; "
+                 "serving without persistence\n",
+                 options_.cacheJournalPath.c_str());
+  }
+  if (!listener_.listen(options_.socketPath, error)) return false;
+
+  const int threads =
+      options_.threads > 0 ? options_.threads : ThreadPool::hardwareThreads();
+  pool_ = std::make_unique<ThreadPool>(threads);
+  for (int i = 0; i < threads; ++i) {
+    // Long-running consumers: each occupies one pool thread for the server's
+    // lifetime, popping admitted jobs until close() drains the queue.
+    pool_->submit([this] {
+      AdmissionQueue::Task task;
+      while (queue_.pop(task)) task();
+    });
+  }
+  running_.store(true);
+  acceptor_ = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void ServiceServer::stop() {
+  // Serialized: a second caller (say, the destructor after an explicit stop)
+  // blocks until the first wind-down finishes, then sees `stopped_`.
+  std::lock_guard<std::mutex> stopLock(stopMutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(connectionThreadsMutex_);
+    for (std::thread& t : connectionThreads_)
+      if (t.joinable()) t.join();
+    connectionThreads_.clear();
+  }
+  // Readers are gone, so no new pushes: close() lets the admitted backlog
+  // drain, and destroying the pool joins the consumers after their final
+  // pop() returns false. Every admitted job replies before this returns.
+  queue_.close();
+  pool_.reset();
+  cache_.closeJournal();
+  running_.store(false);
+}
+
+void ServiceServer::acceptLoop() {
+  while (!stopping_.load() && !interruptRequested()) {
+    SocketConn accepted =
+        listener_.accept(options_.idlePollMs, interruptWakeFd());
+    if (stopping_.load() || interruptRequested()) {
+      accepted.close();
+      break;
+    }
+    if (!accepted.isOpen()) continue;  // poll tick or transient accept error
+    auto conn = std::make_shared<Connection>();
+    conn->clientId = nextClientId_.fetch_add(1);
+    conn->conn = std::move(accepted);
+    {
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++stats_.connectionsAccepted;
+    }
+    std::lock_guard<std::mutex> lock(connectionThreadsMutex_);
+    connectionThreads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { connectionLoop(std::move(conn)); });
+  }
+  running_.store(false);
+}
+
+void ServiceServer::connectionLoop(std::shared_ptr<Connection> conn) {
+  std::string line;
+  while (!stopping_.load()) {
+    const SocketConn::ReadStatus status =
+        conn->conn.readLine(line, options_.idlePollMs);
+    if (status == SocketConn::ReadStatus::Timeout) continue;
+    if (status != SocketConn::ReadStatus::Line) break;  // EOF or error
+    const std::int64_t receivedNs = nowNs();
+
+    Json doc;
+    std::string error;
+    ServiceRequestKind kind{};
+    std::int64_t id = 0;
+    const Json* job = nullptr;
+    if (!Json::parse(line, doc, error) ||
+        !decodeServiceRequest(doc, kind, id, job, error)) {
+      // A peer speaking the wrong protocol gets cut, not served: there is no
+      // envelope to correlate an error reply with.
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++stats_.badRequests;
+      break;
+    }
+    if (kind == ServiceRequestKind::Stats) {
+      reply(conn, encodeServiceStatsResponse(id, statsJson()));
+      continue;
+    }
+    handleJob(conn, id, *job, receivedNs);
+  }
+}
+
+void ServiceServer::handleJob(const std::shared_ptr<Connection>& conn,
+                              std::int64_t id, const Json& jobDoc,
+                              std::int64_t receivedNs) {
+  Loop loop;
+  MachineDesc machine;
+  PipelineOptions options;
+  std::string error;
+  if (!decodeWorkerJob(jobDoc, loop, machine, options, error)) {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.badRequests;
+    conn->conn.close();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.requests;
+  }
+
+  const std::string key = ResultCache::makeKey(
+      suiteConfigHash(machine, options), loopTextHash(loop));
+  std::string cachedText;
+  if (cache_.lookup(key, cachedText)) {
+    // Replay the stored bytes: parse + re-embed is byte-stable (support/Json.h
+    // round-trip guarantee), so the client sees the cold compile's exact
+    // result document.
+    Json resultDoc;
+    if (Json::parse(cachedText, resultDoc, error)) {
+      // Counters are bumped BEFORE the reply bytes go out, so any stats
+      // request a client sends after seeing a response reflects it.
+      recordResponse(/*cacheHit=*/true, /*resultOk=*/true, receivedNs);
+      reply(conn, encodeServiceResponse(id, /*cacheHit=*/true, 0, 0,
+                                        std::move(resultDoc)));
+      return;
+    }
+    // An unparseable cache entry cannot happen for entries we wrote; fall
+    // through and recompile rather than serving garbage.
+  }
+
+  // Captured before the closure below moves `loop` out: the overload reply
+  // still needs the loop's identity.
+  const std::string loopName = loop.name;
+  const int numOps = loop.size();
+
+  const std::int64_t pushedNs = nowNs();
+  const bool admitted = queue_.push(
+      conn->clientId,
+      [this, conn, id, key, loop = std::move(loop), machine, options,
+       receivedNs, pushedNs] {
+        compileAndReply(conn, id, key, loop, machine, options, receivedNs,
+                        pushedNs);
+      });
+  if (!admitted) {
+    // Load shedding at the door (docs/service.md "Admission control"): the
+    // refusal is a classified result row, so suite aggregation and retry
+    // policies treat it like any other capacity failure.
+    LoopResult r;
+    r.loopName = loopName;
+    r.numOps = numOps;
+    r.ok = false;
+    r.failureClass = FailureClass::Overload;
+    r.error = "compile service overloaded: admission queue at depth cap (" +
+              std::to_string(options_.maxQueueDepth) + ")";
+    {
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++stats_.rejectedOverload;
+    }
+    recordResponse(/*cacheHit=*/false, /*resultOk=*/false, receivedNs);
+    reply(conn, encodeServiceResponse(id, /*cacheHit=*/false, 0,
+                                      nowNs() - receivedNs,
+                                      encodeLoopResult(r)));
+  }
+}
+
+void ServiceServer::compileAndReply(const std::shared_ptr<Connection>& conn,
+                                    std::int64_t id, const std::string& cacheKey,
+                                    const Loop& loop, const MachineDesc& machine,
+                                    const PipelineOptions& options,
+                                    std::int64_t receivedNs,
+                                    std::int64_t pushedNs) {
+  const std::int64_t startNs = nowNs();
+  const std::int64_t queueNs = startNs - pushedNs;
+
+  // Supervision is the operator's call, not the client's: the wire job
+  // carries only result-relevant options, so isolation/limits come from the
+  // server config. Journaling and threading are suite-runner concerns that
+  // must stay off inside a service worker.
+  PipelineOptions serveOptions = options;
+  serveOptions.isolation = options_.isolation;
+  serveOptions.workerPath = options_.workerPath;
+  serveOptions.workerTimeoutMs = options_.workerTimeoutMs;
+  serveOptions.workerMemoryBytes = options_.workerMemoryBytes;
+  serveOptions.journalPath.clear();
+  serveOptions.resume = false;
+  serveOptions.threads = 1;
+
+  LoopResult result;
+  try {
+    result = options_.isolation == SuiteIsolation::Subprocess
+                 ? compileLoopInSubprocess(loop, machine, serveOptions)
+                 : compileLoop(loop, machine, serveOptions);
+  } catch (const std::exception& e) {
+    result.loopName = loop.name;
+    result.numOps = loop.size();
+    result.ok = false;
+    result.failureClass = FailureClass::InternalError;
+    result.error = std::string("uncaught exception in service worker: ") + e.what();
+  }
+
+  Json resultDoc = encodeLoopResult(result);
+  // Only ok rows are cached: failure rows can depend on the server's
+  // supervision limits (timeouts, rlimits), which are deliberately OUTSIDE
+  // the cache key — caching them would let one operator's limits answer for
+  // another's. Successful results are bit-identical across isolation modes
+  // and limits, so they are safe to share.
+  if (result.ok) cache_.insert(cacheKey, resultDoc.dumpCompact());
+
+  // Record before replying: a client that sees this response and immediately
+  // asks for stats must find it counted (stats replies bypass the queue).
+  recordResponse(/*cacheHit=*/false, result.ok, receivedNs);
+  reply(conn, encodeServiceResponse(id, /*cacheHit=*/false, queueNs,
+                                    nowNs() - receivedNs, std::move(resultDoc)));
+}
+
+void ServiceServer::reply(const std::shared_ptr<Connection>& conn,
+                          const Json& envelope) {
+  const std::string line = envelope.dumpCompact() + "\n";
+  std::lock_guard<std::mutex> lock(conn->writeMutex);
+  if (!conn->conn.isOpen()) return;  // client already gone; drop the reply
+  (void)conn->conn.writeAll(line, kWriteTimeoutMs);
+}
+
+void ServiceServer::recordResponse(bool cacheHit, bool resultOk,
+                                   std::int64_t receivedNs) {
+  const std::int64_t latency = nowNs() - receivedNs;
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  ++stats_.responses;
+  if (!resultOk) ++stats_.compileFailures;
+  (cacheHit ? stats_.hitLatencyNs : stats_.missLatencyNs).push_back(latency);
+}
+
+ServerStats ServiceServer::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    out = stats_;
+  }
+  out.cache = cache_.stats();
+  out.queue = queue_.stats();
+  return out;
+}
+
+Json ServiceServer::statsJson() const {
+  const ServerStats s = stats();
+  Json o = Json::object();
+  o["connectionsAccepted"] = s.connectionsAccepted;
+  o["requests"] = s.requests;
+  o["responses"] = s.responses;
+  o["badRequests"] = s.badRequests;
+  o["rejectedOverload"] = s.rejectedOverload;
+  o["compileFailures"] = s.compileFailures;
+  o["threads"] = static_cast<std::int64_t>(
+      options_.threads > 0 ? options_.threads : ThreadPool::hardwareThreads());
+  o["isolation"] = suiteIsolationName(options_.isolation);
+
+  Json cache = Json::object();
+  cache["hits"] = s.cache.hits;
+  cache["misses"] = s.cache.misses;
+  cache["insertions"] = s.cache.insertions;
+  cache["evictions"] = s.cache.evictions;
+  cache["journalRowsReplayed"] = s.cache.journalRowsReplayed;
+  cache["bytes"] = s.cache.bytes;
+  cache["entries"] = s.cache.entries;
+  cache["byteBudget"] = s.cache.byteBudget;
+  o["cache"] = std::move(cache);
+
+  Json queue = Json::object();
+  queue["admitted"] = s.queue.admitted;
+  queue["rejected"] = s.queue.rejected;
+  queue["depth"] = s.queue.depth;
+  queue["maxDepthSeen"] = s.queue.maxDepthSeen;
+  o["queue"] = std::move(queue);
+
+  Json latency = Json::object();
+  latency["hitNs"] = latencySummary(s.hitLatencyNs);
+  latency["missNs"] = latencySummary(s.missLatencyNs);
+  o["latency"] = std::move(latency);
+  return o;
+}
+
+}  // namespace rapt

@@ -1,0 +1,142 @@
+// The rapt-served compile service (docs/service.md; CLI in
+// tools/rapt_served.cpp).
+//
+// A long-lived daemon serving compile jobs over a Unix-domain socket in the
+// WorkerProtocol wire format (pipeline/WorkerProtocol.h), line-framed
+// (support/Socket.h). The request path:
+//
+//   accept -> read request line -> decode job
+//     -> cache lookup (ResultCache, keyed configHash:loopHash)
+//          hit  -> reply inline with the stored bytes (bit-identical)
+//          miss -> AdmissionQueue.push (bounded; full -> Overload row reply)
+//                    -> ThreadPool worker pops (round-robin across clients)
+//                    -> compileLoop / compileLoopInSubprocess
+//                    -> cache insert (+ journal append) -> reply
+//
+// Threads: one acceptor (poll on listener + interrupt wake fd), one reader
+// per connection, `threads` compile workers parked as long-running consumer
+// tasks on the existing support/ThreadPool. Responses are written under a
+// per-connection mutex, so a worker finishing out of order cannot interleave
+// bytes with the reader's inline replies.
+//
+// Wind-down (SIGTERM/SIGINT via support/Interrupt.h, or stop()): stop
+// accepting, stop reading new requests, let every ADMITTED job finish and
+// its reply flush, close the cache journal (the persistence claim), then
+// join. In-flight work is never discarded; un-read requests are simply never
+// admitted — the client sees EOF and retries elsewhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/Suite.h"
+#include "service/AdmissionQueue.h"
+#include "service/ResultCache.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+namespace rapt {
+
+struct ServerOptions {
+  std::string socketPath;           ///< Unix-domain socket to listen on
+  int threads = 0;                  ///< compile workers (0 = hardware threads)
+  int maxQueueDepth = 256;          ///< admission bound (pending compiles)
+  std::int64_t cacheBytes = 256LL << 20;  ///< LRU byte budget (<=0 unlimited)
+  std::string cacheJournalPath;     ///< cache persistence (empty = in-memory only)
+
+  // Supervision overlay applied to every admitted job — these are
+  // server-operator decisions, not client ones: the wire job carries only
+  // result-relevant options (WorkerProtocol.h), so isolation and limits come
+  // from here.
+  SuiteIsolation isolation = SuiteIsolation::InProcess;
+  std::string workerPath;           ///< rapt-worker override for Subprocess mode
+  std::int64_t workerTimeoutMs = 120'000;
+  std::int64_t workerMemoryBytes = 0;
+
+  int idlePollMs = 200;             ///< accept/read poll tick (stop latency)
+};
+
+/// Aggregate service counters exported as the "stats" response and the
+/// BENCH_served.json shutdown report (docs/metrics.md).
+struct ServerStats {
+  std::int64_t connectionsAccepted = 0;
+  std::int64_t requests = 0;        ///< job requests decoded
+  std::int64_t responses = 0;       ///< job responses written (any outcome)
+  std::int64_t rejectedOverload = 0;
+  std::int64_t badRequests = 0;     ///< undecodable lines (connection dropped)
+  std::int64_t compileFailures = 0; ///< responses whose result has ok == false
+  ResultCacheStats cache;
+  AdmissionStats queue;
+  /// Server-side total service time per job response (receipt -> reply
+  /// written), hits and misses separately — the hit path is the point of the
+  /// cache, and mixing it into one distribution would hide the miss tail.
+  std::vector<std::int64_t> hitLatencyNs;
+  std::vector<std::int64_t> missLatencyNs;
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerOptions options);
+  ~ServiceServer();
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds the socket, opens the cache journal (when configured), and spawns
+  /// the acceptor + workers. Returns false with a diagnostic in `error`.
+  [[nodiscard]] bool start(std::string& error);
+
+  /// Graceful wind-down as documented above. Safe to call more than once and
+  /// from signal-driven paths (it only flips flags and joins). Returns after
+  /// every admitted job has replied and the cache journal is closed.
+  void stop();
+
+  /// True while the acceptor is live (start succeeded, stop not yet called
+  /// and no fatal listener error).
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  [[nodiscard]] const std::string& socketPath() const { return options_.socketPath; }
+
+  /// Snapshot of the counters (latency vectors copied).
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The stats snapshot rendered as the JSON object served for "stats"
+  /// requests and embedded in BENCH_served.json (schema: docs/metrics.md).
+  [[nodiscard]] Json statsJson() const;
+
+ private:
+  struct Connection;
+
+  void acceptLoop();
+  void connectionLoop(std::shared_ptr<Connection> conn);
+  void handleJob(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                 const Json& jobDoc, std::int64_t receivedNs);
+  void compileAndReply(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                       const std::string& cacheKey, const Loop& loop,
+                       const MachineDesc& machine, const PipelineOptions& options,
+                       std::int64_t receivedNs, std::int64_t pushedNs);
+  void reply(const std::shared_ptr<Connection>& conn, const Json& envelope);
+  void recordResponse(bool cacheHit, bool resultOk, std::int64_t receivedNs);
+
+  ServerOptions options_;
+  ResultCache cache_;
+  AdmissionQueue queue_;
+  UnixListener listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+  std::vector<std::thread> connectionThreads_;
+  std::mutex connectionThreadsMutex_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stopMutex_;
+  bool stopped_ = false;  ///< guarded by stopMutex_
+  std::atomic<std::int64_t> nextClientId_{1};
+
+  mutable std::mutex statsMutex_;
+  ServerStats stats_;
+};
+
+}  // namespace rapt

@@ -1,0 +1,81 @@
+#include "support/Durability.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace rapt {
+namespace {
+
+bool fsyncFd(int fd) {
+  int r;
+  do {
+    r = ::fsync(fd);
+  } while (r != 0 && errno == EINTR);
+  return r == 0;
+}
+
+}  // namespace
+
+bool fsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  // EINVAL from fsync on a directory means the filesystem does not support
+  // (or need) directory sync — tmpfs, some network mounts. Not a failure.
+  const bool ok = fsyncFd(fd) || errno == EINVAL;
+  ::close(fd);
+  return ok;
+}
+
+bool fsyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = fsyncFd(fd);
+  ::close(fd);
+  return ok;
+}
+
+bool writeFileDurable(const std::string& path, const std::string& contents,
+                      const std::string& tempSuffix) {
+  const std::string tmp = path + tempSuffix;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    std::fprintf(stderr, "durable write: cannot create %s: %s\n", tmp.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::size_t written = 0;
+  bool ok = true;
+  while (ok && written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno != EINTR) {
+      ok = false;
+    }
+  }
+  // Contents must be on disk BEFORE the rename publishes the name, or a
+  // crash can leave the new name pointing at a zero-length file.
+  ok = ok && fsyncFd(fd);
+  ::close(fd);
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "durable write: rename %s -> %s failed: %s\n",
+                 tmp.c_str(), path.c_str(), std::strerror(errno));
+    ok = false;
+  }
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsyncParentDir(path);  // makes the rename durable; advisory on failure
+  return true;
+}
+
+}  // namespace rapt

@@ -1,0 +1,45 @@
+// Directory-level durability helpers (docs/robustness.md "Journaled
+// resume", docs/service.md "Cache persistence").
+//
+// fsync on a FILE makes its *contents* durable, but the file's existence —
+// its directory entry — lives in the parent directory, and on ext4/xfs (and
+// most journaling filesystems in their default modes) that entry is only
+// durable after the DIRECTORY has been fsync'd too. The two crash windows
+// this closes:
+//
+//   * a journal created and fsync'd, then a crash: without the parent-dir
+//     fsync the whole file can vanish, taking every "durable" row with it
+//     (support/Journal.h calls fsyncParentDir on create);
+//   * the temp-file + rename atomic-report pattern (bench/BenchCommon.h):
+//     rename is only crash-atomic if the temp file's contents were fsync'd
+//     BEFORE the rename (else the new name can point at zero bytes) and the
+//     rename itself is only durable after the directory fsync.
+//
+// Both helpers are best-effort by signature (they return success/failure)
+// but callers treat failure as a diagnostic, not fatal: the data is still
+// written, just not provably crash-durable.
+#pragma once
+
+#include <string>
+
+namespace rapt {
+
+/// fsyncs the directory containing `path` (the path's dirname; "." when the
+/// path has no directory component). Makes a just-created or just-renamed
+/// entry crash-durable. Returns false if the directory could not be opened
+/// or fsync'd.
+bool fsyncParentDir(const std::string& path);
+
+/// fsyncs an existing file's contents by path. Returns false on open/fsync
+/// failure.
+bool fsyncFile(const std::string& path);
+
+/// The fully durable atomic-replace write: `contents` goes to `path + ext`
+/// (default ".tmp"), is fsync'd, renamed over `path`, and the parent
+/// directory is fsync'd. After a crash the file is either the complete old
+/// version or the complete new one — never torn, never silently empty.
+/// Returns false (removing the temp file) on any step failing.
+bool writeFileDurable(const std::string& path, const std::string& contents,
+                      const std::string& tempSuffix = ".tmp");
+
+}  // namespace rapt

@@ -1,6 +1,8 @@
 #include "support/Interrupt.h"
 
+#include <fcntl.h>
 #include <signal.h>
+#include <unistd.h>
 
 #include <atomic>
 
@@ -16,6 +18,23 @@ std::atomic<int> gGuardDepth{0};
 struct sigaction gPreviousInt;
 struct sigaction gPreviousTerm;
 
+// Self-pipe for poll-based wakeup (interruptWakeFd). Created lazily on the
+// first call from normal code; the handler only write()s, which is
+// async-signal-safe. Both ends are nonblocking so the handler can never
+// block on a full pipe, and neither end is ever closed (the fd outlives
+// every guard: pollers may still hold it).
+std::atomic<int> gWakeReadFd{-1};
+std::atomic<int> gWakeWriteFd{-1};
+
+void notifyWakeFd() {
+  const int fd = gWakeWriteFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    ssize_t ignored = ::write(fd, &byte, 1);  // EAGAIN on a full pipe is fine
+    (void)ignored;
+  }
+}
+
 extern "C" void raptInterruptHandler(int sig) {
   int expected = 0;
   if (!gInterruptSignal.compare_exchange_strong(expected, sig)) {
@@ -26,6 +45,7 @@ extern "C" void raptInterruptHandler(int sig) {
     ::sigaction(sig, &dfl, nullptr);
     ::raise(sig);
   }
+  notifyWakeFd();
 }
 
 }  // namespace
@@ -56,12 +76,40 @@ int interruptSignal() {
   return gInterruptSignal.load(std::memory_order_relaxed);
 }
 
+int interruptWakeFd() {
+  int fd = gWakeReadFd.load(std::memory_order_acquire);
+  if (fd >= 0) return fd;
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) != 0) return -1;
+  int expected = -1;
+  if (gWakeReadFd.compare_exchange_strong(expected, fds[0],
+                                          std::memory_order_acq_rel)) {
+    gWakeWriteFd.store(fds[1], std::memory_order_release);
+    // A signal that already arrived must leave the fd readable: the pipe was
+    // created after the handler ran, so notify retroactively.
+    if (interruptRequested()) notifyWakeFd();
+    return fds[0];
+  }
+  // Lost a creation race with another thread; use the winner's pipe.
+  ::close(fds[0]);
+  ::close(fds[1]);
+  return gWakeReadFd.load(std::memory_order_acquire);
+}
+
 void requestInterruptForTest(int sig) {
   gInterruptSignal.store(sig, std::memory_order_relaxed);
+  notifyWakeFd();
 }
 
 void clearInterruptForTest() {
   gInterruptSignal.store(0, std::memory_order_relaxed);
+  // Drain the wake pipe so a later poll does not see a stale byte.
+  const int fd = gWakeReadFd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    char buf[64];
+    while (::read(fd, buf, sizeof buf) > 0) {
+    }
+  }
 }
 
 }  // namespace rapt

@@ -36,6 +36,15 @@ class InterruptGuard {
 /// `128 + interruptSignal()` is the conventional exit status.
 [[nodiscard]] int interruptSignal();
 
+/// A file descriptor that becomes readable once SIGINT/SIGTERM has been
+/// received (self-pipe: the handler writes one byte). Poll loops that block
+/// in poll()/accept() — the compile service's acceptor, most prominently —
+/// include this fd so a signal wakes them immediately instead of waiting out
+/// their poll timeout. The fd is process-global and never closed; do not
+/// read from it (leave it readable so every poller wakes). Returns -1 if the
+/// pipe could not be created.
+[[nodiscard]] int interruptWakeFd();
+
 /// Sets the flag as if `sig` had been delivered — lets tests exercise the
 /// wind-down path without racing a real signal.
 void requestInterruptForTest(int sig);

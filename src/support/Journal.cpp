@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/Durability.h"
+
 namespace rapt {
 
 bool JournalWriter::create(const std::string& path, Json header) {
@@ -33,8 +35,16 @@ bool JournalWriter::create(const std::string& path, Json header) {
     std::fprintf(stderr, "journal: header write failed for %s\n", path.c_str());
     std::fclose(file_);
     file_ = nullptr;
+    return false;
   }
-  return ok;
+  // The file's contents are durable, but its directory entry is not until
+  // the parent dir is fsync'd — without this, a crash right after create can
+  // lose the WHOLE journal on ext4/xfs, not just the last row
+  // (support/Durability.h).
+  if (!fsyncParentDir(path))
+    std::fprintf(stderr, "journal: warning: cannot fsync parent dir of %s\n",
+                 path.c_str());
+  return true;
 }
 
 bool JournalWriter::openAppend(const std::string& path) {

@@ -1,0 +1,218 @@
+#include "support/Socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace rapt {
+namespace {
+
+[[nodiscard]] std::int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget for a deadline started `timeoutMs` ago at `start`;
+/// -1 for "wait forever", 0 when expired.
+[[nodiscard]] int remainingMs(std::int64_t start, int timeoutMs) {
+  if (timeoutMs <= 0) return -1;
+  const std::int64_t left = start + timeoutMs - nowMs();
+  if (left <= 0) return 0;
+  return static_cast<int>(left > 1'000'000'000 ? 1'000'000'000 : left);
+}
+
+/// poll() one fd for `events`, EINTR-safe. Returns poll's result.
+int pollOne(int fd, short events, int timeoutMs) {
+  struct pollfd p = {fd, events, 0};
+  for (;;) {
+    const int r = ::poll(&p, 1, timeoutMs);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+bool fillSockaddr(const std::string& path, sockaddr_un& addr, std::string& error) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    error = "socket path too long for sockaddr_un: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+// ---- SocketConn ------------------------------------------------------------
+
+SocketConn& SocketConn::operator=(SocketConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    other.buffer_.clear();
+  }
+  return *this;
+}
+
+void SocketConn::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+SocketConn::ReadStatus SocketConn::readLine(std::string& out, int timeoutMs,
+                                            std::size_t maxLineBytes) {
+  if (fd_ < 0) return ReadStatus::Error;
+  const std::int64_t start = nowMs();
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadStatus::Line;
+    }
+    if (buffer_.size() > maxLineBytes) {
+      close();
+      return ReadStatus::Error;
+    }
+    const int budget = remainingMs(start, timeoutMs);
+    if (budget == 0) return ReadStatus::Timeout;
+    const int ready = pollOne(fd_, POLLIN, budget);
+    if (ready == 0) return ReadStatus::Timeout;
+    if (ready < 0) {
+      close();
+      return ReadStatus::Error;
+    }
+    char buf[65536];
+    const ssize_t got = ::read(fd_, buf, sizeof buf);
+    if (got > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      return ReadStatus::Eof;
+    } else if (errno != EINTR && errno != EAGAIN) {
+      close();
+      return ReadStatus::Error;
+    }
+  }
+}
+
+bool SocketConn::writeAll(const std::string& data, int timeoutMs) {
+  if (fd_ < 0) return false;
+  const std::int64_t start = nowMs();
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const int budget = remainingMs(start, timeoutMs);
+    if (budget == 0) {
+      close();
+      return false;
+    }
+    const int ready = pollOne(fd_, POLLOUT, budget);
+    if (ready <= 0) {
+      close();
+      return false;
+    }
+    // MSG_NOSIGNAL: a peer that hung up mid-reply is an EPIPE return value,
+    // never a SIGPIPE — the daemon must not die because one client did.
+    const ssize_t sent = ::send(fd_, data.data() + written,
+                                data.size() - written, MSG_NOSIGNAL);
+    if (sent > 0) {
+      written += static_cast<std::size_t>(sent);
+    } else if (sent < 0 && errno != EINTR && errno != EAGAIN) {
+      close();
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- UnixListener ----------------------------------------------------------
+
+bool UnixListener::listen(const std::string& path, std::string& error,
+                          int backlog) {
+  close();
+  sockaddr_un addr{};
+  if (!fillSockaddr(path, addr, error)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = std::string("socket failed: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(path.c_str());  // a stale socket file must not block restart
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    error = "bind failed for " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, backlog) != 0) {
+    error = "listen failed for " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+SocketConn UnixListener::accept(int timeoutMs, int wakeFd) {
+  if (fd_ < 0) return SocketConn{};
+  struct pollfd fds[2];
+  nfds_t n = 0;
+  fds[n++] = {fd_, POLLIN, 0};
+  if (wakeFd >= 0) fds[n++] = {wakeFd, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(fds, n, timeoutMs <= 0 ? -1 : timeoutMs);
+    if (ready < 0 && errno == EINTR) {
+      // A handled signal (the interrupt handler) counts as a wake: return so
+      // the caller re-checks its stop condition even without a wakeFd.
+      return SocketConn{};
+    }
+    if (ready <= 0) return SocketConn{};                    // timeout
+    if (n > 1 && (fds[1].revents & POLLIN) != 0) return SocketConn{};  // wake
+    if ((fds[0].revents & POLLIN) == 0) return SocketConn{};
+    const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn >= 0) return SocketConn{conn};
+    if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED)
+      return SocketConn{};
+  }
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+  fd_ = -1;
+  path_.clear();
+}
+
+SocketConn unixConnect(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  if (!fillSockaddr(path, addr, error)) return SocketConn{};
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = std::string("socket failed: ") + std::strerror(errno);
+    return SocketConn{};
+  }
+  int r;
+  do {
+    r = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    error = "connect failed for " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return SocketConn{};
+  }
+  return SocketConn{fd};
+}
+
+}  // namespace rapt

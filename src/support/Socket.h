@@ -1,0 +1,101 @@
+// Unix-domain stream sockets with line framing for the compile service
+// (docs/service.md; the daemon is tools/rapt-served, the protocol lives in
+// pipeline/WorkerProtocol.h).
+//
+// The service wire format is the journal's: one JSON document per
+// '\n'-terminated line, so the transport layer only needs (a) a listener
+// that can wait on "connection OR interrupt" and (b) a buffered connection
+// that reads whole lines and writes whole buffers under a deadline. All I/O
+// is plain POSIX poll + read/write — no threads, no global state — and every
+// call is EINTR-safe. SIGPIPE never escapes: sends use MSG_NOSIGNAL, so a
+// client that vanished mid-reply surfaces as a clean write failure.
+//
+// Deadlines are per-call, in milliseconds, 0 = wait forever. A timeout is
+// reported distinctly from EOF and from hard errors so callers can keep
+// polling their own stop conditions (the server re-checks
+// interruptRequested() between read attempts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rapt {
+
+/// One accepted or connected Unix-domain stream endpoint with a read buffer
+/// for line framing. Movable, not copyable; closes its fd on destruction.
+class SocketConn {
+ public:
+  SocketConn() = default;
+  explicit SocketConn(int fd) : fd_(fd) {}
+  ~SocketConn() { close(); }
+  SocketConn(SocketConn&& other) noexcept { *this = std::move(other); }
+  SocketConn& operator=(SocketConn&& other) noexcept;
+  SocketConn(const SocketConn&) = delete;
+  SocketConn& operator=(const SocketConn&) = delete;
+
+  [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Outcome of readLine, distinguishing the three ways a read can stop.
+  enum class ReadStatus : std::uint8_t {
+    Line,     ///< one complete line is in `out` (terminator stripped)
+    Eof,      ///< peer closed with no (complete) line pending
+    Timeout,  ///< deadline expired; buffered partial data is kept
+    Error,    ///< hard I/O error; the connection is closed
+  };
+
+  /// Reads until one full '\n'-terminated line is buffered, then returns it
+  /// without the terminator. `timeoutMs` bounds the whole call (0 = block
+  /// indefinitely). Oversized lines (> maxLineBytes) are an Error: a peer
+  /// streaming garbage must not balloon the server.
+  [[nodiscard]] ReadStatus readLine(std::string& out, int timeoutMs,
+                                    std::size_t maxLineBytes = 64u << 20);
+
+  /// Writes all of `data`, polling for writability up to `timeoutMs` per
+  /// made progress (0 = block indefinitely). Returns false on timeout or
+  /// error (the connection is then closed — a half-written frame is
+  /// unrecoverable under line framing).
+  [[nodiscard]] bool writeAll(const std::string& data, int timeoutMs);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// A listening Unix-domain socket bound to a filesystem path. Unlinks the
+/// path on bind (a stale socket file from a dead daemon must not block
+/// restart) and again on close.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener() { close(); }
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Binds and listens. Returns false with a diagnostic in `error` (path too
+  /// long for sockaddr_un, bind/listen failure).
+  [[nodiscard]] bool listen(const std::string& path, std::string& error,
+                            int backlog = 64);
+
+  /// Waits up to `timeoutMs` for a connection (0 = forever). `wakeFd`, when
+  /// >= 0, is polled alongside the listener: readability there (the
+  /// interrupt self-pipe, support/Interrupt.h) makes accept return an
+  /// unopened conn immediately — the caller then checks its stop condition.
+  /// Returns an open conn, or a closed one on timeout/wake/error.
+  [[nodiscard]] SocketConn accept(int timeoutMs, int wakeFd = -1);
+
+  [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a listening Unix-domain socket. Returns a closed conn with a
+/// diagnostic in `error` on failure.
+[[nodiscard]] SocketConn unixConnect(const std::string& path, std::string& error);
+
+}  // namespace rapt

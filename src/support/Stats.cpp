@@ -49,6 +49,19 @@ double median(std::span<const double> xs) {
   return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
+std::int64_t percentile(std::span<const std::int64_t> xs, double p) {
+  if (xs.empty()) return 0;
+  std::vector<std::int64_t> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  // Nearest-rank: the smallest value with at least p% of the sample at or
+  // below it — ceil(p/100 * n), 1-based.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  return v[rank == 0 ? 0 : rank - 1];
+}
+
 void DegradationHistogram::add(double degradationPercent) {
   int bucket;
   if (degradationPercent <= 0.0) {

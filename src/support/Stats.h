@@ -5,6 +5,7 @@
 // this header provides exactly those aggregations.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +26,12 @@ namespace rapt {
 
 /// Median (sample is copied and sorted).
 [[nodiscard]] double median(std::span<const double> xs);
+
+/// Nearest-rank percentile (p in [0, 100]) of an integer sample — the
+/// latency aggregation of the compile service and its load generator
+/// (BENCH_service.json: p50/p95/p99). The sample is copied and sorted;
+/// returns 0 on an empty sample.
+[[nodiscard]] std::int64_t percentile(std::span<const std::int64_t> xs, double p);
 
 /// The degradation histogram used in the paper's Figures 5-7.
 ///

@@ -33,10 +33,16 @@ std::string redactForTransport(const std::string& raw) {
 namespace {
 
 /// Writes never raise SIGPIPE out of the supervisor: a worker that dies
-/// mid-feed must surface as its exit status, not kill the parent. Installed
-/// once, process-wide (the repo never relies on default SIGPIPE death).
+/// before reading its full stdin job must surface as its exit status (the
+/// death-classification path), not kill the parent. Installed once,
+/// process-wide, but only when the disposition is still SIG_DFL — an
+/// embedding application's own SIGPIPE handler is not ours to clobber.
 void ignoreSigpipeOnce() {
   static const bool installed = [] {
+    struct sigaction current{};
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+        current.sa_handler != SIG_DFL)
+      return true;  // someone already chose a disposition; leave it
     struct sigaction sa{};
     sa.sa_handler = SIG_IGN;
     sigemptyset(&sa.sa_mask);
@@ -162,6 +168,15 @@ SubprocessResult runSubprocess(const SubprocessSpec& spec) {
     // the child forked — otherwise a grandchild keeps the stdout pipe open
     // and the supervisor waits out the full hang.
     ::setpgid(0, 0);
+    // The supervisor's SIG_IGN for SIGPIPE would survive exec (ignored
+    // dispositions are inherited); the child must start with the default it
+    // would have had from a shell, or its own pipe-death semantics silently
+    // change under supervision.
+    {
+      struct sigaction dfl{};
+      dfl.sa_handler = SIG_DFL;
+      ::sigaction(SIGPIPE, &dfl, nullptr);
+    }
     setLimit(RLIMIT_AS, spec.limits.addressSpaceBytes);
     setLimit(RLIMIT_CPU, spec.limits.cpuSeconds);
     // dup2 clears O_CLOEXEC on the standard fds; the originals close at exec.

@@ -1,0 +1,113 @@
+// Per-field audit of suiteConfigHash (pipeline/WorkerProtocol.h): EVERY
+// result-affecting PipelineOptions field must perturb the hash, or a resumed
+// journal / service cache hit could silently answer for a different
+// configuration (the satellite bugfix audit of docs/service.md "Cache
+// keying"). The inverse — supervision knobs leaving the hash alone — is
+// pinned by WorkerWire.ConfigHashIgnoresSupervisionKnobsOnly.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/WorkerProtocol.h"
+
+namespace rapt {
+namespace {
+
+const MachineDesc& testMachine() {
+  static const MachineDesc m = MachineDesc::paper16(4, CopyModel::Embedded);
+  return m;
+}
+
+/// Applies `mutate` to default options and asserts the hash moved.
+void expectHashChanges(const std::string& field,
+                       const std::function<void(PipelineOptions&)>& mutate) {
+  const PipelineOptions base;
+  const std::uint64_t baseHash = suiteConfigHash(testMachine(), base);
+  PipelineOptions mutated;
+  mutate(mutated);
+  EXPECT_NE(suiteConfigHash(testMachine(), mutated), baseHash)
+      << "result-affecting field '" << field
+      << "' does not change suiteConfigHash: a stale journal or cache entry "
+         "could answer for a different configuration";
+}
+
+TEST(ConfigHash, EveryRcgWeightChangesTheHash) {
+  expectHashChanges("weights.critBonus", [](PipelineOptions& o) { o.weights.critBonus = 3.5; });
+  expectHashChanges("weights.base", [](PipelineOptions& o) { o.weights.base = 1.25; });
+  expectHashChanges("weights.depthBase", [](PipelineOptions& o) { o.weights.depthBase = 11.0; });
+  expectHashChanges("weights.sep", [](PipelineOptions& o) { o.weights.sep = 0.75; });
+  expectHashChanges("weights.balance", [](PipelineOptions& o) { o.weights.balance = 2.0; });
+}
+
+TEST(ConfigHash, PartitionerAndSeedChangeTheHash) {
+  expectHashChanges("partitioner", [](PipelineOptions& o) { o.partitioner = PartitionerKind::RoundRobin; });
+  expectHashChanges("randomSeed", [](PipelineOptions& o) { o.randomSeed = 0xfeedULL; });
+  expectHashChanges("partitionerFallback", [](PipelineOptions& o) { o.partitionerFallback = false; });
+}
+
+TEST(ConfigHash, SimulationAndVerificationTogglesChangeTheHash) {
+  expectHashChanges("simTrip", [](PipelineOptions& o) { o.simTrip = 65; });
+  expectHashChanges("simulate", [](PipelineOptions& o) { o.simulate = false; });
+  expectHashChanges("verify", [](PipelineOptions& o) { o.verify = false; });
+  expectHashChanges("staticAnalysis", [](PipelineOptions& o) { o.staticAnalysis = false; });
+}
+
+TEST(ConfigHash, AllocationKnobsChangeTheHash) {
+  expectHashChanges("allocateRegisters", [](PipelineOptions& o) { o.allocateRegisters = false; });
+  expectHashChanges("maxAllocRetries", [](PipelineOptions& o) { o.maxAllocRetries = 3; });
+  expectHashChanges("refinePasses", [](PipelineOptions& o) { o.refinePasses = 2; });
+  expectHashChanges("compactLifetimes", [](PipelineOptions& o) { o.compactLifetimes = true; });
+}
+
+TEST(ConfigHash, BudgetsAndDeadlinesChangeTheHash) {
+  // workBudget determinstically classifies loops (Timeout on exhaustion), so
+  // two budgets are two different experiments; deadlineNs likewise.
+  expectHashChanges("workBudget", [](PipelineOptions& o) { o.workBudget = 12345; });
+  expectHashChanges("deadlineNs", [](PipelineOptions& o) { o.deadlineNs = 1'000'000; });
+}
+
+TEST(ConfigHash, FaultPlanChangesTheHash) {
+  expectHashChanges("fault.seed", [](PipelineOptions& o) { o.fault.seed = 7; });
+  expectHashChanges("fault.ratePercent", [](PipelineOptions& o) { o.fault.ratePercent = 5; });
+  expectHashChanges("fault.processFaults", [](PipelineOptions& o) { o.fault.processFaults = true; });
+}
+
+TEST(ConfigHash, SchedulerOptionsChangeTheHash) {
+  expectHashChanges("sched.maxII", [](PipelineOptions& o) { o.sched.maxII = 512; });
+  expectHashChanges("sched.budgetRatio", [](PipelineOptions& o) { o.sched.budgetRatio = 4; });
+  expectHashChanges("sched.startII", [](PipelineOptions& o) { o.sched.startII = 2; });
+  expectHashChanges("sched.maxPlacements", [](PipelineOptions& o) { o.sched.maxPlacements = 9999; });
+}
+
+TEST(ConfigHash, DistinctMutationsYieldDistinctHashes) {
+  // Belt and braces against pairwise collisions among the single-field
+  // mutations above: every mutation must hash differently from every other.
+  std::vector<std::pair<std::string, PipelineOptions>> variants;
+  variants.emplace_back("base", PipelineOptions{});
+  auto add = [&variants](const std::string& name, auto mutate) {
+    PipelineOptions o;
+    mutate(o);
+    variants.emplace_back(name, o);
+  };
+  add("critBonus", [](PipelineOptions& o) { o.weights.critBonus = 3.5; });
+  add("partitioner", [](PipelineOptions& o) { o.partitioner = PartitionerKind::UasLike; });
+  add("randomSeed", [](PipelineOptions& o) { o.randomSeed = 2; });
+  add("simTrip", [](PipelineOptions& o) { o.simTrip = 128; });
+  add("workBudget", [](PipelineOptions& o) { o.workBudget = 1; });
+  add("maxII", [](PipelineOptions& o) { o.sched.maxII = 64; });
+  add("faultSeed", [](PipelineOptions& o) { o.fault.seed = 1; });
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    for (std::size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_NE(suiteConfigHash(testMachine(), variants[i].second),
+                suiteConfigHash(testMachine(), variants[j].second))
+          << variants[i].first << " collides with " << variants[j].first;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapt

@@ -39,6 +39,7 @@ TEST(FailureTaxonomy, NamesAreStableTokens) {
   EXPECT_STREQ(failureClassName(FailureClass::Crash), "crash");
   EXPECT_STREQ(failureClassName(FailureClass::OutOfMemory), "outOfMemory");
   EXPECT_STREQ(failureClassName(FailureClass::HardTimeout), "hardTimeout");
+  EXPECT_STREQ(failureClassName(FailureClass::Overload), "overload");
 }
 
 TEST(FailureTaxonomy, CapacityAndBugClassesAreDisjoint) {
@@ -49,7 +50,7 @@ TEST(FailureTaxonomy, CapacityAndBugClassesAreDisjoint) {
     if (isCapacityClass(cls)) ++capacity;
     if (isBugClass(cls)) ++bug;
   }
-  EXPECT_EQ(capacity, 5);  // sched, alloc, timeout, oom, hard-timeout
+  EXPECT_EQ(capacity, 6);  // sched, alloc, timeout, oom, hard-timeout, overload
   EXPECT_EQ(bug, 4);       // verifier, validation, internal, crash
   EXPECT_FALSE(isCapacityClass(FailureClass::None));
   EXPECT_FALSE(isBugClass(FailureClass::None));

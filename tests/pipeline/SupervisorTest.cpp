@@ -304,6 +304,43 @@ TEST(Supervisor, MissingWorkerBinaryRetriesThenInternalError) {
   EXPECT_EQ(isolated.spawnRetries, 2);
 }
 
+TEST(Supervisor, WorkerDyingBeforeReadingTheJobIsAContainedCrash) {
+  // Regression for the SIGPIPE/EPIPE job-write bug: the "earlyAbort" inject
+  // kind fires BEFORE the worker reads stdin, so the supervisor's job write
+  // lands on a dead pipe. Before the fix that raised SIGPIPE inside the
+  // supervisor process itself; now it must surface as one classified Crash
+  // row. Early kinds have no @loopName filter, so drive a single loop
+  // directly through compileLoopInSubprocess.
+  const std::vector<Loop> loops = smallCorpus(1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions sub = subprocessOptions();
+  sub.simulate = false;
+  const ScopedEnv inject("RAPT_WORKER_INJECT", "earlyAbort");
+  const LoopResult r = compileLoopInSubprocess(loops[0], m, sub);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failureClass, FailureClass::Crash)
+      << failureClassName(r.failureClass) << ": " << r.error;
+  EXPECT_NE(r.error.find("SIGABRT"), std::string::npos) << r.error;
+}
+
+TEST(Supervisor, WorkerExitingBeforeReadingTheJobIsAContainedInternalError) {
+  // Same EPIPE-on-job-write path, but the worker exits cleanly-with-status
+  // instead of dying on a signal: a deterministic refusal, classified
+  // immediately with the status in the error text and no spawn retry.
+  const std::vector<Loop> loops = smallCorpus(1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions sub = subprocessOptions();
+  sub.simulate = false;
+  const ScopedEnv inject("RAPT_WORKER_INJECT", "earlyExit");
+  bool retried = false;
+  const LoopResult r = compileLoopInSubprocess(loops[0], m, sub, &retried);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failureClass, FailureClass::InternalError)
+      << failureClassName(r.failureClass) << ": " << r.error;
+  EXPECT_NE(r.error.find("status 7"), std::string::npos) << r.error;
+  EXPECT_FALSE(retried);
+}
+
 // ---- journal + resume -------------------------------------------------------
 
 TEST(Supervisor, TruncatedJournalResumesToBitIdenticalResult) {

@@ -1,0 +1,100 @@
+// Admission control for the compile service (service/AdmissionQueue.h):
+// explicit overload rejection at the depth cap, round-robin fairness across
+// clients, and the two close modes (drain vs discard).
+#include "service/AdmissionQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rapt {
+namespace {
+
+TEST(AdmissionQueue, RejectsBeyondTheDepthCap) {
+  AdmissionQueue q(2);
+  EXPECT_TRUE(q.push(1, [] {}));
+  EXPECT_TRUE(q.push(1, [] {}));
+  EXPECT_FALSE(q.push(1, [] {}));  // the overload rejection
+  EXPECT_FALSE(q.push(2, [] {}));  // cap is TOTAL, not per client
+  const AdmissionStats s = q.stats();
+  EXPECT_EQ(s.admitted, 2);
+  EXPECT_EQ(s.rejected, 2);
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_EQ(s.maxDepthSeen, 2);
+}
+
+TEST(AdmissionQueue, RoundRobinInterleavesClientsExactly) {
+  AdmissionQueue q(16);
+  std::vector<std::string> order;
+  auto task = [&order](std::string label) {
+    return [&order, label = std::move(label)] { order.push_back(label); };
+  };
+  // Client 1 dumps four jobs before client 2's single job arrives; client 3
+  // adds two more. Service order must rotate clients, not drain client 1.
+  ASSERT_TRUE(q.push(1, task("a1")));
+  ASSERT_TRUE(q.push(1, task("a2")));
+  ASSERT_TRUE(q.push(1, task("a3")));
+  ASSERT_TRUE(q.push(1, task("a4")));
+  ASSERT_TRUE(q.push(2, task("b1")));
+  ASSERT_TRUE(q.push(3, task("c1")));
+  ASSERT_TRUE(q.push(3, task("c2")));
+  q.close();
+  AdmissionQueue::Task t;
+  while (q.pop(t)) t();
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "c1", "a2", "c2",
+                                             "a3", "a4"}));
+}
+
+TEST(AdmissionQueue, SingleJobClientIsNeverStarvedByAFlood) {
+  AdmissionQueue q(64);
+  std::vector<std::string> order;
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(q.push(1, [&order] { order.push_back("flood"); }));
+  ASSERT_TRUE(q.push(2, [&order] { order.push_back("single"); }));
+  q.close();
+  AdmissionQueue::Task t;
+  while (q.pop(t)) t();
+  ASSERT_EQ(order.size(), 21u);
+  // The single job is served second (one flood job was already at the head),
+  // not twenty-first.
+  EXPECT_EQ(order[1], "single");
+}
+
+TEST(AdmissionQueue, CloseDrainsTheBacklogThenUnblocksPop) {
+  AdmissionQueue q(8);
+  int ran = 0;
+  ASSERT_TRUE(q.push(1, [&ran] { ++ran; }));
+  ASSERT_TRUE(q.push(1, [&ran] { ++ran; }));
+  q.close();
+  EXPECT_FALSE(q.push(1, [&ran] { ++ran; }));  // closed: no new admissions
+  AdmissionQueue::Task t;
+  while (q.pop(t)) t();
+  EXPECT_EQ(ran, 2);  // the admitted backlog still ran
+}
+
+TEST(AdmissionQueue, CloseAndDiscardDropsTheBacklog) {
+  AdmissionQueue q(8);
+  int ran = 0;
+  ASSERT_TRUE(q.push(1, [&ran] { ++ran; }));
+  q.closeAndDiscard();
+  AdmissionQueue::Task t;
+  EXPECT_FALSE(q.pop(t));
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(q.stats().depth, 0);
+}
+
+TEST(AdmissionQueue, CloseWakesABlockedConsumer) {
+  AdmissionQueue q(4);
+  std::thread consumer([&q] {
+    AdmissionQueue::Task t;
+    while (q.pop(t)) t();
+  });
+  q.close();  // no tasks ever pushed: pop must return false, not hang
+  consumer.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,161 @@
+// The service result cache (service/ResultCache.h): content-addressed keys,
+// LRU eviction under a byte budget, and journal-backed persistence (the
+// warm-restart path of docs/service.md).
+#include "service/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pipeline/WorkerProtocol.h"
+
+namespace rapt {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ResultCache, MakeKeyIsTheTwoJournalHashes) {
+  EXPECT_EQ(ResultCache::makeKey(0xabcULL, 0x123ULL),
+            hashToHex(0xabcULL) + ":" + hashToHex(0x123ULL));
+}
+
+TEST(ResultCache, MissThenHitWithCounters) {
+  ResultCache cache(1 << 20);
+  std::string text;
+  EXPECT_FALSE(cache.lookup("k", text));
+  cache.insert("k", "{\"ok\":true}");
+  ASSERT_TRUE(cache.lookup("k", text));
+  EXPECT_EQ(text, "{\"ok\":true}");
+  const ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.insertions, 1);
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_EQ(s.bytes, static_cast<std::int64_t>(1 + std::string("{\"ok\":true}").size()));
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Each entry is key(1) + value(10) = 11 bytes; budget 22 holds two.
+  ResultCache cache(22);
+  const std::string v(10, 'x');
+  cache.insert("a", v);
+  cache.insert("b", v);
+  std::string text;
+  ASSERT_TRUE(cache.lookup("a", text));  // refresh: b is now the LRU entry
+  cache.insert("c", v);
+  EXPECT_TRUE(cache.lookup("a", text));
+  EXPECT_FALSE(cache.lookup("b", text));  // evicted
+  EXPECT_TRUE(cache.lookup("c", text));
+  const ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_LE(s.bytes, 22);
+}
+
+TEST(ResultCache, EntryLargerThanTheWholeBudgetIsNotCached) {
+  ResultCache cache(16);
+  cache.insert("big", std::string(64, 'x'));
+  std::string text;
+  EXPECT_FALSE(cache.lookup("big", text));
+  EXPECT_EQ(cache.stats().insertions, 0);
+  EXPECT_EQ(cache.stats().evictions, 0);  // nothing was thrown out for it
+}
+
+TEST(ResultCache, DuplicateInsertRefreshesRecencyWithoutDoubleCounting) {
+  ResultCache cache(22);
+  const std::string v(10, 'x');
+  cache.insert("a", v);
+  cache.insert("b", v);
+  cache.insert("a", v);  // duplicate: recency refresh only
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().insertions, 2);
+  cache.insert("c", v);  // now b, not a, is the eviction victim
+  std::string text;
+  EXPECT_TRUE(cache.lookup("a", text));
+  EXPECT_FALSE(cache.lookup("b", text));
+}
+
+TEST(ResultCache, JournalPersistsAcrossReopen) {
+  const std::string path = tempPath("cache-persist.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultCache cache(1 << 20);
+    ASSERT_TRUE(cache.openJournal(path));
+    cache.insert("k1", "r1");
+    cache.insert("k2", "r2");
+    cache.closeJournal();
+  }
+  ResultCache warm(1 << 20);
+  ASSERT_TRUE(warm.openJournal(path));
+  const ResultCacheStats s = warm.stats();
+  EXPECT_EQ(s.journalRowsReplayed, 2);
+  std::string text;
+  ASSERT_TRUE(warm.lookup("k1", text));
+  EXPECT_EQ(text, "r1");
+  ASSERT_TRUE(warm.lookup("k2", text));
+  EXPECT_EQ(text, "r2");
+}
+
+TEST(ResultCache, EntriesInsertedBeforeOpenJournalAreSeededIntoIt) {
+  const std::string path = tempPath("cache-seed.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultCache cache(1 << 20);
+    cache.insert("early", "warm");  // before persistence is attached
+    ASSERT_TRUE(cache.openJournal(path));
+    cache.closeJournal();
+  }
+  ResultCache warm(1 << 20);
+  ASSERT_TRUE(warm.openJournal(path));
+  std::string text;
+  ASSERT_TRUE(warm.lookup("early", text));
+  EXPECT_EQ(text, "warm");
+}
+
+TEST(ResultCache, ReplayEnforcesTheByteBudgetOldestFirst) {
+  const std::string path = tempPath("cache-budget.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultCache cache(1 << 20);
+    ASSERT_TRUE(cache.openJournal(path));
+    cache.insert("a", std::string(10, 'x'));
+    cache.insert("b", std::string(10, 'y'));
+    cache.insert("c", std::string(10, 'z'));
+    cache.closeJournal();
+  }
+  // Budget for two 11-byte entries: the OLDEST appended row ("a") is trimmed.
+  ResultCache warm(22);
+  ASSERT_TRUE(warm.openJournal(path));
+  std::string text;
+  EXPECT_FALSE(warm.lookup("a", text));
+  EXPECT_TRUE(warm.lookup("b", text));
+  EXPECT_TRUE(warm.lookup("c", text));
+  EXPECT_EQ(warm.stats().journalRowsReplayed, 3);
+}
+
+TEST(ResultCache, ForeignJournalKindIsRecreatedNotReplayed) {
+  const std::string path = tempPath("cache-foreign.jsonl");
+  {
+    // A valid journal of another kind (e.g. a suite run journal).
+    JournalWriter w;
+    Json header = Json::object();
+    header["journalKind"] = "something-else";
+    ASSERT_TRUE(w.create(path, std::move(header)));
+    w.close();
+  }
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.openJournal(path));
+  EXPECT_EQ(cache.stats().journalRowsReplayed, 0);
+  cache.insert("k", "v");
+  cache.closeJournal();
+  // The recreated file is now a cache journal and round-trips.
+  ResultCache warm(1 << 20);
+  ASSERT_TRUE(warm.openJournal(path));
+  std::string text;
+  EXPECT_TRUE(warm.lookup("k", text));
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,428 @@
+// End-to-end tests of the rapt-served compile service (service/Server.h,
+// service/Client.h, docs/service.md) over a real Unix-domain socket:
+//
+//  - a cache hit is BIT-IDENTICAL to its cold compile, in both isolation
+//    modes (the service's core correctness claim),
+//  - LRU eviction under the byte budget forces a recompile,
+//  - queue overload surfaces as a FailureClass::Overload row (the taxonomy
+//    mapping), counted and classified, while admitted jobs still complete,
+//  - a client flooding the queue cannot starve another client's single job
+//    (round-robin admission),
+//  - the SIGTERM wind-down finishes in-flight jobs, replies to them, and
+//    persists the cache journal — a restarted daemon answers warm.
+//
+// Subprocess scenarios exec the real rapt-worker (RAPT_WORKER_BIN from
+// tests/CMakeLists.txt) with RAPT_WORKER_INJECT faults, like SupervisorTest.
+#include <signal.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../pipeline/SuiteCompare.h"
+#include "pipeline/WorkerProtocol.h"
+#include "service/Client.h"
+#include "service/ResultCache.h"
+#include "service/Server.h"
+#include "support/Interrupt.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+std::string tempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<Loop> smallCorpus(int count) {
+  GeneratorParams params;
+  params.count = count;
+  return generateCorpus(params);
+}
+
+std::int64_t elapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+constexpr int kClientTimeoutMs = 60'000;
+
+/// Starts a server on a unique socket for the scope of one test.
+class ScopedServer {
+ public:
+  explicit ScopedServer(ServerOptions options) : server_(std::move(options)) {
+    std::string error;
+    started_ = server_.start(error);
+    EXPECT_TRUE(started_) << error;
+  }
+  ~ScopedServer() { server_.stop(); }
+  [[nodiscard]] ServiceServer& get() { return server_; }
+
+ private:
+  ServiceServer server_;
+  bool started_ = false;
+};
+
+ServerOptions baseOptions(const std::string& socketName) {
+  ServerOptions so;
+  so.socketPath = tempPath(socketName);
+  so.threads = 2;
+  so.idlePollMs = 50;  // snappy wind-down in tests
+  return so;
+}
+
+// ---- bit-identity of cache hits --------------------------------------------
+
+TEST(Service, CacheHitIsBitIdenticalToColdCompileInProcess) {
+  ScopedServer server(baseOptions("svc-inproc.sock"));
+  const std::vector<Loop> loops = smallCorpus(2);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  const PipelineOptions opt;  // simulate on: validation crosses the wire too
+
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.get().socketPath(), error)) << error;
+
+  ServiceReply cold;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, cold, error, kClientTimeoutMs))
+      << error;
+  EXPECT_FALSE(cold.cacheHit);
+  EXPECT_FALSE(cold.result.servedFromCache);
+  EXPECT_TRUE(cold.result.ok) << cold.result.error;
+  // The service answer is the local compile (wall-clock trace fields aside,
+  // which expectLoopResultsIdentical deliberately excludes).
+  expectLoopResultsIdentical(compileLoop(loops[0], m, opt), cold.result);
+
+  ServiceReply warm;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, warm, error, kClientTimeoutMs))
+      << error;
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_TRUE(warm.result.servedFromCache);
+  EXPECT_EQ(warm.resultText, cold.resultText);  // the bit-identity claim
+  // Provenance lives in the envelope only; the decoded results are identical
+  // (servedFromCache is deliberately outside encodeLoopResult).
+  LoopResult coldNoProvenance = cold.result;
+  LoopResult warmNoProvenance = warm.result;
+  coldNoProvenance.servedFromCache = warmNoProvenance.servedFromCache = false;
+  expectLoopResultsIdentical(coldNoProvenance, warmNoProvenance);
+
+  // A different result-affecting option is a different cache key.
+  PipelineOptions seeded = opt;
+  seeded.partitioner = PartitionerKind::Random;
+  seeded.randomSeed = 77;
+  ServiceReply other;
+  ASSERT_TRUE(
+      client.compile(loops[0], m, seeded, other, error, kClientTimeoutMs))
+      << error;
+  EXPECT_FALSE(other.cacheHit);
+}
+
+TEST(Service, SubprocessIsolationServesTheSameBytesAndCaches) {
+  ServerOptions so = baseOptions("svc-subproc.sock");
+  so.isolation = SuiteIsolation::Subprocess;
+  so.workerPath = RAPT_WORKER_BIN;
+  ScopedServer server(so);
+  const std::vector<Loop> loops = smallCorpus(1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.get().socketPath(), error)) << error;
+  ServiceReply cold;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, cold, error, kClientTimeoutMs))
+      << error;
+  EXPECT_FALSE(cold.cacheHit);
+  EXPECT_TRUE(cold.result.ok) << cold.result.error;
+  // Isolation modes agree on every result field (the repo-wide determinism
+  // invariant, now visible through the service; wall times excluded).
+  expectLoopResultsIdentical(compileLoop(loops[0], m, opt), cold.result);
+  ServiceReply warm;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, warm, error, kClientTimeoutMs))
+      << error;
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.resultText, cold.resultText);
+}
+
+// ---- eviction ---------------------------------------------------------------
+
+TEST(Service, EvictionUnderTheByteBudgetForcesARecompile) {
+  const std::vector<Loop> loops = smallCorpus(2);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+
+  // Budget sized to hold either result alone but never both: caching loop B
+  // evicts loop A. Result texts are kilobytes and differ from the server's
+  // only in wall-time digit counts, so a 256-byte slack is safe on both
+  // sides of the inequality.
+  const std::size_t sizeA =
+      encodeLoopResult(compileLoop(loops[0], m, opt)).dumpCompact().size();
+  const std::size_t sizeB =
+      encodeLoopResult(compileLoop(loops[1], m, opt)).dumpCompact().size();
+  ServerOptions so = baseOptions("svc-evict.sock");
+  so.cacheBytes = static_cast<std::int64_t>(std::max(sizeA, sizeB)) + 256;
+  ASSERT_LT(so.cacheBytes, static_cast<std::int64_t>(sizeA + sizeB));
+  ScopedServer server(so);
+
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.get().socketPath(), error)) << error;
+  ServiceReply r;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, r, error, kClientTimeoutMs)) << error;
+  EXPECT_FALSE(r.cacheHit);
+  ASSERT_TRUE(client.compile(loops[0], m, opt, r, error, kClientTimeoutMs)) << error;
+  EXPECT_TRUE(r.cacheHit);  // still resident
+  ASSERT_TRUE(client.compile(loops[1], m, opt, r, error, kClientTimeoutMs)) << error;
+  EXPECT_FALSE(r.cacheHit);  // B's insert evicts A
+  ASSERT_TRUE(client.compile(loops[0], m, opt, r, error, kClientTimeoutMs)) << error;
+  EXPECT_FALSE(r.cacheHit);  // A was evicted: recompiled, not replayed
+  EXPECT_TRUE(r.result.ok);
+  EXPECT_GE(server.get().stats().cache.evictions, 1);
+}
+
+// ---- overload ---------------------------------------------------------------
+
+TEST(Service, QueueOverloadIsRejectedAsAClassifiedOverloadRow) {
+  // One worker, queue depth one, and every compile is a 500ms spin-hang in a
+  // supervised subprocess: the first job occupies the worker, at most one
+  // more is admitted, and the rest must bounce at the door immediately.
+  ServerOptions so = baseOptions("svc-overload.sock");
+  so.threads = 1;
+  so.maxQueueDepth = 1;
+  so.isolation = SuiteIsolation::Subprocess;
+  so.workerPath = RAPT_WORKER_BIN;
+  so.workerTimeoutMs = 500;
+  ScopedServer server(so);
+  const ScopedEnv inject("RAPT_WORKER_INJECT", "spinHang");
+
+  const std::vector<Loop> loops = smallCorpus(1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+
+  // Raw pipelined connection: fire six requests without waiting for replies
+  // (ServiceClient is strictly request/response and would never fill the
+  // queue).
+  std::string error;
+  SocketConn conn = unixConnect(server.get().socketPath(), error);
+  ASSERT_TRUE(conn.isOpen()) << error;
+  constexpr int kJobs = 6;
+  std::string burst;
+  for (int id = 1; id <= kJobs; ++id)
+    burst += encodeServiceJobRequest(id, loops[0], m, opt).dumpCompact() + "\n";
+  ASSERT_TRUE(conn.writeAll(burst, kClientTimeoutMs));
+
+  int overloads = 0;
+  int hardTimeouts = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    std::string line;
+    ASSERT_EQ(conn.readLine(line, kClientTimeoutMs), SocketConn::ReadStatus::Line);
+    Json doc;
+    ASSERT_TRUE(Json::parse(line, doc, error)) << error;
+    std::int64_t id = 0;
+    bool cacheHit = false;
+    std::int64_t queueNs = 0;
+    std::int64_t serviceNs = 0;
+    const Json* payload = nullptr;
+    ASSERT_TRUE(decodeServiceResponse(doc, id, cacheHit, queueNs, serviceNs,
+                                      payload, error))
+        << error;
+    LoopResult result;
+    ASSERT_TRUE(decodeLoopResult(*payload, result, error)) << error;
+    EXPECT_FALSE(result.ok);
+    if (result.failureClass == FailureClass::Overload) {
+      ++overloads;
+      EXPECT_NE(result.error.find("overloaded"), std::string::npos) << result.error;
+      EXPECT_TRUE(isCapacityClass(FailureClass::Overload));
+    } else {
+      EXPECT_EQ(result.failureClass, FailureClass::HardTimeout) << result.error;
+      ++hardTimeouts;
+    }
+  }
+  // Exactly one job held the worker and at most one sat in the queue; the
+  // admission race decides whether it is 4 or 5 rejections.
+  EXPECT_GE(overloads, 4);
+  EXPECT_LE(overloads, 5);
+  EXPECT_EQ(overloads + hardTimeouts, kJobs);
+  const ServerStats stats = server.get().stats();
+  EXPECT_EQ(stats.rejectedOverload, overloads);
+  EXPECT_GE(stats.queue.rejected, overloads);
+}
+
+// ---- fairness ---------------------------------------------------------------
+
+TEST(Service, FloodingClientCannotStarveAnotherClientsSingleJob) {
+  // One worker; client A pipelines six 400ms spin-hangs. Client B then asks
+  // for one quick compile. Round-robin admission serves B right after A's
+  // in-flight job — far sooner than A's 2.4s backlog.
+  ServerOptions so = baseOptions("svc-fair.sock");
+  so.threads = 1;
+  so.isolation = SuiteIsolation::Subprocess;
+  so.workerPath = RAPT_WORKER_BIN;
+  so.workerTimeoutMs = 400;
+  ScopedServer server(so);
+
+  std::vector<Loop> loops = smallCorpus(2);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  const ScopedEnv inject("RAPT_WORKER_INJECT", "spinHang@" + loops[0].name);
+
+  std::string error;
+  SocketConn flood = unixConnect(server.get().socketPath(), error);
+  ASSERT_TRUE(flood.isOpen()) << error;
+  constexpr int kFlood = 6;
+  std::string burst;
+  for (int id = 1; id <= kFlood; ++id)
+    burst += encodeServiceJobRequest(id, loops[0], m, opt).dumpCompact() + "\n";
+  ASSERT_TRUE(flood.writeAll(burst, kClientTimeoutMs));
+  // Give the reader time to admit the backlog before B shows up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  ServiceClient quick;
+  ASSERT_TRUE(quick.connect(server.get().socketPath(), error)) << error;
+  const auto start = std::chrono::steady_clock::now();
+  ServiceReply reply;
+  ASSERT_TRUE(quick.compile(loops[1], m, opt, reply, error, kClientTimeoutMs))
+      << error;
+  const std::int64_t waitedMs = elapsedMs(start);
+  EXPECT_TRUE(reply.result.ok) << reply.result.error;
+  // Strict FIFO would make B wait out A's whole backlog (~2400ms); the
+  // rotation bounds it by one hang slot plus B's own compile.
+  EXPECT_LT(waitedMs, 2000) << "single job waited out the flood backlog";
+
+  // Drain A so the wind-down in ~ScopedServer stays quick.
+  for (int i = 0; i < kFlood; ++i) {
+    std::string line;
+    ASSERT_EQ(flood.readLine(line, kClientTimeoutMs), SocketConn::ReadStatus::Line);
+  }
+}
+
+// ---- SIGTERM wind-down ------------------------------------------------------
+
+class ServiceInterrupt : public ::testing::Test {
+ protected:
+  void SetUp() override { clearInterruptForTest(); }
+  void TearDown() override { clearInterruptForTest(); }
+};
+
+TEST_F(ServiceInterrupt, WindDownFinishesInFlightJobsAndPersistsTheCache) {
+  const std::string journalPath = tempPath("svc-winddown-cache.jsonl");
+  std::remove(journalPath.c_str());
+
+  const std::vector<Loop> loops = smallCorpus(2);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+
+  ServerOptions so = baseOptions("svc-winddown.sock");
+  so.threads = 1;
+  so.isolation = SuiteIsolation::Subprocess;
+  so.workerPath = RAPT_WORKER_BIN;
+  so.workerTimeoutMs = 500;
+  so.cacheJournalPath = journalPath;
+  {
+    ScopedServer server(so);
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(server.get().socketPath(), error)) << error;
+    // One completed (cached + journaled) compile...
+    ServiceReply done;
+    ASSERT_TRUE(client.compile(loops[0], m, opt, done, error, kClientTimeoutMs))
+        << error;
+    ASSERT_TRUE(done.result.ok) << done.result.error;
+
+    // ...and one genuinely in flight: a 500ms spin-hang, admitted before the
+    // interrupt lands.
+    const ScopedEnv inject("RAPT_WORKER_INJECT", "spinHang@" + loops[1].name);
+    ServiceReply inflight;
+    bool inflightOk = false;
+    std::string inflightError;
+    std::thread sender([&] {
+      inflightOk = client.compile(loops[1], m, opt, inflight, inflightError,
+                                  kClientTimeoutMs);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    requestInterruptForTest(SIGTERM);
+    server.get().stop();  // returns only after admitted jobs have replied
+
+    sender.join();
+    // The in-flight job was NOT discarded: its (classified) reply arrived.
+    ASSERT_TRUE(inflightOk) << inflightError;
+    EXPECT_EQ(inflight.result.failureClass, FailureClass::HardTimeout)
+        << inflight.result.error;
+  }
+
+  // The journal survived the wind-down and warms a fresh cache...
+  ResultCache warmCache(1 << 20);
+  ASSERT_TRUE(warmCache.openJournal(journalPath));
+  EXPECT_GE(warmCache.stats().journalRowsReplayed, 1);
+  warmCache.closeJournal();
+
+  // ...and a restarted daemon answers the completed loop from cache.
+  clearInterruptForTest();
+  ScopedServer restarted(so);
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(restarted.get().socketPath(), error)) << error;
+  ServiceReply warm;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, warm, error, kClientTimeoutMs))
+      << error;
+  EXPECT_TRUE(warm.cacheHit) << "restart did not come back warm";
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Service, StatsRequestReportsTheCounters) {
+  ScopedServer server(baseOptions("svc-stats.sock"));
+  const std::vector<Loop> loops = smallCorpus(1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.get().socketPath(), error)) << error;
+  ServiceReply r;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, r, error, kClientTimeoutMs)) << error;
+  ASSERT_TRUE(client.compile(loops[0], m, opt, r, error, kClientTimeoutMs)) << error;
+
+  Json stats;
+  ASSERT_TRUE(client.stats(stats, error, kClientTimeoutMs)) << error;
+  ASSERT_TRUE(stats.isObject());
+  EXPECT_EQ(stats.find("requests")->asInt(), 2);
+  EXPECT_EQ(stats.find("responses")->asInt(), 2);
+  EXPECT_EQ(stats.find("cache")->find("hits")->asInt(), 1);
+  EXPECT_EQ(stats.find("cache")->find("misses")->asInt(), 1);
+  EXPECT_EQ(stats.find("queue")->find("admitted")->asInt(), 1);
+  ASSERT_NE(stats.find("latency"), nullptr);
+  EXPECT_EQ(stats.find("latency")->find("hitNs")->find("count")->asInt(), 1);
+  EXPECT_EQ(stats.find("latency")->find("missNs")->find("count")->asInt(), 1);
+  EXPECT_EQ(stats.find("isolation")->asString(), "inprocess");
+}
+
+}  // namespace
+}  // namespace rapt

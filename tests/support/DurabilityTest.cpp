@@ -1,0 +1,70 @@
+// Directory-entry durability helpers (support/Durability.h): the atomic
+// replace writer and the fsync wrappers backing journal creation and
+// BENCH_*.json emission.
+#include "support/Durability.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace rapt {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(Durability, WriteFileDurableCreatesTheFileAndRemovesTheTemp) {
+  const std::string path = tempPath("durable-new.json");
+  std::remove(path.c_str());
+  ASSERT_TRUE(writeFileDurable(path, "{\"v\":1}\n"));
+  EXPECT_EQ(slurp(path), "{\"v\":1}\n");
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST(Durability, WriteFileDurableReplacesAtomically) {
+  const std::string path = tempPath("durable-replace.json");
+  ASSERT_TRUE(writeFileDurable(path, "old"));
+  ASSERT_TRUE(writeFileDurable(path, "new contents"));
+  EXPECT_EQ(slurp(path), "new contents");
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST(Durability, WriteFileDurableFailsCleanlyIntoAMissingDirectory) {
+  const std::string path = tempPath("no-such-dir") + "/report.json";
+  EXPECT_FALSE(writeFileDurable(path, "x"));
+  EXPECT_FALSE(exists(path));
+}
+
+TEST(Durability, FsyncParentDirOfARealPathSucceeds) {
+  const std::string path = tempPath("anchor.txt");
+  ASSERT_TRUE(writeFileDurable(path, "anchor"));
+  EXPECT_TRUE(fsyncParentDir(path));
+  // A bare filename syncs "." rather than failing.
+  EXPECT_TRUE(fsyncParentDir("bare-filename"));
+}
+
+TEST(Durability, FsyncFileDistinguishesExistingFromMissing) {
+  const std::string path = tempPath("synced.txt");
+  ASSERT_TRUE(writeFileDurable(path, "data"));
+  EXPECT_TRUE(fsyncFile(path));
+  EXPECT_FALSE(fsyncFile(tempPath("never-created.txt")));
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,152 @@
+// Unix-domain line-framed transport (support/Socket.h): listener lifecycle,
+// line framing across partial reads, the three readLine outcomes, the wake-fd
+// accept path, and survival of peer-gone writes (MSG_NOSIGNAL: EPIPE as a
+// return value, not a fatal signal).
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace rapt {
+namespace {
+
+std::string tempSocket(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Socket, ListenConnectAndLineRoundTrip) {
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("rt.sock"), error)) << error;
+
+  SocketConn client = unixConnect(listener.path(), error);
+  ASSERT_TRUE(client.isOpen()) << error;
+  SocketConn server = listener.accept(2000);
+  ASSERT_TRUE(server.isOpen());
+
+  ASSERT_TRUE(client.writeAll("hello\nwor", 2000));
+  std::string line;
+  ASSERT_EQ(server.readLine(line, 2000), SocketConn::ReadStatus::Line);
+  EXPECT_EQ(line, "hello");
+  ASSERT_TRUE(client.writeAll("ld\n", 2000));
+  ASSERT_EQ(server.readLine(line, 2000), SocketConn::ReadStatus::Line);
+  EXPECT_EQ(line, "world");  // framing reassembles across writes
+
+  // And the other direction over the same connection.
+  ASSERT_TRUE(server.writeAll("reply\n", 2000));
+  ASSERT_EQ(client.readLine(line, 2000), SocketConn::ReadStatus::Line);
+  EXPECT_EQ(line, "reply");
+}
+
+TEST(Socket, TimeoutKeepsPartialDataThenCompletesTheLine) {
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("partial.sock"), error)) << error;
+  SocketConn client = unixConnect(listener.path(), error);
+  ASSERT_TRUE(client.isOpen()) << error;
+  SocketConn server = listener.accept(2000);
+  ASSERT_TRUE(server.isOpen());
+
+  ASSERT_TRUE(client.writeAll("par", 2000));  // no terminator yet
+  std::string line;
+  EXPECT_EQ(server.readLine(line, 100), SocketConn::ReadStatus::Timeout);
+  ASSERT_TRUE(client.writeAll("tial\n", 2000));
+  ASSERT_EQ(server.readLine(line, 2000), SocketConn::ReadStatus::Line);
+  EXPECT_EQ(line, "partial");  // the buffered prefix survived the timeout
+}
+
+TEST(Socket, PeerCloseIsEofNotAnError) {
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("eof.sock"), error)) << error;
+  SocketConn client = unixConnect(listener.path(), error);
+  ASSERT_TRUE(client.isOpen()) << error;
+  SocketConn server = listener.accept(2000);
+  ASSERT_TRUE(server.isOpen());
+  client.close();
+  std::string line;
+  EXPECT_EQ(server.readLine(line, 2000), SocketConn::ReadStatus::Eof);
+}
+
+TEST(Socket, OversizedLineIsAnError) {
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("big.sock"), error)) << error;
+  SocketConn client = unixConnect(listener.path(), error);
+  ASSERT_TRUE(client.isOpen()) << error;
+  SocketConn server = listener.accept(2000);
+  ASSERT_TRUE(server.isOpen());
+  ASSERT_TRUE(client.writeAll(std::string(256, 'x'), 2000));  // no newline
+  std::string line;
+  EXPECT_EQ(server.readLine(line, 2000, /*maxLineBytes=*/64),
+            SocketConn::ReadStatus::Error);
+  EXPECT_FALSE(server.isOpen());  // a ballooning peer gets cut
+}
+
+TEST(Socket, WriteToAVanishedPeerFailsInsteadOfRaisingSigpipe) {
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("gone.sock"), error)) << error;
+  SocketConn client = unixConnect(listener.path(), error);
+  ASSERT_TRUE(client.isOpen()) << error;
+  {
+    SocketConn server = listener.accept(2000);
+    ASSERT_TRUE(server.isOpen());
+  }  // server side closes
+  // Flush enough to defeat socket buffering; without MSG_NOSIGNAL this would
+  // kill the test binary with SIGPIPE instead of returning false.
+  bool failed = false;
+  const std::string chunk(64 * 1024, 'x');
+  for (int i = 0; i < 64 && !failed; ++i) failed = !client.writeAll(chunk, 500);
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(client.isOpen());
+}
+
+TEST(Socket, AcceptTimesOutWithAClosedConn) {
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("idle.sock"), error)) << error;
+  const auto start = std::chrono::steady_clock::now();
+  SocketConn conn = listener.accept(100);
+  EXPECT_FALSE(conn.isOpen());
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  EXPECT_GE(ms, 90);
+}
+
+TEST(Socket, WakeFdInterruptsABlockedAccept) {
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("wake.sock"), error)) << error;
+  int pipeFds[2];
+  ASSERT_EQ(::pipe(pipeFds), 0);
+  ASSERT_EQ(::write(pipeFds[1], "x", 1), 1);
+  const auto start = std::chrono::steady_clock::now();
+  SocketConn conn = listener.accept(10'000, pipeFds[0]);  // readable wake fd
+  EXPECT_FALSE(conn.isOpen());
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  EXPECT_LT(ms, 5000) << "wake fd did not interrupt the accept";
+  ::close(pipeFds[0]);
+  ::close(pipeFds[1]);
+}
+
+TEST(Socket, StaleSocketFileDoesNotBlockRebinding) {
+  const std::string path = tempSocket("stale.sock");
+  std::string error;
+  {
+    UnixListener first;
+    ASSERT_TRUE(first.listen(path, error)) << error;
+  }  // closed, but suppose the file lingered from a dead daemon
+  UnixListener second;
+  EXPECT_TRUE(second.listen(path, error)) << error;
+}
+
+}  // namespace
+}  // namespace rapt

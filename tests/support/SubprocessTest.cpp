@@ -58,6 +58,47 @@ TEST(SubprocessRun, ReportsTerminatingSignal) {
   EXPECT_FALSE(r.timedOut);
 }
 
+TEST(SubprocessRun, ChildExitingBeforeReadingLargeStdinIsNotASpawnFailure) {
+  // The child dies with megabytes of stdin still unwritten: the supervisor's
+  // job write hits EPIPE mid-stream. That must surface as the child's own
+  // exit status — not SIGPIPE killing the supervisor, not a bogus spawn
+  // failure (the regression behind the worker-dies-early bugfix).
+  SubprocessSpec spec = shellSpec("exit 7");
+  spec.stdinData.assign(4 * 1024 * 1024, 'x');
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_FALSE(r.spawnFailed) << r.spawnError;
+  EXPECT_FALSE(r.timedOut);
+  EXPECT_EQ(r.signal, 0);
+  EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(SubprocessRun, ChildSeesDefaultSigpipeDisposition) {
+  // The supervisor ignores SIGPIPE around its pipe writes, and ignored
+  // dispositions survive exec — so the child must be explicitly reset to
+  // SIG_DFL, or every spawned program inherits silently-ignored pipe deaths.
+  // A child that raises SIGPIPE proves the reset: under an inherited SIG_IGN
+  // it would exit 0 instead of dying on the signal.
+  const SubprocessResult r = runSubprocess(shellSpec("kill -PIPE $$"));
+  EXPECT_FALSE(r.exitedCleanly());
+  EXPECT_EQ(r.signal, SIGPIPE);
+}
+
+TEST(SubprocessRun, ExistingSigpipeHandlerIsLeftAlone) {
+  // An application that installed its own SIGPIPE handler must get it back
+  // untouched: the supervisor only ignores SIGPIPE when the disposition is
+  // still SIG_DFL (the clobbering was the second half of the bugfix).
+  struct sigaction custom{};
+  custom.sa_handler = [](int) {};
+  ASSERT_EQ(::sigaction(SIGPIPE, &custom, nullptr), 0);
+  SubprocessSpec spec = shellSpec("exit 7");
+  spec.stdinData.assign(4 * 1024 * 1024, 'x');  // forces the EPIPE path
+  (void)runSubprocess(spec);
+  struct sigaction after{};
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, custom.sa_handler);
+  ::signal(SIGPIPE, SIG_DFL);  // restore for the rest of the binary
+}
+
 TEST(SubprocessRun, WatchdogKillsAHungChild) {
   SubprocessSpec spec = shellSpec("sleep 30");
   spec.limits.wallTimeoutMs = 200;

@@ -1,0 +1,265 @@
+// rapt-loadgen: concurrent load generator and correctness check for
+// rapt-served (docs/service.md "Load generation").
+//
+// Replays the evaluation corpus (the same 211 generated loops every bench
+// uses) against a running daemon from N concurrent connections, in P passes.
+// Pass 1 is the cold pass and records every loop's result bytes; later
+// passes assert that everything the server claims as a cache hit is
+// BIT-IDENTICAL to the pass-1 result — the service's core correctness claim,
+// checked from the outside. Emits BENCH_service.json (schema rapt-bench-v1,
+// one case per pass: request counts, hit/miss/overload split, client-side
+// p50/p95/p99 latency, throughput; docs/metrics.md).
+//
+// Exit status: 0 when every gate holds, 1 on a bit-identity mismatch, a
+// transport failure, or a final-pass hit rate below --min-hit-rate, 2 on a
+// bad command line, 3 when the daemon is unreachable.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "BenchCommon.h"
+#include "service/Client.h"
+#include "support/ArgParser.h"
+#include "support/Stats.h"
+
+using namespace rapt;
+
+namespace {
+
+struct WorkerTally {
+  std::vector<std::int64_t> latencyNs;
+  std::int64_t requests = 0;
+  std::int64_t hits = 0;
+  std::int64_t overloads = 0;
+  std::int64_t compileFailures = 0;  ///< ok == false, excluding overloads
+  std::int64_t mismatches = 0;       ///< cache hit bytes != pass-1 bytes
+  std::int64_t transportErrors = 0;
+  std::string firstError;
+};
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socketPath;
+  int connections = 4;
+  int passes = 2;
+  int loopCount = 0;
+  int clusters = 4;
+  std::int64_t minHitRate = 0;
+  std::int64_t requestTimeoutMs = 300'000;
+  bool noSimulate = false;
+
+  ArgParser args("rapt-loadgen",
+                 "corpus replay load generator for rapt-served (docs/service.md)");
+  args.addString("socket", &socketPath, "daemon socket path (required)");
+  args.addInt("connections", &connections, "concurrent client connections");
+  args.addInt("passes", &passes, "full corpus replays (pass 2+ should hit the cache)");
+  args.addInt("loops", &loopCount, "corpus prefix to replay (0 = all 211 loops)");
+  args.addInt("clusters", &clusters, "paper16 machine clusters for the jobs");
+  args.addInt64("min-hit-rate", &minHitRate,
+                "fail (exit 1) when the final pass's cache hit rate is below "
+                "this percentage (0 = no gate)");
+  args.addInt64("request-timeout-ms", &requestTimeoutMs, "per-request timeout");
+  args.addFlag("no-simulate", &noSimulate,
+               "skip simulation/validation in the submitted jobs (faster smoke)");
+  if (!args.parse(argc, argv)) return args.helpRequested() ? 0 : 2;
+  if (socketPath.empty()) {
+    std::fprintf(stderr, "rapt-loadgen: --socket is required\n");
+    return 2;
+  }
+  if (connections < 1 || passes < 1) {
+    std::fprintf(stderr, "rapt-loadgen: --connections and --passes must be >= 1\n");
+    return 2;
+  }
+
+  std::vector<Loop> loops = bench::corpus();
+  if (loopCount > 0 && loopCount < static_cast<int>(loops.size()))
+    loops.resize(static_cast<std::size_t>(loopCount));
+  const MachineDesc machine = MachineDesc::paper16(clusters, CopyModel::Embedded);
+  PipelineOptions options;
+  options.simulate = !noSimulate;
+
+  // Reachability probe before spawning threads: a missing daemon should be
+  // one clear diagnostic, not N interleaved ones.
+  {
+    ServiceClient probe;
+    std::string error;
+    if (!probe.connect(socketPath, error)) {
+      std::fprintf(stderr, "rapt-loadgen: cannot reach daemon: %s\n", error.c_str());
+      return 3;
+    }
+  }
+
+  bench::BenchReport report("service");
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
+  report["connections"] = connections;
+  report["passes"] = passes;
+  report["machine"] = bench::machineJson(machine);
+
+  std::vector<std::string> baselineText(loops.size());  // pass-1 result bytes
+  std::int64_t totalMismatches = 0;
+  std::int64_t totalTransportErrors = 0;
+  double finalHitRate = 0.0;
+
+  for (int pass = 1; pass <= passes; ++pass) {
+    std::vector<WorkerTally> tallies(static_cast<std::size_t>(connections));
+    std::vector<std::string> passText(loops.size());
+    const std::int64_t passStartNs = nowNs();
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(connections));
+    for (int t = 0; t < connections; ++t) {
+      threads.emplace_back([&, t] {
+        WorkerTally& tally = tallies[static_cast<std::size_t>(t)];
+        ServiceClient client;
+        std::string error;
+        if (!client.connect(socketPath, error)) {
+          ++tally.transportErrors;
+          tally.firstError = error;
+          return;
+        }
+        // Round-robin corpus partition: connection t owns loops t, t+C, ...
+        for (std::size_t i = static_cast<std::size_t>(t); i < loops.size();
+             i += static_cast<std::size_t>(connections)) {
+          ServiceReply reply;
+          const std::int64_t startNs = nowNs();
+          if (!client.compile(loops[i], machine, options, reply, error,
+                              static_cast<int>(requestTimeoutMs))) {
+            ++tally.transportErrors;
+            if (tally.firstError.empty()) tally.firstError = error;
+            return;  // the connection is closed; this shard is lost
+          }
+          tally.latencyNs.push_back(nowNs() - startNs);
+          ++tally.requests;
+          if (reply.cacheHit) ++tally.hits;
+          if (reply.result.failureClass == FailureClass::Overload) {
+            ++tally.overloads;
+          } else if (!reply.result.ok) {
+            ++tally.compileFailures;
+          }
+          passText[i] = reply.resultText;
+          // The bit-identity gate: whatever the server served from cache must
+          // be byte-for-byte the pass-1 answer for the same loop.
+          if (reply.cacheHit && !baselineText[i].empty() &&
+              reply.resultText != baselineText[i]) {
+            ++tally.mismatches;
+            if (tally.firstError.empty())
+              tally.firstError = "cached bytes differ for loop " + loops[i].name;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const std::int64_t wallNs = nowNs() - passStartNs;
+
+    WorkerTally sum;
+    for (const WorkerTally& t : tallies) {
+      sum.requests += t.requests;
+      sum.hits += t.hits;
+      sum.overloads += t.overloads;
+      sum.compileFailures += t.compileFailures;
+      sum.mismatches += t.mismatches;
+      sum.transportErrors += t.transportErrors;
+      sum.latencyNs.insert(sum.latencyNs.end(), t.latencyNs.begin(),
+                           t.latencyNs.end());
+      if (sum.firstError.empty()) sum.firstError = t.firstError;
+    }
+    if (pass == 1) baselineText = passText;
+    totalMismatches += sum.mismatches;
+    totalTransportErrors += sum.transportErrors;
+    const double hitRate =
+        sum.requests == 0 ? 0.0
+                          : 100.0 * static_cast<double>(sum.hits) /
+                                static_cast<double>(sum.requests);
+    if (pass == passes) finalHitRate = hitRate;
+
+    Json c = Json::object();
+    c["label"] = "pass" + std::to_string(pass);
+    c["requests"] = sum.requests;
+    c["hits"] = sum.hits;
+    c["misses"] = sum.requests - sum.hits;
+    c["hitRatePercent"] = hitRate;
+    c["overloadRejections"] = sum.overloads;
+    c["compileFailures"] = sum.compileFailures;
+    c["mismatches"] = sum.mismatches;
+    c["transportErrors"] = sum.transportErrors;
+    Json lat = Json::object();
+    lat["count"] = static_cast<std::int64_t>(sum.latencyNs.size());
+    lat["p50"] = percentile(sum.latencyNs, 50.0);
+    lat["p95"] = percentile(sum.latencyNs, 95.0);
+    lat["p99"] = percentile(sum.latencyNs, 99.0);
+    std::int64_t latSum = 0;
+    std::int64_t latMax = 0;
+    for (std::int64_t x : sum.latencyNs) {
+      latSum += x;
+      if (x > latMax) latMax = x;
+    }
+    lat["mean"] = sum.latencyNs.empty()
+                      ? std::int64_t{0}
+                      : latSum / static_cast<std::int64_t>(sum.latencyNs.size());
+    lat["max"] = latMax;
+    c["latencyNs"] = std::move(lat);
+    c["wallNs"] = wallNs;
+    c["requestsPerSecond"] =
+        wallNs == 0 ? 0.0
+                    : static_cast<double>(sum.requests) * 1e9 /
+                          static_cast<double>(wallNs);
+    report.addCase(std::move(c));
+
+    std::printf("pass %d: %lld requests, %lld hits (%.1f%%), %lld overload, "
+                "%lld failed, p50 %.2fms p99 %.2fms, %.1f req/s\n",
+                pass, static_cast<long long>(sum.requests),
+                static_cast<long long>(sum.hits), hitRate,
+                static_cast<long long>(sum.overloads),
+                static_cast<long long>(sum.compileFailures),
+                static_cast<double>(percentile(sum.latencyNs, 50.0)) / 1e6,
+                static_cast<double>(percentile(sum.latencyNs, 99.0)) / 1e6,
+                wallNs == 0 ? 0.0
+                            : static_cast<double>(sum.requests) * 1e9 /
+                                  static_cast<double>(wallNs));
+    if (!sum.firstError.empty())
+      std::printf("pass %d: first error: %s\n", pass, sum.firstError.c_str());
+    std::fflush(stdout);
+  }
+
+  // Attach the server's own view for cross-checking client vs server counts.
+  {
+    ServiceClient client;
+    std::string error;
+    Json serverStats;
+    if (client.connect(socketPath, error) &&
+        client.stats(serverStats, error)) {
+      report["server"] = std::move(serverStats);
+    }
+  }
+  if (!report.write()) return 1;
+
+  if (totalTransportErrors > 0) {
+    std::fprintf(stderr, "rapt-loadgen: FAIL: %lld transport errors\n",
+                 static_cast<long long>(totalTransportErrors));
+    return 1;
+  }
+  if (totalMismatches > 0) {
+    std::fprintf(stderr,
+                 "rapt-loadgen: FAIL: %lld cached replies were not "
+                 "bit-identical to their cold results\n",
+                 static_cast<long long>(totalMismatches));
+    return 1;
+  }
+  if (minHitRate > 0 && finalHitRate < static_cast<double>(minHitRate)) {
+    std::fprintf(stderr,
+                 "rapt-loadgen: FAIL: final pass hit rate %.1f%% below the "
+                 "--min-hit-rate %lld%% gate\n",
+                 finalHitRate, static_cast<long long>(minHitRate));
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// rapt-served: the persistent compile service (docs/service.md).
+//
+// Binds a Unix-domain socket and serves compile jobs in the WorkerProtocol
+// wire format until SIGINT/SIGTERM, answering repeats from a
+// content-addressed LRU result cache (optionally persisted to a journal, so
+// a restarted daemon comes back warm). The heavy lifting is
+// service/Server.h; this file is flag parsing, the signal wait, and the
+// BENCH_served.json shutdown report.
+//
+// Exit status: 0 on a clean stop, 1 on startup failure, 2 on a bad command
+// line, 128+signal after SIGINT/SIGTERM (the shell killed-by convention).
+#include <poll.h>
+
+#include <cstdio>
+#include <string>
+
+#include "BenchCommon.h"
+#include "service/Server.h"
+#include "support/ArgParser.h"
+#include "support/Interrupt.h"
+
+using namespace rapt;
+
+int main(int argc, char** argv) {
+  ServerOptions so;
+  std::string isolationToken = suiteIsolationName(so.isolation);
+  std::int64_t cacheMb = 256;
+  std::int64_t memoryMb = 0;
+
+  ArgParser args("rapt-served",
+                 "persistent compile service over a Unix-domain socket "
+                 "(docs/service.md)");
+  args.addString("socket", &so.socketPath, "socket path to listen on (required)");
+  args.addInt("jobs", &so.threads, "compile worker threads (0 = all hardware threads)");
+  args.addString("isolation", &isolationToken,
+                 "per-job execution: inprocess | subprocess");
+  args.addString("worker", &so.workerPath,
+                 "rapt-worker binary for subprocess isolation (default: "
+                 "$RAPT_WORKER, then this binary's directory, then PATH)");
+  args.addInt64("timeout-ms", &so.workerTimeoutMs,
+                "per-job wall watchdog under subprocess isolation (0 = none)");
+  args.addInt64("memory-mb", &memoryMb,
+                "per-job RLIMIT_AS in MiB under subprocess isolation "
+                "(0 = unlimited; keep 0 under ASan)");
+  args.addInt("queue-depth", &so.maxQueueDepth,
+              "admission bound: pending jobs beyond this are rejected "
+              "with an overload row");
+  args.addInt64("cache-mb", &cacheMb, "result cache byte budget in MiB (0 = unlimited)");
+  args.addString("cache-journal", &so.cacheJournalPath,
+                 "cache persistence journal (resumed if present; empty = "
+                 "in-memory cache only)");
+  args.addInt("idle-poll-ms", &so.idlePollMs,
+              "accept/read poll tick bounding shutdown latency");
+  if (!args.parse(argc, argv)) return args.helpRequested() ? 0 : 2;
+  if (so.socketPath.empty()) {
+    std::fprintf(stderr, "rapt-served: --socket is required\n");
+    return 2;
+  }
+  if (!parseSuiteIsolation(isolationToken, so.isolation)) {
+    std::fprintf(stderr, "rapt-served: bad --isolation '%s' (inprocess|subprocess)\n",
+                 isolationToken.c_str());
+    return 2;
+  }
+  so.cacheBytes = cacheMb * 1024 * 1024;
+  so.workerMemoryBytes = memoryMb * 1024 * 1024;
+
+  InterruptGuard guard;
+  ServiceServer server(so);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "rapt-served: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("rapt-served: listening on %s (%s isolation, queue depth %d, "
+              "cache %lld MiB%s)\n",
+              so.socketPath.c_str(), suiteIsolationName(so.isolation),
+              so.maxQueueDepth, static_cast<long long>(cacheMb),
+              so.cacheJournalPath.empty()
+                  ? ""
+                  : (", journal " + so.cacheJournalPath).c_str());
+  std::fflush(stdout);
+
+  // Park until a signal (or an acceptor death) ends the run; the wake pipe
+  // turns the poll into an immediate wake instead of a 200ms tail.
+  while (server.running() && !interruptRequested()) {
+    struct pollfd p = {interruptWakeFd(), POLLIN, 0};
+    (void)::poll(&p, p.fd >= 0 ? 1 : 0, so.idlePollMs);
+  }
+  std::printf("rapt-served: winding down (in-flight jobs finish, cache "
+              "journal closes)\n");
+  std::fflush(stdout);
+  server.stop();
+
+  bench::BenchReport report("served");
+  Json c = Json::object();
+  c["label"] = "service";
+  c["service"] = server.statsJson();
+  report.addCase(std::move(c));
+  (void)report.write();
+  return interruptRequested() ? 128 + interruptSignal() : 0;
+}

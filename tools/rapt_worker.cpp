@@ -14,9 +14,10 @@
 //
 // RAPT_WORKER_INJECT=<kind>[@<loopName>] fires a process-grade fault
 // (abort | segfault | allocBomb | spinHang | oomExit | garbage) before — or
-// instead of — compiling, optionally only for the named loop. Test-only: it
-// lets the supervisor tests provoke every fatal outcome without arming a
-// fault campaign.
+// instead of — compiling, optionally only for the named loop. The "early"
+// kinds (earlyAbort | earlyExit) fire before stdin is even read, so the
+// supervisor's job write hits a dead pipe. Test-only: it lets the supervisor
+// tests provoke every fatal outcome without arming a fault campaign.
 #include <unistd.h>
 
 #include <cerrno>
@@ -83,6 +84,15 @@ int main() {
   // unwind into compileLoop's containment — the supervisor needs to see it
   // as the reserved exit so it lands in the OutOfMemory class.
   std::set_new_handler([] { ::_exit(kWorkerOomExit); });
+
+  // Early kinds fire BEFORE stdin is consumed: the supervisor's job write
+  // then races a reader that is already dead, which is exactly the
+  // SIGPIPE/EPIPE path its pipe handling must survive (SupervisorTest).
+  // No @loopName filter here — the loop name is still unread.
+  if (const char* spec = std::getenv("RAPT_WORKER_INJECT")) {
+    if (std::strcmp(spec, "earlyAbort") == 0) std::abort();
+    if (std::strcmp(spec, "earlyExit") == 0) ::_exit(7);
+  }
 
   const std::string input = readAllOfStdin();
   Json doc;
