@@ -101,6 +101,7 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   j["regallocNs"] = t.regallocNs;
   j["emitNs"] = t.emitNs;
   j["verifyNs"] = t.verifyNs;
+  j["certifyNs"] = t.certifyNs;
   j["simulateNs"] = t.simulateNs;
   j["totalNs"] = t.totalNs;
   return j;
@@ -115,6 +116,8 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   j["simulatedCycles"] = t.simulatedCycles;
   j["verifiedOps"] = t.verifiedOps;
   j["verifyViolations"] = t.verifyViolations;
+  j["certifiedValues"] = t.certifiedValues;
+  j["certifyViolations"] = t.certifyViolations;
   j["diagErrors"] = t.diagErrors;
   j["diagWarnings"] = t.diagWarnings;
   j["schedPlacements"] = t.schedPlacements;
@@ -135,6 +138,7 @@ inline void printFailures(const SuiteResult& s, const char* label) {
   }
   j["failuresByClass"] = std::move(byClass);
   j["validated"] = s.validatedCount;
+  j["certified"] = s.certifiedCount;
   j["meanIdealIpc"] = s.meanIdealIpc;
   j["meanClusteredIpc"] = s.meanClusteredIpc;
   j["arithMeanNormalized"] = s.arithMeanNormalized;

@@ -28,6 +28,11 @@ const char* diagCodeName(DiagCode c) {
     case DiagCode::DeadDef: return "dead-def";
     case DiagCode::UnreachableCode: return "unreachable-code";
     case DiagCode::UnusedLivein: return "unused-livein";
+    case DiagCode::CertifyDivergence: return "certify-divergence";
+    case DiagCode::CertifyResidence: return "certify-residence";
+    case DiagCode::CertifyUninitRead: return "certify-uninit-read";
+    case DiagCode::CertifyLiveOutClobber: return "certify-liveout-clobber";
+    case DiagCode::kCount_: break;
   }
   RAPT_UNREACHABLE("bad diagnostic code");
 }

@@ -29,7 +29,22 @@ enum class DiagCode : std::uint8_t {
   DeadDef,             ///< definition whose value is never read
   UnreachableCode,     ///< block that cannot execute
   UnusedLivein,        ///< livein initializer that no read consumes
+  // Static translation certifier findings (src/certify, docs/certification.md).
+  CertifyDivergence,     ///< emitted stream computes a different value than the
+                         ///< sequential reference (symbolic term mismatch)
+  CertifyResidence,      ///< operand read in a bank the value has not reached
+                         ///< by the read cycle (copy chain broken or too late)
+  CertifyUninitRead,     ///< stream reads a register no initializer or landed
+                         ///< write reaches
+  CertifyLiveOutClobber, ///< physical register holding a live-out final value
+                         ///< is overwritten after that value lands (legal
+                         ///< reuse, but invisible to concrete re-validation)
+  kCount_,
 };
+
+/// Number of diagnostic codes; wire decoding (pipeline/WorkerProtocol.cpp)
+/// range-checks against this instead of a hardcoded literal.
+constexpr int kNumDiagCodes = static_cast<int>(DiagCode::kCount_);
 
 [[nodiscard]] const char* diagSeverityName(DiagSeverity s);
 [[nodiscard]] const char* diagCodeName(DiagCode c);  ///< kebab-case, stable

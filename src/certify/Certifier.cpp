@@ -1,0 +1,536 @@
+#include "certify/Certifier.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "certify/Term.h"
+#include "ir/Printer.h"
+#include "regalloc/PhysicalRewrite.h"
+
+namespace rapt {
+
+namespace {
+
+constexpr int kMaxDiagnosticsPerKind = 8;
+
+std::uint64_t availKey(TermId t, int bank) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t)) << 8) |
+         static_cast<std::uint32_t>(bank);
+}
+
+/// Where/when the stream first computed a term (for diagnostics).
+struct Producer {
+  std::int64_t cycle = -1;
+  int iteration = -1;
+  int bodyIndex = -1;
+};
+
+struct Diags {
+  std::vector<Diagnostic>* out;
+  int residence = 0;
+  int uninit = 0;
+  int divergence = 0;
+  int clobber = 0;
+
+  Diagnostic* add(int& count, DiagSeverity sev, DiagCode code) {
+    if (count++ >= kMaxDiagnosticsPerKind) return nullptr;
+    Diagnostic d;
+    d.severity = sev;
+    d.code = code;
+    out->push_back(std::move(d));
+    return &out->back();
+  }
+};
+
+/// Symbolic sequential execution of the original loop: the oracle terms.
+struct Reference {
+  std::unordered_map<std::uint32_t, TermId> regs;
+  std::vector<TermId> heaps;
+};
+
+Reference runSymbolicReference(const Loop& loop, std::int64_t trip,
+                               std::int64_t inductionInit, TermArena& arena) {
+  Reference ref;
+  ref.heaps.reserve(loop.arrays.size());
+  for (ArrayId a = 0; a < loop.arrays.size(); ++a)
+    ref.heaps.push_back(arena.arrayInit(a));
+
+  auto read = [&](VirtReg r) -> TermId {
+    auto it = ref.regs.find(r.key());
+    if (it != ref.regs.end()) return it->second;
+    const TermId t = (loop.induction.isValid() && r == loop.induction)
+                         ? arena.intConst(inductionInit)
+                         : arena.initReg(r);
+    ref.regs.emplace(r.key(), t);
+    return t;
+  };
+
+  for (std::int64_t i = 0; i < trip; ++i) {
+    for (const Operation& o : loop.body) {
+      switch (o.info().kind) {
+        case OpKind::Load: {
+          const TermId idx = arena.addImm(read(o.src[0]), o.imm);
+          ref.regs[o.def.key()] = arena.select(ref.heaps[o.array], idx);
+          break;
+        }
+        case OpKind::Store: {
+          const TermId idx = arena.addImm(read(o.src[0]), o.imm);
+          const TermId val = read(o.src[1]);
+          ref.heaps[o.array] = arena.store(ref.heaps[o.array], idx, val);
+          break;
+        }
+        default: {
+          const TermId s0 = o.numSrcs() > 0 ? read(o.src[0]) : kNoTerm;
+          const TermId s1 = o.numSrcs() > 1 ? read(o.src[1]) : kNoTerm;
+          ref.regs[o.def.key()] = arena.apply(o, s0, s1);
+          break;
+        }
+      }
+    }
+  }
+  return ref;
+}
+
+/// Symbolic execution of the emitted stream under the simulator's landing
+/// discipline, with the cross-iteration residence check folded in.
+struct StreamExec {
+  const Loop& original;
+  const ClusteredLoop& clustered;
+  const PipelinedCode& code;
+  const MachineDesc& machine;
+  CertifyLayer layer;
+  TermArena& arena;
+  Diags& diags;
+
+  // Canonicalization of preheader invariant aliases back to original regs.
+  std::unordered_map<std::uint32_t, VirtReg> aliasOf;
+  std::int64_t inductionInit = 0;
+
+  std::unordered_map<std::uint32_t, TermId> cur;      // name -> landed term
+  std::unordered_map<std::uint32_t, TermId> v0Term;   // name -> initial term
+  std::unordered_map<std::uint32_t, std::uint32_t> v0Origin;
+  std::unordered_set<std::uint32_t> hasInit;          // names with nameInits
+  std::vector<TermId> heaps;
+  std::unordered_map<std::uint64_t, std::int64_t> avail;  // (term,bank) -> cycle
+  std::unordered_map<TermId, Producer> producer;
+
+  // Final (iteration trip-1) instance of each original body def, plus the
+  // name and landing cycle it was written with (for the clobber check).
+  struct FinalInstance {
+    TermId term = kNoTerm;
+    VirtReg name;
+    std::int64_t landCycle = -1;
+  };
+  std::unordered_map<std::uint32_t, FinalInstance> finals;
+  std::unordered_map<std::uint32_t, std::int64_t> lastLandOf;  // name -> cycle
+
+  explicit StreamExec(const Loop& orig, const ClusteredLoop& cl,
+                      const PipelinedCode& c, const MachineDesc& m,
+                      CertifyLayer l, TermArena& a, Diags& d)
+      : original(orig), clustered(cl), code(c), machine(m), layer(l), arena(a),
+        diags(d) {
+    for (const LiveInValue& lv : orig.liveInValues)
+      if (orig.induction.isValid() && lv.reg == orig.induction)
+        inductionInit = lv.i;
+    buildAliasMap();
+    for (const LiveInValue& lv : code.nameInits) hasInit.insert(lv.reg.key());
+    heaps.reserve(orig.arrays.size());
+    for (ArrayId a2 = 0; a2 < orig.arrays.size(); ++a2)
+      heaps.push_back(arena.arrayInit(a2));
+  }
+
+  /// Initial-contents aliasing back to ORIGINAL registers. Two sources:
+  /// per-cluster replicas of loop invariants (initialized in the preheader
+  /// from the original — CopyInserter) and cross-bank copy destinations
+  /// (whose iteration-0 carried value is the copied register's live-in).
+  /// canon() follows the chain so replica-of-copy-of-original resolves.
+  void buildAliasMap() {
+    std::unordered_set<std::uint32_t> defined;
+    for (const Operation& o : clustered.loop.body)
+      if (o.def.isValid()) defined.insert(o.def.key());
+    for (std::size_t j = 0; j < clustered.loop.body.size(); ++j) {
+      const Operation& co = clustered.loop.body[j];
+      const int oi = j < clustered.origIndexOf.size()
+                         ? clustered.origIndexOf[j]
+                         : -1;
+      if (oi < 0) {
+        if (isCopy(co.op) && co.def.isValid() && co.src[0].isValid())
+          aliasOf.emplace(co.def.key(), co.src[0]);
+        continue;
+      }
+      if (oi >= original.size()) continue;
+      const Operation& oo = original.body[static_cast<std::size_t>(oi)];
+      const int n = std::min(co.numSrcs(), oo.numSrcs());
+      for (int s = 0; s < n; ++s) {
+        const VirtReg cs = co.src[static_cast<std::size_t>(s)];
+        const VirtReg os = oo.src[static_cast<std::size_t>(s)];
+        if (cs != os && cs.isValid() && defined.count(cs.key()) == 0)
+          aliasOf.emplace(cs.key(), os);
+      }
+    }
+  }
+
+  [[nodiscard]] VirtReg canon(VirtReg r) const {
+    for (int hops = 0; hops < 64; ++hops) {
+      auto it = aliasOf.find(r.key());
+      if (it == aliasOf.end()) return r;
+      r = it->second;
+    }
+    return r;
+  }
+
+  /// Bank a stream register lives in: intrinsic for encoded physical
+  /// registers, the partition's claim for virtual names.
+  [[nodiscard]] int bankOfName(VirtReg name) const {
+    if (name.index() >= kPhysBase)
+      return static_cast<int>((name.index() - kPhysBase) / kBankStride);
+    const VirtReg orig = code.originalOf(name);
+    if (!clustered.partition.isAssigned(orig)) return 0;
+    return clustered.partition.bankOf(orig);
+  }
+
+  void recordAvail(TermId t, int bank, std::int64_t cycle) {
+    auto [it, inserted] = avail.emplace(availKey(t, bank), cycle);
+    if (!inserted && it->second > cycle) it->second = cycle;
+  }
+
+  void checkAvail(TermId t, int bank, std::int64_t cycle, const EmittedOp& eo,
+                  VirtReg name) {
+    if (machine.numBanks() <= 1) return;
+    auto it = avail.find(availKey(t, bank));
+    if (it != avail.end() && it->second <= cycle) return;
+    if (Diagnostic* d = diags.add(diags.residence, DiagSeverity::Error,
+                                  DiagCode::CertifyResidence)) {
+      d->op = eo.bodyIndex;
+      d->reg = canon(code.originalOf(name));
+      std::ostringstream os;
+      os << "cycle " << cycle << " iteration " << eo.iteration << ": "
+         << opcodeName(eo.op.op) << " reads " << regName(name) << " in bank "
+         << bank << ", but its value " << arena.str(t)
+         << (it == avail.end() ? " never reaches that bank"
+                               : " lands there only at cycle " +
+                                     std::to_string(it->second));
+      d->message = os.str();
+      d->hint = "suspected layer: copy insertion (cross-bank routing)";
+    }
+  }
+
+  /// The term a read of `name` observes at `cycle` (landed version, else the
+  /// initial contents), with the residence and initializer checks applied.
+  TermId readTerm(VirtReg name, VirtReg bodyOperand, std::int64_t cycle,
+                  int bank, const EmittedOp& eo) {
+    TermId t;
+    if (auto it = cur.find(name.key()); it != cur.end()) {
+      t = it->second;
+    } else {
+      // What original value do this name's INITIAL contents stand for? On the
+      // virtual stream the emitter's reverse map is exact (and using it means
+      // a corrupted operand cannot vouch for itself). Physical names can be
+      // shared, so there the semantic operand of the source body op is the
+      // claim under audit — cross-checked by the origin-consistency test
+      // below.
+      const VirtReg rawOrig = layer == CertifyLayer::Virtual
+                                  ? code.originalOf(name)
+                                  : (bodyOperand.isValid()
+                                         ? bodyOperand
+                                         : code.originalOf(name));
+      const VirtReg orig = canon(rawOrig);
+      if (auto v = v0Term.find(name.key()); v != v0Term.end()) {
+        t = v->second;
+        if (v0Origin[name.key()] != orig.key()) {
+          // Two reads bind this register's INITIAL contents to different
+          // source values: correct only for inputs where those values
+          // coincide — an input-dependent stream, i.e. an allocation bug.
+          if (Diagnostic* d = diags.add(diags.divergence, DiagSeverity::Error,
+                                        DiagCode::CertifyDivergence)) {
+            d->op = eo.bodyIndex;
+            d->reg = orig;
+            d->message = "initial contents of " + std::string(regName(name)) +
+                         " stand for two distinct source values (" +
+                         std::string(regName(VirtReg::fromKey(
+                             v0Origin[name.key()]))) +
+                         " and " + std::string(regName(orig)) +
+                         "): read-before-write names were merged";
+            d->hint = "suspected layer: register allocation";
+          }
+        }
+      } else {
+        if (hasInit.count(name.key()) != 0) {
+          t = (original.induction.isValid() && orig == original.induction)
+                  ? arena.intConst(inductionInit)
+                  : arena.initReg(orig);
+        } else {
+          // No initializer reaches this read and nothing has landed: the
+          // hardware would read an unrelated default. Unique leaf, so the
+          // value proof fails wherever the read flows.
+          t = arena.uninit(name);
+          if (Diagnostic* d = diags.add(diags.uninit, DiagSeverity::Error,
+                                        DiagCode::CertifyUninitRead)) {
+            d->op = eo.bodyIndex;
+            d->reg = orig;
+            d->message = "cycle " + std::to_string(cycle) + ": " +
+                         std::string(opcodeName(eo.op.op)) + " reads " +
+                         std::string(regName(name)) +
+                         " before any write lands and without an initial value";
+            d->hint = "suspected layer: MVE renaming (wrong phase) or schedule";
+          }
+        }
+        v0Term.emplace(name.key(), t);
+        v0Origin.emplace(name.key(), orig.key());
+        recordAvail(t, bankOfName(name), 0);
+      }
+    }
+    checkAvail(t, bank, cycle, eo, name);
+    return t;
+  }
+
+  void run() {
+    // Landing buckets, exactly the simulator's: commit at the start of the
+    // landing cycle in issue order, before that cycle's reads.
+    std::size_t horizon = code.instrs.size() + 1;
+    for (std::size_t c = 0; c < code.instrs.size(); ++c)
+      for (const EmittedOp& eo : code.instrs[c].ops)
+        horizon = std::max(horizon,
+                           c + static_cast<std::size_t>(
+                                   machine.lat.of(eo.op.op)) + 1);
+    struct RegLand {
+      std::uint32_t name;
+      TermId term;
+    };
+    struct MemLand {
+      ArrayId array;
+      TermId idx;
+      TermId val;
+    };
+    std::vector<std::vector<RegLand>> regPending(horizon);
+    std::vector<std::vector<MemLand>> memPending(horizon);
+
+    const int bodySize = clustered.loop.size();
+    const std::int64_t trip = code.trip;
+
+    for (std::size_t c = 0; c < horizon; ++c) {
+      for (const RegLand& l : regPending[c]) {
+        cur[l.name] = l.term;
+        lastLandOf[l.name] = static_cast<std::int64_t>(c);
+      }
+      for (const MemLand& l : memPending[c]) {
+        if (l.array < heaps.size())
+          heaps[l.array] = arena.store(heaps[l.array], l.idx, l.val);
+      }
+      if (c >= code.instrs.size()) continue;
+
+      for (const EmittedOp& eo : code.instrs[c].ops) {
+        const bool hasBody = eo.bodyIndex >= 0 && eo.bodyIndex < bodySize;
+        const Operation* body =
+            hasBody ? &clustered.loop.body[static_cast<std::size_t>(eo.bodyIndex)]
+                    : nullptr;
+        const bool copy = isCopy(eo.op.op);
+        const std::int64_t cycle = static_cast<std::int64_t>(c);
+
+        TermId s[2] = {kNoTerm, kNoTerm};
+        for (int slot = 0; slot < eo.op.numSrcs(); ++slot) {
+          const VirtReg name = eo.op.src[static_cast<std::size_t>(slot)];
+          const VirtReg operand =
+              (body != nullptr && slot < body->numSrcs())
+                  ? body->src[static_cast<std::size_t>(slot)]
+                  : VirtReg{};
+          // Copies read the source in ITS bank; everything else reads in the
+          // issuing functional unit's cluster.
+          const int bank = (copy || eo.fu < 0) ? bankOfName(name)
+                                               : machine.clusterOfFu(eo.fu);
+          s[slot] = readTerm(name, operand, cycle, bank, eo);
+        }
+
+        TermId result = kNoTerm;
+        switch (eo.op.info().kind) {
+          case OpKind::Load: {
+            const TermId idx = arena.addImm(s[0], eo.op.imm);
+            result = eo.op.array < heaps.size()
+                         ? arena.select(heaps[eo.op.array], idx)
+                         : arena.uninit(eo.op.def);
+            break;
+          }
+          case OpKind::Store: {
+            const TermId idx = arena.addImm(s[0], eo.op.imm);
+            if (eo.op.array < heaps.size())
+              memPending[c + static_cast<std::size_t>(machine.lat.of(eo.op.op))]
+                  .push_back({eo.op.array, idx, s[1]});
+            break;
+          }
+          default:
+            result = arena.apply(eo.op, s[0], s[1]);
+            break;
+        }
+
+        if (eo.op.hasDef() && result != kNoTerm) {
+          const std::int64_t land =
+              cycle + machine.lat.of(eo.op.op);
+          regPending[static_cast<std::size_t>(land)].push_back(
+              {eo.op.def.key(), result});
+          recordAvail(result, bankOfName(eo.op.def), land);
+          producer.try_emplace(result,
+                               Producer{cycle, eo.iteration, eo.bodyIndex});
+          if (body != nullptr && body->def.isValid() &&
+              eo.iteration == trip - 1) {
+            finals[body->def.key()] = {result, eo.op.def, land};
+          }
+        }
+      }
+    }
+  }
+
+  /// Physical layer only: a later landing on the register holding a live-out
+  /// final value destroys it before anything re-reads the register file —
+  /// legal when the live range ended, but exactly the state concrete
+  /// re-validation used to skip, so it is surfaced as a warning.
+  void checkLiveOutClobbers() {
+    if (layer != CertifyLayer::Physical) return;
+    for (const Operation& o : original.body) {
+      if (!o.def.isValid()) continue;
+      auto it = finals.find(o.def.key());
+      if (it == finals.end()) continue;
+      auto land = lastLandOf.find(it->second.name.key());
+      if (land == lastLandOf.end() || land->second <= it->second.landCycle)
+        continue;
+      if (Diagnostic* d = diags.add(diags.clobber, DiagSeverity::Warning,
+                                    DiagCode::CertifyLiveOutClobber)) {
+        d->reg = o.def;
+        d->message = "final value of " + std::string(regName(o.def)) +
+                     " lands in " + std::string(regName(it->second.name)) +
+                     " at cycle " + std::to_string(it->second.landCycle) +
+                     " but that register is overwritten at cycle " +
+                     std::to_string(land->second) +
+                     " (reuse after last read; invisible to concrete "
+                     "register-file comparison)";
+        d->hint = "layer: register allocation";
+      }
+    }
+  }
+};
+
+const char* suspectedLayer(const TermArena& arena, const TermDivergence& div,
+                           CertifyLayer layer) {
+  if (layer == CertifyLayer::Physical) return "register allocation";
+  if (div.ref == kNoTerm || div.got == kNoTerm) return "schedule/emission";
+  const TermKind rk = arena.node(div.ref).kind;
+  const TermKind gk = arena.node(div.got).kind;
+  if (gk == TermKind::Uninit)
+    return "MVE renaming (uninitialized phase read)";
+  if (rk == TermKind::InitReg && gk == TermKind::InitReg)
+    return "MVE renaming or copy routing (wrong value instance)";
+  if (rk == TermKind::Select || gk == TermKind::Select || rk == TermKind::Store ||
+      gk == TermKind::Store || rk == TermKind::ArrayInit ||
+      gk == TermKind::ArrayInit)
+    return "schedule (memory order)";
+  return "schedule/emission";
+}
+
+void reportDivergence(TermArena& arena, Diags& diags, CertifyLayer layer,
+                      const std::unordered_map<TermId, Producer>& producer,
+                      TermId want, TermId got, const std::string& what,
+                      VirtReg reg) {
+  const TermDivergence div = firstDivergence(arena, want, got);
+  Diagnostic* d = diags.add(diags.divergence, DiagSeverity::Error,
+                            DiagCode::CertifyDivergence);
+  if (d == nullptr) return;
+  d->reg = reg;
+  std::ostringstream os;
+  os << what << " diverges from the sequential reference: stream computes "
+     << arena.str(got) << " where the reference expects " << arena.str(want);
+  if (div.ref != kNoTerm || div.got != kNoTerm) {
+    os << "; first divergent node: got " << arena.str(div.got, 2)
+       << ", want " << arena.str(div.ref, 2);
+    if (auto it = producer.find(div.got); it != producer.end()) {
+      d->op = it->second.bodyIndex;
+      os << " (produced at cycle " << it->second.cycle << ", iteration "
+         << it->second.iteration << ")";
+    }
+  }
+  os << "; suspected layer: "
+     << suspectedLayer(arena, div, layer);
+  d->message = os.str();
+}
+
+}  // namespace
+
+int CertifyReport::errorCount() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == DiagSeverity::Error) ++n;
+  return n;
+}
+
+std::string CertifyReport::firstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagSeverity::Error) {
+      std::ostringstream os;
+      if (d.op >= 0) os << "op " << d.op << " ";
+      os << "[" << diagCodeName(d.code) << "] " << d.message;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+void CertifyReport::merge(CertifyReport&& o) {
+  for (Diagnostic& d : o.diagnostics) diagnostics.push_back(std::move(d));
+  certifiedValues += o.certifiedValues;
+}
+
+CertifyReport certifyStream(const Loop& original, const ClusteredLoop& clustered,
+                            const PipelinedCode& code, const MachineDesc& machine,
+                            CertifyLayer layer) {
+  CertifyReport rep;
+  Diags diags;
+  diags.out = &rep.diagnostics;
+  TermArena arena;
+
+  StreamExec exec(original, clustered, code, machine, layer, arena, diags);
+  const Reference ref = runSymbolicReference(original, code.trip,
+                                             exec.inductionInit, arena);
+  exec.run();
+  exec.checkLiveOutClobbers();
+
+  // Matcher: every array and every original register final must be the
+  // identical term.
+  for (ArrayId a = 0; a < original.arrays.size(); ++a) {
+    if (ref.heaps[a] == exec.heaps[a]) {
+      ++rep.certifiedValues;
+    } else {
+      reportDivergence(arena, diags, layer, exec.producer, ref.heaps[a],
+                       exec.heaps[a], "array " + original.arrays[a].name,
+                       VirtReg{});
+    }
+  }
+  for (const Operation& o : original.body) {
+    if (!o.def.isValid()) continue;
+    const auto want = ref.regs.find(o.def.key());
+    if (want == ref.regs.end()) continue;  // trip == 0: nothing to certify
+    const auto got = exec.finals.find(o.def.key());
+    if (got == exec.finals.end()) {
+      if (Diagnostic* d = diags.add(diags.divergence, DiagSeverity::Error,
+                                    DiagCode::CertifyDivergence)) {
+        d->reg = o.def;
+        d->message = "stream never computes the final (iteration " +
+                     std::to_string(code.trip - 1) + ") instance of " +
+                     std::string(regName(o.def)) +
+                     "; suspected layer: schedule/emission (dropped op or "
+                     "epilogue off-by-one)";
+      }
+      continue;
+    }
+    if (want->second == got->second.term) {
+      ++rep.certifiedValues;
+    } else {
+      reportDivergence(arena, diags, layer, exec.producer, want->second,
+                       got->second.term,
+                       "register " + std::string(regName(o.def)), o.def);
+    }
+  }
+  return rep;
+}
+
+}  // namespace rapt

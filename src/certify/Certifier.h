@@ -1,0 +1,69 @@
+// Static translation certifier (docs/certification.md).
+//
+// Proves, with no test inputs, that an emitted pipelined stream computes the
+// same values as the original sequential loop: both are executed SYMBOLICALLY
+// over one hash-consed term arena (certify/Term.h) — initial registers and
+// array contents are free symbols, the induction variable is its live-in
+// basis — and every array plus the final value of every register the
+// original body defines must intern to the identical term. Because the
+// pipeline's rewrites only reorder, rename, and route values through
+// transparent copies, term identity is exactly translation correctness; the
+// certificate holds for ALL register/array inputs, not just the trips the
+// simulator happened to run (the trip count itself is the emitted stream's
+// concrete window, prologue + kernel iterations + epilogue).
+//
+// On top of the value proof, the stream walk re-derives bank residence
+// ACROSS copy chains: every operand read must consume a term that has
+// reached the reading bank by the read cycle (initial values live in their
+// partition bank from cycle 0; each landing publishes its term in the
+// destination register's bank). This subsumes PartitionVerifier's per-op
+// operand check with a cross-cycle, cross-copy one.
+//
+// Divergences are reported as structured Diagnostics (src/analysis) pointing
+// at the first divergent term node, its producing stream op, and the
+// suspected rewrite layer (schedule / MVE / copy-insertion / allocation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/Diagnostics.h"
+#include "machine/MachineDesc.h"
+#include "partition/CopyInserter.h"
+#include "sched/PipelinedCode.h"
+
+namespace rapt {
+
+/// Which rewrite layer the certified stream represents: Virtual certifies
+/// scheduling + MVE + copy insertion on MVE names; Physical certifies the
+/// register-allocated stream (reuse, clobbers, initializer collisions).
+enum class CertifyLayer : std::uint8_t { Virtual, Physical };
+
+[[nodiscard]] constexpr const char* certifyLayerName(CertifyLayer l) {
+  return l == CertifyLayer::Virtual ? "virtual" : "physical";
+}
+
+struct CertifyReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Register finals + arrays proven value-equal to the reference.
+  std::int64_t certifiedValues = 0;
+
+  [[nodiscard]] int errorCount() const;
+  [[nodiscard]] bool ok() const { return errorCount() == 0; }
+  /// Message of the first error ("" when ok()); the pipeline surfaces it.
+  [[nodiscard]] std::string firstError() const;
+  void merge(CertifyReport&& o);
+};
+
+/// Certifies `code` — the stream emitted from `clustered` (which also names
+/// the semantic operands behind every EmittedOp::bodyIndex and the partition
+/// for residence) — against `original`. Works on virtual-name and physical
+/// streams alike: reads bind chronologically under the simulator's landing
+/// discipline, so register reuse needs no prior SSA rewrite here.
+[[nodiscard]] CertifyReport certifyStream(const Loop& original,
+                                          const ClusteredLoop& clustered,
+                                          const PipelinedCode& code,
+                                          const MachineDesc& machine,
+                                          CertifyLayer layer);
+
+}  // namespace rapt

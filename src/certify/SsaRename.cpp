@@ -1,0 +1,141 @@
+#include "certify/SsaRename.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/Assert.h"
+
+namespace rapt {
+
+namespace {
+
+std::uint64_t phaseKey(std::uint32_t origKey, int phase) {
+  return (static_cast<std::uint64_t>(origKey) << 32) |
+         static_cast<std::uint32_t>(phase);
+}
+
+}  // namespace
+
+PipelinedCode ssaRename(const PipelinedCode& code, const Loop& streamLoop,
+                        const LatencyTable& lat) {
+  PipelinedCode out;
+  out.ii = code.ii;
+  out.stageCount = code.stageCount;
+  out.maxUnroll = code.maxUnroll;
+  out.trip = code.trip;
+  out.kernelStart = code.kernelStart;
+  out.kernelLength = code.kernelLength;
+  out.instrs.resize(code.instrs.size());
+
+  // Initial register-file contents of the INPUT stream, name -> value (later
+  // entries win, matching the simulator's initialization order). A version-0
+  // read of a name with no entry models the hardware default of zero — that
+  // name simply gets no nameInits entry in the output either.
+  std::unordered_map<std::uint32_t, LiveInValue> inputInit;
+  for (const LiveInValue& lv : code.nameInits) inputInit[lv.reg.key()] = lv;
+
+  std::uint32_t nextIdx[2] = {streamLoop.freshReg(RegClass::Int).index(),
+                              streamLoop.freshReg(RegClass::Flt).index()};
+  auto fresh = [&](RegClass rc) {
+    return VirtReg(rc, nextIdx[rc == RegClass::Flt ? 1 : 0]++);
+  };
+
+  std::unordered_map<std::uint32_t, VirtReg> cur;  // input name -> landed version
+  std::unordered_map<std::uint32_t, VirtReg> v0;   // input name -> version 0
+  std::unordered_map<std::uint64_t, VirtReg> lastDef;  // (orig, phase) -> last instance
+
+  auto qOf = [&](std::uint32_t origKey) -> int {
+    auto it = code.namesOf.find(origKey);
+    return it == code.namesOf.end() ? 1 : static_cast<int>(it->second.size());
+  };
+
+  // Landing buckets: a result issued at c lands at c + latency and commits at
+  // the start of that cycle, before any same-cycle read (vliwsim contract).
+  std::size_t horizon = code.instrs.size() + 1;
+  for (std::size_t c = 0; c < code.instrs.size(); ++c) {
+    for (const EmittedOp& eo : code.instrs[c].ops) {
+      if (eo.op.hasDef())
+        horizon = std::max(
+            horizon, c + static_cast<std::size_t>(lat.of(eo.op.op)) + 1);
+    }
+  }
+  std::vector<std::vector<std::pair<std::uint32_t, VirtReg>>> pending(horizon);
+
+  // Binds a read to the version landed now, or to the name's version 0 (the
+  // initial contents) when nothing has landed yet. `orig` is the semantic
+  // operand from the stream's source body op; it becomes the version-0
+  // origin so the certifier can identify which original value the initial
+  // contents stand for.
+  auto readName = [&](VirtReg name, VirtReg orig) -> VirtReg {
+    if (auto it = cur.find(name.key()); it != cur.end()) return it->second;
+    if (auto it = v0.find(name.key()); it != v0.end()) return it->second;
+    const VirtReg ssa = fresh(name.cls());
+    v0.emplace(name.key(), ssa);
+    out.originOf[ssa.key()] = {orig.isValid() ? orig : name, 0};
+    if (auto it = inputInit.find(name.key()); it != inputInit.end()) {
+      LiveInValue lv = it->second;
+      lv.reg = ssa;
+      out.nameInits.push_back(lv);
+    }
+    return ssa;
+  };
+
+  const int bodySize = streamLoop.size();
+  for (std::size_t c = 0; c < code.instrs.size(); ++c) {
+    for (const auto& [key, ssa] : pending[c]) cur[key] = ssa;
+    VliwInstr& outInstr = out.instrs[c];
+    outInstr.ops.reserve(code.instrs[c].ops.size());
+    for (const EmittedOp& eo : code.instrs[c].ops) {
+      EmittedOp ne = eo;
+      const bool hasBody = eo.bodyIndex >= 0 && eo.bodyIndex < bodySize;
+      const Operation* body = hasBody ? &streamLoop.body[static_cast<std::size_t>(
+                                            eo.bodyIndex)]
+                                      : nullptr;
+      for (int s = 0; s < ne.op.numSrcs(); ++s) {
+        const VirtReg orig =
+            (body != nullptr && s < body->numSrcs()) ? body->src[static_cast<std::size_t>(s)]
+                                                     : VirtReg{};
+        ne.op.src[static_cast<std::size_t>(s)] =
+            readName(eo.op.src[static_cast<std::size_t>(s)], orig);
+      }
+      if (ne.op.hasDef()) {
+        const VirtReg ssa = fresh(eo.op.def.cls());
+        ne.op.def = ssa;
+        const VirtReg origin =
+            (body != nullptr && body->def.isValid()) ? body->def : eo.op.def;
+        const int q = std::max(1, qOf(origin.key()));
+        const int phase = ((eo.iteration % q) + q) % q;
+        out.originOf[ssa.key()] = {origin, phase};
+        // Same-(origin, phase) instances are q iterations apart with equal
+        // latency, so issue order here IS landing order.
+        lastDef[phaseKey(origin.key(), phase)] = ssa;
+        pending[c + static_cast<std::size_t>(lat.of(ne.op.op))].push_back(
+            {eo.op.def.key(), ssa});
+      }
+      outInstr.ops.push_back(std::move(ne));
+    }
+  }
+
+  // Rename table: (original register, phase) -> the LAST landed instance of
+  // that phase, which is what the final-value lookup of checkEquivalence
+  // reads. Phases the stream never defines (only loop invariants, whose
+  // single "value" is their initial contents) fall back to version 0.
+  for (const auto& [origKey, names] : code.namesOf) {
+    std::vector<VirtReg> v;
+    v.reserve(names.size());
+    for (std::size_t p = 0; p < names.size(); ++p) {
+      if (auto it = lastDef.find(phaseKey(origKey, static_cast<int>(p)));
+          it != lastDef.end()) {
+        v.push_back(it->second);
+      } else if (auto iv = v0.find(names[p].key()); iv != v0.end()) {
+        v.push_back(iv->second);
+      } else {
+        v.push_back(fresh(names[p].cls()));  // never written, never read
+      }
+    }
+    out.namesOf.emplace(origKey, std::move(v));
+  }
+  return out;
+}
+
+}  // namespace rapt

@@ -1,0 +1,36 @@
+// SSA-ification of an emitted instruction stream (docs/certification.md).
+//
+// A register-allocated stream reuses each physical register for many values,
+// which is why dynamic equivalence checking historically skipped register
+// finals for physical streams: the final CONTENTS of a physical register is
+// whatever landed there last, not necessarily the value the original loop's
+// register holds after the last iteration.
+//
+// ssaRename removes that blind spot statically. It replays the simulator's
+// commit discipline over the stream — a result issued at cycle t lands at
+// t + latency, landings commit at the start of their cycle in issue order,
+// reads bind to the version landed at read time — and gives every definition
+// a fresh name. Reads that no landing reaches yet bind to a per-register
+// "version 0" name carrying the original value's live-in, exactly the
+// initial-contents contract of PipelinedCode::nameInits. The result is a
+// stream with single-assignment names whose simulation is cycle-for-cycle
+// identical to the input stream's, but whose rename table (namesOf) points
+// at the value INSTANCES — so checkEquivalence can compare register finals
+// bit-for-bit on physical streams too.
+#pragma once
+
+#include "machine/MachineDesc.h"
+#include "sched/PipelinedCode.h"
+
+namespace rapt {
+
+/// Renames `code` (virtual or physical) into single-assignment form.
+/// `streamLoop` is the loop the stream was emitted from (the clustered body:
+/// its op at EmittedOp::bodyIndex names the semantic operands, and its
+/// live-in list supplies version-0 initial values); `lat` must be the table
+/// the stream was scheduled against.
+[[nodiscard]] PipelinedCode ssaRename(const PipelinedCode& code,
+                                      const Loop& streamLoop,
+                                      const LatencyTable& lat);
+
+}  // namespace rapt

@@ -1,0 +1,325 @@
+#include "certify/Term.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "ir/Printer.h"
+#include "support/Assert.h"
+#include "vliwsim/Interpreter.h"
+
+namespace rapt {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hashNode(const TermNode& n) {
+  std::uint64_t h = static_cast<std::uint64_t>(n.kind);
+  h = mix(h, static_cast<std::uint64_t>(n.op));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.a)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.b)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(n.c)));
+  h = mix(h, static_cast<std::uint64_t>(n.i));
+  h = mix(h, n.bits);
+  return h;
+}
+
+bool sameNode(const TermNode& x, const TermNode& y) {
+  return x.kind == y.kind && x.op == y.op && x.a == y.a && x.b == y.b &&
+         x.c == y.c && x.i == y.i && x.bits == y.bits;
+}
+
+std::uint64_t bitsOf(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double fromBits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+TermId TermArena::intern(TermNode n) {
+  const std::uint64_t h = hashNode(n);
+  std::vector<TermId>& bucket = buckets_[h];
+  for (TermId id : bucket) {
+    if (sameNode(nodes_[static_cast<std::size_t>(id)], n)) return id;
+  }
+  const TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(n);
+  bucket.push_back(id);
+  return id;
+}
+
+TermId TermArena::intConst(std::int64_t v) {
+  TermNode n;
+  n.kind = TermKind::IntConst;
+  n.i = v;
+  n.affBase = kNoTerm;
+  n.affOff = v;
+  return intern(n);
+}
+
+TermId TermArena::fltConst(double v) {
+  TermNode n;
+  n.kind = TermKind::FltConst;
+  n.bits = bitsOf(v);
+  return intern(n);
+}
+
+TermId TermArena::initReg(VirtReg original) {
+  TermNode n;
+  n.kind = TermKind::InitReg;
+  n.i = original.key();
+  const TermId id = intern(n);
+  nodes_[static_cast<std::size_t>(id)].affBase = id;
+  return id;
+}
+
+TermId TermArena::uninit(VirtReg name) {
+  TermNode n;
+  n.kind = TermKind::Uninit;
+  n.i = name.key();
+  const TermId id = intern(n);
+  nodes_[static_cast<std::size_t>(id)].affBase = id;
+  return id;
+}
+
+TermId TermArena::arrayInit(ArrayId array) {
+  TermNode n;
+  n.kind = TermKind::ArrayInit;
+  n.i = static_cast<std::int64_t>(array);
+  return intern(n);
+}
+
+TermId TermArena::apply(const Operation& op, TermId s0, TermId s1) {
+  switch (op.op) {
+    case Opcode::IMov:
+    case Opcode::FMov:
+    case Opcode::ICopy:
+    case Opcode::FCopy:
+      return s0;  // value-transparent: a copy IS its source's value
+    case Opcode::IConst:
+      return intConst(op.imm);
+    case Opcode::FConst:
+      return fltConst(op.fimm);
+    default:
+      break;
+  }
+  const OpcodeInfo& info = op.info();
+  RAPT_ASSERT(info.kind == OpKind::Arith, "apply expects a non-memory opcode");
+
+  // Fold when every operand is a literal: symbolic execution then computes
+  // the exact value the hardware would, via the same evalArith the reference
+  // interpreter and simulator share.
+  const TermId srcs[2] = {s0, s1};
+  bool allConst = true;
+  OperandValues in;
+  for (int k = 0; k < info.numSrcs; ++k) {
+    const TermNode& n = node(srcs[k]);
+    if (info.srcCls[k] == RegClass::Int && n.kind == TermKind::IntConst) {
+      in.i[k] = n.i;
+    } else if (info.srcCls[k] == RegClass::Flt && n.kind == TermKind::FltConst) {
+      in.f[k] = fromBits(n.bits);
+    } else {
+      allConst = false;
+      break;
+    }
+  }
+  if (allConst) {
+    const ResultValue out = evalArith(op, in);
+    return info.defCls == RegClass::Int ? intConst(out.i) : fltConst(out.f);
+  }
+
+  TermNode n;
+  n.kind = TermKind::Op;
+  n.op = op.op;
+  n.a = info.numSrcs > 0 ? s0 : kNoTerm;
+  n.b = info.numSrcs > 1 ? s1 : kNoTerm;
+  n.i = info.hasImm ? op.imm : 0;
+  n.bits = info.hasFimm ? bitsOf(op.fimm) : 0;
+
+  // Affine view (integer results only): propagate base + constant through
+  // the address-arithmetic shapes ddg/AffineIndex understands.
+  if (info.hasDef && info.defCls == RegClass::Int) {
+    if (op.op == Opcode::IAddImm) {
+      const TermNode& base = node(s0);
+      n.affBase = base.affBase;
+      n.affOff = wrapAdd(base.affOff, op.imm);
+    } else if (op.op == Opcode::IAdd) {
+      const TermNode& x = node(s0);
+      const TermNode& y = node(s1);
+      if (x.kind == TermKind::IntConst) {
+        n.affBase = y.affBase;
+        n.affOff = wrapAdd(y.affOff, x.i);
+      } else if (y.kind == TermKind::IntConst) {
+        n.affBase = x.affBase;
+        n.affOff = wrapAdd(x.affOff, y.i);
+      } else {
+        n.affBase = kNoTerm;  // patched to self below
+      }
+    } else if (op.op == Opcode::ISub && node(s1).kind == TermKind::IntConst) {
+      const TermNode& x = node(s0);
+      n.affBase = x.affBase;
+      n.affOff = wrapSub(x.affOff, node(s1).i);
+    } else {
+      n.affBase = kNoTerm;  // patched to self below
+    }
+  }
+
+  const bool selfBase =
+      (info.hasDef && info.defCls == RegClass::Int && n.affBase == kNoTerm);
+  const TermId id = intern(n);
+  if (selfBase && nodes_[static_cast<std::size_t>(id)].affBase == kNoTerm) {
+    nodes_[static_cast<std::size_t>(id)].affBase = id;
+  }
+  return id;
+}
+
+TermId TermArena::addImm(TermId base, std::int64_t offset) {
+  const TermNode& b = node(base);
+  if (b.kind == TermKind::IntConst) return intConst(wrapAdd(b.i, offset));
+  if (offset == 0) return base;
+  Operation o;
+  o.op = Opcode::IAddImm;
+  o.imm = offset;
+  return apply(o, base, kNoTerm);
+}
+
+bool TermArena::sameCell(TermId x, TermId y) const {
+  if (x == y) return true;  // literals are interned uniquely, so this covers
+                            // the pure-constant case
+  const TermNode& nx = node(x);
+  const TermNode& ny = node(y);
+  if (nx.affBase == kNoTerm || ny.affBase == kNoTerm) return false;
+  return nx.affBase == ny.affBase && nx.affOff == ny.affOff;
+}
+
+bool TermArena::provablyDistinct(TermId x, TermId y) const {
+  const TermNode& nx = node(x);
+  const TermNode& ny = node(y);
+  // Same symbolic base (or both pure constants): the cells differ exactly
+  // when the constant offsets differ. Different bases: unknown, NOT distinct.
+  return nx.affBase == ny.affBase && nx.affOff != ny.affOff;
+}
+
+TermId TermArena::select(TermId heap, TermId index) {
+  TermId h = heap;
+  while (node(h).kind == TermKind::Store) {
+    const TermNode& s = node(h);
+    if (sameCell(index, s.b)) return s.c;      // read-over-write, same cell
+    if (!provablyDistinct(index, s.b)) break;  // might alias: stick here
+    h = s.a;                                   // provably disjoint: skip
+  }
+  TermNode n;
+  n.kind = TermKind::Select;
+  n.a = h;
+  n.b = index;
+  const TermId id = intern(n);
+  // An integer load result is its own affine base (float selects never feed
+  // addressing, so the field is harmless there).
+  if (nodes_[static_cast<std::size_t>(id)].affBase == kNoTerm)
+    nodes_[static_cast<std::size_t>(id)].affBase = id;
+  return id;
+}
+
+TermId TermArena::store(TermId heap, TermId index, TermId value) {
+  if (node(heap).kind == TermKind::Store) {
+    // Copy the top store by value: intern() below may grow nodes_.
+    const TermNode top = node(heap);
+    if (sameCell(index, top.b)) return store(top.a, index, value);
+    if (provablyDistinct(index, top.b) &&
+        node(index).affOff < node(top.b).affOff) {
+      // Bubble provably-disjoint stores into ascending offset order so both
+      // executions reach one normal form however the schedule interleaved
+      // them (only pairs the DDG was free to reorder ever commute here).
+      const TermId below = store(top.a, index, value);
+      TermNode n;
+      n.kind = TermKind::Store;
+      n.a = below;
+      n.b = top.b;
+      n.c = top.c;
+      return intern(n);
+    }
+  }
+  TermNode n;
+  n.kind = TermKind::Store;
+  n.a = heap;
+  n.b = index;
+  n.c = value;
+  return intern(n);
+}
+
+std::string TermArena::str(TermId t, int maxDepth) const {
+  if (t == kNoTerm) return "<none>";
+  if (maxDepth < 0) return "…";
+  const TermNode& n = node(t);
+  std::ostringstream os;
+  switch (n.kind) {
+    case TermKind::IntConst:
+      os << n.i;
+      break;
+    case TermKind::FltConst:
+      os << fromBits(n.bits);
+      break;
+    case TermKind::InitReg:
+      os << "init " << regName(VirtReg::fromKey(static_cast<std::uint32_t>(n.i)));
+      break;
+    case TermKind::Uninit:
+      os << "uninit " << regName(VirtReg::fromKey(static_cast<std::uint32_t>(n.i)));
+      break;
+    case TermKind::ArrayInit:
+      os << "arrayinit a" << n.i;
+      break;
+    case TermKind::Op:
+      os << opcodeName(n.op) << "(" << str(n.a, maxDepth - 1);
+      if (n.b != kNoTerm) os << ", " << str(n.b, maxDepth - 1);
+      if (opcodeInfo(n.op).hasImm) os << ", +" << n.i;
+      if (opcodeInfo(n.op).hasFimm) os << ", " << fromBits(n.bits);
+      os << ")";
+      break;
+    case TermKind::Select:
+      os << "select(" << str(n.a, maxDepth - 1) << ", " << str(n.b, maxDepth - 1)
+         << ")";
+      break;
+    case TermKind::Store:
+      os << "store(" << str(n.a, maxDepth - 1) << ", " << str(n.b, maxDepth - 1)
+         << ", " << str(n.c, maxDepth - 1) << ")";
+      break;
+  }
+  return os.str();
+}
+
+TermDivergence firstDivergence(const TermArena& arena, TermId ref, TermId got) {
+  while (true) {
+    if (ref == got) return {kNoTerm, kNoTerm};
+    if (ref == kNoTerm || got == kNoTerm) return {ref, got};
+    const TermNode& r = arena.node(ref);
+    const TermNode& g = arena.node(got);
+    if (r.kind != g.kind || r.op != g.op || r.i != g.i || r.bits != g.bits)
+      return {ref, got};
+    // Same head: descend into the first differing child. Hash-consing
+    // guarantees at least one differs when the ids do.
+    if (r.a != g.a) {
+      ref = r.a;
+      got = g.a;
+    } else if (r.b != g.b) {
+      ref = r.b;
+      got = g.b;
+    } else if (r.c != g.c) {
+      ref = r.c;
+      got = g.c;
+    } else {
+      return {ref, got};
+    }
+  }
+}
+
+}  // namespace rapt

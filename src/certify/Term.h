@@ -1,0 +1,118 @@
+// Hash-consed symbolic value terms for the static translation certifier
+// (docs/certification.md).
+//
+// A Term is a value computed by the loop, expressed over symbolic initial
+// registers (`init r`), symbolic initial array contents (`arrayinit A`), and
+// literal constants. Hash-consing makes structural equality an O(1) id
+// compare: two executions compute the same value for all inputs exactly when
+// they intern the same term. That identity IS the equivalence proof — the
+// pipeline's rewrites (scheduling, MVE renaming, copy insertion, register
+// assignment) only reorder, rename, and route values through transparent
+// copies; they never reassociate arithmetic, so a correct translation
+// reproduces the reference terms node for node.
+//
+// Arrays use a McCarthy select/store theory with two refinements that keep
+// both executions on a canonical normal form:
+//   * a store whose cell PROVABLY differs from the store below it (same
+//     affine base, different constant offset — or both concrete) is bubbled
+//     into a canonical (base, offset) order, and a store to the same cell
+//     overwrites;
+//   * a select walks past provably-disjoint stores and sticks at the first
+//     store it cannot disambiguate.
+// The affine view (`base + constant`) mirrors ddg/AffineIndex: accesses the
+// dependence analysis could reorder are exactly the ones the normal form
+// commutes, and accesses it kept ordered stay ordered here too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/Operation.h"
+
+namespace rapt {
+
+enum class TermKind : std::uint8_t {
+  IntConst,   ///< payload: i = value
+  FltConst,   ///< payload: bits = IEEE-754 bit pattern (NaN payloads distinct)
+  InitReg,    ///< payload: i = VirtReg::key() of the ORIGINAL loop register
+  Uninit,     ///< payload: i = name key; a read no initializer reaches.
+              ///< Unique per name, so it never matches anything.
+  ArrayInit,  ///< payload: i = ArrayId; the array's contents before the loop
+  Op,         ///< payload: op, children a/b, i = imm, bits = fimm bits
+  Select,     ///< a = heap, b = index
+  Store,      ///< a = heap, b = index, c = value
+};
+
+using TermId = std::int32_t;
+constexpr TermId kNoTerm = -1;
+
+struct TermNode {
+  TermKind kind = TermKind::IntConst;
+  Opcode op = Opcode::kCount_;  ///< Op nodes only
+  TermId a = kNoTerm;           ///< child 0 / heap
+  TermId b = kNoTerm;           ///< child 1 / index
+  TermId c = kNoTerm;           ///< Store value
+  std::int64_t i = 0;           ///< kind-dependent integer payload
+  std::uint64_t bits = 0;       ///< float payload (bit-exact)
+
+  // Derived affine view of an integer term: value == term(affBase) + affOff
+  // (wrapping), with affBase == kNoTerm meaning "pure constant". Set at
+  // intern time; excluded from hashing/equality.
+  TermId affBase = kNoTerm;
+  std::int64_t affOff = 0;
+};
+
+/// The interner. Ids are dense indices, stable for the arena's lifetime.
+class TermArena {
+ public:
+  [[nodiscard]] TermId intConst(std::int64_t v);
+  [[nodiscard]] TermId fltConst(double v);
+  [[nodiscard]] TermId initReg(VirtReg original);
+  [[nodiscard]] TermId uninit(VirtReg name);
+  [[nodiscard]] TermId arrayInit(ArrayId array);
+
+  /// The value `op` computes from operand terms s0/s1 (as many as the opcode
+  /// reads; immediates come from `op` itself). Copies and moves are value
+  /// transparent (the term of the source). All-constant operands fold through
+  /// the interpreter's evalArith, so symbolic execution computes literal
+  /// values exactly where the hardware would.
+  [[nodiscard]] TermId apply(const Operation& op, TermId s0, TermId s1);
+
+  /// The canonical term of `base + offset` (memory addressing `src0 + imm`).
+  [[nodiscard]] TermId addImm(TermId base, std::int64_t offset);
+
+  /// McCarthy array ops on the canonical store-chain normal form.
+  [[nodiscard]] TermId select(TermId heap, TermId index);
+  [[nodiscard]] TermId store(TermId heap, TermId index, TermId value);
+
+  /// Do `x` and `y` denote the same cell / provably different cells?
+  [[nodiscard]] bool sameCell(TermId x, TermId y) const;
+  [[nodiscard]] bool provablyDistinct(TermId x, TermId y) const;
+
+  [[nodiscard]] const TermNode& node(TermId t) const { return nodes_[static_cast<std::size_t>(t)]; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Bounded-depth rendering for diagnostics, e.g.
+  /// "fadd(init f3, select(arrayinit a, 7))".
+  [[nodiscard]] std::string str(TermId t, int maxDepth = 3) const;
+
+ private:
+  [[nodiscard]] TermId intern(TermNode n);
+
+  std::vector<TermNode> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<TermId>> buckets_;
+};
+
+/// Walks `ref` and `got` in lockstep and returns the first structurally
+/// divergent pair (the deepest node where the two dags stop agreeing); used
+/// to point a Diagnostic at the root cause rather than the whole value.
+struct TermDivergence {
+  TermId ref = kNoTerm;
+  TermId got = kNoTerm;
+};
+[[nodiscard]] TermDivergence firstDivergence(const TermArena& arena, TermId ref,
+                                             TermId got);
+
+}  // namespace rapt

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "analysis/Linter.h"
+#include "certify/Certifier.h"
+#include "certify/SsaRename.h"
 #include "partition/Baselines.h"
 #include "partition/Refinement.h"
 #include "partition/CopyInserter.h"
@@ -147,6 +149,25 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
     }
   }
 
+  // Static translation certifier (src/certify, docs/certification.md):
+  // symbolic, input-independent proof that the emitted stream computes the
+  // reference values, plus cross-iteration bank residence. It shares no state
+  // with the scheduler/emitter; certification failure is a legality bug.
+  if (options.certify) {
+    ScopedStageTimer certTimer(r.trace.certifyNs);
+    CertifyReport cert =
+        certifyStream(original, clustered, code, machine, CertifyLayer::Virtual);
+    r.trace.certifiedValues += cert.certifiedValues;
+    const int errs = cert.errorCount();
+    const std::string first = cert.firstError();
+    for (Diagnostic& d : cert.diagnostics) r.diagnostics.push_back(std::move(d));
+    if (errs > 0) {
+      r.trace.certifyViolations += errs;
+      fail(r, FailureClass::VerifierViolation, "certification failed: " + first);
+      return true;  // a legality bug, not an allocation problem; do not retry
+    }
+  }
+
   BankAssignment alloc;
   if (options.allocateRegisters) {
     ScopedStageTimer allocTimer(r.trace.regallocNs);
@@ -171,15 +192,39 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
     r.validated = true;
     r.simulatedCycles = sim.totalCycles;
     r.trace.simulatedCycles = sim.totalCycles;
+  }
 
-    // Execute the PHYSICAL stream too: allocator bugs (overlapping values
-    // sharing a register) only surface here.
-    if (r.allocOk) {
-      const PipelinedCode phys = applyPhysicalAssignment(code, alloc);
+  // The PHYSICAL stream: allocator bugs (overlapping values sharing a
+  // register, collapsed initializers) only surface here.
+  if (r.allocOk && (options.certify || options.simulate)) {
+    const PipelinedCode phys = applyPhysicalAssignment(code, alloc);
+
+    if (options.certify) {
+      ScopedStageTimer certTimer(r.trace.certifyNs);
+      CertifyReport cert = certifyStream(original, clustered, phys, machine,
+                                         CertifyLayer::Physical);
+      r.trace.certifiedValues += cert.certifiedValues;
+      const int errs = cert.errorCount();
+      const std::string first = cert.firstError();
+      for (Diagnostic& d : cert.diagnostics) r.diagnostics.push_back(std::move(d));
+      if (errs > 0) {
+        r.trace.certifyViolations += errs;
+        fail(r, FailureClass::VerifierViolation,
+             "physical certification failed: " + first);
+        return true;
+      }
+    }
+
+    if (options.simulate) {
+      ScopedStageTimer simTimer(r.trace.simulateNs);
+      // SSA-rename the physical stream so register reuse cannot hide a wrong
+      // final value: every value instance gets its own name and namesOf points
+      // at final instances, making the FULL equivalence check (memory AND
+      // register finals) sound on allocated code.
+      const PipelinedCode ssa = ssaRename(phys, clustered.loop, machine.lat);
       const SimResult physSim =
-          simulate(phys, clustered.loop, machine, &clustered.partition);
-      const EquivalenceReport physEq =
-          checkEquivalence(original, phys, physSim, /*checkRegisters=*/false);
+          simulate(ssa, clustered.loop, machine, &clustered.partition);
+      const EquivalenceReport physEq = checkEquivalence(original, ssa, physSim);
       if (!physEq.equal) {
         fail(r, FailureClass::ValidationMismatch,
              "physical validation failed: " + physEq.detail);
@@ -188,6 +233,8 @@ bool finishSchedule(const Loop& original, const ClusteredLoop& clustered,
       r.validatedPhysical = true;
     }
   }
+
+  if (options.certify) r.certified = true;  // every requested layer passed
   return true;
 }
 
@@ -298,6 +345,7 @@ LoopResult compileLoopImpl(const Loop& loop, const MachineDesc& machine,
     r.compactionMoves = 0;
     r.validated = false;
     r.validatedPhysical = false;
+    r.certified = false;
     r.simulatedCycles = 0;
 
     if (budgetDone()) {

@@ -92,6 +92,11 @@ struct PipelineOptions {
   bool staticAnalysis = true;     ///< run the static semantic gate before
                                   ///< scheduling; error diagnostics refuse the
                                   ///< loop (src/analysis, docs/analysis.md)
+  bool certify = true;            ///< statically certify every emitted stream
+                                  ///< (virtual and register-allocated) against
+                                  ///< the sequential reference — symbolic,
+                                  ///< input-independent (src/certify,
+                                  ///< docs/certification.md)
   bool allocateRegisters = true;  ///< run per-bank Chaitin/Briggs
   int maxAllocRetries = 8;        ///< II bumps after failed allocation
   int refinePasses = 0;           ///< iterative partition refinement (§7
@@ -178,6 +183,9 @@ struct LoopResult {
 
   bool validated = false;  ///< simulated and bit-equal to the reference
   bool validatedPhysical = false;  ///< register-allocated stream also simulated
+  bool certified = false;  ///< statically proven value-equal to the reference
+                           ///< for ALL inputs (every requested layer passed the
+                           ///< certifier; false when options.certify is off)
   std::int64_t simulatedCycles = 0;
 
   /// Findings of the static semantic gate (empty when the gate is off or the

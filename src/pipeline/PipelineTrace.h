@@ -24,6 +24,7 @@ struct PipelineTrace {
   std::int64_t regallocNs = 0;       ///< step 5: per-bank Chaitin/Briggs
   std::int64_t emitNs = 0;           ///< pipelined-code emission (MVE)
   std::int64_t verifyNs = 0;         ///< independent schedule/partition oracles
+  std::int64_t certifyNs = 0;        ///< static translation certifier (src/certify)
   std::int64_t simulateNs = 0;       ///< simulation + equivalence checking
   std::int64_t totalNs = 0;          ///< whole compileLoop call
 
@@ -35,6 +36,9 @@ struct PipelineTrace {
   std::int64_t simulatedCycles = 0;     ///< cycles executed by the validator
   std::int64_t verifiedOps = 0;         ///< emitted ops checked by the oracles
   int verifyViolations = 0;             ///< violations found (0 on a healthy run)
+  std::int64_t certifiedValues = 0;     ///< register finals + arrays proven
+                                        ///< value-equal across all layers
+  int certifyViolations = 0;            ///< certifier errors (0 on a healthy run)
   int diagErrors = 0;                   ///< static-gate errors (compile refused)
   int diagWarnings = 0;                 ///< static-gate warnings (advisory)
   std::int64_t schedPlacements = 0;     ///< scheduler placement steps, all
@@ -59,6 +63,7 @@ struct PipelineTrace {
     regallocNs += o.regallocNs;
     emitNs += o.emitNs;
     verifyNs += o.verifyNs;
+    certifyNs += o.certifyNs;
     simulateNs += o.simulateNs;
     totalNs += o.totalNs;
     idealCycles += o.idealCycles;
@@ -68,6 +73,8 @@ struct PipelineTrace {
     simulatedCycles += o.simulatedCycles;
     verifiedOps += o.verifiedOps;
     verifyViolations += o.verifyViolations;
+    certifiedValues += o.certifiedValues;
+    certifyViolations += o.certifyViolations;
     diagErrors += o.diagErrors;
     diagWarnings += o.diagWarnings;
     schedPlacements += o.schedPlacements;

@@ -312,6 +312,7 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
       out.histogram.add(r.degradationPercent());
       out.totalBodyCopies += r.bodyCopies;
       if (r.validated) ++out.validatedCount;
+      if (r.certified) ++out.certifiedCount;
     } else {
       ++out.failures;
     }

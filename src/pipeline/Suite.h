@@ -39,6 +39,7 @@ struct SuiteResult {
   DegradationHistogram histogram;    ///< Figures 5-7 buckets
   int totalBodyCopies = 0;
   int validatedCount = 0;
+  int certifiedCount = 0;  ///< successful loops the static certifier proved
 
   // Observability (docs/metrics.md): per-stage times/counters summed over
   // all loops, suite wall time, and the worker count actually used.

@@ -166,6 +166,7 @@ Json encodeOptions(const PipelineOptions& o) {
   j["simTrip"] = o.simTrip;
   j["simulate"] = o.simulate;
   j["verify"] = o.verify;
+  j["certify"] = o.certify;
   j["staticAnalysis"] = o.staticAnalysis;
   j["allocateRegisters"] = o.allocateRegisters;
   j["maxAllocRetries"] = o.maxAllocRetries;
@@ -204,6 +205,7 @@ bool decodeOptions(const Json& doc, PipelineOptions& o, std::string& error) {
   r.i64("simTrip", o.simTrip);
   r.b("simulate", o.simulate);
   r.b("verify", o.verify);
+  r.b("certify", o.certify);
   r.b("staticAnalysis", o.staticAnalysis);
   r.b("allocateRegisters", o.allocateRegisters);
   r.i("maxAllocRetries", o.maxAllocRetries);
@@ -258,7 +260,7 @@ bool decodeDiagnostics(const Json& arr, std::vector<Diagnostic>& out,
     Reader r(arr.at(i), error);
     Diagnostic d;
     decodeEnum(r, "severity", d.severity, 3);
-    decodeEnum(r, "code", d.code, 10);
+    decodeEnum(r, "code", d.code, kNumDiagCodes);
     r.i("block", d.block);
     r.i("op", d.op);
     bool regValid = false;
@@ -291,6 +293,7 @@ Json encodeTrace(const PipelineTrace& t) {
   j["regallocNs"] = t.regallocNs;
   j["emitNs"] = t.emitNs;
   j["verifyNs"] = t.verifyNs;
+  j["certifyNs"] = t.certifyNs;
   j["simulateNs"] = t.simulateNs;
   j["totalNs"] = t.totalNs;
   j["idealCycles"] = t.idealCycles;
@@ -300,6 +303,8 @@ Json encodeTrace(const PipelineTrace& t) {
   j["simulatedCycles"] = t.simulatedCycles;
   j["verifiedOps"] = t.verifiedOps;
   j["verifyViolations"] = t.verifyViolations;
+  j["certifiedValues"] = t.certifiedValues;
+  j["certifyViolations"] = t.certifyViolations;
   j["diagErrors"] = t.diagErrors;
   j["diagWarnings"] = t.diagWarnings;
   j["schedPlacements"] = t.schedPlacements;
@@ -320,6 +325,7 @@ bool decodeTrace(const Json& doc, PipelineTrace& t, std::string& error) {
   r.i64("regallocNs", t.regallocNs);
   r.i64("emitNs", t.emitNs);
   r.i64("verifyNs", t.verifyNs);
+  r.i64("certifyNs", t.certifyNs);
   r.i64("simulateNs", t.simulateNs);
   r.i64("totalNs", t.totalNs);
   r.i64("idealCycles", t.idealCycles);
@@ -329,6 +335,8 @@ bool decodeTrace(const Json& doc, PipelineTrace& t, std::string& error) {
   r.i64("simulatedCycles", t.simulatedCycles);
   r.i64("verifiedOps", t.verifiedOps);
   r.i("verifyViolations", t.verifyViolations);
+  r.i64("certifiedValues", t.certifiedValues);
+  r.i("certifyViolations", t.certifyViolations);
   r.i("diagErrors", t.diagErrors);
   r.i("diagWarnings", t.diagWarnings);
   r.i64("schedPlacements", t.schedPlacements);
@@ -410,6 +418,7 @@ Json encodeLoopResult(const LoopResult& r) {
   j["compactionMoves"] = r.compactionMoves;
   j["validated"] = r.validated;
   j["validatedPhysical"] = r.validatedPhysical;
+  j["certified"] = r.certified;
   j["simulatedCycles"] = r.simulatedCycles;
   j["workerStderr"] = r.workerStderr;
   j["diagnostics"] = encodeDiagnostics(r.diagnostics);
@@ -442,6 +451,7 @@ bool decodeLoopResult(const Json& doc, LoopResult& out, std::string& error) {
   r.i("compactionMoves", out.compactionMoves);
   r.b("validated", out.validated);
   r.b("validatedPhysical", out.validatedPhysical);
+  r.b("certified", out.certified);
   r.i64("simulatedCycles", out.simulatedCycles);
   r.s("workerStderr", out.workerStderr);
   const Json* diags = r.arr("diagnostics");

@@ -8,7 +8,7 @@
 namespace rapt {
 
 EquivalenceReport checkEquivalence(const Loop& original, const PipelinedCode& code,
-                                   const SimResult& sim, bool checkRegisters) {
+                                   const SimResult& sim) {
   EquivalenceReport rep;
   if (!sim.ok) {
     rep.detail = "simulation failed: " + sim.error;
@@ -22,7 +22,6 @@ EquivalenceReport checkEquivalence(const Loop& original, const PipelinedCode& co
   }
 
   for (const Operation& o : original.body) {
-    if (!checkRegisters) break;
     if (!o.def.isValid()) continue;
     auto it = code.namesOf.find(o.def.key());
     if (it == code.namesOf.end()) continue;

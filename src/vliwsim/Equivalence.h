@@ -23,13 +23,14 @@ struct EquivalenceReport {
 };
 
 /// `original` is the pre-partitioning loop; `code`/`sim` the compiled and
-/// simulated stream (possibly with copies and MVE renaming). Pass
-/// `checkRegisters = false` for PHYSICAL streams: a physical register may be
-/// legitimately reused by a later value after the compared value's last
-/// read, so only memory is meaningful there.
+/// simulated stream (possibly with copies and MVE renaming). Register finals
+/// are always compared. PHYSICAL streams reuse registers, so their finals are
+/// not addressable by name directly — run them through certify/SsaRename.h
+/// first, which renames every value instance apart and rebuilds `namesOf` to
+/// point at final instances; simulating the renamed stream makes the full
+/// register comparison sound (there is no memory-only mode anymore).
 [[nodiscard]] EquivalenceReport checkEquivalence(const Loop& original,
                                                  const PipelinedCode& code,
-                                                 const SimResult& sim,
-                                                 bool checkRegisters = true);
+                                                 const SimResult& sim);
 
 }  // namespace rapt

@@ -1,0 +1,171 @@
+// One test per defect class the ISSUE names: dropped copy, wrong MVE phase
+// rename, clobbered physical reuse, cross-bank read without copy, epilogue
+// off-by-one — each injected by hand-corrupting a known-good stream, with the
+// clean stream certifying first so the failure is attributable to the
+// corruption alone.
+#include "certify/Certifier.h"
+
+#include <gtest/gtest.h>
+
+#include "CertifyTestUtil.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+TEST(Certifier, CleanStreamsCertifyOnAllPaperConfigs) {
+  for (int clusters : {2, 4, 8}) {
+    for (CopyModel model : {CopyModel::Embedded, CopyModel::CopyUnit}) {
+      for (int index : {0, 1, 2}) {
+        const CertifiedLoop c = compileForCertify(clusters, model, index);
+        const CertifyReport virt = certifyVirtual(c, c.code);
+        EXPECT_TRUE(virt.ok()) << clusters << "x" << copyModelName(model)
+                               << " corpus " << index << ": " << virt.firstError();
+        EXPECT_GT(virt.certifiedValues, 0);
+        const PipelinedCode phys = applyPhysicalAssignment(c.code, c.alloc);
+        const CertifyReport ph = certifyPhysical(c, phys);
+        EXPECT_TRUE(ph.ok()) << clusters << "x" << copyModelName(model)
+                             << " corpus " << index << ": " << ph.firstError();
+      }
+    }
+  }
+}
+
+TEST(Certifier, DroppedCopyIsCaught) {
+  // Erase one emitted cross-bank copy: its consumer now reads either a stale
+  // rotation of the name or an uninitialized register.
+  for (int index = 0; index < 20; ++index) {
+    const CertifiedLoop c = compileForCertify(2, CopyModel::Embedded, index);
+    if (c.clustered.bodyCopies == 0) continue;
+    ASSERT_TRUE(certifyVirtual(c, c.code).ok());
+    bool caught = false;
+    int tried = 0;
+    for (std::size_t cy = 0; cy < c.code.instrs.size() && !caught; ++cy) {
+      for (std::size_t s = 0; s < c.code.instrs[cy].ops.size() && !caught; ++s) {
+        if (!isCopy(c.code.instrs[cy].ops[s].op.op)) continue;
+        if (++tried > 12) break;
+        PipelinedCode broken = c.code;
+        broken.instrs[cy].ops.erase(broken.instrs[cy].ops.begin() +
+                                    static_cast<std::ptrdiff_t>(s));
+        caught = !certifyVirtual(c, broken).ok();
+      }
+    }
+    ASSERT_GT(tried, 0);
+    EXPECT_TRUE(caught) << "no dropped copy caught in corpus " << index;
+    return;  // one loop with copies suffices
+  }
+  FAIL() << "no corpus loop with body copies found";
+}
+
+TEST(Certifier, WrongMvePhaseRenameIsCaught) {
+  // Rewriting a use to a different rotation of the same value makes it read
+  // another iteration's instance. Some swaps are semantically neutral (truly
+  // invariant values); the certifier must catch at least one real one.
+  bool caught = false;
+  for (int index = 0; index < 10 && !caught; ++index) {
+    const CertifiedLoop c = compileForCertify(4, CopyModel::Embedded, index);
+    ASSERT_TRUE(certifyVirtual(c, c.code).ok());
+    int tried = 0;
+    for (std::size_t cy = 0; cy < c.code.instrs.size() && !caught; ++cy) {
+      for (std::size_t s = 0; s < c.code.instrs[cy].ops.size() && !caught; ++s) {
+        const EmittedOp& eo = c.code.instrs[cy].ops[s];
+        for (int k = 0; k < eo.op.numSrcs() && !caught; ++k) {
+          const VirtReg name = eo.op.src[static_cast<std::size_t>(k)];
+          if (!name.isValid()) continue;
+          const auto origIt = c.code.originOf.find(name.key());
+          if (origIt == c.code.originOf.end()) continue;
+          const auto namesIt = c.code.namesOf.find(origIt->second.orig.key());
+          if (namesIt == c.code.namesOf.end() || namesIt->second.size() < 2)
+            continue;
+          if (++tried > 24) break;
+          const std::vector<VirtReg>& names = namesIt->second;
+          const std::size_t phase =
+              static_cast<std::size_t>(origIt->second.phase);
+          PipelinedCode broken = c.code;
+          broken.instrs[cy].ops[s].op.src[static_cast<std::size_t>(k)] =
+              names[(phase + 1) % names.size()];
+          caught = !certifyVirtual(c, broken).ok();
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Certifier, ClobberedPhysicalReuseIsCaught) {
+  // Collapse every register of each class onto index 0 of its bank: values
+  // with overlapping lifetimes now share one physical register.
+  const CertifiedLoop c = compileForCertify(2, CopyModel::Embedded, 0);
+  {
+    const PipelinedCode phys = applyPhysicalAssignment(c.code, c.alloc);
+    ASSERT_TRUE(certifyPhysical(c, phys).ok());
+  }
+  BankAssignment broken = c.alloc;
+  bool changed = false;
+  for (auto& [key, pr] : broken.physOf) {
+    if (pr.index != 0) {
+      pr.index = 0;
+      changed = true;
+    }
+  }
+  ASSERT_TRUE(changed);
+  const PipelinedCode phys = applyPhysicalAssignment(c.code, broken);
+  const CertifyReport rep = certifyPhysical(c, phys);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Certifier, CrossBankReadWithoutCopyIsCaught) {
+  // Move an operation to a functional unit of the other cluster without
+  // routing its operands there: the residence check must flag the read even
+  // though the VALUE is still correct (this is a placement defect, not a
+  // value defect — invisible to any simulator that ignores banks).
+  const CertifiedLoop c = compileForCertify(2, CopyModel::Embedded, 0);
+  ASSERT_TRUE(certifyVirtual(c, c.code).ok());
+  bool caught = false;
+  int tried = 0;
+  for (std::size_t cy = 0; cy < c.code.instrs.size() && !caught; ++cy) {
+    for (std::size_t s = 0; s < c.code.instrs[cy].ops.size() && !caught; ++s) {
+      const EmittedOp& eo = c.code.instrs[cy].ops[s];
+      if (eo.fu < 0 || isCopy(eo.op.op) || eo.op.numSrcs() == 0) continue;
+      if (++tried > 40) break;
+      PipelinedCode broken = c.code;
+      broken.instrs[cy].ops[s].fu =
+          (eo.fu + c.machine.fusPerCluster) % c.machine.width();
+      const CertifyReport rep = certifyVirtual(c, broken);
+      caught = !rep.ok() && hasDiag(rep, DiagCode::CertifyResidence);
+    }
+  }
+  ASSERT_GT(tried, 0);
+  EXPECT_TRUE(caught);
+}
+
+TEST(Certifier, EpilogueOffByOneIsCaught) {
+  // Drop the LAST final-iteration definition of an original body op — the
+  // classic drain-one-stage-short emission bug. The stream then never
+  // computes that value's final instance.
+  const CertifiedLoop c = compileForCertify(2, CopyModel::CopyUnit, 1);
+  ASSERT_TRUE(certifyVirtual(c, c.code).ok());
+  PipelinedCode broken = c.code;
+  int lastCy = -1, lastSlot = -1;
+  for (std::size_t cy = 0; cy < broken.instrs.size(); ++cy) {
+    for (std::size_t s = 0; s < broken.instrs[cy].ops.size(); ++s) {
+      const EmittedOp& eo = broken.instrs[cy].ops[s];
+      if (!eo.op.def.isValid() || eo.iteration != broken.trip - 1) continue;
+      if (eo.bodyIndex < 0 ||
+          static_cast<std::size_t>(eo.bodyIndex) >= c.clustered.origIndexOf.size() ||
+          c.clustered.origIndexOf[static_cast<std::size_t>(eo.bodyIndex)] < 0)
+        continue;  // copies are not tracked finals; skip them
+      lastCy = static_cast<int>(cy);
+      lastSlot = static_cast<int>(s);
+    }
+  }
+  ASSERT_GE(lastCy, 0);
+  broken.instrs[static_cast<std::size_t>(lastCy)].ops.erase(
+      broken.instrs[static_cast<std::size_t>(lastCy)].ops.begin() + lastSlot);
+  const CertifyReport rep = certifyVirtual(c, broken);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(hasDiag(rep, DiagCode::CertifyDivergence)) << rep.firstError();
+}
+
+}  // namespace
+}  // namespace rapt

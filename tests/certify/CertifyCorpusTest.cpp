@@ -1,0 +1,52 @@
+// The ISSUE's corpus acceptance criterion: the paper's 211-loop workload
+// certifies with zero violations on all six paper machine configurations.
+// The default run strides the corpus to keep the suite fast; CI's
+// certify-corpus job sets RAPT_CERTIFY_FULL=1 to cover every loop.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "pipeline/CompilerPipeline.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+namespace {
+
+struct Config {
+  int clusters;
+  CopyModel model;
+};
+
+class CertifyCorpus : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CertifyCorpus, ZeroViolations) {
+  const GeneratorParams params;
+  const int stride = std::getenv("RAPT_CERTIFY_FULL") ? 1 : 7;
+  const MachineDesc machine =
+      MachineDesc::paper16(GetParam().clusters, GetParam().model);
+  PipelineOptions options;
+  options.simulate = false;  // the purely static path
+  options.certify = true;
+  for (int i = 0; i < params.count; i += stride) {
+    const LoopResult r = compileLoop(generateLoop(params, i), machine, options);
+    ASSERT_TRUE(r.ok) << "corpus " << i << " on " << machine.name << ": "
+                      << r.error;
+    EXPECT_TRUE(r.certified) << "corpus " << i << " on " << machine.name;
+    EXPECT_EQ(r.trace.certifyViolations, 0)
+        << "corpus " << i << " on " << machine.name;
+    EXPECT_GT(r.trace.certifiedValues, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperConfigs, CertifyCorpus,
+    ::testing::Values(Config{2, CopyModel::Embedded}, Config{2, CopyModel::CopyUnit},
+                      Config{4, CopyModel::Embedded}, Config{4, CopyModel::CopyUnit},
+                      Config{8, CopyModel::Embedded}, Config{8, CopyModel::CopyUnit}),
+    [](const ::testing::TestParamInfo<Config>& p) {
+      return std::to_string(p.param.clusters) +
+             (p.param.model == CopyModel::Embedded ? "Embedded" : "CopyUnit");
+    });
+
+}  // namespace
+}  // namespace rapt

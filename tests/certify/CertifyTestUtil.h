@@ -1,0 +1,104 @@
+// Shared plumbing for the certifier tests: runs the real pipeline stages by
+// hand (ideal schedule -> greedy partition -> copy insertion -> clustered
+// schedule -> emission -> bank assignment) so tests can corrupt any
+// intermediate — the emitted stream, the MVE renaming, or the physical
+// assignment — and check that the static certifier catches exactly that.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "certify/Certifier.h"
+#include "ddg/Ddg.h"
+#include "partition/CopyInserter.h"
+#include "partition/GreedyPartitioner.h"
+#include "partition/Rcg.h"
+#include "pipeline/CompilerPipeline.h"
+#include "regalloc/BankAssigner.h"
+#include "regalloc/PhysicalRewrite.h"
+#include "sched/ModuloScheduler.h"
+#include "sched/PipelinedCode.h"
+#include "workload/LoopGenerator.h"
+
+#include <gtest/gtest.h>
+
+namespace rapt {
+
+struct CertifiedLoop {
+  Loop loop;
+  MachineDesc machine;
+  ClusteredLoop clustered;
+  Ddg cddg;
+  ModuloSchedule sched;
+  PipelinedCode code;      ///< virtual-name stream
+  BankAssignment alloc;    ///< bank + index assignment for `code`
+};
+
+/// Compiles `loop` for `machine` through every stage the certifier audits.
+/// Monolithic machines take the same path with a trivial one-bank partition.
+inline CertifiedLoop compileLoopForCertify(Loop loop, MachineDesc machine,
+                                           std::int64_t trip = 16) {
+  const Ddg ddg = Ddg::build(loop, machine.lat);
+  const MachineDesc ideal = idealCounterpart(machine);
+  const std::vector<OpConstraint> freeConstraints(loop.size());
+  const ModuloSchedulerResult idealRes = moduloSchedule(ddg, ideal, freeConstraints);
+  EXPECT_TRUE(idealRes.success);
+
+  const RcgWeights weights;
+  const Rcg rcg = Rcg::build(loop, ddg, idealRes.schedule, weights);
+  const Partition partition = greedyPartition(rcg, machine.numBanks(), weights);
+
+  ClusteredLoop clustered = insertCopies(loop, partition, machine);
+  Ddg cddg = Ddg::build(clustered.loop, machine.lat);
+  ModuloSchedulerResult res = moduloSchedule(cddg, machine, clustered.constraints);
+  EXPECT_TRUE(res.success);
+
+  trip = std::max<std::int64_t>(trip, res.schedule.stageCount() + 4);
+  PipelinedCode code =
+      emitPipelinedCode(clustered.loop, cddg, res.schedule, trip, machine.lat);
+  BankAssignment alloc = assignBanks(code, clustered.partition, machine);
+  EXPECT_TRUE(alloc.success);
+
+  return CertifiedLoop{std::move(loop),         std::move(machine),
+                       std::move(clustered),    std::move(cddg),
+                       std::move(res.schedule), std::move(code),
+                       std::move(alloc)};
+}
+
+/// Corpus loop `index` on the given paper machine.
+inline CertifiedLoop compileForCertify(int clusters, CopyModel model, int index = 0,
+                                       std::int64_t trip = 16) {
+  const GeneratorParams params;
+  return compileLoopForCertify(generateLoop(params, index),
+                               MachineDesc::paper16(clusters, model), trip);
+}
+
+[[nodiscard]] inline CertifyReport certifyVirtual(const CertifiedLoop& c,
+                                                  const PipelinedCode& code) {
+  return certifyStream(c.loop, c.clustered, code, c.machine, CertifyLayer::Virtual);
+}
+
+[[nodiscard]] inline CertifyReport certifyPhysical(const CertifiedLoop& c,
+                                                   const PipelinedCode& phys) {
+  return certifyStream(c.loop, c.clustered, phys, c.machine, CertifyLayer::Physical);
+}
+
+[[nodiscard]] inline bool hasDiag(const CertifyReport& r, DiagCode code) {
+  for (const Diagnostic& d : r.diagnostics)
+    if (d.code == code) return true;
+  return false;
+}
+
+/// First (cycle, slot) whose EmittedOp satisfies `pred`, or (-1, -1).
+[[nodiscard]] inline std::pair<int, int> findOp(
+    const PipelinedCode& code,
+    const std::function<bool(const EmittedOp&)>& pred) {
+  for (std::size_t cy = 0; cy < code.instrs.size(); ++cy)
+    for (std::size_t s = 0; s < code.instrs[cy].ops.size(); ++s)
+      if (pred(code.instrs[cy].ops[s]))
+        return {static_cast<int>(cy), static_cast<int>(s)};
+  return {-1, -1};
+}
+
+}  // namespace rapt

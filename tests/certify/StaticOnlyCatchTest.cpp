@@ -1,0 +1,129 @@
+// Pins the corruption classes the ISSUE requires to be caught ONLY by the
+// static certifier: defects the concrete-input simulator + equivalence check
+// provably cannot see, because the dynamic check either runs on SSA-renamed
+// streams (live-out clobbers disappear in the rename) or on concrete inputs
+// (two live-ins that happen to share a value are indistinguishable).
+#include <gtest/gtest.h>
+
+#include "CertifyTestUtil.h"
+#include "certify/SsaRename.h"
+#include "vliwsim/Equivalence.h"
+#include "vliwsim/VliwSimulator.h"
+#include "workload/Kernels.h"
+
+namespace rapt {
+namespace {
+
+TEST(StaticOnlyCatch, SyntheticLiveOutClobberRaisesAWarning) {
+  // Overwrite the physical register holding a live-out AFTER its final value
+  // landed. Memory is untouched and every intermediate read already consumed
+  // the value, so no execution trace changes — only the static residence walk
+  // notices the architectural live-out is gone.
+  const CertifiedLoop c = compileLoopForCertify(classicKernel("daxpy"),
+                                               MachineDesc::ideal16(), 24);
+  PipelinedCode phys = applyPhysicalAssignment(c.code, c.alloc);
+  ASSERT_TRUE(certifyPhysical(c, phys).ok());
+
+  // The latest-landing final-iteration def of a real body op: its physical
+  // register carries that value out of the loop.
+  VirtReg victim;
+  int bestLand = -1;
+  for (std::size_t cy = 0; cy < phys.instrs.size(); ++cy) {
+    for (const EmittedOp& eo : phys.instrs[cy].ops) {
+      if (!eo.op.def.isValid() || eo.iteration != phys.trip - 1) continue;
+      const int land = static_cast<int>(cy) + c.machine.lat.of(eo.op.op);
+      if (land > bestLand) {
+        bestLand = land;
+        victim = eo.op.def;
+      }
+    }
+  }
+  ASSERT_TRUE(victim.isValid());
+
+  // Clobber far past every landing in the stream.
+  for (int i = 0; i < 8; ++i) phys.instrs.emplace_back();
+  EmittedOp clobber;
+  clobber.op = victim.isInt() ? makeIConst(victim, 42) : makeFConst(victim, 42.0);
+  clobber.fu = 0;
+  clobber.iteration = 0;
+  clobber.bodyIndex = -1;
+  phys.instrs.emplace_back();
+  phys.instrs.back().ops.push_back(clobber);
+
+  const CertifyReport rep = certifyPhysical(c, phys);
+  EXPECT_TRUE(rep.ok()) << rep.firstError();  // a warning, not an error
+  ASSERT_TRUE(hasDiag(rep, DiagCode::CertifyLiveOutClobber));
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.code == DiagCode::CertifyLiveOutClobber) {
+      EXPECT_EQ(d.severity, DiagSeverity::Warning);
+    }
+  }
+}
+
+TEST(StaticOnlyCatch, RealAllocationsClobberLiveOutsInvisiblyToTheSimulator) {
+  // Prefix-reuse allocations legally overwrite live-out registers after their
+  // last in-loop read; the dynamic path (SSA rename + simulate + full
+  // equivalence) validates such streams, so the certifier's warning is the
+  // ONLY signal. Find a real one and pin both halves.
+  bool found = false;
+  for (int index = 0; index < 24 && !found; ++index) {
+    const CertifiedLoop c = compileForCertify(4, CopyModel::Embedded, index);
+    const PipelinedCode phys = applyPhysicalAssignment(c.code, c.alloc);
+    const CertifyReport rep = certifyPhysical(c, phys);
+    ASSERT_TRUE(rep.ok()) << rep.firstError();
+    if (!hasDiag(rep, DiagCode::CertifyLiveOutClobber)) continue;
+    found = true;
+    const PipelinedCode ssa = ssaRename(phys, c.clustered.loop, c.machine.lat);
+    const SimResult sim = simulate(ssa, c.clustered.loop, c.machine);
+    const EquivalenceReport eq = checkEquivalence(c.loop, ssa, sim);
+    EXPECT_TRUE(eq.equal) << eq.detail;
+  }
+  EXPECT_TRUE(found) << "no corpus allocation with a live-out clobber warning";
+}
+
+TEST(StaticOnlyCatch, SwappedEquallyInitializedLiveInsCaughtOnlyStatically) {
+  // Two live-ins carry the SAME concrete value; a corrupted stream reads b
+  // where the loop says a. Every concrete execution the simulator can run is
+  // bit-identical, but the symbolic proof distinguishes init(a) from init(b).
+  Loop loop;
+  loop.name = "swap";
+  loop.trip = 16;
+  const ArrayId y = loop.addArray("y", 64, false);
+  const VirtReg iv = intReg(0), a = intReg(1), b = intReg(2), s = intReg(3);
+  loop.induction = iv;
+  loop.body.push_back(makeBinary(Opcode::IAdd, s, a, b));
+  loop.body.push_back(makeStore(Opcode::IStore, y, iv, s));
+  loop.body.push_back(makeUnary(Opcode::IAddImm, iv, iv, 1));
+  loop.liveInValues = {{a, 5, 0.0}, {b, 5, 0.0}, {iv, 0, 0.0}};
+  ASSERT_FALSE(validate(loop).has_value());
+
+  const CertifiedLoop c =
+      compileLoopForCertify(loop, MachineDesc::ideal16(), 16);
+  ASSERT_TRUE(certifyVirtual(c, c.code).ok());
+
+  PipelinedCode broken = c.code;
+  int swapped = 0;
+  for (VliwInstr& in : broken.instrs) {
+    for (EmittedOp& eo : in.ops) {
+      if (eo.op.op == Opcode::IAdd && eo.op.src[0] == a) {
+        eo.op.src[0] = b;
+        ++swapped;
+      }
+    }
+  }
+  ASSERT_GT(swapped, 0);
+
+  // Dynamic: simulation + full equivalence is blind — 5 + 5 == 5 + 5.
+  const SimResult sim = simulate(broken, c.clustered.loop, c.machine);
+  ASSERT_TRUE(sim.ok) << sim.error;
+  const EquivalenceReport eq = checkEquivalence(c.loop, broken, sim);
+  EXPECT_TRUE(eq.equal) << eq.detail;
+
+  // Static: init(a) and init(b) are distinct symbols — caught for ALL inputs.
+  const CertifyReport rep = certifyVirtual(c, broken);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(hasDiag(rep, DiagCode::CertifyDivergence)) << rep.firstError();
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,148 @@
+#include "certify/Term.h"
+
+#include <gtest/gtest.h>
+
+namespace rapt {
+namespace {
+
+// Hash-consing is the whole proof mechanism: two symbolic executions agree
+// for all inputs exactly when they intern the same id. These tests pin the
+// algebraic identities the certifier relies on.
+
+TEST(Term, LeavesIntern) {
+  TermArena a;
+  EXPECT_EQ(a.intConst(5), a.intConst(5));
+  EXPECT_NE(a.intConst(5), a.intConst(6));
+  EXPECT_EQ(a.fltConst(1.5), a.fltConst(1.5));
+  EXPECT_NE(a.fltConst(1.5), a.fltConst(-1.5));
+  EXPECT_EQ(a.initReg(intReg(3)), a.initReg(intReg(3)));
+  EXPECT_NE(a.initReg(intReg(3)), a.initReg(intReg(4)));
+  EXPECT_NE(a.initReg(intReg(3)), a.initReg(fltReg(3)));
+  EXPECT_EQ(a.arrayInit(0), a.arrayInit(0));
+  EXPECT_NE(a.arrayInit(0), a.arrayInit(1));
+}
+
+TEST(Term, UninitNeverMatchesAnInitializer) {
+  TermArena a;
+  // Unique per NAME (stable within one), distinct from the init symbol of
+  // the same register — an uninitialized read can never prove equal.
+  EXPECT_EQ(a.uninit(intReg(7)), a.uninit(intReg(7)));
+  EXPECT_NE(a.uninit(intReg(7)), a.uninit(intReg(8)));
+  EXPECT_NE(a.uninit(intReg(7)), a.initReg(intReg(7)));
+}
+
+TEST(Term, CopiesAreValueTransparent) {
+  TermArena a;
+  const TermId v = a.initReg(fltReg(2));
+  EXPECT_EQ(a.apply(makeCopy(fltReg(9), fltReg(2)), v, kNoTerm), v);
+  EXPECT_EQ(a.apply(makeCopy(intReg(9), intReg(2)), a.initReg(intReg(2)), kNoTerm),
+            a.initReg(intReg(2)));
+  EXPECT_EQ(a.apply(makeUnary(Opcode::IMov, intReg(9), intReg(2)),
+                    a.initReg(intReg(2)), kNoTerm),
+            a.initReg(intReg(2)));
+  EXPECT_EQ(a.apply(makeUnary(Opcode::FMov, fltReg(9), fltReg(2)), v, kNoTerm), v);
+}
+
+TEST(Term, AllConstantOperandsFold) {
+  TermArena a;
+  const TermId sum = a.apply(makeBinary(Opcode::IAdd, intReg(5), intReg(1), intReg(2)),
+                             a.intConst(2), a.intConst(3));
+  EXPECT_EQ(sum, a.intConst(5));
+  const TermId shifted = a.apply(makeUnary(Opcode::IAddImm, intReg(5), intReg(1), 10),
+                                 a.intConst(32), kNoTerm);
+  EXPECT_EQ(shifted, a.intConst(42));
+}
+
+TEST(Term, SymbolicOpsInternStructurally) {
+  TermArena a;
+  const TermId x = a.initReg(intReg(1));
+  const TermId y = a.initReg(intReg(2));
+  const Operation add = makeBinary(Opcode::IAdd, intReg(5), intReg(1), intReg(2));
+  EXPECT_EQ(a.apply(add, x, y), a.apply(add, x, y));
+  EXPECT_NE(a.apply(add, x, y), a.apply(add, y, x));
+  const Operation sub = makeBinary(Opcode::ISub, intReg(5), intReg(1), intReg(2));
+  EXPECT_NE(a.apply(add, x, y), a.apply(sub, x, y));
+}
+
+TEST(Term, AddImmCanonicalizes) {
+  TermArena a;
+  const TermId x = a.initReg(intReg(1));
+  EXPECT_EQ(a.addImm(x, 0), x);
+  EXPECT_EQ(a.addImm(a.intConst(4), 3), a.intConst(7));
+  // The affine view exposes base + offset so disaliasing can compare cells.
+  const TermId x2 = a.addImm(x, 2);
+  EXPECT_EQ(a.node(x2).affBase, x);
+  EXPECT_EQ(a.node(x2).affOff, 2);
+}
+
+TEST(Term, DisjointStoresBubbleIntoCanonicalOrder) {
+  TermArena a;
+  const TermId h = a.arrayInit(0);
+  const TermId i = a.initReg(intReg(1));
+  const TermId i0 = a.addImm(i, 0);
+  const TermId i1 = a.addImm(i, 1);
+  const TermId v0 = a.initReg(fltReg(0));
+  const TermId v1 = a.initReg(fltReg(1));
+  // Same affine base, different constant offsets: provably distinct cells, so
+  // both store orders intern to one normal form.
+  EXPECT_TRUE(a.provablyDistinct(i0, i1));
+  EXPECT_EQ(a.store(a.store(h, i0, v0), i1, v1),
+            a.store(a.store(h, i1, v1), i0, v0));
+  // Concrete indices disambiguate too.
+  EXPECT_EQ(a.store(a.store(h, a.intConst(3), v0), a.intConst(4), v1),
+            a.store(a.store(h, a.intConst(4), v1), a.intConst(3), v0));
+}
+
+TEST(Term, SameCellStoreOverwrites) {
+  TermArena a;
+  const TermId h = a.arrayInit(0);
+  const TermId i = a.initReg(intReg(1));
+  const TermId v0 = a.initReg(fltReg(0));
+  const TermId v1 = a.initReg(fltReg(1));
+  EXPECT_TRUE(a.sameCell(i, i));
+  EXPECT_EQ(a.store(a.store(h, i, v0), i, v1), a.store(h, i, v1));
+}
+
+TEST(Term, SelectWalksPastDisjointStoresAndSticksOtherwise) {
+  TermArena a;
+  const TermId h = a.arrayInit(0);
+  const TermId i = a.initReg(intReg(1));
+  const TermId j = a.initReg(intReg(2));  // unrelated base: cannot disambiguate
+  const TermId i1 = a.addImm(i, 1);
+  const TermId v = a.initReg(fltReg(0));
+  // Read of a[i] past a store to a[i+1]: provably disjoint, reads the initial
+  // contents. Read of the stored cell returns the stored value.
+  EXPECT_EQ(a.select(a.store(h, i1, v), i), a.select(h, i));
+  EXPECT_EQ(a.select(a.store(h, i, v), i), v);
+  // Read at an unrelated symbolic index sticks at the store.
+  const TermId stuck = a.select(a.store(h, i, v), j);
+  EXPECT_EQ(a.node(stuck).kind, TermKind::Select);
+  EXPECT_EQ(a.node(stuck).a, a.store(h, i, v));
+}
+
+TEST(Term, FirstDivergencePointsAtTheDeepestDisagreement) {
+  TermArena a;
+  const Operation add = makeBinary(Opcode::FAdd, fltReg(5), fltReg(1), fltReg(2));
+  const TermId one = a.fltConst(1.0);
+  const TermId ref = a.apply(add, a.initReg(fltReg(1)), one);
+  const TermId got = a.apply(add, a.initReg(fltReg(2)), one);
+  const TermDivergence d = firstDivergence(a, ref, got);
+  EXPECT_EQ(d.ref, a.initReg(fltReg(1)));
+  EXPECT_EQ(d.got, a.initReg(fltReg(2)));
+  // Equal terms have no divergence.
+  const TermDivergence same = firstDivergence(a, ref, ref);
+  EXPECT_EQ(same.ref, kNoTerm);
+  EXPECT_EQ(same.got, kNoTerm);
+}
+
+TEST(Term, StrRendersReadably) {
+  TermArena a;
+  const TermId t = a.apply(makeBinary(Opcode::FAdd, fltReg(5), fltReg(1), fltReg(2)),
+                           a.initReg(fltReg(1)), a.initReg(fltReg(2)));
+  const std::string s = a.str(t);
+  EXPECT_NE(s.find("fadd"), std::string::npos);
+  EXPECT_NE(s.find("init"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rapt

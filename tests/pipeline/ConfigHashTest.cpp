@@ -53,6 +53,7 @@ TEST(ConfigHash, SimulationAndVerificationTogglesChangeTheHash) {
   expectHashChanges("simTrip", [](PipelineOptions& o) { o.simTrip = 65; });
   expectHashChanges("simulate", [](PipelineOptions& o) { o.simulate = false; });
   expectHashChanges("verify", [](PipelineOptions& o) { o.verify = false; });
+  expectHashChanges("certify", [](PipelineOptions& o) { o.certify = false; });
   expectHashChanges("staticAnalysis", [](PipelineOptions& o) { o.staticAnalysis = false; });
 }
 

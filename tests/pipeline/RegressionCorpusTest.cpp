@@ -1,6 +1,7 @@
 // Replays every minimized fuzzer find committed under tests/regression/
-// through the full pipeline (verifiers + differential simulation on). See
-// tests/regression/README.md for the contract and how to add entries.
+// through the full pipeline (verifiers, static certifier, and differential
+// simulation all on). See tests/regression/README.md for the contract and
+// how to add entries.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -36,7 +37,8 @@ TEST(RegressionCorpus, DirectoryIsNotEmpty) {
 }
 
 TEST(RegressionCorpus, CleanOnAllPaperMachines) {
-  const PipelineOptions opt;  // verify + simulate + allocate, the full gauntlet
+  // verify + simulate + certify + allocate, the full gauntlet
+  const PipelineOptions opt;
   for (const auto& path : corpusFiles()) {
     for (const Loop& loop : loadLoops(path)) {
       for (const int clusters : {2, 4, 8}) {
@@ -45,6 +47,10 @@ TEST(RegressionCorpus, CleanOnAllPaperMachines) {
           const LoopResult r = compileLoop(loop, m, opt);
           EXPECT_TRUE(r.ok) << path.filename() << " (" << loop.name << ") on "
                             << m.name << ": " << r.error;
+          // Every committed reproducer must also hold up under the static
+          // certifier (both layers), not just the concrete differential check.
+          EXPECT_TRUE(!r.ok || r.certified)
+              << path.filename() << " (" << loop.name << ") on " << m.name;
         }
       }
     }

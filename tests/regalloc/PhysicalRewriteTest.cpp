@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "certify/SsaRename.h"
 #include "ddg/Ddg.h"
 #include "sched/ModuloScheduler.h"
 #include "vliwsim/Equivalence.h"
@@ -66,12 +67,15 @@ TEST(PhysicalRewrite, EveryOperandBecomesPhysical) {
 }
 
 TEST(PhysicalRewrite, PhysicalStreamExecutesCorrectly) {
+  // SSA-renaming the physical stream separates reused registers into value
+  // instances, so the FULL equivalence check (memory AND register finals)
+  // applies to allocated code — no memory-only carve-out.
   for (const char* name : {"daxpy", "dot", "tridiag", "cmul", "saturate"}) {
     const Compiled c = compileMonolithic(classicKernel(name), 24);
     const PipelinedCode phys = applyPhysicalAssignment(c.code, c.alloc);
-    const SimResult sim = simulate(phys, c.loop, c.machine);
-    const EquivalenceReport eq =
-        checkEquivalence(c.loop, phys, sim, /*checkRegisters=*/false);
+    const PipelinedCode ssa = ssaRename(phys, c.loop, c.machine.lat);
+    const SimResult sim = simulate(ssa, c.loop, c.machine);
+    const EquivalenceReport eq = checkEquivalence(c.loop, ssa, sim);
     EXPECT_TRUE(eq.equal) << name << ": " << eq.detail;
   }
 }
@@ -92,9 +96,9 @@ TEST(PhysicalRewrite, CorruptedAssignmentIsCaught) {
   }
   ASSERT_TRUE(changed);
   const PipelinedCode phys = applyPhysicalAssignment(c.code, broken);
-  const SimResult sim = simulate(phys, c.loop, c.machine);
-  const EquivalenceReport eq =
-      checkEquivalence(c.loop, phys, sim, /*checkRegisters=*/false);
+  const PipelinedCode ssa = ssaRename(phys, c.loop, c.machine.lat);
+  const SimResult sim = simulate(ssa, c.loop, c.machine);
+  const EquivalenceReport eq = checkEquivalence(c.loop, ssa, sim);
   EXPECT_FALSE(eq.equal);
 }
 
@@ -110,12 +114,12 @@ TEST(PhysicalRewrite, NameInitsFollowTheRewrite) {
 // directly at a different trip count).
 class PhysicalProperty : public ::testing::TestWithParam<int> {};
 
-TEST_P(PhysicalProperty, MonolithicPhysicalBitExactMemory) {
+TEST_P(PhysicalProperty, MonolithicPhysicalBitExact) {
   const Compiled c = compileMonolithic(generateLoop(GeneratorParams{}, GetParam() * 11), 20);
   const PipelinedCode phys = applyPhysicalAssignment(c.code, c.alloc);
-  const SimResult sim = simulate(phys, c.loop, c.machine);
-  const EquivalenceReport eq =
-      checkEquivalence(c.loop, phys, sim, /*checkRegisters=*/false);
+  const PipelinedCode ssa = ssaRename(phys, c.loop, c.machine.lat);
+  const SimResult sim = simulate(ssa, c.loop, c.machine);
+  const EquivalenceReport eq = checkEquivalence(c.loop, ssa, sim);
   EXPECT_TRUE(eq.equal) << eq.detail;
 }
 

@@ -3,11 +3,14 @@
 //
 // Drives seeded LoopGenerator loops through compileLoop across a matrix of
 // machine configurations (cluster count x copy model, optionally small-bank
-// and unit-latency variants). Every run already embeds the two independent
-// oracles (ScheduleVerifier/PartitionVerifier via PipelineOptions::verify)
+// and unit-latency variants). Every run already embeds three independent
+// oracles: ScheduleVerifier/PartitionVerifier (PipelineOptions::verify), the
+// static symbolic certifier (PipelineOptions::certify, docs/certification.md),
 // and the differential check (cycle-accurate simulation cross-checked
 // bit-exactly against the scalar reference interpreter via Equivalence), so
 // any discrepancy anywhere in the pipeline surfaces as a failed LoopResult.
+// --certify-only drops the simulation and fuzzes the static proof alone —
+// faster, and input-independent by construction.
 //
 // A failure is then MINIMIZED: body operations are removed one at a time
 // while the loop stays structurally valid and the failure category is
@@ -74,6 +77,7 @@ struct Options {
   int minOps = 12;
   int maxOps = 60;
   std::int64_t trip = 64;
+  bool certifyOnly = false;  ///< static certifier oracle alone, no simulation
   int faultRate = 0;  ///< percent; > 0 arms the fault-injection campaign
   bool smallBanks = false;
   bool unitLat = false;
@@ -102,6 +106,9 @@ Options parseArgs(int argc, char** argv) {
   args.addInt("min-ops", &o.minOps, "minimum body size of generated loops");
   args.addInt("max-ops", &o.maxOps, "maximum body size of generated loops");
   args.addInt64("trip", &o.trip, "simulated trip count per loop");
+  args.addFlag("certify-only", &o.certifyOnly,
+               "skip the concrete simulation; rely on the symbolic certifier "
+               "oracle alone (docs/certification.md)");
   args.addInt("fault-rate", &o.faultRate,
               "percent chance of an injected fault per stage (0 = off)");
   args.addFlag("small-banks", &o.smallBanks, "also fuzz 16-register banks");
@@ -188,8 +195,9 @@ std::vector<FuzzConfig> buildConfigs(const Options& o) {
 
 PipelineOptions pipelineOptions(const Options& o) {
   PipelineOptions opt;
-  opt.simulate = true;  // differential check against the scalar interpreter
-  opt.verify = true;    // independent schedule/partition oracles
+  opt.simulate = !o.certifyOnly;  // differential check vs the interpreter
+  opt.verify = true;              // independent schedule/partition oracles
+  opt.certify = true;             // static symbolic proof on every stream
   opt.simTrip = o.trip;
   opt.fault.ratePercent = o.faultRate;  // 0 = campaign off
   opt.fault.processFaults = o.processFaults;
@@ -296,6 +304,7 @@ struct Tally {
   h["minOps"] = o.minOps;
   h["maxOps"] = o.maxOps;
   h["trip"] = o.trip;
+  h["certifyOnly"] = o.certifyOnly;
   h["faultRate"] = o.faultRate;
   h["processFaults"] = o.processFaults;
   h["smallBanks"] = o.smallBanks;
@@ -313,7 +322,7 @@ bool replayJournal(const std::string& path, const Options& o, int numConfigs,
   const Json expected = fuzzJournalHeader(o);
   for (const std::string& key :
        {"tool", "seed", "loops", "configs", "minOps", "maxOps", "trip",
-        "faultRate", "processFaults", "smallBanks", "unitLat"}) {
+        "certifyOnly", "faultRate", "processFaults", "smallBanks", "unitLat"}) {
     const Json* have = prior.header.find(key);
     const Json* want = expected.find(key);
     if (have == nullptr || want == nullptr ||
@@ -430,6 +439,15 @@ int main(int argc, char** argv) {
         // be exactly the silent wrong answer fault injection exists to find.
         if (opt.simulate && !r.validated) {
           std::printf("FAIL loop %d (%s) on %s: ok without validation%s\n", i,
+                      loop.name.c_str(), cfg.machine.name.c_str(),
+                      faulted ? " (fault injected)" : "");
+          record(i, c, "fail");
+          continue;
+        }
+        // Same oracle for the static proof: an ok result that skipped
+        // certification would be a silent hole in the campaign's coverage.
+        if (opt.certify && !r.certified) {
+          std::printf("FAIL loop %d (%s) on %s: ok without certification%s\n", i,
                       loop.name.c_str(), cfg.machine.name.c_str(),
                       faulted ? " (fault injected)" : "");
           record(i, c, "fail");
