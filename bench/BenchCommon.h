@@ -185,6 +185,7 @@ class BenchReport {
     suite["threads"] = s.threadsUsed;
     suite["isolation"] = suiteIsolationName(s.isolationUsed);
     if (s.resumedRows > 0) suite["resumedRows"] = s.resumedRows;
+    if (s.quarantinedRows > 0) suite["quarantinedRows"] = s.quarantinedRows;
     c["suite"] = std::move(suite);
     return doc_["cases"].push(std::move(c));
   }

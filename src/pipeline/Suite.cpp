@@ -225,6 +225,9 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
           ++out.resumedRows;
         }
         resumed = true;
+        // Damaged lines were quarantined by the loader; the rows they held
+        // stay un-done and recompile below — reported here, never trusted.
+        out.quarantinedRows = prior.quarantinedLines + prior.tornTailLines;
       }
     }
     if (resumed) {

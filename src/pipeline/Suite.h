@@ -56,6 +56,10 @@ struct SuiteResult {
                               ///< unless interrupted)
   int resumedRows = 0;        ///< rows replayed from the journal, not compiled
   int spawnRetries = 0;       ///< transient worker spawn failures retried
+  /// Journal lines the resume loader quarantined (CRC mismatch: torn, flipped
+  /// or truncated records) plus the torn tail. Those rows are RECOMPILED, not
+  /// trusted, so aggregates stay bit-identical to an undamaged run.
+  int quarantinedRows = 0;
 };
 
 /// Compiles every loop of `corpus` for `machine`. `options.threads` picks the

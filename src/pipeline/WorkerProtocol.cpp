@@ -489,6 +489,14 @@ Json encodeServiceStatsRequest(std::int64_t id) {
   return j;
 }
 
+Json encodeServicePingRequest(std::int64_t id) {
+  Json j = Json::object();
+  j["schema"] = kServiceSchema;
+  j["kind"] = "ping";
+  j["id"] = id;
+  return j;
+}
+
 bool decodeServiceRequest(const Json& doc, ServiceRequestKind& kind,
                           std::int64_t& id, const Json*& job,
                           std::string& error) {
@@ -510,6 +518,10 @@ bool decodeServiceRequest(const Json& doc, ServiceRequestKind& kind,
   }
   if (kindToken == "stats") {
     kind = ServiceRequestKind::Stats;
+    return true;
+  }
+  if (kindToken == "ping") {
+    kind = ServiceRequestKind::Ping;
     return true;
   }
   error = "unknown service request kind: " + kindToken;
@@ -538,6 +550,15 @@ Json encodeServiceStatsResponse(std::int64_t id, Json stats) {
   return j;
 }
 
+Json encodeServicePingResponse(std::int64_t id, Json health) {
+  Json j = Json::object();
+  j["schema"] = kServiceSchema;
+  j["kind"] = "ping";
+  j["id"] = id;
+  j["health"] = std::move(health);
+  return j;
+}
+
 bool decodeServiceResponse(const Json& doc, std::int64_t& id, bool& cacheHit,
                            std::int64_t& queueNs, std::int64_t& serviceNs,
                            const Json*& payload, std::string& error) {
@@ -555,6 +576,12 @@ bool decodeServiceResponse(const Json& doc, std::int64_t& id, bool& cacheHit,
     cacheHit = false;
     queueNs = serviceNs = 0;
     payload = r.obj("stats");
+    return payload != nullptr;
+  }
+  if (kindToken == "ping") {
+    cacheHit = false;
+    queueNs = serviceNs = 0;
+    payload = r.obj("health");
     return payload != nullptr;
   }
   if (kindToken != "response") {

@@ -69,12 +69,19 @@ inline constexpr const char* kServiceSchema = "rapt-served-v1";
 enum class ServiceRequestKind : std::uint8_t {
   Job,    ///< compile one loop (payload: a kWorkerProtocolSchema job document)
   Stats,  ///< return the server's cache/queue/latency counters
+  Ping,   ///< health probe: answered inline, never queued — wedge detection
 };
 
 [[nodiscard]] Json encodeServiceJobRequest(std::int64_t id, const Loop& loop,
                                            const MachineDesc& machine,
                                            const PipelineOptions& options);
 [[nodiscard]] Json encodeServiceStatsRequest(std::int64_t id);
+
+/// A ping costs the server one inline reply and no queue slot, so a client
+/// (or an external prober) can distinguish "daemon gone" from "daemon wedged"
+/// from "daemon slow but alive" before deciding to reconnect or re-submit
+/// (docs/service.md "Self-healing clients").
+[[nodiscard]] Json encodeServicePingRequest(std::int64_t id);
 
 /// Strict decode of either request kind; `job` points into `doc` (valid
 /// while `doc` lives) and is null for Stats requests.
@@ -90,6 +97,10 @@ enum class ServiceRequestKind : std::uint8_t {
                                          std::int64_t queueNs,
                                          std::int64_t serviceNs, Json resultDoc);
 [[nodiscard]] Json encodeServiceStatsResponse(std::int64_t id, Json stats);
+
+/// `health` carries uptimeNs, queueDepth, windingDown, and inFlight — enough
+/// for a prober to judge liveness without touching the compile path.
+[[nodiscard]] Json encodeServicePingResponse(std::int64_t id, Json health);
 
 /// Decodes either response kind: `payload` points at the "result" (Job) or
 /// "stats" (Stats) object inside `doc`.

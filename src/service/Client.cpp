@@ -1,8 +1,23 @@
 #include "service/Client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
 #include "pipeline/WorkerProtocol.h"
 
 namespace rapt {
+
+namespace {
+
+std::int64_t clientNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 bool ServiceClient::connect(const std::string& socketPath, std::string& error) {
   conn_ = unixConnect(socketPath, error);
@@ -86,6 +101,116 @@ bool ServiceClient::stats(Json& out, std::string& error, int timeoutMs) {
   }
   out = *payload;
   return true;
+}
+
+bool ServiceClient::ping(Json& health, std::string& error, int timeoutMs) {
+  const std::int64_t id = nextId_++;
+  Json responseDoc;
+  const Json* payload = nullptr;
+  bool cacheHit = false;
+  std::int64_t queueNs = 0;
+  std::int64_t serviceNs = 0;
+  if (!roundTrip(encodeServicePingRequest(id), id, responseDoc, payload,
+                 cacheHit, queueNs, serviceNs, error, timeoutMs)) {
+    return false;
+  }
+  health = *payload;
+  return true;
+}
+
+// ---- ResilientClient -------------------------------------------------------
+
+ResilientClient::ResilientClient(std::string socketPath, RetryPolicy policy)
+    : socketPath_(std::move(socketPath)),
+      policy_(policy),
+      rngState_(policy.seed != 0 ? policy.seed : 1) {}
+
+std::uint64_t ResilientClient::nextRand() {
+  // SplitMix64: the same seeded stream ChaosIo uses, so a campaign's client
+  // timing replays bit-for-bit from the seed alone.
+  rngState_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rngState_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool ResilientClient::ensureConnected(std::string& error) {
+  if (client_.isConnected()) return true;
+  if (!client_.connect(socketPath_, error)) return false;
+  // The lazy first connect is just "connect"; only a connect that REPLACES
+  // a previous one is a healed drop.
+  if (everConnected_) ++stats_.reconnects;
+  everConnected_ = true;
+  return true;
+}
+
+bool ResilientClient::backoff(int attempt, std::int64_t deadlineNs) {
+  std::int64_t waitMs = policy_.baseBackoffMs;
+  for (int i = 0; i < attempt && waitMs < policy_.maxBackoffMs; ++i)
+    waitMs *= 2;
+  waitMs = std::min<std::int64_t>(waitMs, policy_.maxBackoffMs);
+  // Jitter in [wait/2, wait]: decorrelates a fleet of clients hammering a
+  // restarting daemon without ever collapsing the backoff to zero.
+  if (waitMs > 1)
+    waitMs = waitMs / 2 + static_cast<std::int64_t>(
+                              nextRand() % static_cast<std::uint64_t>(waitMs / 2 + 1));
+  if (deadlineNs > 0) {
+    const std::int64_t leftMs = (deadlineNs - clientNowNs()) / 1'000'000;
+    if (leftMs <= 0) return false;
+    waitMs = std::min(waitMs, leftMs);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(waitMs));
+  return true;
+}
+
+bool ResilientClient::compile(const Loop& loop, const MachineDesc& machine,
+                              const PipelineOptions& options,
+                              ServiceReply& reply, std::string& error) {
+  const std::int64_t startNs = clientNowNs();
+  const std::int64_t deadlineNs =
+      policy_.deadlineMs > 0 ? startNs + policy_.deadlineMs * 1'000'000 : 0;
+  std::int64_t outageStartNs = 0;  // first failure of the current outage
+  for (int attempt = 0; attempt < policy_.maxAttempts; ++attempt) {
+    ++stats_.attempts;
+    if (attempt > 0) ++stats_.resubmits;
+    std::string attemptError;
+    if (ensureConnected(attemptError) &&
+        client_.compile(loop, machine, options, reply, attemptError,
+                        policy_.requestTimeoutMs)) {
+      if (outageStartNs != 0)
+        stats_.recoveryNs.push_back(clientNowNs() - outageStartNs);
+      return true;
+    }
+    if (outageStartNs == 0) outageStartNs = clientNowNs();
+    error = attemptError;
+    client_.close();  // a failed round trip leaves the stream untrustworthy
+    if (attempt + 1 >= policy_.maxAttempts || !backoff(attempt, deadlineNs))
+      break;
+  }
+  ++stats_.exhausted;
+  error = "resilient compile exhausted retry policy: " + error;
+  return false;
+}
+
+bool ResilientClient::ping(Json& health, std::string& error) {
+  const std::int64_t startNs = clientNowNs();
+  const std::int64_t deadlineNs =
+      policy_.deadlineMs > 0 ? startNs + policy_.deadlineMs * 1'000'000 : 0;
+  for (int attempt = 0; attempt < policy_.maxAttempts; ++attempt) {
+    ++stats_.attempts;
+    std::string attemptError;
+    if (ensureConnected(attemptError) &&
+        client_.ping(health, attemptError, policy_.requestTimeoutMs))
+      return true;
+    error = attemptError;
+    client_.close();
+    if (attempt + 1 >= policy_.maxAttempts || !backoff(attempt, deadlineNs))
+      break;
+  }
+  ++stats_.exhausted;
+  error = "resilient ping exhausted retry policy: " + error;
+  return false;
 }
 
 }  // namespace rapt

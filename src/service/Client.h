@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "pipeline/CompilerPipeline.h"
 #include "support/Json.h"
@@ -48,6 +49,12 @@ class ServiceClient {
   /// Fetches the server's stats object (docs/metrics.md) into `out`.
   [[nodiscard]] bool stats(Json& out, std::string& error, int timeoutMs = 0);
 
+  /// Health probe: answered inline by the daemon's reader thread, never
+  /// queued. `health` gets uptimeNs/queueDepth/windingDown/inFlight. A ping
+  /// that times out while the connection stays open means "wedged", which a
+  /// resilient caller treats exactly like "gone": reconnect and re-submit.
+  [[nodiscard]] bool ping(Json& health, std::string& error, int timeoutMs = 0);
+
  private:
   [[nodiscard]] bool roundTrip(const Json& request, std::int64_t expectId,
                                Json& responseDoc, const Json*& payload,
@@ -57,6 +64,71 @@ class ServiceClient {
 
   SocketConn conn_;
   std::int64_t nextId_ = 1;
+};
+
+// ---- self-healing wrapper (docs/service.md "Self-healing clients") ---------
+
+/// Reconnect/retry policy for ResilientClient. Backoff for attempt k is
+/// uniform in [base*2^k / 2, base*2^k] (capped at maxBackoffMs), drawn from a
+/// SEEDED generator so a chaos campaign's client behaviour replays exactly.
+struct RetryPolicy {
+  int maxAttempts = 8;             ///< per operation, first try included
+  int baseBackoffMs = 10;
+  int maxBackoffMs = 2000;
+  std::int64_t deadlineMs = 60'000;  ///< total wall budget per operation (0 = none)
+  int requestTimeoutMs = 30'000;     ///< per round-trip socket timeout
+  std::uint64_t seed = 1;            ///< jitter stream seed
+};
+
+/// What the healing cost: every reconnect, every re-submitted job, and the
+/// client-observed recovery latency (first failure -> next success) per
+/// outage. The chaos harness folds these into BENCH_chaos.json.
+struct ResilienceStats {
+  std::int64_t attempts = 0;        ///< round trips tried (incl. first tries)
+  std::int64_t reconnects = 0;      ///< successful re-connects after a drop
+  std::int64_t resubmits = 0;       ///< jobs sent more than once
+  std::int64_t exhausted = 0;       ///< operations that ran out of policy
+  std::vector<std::int64_t> recoveryNs;  ///< one entry per healed outage
+};
+
+/// A ServiceClient that survives the daemon dying, restarting, or wedging
+/// mid-conversation: on any transport failure it reconnects with seeded
+/// exponential backoff + jitter and RE-SUBMITS the job. Re-submission is safe
+/// because the protocol is idempotent by construction — the cache key is
+/// content-addressed (configHash:loopHash), so a duplicate of an already-
+/// acknowledged job replays the identical bytes, and a duplicate of a lost
+/// one is just the compile happening once. Single-threaded, like the client
+/// it wraps.
+class ResilientClient {
+ public:
+  ResilientClient(std::string socketPath, RetryPolicy policy);
+
+  /// Compiles with healing: returns false only once the policy is exhausted
+  /// (attempts or deadline), with the LAST transport error in `error`.
+  [[nodiscard]] bool compile(const Loop& loop, const MachineDesc& machine,
+                             const PipelineOptions& options, ServiceReply& reply,
+                             std::string& error);
+
+  /// Ping with healing (reconnects, no payload to re-submit).
+  [[nodiscard]] bool ping(Json& health, std::string& error);
+
+  [[nodiscard]] const ResilienceStats& stats() const { return stats_; }
+  [[nodiscard]] bool isConnected() const { return client_.isConnected(); }
+  void close() { client_.close(); }
+
+ private:
+  [[nodiscard]] bool ensureConnected(std::string& error);
+  /// Sleeps the jittered backoff for `attempt` (0-based), trimmed to what is
+  /// left of `deadlineNs`; false when the deadline is already spent.
+  [[nodiscard]] bool backoff(int attempt, std::int64_t deadlineNs);
+  [[nodiscard]] std::uint64_t nextRand();
+
+  std::string socketPath_;
+  RetryPolicy policy_;
+  ServiceClient client_;
+  std::uint64_t rngState_;
+  bool everConnected_ = false;
+  ResilienceStats stats_;
 };
 
 }  // namespace rapt

@@ -1,6 +1,8 @@
 #include "service/ResultCache.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "pipeline/WorkerProtocol.h"
 
@@ -47,12 +49,30 @@ void ResultCache::insertLocked(const std::string& key,
   ++stats_.entries;
   ++stats_.insertions;
   evictToBudgetLocked();
-  if (journalIt && journal_.isOpen()) {
-    Json row = Json::object();
-    row["kind"] = "cache";
-    row["key"] = key;
-    row["result"] = resultText;  // compact JSON stored as a string field
-    journal_.append(row);
+  if (journalIt) appendRowLocked(key, resultText);
+}
+
+void ResultCache::appendRowLocked(const std::string& key,
+                                  const std::string& resultText) {
+  if (!journal_.isOpen()) return;
+  Json row = Json::object();
+  row["kind"] = "cache";
+  row["key"] = key;
+  row["result"] = resultText;  // compact JSON stored as a string field
+  if (journal_.append(row)) return;
+  // Persistence failed; serving must not. A full or failing disk degrades the
+  // daemon to in-memory-only (same stance as a journal that would not open),
+  // never a silent loss and never an abort — the entry above IS in the cache,
+  // it just will not survive a restart, and the stats advertise that.
+  ++stats_.journalAppendFailures;
+  const int err = journal_.lastErrno();
+  if (err == ENOSPC || err == EDQUOT || err == EIO) {
+    std::fprintf(stderr,
+                 "result cache: journal append failed (%s); disabling "
+                 "persistence, serving from memory only\n",
+                 std::strerror(err));
+    journal_.close();
+    stats_.persistenceDisabled = true;
   }
 }
 
@@ -86,6 +106,10 @@ bool ResultCache::openJournal(const std::string& path) {
         insertLocked(key->asString(), result->asString(), /*journalIt=*/false);
         ++stats_.journalRowsReplayed;
       }
+      // Quarantined rows (CRC mismatch, torn writes) were skipped by the
+      // loader: those keys simply miss and recompile — reported, not trusted.
+      stats_.journalRowsQuarantined =
+          prior.quarantinedLines + prior.tornTailLines;
       return journal_.openAppend(path);
     }
     std::fprintf(stderr,

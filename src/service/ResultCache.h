@@ -42,6 +42,9 @@ struct ResultCacheStats {
   std::int64_t insertions = 0;
   std::int64_t evictions = 0;
   std::int64_t journalRowsReplayed = 0;
+  std::int64_t journalRowsQuarantined = 0;  ///< corrupt rows skipped at load
+  std::int64_t journalAppendFailures = 0;   ///< appends that hit ENOSPC/EIO/...
+  bool persistenceDisabled = false;  ///< journal shut after a hard I/O failure
   std::int64_t bytes = 0;
   std::int64_t entries = 0;
   std::int64_t byteBudget = 0;
@@ -92,6 +95,7 @@ class ResultCache {
 
   void insertLocked(const std::string& key, const std::string& resultText,
                     bool journalIt);
+  void appendRowLocked(const std::string& key, const std::string& resultText);
   void evictToBudgetLocked();
   [[nodiscard]] static std::int64_t entryBytes(const Entry& e) {
     return static_cast<std::int64_t>(e.key.size() + e.resultText.size());

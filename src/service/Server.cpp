@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "pipeline/WorkerProtocol.h"
+#include "support/ChaosIo.h"
 #include "support/Interrupt.h"
 #include "support/Stats.h"
 
@@ -87,6 +88,7 @@ bool ServiceServer::start(std::string& error) {
     });
   }
   running_.store(true);
+  startNs_ = nowNs();
   acceptor_ = std::thread([this] { acceptLoop(); });
   return true;
 }
@@ -162,6 +164,10 @@ void ServiceServer::connectionLoop(std::shared_ptr<Connection> conn) {
     }
     if (kind == ServiceRequestKind::Stats) {
       reply(conn, encodeServiceStatsResponse(id, statsJson()));
+      continue;
+    }
+    if (kind == ServiceRequestKind::Ping) {
+      reply(conn, encodeServicePingResponse(id, healthJson()));
       continue;
     }
     handleJob(conn, id, *job, receivedNs);
@@ -308,6 +314,18 @@ void ServiceServer::recordResponse(bool cacheHit, bool resultOk,
   (cacheHit ? stats_.hitLatencyNs : stats_.missLatencyNs).push_back(latency);
 }
 
+Json ServiceServer::healthJson() const {
+  Json h = Json::object();
+  h["uptimeNs"] = nowNs() - startNs_;
+  h["queueDepth"] = queue_.stats().depth;
+  h["windingDown"] = stopping_.load();
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    h["inFlight"] = stats_.requests - stats_.responses;
+  }
+  return h;
+}
+
 ServerStats ServiceServer::stats() const {
   ServerStats out;
   {
@@ -338,6 +356,9 @@ Json ServiceServer::statsJson() const {
   cache["insertions"] = s.cache.insertions;
   cache["evictions"] = s.cache.evictions;
   cache["journalRowsReplayed"] = s.cache.journalRowsReplayed;
+  cache["journalRowsQuarantined"] = s.cache.journalRowsQuarantined;
+  cache["journalAppendFailures"] = s.cache.journalAppendFailures;
+  cache["persistenceDisabled"] = s.cache.persistenceDisabled;
   cache["bytes"] = s.cache.bytes;
   cache["entries"] = s.cache.entries;
   cache["byteBudget"] = s.cache.byteBudget;
@@ -354,6 +375,11 @@ Json ServiceServer::statsJson() const {
   latency["hitNs"] = latencySummary(s.hitLatencyNs);
   latency["missNs"] = latencySummary(s.missLatencyNs);
   o["latency"] = std::move(latency);
+
+  // When a chaos campaign armed this process (RAPT_CHAOS or an in-process
+  // install), its injection counters ride along so the torture harness can
+  // read how many faults the daemon actually absorbed, per site and kind.
+  if (const ChaosIo* chaos = ChaosIo::active()) o["chaos"] = chaos->statsJson();
   return o;
 }
 

@@ -112,6 +112,10 @@ class ServiceServer {
 
   void acceptLoop();
   void connectionLoop(std::shared_ptr<Connection> conn);
+  /// The "health" object served for ping requests: uptimeNs, queueDepth,
+  /// inFlight, windingDown — computed inline on the reader thread, never
+  /// queued, so a prober can tell "wedged" from "slow" even at full load.
+  [[nodiscard]] Json healthJson() const;
   void handleJob(const std::shared_ptr<Connection>& conn, std::int64_t id,
                  const Json& jobDoc, std::int64_t receivedNs);
   void compileAndReply(const std::shared_ptr<Connection>& conn, std::int64_t id,
@@ -134,6 +138,7 @@ class ServiceServer {
   std::mutex stopMutex_;
   bool stopped_ = false;  ///< guarded by stopMutex_
   std::atomic<std::int64_t> nextClientId_{1};
+  std::int64_t startNs_ = 0;  ///< set by start(); basis for health uptimeNs
 
   mutable std::mutex statsMutex_;
   ServerStats stats_;

@@ -1,0 +1,398 @@
+#include "support/ChaosIo.h"
+
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace rapt {
+namespace {
+
+/// The installed injector. A dedicated sentinel distinguishes "never looked
+/// at the environment" from "looked, nothing armed" and from "explicitly
+/// uninstalled" — uninstall() must win over RAPT_CHAOS.
+std::mutex g_installMutex;
+ChaosIo* g_active = nullptr;    // guarded by g_installMutex for writes
+std::atomic<ChaosIo*> g_activeAtomic{nullptr};
+bool g_envChecked = false;      // guarded by g_installMutex
+
+/// SplitMix64 step, inlined so this file has no dependency on Rng.h's
+/// asserts (draw() runs under a mutex on I/O paths).
+std::uint64_t splitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] bool siteIsWrite(ChaosSite site) {
+  return site == ChaosSite::JournalWrite || site == ChaosSite::DurableWrite;
+}
+[[nodiscard]] bool siteIsFsync(ChaosSite site) {
+  return site == ChaosSite::JournalFsync || site == ChaosSite::DurableFsync;
+}
+[[nodiscard]] bool siteIsSocket(ChaosSite site) {
+  return site == ChaosSite::SocketRead || site == ChaosSite::SocketWrite;
+}
+
+[[nodiscard]] bool parseInt(const std::string& text, long long& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Seeds are full 64-bit values (a harness feeds raw SplitMix64 draws here),
+/// so they need the unsigned parse strtoll would reject above INT64_MAX.
+[[nodiscard]] bool parseUint(const std::string& text, unsigned long long& out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+void stallFor(int ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Fires a crash-point on a write: put a TORN PREFIX on the fd (what a power
+/// cut mid-sector leaves), then die without flushing anything else —
+/// _exit, not abort, so no atexit handler can tidy up after "the crash".
+[[noreturn]] void crashDuringWrite(int fd, const void* buf, std::size_t n) {
+  if (n > 1) {
+    std::size_t torn = n / 2;
+    ssize_t ignored = ::write(fd, buf, torn);
+    (void)ignored;
+  }
+  ::_exit(kChaosCrashExit);
+}
+
+}  // namespace
+
+ChaosIo::ChaosIo(const ChaosIoConfig& config)
+    : config_(config), rngState_(config.seed) {}
+
+ChaosIo* ChaosIo::active() {
+  ChaosIo* fast = g_activeAtomic.load(std::memory_order_acquire);
+  if (fast != nullptr) return fast;
+  std::lock_guard<std::mutex> lock(g_installMutex);
+  if (!g_envChecked) {
+    g_envChecked = true;
+    const char* spec = std::getenv("RAPT_CHAOS");
+    if (spec != nullptr && spec[0] != '\0') {
+      ChaosIoConfig config;
+      std::string error;
+      if (parseConfig(spec, config, error)) {
+        // Leaked deliberately: an environment-armed injector lives for the
+        // process (the torture harness kills the daemon, not vice versa).
+        g_active = new ChaosIo(config);
+        g_activeAtomic.store(g_active, std::memory_order_release);
+      } else {
+        std::fprintf(stderr, "chaos: ignoring bad RAPT_CHAOS: %s\n",
+                     error.c_str());
+      }
+    }
+  }
+  return g_activeAtomic.load(std::memory_order_acquire);
+}
+
+void ChaosIo::install(const ChaosIoConfig& config) {
+  std::lock_guard<std::mutex> lock(g_installMutex);
+  g_envChecked = true;  // an explicit install outranks the environment
+  g_active = new ChaosIo(config);
+  g_activeAtomic.store(g_active, std::memory_order_release);
+}
+
+void ChaosIo::uninstall() {
+  std::lock_guard<std::mutex> lock(g_installMutex);
+  g_envChecked = true;
+  // The old injector is leaked, not deleted: another thread may be mid-draw.
+  // Installs are test-scoped and tiny; correctness beats the few bytes.
+  g_active = nullptr;
+  g_activeAtomic.store(nullptr, std::memory_order_release);
+}
+
+bool ChaosIo::parseConfig(const std::string& spec, ChaosIoConfig& out,
+                          std::string& error) {
+  ChaosIoConfig config;
+  config.faultRatePercent = 5;  // bare "seed=N" should already inject
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      error = "chaos spec item has no '=': " + item;
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    long long n = 0;
+    if (key == "seed") {
+      unsigned long long u = 0;
+      if (!parseUint(value, u)) {
+        error = "bad chaos seed: " + value;
+        return false;
+      }
+      config.seed = static_cast<std::uint64_t>(u);
+    } else if (key == "rate") {
+      if (!parseInt(value, n) || n < 0 || n > 100) {
+        error = "bad chaos rate (0-100): " + value;
+        return false;
+      }
+      config.faultRatePercent = static_cast<int>(n);
+    } else if (key == "crash") {
+      if (!parseInt(value, n) || n < 0 || n > 100) {
+        error = "bad chaos crash rate (0-100): " + value;
+        return false;
+      }
+      config.crashRatePercent = static_cast<int>(n);
+    } else if (key == "stall-ms") {
+      if (!parseInt(value, n) || n < 0) {
+        error = "bad chaos stall-ms: " + value;
+        return false;
+      }
+      config.stallMs = static_cast<int>(n);
+    } else if (key == "sites") {
+      unsigned mask = 0;
+      std::size_t p = 0;
+      while (p < value.size()) {
+        std::size_t plus = value.find('+', p);
+        if (plus == std::string::npos) plus = value.size();
+        const std::string group = value.substr(p, plus - p);
+        p = plus + 1;
+        if (group == "socket") {
+          mask |= kChaosSocketSites;
+        } else if (group == "journal") {
+          mask |= kChaosJournalSites;
+        } else if (group == "durable") {
+          mask |= kChaosDurableSites;
+        } else if (group == "all") {
+          mask |= kChaosAllSites;
+        } else {
+          error = "unknown chaos site group: " + group;
+          return false;
+        }
+      }
+      config.siteMask = mask;
+    } else {
+      error = "unknown chaos key: " + key;
+      return false;
+    }
+  }
+  out = config;
+  return true;
+}
+
+ChaosFault ChaosIo::draw(ChaosSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if ((config_.siteMask & chaosSiteBit(site)) == 0) return ChaosFault::None;
+
+  ChaosFault fault = ChaosFault::None;
+  // Crash-points first, on their own rate: torn-write torture needs crashes
+  // even in campaigns whose transient-fault rate is zero (and vice versa).
+  if (config_.crashRatePercent > 0 &&
+      (siteIsWrite(site) || siteIsFsync(site)) &&
+      splitMix64(rngState_) % 100 <
+          static_cast<std::uint64_t>(config_.crashRatePercent)) {
+    fault = ChaosFault::CrashPoint;
+  } else if (config_.faultRatePercent > 0 &&
+             splitMix64(rngState_) % 100 <
+                 static_cast<std::uint64_t>(config_.faultRatePercent)) {
+    const std::uint64_t pick = splitMix64(rngState_);
+    if (siteIsSocket(site)) {
+      switch (pick % 4) {
+        case 0: fault = ChaosFault::ShortOp; break;
+        case 1: fault = ChaosFault::Eintr; break;
+        case 2: fault = ChaosFault::ConnReset; break;
+        default: fault = ChaosFault::Stall; break;
+      }
+    } else if (siteIsWrite(site)) {
+      switch (pick % 4) {
+        case 0: fault = ChaosFault::ShortOp; break;
+        case 1: fault = ChaosFault::Eintr; break;
+        case 2: fault = ChaosFault::NoSpace; break;
+        default: fault = ChaosFault::IoError; break;
+      }
+    } else {  // fsync sites
+      fault = ChaosFault::FsyncFail;
+    }
+  }
+  if (fault != ChaosFault::None)
+    ++counts_[static_cast<std::size_t>(site)][static_cast<std::size_t>(fault)];
+  return fault;
+}
+
+Json ChaosIo::statsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json o = Json::object();
+  o["seed"] = static_cast<std::int64_t>(config_.seed);
+  o["ratePercent"] = config_.faultRatePercent;
+  o["crashPercent"] = config_.crashRatePercent;
+  Json sites = Json::object();
+  for (int s = 0; s < kNumChaosSites; ++s) {
+    Json kinds = Json::object();
+    std::int64_t siteTotal = 0;
+    for (int f = 1; f < kNumChaosFaults; ++f) {
+      const std::int64_t c = counts_[static_cast<std::size_t>(s)][static_cast<std::size_t>(f)];
+      if (c > 0) kinds[chaosFaultName(static_cast<ChaosFault>(f))] = c;
+      siteTotal += c;
+    }
+    if (siteTotal > 0) sites[chaosSiteName(static_cast<ChaosSite>(s))] = std::move(kinds);
+  }
+  o["injectedBySite"] = std::move(sites);
+  return o;
+}
+
+std::int64_t ChaosIo::injectedTotal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& site : counts_)
+    for (std::int64_t c : site) total += c;
+  return total;
+}
+
+// ---- chaos-wrapped syscalls ------------------------------------------------
+
+ssize_t chaosRead(int fd, void* buf, std::size_t n, ChaosSite site) {
+  ChaosIo* chaos = ChaosIo::active();
+  if (chaos != nullptr) {
+    switch (chaos->draw(site)) {
+      case ChaosFault::ShortOp:
+        return ::read(fd, buf, n > 1 ? 1 : n);
+      case ChaosFault::Eintr:
+        errno = EINTR;
+        return -1;
+      case ChaosFault::ConnReset:
+        errno = ECONNRESET;
+        return -1;
+      case ChaosFault::Stall:
+        stallFor(chaos->config().stallMs);
+        break;
+      default:
+        break;
+    }
+  }
+  return ::read(fd, buf, n);
+}
+
+ssize_t chaosSend(int fd, const void* buf, std::size_t n, int flags,
+                  ChaosSite site) {
+  ChaosIo* chaos = ChaosIo::active();
+  if (chaos != nullptr) {
+    switch (chaos->draw(site)) {
+      case ChaosFault::ShortOp:
+        return ::send(fd, buf, n > 1 ? 1 + n / 4 : n, flags);
+      case ChaosFault::Eintr:
+        errno = EINTR;
+        return -1;
+      case ChaosFault::ConnReset:
+        // A peer that vanished surfaces as EPIPE on send (MSG_NOSIGNAL).
+        errno = EPIPE;
+        return -1;
+      case ChaosFault::Stall:
+        stallFor(chaos->config().stallMs);
+        break;
+      default:
+        break;
+    }
+  }
+  return ::send(fd, buf, n, flags);
+}
+
+ssize_t chaosWrite(int fd, const void* buf, std::size_t n, ChaosSite site) {
+  ChaosIo* chaos = ChaosIo::active();
+  if (chaos != nullptr) {
+    switch (chaos->draw(site)) {
+      case ChaosFault::ShortOp:
+        return ::write(fd, buf, n > 1 ? 1 + n / 4 : n);
+      case ChaosFault::Eintr:
+        errno = EINTR;
+        return -1;
+      case ChaosFault::NoSpace:
+        errno = ENOSPC;
+        return -1;
+      case ChaosFault::IoError:
+        errno = EIO;
+        return -1;
+      case ChaosFault::CrashPoint:
+        crashDuringWrite(fd, buf, n);
+      case ChaosFault::Stall:
+        stallFor(chaos->config().stallMs);
+        break;
+      default:
+        break;
+    }
+  }
+  return ::write(fd, buf, n);
+}
+
+int chaosFsync(int fd, ChaosSite site) {
+  ChaosIo* chaos = ChaosIo::active();
+  if (chaos != nullptr) {
+    switch (chaos->draw(site)) {
+      case ChaosFault::FsyncFail:
+        errno = EIO;
+        return -1;
+      case ChaosFault::CrashPoint:
+        // A crash at the fsync boundary: the WRITE may have reached disk,
+        // the durability claim was never made. Nothing torn, just gone.
+        ::_exit(kChaosCrashExit);
+      default:
+        break;
+    }
+  }
+  int r;
+  do {
+    r = ::fsync(fd);
+  } while (r != 0 && errno == EINTR);
+  return r;
+}
+
+// ---- full-write helpers ----------------------------------------------------
+
+bool writeFully(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < n) {
+    const ssize_t w = ::write(fd, p + written, n - written);
+    if (w > 0) {
+      written += static_cast<std::size_t>(w);
+    } else if (w < 0 && errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool chaosWriteFully(int fd, const void* data, std::size_t n, ChaosSite site) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < n) {
+    const ssize_t w = chaosWrite(fd, p + written, n - written, site);
+    if (w > 0) {
+      written += static_cast<std::size_t>(w);
+    } else if (w < 0 && errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rapt

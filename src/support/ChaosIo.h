@@ -1,0 +1,194 @@
+// Seeded, deterministic I/O fault injection (docs/robustness.md "Chaos
+// campaign").
+//
+// FaultInjection.h misbehaves inside pipeline STAGES; this shim misbehaves at
+// the SYSCALL boundary, where a hostile machine actually shows up: short
+// reads and writes, EINTR, ECONNRESET/EPIPE from a vanished peer, slow-peer
+// stalls, ENOSPC/EIO on file writes, failed fsync, and crash-points that
+// _exit the process mid-write to simulate a torn record under kill -9. All
+// I/O in Socket.cpp, Journal.cpp, and Durability.cpp routes through the
+// chaos* wrappers below; with no injector armed they collapse to the raw
+// syscall (one relaxed atomic load), so production paths pay nothing.
+//
+// Determinism: every decision comes from one SplitMix64 stream seeded by the
+// caller, consumed under a mutex in call order. A single-threaded process
+// (the client, the unit tests) therefore sees a bit-reproducible fault
+// schedule; a multi-threaded daemon sees a schedule that depends on thread
+// interleaving, but the CAMPAIGN around it (tools/rapt_chaos.cpp) stays
+// reproducible because its oracles — no acknowledged result lost, all bytes
+// identical — hold for every interleaving of the seeded schedule.
+//
+// Arming: programmatic (ChaosIo::install, tests) or by environment
+// (RAPT_CHAOS="seed=7,rate=10,crash=2,stall-ms=5,sites=socket+journal"),
+// which is how the torture harness arms a daemon it spawns. Crash-points
+// exit with kChaosCrashExit so a supervisor can tell an injected crash from
+// a real one.
+#pragma once
+
+#include <sys/types.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "support/Json.h"
+
+namespace rapt {
+
+/// Exit status of an injected crash-point: the chaos analogue of SIGKILL,
+/// fired between or inside write boundaries (after a deliberately partial
+/// write, so the record on disk is torn exactly as a power cut would tear it).
+inline constexpr int kChaosCrashExit = 86;
+
+/// Instrumented syscall sites. The site mask in ChaosIoConfig selects which
+/// are armed (a socket-only campaign must not ALSO lose journal writes, or
+/// fault attribution turns to mush).
+enum class ChaosSite : std::uint8_t {
+  SocketRead,    ///< SocketConn::readLine's read()
+  SocketWrite,   ///< SocketConn::writeAll's send()
+  JournalWrite,  ///< JournalWriter record/header writes
+  JournalFsync,  ///< JournalWriter's per-append fsync
+  DurableWrite,  ///< writeFileDurable's temp-file write
+  DurableFsync,  ///< writeFileDurable's pre-rename fsync
+};
+inline constexpr int kNumChaosSites = 6;
+
+[[nodiscard]] constexpr const char* chaosSiteName(ChaosSite s) {
+  switch (s) {
+    case ChaosSite::SocketRead: return "socketRead";
+    case ChaosSite::SocketWrite: return "socketWrite";
+    case ChaosSite::JournalWrite: return "journalWrite";
+    case ChaosSite::JournalFsync: return "journalFsync";
+    case ChaosSite::DurableWrite: return "durableWrite";
+    case ChaosSite::DurableFsync: return "durableFsync";
+  }
+  return "invalid";
+}
+
+/// What an armed site does to one call. Sites draw only the kinds that make
+/// sense for them (a socket read cannot hit ENOSPC; an fsync cannot be
+/// short).
+enum class ChaosFault : std::uint8_t {
+  None = 0,
+  ShortOp,     ///< transfer only a prefix of the requested bytes
+  Eintr,       ///< fail with EINTR, no bytes moved (the retry-loop test)
+  ConnReset,   ///< ECONNRESET on read / EPIPE on send: the peer vanished
+  NoSpace,     ///< ENOSPC: the disk filled mid-write
+  IoError,     ///< EIO: the device failed
+  FsyncFail,   ///< fsync returns EIO: the "durable" claim just broke
+  Stall,       ///< sleep stallMs before the op: a slow peer or device
+  CrashPoint,  ///< write a torn prefix, then _exit(kChaosCrashExit)
+};
+inline constexpr int kNumChaosFaults = 9;
+
+[[nodiscard]] constexpr const char* chaosFaultName(ChaosFault f) {
+  switch (f) {
+    case ChaosFault::None: return "none";
+    case ChaosFault::ShortOp: return "shortOp";
+    case ChaosFault::Eintr: return "eintr";
+    case ChaosFault::ConnReset: return "connReset";
+    case ChaosFault::NoSpace: return "noSpace";
+    case ChaosFault::IoError: return "ioError";
+    case ChaosFault::FsyncFail: return "fsyncFail";
+    case ChaosFault::Stall: return "stall";
+    case ChaosFault::CrashPoint: return "crashPoint";
+  }
+  return "invalid";
+}
+
+/// Bit for `site` in ChaosIoConfig::siteMask.
+[[nodiscard]] constexpr unsigned chaosSiteBit(ChaosSite s) {
+  return 1u << static_cast<unsigned>(s);
+}
+inline constexpr unsigned kChaosAllSites = (1u << kNumChaosSites) - 1;
+inline constexpr unsigned kChaosSocketSites =
+    chaosSiteBit(ChaosSite::SocketRead) | chaosSiteBit(ChaosSite::SocketWrite);
+inline constexpr unsigned kChaosJournalSites =
+    chaosSiteBit(ChaosSite::JournalWrite) | chaosSiteBit(ChaosSite::JournalFsync);
+inline constexpr unsigned kChaosDurableSites =
+    chaosSiteBit(ChaosSite::DurableWrite) | chaosSiteBit(ChaosSite::DurableFsync);
+
+struct ChaosIoConfig {
+  std::uint64_t seed = 1;
+  int faultRatePercent = 0;  ///< per-call chance of a non-crash fault
+  int crashRatePercent = 0;  ///< per write/fsync chance of a crash-point
+  int stallMs = 5;           ///< sleep applied by ChaosFault::Stall
+  unsigned siteMask = kChaosAllSites;
+};
+
+/// The process-wide injector. Thread-safe; all draws and counters are under
+/// one mutex (chaos campaigns measure recovery, not injector throughput).
+class ChaosIo {
+ public:
+  explicit ChaosIo(const ChaosIoConfig& config);
+
+  /// The armed injector, or nullptr (the production fast path). The first
+  /// call consults RAPT_CHAOS once; install()/uninstall() override the
+  /// environment either way.
+  [[nodiscard]] static ChaosIo* active();
+
+  /// Arms `config` process-wide (tests, or a tool arming itself). Replaces
+  /// any previous injector, including an environment-armed one.
+  static void install(const ChaosIoConfig& config);
+
+  /// Disarms chaos entirely (also suppresses the RAPT_CHAOS fallback — a
+  /// test that uninstalls must get the real syscalls back).
+  static void uninstall();
+
+  /// Parses the RAPT_CHAOS spec: comma-separated `key=value` with keys
+  /// seed, rate, crash, stall-ms, and sites (a '+'-joined subset of
+  /// socket, journal, durable; default all). Returns false with a
+  /// diagnostic for unknown keys or malformed numbers.
+  [[nodiscard]] static bool parseConfig(const std::string& spec,
+                                        ChaosIoConfig& out, std::string& error);
+
+  /// One decision for one call at `site`. None when the site is unmasked or
+  /// no rate fires. The returned fault is already counted.
+  [[nodiscard]] ChaosFault draw(ChaosSite site);
+
+  [[nodiscard]] const ChaosIoConfig& config() const { return config_; }
+
+  /// Lifetime injected-fault counts per (site, fault kind), as the
+  /// "chaos" object embedded in the daemon's stats (docs/metrics.md).
+  [[nodiscard]] Json statsJson() const;
+  [[nodiscard]] std::int64_t injectedTotal() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ChaosIoConfig config_;
+  std::uint64_t rngState_;
+  std::array<std::array<std::int64_t, kNumChaosFaults>, kNumChaosSites> counts_{};
+};
+
+// ---- chaos-wrapped syscalls ------------------------------------------------
+//
+// Drop-in replacements used by the instrumented call sites. Each consults
+// ChaosIo::active() and, when a fault fires, fakes the errno/return the real
+// syscall would produce — callers keep their ordinary error handling and
+// cannot tell injected weather from real weather (that is the point).
+
+[[nodiscard]] ssize_t chaosRead(int fd, void* buf, std::size_t n, ChaosSite site);
+[[nodiscard]] ssize_t chaosSend(int fd, const void* buf, std::size_t n, int flags,
+                                ChaosSite site);
+[[nodiscard]] ssize_t chaosWrite(int fd, const void* buf, std::size_t n,
+                                 ChaosSite site);
+[[nodiscard]] int chaosFsync(int fd, ChaosSite site);
+
+// ---- the shared full-write helper ------------------------------------------
+
+/// Writes all `n` bytes to `fd`, retrying short writes and EINTR — the one
+/// loop every raw blocking write in support/ goes through (the audit in
+/// docs/robustness.md "Short writes"). Returns false with errno set on any
+/// other error. Async-signal-safe (no allocation, no locks): usable between
+/// fork and exec.
+[[nodiscard]] bool writeFully(int fd, const void* data, std::size_t n);
+
+/// writeFully routed through chaosWrite, for instrumented sites (journal,
+/// durable temp files). Injected EINTR and short writes are retried like the
+/// real thing; injected ENOSPC/EIO surface as the failure return.
+[[nodiscard]] bool chaosWriteFully(int fd, const void* data, std::size_t n,
+                                   ChaosSite site);
+
+}  // namespace rapt

@@ -1,0 +1,62 @@
+#include "support/Crc32.h"
+
+#include <array>
+
+namespace rapt {
+namespace {
+
+/// The reflected-polynomial lookup table, built once at first use.
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+[[nodiscard]] int hexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = crcTable();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::string crc32Hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xfu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool parseCrc32Hex(const std::string& text, std::size_t pos, std::uint32_t& out) {
+  if (pos + 8 > text.size()) return false;
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const int d = hexDigit(text[pos + i]);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<std::uint32_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace rapt

@@ -1,0 +1,39 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for per-record
+// integrity framing in journals (support/Journal.h "CRC framing",
+// docs/robustness.md "Crash consistency").
+//
+// The journal's fsync discipline makes a record durable-or-absent against
+// clean crashes, but a torn sector, a bit flip at rest, or a partial write
+// that happens to end in '\n' can still hand the loader a line that PARSES
+// yet lies. A 4-byte checksum over the exact record bytes closes that gap:
+// a record is only trusted when its stored CRC matches, and everything else
+// is quarantined (reported and recompiled) instead of believed or fatal.
+//
+// Not cryptographic — this defends against hardware and kernel accidents,
+// not adversaries, which is the journal's threat model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rapt {
+
+/// CRC-32 of `n` bytes starting from `seed` (pass the previous return value
+/// to checksum data in chunks; the default starts a fresh message).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] inline std::uint32_t crc32(const std::string& s) {
+  return crc32(s.data(), s.size());
+}
+
+/// Fixed-width lowercase hex (8 chars), the journal framing's rendering.
+[[nodiscard]] std::string crc32Hex(std::uint32_t crc);
+
+/// Parses exactly 8 lowercase/uppercase hex chars at `text[pos..pos+8)`.
+/// Returns false (leaving `out` untouched) on short input or a non-hex char.
+[[nodiscard]] bool parseCrc32Hex(const std::string& text, std::size_t pos,
+                                 std::uint32_t& out);
+
+}  // namespace rapt

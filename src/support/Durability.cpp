@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "support/ChaosIo.h"
+
 namespace rapt {
 namespace {
 
@@ -16,6 +18,12 @@ bool fsyncFd(int fd) {
     r = ::fsync(fd);
   } while (r != 0 && errno == EINTR);
   return r == 0;
+}
+
+[[nodiscard]] DurableStatus statusFromErrno(int err) {
+  if (err == ENOSPC || err == EDQUOT) return DurableStatus::NoSpace;
+  if (err == EIO) return DurableStatus::IoError;
+  return DurableStatus::Error;
 }
 
 }  // namespace
@@ -41,41 +49,44 @@ bool fsyncFile(const std::string& path) {
   return ok;
 }
 
-bool writeFileDurable(const std::string& path, const std::string& contents,
-                      const std::string& tempSuffix) {
+DurableStatus writeFileDurableStatus(const std::string& path,
+                                     const std::string& contents,
+                                     const std::string& tempSuffix) {
   const std::string tmp = path + tempSuffix;
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
+    const int err = errno;
     std::fprintf(stderr, "durable write: cannot create %s: %s\n", tmp.c_str(),
-                 std::strerror(errno));
-    return false;
+                 std::strerror(err));
+    return statusFromErrno(err);
   }
-  std::size_t written = 0;
-  bool ok = true;
-  while (ok && written < contents.size()) {
-    const ssize_t n =
-        ::write(fd, contents.data() + written, contents.size() - written);
-    if (n > 0) {
-      written += static_cast<std::size_t>(n);
-    } else if (n < 0 && errno != EINTR) {
-      ok = false;
-    }
-  }
+  DurableStatus status = DurableStatus::Ok;
+  // The shared full-write helper through the chaos shim: short writes and
+  // EINTR retried, injected or real ENOSPC/EIO surfaced with errno intact.
+  if (!chaosWriteFully(fd, contents.data(), contents.size(),
+                       ChaosSite::DurableWrite))
+    status = statusFromErrno(errno);
   // Contents must be on disk BEFORE the rename publishes the name, or a
   // crash can leave the new name pointing at a zero-length file.
-  ok = ok && fsyncFd(fd);
+  if (status == DurableStatus::Ok &&
+      chaosFsync(fd, ChaosSite::DurableFsync) != 0)
+    status = statusFromErrno(errno == 0 ? EIO : errno);
   ::close(fd);
-  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (status == DurableStatus::Ok &&
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
     std::fprintf(stderr, "durable write: rename %s -> %s failed: %s\n",
-                 tmp.c_str(), path.c_str(), std::strerror(errno));
-    ok = false;
+                 tmp.c_str(), path.c_str(), std::strerror(err));
+    status = statusFromErrno(err);
   }
-  if (!ok) {
+  if (status != DurableStatus::Ok) {
+    std::fprintf(stderr, "durable write: %s for %s\n",
+                 durableStatusName(status), path.c_str());
     std::remove(tmp.c_str());
-    return false;
+    return status;
   }
   fsyncParentDir(path);  // makes the rename durable; advisory on failure
-  return true;
+  return DurableStatus::Ok;
 }
 
 }  // namespace rapt

@@ -20,6 +20,7 @@
 // written, just not provably crash-durable.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace rapt {
@@ -34,12 +35,45 @@ bool fsyncParentDir(const std::string& path);
 /// failure.
 bool fsyncFile(const std::string& path);
 
+/// Why a durable write failed — structured so callers can react per cause
+/// (docs/robustness.md "Durable writes under pressure"): a full disk is a
+/// capacity condition an operator can clear (shed load, keep serving), a
+/// device error usually is not, and everything else is a plain local bug
+/// like a missing directory.
+enum class DurableStatus : std::uint8_t {
+  Ok,
+  NoSpace,   ///< ENOSPC/EDQUOT while writing or syncing the temp file
+  IoError,   ///< EIO: the device, not the caller
+  Error,     ///< anything else (missing directory, permissions, bad fd)
+};
+
+[[nodiscard]] constexpr const char* durableStatusName(DurableStatus s) {
+  switch (s) {
+    case DurableStatus::Ok: return "ok";
+    case DurableStatus::NoSpace: return "noSpace";
+    case DurableStatus::IoError: return "ioError";
+    case DurableStatus::Error: return "error";
+  }
+  return "invalid";
+}
+
 /// The fully durable atomic-replace write: `contents` goes to `path + ext`
 /// (default ".tmp"), is fsync'd, renamed over `path`, and the parent
 /// directory is fsync'd. After a crash the file is either the complete old
 /// version or the complete new one — never torn, never silently empty.
-/// Returns false (removing the temp file) on any step failing.
-bool writeFileDurable(const std::string& path, const std::string& contents,
-                      const std::string& tempSuffix = ".tmp");
+/// On failure the temp file is removed, the target keeps its old contents,
+/// and the status says which class of failure it was — ENOSPC and EIO must
+/// surface as structured conditions, never as a silently lost write.
+[[nodiscard]] DurableStatus writeFileDurableStatus(
+    const std::string& path, const std::string& contents,
+    const std::string& tempSuffix = ".tmp");
+
+/// Status-blind convenience wrapper (legacy call sites and callers that
+/// only gate on success).
+inline bool writeFileDurable(const std::string& path,
+                             const std::string& contents,
+                             const std::string& tempSuffix = ".tmp") {
+  return writeFileDurableStatus(path, contents, tempSuffix) == DurableStatus::Ok;
+}
 
 }  // namespace rapt

@@ -1,21 +1,86 @@
 #include "support/Journal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 
+#include "support/ChaosIo.h"
+#include "support/Crc32.h"
 #include "support/Durability.h"
 
 namespace rapt {
+namespace {
+
+/// The frame prefix: "crc32:<8 hex>:". Total prefix length 15.
+constexpr const char* kFramePrefix = "crc32:";
+constexpr std::size_t kFramePrefixLen = 6;
+constexpr std::size_t kFrameHeaderLen = kFramePrefixLen + 8 + 1;
+
+/// One line's verdict from the loader.
+struct LineVerdict {
+  bool good = false;
+  Json record;        // when good
+  std::string detail; // when damaged: what was wrong
+};
+
+LineVerdict classifyLine(const std::string& line) {
+  LineVerdict v;
+  std::string payload;
+  if (line.compare(0, kFramePrefixLen, kFramePrefix) == 0) {
+    std::uint32_t stored = 0;
+    if (!parseCrc32Hex(line, kFramePrefixLen, stored) ||
+        line.size() < kFrameHeaderLen || line[kFrameHeaderLen - 1] != ':') {
+      v.detail = "mangled CRC frame";
+      return v;
+    }
+    payload = line.substr(kFrameHeaderLen);
+    if (crc32(payload) != stored) {
+      v.detail = "CRC mismatch";
+      return v;
+    }
+  } else {
+    payload = line;  // legacy unframed line: JSON parsability is the only check
+  }
+  std::string error;
+  if (!Json::parse(payload, v.record, error) || !v.record.isObject()) {
+    v.detail = error.empty() ? "not a JSON object" : error;
+    return v;
+  }
+  v.good = true;
+  return v;
+}
+
+}  // namespace
+
+std::string JournalWriter::frameLine(const std::string& compactJson) {
+  return std::string(kFramePrefix) + crc32Hex(crc32(compactJson)) + ":" +
+         compactJson;
+}
+
+bool JournalWriter::writeLineLocked(const std::string& line) {
+  // One full-write + fsync per record, both through the chaos shim: the
+  // fsync makes the record durable before the caller moves on — that is the
+  // "completed" claim a resume trusts — and an injected ENOSPC/EIO/crash
+  // lands exactly where a real disk would put it.
+  lastErrno_ = 0;
+  if (!chaosWriteFully(fd_, line.data(), line.size(), ChaosSite::JournalWrite) ||
+      chaosFsync(fd_, ChaosSite::JournalFsync) != 0) {
+    lastErrno_ = errno;
+    return false;
+  }
+  return true;
+}
 
 bool JournalWriter::create(const std::string& path, Json header) {
   close();
   std::lock_guard<std::mutex> lock(mutex_);
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    lastErrno_ = errno;
     std::fprintf(stderr, "journal: cannot create %s: %s\n", path.c_str(),
                  std::strerror(errno));
     return false;
@@ -27,14 +92,11 @@ bool JournalWriter::create(const std::string& path, Json header) {
   if (header.isObject()) {
     for (const auto& [k, v] : header.items()) full[k] = v;
   }
-  const std::string line = full.dumpCompact() + "\n";
-  const bool ok =
-      std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
-      std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0;
-  if (!ok) {
-    std::fprintf(stderr, "journal: header write failed for %s\n", path.c_str());
-    std::fclose(file_);
-    file_ = nullptr;
+  if (!writeLineLocked(frameLine(full.dumpCompact()) + "\n")) {
+    std::fprintf(stderr, "journal: header write failed for %s: %s\n",
+                 path.c_str(), std::strerror(lastErrno_));
+    ::close(fd_);
+    fd_ = -1;
     return false;
   }
   // The file's contents are durable, but its directory entry is not until
@@ -50,10 +112,11 @@ bool JournalWriter::create(const std::string& path, Json header) {
 bool JournalWriter::openAppend(const std::string& path) {
   close();
   std::lock_guard<std::mutex> lock(mutex_);
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
-    std::fprintf(stderr, "journal: cannot open %s for append: %s\n", path.c_str(),
-                 std::strerror(errno));
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    lastErrno_ = errno;
+    std::fprintf(stderr, "journal: cannot open %s for append: %s\n",
+                 path.c_str(), std::strerror(errno));
     return false;
   }
   path_ = path;
@@ -62,27 +125,30 @@ bool JournalWriter::openAppend(const std::string& path) {
 
 bool JournalWriter::append(const Json& record) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ == nullptr) return false;
-  const std::string line = record.dumpCompact() + "\n";
-  // One fwrite per record: stdio either buffers the whole line or we detect
-  // the short write here; the fsync then makes the record durable before the
-  // suite moves on — the "completed" claim a resume trusts.
-  const bool ok =
-      std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
-      std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0;
-  if (!ok)
-    std::fprintf(stderr, "journal: append to %s failed\n", path_.c_str());
-  return ok;
+  if (fd_ < 0) {
+    lastErrno_ = EBADF;
+    return false;
+  }
+  if (!writeLineLocked(frameLine(record.dumpCompact()) + "\n")) {
+    std::fprintf(stderr, "journal: append to %s failed: %s\n", path_.c_str(),
+                 std::strerror(lastErrno_));
+    return false;
+  }
+  return true;
 }
 
 void JournalWriter::close() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ != nullptr) {
-    std::fflush(file_);
-    ::fsync(::fileno(file_));
-    std::fclose(file_);
-    file_ = nullptr;
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
   }
+}
+
+int JournalWriter::lastErrno() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lastErrno_;
 }
 
 JournalContents loadJournal(const std::string& path) {
@@ -93,45 +159,60 @@ JournalContents loadJournal(const std::string& path) {
     return out;
   }
   std::string line;
-  bool first = true;
-  std::vector<std::string> pending;  // parse errors held until we know whether
-                                     // they are the torn tail
+  bool sawHeader = false;
+  int pendingDamaged = 0;  // damaged lines not yet known to be the torn tail
+  std::string firstDetail;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    Json record;
-    std::string error;
-    if (!Json::parse(line, record, error) || !record.isObject()) {
-      pending.push_back(error.empty() ? "not an object" : error);
-      continue;
-    }
-    if (!pending.empty()) {
-      // A bad line followed by a good one is corruption, not a torn append.
-      out.error = "corrupt journal line before end of " + path + ": " + pending.front();
-      return out;
-    }
-    const Json* kind = record.find("kind");
-    if (first) {
+    LineVerdict v = classifyLine(line);
+    if (!sawHeader) {
+      // The header decides whether ANY row can be interpreted; a damaged or
+      // alien first line means nothing after it can be trusted either.
+      if (!v.good) {
+        out.error = "journal header line is damaged in " + path + ": " + v.detail;
+        return out;
+      }
+      const Json* kind = v.record.find("kind");
       if (kind == nullptr || !kind->isString() || kind->asString() != "header") {
         out.error = "journal has no header record: " + path;
         return out;
       }
-      const Json* schema = record.find("schema");
+      const Json* schema = v.record.find("schema");
       if (schema == nullptr || !schema->isString() ||
           schema->asString() != JournalWriter::kSchema) {
         out.error = "journal schema mismatch in " + path;
         return out;
       }
-      out.header = std::move(record);
-      first = false;
+      out.header = std::move(v.record);
+      sawHeader = true;
       continue;
     }
-    out.rows.push_back(std::move(record));
+    if (!v.good) {
+      // Deferred: only the FINAL run of damaged lines is a torn tail; a
+      // damaged line followed by a good one is interior corruption.
+      ++pendingDamaged;
+      if (firstDetail.empty()) firstDetail = v.detail;
+      continue;
+    }
+    if (pendingDamaged > 0) {
+      out.quarantinedLines += pendingDamaged;
+      if (out.quarantineDetail.empty()) out.quarantineDetail = firstDetail;
+      pendingDamaged = 0;
+      firstDetail.clear();
+    }
+    out.rows.push_back(std::move(v.record));
   }
-  if (first) {
+  if (!sawHeader) {
     out.error = "journal is empty: " + path;
     return out;
   }
-  out.tornTailLines = static_cast<int>(pending.size());
+  out.tornTailLines = pendingDamaged;
+  if (out.quarantinedLines > 0)
+    std::fprintf(stderr,
+                 "journal: quarantined %d corrupt record(s) in %s (%s); "
+                 "they will be recomputed, not trusted\n",
+                 out.quarantinedLines, path.c_str(),
+                 out.quarantineDetail.c_str());
   out.valid = true;
   return out;
 }

@@ -1,12 +1,23 @@
 // Append-only, crash-consistent run journal (docs/robustness.md "Journaled
-// resume").
+// resume" and "Crash consistency").
 //
 // A journal is a JSONL file: one header line identifying the run
 // configuration, then one self-contained JSON record per completed unit of
-// work. Every append is flushed AND fsync'd before returning, so a record is
-// either durable or absent — a SIGKILL mid-write can at worst leave one torn
-// trailing line, which the loader detects and drops (everything before it
-// replays). The writer takes an internal mutex: suite workers append from
+// work. Every append is written through the shared full-write helper
+// (support/ChaosIo.h), flushed AND fsync'd before returning, so a record is
+// either durable or absent against clean crashes.
+//
+// Against DIRTY crashes — kill -9 mid-write, torn sectors, bit rot — each
+// line additionally carries a CRC-32 frame over its exact record bytes:
+//
+//   crc32:9a0b1c2d:{"kind":"row",...}\n
+//
+// The loader verifies the frame and QUARANTINES any line that fails it
+// (torn, flipped, truncated, or unparseable), counting and reporting it
+// instead of trusting it or refusing the whole file. Consumers recompute
+// quarantined units of work; everything intact replays. Unframed lines from
+// pre-CRC journals still load (their only protection is JSON parsability,
+// as before). The writer takes an internal mutex: suite workers append from
 // pool threads.
 //
 // The journal knows nothing about LoopResults: records are opaque Json
@@ -15,7 +26,6 @@
 // resumed against a given run.
 #pragma once
 
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -24,15 +34,19 @@
 
 namespace rapt {
 
-/// Everything read back from a journal file. `valid` means the file existed,
-/// the header parsed, and the schema matched; `rows` then holds every intact
-/// record in append order (a torn trailing line is counted, not an error).
+/// Everything read back from a journal file. `valid` means the file existed
+/// and the header line was intact, parsed, and schema-matched; `rows` then
+/// holds every intact record in append order. Damaged lines are counted,
+/// never returned: a trailing run of them is the torn tail a SIGKILL
+/// mid-append leaves, anything earlier is quarantined corruption.
 struct JournalContents {
   bool valid = false;
-  std::string error;     ///< why !valid (missing file, bad header, ...)
-  Json header;           ///< the header record (kind == "header")
+  std::string error;      ///< why !valid (missing file, bad/damaged header, ...)
+  Json header;            ///< the header record (kind == "header")
   std::vector<Json> rows;
-  int tornTailLines = 0;  ///< trailing lines dropped as torn/garbled
+  int tornTailLines = 0;     ///< trailing damaged lines (interrupted append)
+  int quarantinedLines = 0;  ///< interior damaged lines skipped, not trusted
+  std::string quarantineDetail;  ///< first quarantined line's diagnosis
 };
 
 class JournalWriter {
@@ -52,29 +66,43 @@ class JournalWriter {
   /// failure.
   [[nodiscard]] bool openAppend(const std::string& path);
 
-  /// Appends one record as a single line and fsyncs. Thread-safe. Returns
-  /// false on I/O failure (the record may then be absent or torn on disk —
-  /// both are handled by load()).
+  /// Appends one CRC-framed record as a single line and fsyncs. Thread-safe.
+  /// Returns false on I/O failure (the record may then be absent or torn on
+  /// disk — both are handled by load()); lastErrno() then says why, so
+  /// callers can map ENOSPC/EIO to a structured degradation instead of
+  /// guessing.
   bool append(const Json& record);
 
   /// Flushes and closes; further appends fail. Idempotent.
   void close();
 
-  [[nodiscard]] bool isOpen() const { return file_ != nullptr; }
+  [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
   [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// errno of the most recent failed append/create (0 after successes).
+  [[nodiscard]] int lastErrno() const;
 
   /// The schema tag written into and required of every journal header.
   static constexpr const char* kSchema = "rapt-journal-v1";
 
+  /// Renders one record line exactly as append() writes it (no '\n'):
+  /// the CRC-32 frame prefix plus the record's compact JSON. Exposed for
+  /// tests that need to forge damaged-but-plausible lines.
+  [[nodiscard]] static std::string frameLine(const std::string& compactJson);
+
  private:
-  std::mutex mutex_;
-  std::FILE* file_ = nullptr;
+  bool writeLineLocked(const std::string& line);
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
   std::string path_;
+  int lastErrno_ = 0;  ///< guarded by mutex_
 };
 
-/// Reads a journal back. Tolerates (and counts) a torn trailing line; any
-/// torn or unparseable line earlier in the file invalidates the journal —
-/// that is corruption, not an interrupted append.
+/// Reads a journal back, verifying each line's CRC frame. Damaged lines are
+/// quarantined or counted as the torn tail as documented on JournalContents;
+/// only a missing file, an empty file, or a damaged/mismatched HEADER — the
+/// line every other row's interpretation depends on — invalidates the load.
 [[nodiscard]] JournalContents loadJournal(const std::string& path);
 
 }  // namespace rapt

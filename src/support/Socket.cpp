@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "support/ChaosIo.h"
+
 namespace rapt {
 namespace {
 
@@ -93,7 +95,10 @@ SocketConn::ReadStatus SocketConn::readLine(std::string& out, int timeoutMs,
       return ReadStatus::Error;
     }
     char buf[65536];
-    const ssize_t got = ::read(fd_, buf, sizeof buf);
+    // Through the chaos shim (support/ChaosIo.h): an armed campaign turns
+    // this into short reads, EINTR, stalls, or ECONNRESET — all of which
+    // this loop must absorb or report exactly like the real thing.
+    const ssize_t got = chaosRead(fd_, buf, sizeof buf, ChaosSite::SocketRead);
     if (got > 0) {
       buffer_.append(buf, static_cast<std::size_t>(got));
     } else if (got == 0) {
@@ -122,8 +127,11 @@ bool SocketConn::writeAll(const std::string& data, int timeoutMs) {
     }
     // MSG_NOSIGNAL: a peer that hung up mid-reply is an EPIPE return value,
     // never a SIGPIPE — the daemon must not die because one client did.
-    const ssize_t sent = ::send(fd_, data.data() + written,
-                                data.size() - written, MSG_NOSIGNAL);
+    // Routed through the chaos shim so campaigns can tear this write short,
+    // stall it, or cut the peer mid-frame.
+    const ssize_t sent = chaosSend(fd_, data.data() + written,
+                                   data.size() - written, MSG_NOSIGNAL,
+                                   ChaosSite::SocketWrite);
     if (sent > 0) {
       written += static_cast<std::size_t>(sent);
     } else if (sent < 0 && errno != EINTR && errno != EAGAIN) {

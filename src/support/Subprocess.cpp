@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "support/ChaosIo.h"
+
 extern char** environ;  // NOLINT(readability-redundant-declaration)
 
 namespace rapt {
@@ -188,9 +190,10 @@ SubprocessResult runSubprocess(const SubprocessSpec& spec) {
     ::execvpe(argv[0], argv.data(), envp.data());
     // Exec failed: report errno over the CLOEXEC status pipe so the parent
     // can distinguish "never ran" (retryable) from a child-side failure.
+    // writeFully (support/ChaosIo.h) is async-signal-safe and retries the
+    // EINTR/short-write cases a bare write would silently drop.
     const int err = errno;
-    ssize_t ignored = ::write(execStatus.writeEnd, &err, sizeof err);
-    (void)ignored;
+    (void)writeFully(execStatus.writeEnd, &err, sizeof err);
     ::_exit(127);
   }
 

@@ -13,6 +13,7 @@
 // exercises the genuine exit-status mapping, not a mock.
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -368,6 +369,109 @@ TEST(Supervisor, TruncatedJournalResumesToBitIdenticalResult) {
   const SuiteResult resumed = runSuite(loops, m, resumeOpt);
   EXPECT_EQ(resumed.resumedRows, 4);
   EXPECT_FALSE(resumed.interrupted);
+  expectSuiteResultsIdentical(reference, resumed);
+}
+
+/// Applies `mutate` to line `lineIndex` (0-based; 0 is the header) of a
+/// journal, leaving every other line byte-identical.
+void mutateJournalLine(const std::string& path, int lineIndex,
+                       const std::function<std::string(std::string)>& mutate) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  ASSERT_LT(static_cast<std::size_t>(lineIndex), lines.size());
+  lines[static_cast<std::size_t>(lineIndex)] =
+      mutate(lines[static_cast<std::size_t>(lineIndex)]);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  for (const std::string& l : lines) out << l << '\n';
+}
+
+TEST(Supervisor, FlippedByteMidJournalRecompilesOnlyThatRow) {
+  // Bit rot in the MIDDLE of the journal (not the torn tail): the CRC frame
+  // catches it, the loader quarantines exactly that record, and a resume
+  // recompiles that one loop — the aggregate stays bit-identical.
+  const std::vector<Loop> loops = smallCorpus(6);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 1;  // rows land in corpus order
+  const SuiteResult reference = runSuite(loops, m, opt);
+
+  const std::string path = tempPath("bitrot.jsonl");
+  opt.journalPath = path;
+  (void)runSuite(loops, m, opt);
+  mutateJournalLine(path, 3, [](std::string l) {  // row index 2 of 0..5
+    l[l.size() / 2] = static_cast<char>(l[l.size() / 2] ^ 0x04);
+    return l;
+  });
+
+  PipelineOptions resumeOpt = opt;
+  resumeOpt.resume = true;
+  const SuiteResult resumed = runSuite(loops, m, resumeOpt);
+  EXPECT_EQ(resumed.resumedRows, 5);
+  EXPECT_EQ(resumed.quarantinedRows, 1);
+  expectSuiteResultsIdentical(reference, resumed);
+}
+
+TEST(Supervisor, TruncatedInteriorRowRecompilesOnlyThatRow) {
+  // A record torn halfway but FOLLOWED by good rows — the shape an injected
+  // crash-point leaves after the daemon recovered and kept appending. Interior
+  // damage, so it must be quarantined (the tail-drop path cannot save it).
+  const std::vector<Loop> loops = smallCorpus(6);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 1;
+  const SuiteResult reference = runSuite(loops, m, opt);
+
+  const std::string path = tempPath("interior-tear.jsonl");
+  opt.journalPath = path;
+  (void)runSuite(loops, m, opt);
+  mutateJournalLine(path, 2,
+                    [](std::string l) { return l.substr(0, l.size() / 2); });
+
+  PipelineOptions resumeOpt = opt;
+  resumeOpt.resume = true;
+  const SuiteResult resumed = runSuite(loops, m, resumeOpt);
+  EXPECT_EQ(resumed.resumedRows, 5);
+  EXPECT_EQ(resumed.quarantinedRows, 1);
+  expectSuiteResultsIdentical(reference, resumed);
+}
+
+TEST(Supervisor, DuplicatedRowReplaysOnceAndStaysIdentical)  {
+  // A replayed append (crash between write and offset-trust) duplicates a
+  // record. Resume takes the first copy, skips the second, and counts each
+  // corpus entry once.
+  const std::vector<Loop> loops = smallCorpus(5);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+  opt.threads = 1;
+  const SuiteResult reference = runSuite(loops, m, opt);
+
+  const std::string path = tempPath("duplicate-row.jsonl");
+  opt.journalPath = path;
+  (void)runSuite(loops, m, opt);
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    in.close();
+    ASSERT_GE(lines.size(), 3u);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << lines[2] << '\n';  // re-append row index 1 verbatim
+  }
+
+  PipelineOptions resumeOpt = opt;
+  resumeOpt.resume = true;
+  const SuiteResult resumed = runSuite(loops, m, resumeOpt);
+  EXPECT_EQ(resumed.resumedRows, 5);  // five loops, not six rows
+  EXPECT_EQ(resumed.quarantinedRows, 0);
   expectSuiteResultsIdentical(reference, resumed);
 }
 

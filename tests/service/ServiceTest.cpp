@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -392,6 +394,146 @@ TEST_F(ServiceInterrupt, WindDownFinishesInFlightJobsAndPersistsTheCache) {
   ASSERT_TRUE(client.compile(loops[0], m, opt, warm, error, kClientTimeoutMs))
       << error;
   EXPECT_TRUE(warm.cacheHit) << "restart did not come back warm";
+}
+
+// ---- ping -------------------------------------------------------------------
+
+TEST(Service, PingReportsHealthWithoutTouchingTheQueue) {
+  ScopedServer server(baseOptions("svc-ping.sock"));
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(server.get().socketPath(), error)) << error;
+
+  Json health;
+  ASSERT_TRUE(client.ping(health, error, kClientTimeoutMs)) << error;
+  ASSERT_TRUE(health.isObject());
+  EXPECT_GE(health.find("uptimeNs")->asInt(), 0);
+  EXPECT_EQ(health.find("queueDepth")->asInt(), 0);
+  EXPECT_EQ(health.find("windingDown")->asBool(), false);
+  EXPECT_EQ(health.find("inFlight")->asInt(), 0);
+
+  // Pings are answered inline on the reader thread: they must not show up in
+  // admission counters, and repeated probes stay cheap.
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(client.ping(health, error, kClientTimeoutMs)) << error;
+  EXPECT_EQ(server.get().stats().queue.admitted, 0);
+}
+
+// ---- self-healing -----------------------------------------------------------
+
+TEST(Service, ResilientClientSurvivesADaemonRestartMidConversation) {
+  const std::vector<Loop> loops = smallCorpus(1);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+
+  ServerOptions so = baseOptions("svc-heal.sock");
+  RetryPolicy policy;
+  policy.maxAttempts = 20;
+  policy.baseBackoffMs = 20;
+  policy.maxBackoffMs = 200;
+  policy.seed = 7;
+  ResilientClient healer(so.socketPath, policy);
+
+  std::string error;
+  ServiceReply first;
+  {
+    ScopedServer server(so);
+    ASSERT_TRUE(healer.compile(loops[0], m, opt, first, error)) << error;
+    EXPECT_TRUE(first.result.ok) << first.result.error;
+  }  // daemon gone; the healer's connection is now a dead socket
+
+  // Bring a replacement up after the healer has already started retrying.
+  std::thread restarter;
+  ServiceReply second;
+  {
+    std::unique_ptr<ScopedServer> replacement;
+    restarter = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      replacement = std::make_unique<ScopedServer>(so);
+    });
+    const bool healed = healer.compile(loops[0], m, opt, second, error);
+    restarter.join();
+    ASSERT_TRUE(healed) << error;
+  }
+  EXPECT_TRUE(second.result.ok) << second.result.error;
+
+  const ResilienceStats& rs = healer.stats();
+  EXPECT_GE(rs.reconnects, 1) << "healed without ever reconnecting?";
+  EXPECT_GE(rs.resubmits, 1);
+  EXPECT_EQ(rs.exhausted, 0);
+  ASSERT_FALSE(rs.recoveryNs.empty());
+  EXPECT_GT(rs.recoveryNs.front(), 0);
+}
+
+// ---- cache-journal corruption ----------------------------------------------
+
+TEST(Service, CorruptCacheJournalRowIsQuarantinedAndServiceStaysBitIdentical) {
+  const std::string journalPath = tempPath("svc-corrupt-cache.jsonl");
+  std::remove(journalPath.c_str());
+
+  const std::vector<Loop> loops = smallCorpus(2);
+  const MachineDesc m = MachineDesc::paper16(2, CopyModel::Embedded);
+  PipelineOptions opt;
+  opt.simulate = false;
+
+  ServerOptions so = baseOptions("svc-corrupt.sock");
+  so.cacheJournalPath = journalPath;
+
+  std::string error;
+  ServiceReply cold0, cold1;
+  {
+    ScopedServer server(so);
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(server.get().socketPath(), error)) << error;
+    ASSERT_TRUE(client.compile(loops[0], m, opt, cold0, error, kClientTimeoutMs))
+        << error;
+    ASSERT_TRUE(client.compile(loops[1], m, opt, cold1, error, kClientTimeoutMs))
+        << error;
+    ASSERT_TRUE(cold0.result.ok);
+    ASSERT_TRUE(cold1.result.ok);
+  }  // wind-down persisted both rows
+
+  // Flip one byte inside loop 0's journal row — an INTERIOR record (loop 1's
+  // row follows), so this exercises quarantine, not tail-dropping.
+  {
+    std::ifstream in(journalPath, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), {});
+    in.close();
+    const std::size_t firstNl = bytes.find('\n');   // end of header
+    const std::size_t secondNl = bytes.find('\n', firstNl + 1);
+    ASSERT_NE(secondNl, std::string::npos);
+    bytes[firstNl + (secondNl - firstNl) / 2] ^= 0x10;
+    std::ofstream out(journalPath, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  ScopedServer restarted(so);
+  EXPECT_EQ(restarted.get().stats().cache.journalRowsQuarantined, 1);
+  EXPECT_EQ(restarted.get().stats().cache.journalRowsReplayed, 1);
+
+  ServiceClient client;
+  ASSERT_TRUE(client.connect(restarted.get().socketPath(), error)) << error;
+
+  // The intact row replays bit-identically; the damaged one is RECOMPILED —
+  // never served from a corrupt record — and the recompile agrees with the
+  // original on every deterministic field (wall-clock trace aside).
+  ServiceReply intact;
+  ASSERT_TRUE(client.compile(loops[1], m, opt, intact, error, kClientTimeoutMs))
+      << error;
+  EXPECT_TRUE(intact.cacheHit);
+  EXPECT_EQ(intact.resultText, cold1.resultText);
+
+  ServiceReply recompiled;
+  ASSERT_TRUE(
+      client.compile(loops[0], m, opt, recompiled, error, kClientTimeoutMs))
+      << error;
+  EXPECT_FALSE(recompiled.cacheHit) << "served a quarantined record";
+  EXPECT_TRUE(recompiled.result.ok) << recompiled.result.error;
+  LoopResult a = cold0.result;
+  LoopResult b = recompiled.result;
+  a.servedFromCache = b.servedFromCache = false;
+  expectLoopResultsIdentical(a, b);
 }
 
 // ---- stats ------------------------------------------------------------------

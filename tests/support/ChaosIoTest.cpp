@@ -1,0 +1,181 @@
+#include "support/ChaosIo.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rapt {
+namespace {
+
+/// Every test disarms on the way out: the injector is process-global and a
+/// leaked arming would turn every later I/O test into a chaos test.
+class ChaosIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ChaosIo::uninstall(); }
+};
+
+TEST_F(ChaosIoTest, UnarmedWrappersAreTheRawSyscalls) {
+  ChaosIo::uninstall();
+  EXPECT_EQ(ChaosIo::active(), nullptr);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char data[] = "plain";
+  EXPECT_EQ(chaosWrite(fds[1], data, 5, ChaosSite::JournalWrite), 5);
+  char buf[16] = {};
+  EXPECT_EQ(chaosRead(fds[0], buf, sizeof buf, ChaosSite::SocketRead), 5);
+  EXPECT_STREQ(buf, "plain");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(ChaosIoTest, ParseConfigRoundTripsTheFullSpec) {
+  ChaosIoConfig c;
+  std::string error;
+  ASSERT_TRUE(ChaosIo::parseConfig(
+      "seed=7,rate=10,crash=2,stall-ms=9,sites=socket+journal", c, error))
+      << error;
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_EQ(c.faultRatePercent, 10);
+  EXPECT_EQ(c.crashRatePercent, 2);
+  EXPECT_EQ(c.stallMs, 9);
+  EXPECT_EQ(c.siteMask, kChaosSocketSites | kChaosJournalSites);
+}
+
+TEST_F(ChaosIoTest, ParseConfigAcceptsFull64BitSeeds) {
+  // Harnesses feed raw SplitMix64 draws, which exceed INT64_MAX half the
+  // time; a signed parse would silently disarm those lifetimes.
+  ChaosIoConfig c;
+  std::string error;
+  ASSERT_TRUE(ChaosIo::parseConfig("seed=18446744073709551615", c, error))
+      << error;
+  EXPECT_EQ(c.seed, 18446744073709551615ull);
+}
+
+TEST_F(ChaosIoTest, ParseConfigRejectsGarbage) {
+  ChaosIoConfig c;
+  std::string error;
+  EXPECT_FALSE(ChaosIo::parseConfig("rate=101", c, error));
+  EXPECT_FALSE(ChaosIo::parseConfig("seed=abc", c, error));
+  EXPECT_FALSE(ChaosIo::parseConfig("sites=disk", c, error));
+  EXPECT_FALSE(ChaosIo::parseConfig("bogus=1", c, error));
+  EXPECT_FALSE(ChaosIo::parseConfig("noequals", c, error));
+}
+
+TEST_F(ChaosIoTest, SameSeedSameSingleThreadedSchedule) {
+  ChaosIoConfig config;
+  config.seed = 42;
+  config.faultRatePercent = 50;
+  auto schedule = [&config] {
+    ChaosIo io(config);
+    std::vector<ChaosFault> draws;
+    draws.reserve(200);
+    for (int i = 0; i < 200; ++i) draws.push_back(io.draw(ChaosSite::SocketRead));
+    return draws;
+  };
+  EXPECT_EQ(schedule(), schedule());
+  ChaosIoConfig other = config;
+  other.seed = 43;
+  ChaosIo io(other);
+  std::vector<ChaosFault> draws;
+  for (int i = 0; i < 200; ++i) draws.push_back(io.draw(ChaosSite::SocketRead));
+  EXPECT_NE(draws, schedule());  // astronomically unlikely to collide
+}
+
+TEST_F(ChaosIoTest, UnmaskedSitesNeverFire) {
+  ChaosIoConfig config;
+  config.faultRatePercent = 100;
+  config.siteMask = kChaosSocketSites;  // journal/durable NOT armed
+  ChaosIo io(config);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(io.draw(ChaosSite::JournalWrite), ChaosFault::None);
+    EXPECT_EQ(io.draw(ChaosSite::DurableFsync), ChaosFault::None);
+  }
+  EXPECT_EQ(io.injectedTotal(), 0);
+  EXPECT_NE(io.draw(ChaosSite::SocketRead), ChaosFault::None);
+}
+
+TEST_F(ChaosIoTest, SiteAppropriateFaultMenus) {
+  ChaosIoConfig config;
+  config.faultRatePercent = 100;
+  ChaosIo io(config);
+  for (int i = 0; i < 100; ++i) {
+    const ChaosFault socket = io.draw(ChaosSite::SocketRead);
+    EXPECT_TRUE(socket == ChaosFault::ShortOp || socket == ChaosFault::Eintr ||
+                socket == ChaosFault::ConnReset || socket == ChaosFault::Stall);
+    const ChaosFault write = io.draw(ChaosSite::JournalWrite);
+    EXPECT_TRUE(write == ChaosFault::ShortOp || write == ChaosFault::Eintr ||
+                write == ChaosFault::NoSpace || write == ChaosFault::IoError);
+    EXPECT_EQ(io.draw(ChaosSite::JournalFsync), ChaosFault::FsyncFail);
+  }
+}
+
+TEST_F(ChaosIoTest, WriteFullyDeliversEveryByteThroughInjectedWeather) {
+  // Shorts and EINTR at 60%: the retry loop must still land every byte, in
+  // order, with nothing duplicated.
+  ChaosIoConfig config;
+  config.seed = 9;
+  config.faultRatePercent = 60;
+  config.siteMask = chaosSiteBit(ChaosSite::JournalWrite);
+  ChaosIo::install(config);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string payload;
+  for (int i = 0; i < 300; ++i) payload += static_cast<char>('a' + i % 26);
+
+  std::string got;
+  bool writeOk = false;
+  // ENOSPC/EIO draws legitimately fail writeFully; retry until a schedule
+  // with only retryable faults lands the payload (bounded by the rates).
+  for (int attempt = 0; attempt < 50 && !writeOk; ++attempt) {
+    writeOk = chaosWriteFully(fds[1], payload.data(), payload.size(),
+                              ChaosSite::JournalWrite);
+    char buf[4096];
+    ssize_t n;
+    // Drain whatever the attempt wrote (pipe capacity far exceeds 300B).
+    ::close(fds[1]);
+    while ((n = ::read(fds[0], buf, sizeof buf)) > 0)
+      got.append(buf, static_cast<std::size_t>(n));
+    if (writeOk) break;
+    got.clear();
+    ASSERT_EQ(::pipe(fds), 0);
+  }
+  ASSERT_TRUE(writeOk) << "no fault-free-enough schedule in 50 attempts";
+  EXPECT_EQ(got, payload);
+  ::close(fds[0]);
+}
+
+TEST_F(ChaosIoTest, InstallOverridesAndUninstallDisarms) {
+  ChaosIoConfig config;
+  config.faultRatePercent = 100;
+  config.siteMask = kChaosSocketSites;
+  ChaosIo::install(config);
+  ASSERT_NE(ChaosIo::active(), nullptr);
+  ChaosIo::uninstall();
+  EXPECT_EQ(ChaosIo::active(), nullptr);
+}
+
+TEST_F(ChaosIoTest, StatsJsonCountsInjectedFaultsBySite) {
+  ChaosIoConfig config;
+  config.faultRatePercent = 100;
+  config.siteMask = kChaosSocketSites;
+  ChaosIo io(config);
+  for (int i = 0; i < 10; ++i) (void)io.draw(ChaosSite::SocketRead);
+  EXPECT_EQ(io.injectedTotal(), 10);
+  const Json stats = io.statsJson();
+  const Json* sites = stats.find("injectedBySite");
+  ASSERT_NE(sites, nullptr);
+  ASSERT_NE(sites->find("socketRead"), nullptr);
+  std::int64_t total = 0;
+  for (const auto& [kind, count] : sites->find("socketRead")->items())
+    total += count.asInt();
+  EXPECT_EQ(total, 10);
+}
+
+}  // namespace
+}  // namespace rapt

@@ -1,0 +1,64 @@
+#include "support/Crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rapt {
+namespace {
+
+TEST(Crc32, MatchesTheIeeeCheckVector) {
+  // The canonical CRC-32/IEEE check value: crc32("123456789") = 0xcbf43926.
+  EXPECT_EQ(crc32(std::string("123456789")), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32(std::string()), 0u); }
+
+TEST(Crc32, SingleBitFlipsChangeTheChecksum) {
+  const std::string base = R"({"kind":"row","index":7})";
+  const std::uint32_t good = crc32(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = base;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      EXPECT_NE(crc32(flipped), good)
+          << "flip of byte " << i << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(Crc32, SeedChainsIncrementalComputation) {
+  const std::string a = "hello, ";
+  const std::string b = "journal";
+  const std::uint32_t whole = crc32(a + b);
+  const std::uint32_t chained = crc32(b.data(), b.size(), crc32(a));
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32, HexRendersEightLowercaseDigitsAndParsesBack) {
+  const std::uint32_t value = crc32(std::string("123456789"));
+  const std::string hex = crc32Hex(value);
+  EXPECT_EQ(hex, "cbf43926");
+  EXPECT_EQ(hex.size(), 8u);
+  std::uint32_t parsed = 0;
+  ASSERT_TRUE(parseCrc32Hex(hex, 0, parsed));
+  EXPECT_EQ(parsed, value);
+
+  EXPECT_EQ(crc32Hex(0), "00000000");
+  ASSERT_TRUE(parseCrc32Hex("00000000", 0, parsed));
+  EXPECT_EQ(parsed, 0u);
+}
+
+TEST(Crc32, ParseRejectsNonHexAndShortInput) {
+  std::uint32_t out = 0;
+  EXPECT_FALSE(parseCrc32Hex("cbf4392", 0, out));   // 7 digits
+  EXPECT_FALSE(parseCrc32Hex("cbf4392g", 0, out));  // non-hex
+  EXPECT_FALSE(parseCrc32Hex("", 0, out));
+  // Offset form: parses the 8 digits starting at pos.
+  ASSERT_TRUE(parseCrc32Hex("xxcbf43926", 2, out));
+  EXPECT_EQ(out, 0xcbf43926u);
+  EXPECT_FALSE(parseCrc32Hex("xxcbf4392", 2, out));  // runs off the end
+}
+
+}  // namespace
+}  // namespace rapt

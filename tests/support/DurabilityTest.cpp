@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string>
 
+#include "support/ChaosIo.h"
+
 namespace rapt {
 namespace {
 
@@ -64,6 +66,71 @@ TEST(Durability, FsyncFileDistinguishesExistingFromMissing) {
   ASSERT_TRUE(writeFileDurable(path, "data"));
   EXPECT_TRUE(fsyncFile(path));
   EXPECT_FALSE(fsyncFile(tempPath("never-created.txt")));
+}
+
+// ---- chaos weather (support/ChaosIo.h) -------------------------------------
+
+class DurabilityChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ChaosIo::uninstall(); }
+};
+
+TEST_F(DurabilityChaosTest, InjectedDiskFaultsMapToStructuredStatuses) {
+  // Injected ENOSPC/EIO must come back as the matching DurableStatus — the
+  // structured condition a degrading cache keys off — and every failure must
+  // leave the OLD file intact with no temp debris (the atomic-replace
+  // contract holds under pressure, not just in fair weather).
+  ChaosIoConfig config;
+  config.seed = 21;
+  config.faultRatePercent = 55;
+  config.siteMask = chaosSiteBit(ChaosSite::DurableWrite);
+  ChaosIo::install(config);
+
+  const std::string path = tempPath("durable-chaos.json");
+  std::remove(path.c_str());
+  ASSERT_TRUE(ChaosIo::active() != nullptr);
+
+  std::string lastGood;
+  bool sawNoSpace = false, sawIoError = false;
+  for (int i = 0; i < 120; ++i) {
+    const std::string contents = "generation-" + std::to_string(i);
+    const DurableStatus status = writeFileDurableStatus(path, contents);
+    switch (status) {
+      case DurableStatus::Ok:
+        lastGood = contents;
+        break;
+      case DurableStatus::NoSpace: sawNoSpace = true; break;
+      case DurableStatus::IoError: sawIoError = true; break;
+      case DurableStatus::Error:
+        ADD_FAILURE() << "injected disk fault misclassified as generic error";
+        break;
+    }
+    EXPECT_EQ(slurp(path), lastGood)
+        << "a failed write must not tear or clobber the target";
+    EXPECT_FALSE(exists(path + ".tmp")) << "failure left temp debris";
+  }
+  EXPECT_FALSE(lastGood.empty()) << "no write ever succeeded at 55% weather";
+  EXPECT_TRUE(sawNoSpace) << "120 draws at 55% never rolled ENOSPC";
+  EXPECT_TRUE(sawIoError) << "120 draws at 55% never rolled EIO";
+}
+
+TEST_F(DurabilityChaosTest, InjectedFsyncFailureIsAnIoErrorNotSilentSuccess) {
+  // A failed fsync means the "durable" claim is broken even though every
+  // byte was written; reporting Ok here would be the worst kind of lie.
+  ChaosIoConfig config;
+  config.seed = 5;
+  config.faultRatePercent = 100;
+  config.siteMask = chaosSiteBit(ChaosSite::DurableFsync);
+  ChaosIo::install(config);
+
+  const std::string path = tempPath("durable-fsync-chaos.json");
+  std::remove(path.c_str());
+  EXPECT_EQ(writeFileDurableStatus(path, "x"), DurableStatus::IoError);
+  EXPECT_FALSE(exists(path + ".tmp"));
+
+  ChaosIo::uninstall();
+  EXPECT_EQ(writeFileDurableStatus(path, "y"), DurableStatus::Ok);
+  EXPECT_EQ(slurp(path), "y");
 }
 
 }  // namespace

@@ -86,7 +86,7 @@ TEST(JournalIo, TornTrailingLineIsDroppedNotFatal) {
   EXPECT_EQ(c.rows[0].find("index")->asInt(), 0);
 }
 
-TEST(JournalIo, CorruptionBeforeTheEndInvalidates) {
+TEST(JournalIo, CorruptionBeforeTheEndIsQuarantinedNotFatal) {
   const std::string path = tmpPath("corrupt");
   {
     JournalWriter w;
@@ -99,9 +99,110 @@ TEST(JournalIo, CorruptionBeforeTheEndInvalidates) {
     ASSERT_TRUE(w.openAppend(path));
     EXPECT_TRUE(w.append(rowFor(1)));  // a good line AFTER the bad one
   }
+  // Interior damage costs exactly the damaged record: both intact rows
+  // replay, the garbage is counted and diagnosed, and the load stays valid
+  // so a --resume recompiles only what was lost.
   const JournalContents c = loadJournal(path);
-  EXPECT_FALSE(c.valid);
-  EXPECT_NE(c.error.find("corrupt"), std::string::npos) << c.error;
+  ASSERT_TRUE(c.valid) << c.error;
+  EXPECT_EQ(c.quarantinedLines, 1);
+  EXPECT_FALSE(c.quarantineDetail.empty());
+  ASSERT_EQ(c.rows.size(), 2u);
+  EXPECT_EQ(c.rows[0].find("index")->asInt(), 0);
+  EXPECT_EQ(c.rows[1].find("index")->asInt(), 1);
+}
+
+TEST(JournalIo, FlippedByteInFramedLineIsCaughtByCrc) {
+  const std::string path = tmpPath("bitflip");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("bitflip")));
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(w.append(rowFor(i)));
+  }
+  // Flip one bit inside the MIDDLE record's payload. The JSON may well stay
+  // parseable ("index":1 -> "index":9); only the CRC frame can catch it.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::string middle = JournalWriter::frameLine(rowFor(1).dumpCompact());
+  const std::size_t at = bytes.find(middle);
+  ASSERT_NE(at, std::string::npos);
+  bytes[at + middle.size() - 2] ^= 0x08;  // a payload byte, not the '\n'
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  EXPECT_EQ(c.quarantinedLines, 1);
+  ASSERT_EQ(c.rows.size(), 2u);
+  EXPECT_EQ(c.rows[0].find("index")->asInt(), 0);
+  EXPECT_EQ(c.rows[1].find("index")->asInt(), 2);
+}
+
+TEST(JournalIo, TruncatedInteriorRecordIsQuarantined) {
+  const std::string path = tmpPath("truncated-interior");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("truncated")));
+    EXPECT_TRUE(w.append(rowFor(0)));
+  }
+  // A torn prefix of a framed record, followed by a subsequent GOOD append:
+  // the classic crash-then-recover-then-append shape. The tear is interior
+  // damage now, not a droppable tail.
+  const std::string full = JournalWriter::frameLine(rowFor(1).dumpCompact());
+  appendRaw(path, full.substr(0, full.size() / 2) + "\n");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.openAppend(path));
+    EXPECT_TRUE(w.append(rowFor(2)));
+  }
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  EXPECT_EQ(c.quarantinedLines, 1);
+  ASSERT_EQ(c.rows.size(), 2u);
+  EXPECT_EQ(c.rows[0].find("index")->asInt(), 0);
+  EXPECT_EQ(c.rows[1].find("index")->asInt(), 2);
+}
+
+TEST(JournalIo, DuplicateRecordsBothLoadVerbatim) {
+  // A crash after write but before the writer's offset was trusted can
+  // replay an append. The journal layer reports what is on disk; resume
+  // logic (Suite, ResultCache) deduplicates by key, so BOTH copies must
+  // load here rather than being second-guessed at this layer.
+  const std::string path = tmpPath("duplicate");
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(path, headerFor("duplicate")));
+    EXPECT_TRUE(w.append(rowFor(0)));
+  }
+  appendRaw(path, JournalWriter::frameLine(rowFor(0).dumpCompact()) + "\n");
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  EXPECT_EQ(c.quarantinedLines, 0);
+  ASSERT_EQ(c.rows.size(), 2u);
+  EXPECT_EQ(c.rows[0].find("index")->asInt(), 0);
+  EXPECT_EQ(c.rows[1].find("index")->asInt(), 0);
+}
+
+TEST(JournalIo, LegacyUnframedLinesStillLoad) {
+  // Journals written before CRC framing carry bare JSON lines. They load
+  // (valid, all rows) so an upgrade never orphans a resume.
+  const std::string path = tmpPath("legacy");
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  Json header = headerFor("legacy");
+  header["schema"] = JournalWriter::kSchema;
+  header["kind"] = "header";
+  appendRaw(path, header.dumpCompact() + "\n");
+  appendRaw(path, rowFor(0).dumpCompact() + "\n");
+  appendRaw(path, rowFor(1).dumpCompact() + "\n");
+  const JournalContents c = loadJournal(path);
+  ASSERT_TRUE(c.valid) << c.error;
+  EXPECT_EQ(c.quarantinedLines, 0);
+  EXPECT_EQ(c.tornTailLines, 0);
+  ASSERT_EQ(c.rows.size(), 2u);
+  EXPECT_EQ(c.rows[1].find("index")->asInt(), 1);
 }
 
 TEST(JournalIo, RejectsMissingFileEmptyFileAndBadHeader) {

@@ -5,6 +5,8 @@
 #include "support/Socket.h"
 
 #include <gtest/gtest.h>
+
+#include "support/ChaosIo.h"
 #include <unistd.h>
 
 #include <chrono>
@@ -146,6 +148,109 @@ TEST(Socket, StaleSocketFileDoesNotBlockRebinding) {
   }  // closed, but suppose the file lingered from a dead daemon
   UnixListener second;
   EXPECT_TRUE(second.listen(path, error)) << error;
+}
+
+// ---- chaos weather (support/ChaosIo.h) -------------------------------------
+
+/// Disarms the process-global injector on exit so later tests in this binary
+/// get the raw syscalls back.
+class SocketChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ChaosIo::uninstall(); }
+};
+
+TEST_F(SocketChaosTest, EveryLineSurvivesInjectedWeatherExactlyOnce) {
+  // Under injected short reads/writes, EINTR, stalls, and connection resets,
+  // the transport must deliver each line intact and in order, or fail the
+  // connection cleanly — never deliver garbage. Lines lost to a reset are
+  // resent over a fresh pair, exactly as a self-healing client would.
+  ChaosIoConfig config;
+  config.seed = 11;
+  config.faultRatePercent = 40;
+  config.stallMs = 1;
+  config.siteMask = kChaosSocketSites;
+  ChaosIo::install(config);
+
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("chaos.sock"), error)) << error;
+
+  SocketConn client, server;
+  auto connect = [&] {
+    client = unixConnect(listener.path(), error);
+    ASSERT_TRUE(client.isOpen()) << error;
+    server = listener.accept(2000);
+    ASSERT_TRUE(server.isOpen());
+  };
+  connect();
+
+  constexpr int kLines = 40;
+  int delivered = 0;
+  int reconnects = 0;
+  for (int i = 0; i < kLines;) {
+    const std::string msg = "payload-" + std::to_string(i) +
+                            std::string(64, static_cast<char>('a' + i % 26));
+    if (!client.writeAll(msg + "\n", 2000)) {
+      ++reconnects;
+      ASSERT_LT(reconnects, 200) << "resets never let a line through";
+      connect();
+      continue;
+    }
+    std::string line;
+    const SocketConn::ReadStatus status = server.readLine(line, 2000);
+    if (status == SocketConn::ReadStatus::Line) {
+      EXPECT_EQ(line, msg) << "weather corrupted a delivered line";
+      ++delivered;
+      ++i;
+      continue;
+    }
+    // Reset or peer-gone: both sides get a fresh pair, the line is resent.
+    EXPECT_TRUE(status == SocketConn::ReadStatus::Error ||
+                status == SocketConn::ReadStatus::Eof ||
+                status == SocketConn::ReadStatus::Timeout);
+    ++reconnects;
+    ASSERT_LT(reconnects, 200) << "resets never let a line through";
+    connect();
+  }
+  EXPECT_EQ(delivered, kLines);
+  ASSERT_NE(ChaosIo::active(), nullptr);
+  EXPECT_GT(ChaosIo::active()->injectedTotal(), 0)
+      << "campaign ran but no fault ever fired";
+}
+
+TEST_F(SocketChaosTest, InjectedConnResetSurfacesAsErrorAndCloses) {
+  ChaosIoConfig config;
+  config.seed = 3;
+  config.faultRatePercent = 100;  // every read draws from the socket menu
+  config.stallMs = 0;
+  config.siteMask = chaosSiteBit(ChaosSite::SocketRead);
+  ChaosIo::install(config);
+
+  UnixListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.listen(tempSocket("reset.sock"), error)) << error;
+  SocketConn client = unixConnect(listener.path(), error);
+  ASSERT_TRUE(client.isOpen()) << error;
+  SocketConn server = listener.accept(2000);
+  ASSERT_TRUE(server.isOpen());
+
+  // At 100% with a four-fault menu, a ConnReset draw inside 100 reads is a
+  // (1 - (3/4)^100) certainty; shorts/EINTR/stalls before it must not
+  // corrupt the line stream.
+  bool sawError = false;
+  for (int i = 0; i < 100 && !sawError; ++i) {
+    ASSERT_TRUE(client.writeAll("ping\n", 2000));
+    std::string line;
+    const SocketConn::ReadStatus status = server.readLine(line, 2000);
+    if (status == SocketConn::ReadStatus::Line) {
+      EXPECT_EQ(line, "ping");
+    } else {
+      EXPECT_EQ(status, SocketConn::ReadStatus::Error);
+      sawError = true;
+    }
+  }
+  EXPECT_TRUE(sawError);
+  EXPECT_FALSE(server.isOpen()) << "a reset conn must not linger half-dead";
 }
 
 }  // namespace

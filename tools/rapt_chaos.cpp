@@ -1,0 +1,514 @@
+// rapt-chaos: crash-consistency torture harness for rapt-served
+// (docs/robustness.md "Chaos campaign").
+//
+// Spawns a real daemon with the seeded I/O fault injector armed through
+// RAPT_CHAOS (support/ChaosIo.h): socket reads/writes suffer short ops,
+// EINTR, resets and stalls; cache-journal writes suffer the same plus
+// crash-points that _exit the daemon mid-record, tearing the write exactly
+// as kill -9 would. On top of that the harness SIGKILLs the daemon itself at
+// seeded random points and restarts it against the SAME cache journal.
+//
+// The oracles, checked for every acknowledged reply across every crash and
+// restart:
+//
+//   1. bit-identity: the served result bytes equal this process's own local
+//      compile of the same loop (cold, warm, replayed-from-journal, or
+//      recompiled after a quarantined row — all must agree);
+//   2. no acknowledged result is ever lost or corrupted: after every restart
+//      the full corpus is re-submitted and must still answer identically.
+//
+// A daemon livelock trap is designed out: every respawn derives a FRESH
+// injector seed from the master stream, so a crash-point that fires on the
+// journal header write cannot deterministically kill every restart.
+//
+// Emits BENCH_chaos.json (docs/metrics.md): runs, per-kind crash counts, the
+// daemon's own injection counters, availability, and client recovery-latency
+// percentiles. Exit status: 0 when every oracle holds and the run floor is
+// met, 1 on a violation, 2 on a bad command line, 3 when the daemon cannot
+// be spawned or never becomes reachable.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "BenchCommon.h"
+#include "pipeline/WorkerProtocol.h"
+#include "service/Client.h"
+#include "support/ArgParser.h"
+#include "support/ChaosIo.h"
+#include "support/Stats.h"
+
+using namespace rapt;
+
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// SplitMix64: the master stream every episode/respawn seed derives from.
+std::uint64_t nextRand(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] std::string selfDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+struct DaemonSpec {
+  std::string servedPath;
+  std::string socketPath;
+  std::string journalPath;
+  std::string logPath;
+  std::string benchDir;
+  int jobs = 2;
+};
+
+/// fork/exec one daemon armed with `chaosSpec`; stdout/stderr append to the
+/// episode log. Returns -1 on fork failure.
+[[nodiscard]] pid_t spawnDaemon(const DaemonSpec& spec,
+                                const std::string& chaosSpec) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // ---- child ----
+  ::setenv("RAPT_CHAOS", chaosSpec.c_str(), 1);
+  ::setenv("RAPT_BENCH_DIR", spec.benchDir.c_str(), 1);
+  const int log = ::open(spec.logPath.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log >= 0) {
+    ::dup2(log, STDOUT_FILENO);
+    ::dup2(log, STDERR_FILENO);
+    ::close(log);
+  }
+  const std::string jobs = std::to_string(spec.jobs);
+  std::vector<const char*> argv = {
+      spec.servedPath.c_str(), "--socket",        spec.socketPath.c_str(),
+      "--jobs",                jobs.c_str(),      "--cache-mb",
+      "64",                    "--cache-journal", spec.journalPath.c_str(),
+      "--idle-poll-ms",        "50",              nullptr};
+  ::execv(spec.servedPath.c_str(), const_cast<char**>(argv.data()));
+  ::_exit(127);
+}
+
+/// Non-blocking liveness check; on death classifies the exit.
+struct DaemonExit {
+  bool exited = false;
+  bool injectedCrash = false;  ///< _exit(kChaosCrashExit)
+  bool killed = false;         ///< died to a signal (our SIGKILL, usually)
+};
+
+[[nodiscard]] DaemonExit pollDaemon(pid_t pid) {
+  DaemonExit e;
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r != pid) return e;
+  e.exited = true;
+  e.injectedCrash = WIFEXITED(status) && WEXITSTATUS(status) == kChaosCrashExit;
+  e.killed = WIFSIGNALED(status);
+  return e;
+}
+
+void reapDaemon(pid_t pid, int sig) {
+  ::kill(pid, sig);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+/// A result document with its "trace" member dropped: every remaining field
+/// is deterministic (pipeline/CompilerPipeline.h — only the per-stage wall
+/// times vary run to run), so THIS text is comparable across processes,
+/// restarts, and recompiles. Empty string when `text` does not parse — which
+/// the caller counts as corruption.
+[[nodiscard]] std::string semanticText(const std::string& text) {
+  Json doc;
+  std::string error;
+  if (!Json::parse(text, doc, error) || !doc.isObject()) return std::string();
+  Json stripped = Json::object();
+  for (const auto& [key, value] : doc.items())
+    if (key != "trace") stripped[key] = value;
+  return stripped.dumpCompact();
+}
+
+Json latencySummaryNs(const std::vector<std::int64_t>& xs) {
+  Json o = Json::object();
+  o["count"] = static_cast<std::int64_t>(xs.size());
+  o["p50"] = percentile(xs, 50.0);
+  o["p95"] = percentile(xs, 95.0);
+  o["p99"] = percentile(xs, 99.0);
+  std::int64_t maxNs = 0;
+  for (std::int64_t x : xs)
+    if (x > maxNs) maxNs = x;
+  o["max"] = maxNs;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string servedPath;
+  std::string workDir;
+  std::int64_t seed = 1;
+  int episodes = 10;
+  int loopCount = 12;
+  int passes = 2;
+  int ratePercent = 12;
+  int crashPercent = 5;
+  int jobs = 2;
+  std::int64_t minRuns = 200;
+  bool simulate = false;
+
+  ArgParser args("rapt-chaos",
+                 "seeded fault-injection and crash-consistency torture "
+                 "campaign against rapt-served (docs/robustness.md)");
+  args.addString("served", &servedPath,
+                 "rapt-served binary (default: this binary's directory)");
+  args.addString("dir", &workDir,
+                 "working directory for socket/journal/logs (default: a "
+                 "fresh /tmp directory)");
+  args.addInt64("seed", &seed, "master seed: fault schedule, kill points, backoff");
+  args.addInt("episodes", &episodes, "daemon lifetimes to torture");
+  args.addInt("loops", &loopCount, "corpus prefix per pass");
+  args.addInt("passes", &passes, "corpus replays per episode");
+  args.addInt("rate", &ratePercent, "per-syscall fault rate percent in the daemon");
+  args.addInt("crash", &crashPercent, "per-write crash-point rate percent");
+  args.addInt("jobs", &jobs, "daemon compile worker threads");
+  args.addInt64("min-runs", &minRuns,
+                "fail unless at least this many acknowledged compile "
+                "round-trips were verified");
+  args.addFlag("simulate", &simulate,
+               "include simulation/validation in the jobs (slower, deeper)");
+  if (!args.parse(argc, argv)) return args.helpRequested() ? 0 : 2;
+  if (episodes < 1 || loopCount < 1 || passes < 1) {
+    std::fprintf(stderr, "rapt-chaos: --episodes/--loops/--passes must be >= 1\n");
+    return 2;
+  }
+
+  if (servedPath.empty()) servedPath = selfDir() + "/rapt-served";
+  if (workDir.empty()) {
+    char tmpl[] = "/tmp/rapt-chaos-XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "rapt-chaos: mkdtemp failed: %s\n", std::strerror(errno));
+      return 3;
+    }
+    workDir = made;
+  } else {
+    ::mkdir(workDir.c_str(), 0755);
+  }
+
+  DaemonSpec spec;
+  spec.servedPath = servedPath;
+  spec.socketPath = workDir + "/served.sock";
+  spec.journalPath = workDir + "/cache.journal";
+  spec.logPath = workDir + "/served.log";
+  spec.benchDir = workDir;
+  spec.jobs = jobs;
+
+  // ---- local ground truth: chaos is armed only in the DAEMON (via its
+  // environment); this process compiles clean. Compared trace-stripped: the
+  // per-stage wall times are the one nondeterministic part of a result
+  // document, so the semantic text is what must survive every crash.
+  std::vector<Loop> loops = bench::corpus();
+  if (loopCount < static_cast<int>(loops.size()))
+    loops.resize(static_cast<std::size_t>(loopCount));
+  const MachineDesc machine = MachineDesc::paper16(4, CopyModel::Embedded);
+  PipelineOptions options;
+  options.simulate = simulate;
+  std::vector<std::string> expected(loops.size());
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    expected[i] = semanticText(
+        encodeLoopResult(compileLoop(loops[i], machine, options)).dumpCompact());
+
+  std::uint64_t master = static_cast<std::uint64_t>(seed) != 0
+                             ? static_cast<std::uint64_t>(seed)
+                             : 1;
+  const std::string sites = "socket+journal";
+
+  // Per-daemon-lifetime bit-identity baseline: the first acknowledged reply
+  // bytes per loop, reset on every (re)spawn — a restart that lost its
+  // journal to an injected disk fault legitimately recompiles with fresh
+  // trace times, and hits must then replay THOSE bytes exactly.
+  std::vector<std::string> firstAckedText(loops.size());
+
+  std::int64_t runs = 0;            // acknowledged, byte-verified round trips
+  std::int64_t opsAttempted = 0;    // round trips tried (healed or not)
+  std::int64_t violations = 0;      // bit-identity breaks: the campaign FAILS
+  std::int64_t availabilityFailures = 0;  // retry policy exhausted (reported)
+  std::int64_t overloads = 0;
+  std::int64_t injectedCrashes = 0;  // daemon _exit(86) at a crash-point
+  std::int64_t harnessKills = 0;     // our own SIGKILLs
+  std::int64_t respawns = 0;
+  std::int64_t journalWipes = 0;     // seeded cache-journal rotations
+  std::vector<std::int64_t> recoveryNs;
+  std::int64_t clientReconnects = 0;
+  std::int64_t clientResubmits = 0;
+  Json lastServerStats;
+  std::string firstViolation;
+
+  auto chaosSpecFor = [&](std::uint64_t s) {
+    return "seed=" + std::to_string(s) + ",rate=" + std::to_string(ratePercent) +
+           ",crash=" + std::to_string(crashPercent) + ",stall-ms=2,sites=" + sites;
+  };
+
+  pid_t daemon = -1;
+
+  // One spawn, watched until it either listens or dies: an injected
+  // crash-point can fire on the very first cache-journal header write, so
+  // early death is routine weather here, not a setup error.
+  auto spawnOnce = [&](std::uint64_t s) -> bool {
+    daemon = spawnDaemon(spec, chaosSpecFor(s));
+    if (daemon < 0) return false;
+    const std::int64_t deadline = nowNs() + std::int64_t{10'000} * 1'000'000;
+    while (nowNs() < deadline) {
+      std::string error;
+      SocketConn probe = unixConnect(spec.socketPath, error);
+      if (probe.isOpen()) return true;
+      const DaemonExit e = pollDaemon(daemon);
+      if (e.exited) {
+        if (e.injectedCrash) ++injectedCrashes;
+        return false;  // died before listening; the caller reseeds
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    reapDaemon(daemon, SIGKILL);
+    return false;
+  };
+
+  // Respawn with a FRESH derived seed each attempt — the livelock guard: one
+  // unlucky schedule must not deterministically kill every restart. The cap
+  // bounds a genuinely broken daemon (wrong binary, bad socket dir).
+  auto respawn = [&]() -> bool {
+    for (std::string& t : firstAckedText) t.clear();  // new lifetime, new baseline
+    for (int attempt = 0; attempt < 25; ++attempt) {
+      if (spawnOnce(nextRand(master))) {
+        ++respawns;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (!respawn()) {
+    std::fprintf(stderr, "rapt-chaos: cannot spawn/reach %s (log: %s)\n",
+                 servedPath.c_str(), spec.logPath.c_str());
+    return 3;
+  }
+  respawns = 0;  // the first successful spawn is not a RE-spawn
+
+  for (int episode = 0; episode < episodes; ++episode) {
+    RetryPolicy policy;
+    policy.seed = nextRand(master);
+    policy.maxAttempts = 10;
+    policy.baseBackoffMs = 5;
+    policy.maxBackoffMs = 500;
+    policy.deadlineMs = 120'000;
+    policy.requestTimeoutMs = 60'000;
+    ResilientClient client(spec.socketPath, policy);
+
+    // One seeded harness SIGKILL per episode, landing before a random op of a
+    // random pass — on top of whatever crash-points the daemon draws itself.
+    const std::int64_t totalOps =
+        static_cast<std::int64_t>(passes) * static_cast<std::int64_t>(loops.size());
+    const std::int64_t killAt =
+        static_cast<std::int64_t>(nextRand(master) % static_cast<std::uint64_t>(totalOps));
+    std::int64_t opIndex = 0;
+
+    for (int pass = 0; pass < passes; ++pass) {
+      for (std::size_t i = 0; i < loops.size(); ++i, ++opIndex) {
+        // The daemon may have died at an injected crash-point since the last
+        // op; classify and respawn before submitting so availability numbers
+        // blame the right party.
+        const DaemonExit e = pollDaemon(daemon);
+        if (e.exited) {
+          if (e.injectedCrash) ++injectedCrashes;
+          if (e.killed) ++harnessKills;
+          if (!respawn()) {
+            std::fprintf(stderr, "rapt-chaos: daemon unrespawnable (log: %s)\n",
+                         spec.logPath.c_str());
+            return 3;
+          }
+        } else if (opIndex == killAt) {
+          reapDaemon(daemon, SIGKILL);
+          ++harnessKills;
+          if (!respawn()) {
+            std::fprintf(stderr, "rapt-chaos: daemon unrespawnable (log: %s)\n",
+                         spec.logPath.c_str());
+            return 3;
+          }
+        }
+
+        ++opsAttempted;
+        ServiceReply reply;
+        std::string error;
+        if (!client.compile(loops[i], machine, options, reply, error)) {
+          // The policy exhausted — usually the daemon crash-looping faster
+          // than the client's deadline. An availability event, never a
+          // correctness one: nothing was acknowledged.
+          ++availabilityFailures;
+          continue;
+        }
+        if (reply.result.failureClass == FailureClass::Overload) {
+          ++overloads;  // shed at the door; the row is honest, not wrong
+          continue;
+        }
+        // Oracle 1 (corruption): every acknowledged reply — cold, cached,
+        // journal-replayed after a kill, recompiled past a quarantined
+        // record — must semantically equal this process's clean compile. A
+        // torn or bit-flipped journal row being TRUSTED would surface here.
+        if (semanticText(reply.resultText) != expected[i]) {
+          ++violations;
+          if (firstViolation.empty())
+            firstViolation = "loop " + loops[i].name + " episode " +
+                             std::to_string(episode) + " pass " +
+                             std::to_string(pass) +
+                             (reply.cacheHit ? " (cache hit)" : " (fresh)");
+          continue;
+        }
+        // Oracle 2 (bit-identity): within one daemon lifetime, a cache hit
+        // must replay the EXACT bytes of the first acknowledged answer.
+        // (Across restarts the journal may have legitimately degraded to
+        // in-memory under injected ENOSPC/EIO — then the recompile's fresh
+        // trace times reset the baseline, which firstAckedText tracks.)
+        if (reply.cacheHit && !firstAckedText[i].empty() &&
+            reply.resultText != firstAckedText[i]) {
+          ++violations;
+          if (firstViolation.empty())
+            firstViolation = "loop " + loops[i].name + " episode " +
+                             std::to_string(episode) + " pass " +
+                             std::to_string(pass) +
+                             " (cache hit bytes != first acked bytes)";
+          continue;
+        }
+        if (firstAckedText[i].empty()) firstAckedText[i] = reply.resultText;
+        ++runs;
+      }
+    }
+
+    const ResilienceStats& rs = client.stats();
+    clientReconnects += rs.reconnects;
+    clientResubmits += rs.resubmits;
+    recoveryNs.insert(recoveryNs.end(), rs.recoveryNs.begin(), rs.recoveryNs.end());
+
+    // End of episode: sample the daemon's own injection counters (best
+    // effort; it may be about to die anyway), then stop it — gracefully or
+    // with SIGKILL, seeded — so the next episode exercises a warm restart
+    // from whatever the journal holds.
+    {
+      ServiceClient probe;
+      std::string error;
+      Json stats;
+      if (probe.connect(spec.socketPath, error) && probe.stats(stats, error))
+        lastServerStats = std::move(stats);
+    }
+    const bool graceful = (nextRand(master) & 1u) == 0;
+    const DaemonExit e = pollDaemon(daemon);
+    if (e.exited) {
+      if (e.injectedCrash) ++injectedCrashes;
+      if (e.killed) ++harnessKills;
+    } else {
+      reapDaemon(daemon, graceful ? SIGTERM : SIGKILL);
+      if (!graceful) ++harnessKills;
+    }
+    // Seeded journal rotation: without it every lifetime after the first
+    // replays a warm cache and never touches the journal-write crash-point
+    // site again. A wiped journal forces cold compiles -> fsync'd appends ->
+    // real torn-write opportunities, and the semantic oracle still holds
+    // (recompiles answer identically).
+    if (nextRand(master) % 3 == 0) {
+      ::unlink(spec.journalPath.c_str());
+      ++journalWipes;
+    }
+    if (episode + 1 < episodes && !respawn()) {
+      std::fprintf(stderr, "rapt-chaos: daemon unrespawnable (log: %s)\n",
+                   spec.logPath.c_str());
+      return 3;
+    }
+  }
+  {
+    const DaemonExit e = pollDaemon(daemon);
+    if (!e.exited) reapDaemon(daemon, SIGTERM);
+  }
+
+  const double availability =
+      opsAttempted == 0 ? 0.0
+                        : 100.0 * static_cast<double>(opsAttempted -
+                                                      availabilityFailures) /
+                              static_cast<double>(opsAttempted);
+
+  bench::BenchReport report("chaos");
+  report["seed"] = seed;
+  report["episodes"] = episodes;
+  report["passes"] = passes;
+  report["corpusLoops"] = static_cast<std::int64_t>(loops.size());
+  report["faultRatePercent"] = ratePercent;
+  report["crashRatePercent"] = crashPercent;
+  report["machine"] = bench::machineJson(machine);
+  Json c = Json::object();
+  c["label"] = "campaign";
+  c["runs"] = runs;
+  c["opsAttempted"] = opsAttempted;
+  c["violations"] = violations;
+  c["availabilityFailures"] = availabilityFailures;
+  c["availabilityPercent"] = availability;
+  c["overloadRejections"] = overloads;
+  Json crashes = Json::object();
+  crashes["injectedCrashPoints"] = injectedCrashes;
+  crashes["harnessKills"] = harnessKills;
+  crashes["respawns"] = respawns;
+  crashes["journalWipes"] = journalWipes;
+  c["crashes"] = std::move(crashes);
+  Json healing = Json::object();
+  healing["reconnects"] = clientReconnects;
+  healing["resubmits"] = clientResubmits;
+  healing["recoveryNs"] = latencySummaryNs(recoveryNs);
+  c["selfHealing"] = std::move(healing);
+  if (!lastServerStats.isNull()) c["server"] = std::move(lastServerStats);
+  report.addCase(std::move(c));
+  (void)report.write();
+
+  std::printf("rapt-chaos: %lld verified runs / %lld attempted (%.1f%% "
+              "available), %lld injected crash-points, %lld kills, %lld "
+              "respawns, %lld reconnects\n",
+              static_cast<long long>(runs), static_cast<long long>(opsAttempted),
+              availability, static_cast<long long>(injectedCrashes),
+              static_cast<long long>(harnessKills),
+              static_cast<long long>(respawns),
+              static_cast<long long>(clientReconnects));
+
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "rapt-chaos: FAIL: %lld acknowledged replies were not "
+                 "bit-identical (first: %s)\n",
+                 static_cast<long long>(violations), firstViolation.c_str());
+    return 1;
+  }
+  if (runs < minRuns) {
+    std::fprintf(stderr,
+                 "rapt-chaos: FAIL: only %lld verified runs, floor is %lld\n",
+                 static_cast<long long>(runs), static_cast<long long>(minRuns));
+    return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,10 @@ struct WorkerTally {
   std::int64_t compileFailures = 0;  ///< ok == false, excluding overloads
   std::int64_t mismatches = 0;       ///< cache hit bytes != pass-1 bytes
   std::int64_t transportErrors = 0;
+  // --self-heal only: what the healing cost this connection.
+  std::int64_t reconnects = 0;
+  std::int64_t resubmits = 0;
+  std::vector<std::int64_t> recoveryNs;
   std::string firstError;
 };
 
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
   std::int64_t minHitRate = 0;
   std::int64_t requestTimeoutMs = 300'000;
   bool noSimulate = false;
+  bool selfHeal = false;
+  std::int64_t healSeed = 1;
 
   ArgParser args("rapt-loadgen",
                  "corpus replay load generator for rapt-served (docs/service.md)");
@@ -70,6 +76,11 @@ int main(int argc, char** argv) {
   args.addInt64("request-timeout-ms", &requestTimeoutMs, "per-request timeout");
   args.addFlag("no-simulate", &noSimulate,
                "skip simulation/validation in the submitted jobs (faster smoke)");
+  args.addFlag("self-heal", &selfHeal,
+               "survive daemon restarts: reconnect with seeded backoff and "
+               "re-submit instead of abandoning the shard (docs/service.md "
+               "\"Self-healing clients\")");
+  args.addInt64("heal-seed", &healSeed, "backoff jitter seed for --self-heal");
   if (!args.parse(argc, argv)) return args.helpRequested() ? 0 : 2;
   if (socketPath.empty()) {
     std::fprintf(stderr, "rapt-loadgen: --socket is required\n");
@@ -120,8 +131,15 @@ int main(int argc, char** argv) {
       threads.emplace_back([&, t] {
         WorkerTally& tally = tallies[static_cast<std::size_t>(t)];
         ServiceClient client;
+        RetryPolicy policy;
+        // Distinct per-connection jitter streams from one seed: the whole
+        // fleet's healing behaviour replays from --heal-seed alone.
+        policy.seed = static_cast<std::uint64_t>(healSeed) * 1'000'003ULL +
+                      static_cast<std::uint64_t>(t) + 1;
+        policy.requestTimeoutMs = static_cast<int>(requestTimeoutMs);
+        ResilientClient healer(socketPath, policy);
         std::string error;
-        if (!client.connect(socketPath, error)) {
+        if (!selfHeal && !client.connect(socketPath, error)) {
           ++tally.transportErrors;
           tally.firstError = error;
           return;
@@ -131,11 +149,19 @@ int main(int argc, char** argv) {
              i += static_cast<std::size_t>(connections)) {
           ServiceReply reply;
           const std::int64_t startNs = nowNs();
-          if (!client.compile(loops[i], machine, options, reply, error,
-                              static_cast<int>(requestTimeoutMs))) {
+          const bool sent =
+              selfHeal
+                  ? healer.compile(loops[i], machine, options, reply, error)
+                  : client.compile(loops[i], machine, options, reply, error,
+                                   static_cast<int>(requestTimeoutMs));
+          if (!sent) {
             ++tally.transportErrors;
             if (tally.firstError.empty()) tally.firstError = error;
-            return;  // the connection is closed; this shard is lost
+            // Unhealed, the closed connection loses the whole shard; healed,
+            // only this op is lost (the policy was exhausted) and the shard
+            // carries on against whatever daemon comes back.
+            if (!selfHeal) return;
+            continue;
           }
           tally.latencyNs.push_back(nowNs() - startNs);
           ++tally.requests;
@@ -155,6 +181,12 @@ int main(int argc, char** argv) {
               tally.firstError = "cached bytes differ for loop " + loops[i].name;
           }
         }
+        if (selfHeal) {
+          const ResilienceStats& rs = healer.stats();
+          tally.reconnects = rs.reconnects;
+          tally.resubmits = rs.resubmits;
+          tally.recoveryNs = rs.recoveryNs;
+        }
       });
     }
     for (std::thread& t : threads) t.join();
@@ -168,8 +200,12 @@ int main(int argc, char** argv) {
       sum.compileFailures += t.compileFailures;
       sum.mismatches += t.mismatches;
       sum.transportErrors += t.transportErrors;
+      sum.reconnects += t.reconnects;
+      sum.resubmits += t.resubmits;
       sum.latencyNs.insert(sum.latencyNs.end(), t.latencyNs.begin(),
                            t.latencyNs.end());
+      sum.recoveryNs.insert(sum.recoveryNs.end(), t.recoveryNs.begin(),
+                            t.recoveryNs.end());
       if (sum.firstError.empty()) sum.firstError = t.firstError;
     }
     if (pass == 1) baselineText = passText;
@@ -207,6 +243,25 @@ int main(int argc, char** argv) {
                       : latSum / static_cast<std::int64_t>(sum.latencyNs.size());
     lat["max"] = latMax;
     c["latencyNs"] = std::move(lat);
+    if (selfHeal) {
+      // Availability under churn: how often the healed shard actually got an
+      // answer, and what each healed outage cost in client-observed latency.
+      Json heal = Json::object();
+      const std::int64_t attempted = sum.requests + sum.transportErrors;
+      heal["availabilityPercent"] =
+          attempted == 0 ? 0.0
+                         : 100.0 * static_cast<double>(sum.requests) /
+                               static_cast<double>(attempted);
+      heal["reconnects"] = sum.reconnects;
+      heal["resubmits"] = sum.resubmits;
+      Json rec = Json::object();
+      rec["count"] = static_cast<std::int64_t>(sum.recoveryNs.size());
+      rec["p50"] = percentile(sum.recoveryNs, 50.0);
+      rec["p95"] = percentile(sum.recoveryNs, 95.0);
+      rec["p99"] = percentile(sum.recoveryNs, 99.0);
+      heal["recoveryNs"] = std::move(rec);
+      c["selfHealing"] = std::move(heal);
+    }
     c["wallNs"] = wallNs;
     c["requestsPerSecond"] =
         wallNs == 0 ? 0.0

@@ -17,6 +17,7 @@
 #include "BenchCommon.h"
 #include "service/Server.h"
 #include "support/ArgParser.h"
+#include "support/ChaosIo.h"
 #include "support/Interrupt.h"
 
 using namespace rapt;
@@ -78,6 +79,15 @@ int main(int argc, char** argv) {
               so.cacheJournalPath.empty()
                   ? ""
                   : (", journal " + so.cacheJournalPath).c_str());
+  // An operator reading the log must know this run's I/O cannot be trusted:
+  // a chaos campaign (RAPT_CHAOS, docs/robustness.md) armed the injector.
+  if (const ChaosIo* chaos = ChaosIo::active()) {
+    const ChaosIoConfig& cc = chaos->config();
+    std::printf("rapt-served: CHAOS ARMED (seed=%llu rate=%d%% crash=%d%%) — "
+                "injected I/O faults ahead\n",
+                static_cast<unsigned long long>(cc.seed), cc.faultRatePercent,
+                cc.crashRatePercent);
+  }
   std::fflush(stdout);
 
   // Park until a signal (or an acceptor death) ends the run; the wake pipe
