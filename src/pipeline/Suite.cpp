@@ -176,18 +176,59 @@ LoopResult compileLoopInSubprocess(const Loop& loop, const MachineDesc& machine,
   }
 }
 
+SuiteReducer::SuiteReducer(const MachineDesc& machine, bool keepRows)
+    : machine_(machine), keepRows_(keepRows) {}
+
+void SuiteReducer::add(LoopResult row) {
+  ++rowsAdded_;
+  if (row.ok) {
+    idealIpc_.push_back(row.idealIpc());
+    clusteredIpc_.push_back(row.clusteredIpc(machine_));
+    normalized_.push_back(row.normalizedSize());
+    out_.histogram.add(row.degradationPercent());
+    out_.totalBodyCopies += row.bodyCopies;
+    if (row.validated) ++out_.validatedCount;
+    if (row.certified) ++out_.certifiedCount;
+  } else {
+    ++out_.failures;
+  }
+  ++out_.failuresByClass[static_cast<std::size_t>(row.failureClass)];
+  out_.trace += row.trace;
+  if (keepRows_) out_.loops.push_back(std::move(row));
+}
+
+SuiteResult SuiteReducer::finish() {
+  if (!normalized_.empty()) {
+    out_.meanIdealIpc = arithmeticMean(idealIpc_);
+    out_.meanClusteredIpc = arithmeticMean(clusteredIpc_);
+    out_.arithMeanNormalized = arithmeticMean(normalized_);
+    out_.harmMeanNormalized = harmonicMean(normalized_);
+  }
+  return std::move(out_);
+}
+
 SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
                      const PipelineOptions& options) {
+  StreamingCorpus streaming;
+  streaming.count = static_cast<int>(corpus.size());
+  streaming.materialize = [corpus](int i) {
+    return corpus[static_cast<std::size_t>(i)];
+  };
+  return runSuiteStreamed(streaming, machine, options);
+}
+
+SuiteResult runSuiteStreamed(const StreamingCorpus& corpus,
+                             const MachineDesc& machine,
+                             const PipelineOptions& options) {
   StageTimer wall;
-  SuiteResult out;
-  const int n = static_cast<int>(corpus.size());
-  out.loops.resize(corpus.size());
-  out.plannedLoops = n;
-  out.isolationUsed = options.isolation;
+  const int n = corpus.count;
+  std::vector<LoopResult> rows(static_cast<std::size_t>(n));
+  int resumedRows = 0;
+  int quarantinedRows = 0;
 
   // done[i] is written by exactly one pool worker (or the resume pass below)
   // and read only after parallelFor joins, so plain bytes suffice.
-  std::vector<unsigned char> done(corpus.size(), 0);
+  std::vector<unsigned char> done(static_cast<std::size_t>(n), 0);
 
   // ---- journal: resume, then open for appending ----
   JournalWriter journal;
@@ -215,19 +256,19 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
           if (i < 0 || i >= n || done[static_cast<std::size_t>(i)] != 0) continue;
           // The row must describe THIS corpus entry, not a stale one.
           if (loopHash->asString() !=
-              hashToHex(loopTextHash(corpus[static_cast<std::size_t>(i)])))
+              hashToHex(loopTextHash(corpus.materialize(static_cast<int>(i)))))
             continue;
           LoopResult r;
           std::string error;
           if (!decodeLoopResult(*result, r, error)) continue;
-          out.loops[static_cast<std::size_t>(i)] = std::move(r);
+          rows[static_cast<std::size_t>(i)] = std::move(r);
           done[static_cast<std::size_t>(i)] = 1;
-          ++out.resumedRows;
+          ++resumedRows;
         }
         resumed = true;
         // Damaged lines were quarantined by the loader; the rows they held
         // stay un-done and recompile below — reported here, never trusted.
-        out.quarantinedRows = prior.quarantinedLines + prior.tornTailLines;
+        quarantinedRows = prior.quarantinedLines + prior.tornTailLines;
       }
     }
     if (resumed) {
@@ -245,7 +286,6 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
   // ---- compile phase: loops land in their own slots, any completion order.
   int threads = options.threads == 0 ? ThreadPool::hardwareThreads() : options.threads;
   threads = std::clamp(threads, 1, std::max(1, n));
-  out.threadsUsed = threads;
   std::atomic<int> spawnRetries{0};
   parallelFor(n, threads, [&](int i) {
     const auto slotIndex = static_cast<std::size_t>(i);
@@ -253,8 +293,8 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
     // Interrupt wind-down: rows already in flight finish; everything not yet
     // started stays un-done and is dropped (never fabricated) below.
     if (interruptRequested()) return;
-    const Loop& loop = corpus[slotIndex];
-    LoopResult& slot = out.loops[slotIndex];
+    const Loop loop = corpus.materialize(i);
+    LoopResult& slot = rows[slotIndex];
     if (options.isolation == SuiteIsolation::Subprocess) {
       bool retried = false;
       slot = compileLoopInSubprocess(loop, machine, options, &retried);
@@ -290,44 +330,28 @@ SuiteResult runSuite(std::span<const Loop> corpus, const MachineDesc& machine,
       journal.append(row);  // fsync'd: durable before the suite moves on
     }
   });
-  out.spawnRetries = spawnRetries.load();
   journal.close();
 
-  // An interrupted run keeps only completed rows, still in corpus order.
-  if (std::find(done.begin(), done.end(), 0) != done.end()) {
-    out.interrupted = true;
-    std::vector<LoopResult> kept;
-    kept.reserve(out.loops.size());
-    for (std::size_t i = 0; i < out.loops.size(); ++i)
-      if (done[i] != 0) kept.push_back(std::move(out.loops[i]));
-    out.loops = std::move(kept);
+  // Reduction phase: serial, in corpus order, over the completed rows — the
+  // one place failures/validatedCount/aggregates are touched, so they cannot
+  // race and cannot depend on thread scheduling. An interrupted run reduces
+  // (and keeps) only the rows that finished, still in corpus order.
+  SuiteReducer reducer(machine);
+  bool interrupted = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (done[i] != 0)
+      reducer.add(std::move(rows[i]));
+    else
+      interrupted = true;
   }
-
-  // Reduction phase: serial, in corpus order, over the completed vector.
-  // This is the only place failures/validatedCount/aggregates are touched, so
-  // they cannot race and cannot depend on thread scheduling.
-  std::vector<double> idealIpc, clusteredIpc, normalized;
-  for (const LoopResult& r : out.loops) {
-    if (r.ok) {
-      idealIpc.push_back(r.idealIpc());
-      clusteredIpc.push_back(r.clusteredIpc(machine));
-      normalized.push_back(r.normalizedSize());
-      out.histogram.add(r.degradationPercent());
-      out.totalBodyCopies += r.bodyCopies;
-      if (r.validated) ++out.validatedCount;
-      if (r.certified) ++out.certifiedCount;
-    } else {
-      ++out.failures;
-    }
-    ++out.failuresByClass[static_cast<std::size_t>(r.failureClass)];
-    out.trace += r.trace;
-  }
-  if (!normalized.empty()) {
-    out.meanIdealIpc = arithmeticMean(idealIpc);
-    out.meanClusteredIpc = arithmeticMean(clusteredIpc);
-    out.arithMeanNormalized = arithmeticMean(normalized);
-    out.harmMeanNormalized = harmonicMean(normalized);
-  }
+  SuiteResult out = reducer.finish();
+  out.plannedLoops = n;
+  out.isolationUsed = options.isolation;
+  out.interrupted = interrupted;
+  out.resumedRows = resumedRows;
+  out.quarantinedRows = quarantinedRows;
+  out.spawnRetries = spawnRetries.load();
+  out.threadsUsed = threads;
   out.suiteWallNs = wall.elapsedNs();
   return out;
 }

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -62,12 +63,59 @@ struct SuiteResult {
   int quarantinedRows = 0;
 };
 
+/// Incremental form of runSuite's serial reduction, extracted so every
+/// consumer of journaled rows — runSuite itself, the shard-journal merge
+/// (src/shard), CorpusLoader's parse-failure fold — aggregates through ONE
+/// code path and therefore bit-identically. Rows MUST be fed in corpus
+/// order; the summation order of the mean vectors is part of the
+/// bit-identity contract. With `keepRows == false` the rows are dropped
+/// after folding (O(1) memory per row; the 100k+-manifest merge case) and
+/// finish().loops stays empty.
+class SuiteReducer {
+ public:
+  explicit SuiteReducer(const MachineDesc& machine, bool keepRows = true);
+
+  void add(LoopResult row);
+
+  /// The aggregates over everything added so far. Supervision and
+  /// observability fields (plannedLoops, threadsUsed, suiteWallNs, ...) are
+  /// the caller's to fill — the reducer only knows about rows. The reducer
+  /// is spent afterwards.
+  [[nodiscard]] SuiteResult finish();
+
+  [[nodiscard]] int rowsAdded() const { return rowsAdded_; }
+
+ private:
+  MachineDesc machine_;
+  bool keepRows_;
+  int rowsAdded_ = 0;
+  SuiteResult out_;
+  std::vector<double> idealIpc_, clusteredIpc_, normalized_;
+};
+
+/// A corpus that is never materialized: `count` rows, row i regenerated on
+/// demand by `materialize`, which must be a pure function of i
+/// (workload/CorpusManifest.h is the canonical source). This is the 100k+-
+/// loop streaming path of ROADMAP item 5 — no std::vector<Loop> ever holds
+/// the corpus.
+struct StreamingCorpus {
+  int count = 0;
+  std::function<Loop(int)> materialize;
+};
+
 /// Compiles every loop of `corpus` for `machine`. `options.threads` picks the
 /// worker count (0 = hardware concurrency, 1 = serial on the calling thread);
 /// the result is bit-identical for every value.
 [[nodiscard]] SuiteResult runSuite(std::span<const Loop> corpus,
                                    const MachineDesc& machine,
                                    const PipelineOptions& options = {});
+
+/// runSuite over a streaming corpus: identical semantics (journaling, resume,
+/// interrupt wind-down, bit-identical aggregation) without ever holding the
+/// loops. runSuite(span) is a thin wrapper over this.
+[[nodiscard]] SuiteResult runSuiteStreamed(const StreamingCorpus& corpus,
+                                           const MachineDesc& machine,
+                                           const PipelineOptions& options = {});
 
 /// One compileLoop in a supervised tools/rapt-worker child under the
 /// options' rlimits and watchdog (docs/robustness.md). Fatal outcomes come

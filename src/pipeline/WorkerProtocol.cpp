@@ -603,6 +603,24 @@ std::uint64_t suiteConfigHash(const MachineDesc& machine,
   return fnv1a(j.dumpCompact());
 }
 
+Json encodeMachineDesc(const MachineDesc& machine) {
+  return encodeMachine(machine);
+}
+
+bool decodeMachineDesc(const Json& doc, MachineDesc& machine,
+                       std::string& error) {
+  return decodeMachine(doc, machine, error);
+}
+
+Json encodePipelineOptions(const PipelineOptions& options) {
+  return encodeOptions(options);
+}
+
+bool decodePipelineOptions(const Json& doc, PipelineOptions& options,
+                           std::string& error) {
+  return decodeOptions(doc, options, error);
+}
+
 std::uint64_t loopTextHash(const Loop& loop) { return fnv1a(printLoop(loop)); }
 
 std::string hashToHex(std::uint64_t hash) {

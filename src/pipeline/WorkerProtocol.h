@@ -109,6 +109,22 @@ enum class ServiceRequestKind : std::uint8_t {
                                          std::int64_t& serviceNs,
                                          const Json*& payload, std::string& error);
 
+// ---- standalone machine/options codecs ----
+//
+// The exact sub-documents encodeWorkerJob embeds, exposed for protocols that
+// carry a machine + options WITHOUT a loop — a shard job names a manifest
+// range, not loop text (src/shard/ShardProtocol.h), yet must reproduce the
+// worker job's bit-exact option round-trip so suiteConfigHash agrees across
+// orchestrator, shard, and journal.
+
+[[nodiscard]] Json encodeMachineDesc(const MachineDesc& machine);
+[[nodiscard]] bool decodeMachineDesc(const Json& doc, MachineDesc& machine,
+                                     std::string& error);
+[[nodiscard]] Json encodePipelineOptions(const PipelineOptions& options);
+[[nodiscard]] bool decodePipelineOptions(const Json& doc,
+                                         PipelineOptions& options,
+                                         std::string& error);
+
 // ---- hashing (journal keys) ----
 
 /// FNV-1a over the machine and the result-relevant options — the journal

@@ -1,0 +1,783 @@
+#include "shard/Orchestrator.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "pipeline/WorkerProtocol.h"
+#include "shard/ShardProtocol.h"
+#include "support/Interrupt.h"
+#include "support/Journal.h"
+#include "support/Rng.h"
+#include "support/StageTimer.h"
+#include "support/Subprocess.h"
+#include "support/ThreadPool.h"
+
+namespace rapt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::int64_t steadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "<directory of this executable>", for shardBinary defaulting.
+std::string selfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return buf;
+}
+
+enum CancelReason : int {
+  kCancelNone = 0,
+  kCancelStraggler = 1,
+  kCancelHeartbeatTimeout = 2,
+  kCancelTorture = 3,
+};
+
+/// The monitor's view of one in-flight shard attempt. The owning worker
+/// thread registers it before spawning and deregisters after waitpid; the
+/// monitor thread only reads timestamps and flips `cancel`, so everything
+/// shared is atomic.
+struct RunningAttempt {
+  int attemptId = 0;
+  int shardId = 0;
+  std::int64_t startMs = 0;
+  std::atomic<std::int64_t> lastEventMs{0};
+  std::atomic<bool> cancel{false};
+  std::atomic<int> cancelReason{kCancelNone};
+};
+
+struct WorkItem {
+  int shardId = 0;
+  std::vector<int> indices;
+};
+
+/// Everything shared across worker threads during one campaign.
+struct Campaign {
+  const ShardOptions& opt;
+  CorpusManifest manifest;
+  std::string configHash;
+  std::string manifestHash;
+  std::string shardBinary;
+
+  std::atomic<int> attemptSeq{0};
+  std::atomic<int> shardSeq{0};
+  std::atomic<int> killBudget{0};
+
+  // live counters (merge-scan counters are filled from the final scan)
+  std::atomic<int> attemptsLaunched{0}, deaths{0}, retries{0}, splits{0},
+      poisonedRows{0}, stragglersCancelled{0}, heartbeatTimeouts{0},
+      killsInflicted{0}, spawnRetries{0};
+
+  // monitor registry + straggler statistics
+  std::mutex monitorMutex;
+  std::vector<std::shared_ptr<RunningAttempt>> running;
+  P2Quantile attemptP95{95.0};
+  int attemptSamples = 0;
+
+  // orchestrator-owned journal for poisoned rows
+  std::mutex poisonMutex;
+  JournalWriter poisonJournal;
+
+  std::mutex errorMutex;
+  std::string fatalError;  ///< protocol-grade failure: abort the campaign
+
+  explicit Campaign(const ShardOptions& o)
+      : opt(o), manifest(o.manifest) {}
+
+  void setFatal(const std::string& error) {
+    const std::lock_guard<std::mutex> lock(errorMutex);
+    if (fatalError.empty()) fatalError = error;
+  }
+  [[nodiscard]] bool fatal() {
+    const std::lock_guard<std::mutex> lock(errorMutex);
+    return !fatalError.empty();
+  }
+};
+
+void vlog(const Campaign& c, const char* fmt, ...) {
+  if (!c.opt.verbose) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "rapt-shard: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+}
+
+std::string poisonJournalPath(const Campaign& c) {
+  return c.opt.journalDir + "/poison.jsonl";
+}
+
+/// Appends one orchestrator-classified failure row for a row no shard can
+/// carry: quarantined, never dropped. Lazily opens poison.jsonl (appending
+/// to a valid pre-existing one on resume).
+bool journalPoisonRow(Campaign& c, int index, FailureClass cls,
+                      const std::string& error) {
+  const Loop loop = c.manifest.materialize(index);
+  LoopResult r;
+  r.loopName = loop.name;
+  r.numOps = loop.size();
+  r.ok = false;
+  r.failureClass = cls;
+  r.error = error;
+  r.partitionerUsed = c.opt.pipeline.partitioner;
+
+  const std::lock_guard<std::mutex> lock(c.poisonMutex);
+  if (!c.poisonJournal.isOpen()) {
+    const std::string path = poisonJournalPath(c);
+    bool appended = false;
+    if (c.opt.resume) {
+      const JournalContents prior = loadJournal(path);
+      const Json* hash = prior.valid ? prior.header.find("configHash") : nullptr;
+      if (hash != nullptr && hash->isString() &&
+          hash->asString() == c.configHash) {
+        appended = c.poisonJournal.openAppend(path);
+      }
+    }
+    if (!appended) {
+      Json header = Json::object();
+      header["configHash"] = c.configHash;
+      header["manifestHash"] = c.manifestHash;
+      header["shard"] = -1;  // the orchestrator itself
+      header["attempt"] = -1;
+      header["machine"] = c.opt.machine.name;
+      if (!c.poisonJournal.create(path, std::move(header))) return false;
+    }
+  }
+  return c.poisonJournal.append(encodeShardRow(index, loop, r));
+}
+
+// ---- the monitor thread ----------------------------------------------------
+
+class Monitor {
+ public:
+  explicit Monitor(Campaign& c) : c_(c), thread_([this] { loop(); }) {}
+  ~Monitor() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(100));
+      if (stop_) return;
+      sweep();
+    }
+  }
+
+  void sweep() {
+    const std::int64_t now = steadyNowMs();
+    const std::lock_guard<std::mutex> reg(c_.monitorMutex);
+    // Straggler deadline: p95 of completed attempt durations, once enough
+    // completions exist to make a percentile meaningful.
+    std::int64_t deadline = -1;
+    if (c_.attemptSamples >= c_.opt.stragglerMinSamples) {
+      deadline = std::max<std::int64_t>(
+          c_.opt.stragglerFloorMs,
+          static_cast<std::int64_t>(c_.opt.stragglerFactor *
+                                    c_.attemptP95.estimate()));
+    }
+    for (const auto& ra : c_.running) {
+      if (ra->cancel.load(std::memory_order_relaxed)) continue;
+      if (c_.opt.heartbeatTimeoutMs > 0 &&
+          now - ra->lastEventMs.load(std::memory_order_relaxed) >
+              c_.opt.heartbeatTimeoutMs) {
+        ra->cancelReason.store(kCancelHeartbeatTimeout);
+        ra->cancel.store(true);
+        continue;
+      }
+      if (deadline > 0 && now - ra->startMs > deadline) {
+        ra->cancelReason.store(kCancelStraggler);
+        ra->cancel.store(true);
+      }
+    }
+  }
+
+  Campaign& c_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// ---- one shard attempt -----------------------------------------------------
+
+struct AttemptOutcome {
+  SubprocessResult sub;
+  bool ended = false;      ///< the worker printed its "end" event
+  int cancelReason = kCancelNone;
+  std::int64_t wallMs = 0;
+};
+
+AttemptOutcome runAttempt(Campaign& c, const WorkItem& item, int attemptId,
+                          const std::string& journalPath, int killAtRow) {
+  ShardJob job;
+  job.shardId = item.shardId;
+  job.attempt = attemptId;
+  job.manifest = c.opt.manifest;
+  job.indices = item.indices;
+  job.journalPath = journalPath;
+  job.machine = c.opt.machine;
+  job.options = c.opt.pipeline;
+
+  auto ra = std::make_shared<RunningAttempt>();
+  ra->attemptId = attemptId;
+  ra->shardId = item.shardId;
+  ra->startMs = steadyNowMs();
+  ra->lastEventMs.store(ra->startMs);
+  {
+    const std::lock_guard<std::mutex> lock(c.monitorMutex);
+    c.running.push_back(ra);
+  }
+
+  AttemptOutcome out;
+  bool killFired = false;
+  SubprocessSpec spec;
+  spec.argv = {c.shardBinary, "--worker"};
+  spec.stdinData = encodeShardJob(job).dumpCompact() + "\n";
+  spec.maxStdoutBytes = 64 * 1024 * 1024;  // heartbeats; ~60B per row
+  spec.cancel = &ra->cancel;
+  if (!c.opt.chaosSpec.empty())
+    spec.extraEnv.push_back("RAPT_CHAOS=" + c.opt.chaosSpec);
+  spec.onStdoutLine = [&](const std::string& line) {
+    Json doc;
+    std::string error;
+    ShardEvent ev;
+    if (!Json::parse(line, doc, error) || !decodeShardEvent(doc, ev, error))
+      return;  // garbage on the pipe is ignorable; the journal is the truth
+    ra->lastEventMs.store(steadyNowMs(), std::memory_order_relaxed);
+    if (ev.kind == ShardEvent::Kind::End) out.ended = true;
+    // Torture: SIGKILL the healthy worker once it has journaled killAtRow
+    // rows — mid-campaign, mid-shard, with the next row possibly mid-append.
+    if (killAtRow >= 0 && !killFired && ev.rowsDone >= killAtRow) {
+      killFired = true;
+      ra->cancelReason.store(kCancelTorture);
+      ra->cancel.store(true);
+      c.killsInflicted.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  out.sub = runSubprocess(spec);
+  out.wallMs = steadyNowMs() - ra->startMs;
+  out.cancelReason = ra->cancelReason.load();
+  {
+    const std::lock_guard<std::mutex> lock(c.monitorMutex);
+    c.running.erase(std::find(c.running.begin(), c.running.end(), ra));
+    if (out.ended && out.sub.exitedCleanly()) {
+      c.attemptP95.add(static_cast<double>(out.wallMs));
+      ++c.attemptSamples;
+    }
+  }
+  return out;
+}
+
+// ---- shard lifecycle: retry, split, poison ---------------------------------
+
+void processItem(Campaign& c, WorkItem item) {
+  int deaths = 0;
+  int lastDeathReason = kCancelNone;  // kCancelNone = crash-grade death
+  for (int attempt = 0; attempt < c.opt.maxAttemptsPerItem; ++attempt) {
+    if (interruptRequested() || c.fatal()) return;
+
+    const int attemptId = c.attemptSeq.fetch_add(1);
+    c.attemptsLaunched.fetch_add(1, std::memory_order_relaxed);
+
+    // Seeded torture plan for this attempt: with budget remaining, kill this
+    // worker after it journals a row in the first half of its range.
+    int killAtRow = -1;
+    SplitMix64 rng(c.opt.tortureSeed ^
+                   (0x9e3779b97f4a7c15ull *
+                    static_cast<std::uint64_t>(attemptId + 1)));
+    if (c.opt.tortureKills > 0 && rng.chancePercent(75)) {
+      if (c.killBudget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        killAtRow = static_cast<int>(
+            rng.range(1, std::max<std::int64_t>(
+                             1, static_cast<std::int64_t>(item.indices.size()) / 2)));
+      } else {
+        c.killBudget.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    const std::string journalPath =
+        c.opt.journalDir + "/attempt_" + std::to_string(attemptId) + ".jsonl";
+    const AttemptOutcome out =
+        runAttempt(c, item, attemptId, journalPath, killAtRow);
+
+    if (out.ended && out.sub.exitedCleanly()) {
+      vlog(c, "shard %d done (attempt %d, %d rows, %lldms)", item.shardId,
+           attemptId, static_cast<int>(item.indices.size()),
+           static_cast<long long>(out.wallMs));
+      return;
+    }
+
+    // Classify the death and decide whether it was transient (retry at the
+    // same granularity) or crash-grade (count toward the split threshold).
+    c.retries.fetch_add(1, std::memory_order_relaxed);
+    if (out.sub.cancelled && out.cancelReason == kCancelTorture) {
+      vlog(c, "shard %d attempt %d: torture kill after row %d", item.shardId,
+           attemptId, killAtRow);
+      // Transient by construction — the next attempt is not killed unless
+      // the seeded schedule says so.
+    } else if (out.sub.cancelled && out.cancelReason == kCancelStraggler) {
+      c.stragglersCancelled.fetch_add(1, std::memory_order_relaxed);
+      vlog(c, "shard %d attempt %d: straggler cancelled after %lldms",
+           item.shardId, attemptId, static_cast<long long>(out.wallMs));
+      // Transient: re-dispatch; its journaled rows still count (first-wins).
+    } else if (out.sub.spawnFailed) {
+      c.spawnRetries.fetch_add(1, std::memory_order_relaxed);
+    } else if (out.sub.cancelled &&
+               out.cancelReason == kCancelHeartbeatTimeout) {
+      c.heartbeatTimeouts.fetch_add(1, std::memory_order_relaxed);
+      c.deaths.fetch_add(1, std::memory_order_relaxed);
+      ++deaths;
+      lastDeathReason = kCancelHeartbeatTimeout;
+      vlog(c, "shard %d attempt %d: heartbeat timeout", item.shardId, attemptId);
+    } else if (out.sub.exitCode == kShardBadJobExit) {
+      // Deterministic refusal: a protocol bug, not a flaky shard. Retrying
+      // cannot help and splitting would only multiply the refusals.
+      c.setFatal("shard worker rejected the job (exit 3): " + out.sub.err);
+      return;
+    } else {
+      c.deaths.fetch_add(1, std::memory_order_relaxed);
+      ++deaths;
+      lastDeathReason = kCancelNone;
+      vlog(c, "shard %d attempt %d died (signal %d, exit %d)", item.shardId,
+           attemptId, out.sub.signal, out.sub.exitCode);
+    }
+
+    if (deaths >= c.opt.maxDeaths || attempt + 1 >= c.opt.maxAttemptsPerItem) {
+      if (item.indices.size() > 1) {
+        // Crash loop: split the range so the poisoned row (if any) ends up
+        // alone and the healthy rows stop dying with it.
+        c.splits.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t half = item.indices.size() / 2;
+        WorkItem lo, hi;
+        lo.shardId = c.shardSeq.fetch_add(1);
+        hi.shardId = c.shardSeq.fetch_add(1);
+        lo.indices.assign(item.indices.begin(),
+                          item.indices.begin() + static_cast<std::ptrdiff_t>(half));
+        hi.indices.assign(item.indices.begin() + static_cast<std::ptrdiff_t>(half),
+                          item.indices.end());
+        vlog(c, "shard %d: crash loop, splitting %zu rows into %d+%d",
+             item.shardId, item.indices.size(), lo.shardId, hi.shardId);
+        processItem(c, std::move(lo));
+        processItem(c, std::move(hi));
+        return;
+      }
+      // One row that keeps killing workers: quarantine and classify it.
+      const int index = item.indices.front();
+      const FailureClass cls = lastDeathReason == kCancelHeartbeatTimeout
+                                   ? FailureClass::HardTimeout
+                                   : FailureClass::Crash;
+      const std::string why =
+          lastDeathReason == kCancelHeartbeatTimeout
+              ? "poisoned loop: shard worker hung past the heartbeat "
+                "timeout on every attempt"
+              : "poisoned loop: shard worker died on every attempt";
+      if (journalPoisonRow(c, index, cls, why)) {
+        c.poisonedRows.fetch_add(1, std::memory_order_relaxed);
+        vlog(c, "row %d poisoned (%s)", index, failureClassName(cls));
+      } else {
+        c.setFatal("cannot journal poisoned row " + std::to_string(index));
+      }
+      return;
+    }
+
+    // Seeded exponential backoff before the retry; jittered so a herd of
+    // dying shards does not re-dispatch in lockstep.
+    const std::int64_t base = c.opt.retryBackoffBaseMs
+                              << std::min(attempt, 6);
+    SplitMix64 backoff(c.opt.retrySeed ^
+                       (0x9e3779b97f4a7c15ull *
+                        static_cast<std::uint64_t>(attemptId + 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        base + backoff.range(0, std::max<std::int64_t>(1, base / 2))));
+  }
+}
+
+// ---- journal scan + merge --------------------------------------------------
+
+struct MergeScan {
+  std::vector<unsigned char> have;
+  std::vector<LoopResult> rows;
+  int duplicateRowsDropped = 0;
+  int quarantinedLines = 0;
+  int tornTailLines = 0;
+  int mismatchedRowsDropped = 0;
+  int headerMismatchedFiles = 0;
+};
+
+/// Scans every journal in journalDir, validating headers and per-row loop
+/// hashes, deduplicating first-wins in (file name, append order). Trust is
+/// earned line by line: a damaged header forfeits the file, a damaged line
+/// is quarantined by the loader, a hash-mismatched row is dropped — all of
+/// them surface as missing rows that get re-dispatched, never as silent
+/// corruption in the aggregate.
+MergeScan scanJournals(const Campaign& c) {
+  MergeScan m;
+  const int n = c.manifest.size();
+  m.have.assign(static_cast<std::size_t>(n), 0);
+  m.rows.resize(static_cast<std::size_t>(n));
+
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::directory_iterator it(c.opt.journalDir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() == ".jsonl") files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+
+  // Lazily computed per-index loop hashes: a scan touches each index once.
+  std::vector<std::string> expectedHash(static_cast<std::size_t>(n));
+
+  for (const fs::path& file : files) {
+    const JournalContents jc = loadJournal(file.string());
+    if (!jc.valid) {
+      ++m.headerMismatchedFiles;
+      continue;
+    }
+    const Json* config = jc.header.find("configHash");
+    const Json* manifest = jc.header.find("manifestHash");
+    if (config == nullptr || !config->isString() ||
+        config->asString() != c.configHash || manifest == nullptr ||
+        !manifest->isString() || manifest->asString() != c.manifestHash) {
+      ++m.headerMismatchedFiles;
+      continue;
+    }
+    m.quarantinedLines += jc.quarantinedLines;
+    m.tornTailLines += jc.tornTailLines;
+
+    for (const Json& row : jc.rows) {
+      const Json* kind = row.find("kind");
+      const Json* index = row.find("index");
+      const Json* loopHash = row.find("loopHash");
+      const Json* result = row.find("result");
+      if (kind == nullptr || !kind->isString() || kind->asString() != "row" ||
+          index == nullptr || !index->isInt() || loopHash == nullptr ||
+          !loopHash->isString() || result == nullptr || !result->isObject())
+        continue;
+      const std::int64_t i = index->asInt();
+      if (i < 0 || i >= n) continue;
+      const auto slot = static_cast<std::size_t>(i);
+      // Hash validation BEFORE dedup: a drifted row must always surface as
+      // mismatched, not hide behind a later attempt's valid duplicate.
+      if (expectedHash[slot].empty()) {
+        expectedHash[slot] = hashToHex(
+            loopTextHash(c.manifest.materialize(static_cast<int>(i))));
+      }
+      if (loopHash->asString() != expectedHash[slot]) {
+        ++m.mismatchedRowsDropped;
+        continue;
+      }
+      if (m.have[slot] != 0) {
+        ++m.duplicateRowsDropped;
+        continue;
+      }
+      LoopResult r;
+      std::string error;
+      if (!decodeLoopResult(*result, r, error)) {
+        ++m.mismatchedRowsDropped;
+        continue;
+      }
+      m.rows[slot] = std::move(r);
+      m.have[slot] = 1;
+    }
+  }
+  return m;
+}
+
+std::vector<int> missingIndices(const MergeScan& m) {
+  std::vector<int> missing;
+  for (std::size_t i = 0; i < m.have.size(); ++i)
+    if (m.have[i] == 0) missing.push_back(static_cast<int>(i));
+  return missing;
+}
+
+/// Chunks `missing` into at most opt.shards contiguous work items.
+std::vector<WorkItem> planShards(Campaign& c, const std::vector<int>& missing) {
+  std::vector<WorkItem> items;
+  const int shards = std::max(1, c.opt.shards);
+  const std::size_t per =
+      (missing.size() + static_cast<std::size_t>(shards) - 1) /
+      static_cast<std::size_t>(shards);
+  for (std::size_t at = 0; at < missing.size(); at += per) {
+    WorkItem item;
+    item.shardId = c.shardSeq.fetch_add(1);
+    const std::size_t end = std::min(missing.size(), at + per);
+    item.indices.assign(missing.begin() + static_cast<std::ptrdiff_t>(at),
+                        missing.begin() + static_cast<std::ptrdiff_t>(end));
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace
+
+ShardReport runShardedSuite(const ShardOptions& opt) {
+  StageTimer wall;
+  ShardReport report;
+  Campaign c(opt);
+
+  if (opt.journalDir.empty()) {
+    report.error = "ShardOptions::journalDir is required";
+    return report;
+  }
+  c.configHash = hashToHex(suiteConfigHash(opt.machine, opt.pipeline));
+  c.manifestHash = c.manifest.hashHex();
+  c.shardBinary = opt.shardBinary.empty() ? selfExePath() : opt.shardBinary;
+  c.killBudget.store(opt.tortureKills);
+  if (c.shardBinary.empty()) {
+    report.error = "cannot resolve the shard worker binary";
+    return report;
+  }
+
+  std::error_code ec;
+  fs::create_directories(opt.journalDir, ec);
+  if (ec) {
+    report.error = "cannot create journal dir: " + ec.message();
+    return report;
+  }
+  if (!opt.resume) {
+    // A fresh campaign owns its directory: stale journals from another run
+    // would either fail the header check (noise) or — same config — leak
+    // rows into this run's aggregate as false resumes.
+    for (fs::directory_iterator it(opt.journalDir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->path().extension() == ".jsonl") fs::remove(it->path(), ec);
+    }
+  }
+
+  MergeScan scan = scanJournals(c);
+  const int resumedRows =
+      static_cast<int>(std::count(scan.have.begin(), scan.have.end(), 1));
+
+  int rounds = 0;
+  for (;;) {
+    std::vector<int> missing = missingIndices(scan);
+    if (missing.empty()) break;
+    if (interruptRequested()) {
+      report.error = "interrupted; journals kept, rerun with resume";
+      return report;
+    }
+    if (c.fatal()) {
+      report.error = c.fatalError;
+      return report;
+    }
+    if (rounds >= opt.maxRounds) {
+      report.error = std::to_string(missing.size()) +
+                     " rows still missing after " + std::to_string(rounds) +
+                     " dispatch rounds";
+      return report;
+    }
+    ++rounds;
+    vlog(c, "round %d: %zu rows to dispatch", rounds, missing.size());
+
+    std::vector<WorkItem> items = planShards(c, missing);
+    const int hw = ThreadPool::hardwareThreads();
+    const int threads = std::clamp(
+        opt.concurrency == 0 ? hw : opt.concurrency, 1,
+        std::max(1, static_cast<int>(items.size())));
+    {
+      Monitor monitor(c);
+      parallelFor(static_cast<int>(items.size()), threads,
+                  [&](int k) { processItem(c, std::move(items[static_cast<std::size_t>(k)])); });
+    }
+    scan = scanJournals(c);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(c.poisonMutex);
+    c.poisonJournal.close();
+  }
+  if (c.fatal()) {
+    report.error = c.fatalError;
+    return report;
+  }
+
+  // ---- final reduce: index order, one code path (SuiteReducer) ----
+  SuiteReducer reducer(opt.machine, /*keepRows=*/false);
+  report.strata.resize(static_cast<std::size_t>(CorpusManifest::numStrata()));
+  for (int s = 0; s < CorpusManifest::numStrata(); ++s)
+    report.strata[static_cast<std::size_t>(s)].name =
+        CorpusManifest::stratum(s).name;
+  std::vector<double> stratumDegradationSum(report.strata.size(), 0.0);
+  std::vector<int> stratumOkRows(report.strata.size(), 0);
+
+  report.aggregateRowsHash = semanticRowsHash(scan.rows);
+  report.aggregateRowsHashHex = hashToHex(report.aggregateRowsHash);
+  for (std::size_t i = 0; i < scan.rows.size(); ++i) {
+    const LoopResult& r = scan.rows[i];
+    const auto s = static_cast<std::size_t>(
+        c.manifest.stratumOf(static_cast<int>(i)));
+    StratumReport& st = report.strata[s];
+    ++st.rows;
+    st.latency.add(r.trace.totalNs);
+    report.latency.add(r.trace.totalNs);
+    if (r.ok) {
+      stratumDegradationSum[s] += r.degradationPercent();
+      ++stratumOkRows[s];
+    } else {
+      ++st.failures;
+    }
+    reducer.add(std::move(scan.rows[i]));
+  }
+  for (std::size_t s = 0; s < report.strata.size(); ++s) {
+    if (stratumOkRows[s] > 0)
+      report.strata[s].meanDegradation =
+          stratumDegradationSum[s] / stratumOkRows[s];
+  }
+
+  report.aggregate = reducer.finish();
+  report.aggregate.plannedLoops = c.manifest.size();
+  report.aggregate.isolationUsed = SuiteIsolation::Subprocess;
+  report.aggregate.threadsUsed =
+      opt.concurrency == 0 ? ThreadPool::hardwareThreads() : opt.concurrency;
+  report.aggregate.resumedRows = resumedRows;
+  report.aggregate.quarantinedRows =
+      scan.quarantinedLines + scan.tornTailLines;
+  report.aggregate.spawnRetries = c.spawnRetries.load();
+
+  report.counters.rounds = rounds;
+  report.counters.attemptsLaunched = c.attemptsLaunched.load();
+  report.counters.deaths = c.deaths.load();
+  report.counters.retries = c.retries.load();
+  report.counters.splits = c.splits.load();
+  report.counters.poisonedRows = c.poisonedRows.load();
+  report.counters.stragglersCancelled = c.stragglersCancelled.load();
+  report.counters.heartbeatTimeouts = c.heartbeatTimeouts.load();
+  report.counters.killsInflicted = c.killsInflicted.load();
+  report.counters.spawnRetries = c.spawnRetries.load();
+  report.counters.duplicateRowsDropped = scan.duplicateRowsDropped;
+  report.counters.quarantinedLines = scan.quarantinedLines;
+  report.counters.tornTailLines = scan.tornTailLines;
+  report.counters.mismatchedRowsDropped = scan.mismatchedRowsDropped;
+  report.counters.headerMismatchedFiles = scan.headerMismatchedFiles;
+  report.counters.resumedRows = resumedRows;
+
+  report.wallNs = wall.elapsedNs();
+  report.aggregate.suiteWallNs = report.wallNs;
+  report.ok = true;
+  return report;
+}
+
+Json shardBenchJson(const ShardOptions& opt, const ShardReport& report) {
+  Json doc = Json::object();
+  doc["schema"] = "rapt-bench-shard-v1";
+  doc["bench"] = "shard";
+  doc["ok"] = report.ok;
+  if (!report.ok) doc["error"] = report.error;
+
+  Json manifest = Json::object();
+  manifest["seed"] = hashToHex(opt.manifest.seed);
+  manifest["count"] = opt.manifest.count;
+  manifest["trip"] = opt.manifest.trip;
+  manifest["hash"] = CorpusManifest(opt.manifest).hashHex();
+  doc["manifest"] = std::move(manifest);
+
+  Json config = Json::object();
+  config["machine"] = opt.machine.name;
+  config["configHash"] = hashToHex(suiteConfigHash(opt.machine, opt.pipeline));
+  config["shards"] = opt.shards;
+  config["concurrency"] = report.aggregate.threadsUsed;
+  config["tortureKills"] = opt.tortureKills;
+  config["chaos"] = opt.chaosSpec;
+  doc["config"] = std::move(config);
+
+  const auto digestJson = [](const LatencyDigest& d) {
+    Json j = Json::object();
+    j["count"] = d.count();
+    j["p50Ns"] = d.p50Ns();
+    j["p95Ns"] = d.p95Ns();
+    j["p99Ns"] = d.p99Ns();
+    j["minNs"] = d.minNs();
+    j["maxNs"] = d.maxNs();
+    j["meanNs"] = d.meanNs();
+    return j;
+  };
+  doc["latency"] = digestJson(report.latency);
+
+  Json strata = Json::array();
+  for (const StratumReport& st : report.strata) {
+    Json j = Json::object();
+    j["name"] = st.name;
+    j["rows"] = st.rows;
+    j["failures"] = st.failures;
+    j["meanDegradation"] = st.meanDegradation;
+    j["latency"] = digestJson(st.latency);
+    strata.push(std::move(j));
+  }
+  doc["strata"] = std::move(strata);
+
+  const SuiteResult& s = report.aggregate;
+  Json agg = Json::object();
+  agg["rows"] = s.plannedLoops;
+  agg["failures"] = s.failures;
+  Json byClass = Json::object();
+  for (int cls = 0; cls < kNumFailureClasses; ++cls) {
+    byClass[failureClassName(static_cast<FailureClass>(cls))] =
+        s.failuresByClass[static_cast<std::size_t>(cls)];
+  }
+  agg["failuresByClass"] = std::move(byClass);
+  agg["validated"] = s.validatedCount;
+  agg["certified"] = s.certifiedCount;
+  agg["meanIdealIpc"] = s.meanIdealIpc;
+  agg["meanClusteredIpc"] = s.meanClusteredIpc;
+  agg["arithMeanNormalized"] = s.arithMeanNormalized;
+  agg["harmMeanNormalized"] = s.harmMeanNormalized;
+  agg["totalBodyCopies"] = s.totalBodyCopies;
+  Json percent = Json::array();
+  Json count = Json::array();
+  for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b) {
+    percent.push(s.histogram.percent(b));
+    count.push(s.histogram.count(b));
+  }
+  agg["histogramPercent"] = std::move(percent);
+  agg["histogramCount"] = std::move(count);
+  agg["rowsHash"] = report.aggregateRowsHashHex;
+  doc["aggregates"] = std::move(agg);
+
+  Json rob = Json::object();
+  rob["rounds"] = report.counters.rounds;
+  rob["attemptsLaunched"] = report.counters.attemptsLaunched;
+  rob["deaths"] = report.counters.deaths;
+  rob["retries"] = report.counters.retries;
+  rob["splits"] = report.counters.splits;
+  rob["poisonedRows"] = report.counters.poisonedRows;
+  rob["stragglersCancelled"] = report.counters.stragglersCancelled;
+  rob["heartbeatTimeouts"] = report.counters.heartbeatTimeouts;
+  rob["killsInflicted"] = report.counters.killsInflicted;
+  rob["spawnRetries"] = report.counters.spawnRetries;
+  rob["duplicateRowsDropped"] = report.counters.duplicateRowsDropped;
+  rob["quarantinedLines"] = report.counters.quarantinedLines;
+  rob["tornTailLines"] = report.counters.tornTailLines;
+  rob["mismatchedRowsDropped"] = report.counters.mismatchedRowsDropped;
+  rob["headerMismatchedFiles"] = report.counters.headerMismatchedFiles;
+  rob["resumedRows"] = report.counters.resumedRows;
+  doc["robustness"] = std::move(rob);
+
+  doc["wallNs"] = report.wallNs;
+  return doc;
+}
+
+}  // namespace rapt

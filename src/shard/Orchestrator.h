@@ -1,0 +1,135 @@
+// Self-healing shard orchestrator for 100k+-loop manifest campaigns
+// (docs/sharding.md; ROADMAP item 5).
+//
+// The orchestrator turns a CorpusManifest into shard jobs (explicit global
+// index lists), runs each in a supervised child process (tools/rapt-shard
+// --worker via support/Subprocess), and survives every way a shard can die:
+//
+//   * crash / nonzero exit      -> bounded retry with seeded exponential
+//                                  backoff; repeated deaths SPLIT the shard
+//                                  (binary, down to one row) so a poisoned
+//                                  loop is isolated, classified, and
+//                                  journaled — never dropped, never allowed
+//                                  to take healthy rows down with it;
+//   * silence (hung worker)     -> per-shard heartbeats over the worker pipe;
+//                                  a heartbeat gap beyond the timeout is a
+//                                  kill-and-retry, and a row that keeps
+//                                  hanging is quarantined as HardTimeout;
+//   * stragglers                -> a deadline derived from the p95 of
+//                                  completed attempts (streamed through
+//                                  support/Stats' P2Quantile) cancels and
+//                                  re-dispatches the slow attempt; rows both
+//                                  attempts journaled dedup first-wins at
+//                                  merge;
+//   * torture (tests, CI)       -> a seeded kill schedule SIGKILLs healthy
+//                                  shards mid-row, and RAPT_CHAOS I/O fault
+//                                  injection is armed in the children.
+//
+// Recovery is ROUNDS of the same shape: scan every journal in the directory
+// (validating manifestHash + configHash headers and per-row loop hashes,
+// deduplicating first-wins), compute the missing rows, dispatch them as new
+// shard jobs, repeat until no row is missing. `resume` is literally round
+// zero of that loop — which is why a resumed, killed, chaos-ridden campaign
+// aggregates BIT-IDENTICALLY (semantic row hash + SuiteReducer aggregates)
+// to a clean single-process run of the same manifest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/MachineDesc.h"
+#include "pipeline/CompilerPipeline.h"
+#include "pipeline/Suite.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "workload/CorpusManifest.h"
+
+namespace rapt {
+
+struct ShardOptions {
+  ManifestParams manifest;
+  MachineDesc machine;
+  PipelineOptions pipeline;       ///< result-relevant knobs (wire codec)
+
+  int shards = 8;                 ///< target shard count per dispatch round
+  int concurrency = 0;            ///< parallel shard children (0 = hardware)
+  std::string journalDir;         ///< REQUIRED: per-attempt journals + poison.jsonl
+  std::string shardBinary;        ///< rapt-shard path ("" = this executable)
+  bool resume = false;            ///< trust intact rows already in journalDir
+
+  int maxDeaths = 2;              ///< crash-grade deaths before a shard splits
+  int maxAttemptsPerItem = 12;    ///< hard cap incl. transient cancels
+  std::int64_t retryBackoffBaseMs = 50;   ///< seeded exponential backoff base
+  std::uint64_t retrySeed = 0x5eed;
+
+  std::int64_t heartbeatTimeoutMs = 30'000;  ///< silence => kill + retry
+  double stragglerFactor = 4.0;   ///< deadline = factor * p95(completed)
+  int stragglerMinSamples = 5;    ///< completions before stragglers exist
+  std::int64_t stragglerFloorMs = 2'000;  ///< never cancel under this age
+
+  int tortureKills = 0;           ///< seeded SIGKILL budget (tests / CI)
+  std::uint64_t tortureSeed = 1;
+  std::string chaosSpec;          ///< RAPT_CHAOS armed in children ("" = off)
+
+  int maxRounds = 12;             ///< repair-round cap (termination backstop)
+  bool verbose = false;           ///< per-event progress on stderr
+};
+
+/// Latency + failure distribution of one manifest stratum (BENCH_shard.json
+/// "strata"; docs/metrics.md).
+struct StratumReport {
+  std::string name;
+  int rows = 0;
+  int failures = 0;
+  double meanDegradation = 0.0;  ///< mean degradationPercent over ok rows
+  LatencyDigest latency;
+};
+
+struct ShardCounters {
+  int rounds = 0;
+  int attemptsLaunched = 0;
+  int deaths = 0;             ///< crash-grade: signal, bad exit, hb timeout
+  int retries = 0;            ///< re-dispatches of any kind
+  int splits = 0;
+  int poisonedRows = 0;
+  int stragglersCancelled = 0;
+  int heartbeatTimeouts = 0;
+  int killsInflicted = 0;     ///< torture SIGKILLs actually delivered
+  int spawnRetries = 0;
+  int duplicateRowsDropped = 0;   ///< first-wins dedup at merge
+  int quarantinedLines = 0;       ///< CRC-damaged interior journal lines
+  int tornTailLines = 0;          ///< torn tails (SIGKILL mid-append)
+  int mismatchedRowsDropped = 0;  ///< loopHash disagreed with the manifest
+  int headerMismatchedFiles = 0;  ///< journals from another config/manifest
+  int resumedRows = 0;            ///< rows trusted from pre-existing journals
+};
+
+struct ShardReport {
+  bool ok = false;
+  std::string error;               ///< why !ok
+
+  /// Aggregates over all manifest rows, reduced through SuiteReducer in
+  /// index order with keepRows == false: `loops` is empty, everything else
+  /// is bit-identical to a clean single-process runSuiteStreamed.
+  SuiteResult aggregate;
+  std::uint64_t aggregateRowsHash = 0;  ///< semanticRowsHash over all rows
+  std::string aggregateRowsHashHex;
+
+  LatencyDigest latency;           ///< per-row compile latency, all strata
+  std::vector<StratumReport> strata;
+  ShardCounters counters;
+  std::int64_t wallNs = 0;
+};
+
+/// Runs the full campaign. Blocking; spawns up to `concurrency` children at
+/// a time plus one monitor thread. Honors SIGINT/SIGTERM wind-down
+/// (support/Interrupt.h): journals survive, rerun with resume to finish.
+[[nodiscard]] ShardReport runShardedSuite(const ShardOptions& options);
+
+/// The BENCH_shard.json document (schema "rapt-bench-shard-v1", field-by-
+/// field in docs/metrics.md) for a finished campaign.
+[[nodiscard]] Json shardBenchJson(const ShardOptions& options,
+                                  const ShardReport& report);
+
+}  // namespace rapt

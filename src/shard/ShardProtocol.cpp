@@ -1,0 +1,210 @@
+#include "shard/ShardProtocol.h"
+
+#include <cstdlib>
+
+#include "pipeline/WorkerProtocol.h"
+
+namespace rapt {
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool endsWithNs(const std::string& key) {
+  const std::size_t n = key.size();
+  return n >= 2 && key[n - 2] == 'N' && key[n - 1] == 's';
+}
+
+}  // namespace
+
+Json encodeShardJob(const ShardJob& job) {
+  Json j = Json::object();
+  j["schema"] = kShardJobSchema;
+  j["shard"] = job.shardId;
+  j["attempt"] = job.attempt;
+  Json m = Json::object();
+  m["seed"] = hashToHex(job.manifest.seed);
+  m["count"] = job.manifest.count;
+  m["trip"] = job.manifest.trip;
+  j["manifest"] = std::move(m);
+  Json idx = Json::array();
+  for (const int i : job.indices) idx.push(i);
+  j["indices"] = std::move(idx);
+  j["journalPath"] = job.journalPath;
+  j["machine"] = encodeMachineDesc(job.machine);
+  j["options"] = encodePipelineOptions(job.options);
+  return j;
+}
+
+bool decodeShardJob(const Json& doc, ShardJob& job, std::string& error) {
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->isString() ||
+      schema->asString() != kShardJobSchema) {
+    error = "not a " + std::string(kShardJobSchema) + " document";
+    return false;
+  }
+  const Json* shard = doc.find("shard");
+  const Json* attempt = doc.find("attempt");
+  const Json* manifest = doc.find("manifest");
+  const Json* indices = doc.find("indices");
+  const Json* journalPath = doc.find("journalPath");
+  const Json* machine = doc.find("machine");
+  const Json* options = doc.find("options");
+  if (shard == nullptr || !shard->isInt() || attempt == nullptr ||
+      !attempt->isInt() || manifest == nullptr || !manifest->isObject() ||
+      indices == nullptr || !indices->isArray() || journalPath == nullptr ||
+      !journalPath->isString() || machine == nullptr || !machine->isObject() ||
+      options == nullptr || !options->isObject()) {
+    error = "shard job is missing a required field";
+    return false;
+  }
+  job.shardId = static_cast<int>(shard->asInt());
+  job.attempt = static_cast<int>(attempt->asInt());
+
+  const Json* seed = manifest->find("seed");
+  const Json* count = manifest->find("count");
+  const Json* trip = manifest->find("trip");
+  if (seed == nullptr || !seed->isString() || count == nullptr ||
+      !count->isInt() || trip == nullptr || !trip->isInt()) {
+    error = "shard job manifest is malformed";
+    return false;
+  }
+  char* end = nullptr;
+  job.manifest.seed = std::strtoull(seed->asString().c_str(), &end, 16);
+  if (end == nullptr || *end != '\0' || seed->asString().empty()) {
+    error = "shard job manifest seed is not a hex hash";
+    return false;
+  }
+  job.manifest.count = static_cast<int>(count->asInt());
+  job.manifest.trip = trip->asInt();
+
+  job.indices.clear();
+  job.indices.reserve(indices->size());
+  for (std::size_t i = 0; i < indices->size(); ++i) {
+    const Json& v = indices->at(i);
+    if (!v.isInt() || v.asInt() < 0 || v.asInt() >= job.manifest.count) {
+      error = "shard job index out of manifest range";
+      return false;
+    }
+    job.indices.push_back(static_cast<int>(v.asInt()));
+  }
+  job.journalPath = journalPath->asString();
+  if (!decodeMachineDesc(*machine, job.machine, error)) return false;
+  return decodePipelineOptions(*options, job.options, error);
+}
+
+Json encodeShardHeartbeat(int shardId, int attempt, int rowsDone, int index) {
+  Json j = Json::object();
+  j["kind"] = "hb";
+  j["shard"] = shardId;
+  j["attempt"] = attempt;
+  j["done"] = rowsDone;
+  j["index"] = index;
+  return j;
+}
+
+Json encodeShardEnd(int shardId, int attempt, int rowsDone) {
+  Json j = Json::object();
+  j["kind"] = "end";
+  j["shard"] = shardId;
+  j["attempt"] = attempt;
+  j["done"] = rowsDone;
+  return j;
+}
+
+bool decodeShardEvent(const Json& doc, ShardEvent& event, std::string& error) {
+  const Json* kind = doc.find("kind");
+  const Json* shard = doc.find("shard");
+  const Json* attempt = doc.find("attempt");
+  const Json* done = doc.find("done");
+  if (kind == nullptr || !kind->isString() || shard == nullptr ||
+      !shard->isInt() || attempt == nullptr || !attempt->isInt() ||
+      done == nullptr || !done->isInt()) {
+    error = "shard event is missing a required field";
+    return false;
+  }
+  if (kind->asString() == "hb") {
+    event.kind = ShardEvent::Kind::Heartbeat;
+    const Json* index = doc.find("index");
+    if (index == nullptr || !index->isInt()) {
+      error = "heartbeat without an index";
+      return false;
+    }
+    event.index = static_cast<int>(index->asInt());
+  } else if (kind->asString() == "end") {
+    event.kind = ShardEvent::Kind::End;
+    event.index = -1;
+  } else {
+    error = "unknown shard event kind '" + kind->asString() + "'";
+    return false;
+  }
+  event.shardId = static_cast<int>(shard->asInt());
+  event.attempt = static_cast<int>(attempt->asInt());
+  event.rowsDone = static_cast<int>(done->asInt());
+  return true;
+}
+
+Json encodeShardRow(int globalIndex, const Loop& loop,
+                    const LoopResult& result) {
+  Json row = Json::object();
+  row["kind"] = "row";
+  row["index"] = globalIndex;
+  row["loop"] = loop.name;
+  row["loopHash"] = hashToHex(loopTextHash(loop));
+  row["result"] = encodeLoopResult(result);
+  return row;
+}
+
+Json shardJournalHeader(const ShardJob& job) {
+  Json header = Json::object();
+  header["configHash"] = hashToHex(suiteConfigHash(job.machine, job.options));
+  header["manifestHash"] = CorpusManifest(job.manifest).hashHex();
+  header["shard"] = job.shardId;
+  header["attempt"] = job.attempt;
+  header["rows"] = static_cast<int>(job.indices.size());
+  header["machine"] = job.machine.name;
+  return header;
+}
+
+Json stripWallTimes(const Json& doc) {
+  switch (doc.kind()) {
+    case Json::Kind::Object: {
+      Json out = Json::object();
+      for (const auto& [key, value] : doc.items())
+        if (!endsWithNs(key)) out[key] = stripWallTimes(value);
+      return out;
+    }
+    case Json::Kind::Array: {
+      Json out = Json::array();
+      for (std::size_t i = 0; i < doc.size(); ++i)
+        out.push(stripWallTimes(doc.at(i)));
+      return out;
+    }
+    default:
+      return doc;
+  }
+}
+
+std::uint64_t semanticResultHash(const Json& resultDoc) {
+  return fnv1a(stripWallTimes(resultDoc).dumpCompact());
+}
+
+std::uint64_t semanticRowsHash(std::span<const LoopResult> rows) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const LoopResult& r : rows) {
+    const std::uint64_t row = semanticResultHash(encodeLoopResult(r));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (row >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace rapt

@@ -1,0 +1,112 @@
+// Wire protocol between the shard orchestrator (tools/rapt-shard) and its
+// shard worker children (docs/sharding.md).
+//
+// A shard job names WORK, not data: the manifest params plus an explicit
+// list of global corpus indices — never loop text. The worker rebuilds the
+// CorpusManifest from the params and regenerates each loop on demand, so a
+// 100k-loop campaign ships kilobytes of JSON, and crash-loop splitting,
+// resume gaps, and repair rounds are all the same shape of job (an index
+// list) with no special cases. The job also carries the full MachineDesc
+// and result-relevant PipelineOptions through the SAME codecs as the worker
+// protocol, so suiteConfigHash agrees byte-for-byte between orchestrator,
+// shard journals, and single-process reference runs.
+//
+// The worker's stdout is a heartbeat channel, one JSON document per line
+// (delivered live through SubprocessSpec::onStdoutLine): a "hb" event
+// before every row (I am alive, working on index i, k rows durable) and one
+// terminal "end" event. Results NEVER travel over the pipe — each row is
+// CRC-framed into the shard's own journal file (support/Journal.h) before
+// its heartbeat is emitted, so the orchestrator can SIGKILL a shard at any
+// instant and lose at most the row in flight, which the merge detects as a
+// gap and re-dispatches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/MachineDesc.h"
+#include "pipeline/CompilerPipeline.h"
+#include "support/Json.h"
+#include "workload/CorpusManifest.h"
+
+namespace rapt {
+
+/// Schema tag of every shard job document.
+inline constexpr const char* kShardJobSchema = "rapt-shard-job-v1";
+
+/// Exit statuses the shard worker reserves (everything else is a crash):
+/// 3 = undecodable job (deterministic refusal, never retried as-is),
+/// 4 = journal create failed, 5 = journal append failed — both I/O verdicts
+/// the orchestrator retries, because the journal medium may heal (and under
+/// chaos injection, does).
+inline constexpr int kShardBadJobExit = 3;
+inline constexpr int kShardJournalCreateExit = 4;
+inline constexpr int kShardJournalAppendExit = 5;
+
+struct ShardJob {
+  int shardId = 0;             ///< orchestrator work-item id (stable across retries)
+  int attempt = 0;             ///< globally unique attempt sequence number
+  ManifestParams manifest;
+  std::vector<int> indices;    ///< global corpus indices, ascending
+  std::string journalPath;     ///< this ATTEMPT's private journal file
+  MachineDesc machine;
+  PipelineOptions options;     ///< result-relevant knobs only (wire codec)
+};
+
+[[nodiscard]] Json encodeShardJob(const ShardJob& job);
+[[nodiscard]] bool decodeShardJob(const Json& doc, ShardJob& job,
+                                  std::string& error);
+
+// ---- worker stdout events --------------------------------------------------
+
+struct ShardEvent {
+  enum class Kind : std::uint8_t { Heartbeat, End };
+  Kind kind = Kind::Heartbeat;
+  int shardId = 0;
+  int attempt = 0;
+  int rowsDone = 0;  ///< rows durably journaled so far
+  int index = -1;    ///< Heartbeat: the global index about to be compiled
+};
+
+[[nodiscard]] Json encodeShardHeartbeat(int shardId, int attempt, int rowsDone,
+                                        int index);
+[[nodiscard]] Json encodeShardEnd(int shardId, int attempt, int rowsDone);
+[[nodiscard]] bool decodeShardEvent(const Json& doc, ShardEvent& event,
+                                    std::string& error);
+
+// ---- journal rows ----------------------------------------------------------
+
+/// One journaled result row, shaped exactly like runSuite's journal rows
+/// ({kind:"row", index, loop, loopHash, result}) except `index` is the GLOBAL
+/// manifest index. The merge validates loopHash against the rematerialized
+/// manifest loop, so a journal written against a drifted manifest can never
+/// contribute rows.
+[[nodiscard]] Json encodeShardRow(int globalIndex, const Loop& loop,
+                                  const LoopResult& result);
+
+/// The header every shard journal starts with: manifestHash + configHash are
+/// the two keys the merge requires to match before trusting a single row.
+[[nodiscard]] Json shardJournalHeader(const ShardJob& job);
+
+// ---- semantic hashing ------------------------------------------------------
+
+/// `doc` with every object key ending in "Ns" removed, recursively — the
+/// wall-time fields (PipelineTrace's *Ns, suiteWallNs) that are
+/// observability, never results. What remains is the SEMANTIC row: two runs
+/// of the same work agree on these bytes no matter how often shards were
+/// killed, retried, or re-dispatched in between.
+[[nodiscard]] Json stripWallTimes(const Json& doc);
+
+/// FNV-1a over stripWallTimes(resultDoc).dumpCompact() — the per-row
+/// semantic fingerprint.
+[[nodiscard]] std::uint64_t semanticResultHash(const Json& resultDoc);
+
+/// Order-sensitive fold of semanticResultHash over rows in corpus order: the
+/// campaign-level fingerprint that must be bit-identical across shard
+/// counts, kill schedules, chaos rates, and resumes (the torture gate in
+/// tests/shard/ and CI's shard-smoke job).
+[[nodiscard]] std::uint64_t semanticRowsHash(std::span<const LoopResult> rows);
+
+}  // namespace rapt

@@ -1,0 +1,169 @@
+#include "shard/ShardRunner.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "shard/ShardProtocol.h"
+#include "support/Journal.h"
+
+namespace rapt {
+namespace {
+
+std::string readAllOfStdin() {
+  std::string data;
+  char buf[65536];
+  for (;;) {
+    const ssize_t got = ::read(STDIN_FILENO, buf, sizeof buf);
+    if (got > 0) {
+      data.append(buf, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      return data;
+    } else if (errno != EINTR) {
+      std::fprintf(stderr, "rapt-shard: stdin read failed: %s\n",
+                   std::strerror(errno));
+      std::exit(kShardBadJobExit);
+    }
+  }
+}
+
+/// Writes one event line to stdout and flushes — the orchestrator reads the
+/// pipe live, so a buffered heartbeat is a missed heartbeat.
+void emitEvent(const Json& event) {
+  const std::string line = event.dumpCompact() + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), stdout) != line.size())
+    return;  // orchestrator hung up; the journal still carries the results
+  std::fflush(stdout);
+}
+
+/// Test-only failure injection (header comment). Parsed once; `marker` kinds
+/// create their marker file on first sight so only the FIRST attempt fails.
+struct Injection {
+  enum class Kind : int { None, AbortOnIndex, SlowEveryRow, MuteOnIndex };
+  Kind kind = Kind::None;
+  int index = -1;
+  std::int64_t slowMs = 0;
+};
+
+Injection parseInjection() {
+  Injection inj;
+  const char* spec = std::getenv("RAPT_SHARD_INJECT");
+  if (spec == nullptr || *spec == '\0') return inj;
+  const std::string s = spec;
+  const auto markerArmed = [](const std::string& marker) {
+    // Returns true (fire) when the marker does not exist yet; creates it so
+    // the retry of the same shard sails through.
+    if (::access(marker.c_str(), F_OK) == 0) return false;
+    std::FILE* f = std::fopen(marker.c_str(), "w");
+    if (f != nullptr) std::fclose(f);
+    return true;
+  };
+  if (s.rfind("abort-once:", 0) == 0) {
+    if (markerArmed(s.substr(11))) std::abort();
+    return inj;
+  }
+  if (s.rfind("abort-on-index:", 0) == 0) {
+    inj.kind = Injection::Kind::AbortOnIndex;
+    inj.index = std::atoi(s.c_str() + 15);
+    return inj;
+  }
+  if (s.rfind("slow-once:", 0) == 0) {
+    const std::size_t colon = s.find(':', 10);
+    if (colon != std::string::npos && markerArmed(s.substr(10, colon - 10))) {
+      inj.kind = Injection::Kind::SlowEveryRow;
+      inj.slowMs = std::atoll(s.c_str() + colon + 1);
+    }
+    return inj;
+  }
+  if (s.rfind("mute-on-index:", 0) == 0) {
+    inj.kind = Injection::Kind::MuteOnIndex;
+    inj.index = std::atoi(s.c_str() + 14);
+    return inj;
+  }
+  std::fprintf(stderr, "rapt-shard: unknown RAPT_SHARD_INJECT '%s'\n",
+               s.c_str());
+  std::exit(kShardBadJobExit);
+}
+
+}  // namespace
+
+int runShardWorker() {
+  const std::string input = readAllOfStdin();
+  Json doc;
+  std::string error;
+  if (!Json::parse(input, doc, error)) {
+    std::fprintf(stderr, "rapt-shard: job does not parse: %s\n", error.c_str());
+    return kShardBadJobExit;
+  }
+  ShardJob job;
+  if (!decodeShardJob(doc, job, error)) {
+    std::fprintf(stderr, "rapt-shard: bad job: %s\n", error.c_str());
+    return kShardBadJobExit;
+  }
+
+  const Injection inj = parseInjection();
+  const CorpusManifest manifest(job.manifest);
+
+  JournalWriter journal;
+  if (!journal.create(job.journalPath, shardJournalHeader(job))) {
+    std::fprintf(stderr, "rapt-shard: cannot create journal %s (errno %d)\n",
+                 job.journalPath.c_str(), journal.lastErrno());
+    return kShardJournalCreateExit;
+  }
+
+  int rowsDone = 0;
+  for (const int index : job.indices) {
+    if (inj.kind == Injection::Kind::AbortOnIndex && index == inj.index)
+      std::abort();  // the poisoned loop: dies here on EVERY attempt
+    if (inj.kind == Injection::Kind::MuteOnIndex && index == inj.index) {
+      // Simulated hang: stop heartbeating and stall until the orchestrator's
+      // heartbeat timeout kills this process.
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    if (inj.kind == Injection::Kind::SlowEveryRow)
+      std::this_thread::sleep_for(std::chrono::milliseconds(inj.slowMs));
+
+    emitEvent(encodeShardHeartbeat(job.shardId, job.attempt, rowsDone, index));
+
+    const Loop loop = manifest.materialize(index);
+    LoopResult result;
+    // The same last-resort belt runSuite wears: compileLoop contains its own
+    // exceptions, so anything escaping is itself reportable, not fatal.
+    try {
+      result = compileLoop(loop, job.machine, job.options);
+    } catch (const std::exception& e) {
+      result.loopName = loop.name;
+      result.numOps = loop.size();
+      result.failureClass = FailureClass::InternalError;
+      result.error = std::string("uncaught exception escaped compileLoop: ") + e.what();
+    } catch (...) {
+      result.loopName = loop.name;
+      result.numOps = loop.size();
+      result.failureClass = FailureClass::InternalError;
+      result.error = "uncaught non-standard exception escaped compileLoop";
+    }
+
+    // Durability before visibility: the row is fsync'd into the journal
+    // BEFORE the heartbeat advertises it, so `done` in any event is a count
+    // of rows that survive a SIGKILL delivered right now.
+    if (!journal.append(encodeShardRow(index, loop, result))) {
+      std::fprintf(stderr,
+                   "rapt-shard: journal append failed at row %d (errno %d)\n",
+                   index, journal.lastErrno());
+      return kShardJournalAppendExit;
+    }
+    ++rowsDone;
+  }
+
+  journal.close();
+  emitEvent(encodeShardEnd(job.shardId, job.attempt, rowsDone));
+  return 0;
+}
+
+}  // namespace rapt

@@ -1,0 +1,35 @@
+// The worker half of tools/rapt-shard (docs/sharding.md "Shard workers").
+//
+// One process = one shard ATTEMPT: read a shard job document from stdin,
+// compile each listed manifest row in-process (no per-loop fork at 100k
+// scale), journal each result durably BEFORE heartbeating it, print one
+// "end" event, exit 0. Any other exit — a crash on a poisoned loop, a
+// journal-medium failure, a SIGKILL from the orchestrator's torture
+// schedule — leaves a journal whose intact prefix is trusted by the merge
+// and whose gap is re-dispatched, so rows are never lost and never
+// fabricated.
+//
+// RAPT_SHARD_INJECT provokes the orchestrator's failure paths in tests
+// (never set in production):
+//   abort-once:<marker>        abort() before the first row unless <marker>
+//                              exists (created first — so the RETRY of the
+//                              same shard succeeds: the bounded-retry path);
+//   abort-on-index:<i>         abort() whenever global row i is reached (a
+//                              permanently poisoned loop: the crash-loop
+//                              split-and-quarantine path);
+//   slow-once:<marker>:<ms>    sleep <ms> before every row unless <marker>
+//                              exists (created first — the straggler path:
+//                              the re-dispatched attempt runs at full speed);
+//   mute-on-index:<i>          hang (stop heartbeating and stall forever)
+//                              when global row i is reached: the heartbeat-
+//                              timeout kill path; a row that hangs on every
+//                              attempt is quarantined as HardTimeout.
+#pragma once
+
+namespace rapt {
+
+/// Runs one shard attempt from stdin to completion. Returns the process exit
+/// status (0, or one of the kShard*Exit codes in ShardProtocol.h).
+[[nodiscard]] int runShardWorker();
+
+}  // namespace rapt

@@ -23,6 +23,28 @@ bool parseWhole(const std::string& text, T* out,
   return true;
 }
 
+/// Damerau-Levenshtein (optimal string alignment) edit distance: adjacent
+/// transpositions — the most common flag typo, '--jbos' for '--jobs' — count
+/// as one edit. Inputs are flag names, so the three-row dynamic program is
+/// plenty.
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev2(b.size() + 1), prev(b.size() + 1),
+      cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1])
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
 }  // namespace
 
 ArgParser::ArgParser(std::string program, std::string synopsis)
@@ -86,7 +108,27 @@ bool ArgParser::applyValue(const Spec& spec, const std::string& value) {
   return false;
 }
 
+std::string ArgParser::closestFlag(const std::string& name) const {
+  // A match is only suggested when the distance is small relative to the
+  // flag's length: 1 edit for short names, up to a third of the length for
+  // long ones. Anything farther is more likely a different flag entirely,
+  // and a wrong suggestion is worse than none.
+  std::string best;
+  std::size_t bestDist = 0;
+  for (const Spec& s : specs_) {
+    const std::size_t d = editDistance(name, s.name);
+    if (best.empty() || d < bestDist) {
+      best = s.name;
+      bestDist = d;
+    }
+  }
+  if (best.empty()) return {};
+  const std::size_t budget = std::max<std::size_t>(1, best.size() / 3);
+  return bestDist <= budget ? best : std::string{};
+}
+
 bool ArgParser::parse(int argc, char** argv) {
+  std::vector<bool> seen(specs_.size(), false);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -116,11 +158,28 @@ bool ArgParser::parse(int argc, char** argv) {
 
     const Spec* spec = find(name);
     if (spec == nullptr) {
-      std::fprintf(stderr, "%s: unknown flag '--%s'\n", program_.c_str(),
-                   name.c_str());
+      const std::string suggestion = closestFlag(name);
+      if (suggestion.empty()) {
+        std::fprintf(stderr, "%s: unknown flag '--%s'\n", program_.c_str(),
+                     name.c_str());
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '--%s' (did you mean '--%s'?)\n",
+                     program_.c_str(), name.c_str(), suggestion.c_str());
+      }
       printUsage(stderr);
       return false;
     }
+
+    // Every flag is single-valued: a second occurrence means half the command
+    // line is stale, and silently letting the last one win would hide it.
+    const auto specIndex = static_cast<std::size_t>(spec - specs_.data());
+    if (seen[specIndex]) {
+      std::fprintf(stderr, "%s: flag '--%s' given more than once\n",
+                   program_.c_str(), name.c_str());
+      printUsage(stderr);
+      return false;
+    }
+    seen[specIndex] = true;
 
     if (spec->kind == Kind::Flag) {
       if (haveValue) {

@@ -10,6 +10,12 @@
 // generated usage block and reports `helpRequested()`. Targets are plain
 // pointers into the caller's options struct, so defaults live where they
 // always did.
+//
+// Two operator-error guards, both hard errors rather than silent surprises:
+// a flag given twice is rejected (every flag is single-valued — silently
+// taking the last occurrence hides the half of a long command line that was
+// edited and forgotten), and an unknown flag whose spelling is close to a
+// registered one gets a "did you mean '--jobs'?" suggestion.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +72,9 @@ class ArgParser {
 
   [[nodiscard]] const Spec* find(const std::string& name) const;
   [[nodiscard]] bool applyValue(const Spec& spec, const std::string& value);
+  /// The registered flag closest to `name` in edit distance, or "" when
+  /// nothing is close enough to plausibly be a typo.
+  [[nodiscard]] std::string closestFlag(const std::string& name) const;
 
   std::string program_;
   std::string synopsis_;

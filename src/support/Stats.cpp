@@ -62,6 +62,102 @@ std::int64_t percentile(std::span<const std::int64_t> xs, double p) {
   return v[rank == 0 ? 0 : rank - 1];
 }
 
+P2Quantile::P2Quantile(double percentile) : p_(percentile / 100.0) {
+  RAPT_ASSERT(percentile > 0.0 && percentile < 100.0,
+              "P2Quantile needs a percentile in (0, 100)");
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    // Bootstrap: insert sorted into the first five markers.
+    q_[count_] = x;
+    ++count_;
+    std::sort(q_, q_ + count_);
+    if (count_ == 5) {
+      for (int i = 0; i < 5; ++i) n_[i] = i + 1;
+      np_[0] = 1.0;
+      np_[1] = 1.0 + 2.0 * p_;
+      np_[2] = 1.0 + 4.0 * p_;
+      np_[3] = 3.0 + 2.0 * p_;
+      np_[4] = 5.0;
+      dn_[0] = 0.0;
+      dn_[1] = p_ / 2.0;
+      dn_[2] = p_;
+      dn_[3] = (1.0 + p_) / 2.0;
+      dn_[4] = 1.0;
+    }
+    return;
+  }
+
+  // Locate the cell [k, k+1) containing x, updating the extremes.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions with a
+  // piecewise-parabolic (P²) height prediction, falling back to linear when
+  // the parabola would leave the bracketing heights.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      const double qParabolic =
+          q_[i] + sign / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + sign) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - sign) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qParabolic && qParabolic < q_[i + 1]) {
+        q_[i] = qParabolic;
+      } else {
+        q_[i] = q_[i] + sign * (q_[i + static_cast<int>(sign)] - q_[i]) /
+                            (n_[i + static_cast<int>(sign)] - n_[i]);
+      }
+      n_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ <= 5) {
+    // Exact nearest-rank over the sorted bootstrap markers.
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(p_ * static_cast<double>(count_)));
+    return q_[std::clamp<std::int64_t>(rank - 1, 0, count_ - 1)];
+  }
+  return q_[2];
+}
+
+double P2Quantile::maxSeen() const {
+  if (count_ == 0) return 0.0;
+  return count_ < 5 ? q_[count_ - 1] : q_[4];
+}
+
+void LatencyDigest::add(std::int64_t ns) {
+  const auto x = static_cast<double>(ns);
+  p50_.add(x);
+  p95_.add(x);
+  p99_.add(x);
+  if (count_ == 0 || ns < min_) min_ = ns;
+  if (count_ == 0 || ns > max_) max_ = ns;
+  sum_ += x;
+  ++count_;
+}
+
 void DegradationHistogram::add(double degradationPercent) {
   int bucket;
   if (degradationPercent <= 0.0) {

@@ -33,6 +33,70 @@ namespace rapt {
 /// returns 0 on an empty sample.
 [[nodiscard]] std::int64_t percentile(std::span<const std::int64_t> xs, double p);
 
+/// Streaming quantile estimator: the P² algorithm (Jain & Chlamtac, CACM
+/// 1985). Five markers track the target quantile in O(1) memory and O(1)
+/// per observation — the latency aggregation of 100k+-loop sharded runs
+/// (docs/sharding.md), where the exact nearest-rank `percentile` above would
+/// need an O(n) buffer per stratum. Exact for the first five observations;
+/// after that the estimate's error against exact nearest-rank is bounded in
+/// practice to a few percent of the local sample density (unit-tested
+/// against the exact implementation on seeded samples in
+/// tests/support/StatsTest.cpp).
+class P2Quantile {
+ public:
+  /// `percentile` in (0, 100): 50 = median, 99 = p99.
+  explicit P2Quantile(double percentile);
+
+  void add(double x);
+
+  /// Current estimate; exact while count() <= 5, 0.0 when count() == 0.
+  [[nodiscard]] double estimate() const;
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double minSeen() const { return count_ == 0 ? 0.0 : q_[0]; }
+  [[nodiscard]] double maxSeen() const;
+
+ private:
+  double p_;            ///< target quantile in (0, 1)
+  std::int64_t count_ = 0;
+  double q_[5] = {};    ///< marker heights
+  double n_[5] = {};    ///< marker positions (1-based)
+  double np_[5] = {};   ///< desired marker positions
+  double dn_[5] = {};   ///< desired position increments
+};
+
+/// A fixed bundle of streaming latency percentiles (p50/p95/p99) plus
+/// min/max/mean/count — the per-run and per-stratum latency digest of
+/// BENCH_shard.json (docs/metrics.md). O(1) memory regardless of how many
+/// samples are folded in.
+class LatencyDigest {
+ public:
+  LatencyDigest() : p50_(50.0), p95_(95.0), p99_(99.0) {}
+
+  void add(std::int64_t ns);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t p50Ns() const { return asNs(p50_.estimate()); }
+  [[nodiscard]] std::int64_t p95Ns() const { return asNs(p95_.estimate()); }
+  [[nodiscard]] std::int64_t p99Ns() const { return asNs(p99_.estimate()); }
+  [[nodiscard]] std::int64_t minNs() const { return min_; }
+  [[nodiscard]] std::int64_t maxNs() const { return max_; }
+  [[nodiscard]] double meanNs() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  [[nodiscard]] static std::int64_t asNs(double v) {
+    return v <= 0.0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+  }
+
+  P2Quantile p50_, p95_, p99_;
+  std::int64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
 /// The degradation histogram used in the paper's Figures 5-7.
 ///
 /// Buckets, in order: exactly 0%, then (0,10)%, [10,20)%, ... [80,90)%, and

@@ -212,7 +212,38 @@ SubprocessResult runSubprocess(const SubprocessSpec& spec) {
   std::int64_t outBytes = 0;
   bool killed = false;
   std::int64_t graceDeadline = 0;
+  std::string lineBuf;  ///< partial stdout line when onStdoutLine streams
   if (spec.stdinData.empty()) toChild.closeWrite();
+
+  const auto killGroup = [&] {
+    ::kill(-pid, SIGKILL);  // the whole group, grandchildren included
+    ::kill(pid, SIGKILL);   // fallback if the child never reached setpgid
+    killed = true;
+    graceDeadline = nowMs() + 2000;
+  };
+
+  // Bounded buffering for streamed lines: complete lines go to the callback
+  // as they arrive; only the unterminated remainder is held, and a single
+  // line larger than maxStdoutBytes is truncated instead of ballooning.
+  const auto streamStdout = [&](const char* data, std::size_t n) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data[i] != '\n') continue;
+      lineBuf.append(data + start, i - start);
+      spec.onStdoutLine(lineBuf);
+      lineBuf.clear();
+      start = i + 1;
+    }
+    const std::size_t cap = static_cast<std::size_t>(spec.maxStdoutBytes);
+    const std::size_t rest = n - start;
+    if (lineBuf.size() + rest > cap) {
+      const std::size_t keep = cap > lineBuf.size() ? cap - lineBuf.size() : 0;
+      lineBuf.append(data + start, keep);
+      result.stdoutTruncated = true;
+    } else {
+      lineBuf.append(data + start, rest);
+    }
+  };
 
   char buf[65536];
   while (fromChildOut.readEnd >= 0 || fromChildErr.readEnd >= 0 ||
@@ -234,18 +265,23 @@ SubprocessResult runSubprocess(const SubprocessSpec& spec) {
     }
 
     int timeout = -1;
+    if (spec.cancel != nullptr && !killed &&
+        spec.cancel->load(std::memory_order_relaxed)) {
+      killGroup();
+      result.cancelled = true;
+    }
     if (deadline > 0 && !killed) {
       const std::int64_t left = deadline - nowMs();
       if (left <= 0) {
-        ::kill(-pid, SIGKILL);  // the whole group, grandchildren included
-        ::kill(pid, SIGKILL);   // fallback if the child never reached setpgid
-        killed = true;
+        killGroup();
         result.timedOut = true;
-        graceDeadline = nowMs() + 2000;
       } else {
         timeout = static_cast<int>(left > 1'000'000'000 ? 1'000'000'000 : left);
       }
     }
+    // With a cancel flag armed the poll must wake often enough to notice it.
+    if (spec.cancel != nullptr && !killed && (timeout < 0 || timeout > 20))
+      timeout = 20;
     if (killed) {
       // The group kill closes the pipes almost immediately; the grace
       // deadline only guards against an orphan that re-grouped itself and
@@ -264,7 +300,10 @@ SubprocessResult runSubprocess(const SubprocessSpec& spec) {
 
     if (outIdx >= 0 && (fds[outIdx].revents & (POLLIN | POLLHUP | POLLERR))) {
       const ssize_t got = ::read(fromChildOut.readEnd, buf, sizeof buf);
-      if (got > 0) {
+      if (got > 0 && spec.onStdoutLine) {
+        streamStdout(buf, static_cast<std::size_t>(got));
+        outBytes += got;
+      } else if (got > 0) {
         if (outBytes < spec.maxStdoutBytes) {
           const auto keep = static_cast<std::size_t>(
               std::min<std::int64_t>(got, spec.maxStdoutBytes - outBytes));
@@ -298,6 +337,13 @@ SubprocessResult runSubprocess(const SubprocessSpec& spec) {
         toChild.closeWrite();  // EPIPE: the child is gone or closed stdin
       }
     }
+  }
+
+  // A child that exited without terminating its last line still gets it
+  // delivered: protocol consumers treat EOF as the line terminator.
+  if (spec.onStdoutLine && !lineBuf.empty()) {
+    spec.onStdoutLine(lineBuf);
+    lineBuf.clear();
   }
 
   int status = 0;

@@ -19,7 +19,9 @@
 // crashing child cannot splatter binary garbage into journals and reports.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,18 +46,22 @@ struct SubprocessResult {
   std::string spawnError;  ///< detail when spawnFailed
 
   bool timedOut = false;   ///< killed by the wall-clock watchdog
+  bool cancelled = false;  ///< killed because SubprocessSpec::cancel went true
   /// Terminating signal (0 = exited normally). SIGKILL with timedOut set is
-  /// the watchdog; SIGXCPU is the RLIMIT_CPU backstop.
+  /// the watchdog, with cancelled set the caller's cancellation; SIGXCPU is
+  /// the RLIMIT_CPU backstop.
   int signal = 0;
   int exitCode = 0;        ///< exit status when signal == 0
 
   std::string out;         ///< captured stdout, truncated at maxStdoutBytes
+                           ///< (empty when onStdoutLine streams it instead)
   std::string err;         ///< captured stderr tail, redacted printable
   bool stdoutTruncated = false;
   bool stderrTruncated = false;
 
   [[nodiscard]] bool exitedCleanly() const {
-    return !spawnFailed && !timedOut && signal == 0 && exitCode == 0;
+    return !spawnFailed && !timedOut && !cancelled && signal == 0 &&
+           exitCode == 0;
   }
 };
 
@@ -69,6 +75,23 @@ struct SubprocessSpec {
   std::vector<std::string> extraEnv;
   std::int64_t maxStdoutBytes = 8 * 1024 * 1024;
   std::int64_t maxStderrBytes = 64 * 1024;
+
+  /// When set, the child's stdout is delivered LINE BY LINE to this callback
+  /// (invoked on the supervising thread, in arrival order, without the
+  /// trailing '\n') instead of accumulating in SubprocessResult::out — the
+  /// long-running-worker case (shard heartbeats, docs/sharding.md), where a
+  /// supervisor must observe progress while the child still runs. An
+  /// unterminated final line is delivered at EOF. A single line longer than
+  /// maxStdoutBytes is truncated (stdoutTruncated is set) rather than
+  /// ballooning the supervisor.
+  std::function<void(const std::string& line)> onStdoutLine;
+
+  /// When non-null, polled by the supervising loop (at millisecond
+  /// granularity): once it reads true the child's process group is SIGKILLed
+  /// and the result reports `cancelled`. This is how an orchestrator revokes
+  /// work it re-dispatched elsewhere — a straggler whose duplicate won, or a
+  /// torture-mode kill (docs/sharding.md).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Runs one child to completion (or watchdog kill). Never throws.

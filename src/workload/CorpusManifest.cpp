@@ -1,0 +1,129 @@
+#include "workload/CorpusManifest.h"
+
+#include <cstdio>
+
+#include "support/Assert.h"
+
+namespace rapt {
+namespace {
+
+// The fixed stratification table: 3 sizes x {plain, recurrence} x {int, flt}
+// plus two alias-heavy ("mem") and two deep-recurrence strata at the large
+// end — the tails ROADMAP item 5 calls out. Row order is part of the
+// manifest contract (stratumOf is index % table size); reordering or
+// retuning any entry changes CorpusManifest::hash() and invalidates every
+// journal written against the old recipe, which is exactly the point.
+constexpr ManifestStratum kStrata[] = {
+    // name              ops        flt% rec% nRec len  ld% st%
+    {"small-int",        8,   20,   15,   0,   1,   1,  28, 12},
+    {"small-flt",        8,   20,   85,   0,   1,   1,  28, 12},
+    {"small-int-rec",    8,   20,   15, 100,   1,   2,  22, 10},
+    {"small-flt-rec",    8,   20,   85, 100,   1,   2,  22, 10},
+    {"mid-int",         20,  60,    15,   0,   1,   1,  28, 12},
+    {"mid-flt",         20,  60,    85,   0,   1,   1,  28, 12},
+    {"mid-int-rec",     20,  60,    15, 100,   2,   2,  22, 10},
+    {"mid-flt-rec",     20,  60,    85, 100,   2,   2,  22, 10},
+    {"large-mem-int",   60, 140,    15,   0,   1,   1,  42, 20},
+    {"large-mem-flt",   60, 140,    85,   0,   1,   1,  42, 20},
+    {"large-deeprec-int", 60, 140,  15, 100,   3,   3,  20,  8},
+    {"large-deeprec-flt", 60, 140,  85, 100,   3,   3,  20,  8},
+};
+constexpr int kNumStrata = static_cast<int>(sizeof kStrata / sizeof kStrata[0]);
+
+std::uint64_t fnv1aInit() { return 0xcbf29ce484222325ull; }
+
+void fnv1aMix(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+}
+
+void fnv1aMixStr(std::uint64_t& h, const char* s) {
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ull;
+  }
+  h ^= 0xff;  // terminator: "ab"+"c" never collides with "a"+"bc"
+  h *= 0x100000001b3ull;
+}
+
+/// The GeneratorParams a stratum induces under a manifest. The per-stratum
+/// seed folds the stratum INDEX into the manifest seed so two strata never
+/// share a SplitMix64 stream even where their parameter shapes agree.
+GeneratorParams stratumParams(const ManifestParams& mp, int s) {
+  const ManifestStratum& st = kStrata[s];
+  GeneratorParams g;
+  g.seed = mp.seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(s + 1));
+  g.count = 0;  // unused: manifests generate by index, never as a batch
+  g.minOps = st.minOps;
+  g.maxOps = st.maxOps;
+  g.pctFloatLoop = st.pctFloatLoop;
+  g.pctLoadOp = st.pctLoadOp;
+  g.pctStoreOp = st.pctStoreOp;
+  g.pctRecurrenceLoop = st.pctRecurrenceLoop;
+  g.maxRecurrences = st.maxRecurrences;
+  g.maxRecurrenceLen = st.maxRecurrenceLen;
+  g.trip = mp.trip;
+  return g;
+}
+
+}  // namespace
+
+CorpusManifest::CorpusManifest(ManifestParams params) : params_(params) {
+  RAPT_ASSERT(params_.count >= 0, "negative manifest count");
+}
+
+int CorpusManifest::numStrata() { return kNumStrata; }
+
+const ManifestStratum& CorpusManifest::stratum(int s) {
+  RAPT_ASSERT(s >= 0 && s < kNumStrata, "stratum out of range");
+  return kStrata[s];
+}
+
+int CorpusManifest::stratumOf(int index) const {
+  RAPT_ASSERT(index >= 0 && index < params_.count, "manifest index out of range");
+  return index % kNumStrata;
+}
+
+const char* CorpusManifest::stratumNameOf(int index) const {
+  return kStrata[stratumOf(index)].name;
+}
+
+Loop CorpusManifest::materialize(int index) const {
+  const int s = stratumOf(index);
+  Loop loop = generateLoop(stratumParams(params_, s), index / kNumStrata);
+  // Globally unique, shard-independent, self-describing name: the generator's
+  // own "synth<k>" repeats across strata.
+  loop.name = "m" + std::to_string(index) + "_" + kStrata[s].name;
+  return loop;
+}
+
+std::uint64_t CorpusManifest::hash() const {
+  std::uint64_t h = fnv1aInit();
+  fnv1aMixStr(h, "rapt-manifest-v1");
+  fnv1aMix(h, params_.seed);
+  fnv1aMix(h, static_cast<std::uint64_t>(params_.count));
+  fnv1aMix(h, static_cast<std::uint64_t>(params_.trip));
+  for (const ManifestStratum& st : kStrata) {
+    fnv1aMixStr(h, st.name);
+    fnv1aMix(h, static_cast<std::uint64_t>(st.minOps));
+    fnv1aMix(h, static_cast<std::uint64_t>(st.maxOps));
+    fnv1aMix(h, static_cast<std::uint64_t>(st.pctFloatLoop));
+    fnv1aMix(h, static_cast<std::uint64_t>(st.pctRecurrenceLoop));
+    fnv1aMix(h, static_cast<std::uint64_t>(st.maxRecurrences));
+    fnv1aMix(h, static_cast<std::uint64_t>(st.maxRecurrenceLen));
+    fnv1aMix(h, static_cast<std::uint64_t>(st.pctLoadOp));
+    fnv1aMix(h, static_cast<std::uint64_t>(st.pctStoreOp));
+  }
+  return h;
+}
+
+std::string CorpusManifest::hashHex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash()));
+  return buf;
+}
+
+}  // namespace rapt

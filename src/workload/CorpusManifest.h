@@ -1,0 +1,81 @@
+// Streaming stratified mega-corpus manifest (docs/sharding.md "Manifest").
+//
+// The ROADMAP's 100k+-loop workload cannot be a std::vector<Loop>: at that
+// scale the corpus must never be materialized in memory or on disk. A
+// CorpusManifest is the seeded RECIPE instead — a pure function from global
+// index to loop. Row i deterministically selects a stratum (round-robin over
+// a fixed stratification table) and an index within it, and materialize(i)
+// regenerates that loop on demand through workload/LoopGenerator. The
+// invariants everything downstream leans on:
+//
+//   * materialize(i) is byte-identical (printLoop text) across runs, thread
+//     counts, and shard boundaries — it depends only on (params, i), pinned
+//     by a golden corpus hash in tests/workload/ManifestTest.cpp;
+//   * loop names are globally unique ("m<i>_<stratum>") and carry their
+//     stratum, so any journal row or failure report is self-describing;
+//   * hash() covers the seed, the count, and every stratification parameter,
+//     so a shard journal written against one manifest can never silently
+//     seed a resume against another (the manifest analogue of
+//     suiteConfigHash).
+//
+// The stratification axes follow ROADMAP item 5: loop size, recurrence
+// depth, memory pressure (load/store density — the aliasing knob), and
+// INT/FLT mix. Strata are interleaved round-robin so ANY contiguous index
+// range — a shard — sees the same mix, which keeps shard wall times
+// comparable and makes the orchestrator's p95-based straggler deadline
+// meaningful (docs/sharding.md "Stragglers").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/Loop.h"
+#include "workload/LoopGenerator.h"
+
+namespace rapt {
+
+struct ManifestParams {
+  std::uint64_t seed = 0x52415054;  // "RAPT"
+  int count = 100'000;
+  std::int64_t trip = 64;  ///< simulation trip count of every generated loop
+};
+
+/// One stratum of the fixed stratification table: a named GeneratorParams
+/// shape. Exposed so reports can enumerate the axes.
+struct ManifestStratum {
+  const char* name;
+  int minOps, maxOps;        ///< size axis
+  int pctFloatLoop;          ///< INT/FLT mix axis
+  int pctRecurrenceLoop;     ///< recurrence axis (0 or 100: strata are pure)
+  int maxRecurrences;
+  int maxRecurrenceLen;      ///< recurrence depth
+  int pctLoadOp, pctStoreOp; ///< memory pressure / aliasing density axis
+};
+
+class CorpusManifest {
+ public:
+  explicit CorpusManifest(ManifestParams params = {});
+
+  [[nodiscard]] int size() const { return params_.count; }
+  [[nodiscard]] const ManifestParams& params() const { return params_; }
+
+  [[nodiscard]] static int numStrata();
+  [[nodiscard]] static const ManifestStratum& stratum(int s);
+
+  /// The stratum row `index` belongs to (round-robin interleave).
+  [[nodiscard]] int stratumOf(int index) const;
+  [[nodiscard]] const char* stratumNameOf(int index) const;
+
+  /// Regenerates row `index`'s loop. Pure: depends only on (params, index).
+  [[nodiscard]] Loop materialize(int index) const;
+
+  /// FNV-1a over the seed, count, trip, and the full stratification table —
+  /// the journal-header key that detects manifest drift on resume.
+  [[nodiscard]] std::uint64_t hash() const;
+  [[nodiscard]] std::string hashHex() const;
+
+ private:
+  ManifestParams params_;
+};
+
+}  // namespace rapt

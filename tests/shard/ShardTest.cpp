@@ -1,0 +1,518 @@
+// Shard orchestrator torture tests (docs/sharding.md).
+//
+// The invariant every end-to-end test here gates: a sharded campaign — no
+// matter the shard count, kill schedule, chaos rate, crafted journal damage,
+// or resume boundary — produces an aggregate BIT-IDENTICAL (semanticRowsHash
+// plus every SuiteResult aggregate field) to a clean single-process
+// runSuiteStreamed of the same manifest. Rows are never lost, never
+// fabricated, never double-counted.
+//
+// The orchestrator spawns the real rapt-shard binary (RAPT_SHARD_BIN,
+// injected by tests/CMakeLists.txt); failure paths are provoked via
+// RAPT_SHARD_INJECT, which shard children inherit from this process.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pipeline/Suite.h"
+#include "pipeline/WorkerProtocol.h"
+#include "shard/Orchestrator.h"
+#include "shard/ShardProtocol.h"
+#include "support/Journal.h"
+
+namespace rapt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test journal directory under gtest's temp root.
+std::string freshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "rapt-shard-" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Const object field access: Json's const API is find(); tests want a
+/// deref that fails loudly instead of crashing on a missing key.
+const Json& field(const Json& doc, const std::string& key) {
+  const Json* v = doc.find(key);
+  EXPECT_NE(nullptr, v) << "missing field '" << key << "'";
+  static const Json null;
+  return v == nullptr ? null : *v;
+}
+
+/// RAII for RAPT_SHARD_INJECT: children of the orchestrator inherit it.
+struct InjectGuard {
+  explicit InjectGuard(const std::string& spec) {
+    ::setenv("RAPT_SHARD_INJECT", spec.c_str(), 1);
+  }
+  ~InjectGuard() { ::unsetenv("RAPT_SHARD_INJECT"); }
+};
+
+/// The small, fast campaign configuration every end-to-end test shares.
+/// 72 loops cover each of the 12 manifest strata 6 times.
+ShardOptions baseOptions(const std::string& dir) {
+  ShardOptions opt;
+  opt.manifest.count = 72;
+  opt.machine = MachineDesc::paper16(4, CopyModel::Embedded);
+  opt.journalDir = dir;
+  opt.shardBinary = RAPT_SHARD_BIN;
+  opt.shards = 4;
+  opt.verbose = false;
+  return opt;
+}
+
+/// The clean single-process reference for a campaign's manifest + config.
+SuiteResult referenceRun(const ShardOptions& opt) {
+  const CorpusManifest manifest(opt.manifest);
+  StreamingCorpus corpus;
+  corpus.count = manifest.size();
+  corpus.materialize = [&manifest](int i) { return manifest.materialize(i); };
+  return runSuiteStreamed(corpus, opt.machine, opt.pipeline);
+}
+
+/// Every deterministic aggregate field must agree exactly — doubles
+/// included, because both sides reduce through SuiteReducer in index order.
+void expectAggregatesIdentical(const SuiteResult& ref, const ShardReport& got) {
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_EQ(semanticRowsHash(ref.loops), got.aggregateRowsHash);
+  EXPECT_EQ(ref.failures, got.aggregate.failures);
+  EXPECT_EQ(ref.failuresByClass, got.aggregate.failuresByClass);
+  EXPECT_EQ(ref.meanIdealIpc, got.aggregate.meanIdealIpc);
+  EXPECT_EQ(ref.meanClusteredIpc, got.aggregate.meanClusteredIpc);
+  EXPECT_EQ(ref.arithMeanNormalized, got.aggregate.arithMeanNormalized);
+  EXPECT_EQ(ref.harmMeanNormalized, got.aggregate.harmMeanNormalized);
+  EXPECT_EQ(ref.totalBodyCopies, got.aggregate.totalBodyCopies);
+  EXPECT_EQ(ref.validatedCount, got.aggregate.validatedCount);
+  EXPECT_EQ(ref.certifiedCount, got.aggregate.certifiedCount);
+  for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b)
+    EXPECT_EQ(ref.histogram.count(b), got.aggregate.histogram.count(b)) << b;
+  EXPECT_EQ(static_cast<int>(ref.loops.size()), got.aggregate.plannedLoops);
+  EXPECT_TRUE(got.aggregate.loops.empty());  // keepRows == false at scale
+}
+
+// ---- protocol round-trips --------------------------------------------------
+
+TEST(ShardProtocol, JobRoundTripsExactly) {
+  ShardJob job;
+  job.shardId = 7;
+  job.attempt = 42;
+  job.manifest.seed = 0xdeadbeefcafef00dull;
+  job.manifest.count = 1000;
+  job.manifest.trip = 17;
+  job.indices = {3, 5, 999};
+  job.journalPath = "/tmp/x.jsonl";
+  job.machine = MachineDesc::paper16(8, CopyModel::CopyUnit);
+  job.options.simulate = false;
+  job.options.certify = false;
+
+  ShardJob back;
+  std::string error;
+  ASSERT_TRUE(decodeShardJob(encodeShardJob(job), back, error)) << error;
+  EXPECT_EQ(job.shardId, back.shardId);
+  EXPECT_EQ(job.attempt, back.attempt);
+  EXPECT_EQ(job.manifest.seed, back.manifest.seed);
+  EXPECT_EQ(job.manifest.count, back.manifest.count);
+  EXPECT_EQ(job.manifest.trip, back.manifest.trip);
+  EXPECT_EQ(job.indices, back.indices);
+  EXPECT_EQ(job.journalPath, back.journalPath);
+  // The config hash is the bit-exactness witness for machine + options.
+  EXPECT_EQ(suiteConfigHash(job.machine, job.options),
+            suiteConfigHash(back.machine, back.options));
+}
+
+TEST(ShardProtocol, JobDecodeRejectsDamage) {
+  ShardJob job;
+  job.manifest.count = 10;
+  job.indices = {0, 9};
+  ShardJob back;
+  std::string error;
+
+  Json wrongSchema = encodeShardJob(job);
+  wrongSchema["schema"] = "rapt-shard-job-v0";
+  EXPECT_FALSE(decodeShardJob(wrongSchema, back, error));
+
+  Json outOfRange = encodeShardJob(job);
+  Json badIndices = Json::array();
+  badIndices.push(0);
+  badIndices.push(10);  // == count: out of manifest range
+  outOfRange["indices"] = std::move(badIndices);
+  EXPECT_FALSE(decodeShardJob(outOfRange, back, error));
+
+  Json damaged = encodeShardJob(job);
+  damaged["journalPath"] = Json();  // null where a string is required
+  EXPECT_FALSE(decodeShardJob(damaged, back, error));
+}
+
+TEST(ShardProtocol, EventsRoundTrip) {
+  ShardEvent ev;
+  std::string error;
+  ASSERT_TRUE(decodeShardEvent(encodeShardHeartbeat(3, 9, 14, 77), ev, error))
+      << error;
+  EXPECT_EQ(ShardEvent::Kind::Heartbeat, ev.kind);
+  EXPECT_EQ(3, ev.shardId);
+  EXPECT_EQ(9, ev.attempt);
+  EXPECT_EQ(14, ev.rowsDone);
+  EXPECT_EQ(77, ev.index);
+
+  ASSERT_TRUE(decodeShardEvent(encodeShardEnd(3, 9, 20), ev, error)) << error;
+  EXPECT_EQ(ShardEvent::Kind::End, ev.kind);
+  EXPECT_EQ(20, ev.rowsDone);
+
+  Json unknown = encodeShardEnd(0, 0, 0);
+  unknown["kind"] = "bogus";
+  EXPECT_FALSE(decodeShardEvent(unknown, ev, error));
+}
+
+TEST(ShardProtocol, SemanticHashIgnoresWallTimesOnly) {
+  LoopResult a;
+  a.loopName = "l";
+  a.ok = true;
+  a.trace.totalNs = 1111;
+  LoopResult b = a;
+  b.trace.totalNs = 999'999;  // different wall time, same semantics
+  EXPECT_EQ(semanticResultHash(encodeLoopResult(a)),
+            semanticResultHash(encodeLoopResult(b)));
+
+  LoopResult c = a;
+  c.ok = false;
+  c.failureClass = FailureClass::Crash;
+  EXPECT_NE(semanticResultHash(encodeLoopResult(a)),
+            semanticResultHash(encodeLoopResult(c)));
+
+  // Order sensitivity: the fold distinguishes [a, c] from [c, a].
+  std::vector<LoopResult> ac{a, c}, ca{c, a};
+  EXPECT_NE(semanticRowsHash(ac), semanticRowsHash(ca));
+}
+
+// ---- end-to-end: clean, torture, chaos -------------------------------------
+
+TEST(ShardOrchestrator, CleanCampaignMatchesSingleProcessRun) {
+  const ShardOptions opt = baseOptions(freshDir("clean"));
+  const SuiteResult ref = referenceRun(opt);
+  const ShardReport got = runShardedSuite(opt);
+  expectAggregatesIdentical(ref, got);
+  EXPECT_EQ(0, got.counters.deaths);
+  EXPECT_EQ(0, got.counters.poisonedRows);
+  EXPECT_EQ(1, got.counters.rounds);
+  EXPECT_EQ(static_cast<std::int64_t>(opt.manifest.count),
+            got.latency.count());
+}
+
+TEST(ShardOrchestrator, ShardCountDoesNotChangeTheAggregate) {
+  ShardOptions opt = baseOptions(freshDir("shards9"));
+  opt.shards = 9;
+  const SuiteResult ref = referenceRun(opt);
+  expectAggregatesIdentical(ref, runShardedSuite(opt));
+
+  ShardOptions one = baseOptions(freshDir("shards1"));
+  one.shards = 1;
+  expectAggregatesIdentical(ref, runShardedSuite(one));
+}
+
+TEST(ShardOrchestrator, KillTortureIsBitIdentical) {
+  ShardOptions opt = baseOptions(freshDir("torture"));
+  opt.tortureKills = 5;
+  opt.tortureSeed = 12345;
+  const SuiteResult ref = referenceRun(opt);
+  const ShardReport got = runShardedSuite(opt);
+  expectAggregatesIdentical(ref, got);
+  EXPECT_GE(got.counters.killsInflicted, 1);
+  EXPECT_GE(got.counters.retries, 1);
+  EXPECT_EQ(0, got.counters.poisonedRows);
+  // A SIGKILLed shard's journal overlaps its replacement's: the merge must
+  // have deduplicated first-wins rather than double-counting.
+  EXPECT_GE(got.counters.duplicateRowsDropped, 0);
+}
+
+TEST(ShardOrchestrator, JournalChaosIsBitIdenticalAndLosesNothing) {
+  ShardOptions opt = baseOptions(freshDir("chaos"));
+  opt.tortureKills = 3;
+  opt.tortureSeed = 7;
+  opt.chaosSpec = "seed=11,rate=2,sites=journal";  // 2% I/O faults in children
+  opt.maxRounds = 30;  // chaos can need extra repair rounds
+  const SuiteResult ref = referenceRun(opt);
+  const ShardReport got = runShardedSuite(opt);
+  expectAggregatesIdentical(ref, got);
+  EXPECT_EQ(0, got.counters.poisonedRows);
+}
+
+// ---- failure paths, provoked one at a time ---------------------------------
+
+TEST(ShardOrchestrator, CrashedShardIsRetriedAndRecovers) {
+  const std::string dir = freshDir("crashretry");
+  const InjectGuard inject("abort-once:" + dir + "/crash.marker");
+  ShardOptions opt = baseOptions(dir);
+  opt.shards = 1;  // exactly one shard aborts once, then its retry succeeds
+  const SuiteResult ref = referenceRun(opt);
+  const ShardReport got = runShardedSuite(opt);
+  expectAggregatesIdentical(ref, got);
+  EXPECT_GE(got.counters.deaths, 1);
+  EXPECT_GE(got.counters.retries, 1);
+  EXPECT_EQ(0, got.counters.splits);  // one death < maxDeaths: no split
+  EXPECT_EQ(0, got.counters.poisonedRows);
+}
+
+TEST(ShardOrchestrator, PoisonedLoopIsSplitDownAndQuarantined) {
+  const std::string dir = freshDir("poison");
+  const InjectGuard inject("abort-on-index:5");
+  ShardOptions opt = baseOptions(dir);
+  opt.shards = 2;
+  opt.maxDeaths = 1;  // split after every death: fast convergence
+  const SuiteResult ref = referenceRun(opt);
+  const ShardReport got = runShardedSuite(opt);
+  ASSERT_TRUE(got.ok) << got.error;
+
+  // Row 5 is quarantined as a Crash failure; every OTHER row must still be
+  // bit-identical to the reference, and nothing may be dropped.
+  EXPECT_EQ(1, got.counters.poisonedRows);
+  EXPECT_GE(got.counters.splits, 1);
+  EXPECT_EQ(opt.manifest.count, got.aggregate.plannedLoops);
+  EXPECT_EQ(ref.failures + 1, got.aggregate.failures);
+  EXPECT_EQ(
+      ref.failuresByClass[static_cast<int>(FailureClass::Crash)] + 1,
+      got.aggregate.failuresByClass[static_cast<int>(FailureClass::Crash)]);
+  EXPECT_NE(semanticRowsHash(ref.loops), got.aggregateRowsHash);
+}
+
+TEST(ShardOrchestrator, HungShardTripsHeartbeatTimeoutAndIsQuarantined) {
+  const std::string dir = freshDir("hang");
+  const InjectGuard inject("mute-on-index:2");
+  ShardOptions opt = baseOptions(dir);
+  opt.manifest.count = 6;  // hangs are slow to kill: keep the campaign tiny
+  opt.shards = 1;
+  opt.maxDeaths = 1;
+  opt.heartbeatTimeoutMs = 700;
+  const ShardReport got = runShardedSuite(opt);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_GE(got.counters.heartbeatTimeouts, 1);
+  EXPECT_EQ(1, got.counters.poisonedRows);
+  EXPECT_EQ(
+      1, got.aggregate.failuresByClass[static_cast<int>(
+             FailureClass::HardTimeout)]);
+  EXPECT_EQ(6, got.aggregate.plannedLoops);
+  EXPECT_EQ(6, static_cast<int>(got.latency.count()));
+}
+
+TEST(ShardOrchestrator, StragglerIsCancelledAndRedispatched) {
+  const std::string dir = freshDir("straggler");
+  // One shard (whoever arms the marker first) compiles at 400ms/row; its
+  // re-dispatch — and everyone else — runs at full speed.
+  const InjectGuard inject("slow-once:" + dir + "/slow.marker:400");
+  ShardOptions opt = baseOptions(dir);
+  opt.shards = 6;
+  opt.concurrency = 6;  // the slow shard must not serialize the fast ones
+  opt.stragglerMinSamples = 3;
+  opt.stragglerFactor = 3.0;
+  opt.stragglerFloorMs = 500;
+  const SuiteResult ref = referenceRun(opt);
+  const ShardReport got = runShardedSuite(opt);
+  expectAggregatesIdentical(ref, got);
+  EXPECT_GE(got.counters.stragglersCancelled, 1);
+  EXPECT_EQ(0, got.counters.poisonedRows);
+}
+
+// ---- resume ----------------------------------------------------------------
+
+TEST(ShardOrchestrator, ResumeTrustsIntactRowsAndRepairsGaps) {
+  const std::string dir = freshDir("resume");
+  ShardOptions opt = baseOptions(dir);
+  const SuiteResult ref = referenceRun(opt);
+  const ShardReport first = runShardedSuite(opt);
+  expectAggregatesIdentical(ref, first);
+
+  // Resume over a COMPLETE campaign: every row is trusted, nothing runs.
+  ShardOptions res = opt;
+  res.resume = true;
+  const ShardReport whole = runShardedSuite(res);
+  expectAggregatesIdentical(ref, whole);
+  EXPECT_EQ(opt.manifest.count, whole.counters.resumedRows);
+  EXPECT_EQ(0, whole.counters.attemptsLaunched);
+  EXPECT_EQ(0, whole.counters.rounds);
+
+  // Kill one shard's journal: resume must re-dispatch exactly that gap.
+  std::vector<fs::path> journals;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".jsonl") journals.push_back(e.path());
+  ASSERT_GE(journals.size(), 2u);
+  fs::remove(journals.front());
+  const ShardReport repaired = runShardedSuite(res);
+  expectAggregatesIdentical(ref, repaired);
+  EXPECT_LT(repaired.counters.resumedRows, opt.manifest.count);
+  EXPECT_GE(repaired.counters.attemptsLaunched, 1);
+
+  // WITHOUT resume the directory is wiped and everything recompiles.
+  const ShardReport fresh = runShardedSuite(opt);
+  expectAggregatesIdentical(ref, fresh);
+  EXPECT_EQ(0, fresh.counters.resumedRows);
+}
+
+// ---- crafted journal damage (the merge's trust boundary) -------------------
+
+class JournalMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = freshDir("merge");
+    opt_ = baseOptions(dir_);
+    opt_.manifest.count = 24;
+    opt_.resume = true;  // the merge-under-test IS the resume scan
+    manifest_ = std::make_unique<CorpusManifest>(opt_.manifest);
+    ref_ = referenceRun(opt_);
+  }
+
+  /// A synthetic job for crafting journal headers that match the campaign.
+  ShardJob craftJob(int shardId) const {
+    ShardJob job;
+    job.shardId = shardId;
+    job.manifest = opt_.manifest;
+    job.machine = opt_.machine;
+    job.options = opt_.pipeline;
+    return job;
+  }
+
+  /// Writes a journal holding genuinely-compiled rows [lo, hi).
+  void writeJournal(const std::string& name, int lo, int hi) {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(dir_ + "/" + name, shardJournalHeader(craftJob(0))));
+    for (int i = lo; i < hi; ++i) {
+      const Loop loop = manifest_->materialize(i);
+      ASSERT_TRUE(w.append(
+          encodeShardRow(i, loop, compileLoop(loop, opt_.machine, opt_.pipeline))));
+    }
+  }
+
+  std::string dir_;
+  ShardOptions opt_;
+  std::unique_ptr<CorpusManifest> manifest_;
+  SuiteResult ref_;
+};
+
+TEST_F(JournalMergeTest, OverlappingJournalsDedupFirstWins) {
+  writeJournal("attempt_a.jsonl", 0, 12);
+  writeJournal("attempt_b.jsonl", 8, 20);  // rows 8..11 duplicated
+  const ShardReport got = runShardedSuite(opt_);
+  expectAggregatesIdentical(ref_, got);
+  EXPECT_EQ(4, got.counters.duplicateRowsDropped);
+  EXPECT_EQ(20, got.counters.resumedRows);
+}
+
+TEST_F(JournalMergeTest, TornTailIsRecompiledNotTrusted) {
+  writeJournal("attempt_a.jsonl", 0, 10);
+  {  // SIGKILL mid-append: a half-written line with a broken CRC frame
+    std::FILE* f = std::fopen((dir_ + "/attempt_a.jsonl").c_str(), "a");
+    ASSERT_NE(nullptr, f);
+    std::fputs("crc32:00000000:{\"kind\":\"row\",\"index\":10,\"trunc", f);
+    std::fclose(f);
+  }
+  const ShardReport got = runShardedSuite(opt_);
+  expectAggregatesIdentical(ref_, got);
+  EXPECT_GE(got.counters.tornTailLines, 1);
+  EXPECT_EQ(10, got.counters.resumedRows);  // row 10 recompiled, not trusted
+}
+
+TEST_F(JournalMergeTest, ForeignConfigJournalContributesNothing) {
+  // A journal from a DIFFERENT pipeline configuration: every row in it must
+  // be ignored wholesale (header gate), then recompiled under this config.
+  ShardJob foreign = craftJob(0);
+  foreign.options.simulate = !foreign.options.simulate;
+  JournalWriter w;
+  ASSERT_TRUE(w.create(dir_ + "/attempt_foreign.jsonl",
+                       shardJournalHeader(foreign)));
+  for (int i = 0; i < 8; ++i) {
+    const Loop loop = manifest_->materialize(i);
+    ASSERT_TRUE(w.append(
+        encodeShardRow(i, loop, compileLoop(loop, opt_.machine, foreign.options))));
+  }
+  w.close();
+  const ShardReport got = runShardedSuite(opt_);
+  expectAggregatesIdentical(ref_, got);
+  EXPECT_EQ(1, got.counters.headerMismatchedFiles);
+  EXPECT_EQ(0, got.counters.resumedRows);
+}
+
+TEST_F(JournalMergeTest, LoopHashMismatchedRowIsDropped) {
+  // A row journaled against the WRONG loop (manifest drift): the merge must
+  // refuse it even though its CRC frame and result document are intact.
+  JournalWriter w;
+  ASSERT_TRUE(w.create(dir_ + "/attempt_a.jsonl", shardJournalHeader(craftJob(0))));
+  const Loop wrongLoop = manifest_->materialize(1);
+  ASSERT_TRUE(w.append(encodeShardRow(
+      0, wrongLoop, compileLoop(wrongLoop, opt_.machine, opt_.pipeline))));
+  w.close();
+  const ShardReport got = runShardedSuite(opt_);
+  expectAggregatesIdentical(ref_, got);
+  EXPECT_EQ(1, got.counters.mismatchedRowsDropped);
+  EXPECT_EQ(0, got.counters.resumedRows);
+}
+
+TEST_F(JournalMergeTest, DamageOfEveryKindAtOnceStillConverges) {
+  writeJournal("attempt_a.jsonl", 0, 12);
+  writeJournal("attempt_b.jsonl", 6, 16);  // duplicates 6..11
+  {  // interior corruption: flip a byte mid-file, then append more rows
+    const std::string path = dir_ + "/attempt_b.jsonl";
+    std::string bytes;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      ASSERT_NE(nullptr, f);
+      char buf[65536];
+      std::size_t got;
+      while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, got);
+      std::fclose(f);
+    }
+    bytes[bytes.size() / 2] ^= 0x40;  // a bit flip somewhere in the middle
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(nullptr, f);
+    ASSERT_EQ(bytes.size(), std::fwrite(bytes.data(), 1, bytes.size(), f));
+    std::fclose(f);
+  }
+  const ShardReport got = runShardedSuite(opt_);
+  expectAggregatesIdentical(ref_, got);
+  EXPECT_GE(got.counters.quarantinedLines + got.counters.tornTailLines, 1);
+}
+
+// ---- BENCH_shard.json ------------------------------------------------------
+
+TEST(ShardBenchJson, CarriesLatencyStrataAndRobustnessCounters) {
+  ShardOptions opt = baseOptions(freshDir("bench"));
+  opt.tortureKills = 2;
+  const ShardReport got = runShardedSuite(opt);
+  ASSERT_TRUE(got.ok) << got.error;
+  const Json doc = shardBenchJson(opt, got);
+
+  EXPECT_EQ("rapt-bench-shard-v1", field(doc, "schema").asString());
+  EXPECT_EQ(CorpusManifest(opt.manifest).hashHex(),
+            field(field(doc, "manifest"), "hash").asString());
+  const Json& latency = field(doc, "latency");
+  EXPECT_GT(field(latency, "p50Ns").asInt(), 0);
+  EXPECT_GE(field(latency, "p95Ns").asInt(), field(latency, "p50Ns").asInt());
+  EXPECT_GE(field(latency, "p99Ns").asInt(), field(latency, "p95Ns").asInt());
+
+  const Json& strata = field(doc, "strata");
+  ASSERT_EQ(static_cast<std::size_t>(CorpusManifest::numStrata()),
+            strata.size());
+  int stratumRows = 0;
+  for (std::size_t s = 0; s < strata.size(); ++s) {
+    const Json& st = strata.at(s);
+    EXPECT_EQ(CorpusManifest::stratum(static_cast<int>(s)).name,
+              field(st, "name").asString());
+    stratumRows += static_cast<int>(field(st, "rows").asInt());
+    EXPECT_NE(nullptr, st.find("failures"));
+    EXPECT_NE(nullptr, field(st, "latency").find("p99Ns"));
+  }
+  EXPECT_EQ(opt.manifest.count, stratumRows);
+
+  EXPECT_EQ(got.aggregateRowsHashHex,
+            field(field(doc, "aggregates"), "rowsHash").asString());
+  EXPECT_EQ(got.counters.killsInflicted,
+            static_cast<int>(field(field(doc, "robustness"), "killsInflicted").asInt()));
+  EXPECT_EQ(got.counters.rounds,
+            static_cast<int>(field(field(doc, "robustness"), "rounds").asInt()));
+}
+
+}  // namespace
+}  // namespace rapt

@@ -104,6 +104,73 @@ TEST(ArgParse, RejectsBadInput) {
   }
 }
 
+TEST(ArgParse, DuplicateFlagIsRejectedNotLastWins) {
+  // A flag given twice means half the command line is stale; silently taking
+  // the last value is exactly the wrong kind of helpful.
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(runParse(p, {"--jobs", "2", "--jobs", "8"}));
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "flag '--jobs' given more than once"),
+              std::string::npos);
+  }
+  {
+    // Both spellings count as the same flag.
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(runParse(p, {"--jobs=2", "--jobs", "8"}));
+    testing::internal::GetCapturedStderr();
+  }
+  {
+    // Boolean flags too: --resume --resume is a stale command line.
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(runParse(p, {"--resume", "--resume"}));
+    testing::internal::GetCapturedStderr();
+  }
+  {
+    // Distinct flags are of course fine.
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    EXPECT_TRUE(runParse(p, {"--jobs", "2", "--seed", "3", "--resume"}));
+    EXPECT_EQ(f.jobs, 2);
+  }
+}
+
+TEST(ArgParse, UnknownFlagSuggestsTheNearestRegisteredOne) {
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(runParse(p, {"--jbos", "4"}));
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "did you mean '--jobs'?"),
+              std::string::npos);
+  }
+  {
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(runParse(p, {"--timeout-m", "100"}));
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "did you mean '--timeout-ms'?"),
+              std::string::npos);
+  }
+  {
+    // Nothing is close: no suggestion rather than a misleading one.
+    SuiteFlags f;
+    ArgParser p = suiteParser(f);
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(runParse(p, {"--zzzzzzz"}));
+    EXPECT_EQ(testing::internal::GetCapturedStderr().find("did you mean"),
+              std::string::npos);
+  }
+}
+
 TEST(ArgParse, PositionalsCollectWhenAllowed) {
   SuiteFlags f;
   ArgParser p = suiteParser(f);

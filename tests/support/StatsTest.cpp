@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/Rng.h"
+
 namespace rapt {
 namespace {
 
@@ -86,6 +92,149 @@ TEST(Histogram, PercentSumsToHundred) {
   for (int b = 0; b < DegradationHistogram::kNumBuckets; ++b) sum += h.percent(b);
   EXPECT_NEAR(sum, 100.0, 1e-9);
   EXPECT_DOUBLE_EQ(h.percent(0), 40.0);
+}
+
+// ---- P² streaming percentiles: error bound against the exact nearest-rank
+// implementation on seeded samples (docs/sharding.md "Latency digests"). ----
+
+/// Exact nearest-rank percentile of a double sample (the reference the
+/// streaming estimator is held against).
+double exactPercentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  return v[rank == 0 ? 0 : rank - 1];
+}
+
+TEST(P2Quantile, ExactForFirstFiveSamples) {
+  P2Quantile q(50.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 0.0);
+  q.add(9.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 9.0);  // one sample: every quantile is it
+  q.add(1.0);
+  q.add(5.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 5.0);  // nearest-rank median of {1,5,9}
+  q.add(3.0);
+  q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 5.0);  // {1,3,5,7,9}
+  EXPECT_EQ(q.count(), 5);
+  EXPECT_DOUBLE_EQ(q.minSeen(), 1.0);
+  EXPECT_DOUBLE_EQ(q.maxSeen(), 9.0);
+}
+
+TEST(P2Quantile, TracksExtremesExactly) {
+  // The outer markers are exact min/max whatever the interior estimate does.
+  SplitMix64 rng(0xABCDEF);
+  P2Quantile q(95.0);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform01() * 2000.0 - 1000.0;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    q.add(x);
+  }
+  EXPECT_DOUBLE_EQ(q.minSeen(), lo);
+  EXPECT_DOUBLE_EQ(q.maxSeen(), hi);
+}
+
+struct P2Case {
+  const char* name;
+  double percentile;
+  double tolerance;  ///< allowed |estimate - exact| as a fraction of stddev
+};
+
+class P2ErrorBound : public ::testing::TestWithParam<P2Case> {};
+
+TEST_P(P2ErrorBound, UniformSample) {
+  SplitMix64 rng(7);
+  P2Quantile q(GetParam().percentile);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform01() * 100.0;
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = exactPercentile(all, GetParam().percentile);
+  // Uniform [0,100): stddev ~ 28.9; the estimator lands well inside a few
+  // percent of the support for every tracked quantile.
+  EXPECT_NEAR(q.estimate(), exact, GetParam().tolerance * 28.9)
+      << GetParam().name;
+}
+
+TEST_P(P2ErrorBound, HeavyTailedSample) {
+  // Exponential-ish latencies (the realistic shape for compile times): the
+  // tail quantiles are where a naive histogram falls over.
+  SplitMix64 rng(42);
+  P2Quantile q(GetParam().percentile);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    const double x = -std::log(1.0 - u) * 50.0;  // mean 50, long tail
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = exactPercentile(all, GetParam().percentile);
+  // Relative bound on a heavy tail: within 10% of the exact quantile.
+  EXPECT_NEAR(q.estimate(), exact, 0.10 * exact + 1.0) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2ErrorBound,
+                         ::testing::Values(P2Case{"p50", 50.0, 0.05},
+                                           P2Case{"p90", 90.0, 0.05},
+                                           P2Case{"p95", 95.0, 0.05},
+                                           P2Case{"p99", 99.0, 0.08}));
+
+TEST(P2Quantile, BimodalSample) {
+  // Two latency modes (cache-hit fast path vs cold compile): the median must
+  // land in or between the modes, never outside the data range.
+  SplitMix64 rng(99);
+  P2Quantile q(50.0);
+  std::vector<double> all;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.chancePercent(50) ? 1.0 + rng.uniform01()
+                                           : 100.0 + rng.uniform01() * 10.0;
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = exactPercentile(all, 50.0);
+  EXPECT_GE(q.estimate(), 1.0);
+  EXPECT_LE(q.estimate(), 110.0);
+  // The exact median of a half/half mix sits at a mode edge; the estimator
+  // must be within the gap's width of it.
+  EXPECT_NEAR(q.estimate(), exact, 15.0);
+}
+
+TEST(LatencyDigest, StreamsAllThreePercentiles) {
+  SplitMix64 rng(5);
+  LatencyDigest d;
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const auto ns = static_cast<std::int64_t>(rng.range(1000, 1000000));
+    d.add(ns);
+    all.push_back(static_cast<double>(ns));
+  }
+  EXPECT_EQ(d.count(), 20000);
+  EXPECT_NEAR(static_cast<double>(d.p50Ns()), exactPercentile(all, 50.0),
+              0.03 * 1000000.0);
+  EXPECT_NEAR(static_cast<double>(d.p95Ns()), exactPercentile(all, 95.0),
+              0.03 * 1000000.0);
+  EXPECT_NEAR(static_cast<double>(d.p99Ns()), exactPercentile(all, 99.0),
+              0.03 * 1000000.0);
+  EXPECT_EQ(d.minNs(), static_cast<std::int64_t>(
+                           *std::min_element(all.begin(), all.end())));
+  EXPECT_EQ(d.maxNs(), static_cast<std::int64_t>(
+                           *std::max_element(all.begin(), all.end())));
+  EXPECT_GT(d.meanNs(), 0.0);
+}
+
+TEST(LatencyDigest, EmptyIsAllZeros) {
+  const LatencyDigest d;
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_EQ(d.p50Ns(), 0);
+  EXPECT_EQ(d.p99Ns(), 0);
+  EXPECT_EQ(d.minNs(), 0);
+  EXPECT_EQ(d.maxNs(), 0);
+  EXPECT_DOUBLE_EQ(d.meanNs(), 0.0);
 }
 
 TEST(Histogram, Labels) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 #include <signal.h>
 
+#include <atomic>
 #include <string>
+#include <vector>
 
 namespace rapt {
 namespace {
@@ -166,6 +168,69 @@ TEST(SubprocessRun, ExtraEnvReachesTheChild) {
 TEST(SubprocessRun, RedactionKeepsPrintablesAndNewlines) {
   EXPECT_EQ(redactForTransport("plain text\twith\ntabs"), "plain text\twith\ntabs");
   EXPECT_EQ(redactForTransport(std::string("\x01\x7f\xff", 3)), "...");
+}
+
+// ---- streamed stdout + cancellation (the shard orchestrator's worker pipe;
+// docs/sharding.md) ----
+
+TEST(SubprocessRun, StreamsStdoutLinesToTheCallback) {
+  SubprocessSpec spec = shellSpec("printf 'one\\ntwo\\nthree\\n'");
+  std::vector<std::string> lines;
+  spec.onStdoutLine = [&](const std::string& l) { lines.push_back(l); };
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.exitedCleanly());
+  EXPECT_TRUE(r.out.empty());  // streamed, not accumulated
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(SubprocessRun, StreamsAnUnterminatedFinalLineAtEof) {
+  SubprocessSpec spec = shellSpec("printf 'complete\\npartial'");
+  std::vector<std::string> lines;
+  spec.onStdoutLine = [&](const std::string& l) { lines.push_back(l); };
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.exitedCleanly());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "complete");
+  EXPECT_EQ(lines[1], "partial");
+}
+
+TEST(SubprocessRun, StreamedLinesArriveWhileTheChildStillRuns) {
+  // The child emits a line, then blocks forever; the supervisor must see the
+  // line (and then cancel) rather than buffering until exit.
+  SubprocessSpec spec = shellSpec("echo ready; sleep 1000");
+  std::atomic<bool> cancel{false};
+  spec.cancel = &cancel;
+  spec.onStdoutLine = [&](const std::string& l) {
+    if (l == "ready") cancel.store(true);
+  };
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.exitedCleanly());
+  EXPECT_EQ(r.signal, SIGKILL);
+  EXPECT_FALSE(r.timedOut);  // cancellation is distinguishable from the watchdog
+}
+
+TEST(SubprocessRun, CancelAlreadySetKillsImmediately) {
+  SubprocessSpec spec = shellSpec("sleep 1000");
+  std::atomic<bool> cancel{true};
+  spec.cancel = &cancel;
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.signal, SIGKILL);
+}
+
+TEST(SubprocessRun, OversizedStreamedLineIsTruncatedNotFatal) {
+  SubprocessSpec spec = shellSpec("head -c 100000 /dev/zero | tr '\\0' 'a'");
+  spec.maxStdoutBytes = 1024;
+  std::vector<std::string> lines;
+  spec.onStdoutLine = [&](const std::string& l) { lines.push_back(l); };
+  const SubprocessResult r = runSubprocess(spec);
+  EXPECT_TRUE(r.stdoutTruncated);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].size(), 1024u);
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// rapt-shard: self-healing shard orchestrator for 100k+-loop manifest
+// campaigns (docs/sharding.md; ROADMAP item 5).
+//
+// One binary, two roles:
+//
+//   rapt-shard [flags]       the ORCHESTRATOR: plans shard jobs over a
+//                            seeded CorpusManifest, supervises worker
+//                            children, retries / splits / quarantines, and
+//                            emits BENCH_shard.json (docs/metrics.md);
+//   rapt-shard --worker      one shard ATTEMPT: job document on stdin,
+//                            heartbeats on stdout, rows into a CRC-framed
+//                            journal. Spawned by the orchestrator — the
+//                            shardBinary defaults to this same executable.
+//
+// Torture flags (--torture-kills, --chaos) exist so CI and the acceptance
+// campaign can prove the recovery paths: a campaign with kills and I/O
+// faults must aggregate bit-identically (rowsHash) to a clean run.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "machine/MachineDesc.h"
+#include "shard/Orchestrator.h"
+#include "shard/ShardRunner.h"
+#include "support/ArgParser.h"
+#include "support/Durability.h"
+#include "support/Interrupt.h"
+#include "support/Json.h"
+
+namespace {
+
+using namespace rapt;
+
+bool pickMachine(const std::string& name, int clusters, MachineDesc& out) {
+  if (name == "ideal16") {
+    out = MachineDesc::ideal16();
+    return true;
+  }
+  if (name == "paper16") {
+    if (clusters != 2 && clusters != 4 && clusters != 8) return false;
+    out = MachineDesc::paper16(clusters, CopyModel::Embedded);
+    return true;
+  }
+  if (name == "paper16-copyunit") {
+    if (clusters != 2 && clusters != 4 && clusters != 8) return false;
+    out = MachineDesc::paper16(clusters, CopyModel::CopyUnit);
+    return true;
+  }
+  if (name == "example2x1") {
+    out = MachineDesc::example2x1();
+    return true;
+  }
+  if (name == "tic6x") {
+    out = MachineDesc::tiC6xLike();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The worker role must not share the orchestrator's flag surface: its only
+  // input is the job document on stdin.
+  if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+    return runShardWorker();
+  }
+
+  ShardOptions opt;
+  opt.manifest.count = 10'000;
+  std::string machineName = "paper16";
+  int clusters = 4;
+  std::string benchOut;
+  bool fullPipeline = false;
+
+  ArgParser args("rapt-shard",
+                 "self-healing sharded compilation of a seeded loop manifest");
+  args.addUint64("seed", &opt.manifest.seed, "manifest seed (hex ok)");
+  args.addInt("count", &opt.manifest.count, "manifest size in loops");
+  args.addInt64("trip", &opt.manifest.trip, "simulated trip count per loop");
+  args.addString("machine", &machineName,
+                 "ideal16 | paper16 | paper16-copyunit | example2x1 | tic6x");
+  args.addInt("clusters", &clusters, "clusters for the paper16 presets");
+  args.addFlag("full-pipeline", &fullPipeline,
+               "simulate+verify+certify every loop (default: schedule, "
+               "partition and allocate only — the 100k-scale configuration)");
+  args.addInt("shards", &opt.shards, "target shard count per dispatch round");
+  args.addInt("concurrency", &opt.concurrency,
+              "parallel shard children (0 = hardware threads)");
+  args.addString("journal-dir", &opt.journalDir,
+                 "REQUIRED: directory for shard journals + poison.jsonl");
+  args.addString("shard-binary", &opt.shardBinary,
+                 "worker binary (default: this executable)");
+  bool resume = false;
+  args.addFlag("resume", &resume,
+               "trust intact rows already journaled in --journal-dir");
+  args.addInt("max-deaths", &opt.maxDeaths,
+              "crash-grade deaths before a shard splits");
+  args.addInt("max-attempts", &opt.maxAttemptsPerItem,
+              "attempt cap per work item, transient cancels included");
+  args.addInt64("backoff-ms", &opt.retryBackoffBaseMs,
+                "seeded exponential retry backoff base");
+  args.addUint64("retry-seed", &opt.retrySeed, "backoff jitter seed");
+  args.addInt64("heartbeat-timeout-ms", &opt.heartbeatTimeoutMs,
+                "silence beyond this kills and retries the shard");
+  args.addInt64("straggler-floor-ms", &opt.stragglerFloorMs,
+                "never cancel an attempt younger than this");
+  args.addInt("torture-kills", &opt.tortureKills,
+              "seeded SIGKILL budget against healthy shards (tests/CI)");
+  args.addUint64("torture-seed", &opt.tortureSeed, "kill schedule seed");
+  args.addString("chaos", &opt.chaosSpec,
+                 "RAPT_CHAOS spec armed in every shard child "
+                 "(e.g. seed=7,rate=1,sites=journal)");
+  args.addInt("max-rounds", &opt.maxRounds, "repair-round cap");
+  args.addString("bench-out", &benchOut,
+                 "write BENCH_shard.json here (default: $RAPT_BENCH_DIR or "
+                 "the working directory)");
+  bool verbose = false;
+  args.addFlag("verbose", &verbose, "per-event progress on stderr");
+
+  if (!args.parse(argc, argv)) return args.helpRequested() ? 0 : 2;
+  opt.resume = resume;
+  opt.verbose = verbose;
+
+  if (opt.journalDir.empty()) {
+    std::fprintf(stderr, "rapt-shard: --journal-dir is required\n");
+    return 2;
+  }
+  if (!pickMachine(machineName, clusters, opt.machine)) {
+    std::fprintf(stderr, "rapt-shard: unknown machine '%s' (clusters %d)\n",
+                 machineName.c_str(), clusters);
+    return 2;
+  }
+
+  // The 100k-scale default: schedule + partition + allocate. Simulation,
+  // verification and certification multiply per-loop cost ~10x; --full-
+  // pipeline turns them back on for smaller campaigns.
+  opt.pipeline.simulate = fullPipeline;
+  opt.pipeline.verify = fullPipeline;
+  opt.pipeline.certify = fullPipeline;
+  opt.pipeline.allocateRegisters = true;
+  opt.pipeline.threads = 1;  // one shard child = one worker thread
+
+  InterruptGuard interrupts;
+  const ShardReport report = runShardedSuite(opt);
+
+  const Json doc = shardBenchJson(opt, report);
+  if (benchOut.empty()) {
+    const char* dir = std::getenv("RAPT_BENCH_DIR");
+    benchOut = (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+               "BENCH_shard.json";
+  }
+  if (!writeFileDurable(benchOut, doc.dump())) {
+    std::fprintf(stderr, "rapt-shard: cannot write %s\n", benchOut.c_str());
+    return 1;
+  }
+
+  if (!report.ok) {
+    std::fprintf(stderr, "rapt-shard: campaign failed: %s\n",
+                 report.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "rapt-shard: %d rows, %d failures, rowsHash %s\n"
+      "  latency p50 %lld us  p95 %lld us  p99 %lld us\n"
+      "  rounds %d  attempts %d  deaths %d  retries %d  splits %d  "
+      "poisoned %d  kills %d\n"
+      "  report: %s\n",
+      report.aggregate.plannedLoops, report.aggregate.failures,
+      report.aggregateRowsHashHex.c_str(),
+      static_cast<long long>(report.latency.p50Ns() / 1000),
+      static_cast<long long>(report.latency.p95Ns() / 1000),
+      static_cast<long long>(report.latency.p99Ns() / 1000),
+      report.counters.rounds, report.counters.attemptsLaunched,
+      report.counters.deaths, report.counters.retries, report.counters.splits,
+      report.counters.poisonedRows, report.counters.killsInflicted,
+      benchOut.c_str());
+  return 0;
+}
